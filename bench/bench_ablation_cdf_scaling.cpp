@@ -1,0 +1,70 @@
+// Ablation: how each CDF method's error scales with the number of buckets
+// at a fixed total privacy cost.  Theory (section 4.1): cdf1 error grows
+// linearly in |buckets|, cdf2 like sqrt(|buckets|), cdf3 like
+// log(|buckets|)^1.5.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "stats/metrics.hpp"
+#include "toolkit/cdf.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("CDF error scaling vs bucket count", "section 4.1 analysis");
+
+  // Uniform values over [0, 4096) so every bucket width divides evenly.
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 200000; ++i) values.push_back(i % 4096);
+
+  const double eps = 1.0;
+  const int kRepeats = 6;
+  std::printf("%10s %14s %14s %14s\n", "buckets", "cdf1 RMSE", "cdf2 RMSE",
+              "cdf3 RMSE");
+
+  std::vector<int> bucket_counts = {16, 64, 256, 1024};
+  std::vector<double> err1, err2, err3;
+  for (int buckets : bucket_counts) {
+    const std::int64_t step = 4096 / buckets;
+    const auto bounds = toolkit::make_boundaries(step - 1, 4095, step);
+    const auto exact = toolkit::exact_cdf(values, bounds);
+    double e1 = 0.0, e2 = 0.0, e3 = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+      const auto seed = static_cast<std::uint64_t>(buckets * 100 + r);
+      e1 += stats::rmse(
+          toolkit::cdf_prefix_counts(bench::protect(values, seed), bounds,
+                                     eps)
+              .values,
+          exact.values);
+      e2 += stats::rmse(
+          toolkit::cdf_partition(bench::protect(values, seed + 31), bounds,
+                                 eps)
+              .values,
+          exact.values);
+      e3 += stats::rmse(
+          toolkit::cdf_recursive(bench::protect(values, seed + 67), bounds,
+                                 eps)
+              .values,
+          exact.values);
+    }
+    err1.push_back(e1 / kRepeats);
+    err2.push_back(e2 / kRepeats);
+    err3.push_back(e3 / kRepeats);
+    std::printf("%10d %14.2f %14.2f %14.2f\n", buckets, err1.back(),
+                err2.back(), err3.back());
+  }
+
+  bench::section("growth factors per 4x bucket increase");
+  auto report = [&](const char* name, const std::vector<double>& err,
+                    const char* theory) {
+    std::printf("  %-6s theory %-24s measured:", name, theory);
+    for (std::size_t i = 1; i < err.size(); ++i) {
+      std::printf(" %.2fx", err[i] / err[i - 1]);
+    }
+    std::printf("\n");
+  };
+  report("cdf1", err1, "4x per step (linear)");
+  report("cdf2", err2, "2x per step (sqrt)");
+  report("cdf3", err3, "<1.6x per step (log^1.5)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: privacy-principal granularity (paper §3 and §7).
+// The same packet-length CDF measured (a) at packet granularity — the
+// paper's generous default — and (b) at host granularity with each host
+// contributing at most k packets.  Host-level guarantees cost fidelity:
+// the contributed sample shrinks and the per-record noise covers whole
+// hosts rather than single packets.
+#include <cstdio>
+
+#include "analysis/packet_dist.hpp"
+#include "analysis/principal.hpp"
+#include "bench/common.hpp"
+#include "stats/metrics.hpp"
+#include "toolkit/cdf.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("Privacy principal granularity: packets vs hosts",
+                "paper sections 3 and 7 (open issue)");
+
+  tracegen::HotspotGenerator gen(bench::packet_bench_config());
+  const auto trace = gen.generate();
+  const auto hosts = analysis::aggregate_by_host(trace);
+  bench::kv("packets", static_cast<double>(trace.size()));
+  bench::kv("hosts (principals)", static_cast<double>(hosts.size()));
+
+  const double eps = 1.0;
+  const auto bounds = toolkit::make_boundaries(0, 1500, 25);
+  const auto exact = analysis::exact_packet_length_cdf(trace, 25);
+
+  bench::section("packet principal (the paper's default)");
+  {
+    auto packets = bench::protect(trace, 1200);
+    const auto dp = analysis::dp_packet_length_cdf(packets, eps, 25);
+    bench::kv("relative RMSE vs full-trace CDF %",
+              100.0 * stats::relative_rmse(dp.values, exact.values));
+  }
+
+  bench::section("host principal, per-host packet cap sweep");
+  std::printf("%8s %16s %18s %22s\n", "cap k", "sampled pkts",
+              "stability (=k)", "rel. RMSE vs full %");
+  for (std::size_t cap : {1, 4, 16, 64}) {
+    auto host_view = bench::protect(hosts, 1210 + cap);
+    auto lengths = analysis::host_packet_lengths(host_view, cap);
+    const auto dp = toolkit::cdf_partition(lengths, bounds, eps);
+    // Compare the shape: normalize both CDFs to fractions before RMSE,
+    // since the host-capped sample is intentionally smaller.
+    std::vector<double> dp_frac = dp.values;
+    std::vector<double> exact_frac = exact.values;
+    const double dp_total = std::max(1.0, dp_frac.back());
+    for (double& v : dp_frac) v /= dp_total;
+    for (double& v : exact_frac) v /= exact.values.back();
+    std::printf("%8zu %16zu %18.0f %21.3f%%\n", cap,
+                lengths.data_unsafe().size(), lengths.total_stability(),
+                100.0 * stats::rmse(dp_frac, exact_frac));
+  }
+
+  bench::section("host-level statistics that need no re-flattening");
+  {
+    auto host_view = bench::protect(hosts, 1230);
+    const auto byte_cdf = toolkit::cdf_partition(
+        analysis::host_total_bytes(host_view),
+        toolkit::make_boundaries(0, 2000000, 50000), eps);
+    bench::kv("hosts measured (final bucket)", byte_cdf.values.back());
+    const double mean_fanout =
+        analysis::host_fanout(host_view).noisy_average_scaled(
+            eps, [](std::int64_t f) { return static_cast<double>(f); },
+            256.0);
+    bench::kv("mean host fan-out (noisy)", mean_fanout);
+  }
+
+  bench::section("takeaway");
+  std::printf(
+      "Tight caps distort the packet-length distribution toward per-host\n"
+      "uniformity (the paper's predicted fidelity loss), while per-host\n"
+      "statistics remain cheap — choose the principal to match what must\n"
+      "be protected.\n");
+  return 0;
+}

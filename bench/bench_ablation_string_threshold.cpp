@@ -1,0 +1,64 @@
+// Ablation: the frequent-string search threshold trades recall against
+// false positives and wasted exploration (section 4.2's observation that
+// high thresholds let the search afford noisier measurements).
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+#include "bench/common.hpp"
+#include "toolkit/frequent_strings.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("Frequent-string threshold sweep", "section 4.2 analysis");
+
+  tracegen::HotspotGenerator gen(bench::packet_bench_config());
+  const auto trace = gen.generate();
+  std::vector<std::string> payloads;
+  for (const auto& p : trace) {
+    if (!p.payload.empty()) payloads.push_back(p.payload);
+  }
+
+  const double kReportThreshold = 200.0;
+  const auto exact =
+      toolkit::exact_frequent_strings(payloads, 8, kReportThreshold);
+  std::set<std::string> truth;
+  for (const auto& e : exact) truth.insert(e.value);
+  bench::kv("strings with true count > 200",
+            static_cast<double>(truth.size()));
+
+  const double eps = 0.1;  // strong privacy: threshold choice matters most
+  std::printf("\n%12s %10s %12s %16s\n", "threshold", "found", "recall%",
+              "false positives");
+  for (double threshold : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    auto protected_payloads =
+        bench::protect(trace, 1100 + static_cast<std::uint64_t>(threshold))
+            .select([](const net::Packet& p) { return p.payload; });
+    toolkit::FrequentStringOptions opt;
+    opt.length = 8;
+    opt.eps_per_level = eps;
+    opt.threshold = threshold;
+    const auto found = toolkit::frequent_strings(protected_payloads, opt);
+    std::size_t hits = 0, false_pos = 0;
+    for (const auto& f : found) {
+      if (truth.count(f.value)) {
+        ++hits;
+      } else {
+        ++false_pos;
+      }
+    }
+    std::printf("%12.0f %10zu %11.1f%% %16zu\n", threshold, found.size(),
+                truth.empty() ? 0.0
+                              : 100.0 * static_cast<double>(hits) /
+                                    static_cast<double>(truth.size()),
+                false_pos);
+  }
+
+  bench::section("interpretation");
+  std::printf(
+      "Low thresholds at strong privacy admit noise-born candidates (false\n"
+      "positives and wasted exploration); thresholds near the target count\n"
+      "keep recall while suppressing them — the paper's 'aggressively\n"
+      "restricting candidates lets us learn more'.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 3: CDFs of flow RTT (SYN / SYN-ACK matching) and downstream loss
+// rate (retransmissions), per Swing, at the three privacy levels.
+// Paper: both are high-fidelity even at eps=0.1 — RMSE 2.8% (RTT) and
+// 0.2% (loss rate); loss is computed for flows with more than 10 packets.
+#include <cstdio>
+
+#include "analysis/flow_stats.hpp"
+#include "bench/common.hpp"
+#include "stats/metrics.hpp"
+#include "toolkit/cdf.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("Flow RTT and loss-rate CDFs", "paper Figure 3 (a, b)");
+
+  tracegen::HotspotGenerator gen(bench::packet_bench_config());
+  const auto trace = gen.generate();
+
+  const auto rtt_bounds = toolkit::make_boundaries(0, 600, 10);
+  const auto loss_bounds = toolkit::make_boundaries(0, 1000, 20);
+  const auto exact_rtt =
+      toolkit::exact_cdf(analysis::exact_rtts_ms(trace), rtt_bounds);
+  const auto exact_loss =
+      toolkit::exact_cdf(analysis::exact_loss_permille(trace), loss_bounds);
+  bench::kv("trace packets", static_cast<double>(trace.size()));
+  bench::kv("handshake RTT samples", exact_rtt.values.back());
+  bench::kv("flows with >10 data packets", exact_loss.values.back());
+
+  bench::section("RTT CDF (ms), relative RMSE per privacy level");
+  std::vector<std::vector<double>> rtt_curves;
+  for (std::size_t e = 0; e < 3; ++e) {
+    auto packets = bench::protect(trace, 700 + e);
+    const auto dp = analysis::dp_rtt_cdf(packets, bench::kEpsLevels[e], 10);
+    rtt_curves.push_back(dp.values);
+    // The paper's relative-RMSE over all buckets, plus the same metric
+    // restricted to the distribution's body (buckets holding at least 10%
+    // of the samples) — at our reduced trace scale the near-empty leading
+    // buckets otherwise dominate the ratio.
+    std::vector<double> dp_body, exact_body;
+    for (std::size_t i = 0; i < dp.values.size(); ++i) {
+      if (exact_rtt.values[i] >= 0.1 * exact_rtt.values.back()) {
+        dp_body.push_back(dp.values[i]);
+        exact_body.push_back(exact_rtt.values[i]);
+      }
+    }
+    std::printf("  eps=%-12s relative RMSE = %.3f%% (body-only %.3f%%)\n",
+                bench::kEpsNames[e],
+                100.0 * stats::relative_rmse(dp.values, exact_rtt.values),
+                100.0 * stats::relative_rmse(dp_body, exact_body));
+  }
+  rtt_curves.push_back(exact_rtt.values);
+  bench::section("RTT series (every 5th bucket)");
+  bench::print_series(bench::to_doubles(rtt_bounds),
+                      {"eps=0.1", "eps=1", "eps=10", "noise-free"},
+                      rtt_curves, 5);
+
+  bench::section("loss-rate CDF (permille), relative RMSE per level");
+  std::vector<std::vector<double>> loss_curves;
+  for (std::size_t e = 0; e < 3; ++e) {
+    auto packets = bench::protect(trace, 710 + e);
+    const auto dp = analysis::dp_loss_cdf(packets, bench::kEpsLevels[e], 20);
+    loss_curves.push_back(dp.values);
+    std::printf("  eps=%-12s relative RMSE = %.3f%%\n", bench::kEpsNames[e],
+                100.0 * stats::relative_rmse(dp.values, exact_loss.values));
+  }
+  loss_curves.push_back(exact_loss.values);
+  bench::section("loss series (every 4th bucket)");
+  bench::print_series(bench::to_doubles(loss_bounds),
+                      {"eps=0.1", "eps=1", "eps=10", "noise-free"},
+                      loss_curves, 4);
+
+  bench::section("other Swing statistics, eps=1.0 (paper: similar results)");
+  {
+    auto packets = bench::protect(trace, 720);
+    const auto ooo = analysis::flow_out_of_order_permille(packets);
+    const auto dp =
+        toolkit::cdf_partition(ooo, toolkit::make_boundaries(0, 1000, 20),
+                               1.0);
+    bench::kv("out-of-order: flows measured (final bucket)",
+              dp.values.back());
+    auto packets2 = bench::protect(trace, 721);
+    const auto cap_cdf = toolkit::cdf_partition(
+        analysis::flow_capacity_kbps(packets2),
+        toolkit::make_boundaries(0, 8000, 250), 1.0);
+    bench::kv("path capacity: flows measured (final bucket)",
+              cap_cdf.values.back());
+  }
+
+  bench::section("paper vs measured");
+  bench::paper_vs_measured("RTT RMSE @ eps=0.1", "2.8%", "above");
+  bench::paper_vs_measured("loss RMSE @ eps=0.1", "0.2%", "above");
+  bench::paper_vs_measured("curves vs noise-free", "indistinguishable",
+                           "compare series columns");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 4: the norm of anomalous traffic (PCA residual) over time on the
+// IspTraffic dataset, computed noise-free and at the three privacy levels.
+// Paper: all four curves are indistinguishable, anomalies (e.g. at time
+// unit 270) clearly stand out, and the RMSE at eps=0.1 is 0.17%.
+#include <cstdio>
+
+#include "analysis/anomaly.hpp"
+#include "bench/common.hpp"
+#include "stats/metrics.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("Network-wide anomaly detection (PCA residual norm)",
+                "paper Figure 4, section 5.3.1");
+
+  tracegen::IspConfig cfg;
+  cfg.seed = 2012;
+  // Fewer links but heavy cells: the paper's cells hold ~58k packets, so
+  // its counting noise is invisible; packing our cells as densely as a
+  // laptop allows keeps the noise-to-jitter ratio in the same regime.
+  cfg.links = 60;
+  cfg.mean_packets_per_cell = 4000.0;
+  cfg.anomalies = {
+      {270, 10, 4, 2.0},
+      {150, 40, 3, 1.6},
+      {60, 50, 5, 1.8},
+      {310, 25, 2, 2.4},
+  };
+  tracegen::IspTrafficGenerator gen(cfg);
+  const auto records = gen.generate();
+  bench::kv("links x windows",
+            std::to_string(cfg.links) + " x " + std::to_string(cfg.windows));
+  bench::kv("de-aggregated packet records",
+            static_cast<double>(records.size()));
+
+  analysis::AnomalyOptions opt;
+  opt.links = cfg.links;
+  opt.windows = cfg.windows;
+  const auto exact_matrix = analysis::exact_link_time_matrix(gen.true_counts());
+  const auto exact_norms = analysis::anomaly_norms(exact_matrix, opt);
+
+  std::vector<std::vector<double>> curves;
+  for (std::size_t e = 0; e < 3; ++e) {
+    opt.eps = bench::kEpsLevels[e];
+    auto protected_records = bench::protect(records, 900 + e);
+    const auto dp_matrix =
+        analysis::dp_link_time_matrix(protected_records, opt);
+    curves.push_back(analysis::anomaly_norms(dp_matrix, opt));
+    std::printf("  eps=%-12s relative RMSE vs noise-free = %.3f%%\n",
+                bench::kEpsNames[e],
+                100.0 * stats::relative_rmse(curves.back(), exact_norms));
+  }
+  curves.push_back(exact_norms);
+
+  bench::section("residual norm series (every 8th window, scaled bytes)");
+  std::vector<double> xs(static_cast<std::size_t>(cfg.windows));
+  for (int w = 0; w < cfg.windows; ++w) xs[static_cast<std::size_t>(w)] = w;
+  bench::print_series(xs, {"eps=0.1", "eps=1", "eps=10", "noise-free"},
+                      curves, 8);
+
+  bench::section("implanted anomalies vs detected spikes (noise-free)");
+  double baseline = 0.0;
+  for (double n : exact_norms) baseline += n;
+  baseline /= static_cast<double>(exact_norms.size());
+  for (const auto& a : cfg.anomalies) {
+    std::printf("  window %3d: norm %.0f (baseline mean %.0f, x%.1f)\n",
+                a.window, exact_norms[static_cast<std::size_t>(a.window)],
+                baseline,
+                exact_norms[static_cast<std::size_t>(a.window)] / baseline);
+  }
+
+  bench::section("paper vs measured");
+  bench::paper_vs_measured("four curves", "indistinguishable",
+                           "compare series columns");
+  bench::paper_vs_measured("RMSE @ eps=0.1", "0.17%", "above");
+  bench::paper_vs_measured("anomaly at unit 270", "clearly stands out",
+                           "see spikes section");
+  return 0;
+}

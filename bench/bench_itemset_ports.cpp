@@ -1,0 +1,80 @@
+// §4.3: frequent itemset mining over the sets of ports each host uses.
+// The paper's top-5 discovered pairs on the Hotspot trace, all correct:
+// (22,80), (25,22), (443,80), (445,139), (993,22).
+#include <cstdio>
+#include <set>
+
+#include "bench/common.hpp"
+#include "net/packet.hpp"
+#include "toolkit/itemsets.hpp"
+
+int main() {
+  using namespace dpnet;
+  using core::Group;
+  using net::Ipv4;
+  using net::Packet;
+
+  bench::header("Frequent port itemsets per host", "paper section 4.3");
+
+  // Many hosts, light sessions: itemset support counts scale with the host
+  // population, and the gaps between profile sizes must dominate the
+  // counting noise for the paper's exact top-5 ordering to be resolvable.
+  auto cfg = bench::packet_bench_config();
+  cfg.num_hosts = 1200;
+  cfg.sessions_per_port_mean = 2;
+  cfg.responses_per_session_mean = 6;
+  tracegen::HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+
+  auto port_sets =
+      bench::protect(trace, 402)
+          .where([](const Packet& p) {
+            // Client-originated TCP service traffic (DNS lookups would
+            // otherwise pair port 53 with everything).
+            return p.protocol == net::kProtoTcp &&
+                   p.src_ip.in_subnet(Ipv4(10, 0, 0, 0), 8);
+          })
+          .group_by([](const Packet& p) { return p.src_ip; })
+          .select([](const Group<Ipv4, Packet>& grp) {
+            std::set<int> ports;
+            for (const Packet& p : grp.items) {
+              if (p.dst_port < 1024) ports.insert(p.dst_port);
+            }
+            return std::vector<int>(ports.begin(), ports.end());
+          });
+
+  toolkit::ItemsetOptions opt;
+  opt.max_size = 2;
+  opt.eps_per_level = 1.0;
+  opt.threshold = 12.0;
+  const std::vector<int> universe = {22, 25, 53, 80, 110, 139, 143,
+                                     443, 445, 993};
+  const auto found = toolkit::frequent_itemsets(port_sets, universe, opt);
+
+  bench::section("discovered pairs (sorted by estimated support)");
+  std::vector<std::vector<int>> pairs;
+  for (const auto& r : found) {
+    if (r.items.size() == 2) {
+      std::printf("  (%d,%d)  est. support %.1f\n", r.items[0], r.items[1],
+                  r.estimated_count);
+      pairs.push_back(r.items);
+    }
+  }
+
+  // Ground truth from the generator's profile fractions, in order:
+  const std::vector<std::vector<int>> expected = {
+      {22, 80}, {22, 25}, {80, 443}, {139, 445}, {22, 993}};
+  int correct = 0;
+  for (std::size_t i = 0; i < expected.size() && i < pairs.size(); ++i) {
+    std::set<int> a(pairs[i].begin(), pairs[i].end());
+    std::set<int> b(expected[i].begin(), expected[i].end());
+    if (a == b) ++correct;
+  }
+
+  bench::section("paper vs measured");
+  bench::paper_vs_measured(
+      "top-5 port pairs",
+      "(22,80) (25,22) (443,80) (445,139) (993,22) all correct",
+      std::to_string(correct) + "/5 in the implanted order");
+  return 0;
+}

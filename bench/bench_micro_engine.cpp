@@ -1,0 +1,123 @@
+// Engine micro-benchmarks (google-benchmark): throughput of the core
+// Queryable operators on packet-sized records.  Not a paper figure — this
+// tracks the engineering cost of the declarative layer itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/queryable.hpp"
+#include "net/packet.hpp"
+#include "tracegen/hotspot.hpp"
+
+namespace {
+
+using namespace dpnet;
+using net::Packet;
+
+const std::vector<Packet>& shared_trace() {
+  static const std::vector<Packet> trace = [] {
+    tracegen::HotspotGenerator gen(tracegen::HotspotConfig::small());
+    return gen.generate();
+  }();
+  return trace;
+}
+
+core::Queryable<Packet> protect() {
+  return {shared_trace(), std::make_shared<core::RootBudget>(1e12),
+          std::make_shared<core::NoiseSource>(1)};
+}
+
+void BM_NoisyCount(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = protect();
+    benchmark::DoNotOptimize(q.noisy_count(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_trace().size()));
+}
+BENCHMARK(BM_NoisyCount);
+
+void BM_WhereCount(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = protect();
+    benchmark::DoNotOptimize(
+        q.where([](const Packet& p) { return p.dst_port == 80; })
+            .noisy_count(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_trace().size()));
+}
+BENCHMARK(BM_WhereCount);
+
+void BM_GroupByFlowCount(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = protect();
+    benchmark::DoNotOptimize(
+        q.group_by([](const Packet& p) { return net::flow_of(p); })
+            .noisy_count(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_trace().size()));
+}
+BENCHMARK(BM_GroupByFlowCount);
+
+void BM_PartitionByPort(benchmark::State& state) {
+  std::vector<int> ports;
+  for (int p = 0; p < 1024; ++p) ports.push_back(p);
+  for (auto _ : state) {
+    auto q = protect();
+    auto parts = q.partition(
+        ports, [](const Packet& p) { return static_cast<int>(p.dst_port); });
+    benchmark::DoNotOptimize(parts.at(80).noisy_count(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_trace().size()));
+}
+BENCHMARK(BM_PartitionByPort);
+
+void BM_JoinHandshakes(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = protect();
+    auto syns = q.where([](const Packet& p) {
+      return p.flags.syn && !p.flags.ack;
+    });
+    auto acks = q.where([](const Packet& p) {
+      return p.flags.syn && p.flags.ack;
+    });
+    auto joined = syns.join(
+        acks,
+        [](const Packet& x) {
+          return std::pair{x.src_ip.value, x.seq + 1};
+        },
+        [](const Packet& y) {
+          return std::pair{y.dst_ip.value, y.ack_no};
+        },
+        [](const Packet& x, const Packet& y) {
+          return y.timestamp - x.timestamp;
+        });
+    benchmark::DoNotOptimize(joined.noisy_count(1.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(shared_trace().size()));
+}
+BENCHMARK(BM_JoinHandshakes);
+
+void BM_LaplaceDraw(benchmark::State& state) {
+  core::NoiseSource noise(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise.laplace(1.0));
+  }
+}
+BENCHMARK(BM_LaplaceDraw);
+
+void BM_GeometricDraw(benchmark::State& state) {
+  core::NoiseSource noise(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noise.two_sided_geometric(0.5));
+  }
+}
+BENCHMARK(BM_GeometricDraw);
+
+}  // namespace
+
+BENCHMARK_MAIN();

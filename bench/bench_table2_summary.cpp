@@ -1,0 +1,63 @@
+// Table 2: the paper's summary of the analyses — expressibility and the
+// privacy level at which accuracy is high.  This bench prints our
+// reproduction's verdict per analysis next to the paper's row, based on
+// the measurements recorded by the per-experiment benches (EXPERIMENTS.md
+// holds the numbers behind each verdict).
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+struct Row {
+  const char* analysis;
+  const char* paper_expressibility;
+  const char* paper_accuracy;
+  const char* ours_expressibility;
+  const char* ours_accuracy;
+};
+
+constexpr Row kRows[] = {
+    {"Packet size & port dist. (5.1.1)", "faithful", "strong privacy",
+     "faithful", "strong privacy (0.05% RMSE at eps=0.1)"},
+    {"Worm fingerprinting (5.1.2)", "faithful", "weak privacy",
+     "faithful", "weak privacy (recall 5/28/29 at 0.1/1/10)"},
+    {"Common flow properties (5.2.1)",
+     "could not isolate connections in a flow", "strong privacy",
+     "fully expressed (group_by_spans extension)",
+     "strong privacy (body RMSE 2.9% at eps=0.1)"},
+    {"Stepping stone detection (5.2.2)",
+     "sliding windows approximated", "medium privacy",
+     "same approximation (two-pass bucketing)",
+     "medium privacy (0/20 false positives at eps=1)"},
+    {"Anomaly detection (5.3.1)", "faithful", "strong privacy", "faithful",
+     "strong privacy (1.9% RMSE at eps=0.1; 0.08% at paper scale)"},
+    {"Passive topology mapping (5.3.2)",
+     "simpler clustering (k-means for EM)", "weak privacy",
+     "same substitution",
+     "weak privacy (0.6% over noise-free at eps=10)"},
+};
+
+}  // namespace
+
+int main() {
+  using namespace dpnet;
+  bench::header("Summary of the analyses", "paper Table 2");
+
+  for (const Row& r : kRows) {
+    std::printf("\n%s\n", r.analysis);
+    std::printf("  expressibility  paper: %-44s ours: %s\n",
+                r.paper_expressibility, r.ours_expressibility);
+    std::printf("  high accuracy   paper: %-44s ours: %s\n",
+                r.paper_accuracy, r.ours_accuracy);
+  }
+
+  bench::section("verdict");
+  std::printf(
+      "Every row reproduces: the two faithful packet analyses, both\n"
+      "flow-level approximations, and both graph-level analyses land at\n"
+      "the paper's privacy tier.  The one expressibility gap (connections\n"
+      "within a flow) closes with the grouping extension the paper\n"
+      "itself proposes.\n");
+  return 0;
+}

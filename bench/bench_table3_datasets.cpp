@@ -1,0 +1,50 @@
+// Table 3: the datasets — record type and count.  Prints the paper's
+// inventory next to the synthetic stand-ins at their default bench
+// configurations (and the streamed configuration that reaches the
+// IspTraffic scale).
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "tracegen/ip_scatter.hpp"
+#include "tracegen/isp_traffic.hpp"
+
+int main() {
+  using namespace dpnet;
+  bench::header("The datasets", "paper Table 3");
+
+  std::printf("%-12s %-28s %14s %20s\n", "dataset", "record", "paper count",
+              "our default count");
+
+  {
+    tracegen::HotspotGenerator gen(bench::packet_bench_config());
+    const auto trace = gen.generate();
+    std::printf("%-12s %-28s %14s %20zu\n", "Hotspot", "<timestamp, packet>",
+                "7.0M", trace.size());
+  }
+  {
+    tracegen::IspConfig cfg;
+    tracegen::IspTrafficGenerator gen(cfg);
+    const auto records = gen.generate();
+    std::printf("%-12s %-28s %14s %20zu\n", "IspTraffic",
+                "<timestamp, link, packet>", "15.7B", records.size());
+    std::printf("%-12s %-28s %14s %20s\n", "", "  (streamed configuration)",
+                "", "1.16e9 (bench_streaming_scale)");
+  }
+  {
+    tracegen::ScatterConfig cfg;
+    cfg.ips = 150000;
+    tracegen::IpScatterGenerator gen(cfg);
+    const auto records = gen.generate();
+    std::printf("%-12s %-28s %14s %20zu\n", "IPscatter",
+                "<monitor, IPaddr, ttl>", "3.8M", records.size());
+  }
+
+  bench::section("substitution note");
+  std::printf(
+      "All three are synthetic stand-ins with constructed ground truth\n"
+      "(docs/datasets.md).  DP noise is absolute, so whenever our counts\n"
+      "are below the paper's, the reported relative errors are\n"
+      "conservative; the Fig 5 and streaming Fig 4 benches run at the\n"
+      "paper's scale outright.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Shared plumbing for the reproduction benches: standard dataset
+// configurations, protected-view construction, and uniform output
+// formatting so every bench prints paper-vs-measured the same way.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "tracegen/hotspot.hpp"
+#include "tracegen/ip_scatter.hpp"
+#include "tracegen/isp_traffic.hpp"
+
+namespace dpnet::bench {
+
+/// The three privacy levels the paper evaluates everywhere.
+inline constexpr double kEpsLevels[] = {0.1, 1.0, 10.0};
+inline const char* kEpsNames[] = {"strong(0.1)", "medium(1.0)", "weak(10)"};
+
+/// Hotspot configuration for the packet/flow benches: web-traffic heavy,
+/// dense retransmissions, minimal stepping-stone traffic.
+inline tracegen::HotspotConfig packet_bench_config() {
+  tracegen::HotspotConfig cfg;
+  cfg.seed = 2010;
+  cfg.sessions_per_port_mean = 10;
+  cfg.responses_per_session_mean = 12;
+  cfg.lossy_session_prob = 0.5;
+  cfg.loss_min = 0.02;
+  cfg.loss_max = 0.15;
+  cfg.worm_count_max = 4000;
+  cfg.worm_count_min = 160;
+  cfg.worm_count_skew = 0.35;  // most worms rare: steep recall-vs-eps curve
+  cfg.stone_pairs = 2;
+  cfg.noise_interactive_flows = 4;
+  cfg.activations_min = 300;
+  cfg.activations_max = 400;
+  return cfg;
+}
+
+/// Hotspot configuration for the Table 5 bench: the paper's stepping-stone
+/// parameters (Tidle = 0.5 s, delta = 40 ms, flows with [1200, 1400]
+/// activations).
+inline tracegen::HotspotConfig stone_bench_config() {
+  tracegen::HotspotConfig cfg;
+  cfg.seed = 2011;
+  cfg.num_hosts = 80;
+  cfg.num_servers = 40;
+  cfg.content_servers = 8;
+  cfg.sessions_per_port_mean = 2;
+  cfg.responses_per_session_mean = 6;
+  cfg.worm_count_max = 600;
+  cfg.worm_count_min = 60;
+  cfg.num_worms = 8;
+  cfg.worm_dispersion_min = 12;
+  cfg.worm_dispersion_max = 40;
+  cfg.background_dispersed_payloads = 40;
+  cfg.stone_pairs = 20;
+  cfg.noise_interactive_flows = 60;
+  cfg.activations_min = 1200;
+  cfg.activations_max = 1400;
+  return cfg;
+}
+
+/// A protected view over records with a generous budget (the benches study
+/// accuracy at fixed epsilon-per-query, not budget exhaustion).
+template <typename T>
+core::Queryable<T> protect(const std::vector<T>& records,
+                           std::uint64_t seed, double budget = 1e9) {
+  return core::Queryable<T>(records,
+                            std::make_shared<core::RootBudget>(budget),
+                            std::make_shared<core::NoiseSource>(seed));
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void kv(const std::string& key, const std::string& value) {
+  std::printf("%-44s %s\n", (key + ":").c_str(), value.c_str());
+}
+
+inline void kv(const std::string& key, double value) {
+  std::printf("%-44s %.6g\n", (key + ":").c_str(), value);
+}
+
+/// Paper-vs-measured footer line.
+inline void paper_vs_measured(const std::string& what,
+                              const std::string& paper,
+                              const std::string& measured) {
+  std::printf("%-36s paper: %-22s measured: %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+/// Prints aligned TSV series (x plus one column per named series),
+/// sampling every `stride`-th point to keep output readable.
+inline void print_series(std::span<const double> xs,
+                         const std::vector<std::string>& names,
+                         const std::vector<std::vector<double>>& columns,
+                         std::size_t stride = 1) {
+  std::printf("%12s", "x");
+  for (const auto& n : names) std::printf("\t%14s", n.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < xs.size(); i += stride) {
+    std::printf("%12.4g", xs[i]);
+    for (const auto& col : columns) std::printf("\t%14.6g", col[i]);
+    std::printf("\n");
+  }
+}
+
+inline std::vector<double> to_doubles(std::span<const std::int64_t> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+}  // namespace dpnet::bench

@@ -1,0 +1,74 @@
+// Anonymization vs differential privacy (paper §1 and §6).
+//
+// Runs the same two analyses against (a) a prefix-preservingly anonymized,
+// payload-stripped release — today's sharing practice — and (b) the
+// protected raw trace through the DP engine.  The sanitized release
+// answers topology-style questions exactly but cannot answer the payload
+// question at all, and its structure famously invites re-identification;
+// the DP route answers both, with noise, under a provable guarantee.
+//
+//   $ ./anonymization_gap
+#include <cstdio>
+
+#include "analysis/worm.hpp"
+#include "core/queryable.hpp"
+#include "net/anonymize.hpp"
+#include "tracegen/hotspot.hpp"
+
+using namespace dpnet;
+using net::Packet;
+
+int main() {
+  tracegen::HotspotConfig cfg = tracegen::HotspotConfig::small();
+  tracegen::HotspotGenerator generator(cfg);
+  const auto trace = generator.generate();
+
+  // --- route 1: sanitized release --------------------------------------
+  const auto released = net::anonymize_trace(trace);
+  std::printf("released trace: %zu packets, payloads stripped\n",
+              released.size());
+
+  std::size_t with_payload = 0;
+  for (const Packet& p : released) {
+    if (!p.payload.empty()) ++with_payload;
+  }
+  std::printf("payload-dependent analyses possible on release: %s\n",
+              with_payload == 0 ? "none (payloads removed)" : "some");
+
+  // Structure is intact — which is both the utility and the weakness:
+  std::printf("subnet structure preserved: 10.0.0.1 and 10.0.0.2 share a "
+              "%d-bit prefix after anonymization\n",
+              net::common_prefix_len(
+                  net::anonymize_ip(net::Ipv4(10, 0, 0, 1), 0x5bd1e995u),
+                  net::anonymize_ip(net::Ipv4(10, 0, 0, 2), 0x5bd1e995u)));
+
+  // --- route 2: mediated differentially-private analysis ---------------
+  core::Queryable<Packet> packets(
+      trace, std::make_shared<core::RootBudget>(20.0),
+      std::make_shared<core::NoiseSource>(17));
+
+  analysis::WormOptions opt;
+  opt.payload_len = 8;
+  opt.src_threshold = cfg.worm_dispersion_min - 1;
+  opt.dst_threshold = cfg.worm_dispersion_min - 1;
+  opt.eps_group_count = 1.0;
+  opt.eps_per_string_level = 1.0;
+  opt.string_threshold = 25.0;
+  opt.eps_dispersion = 1.0;
+  const auto result = analysis::dp_worm_fingerprint(packets, opt);
+  std::size_t flagged = 0;
+  for (const auto& c : result.candidates) {
+    if (c.flagged) ++flagged;
+  }
+  std::printf(
+      "\nDP route (needs raw payloads the release destroyed):\n"
+      "  suspicious payload groups (noisy): %.1f\n"
+      "  worm-like payloads spelled out and flagged: %zu\n",
+      result.noisy_group_count, flagged);
+
+  std::printf(
+      "\ntakeaway: the sanitized release trades away payload analyses\n"
+      "up front and still leaks structure; the DP route keeps the analyses\n"
+      "and bounds the leak by the budget.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Stepping-stone hunting (§5.2.2): find pairs of interactive flows whose
+// idle-to-active transitions are correlated, without ever seeing the
+// packets.  Also runs the faithful non-private detector for comparison.
+//
+//   $ ./stepping_stone_hunt
+#include <cstdio>
+#include <unordered_map>
+
+#include "analysis/stepping_stones.hpp"
+#include "core/queryable.hpp"
+#include "net/tcp.hpp"
+#include "tracegen/hotspot.hpp"
+
+using namespace dpnet;
+using net::FlowKey;
+
+int main() {
+  tracegen::HotspotConfig cfg = tracegen::HotspotConfig::small();
+  cfg.stone_pairs = 4;
+  cfg.noise_interactive_flows = 10;
+  tracegen::HotspotGenerator generator(cfg);
+  const auto trace = generator.generate();
+  std::printf("trace: %zu packets, %d implanted stone pairs\n", trace.size(),
+              cfg.stone_pairs);
+
+  // Analysis scope: interactive flows with enough activations (determined
+  // on the trusted side, as the paper did).
+  std::unordered_map<FlowKey, std::size_t> counts;
+  for (const auto& a : net::extract_activations(trace, cfg.t_idle)) {
+    ++counts[a.flow];
+  }
+  std::vector<FlowKey> candidates;
+  for (const auto& [flow, n] : counts) {
+    if (n >= static_cast<std::size_t>(cfg.activations_min) / 2) {
+      candidates.push_back(flow);
+    }
+  }
+  std::printf("candidate interactive flows: %zu\n", candidates.size());
+
+  core::Queryable<net::Packet> packets(
+      trace, std::make_shared<core::RootBudget>(100.0),
+      std::make_shared<core::NoiseSource>(13));
+
+  analysis::SteppingStoneOptions opt;
+  opt.t_idle = cfg.t_idle;
+  opt.delta = cfg.delta;
+  opt.eps_itemset = 2.0;
+  opt.eps_eval = 2.0;
+  opt.itemset_threshold = 15.0;
+  opt.top_k = 8;
+
+  std::printf("\nprivate detector (top pairs by noisy correlation):\n");
+  for (const auto& s : analysis::dp_stepping_stones(packets, candidates,
+                                                    opt)) {
+    std::printf("  %-34s <-> %-34s corr %.2f\n", s.a.to_string().c_str(),
+                s.b.to_string().c_str(), s.noisy_correlation);
+  }
+
+  std::printf("\nfaithful non-private detector (top 8):\n");
+  const auto exact =
+      analysis::exact_stepping_stones(trace, candidates, cfg.t_idle,
+                                      cfg.delta);
+  for (std::size_t i = 0; i < exact.size() && i < 8; ++i) {
+    std::printf("  %-34s <-> %-34s corr %.2f\n",
+                exact[i].a.to_string().c_str(),
+                exact[i].b.to_string().c_str(), exact[i].correlation);
+  }
+  return 0;
+}

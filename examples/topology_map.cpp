@@ -1,0 +1,53 @@
+// Passive topology mapping (§5.3.2): cluster IP addresses by their
+// hop-count vectors to a set of monitors using differentially-private
+// k-means, and compare against the non-private run from the same random
+// initialization.
+//
+//   $ ./topology_map
+#include <cstdio>
+
+#include "analysis/topology.hpp"
+#include "core/queryable.hpp"
+#include "tracegen/ip_scatter.hpp"
+
+using namespace dpnet;
+
+int main() {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator generator(cfg);
+  const auto records = generator.generate();
+  std::printf("IPscatter: %zu records, %d monitors, %d true clusters\n",
+              records.size(), cfg.monitors, cfg.clusters);
+
+  auto budget = std::make_shared<core::RootBudget>(12.0);
+  core::Queryable<net::ScatterRecord> protected_records(
+      records, budget, std::make_shared<core::NoiseSource>(5));
+
+  analysis::TopologyOptions opt;
+  opt.monitors = cfg.monitors;
+  opt.clusters = cfg.clusters;
+  opt.iterations = 8;
+  opt.eps_per_iteration = 1.0;
+  opt.eps_averages = 1.0;
+
+  // Trusted-side vectors are used only to chart the objective.
+  const auto points = analysis::exact_hop_vectors(records, cfg.monitors);
+  const auto dp = analysis::dp_topology_clustering(protected_records, opt,
+                                                   points);
+  const auto exact = analysis::exact_topology_clustering(points, opt);
+
+  std::printf("\niteration  private-objective  noise-free-objective\n");
+  for (std::size_t i = 0; i < dp.objective_trace.size(); ++i) {
+    std::printf("%9zu  %17.3f  %20.3f\n", i + 1, dp.objective_trace[i],
+                exact.objective_trace[i]);
+  }
+  std::printf("\nprivacy spent: %.2f (averages 1.0 + 8 iterations x 1.0)\n",
+              budget->spent());
+
+  std::printf("\nfirst private cluster center (hops to each monitor):\n ");
+  for (std::size_t m = 0; m < dp.centers.cols(); ++m) {
+    std::printf(" %.1f", dp.centers(0, m));
+  }
+  std::printf("\n");
+  return 0;
+}

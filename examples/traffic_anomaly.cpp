@@ -1,0 +1,52 @@
+// ISP-wide traffic anomaly detection (§5.3.1): measure the link x time
+// load matrix privately (one epsilon total, thanks to nested Partitions),
+// then run the Lakhina et al. PCA subspace method on the released matrix.
+//
+//   $ ./traffic_anomaly
+#include <cstdio>
+
+#include "analysis/anomaly.hpp"
+#include "core/queryable.hpp"
+#include "tracegen/isp_traffic.hpp"
+
+using namespace dpnet;
+
+int main() {
+  tracegen::IspConfig cfg = tracegen::IspConfig::small();
+  tracegen::IspTrafficGenerator generator(cfg);
+  const auto records = generator.generate();
+  std::printf("IspTraffic: %d links x %d windows, %zu packet records\n",
+              cfg.links, cfg.windows, records.size());
+
+  auto budget = std::make_shared<core::RootBudget>(1.0);
+  core::Queryable<net::LinkPacket> protected_records(
+      records, budget, std::make_shared<core::NoiseSource>(3));
+
+  analysis::AnomalyOptions opt;
+  opt.links = cfg.links;
+  opt.windows = cfg.windows;
+  opt.eps = 0.1;  // the whole matrix costs just this
+
+  const auto matrix = analysis::dp_link_time_matrix(protected_records, opt);
+  std::printf("matrix measured; privacy spent: %.2f of 1.0\n",
+              budget->spent());
+
+  // The released matrix is post-privacy data: the PCA below is ordinary
+  // computation, free of charge.
+  const auto norms = analysis::anomaly_norms(matrix, opt);
+  double mean = 0.0;
+  for (double n : norms) mean += n;
+  mean /= static_cast<double>(norms.size());
+
+  std::printf("\nwindows whose residual norm exceeds 3x the mean:\n");
+  for (std::size_t w = 0; w < norms.size(); ++w) {
+    if (norms[w] > 3.0 * mean) {
+      std::printf("  window %3zu: norm %.0f (%.1fx mean)\n", w, norms[w],
+                  norms[w] / mean);
+    }
+  }
+  std::printf("\nimplanted anomalies were at windows:");
+  for (const auto& a : cfg.anomalies) std::printf(" %d", a.window);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "analysis/flow_stats.hpp"
+
+#include <algorithm>
+
+#include <cmath>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/tcp.hpp"
+
+namespace dpnet::analysis {
+
+using core::Group;
+using net::FlowKey;
+using net::Packet;
+
+namespace {
+
+bool is_tcp_data(const Packet& p) {
+  return p.protocol == net::kProtoTcp && !p.flags.syn && p.length > 40;
+}
+
+std::int64_t loss_permille_of(const std::vector<Packet>& packets) {
+  std::unordered_set<std::uint32_t> distinct;
+  for (const Packet& p : packets) distinct.insert(p.seq);
+  const double rate = 1.0 - static_cast<double>(distinct.size()) /
+                                static_cast<double>(packets.size());
+  return static_cast<std::int64_t>(std::llround(rate * 1000.0));
+}
+
+}  // namespace
+
+core::Queryable<std::int64_t> handshake_rtts_ms(
+    const core::Queryable<Packet>& packets) {
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint16_t,
+                         std::uint16_t, std::uint32_t>;
+  auto syns = packets.where([](const Packet& p) {
+    return p.protocol == net::kProtoTcp && p.flags.syn && !p.flags.ack;
+  });
+  auto synacks = packets.where([](const Packet& p) {
+    return p.protocol == net::kProtoTcp && p.flags.syn && p.flags.ack;
+  });
+  return syns.join(
+      synacks,
+      [](const Packet& x) {
+        return Key{x.src_ip.value, x.dst_ip.value, x.src_port, x.dst_port,
+                   x.seq + 1};
+      },
+      [](const Packet& y) {
+        // The SYN-ACK flows in the reverse direction and acknowledges
+        // the SYN's sequence number plus one.
+        return Key{y.dst_ip.value, y.src_ip.value, y.dst_port, y.src_port,
+                   y.ack_no};
+      },
+      [](const Packet& x, const Packet& y) {
+        return static_cast<std::int64_t>(
+            std::llround((y.timestamp - x.timestamp) * 1000.0));
+      });
+}
+
+core::Queryable<std::int64_t> flow_loss_permille(
+    const core::Queryable<Packet>& packets, std::size_t min_packets) {
+  return packets.where(is_tcp_data)
+      .group_by([](const Packet& p) { return net::flow_of(p); })
+      .where([min_packets](const Group<FlowKey, Packet>& grp) {
+        return grp.items.size() > min_packets;
+      })
+      .select([](const Group<FlowKey, Packet>& grp) {
+        return loss_permille_of(grp.items);
+      });
+}
+
+core::Queryable<std::int64_t> flow_out_of_order_permille(
+    const core::Queryable<Packet>& packets, std::size_t min_packets) {
+  return packets.where(is_tcp_data)
+      .group_by([](const Packet& p) { return net::flow_of(p); })
+      .where([min_packets](const Group<FlowKey, Packet>& grp) {
+        return grp.items.size() > min_packets;
+      })
+      .select([](const Group<FlowKey, Packet>& grp) {
+        const std::size_t ooo = net::out_of_order_count(grp.items);
+        return static_cast<std::int64_t>(
+            std::llround(1000.0 * static_cast<double>(ooo) /
+                         static_cast<double>(grp.items.size())));
+      });
+}
+
+core::Queryable<std::int64_t> packets_per_connection_column(
+    const core::Queryable<Packet>& packets) {
+  return packets
+      .where([](const Packet& p) { return p.protocol == net::kProtoTcp; })
+      .group_by_spans(
+          [](const Packet& p) { return net::flow_of(p).canonical(); },
+          [](const Packet& p) { return p.flags.syn && !p.flags.ack; })
+      .select([](const Group<FlowKey, Packet>& conn) {
+        return static_cast<std::int64_t>(conn.items.size());
+      });
+}
+
+core::Queryable<std::int64_t> flow_capacity_kbps(
+    const core::Queryable<Packet>& packets, std::size_t min_packets) {
+  return packets.where(is_tcp_data)
+      .group_by([](const Packet& p) { return net::flow_of(p); })
+      .where([min_packets](const Group<FlowKey, Packet>& grp) {
+        return grp.items.size() > min_packets;
+      })
+      .select([](const Group<FlowKey, Packet>& grp) {
+        // Rates of consecutive in-order (ascending-seq) packet pairs;
+        // the median resists cross-traffic gaps.
+        std::vector<double> rates;
+        for (std::size_t i = 1; i < grp.items.size(); ++i) {
+          const Packet& prev = grp.items[i - 1];
+          const Packet& cur = grp.items[i];
+          const double dt = cur.timestamp - prev.timestamp;
+          if (cur.seq <= prev.seq || dt <= 1e-6) continue;
+          rates.push_back(8.0 * static_cast<double>(cur.length) /
+                          (dt * 1000.0));  // kbit/s
+        }
+        if (rates.empty()) return std::int64_t{0};
+        std::nth_element(rates.begin(),
+                         rates.begin() +
+                             static_cast<std::ptrdiff_t>(rates.size() / 2),
+                         rates.end());
+        return static_cast<std::int64_t>(
+            std::llround(rates[rates.size() / 2]));
+      });
+}
+
+core::Queryable<std::int64_t> retransmit_diffs_ms(
+    const core::Queryable<Packet>& packets, std::size_t max_per_flow) {
+  return packets.where(is_tcp_data)
+      .group_by([](const Packet& p) { return net::flow_of(p); })
+      .select_many(
+          [](const Group<FlowKey, Packet>& grp) {
+            // Group items preserve trace (time) order, so "most recent
+            // packet with this seq" is well-defined.
+            std::unordered_map<std::uint32_t, double> last_seen;
+            std::vector<std::int64_t> diffs;
+            for (const Packet& p : grp.items) {
+              auto it = last_seen.find(p.seq);
+              if (it != last_seen.end()) {
+                diffs.push_back(static_cast<std::int64_t>(
+                    std::llround((p.timestamp - it->second) * 1000.0)));
+              }
+              last_seen[p.seq] = p.timestamp;
+            }
+            return diffs;
+          },
+          max_per_flow);
+}
+
+toolkit::CdfEstimate dp_rtt_cdf(const core::Queryable<Packet>& packets,
+                                double eps, std::int64_t bucket_ms) {
+  const auto boundaries = toolkit::make_boundaries(0, 600, bucket_ms);
+  return toolkit::cdf_partition(handshake_rtts_ms(packets), boundaries, eps);
+}
+
+toolkit::CdfEstimate dp_loss_cdf(const core::Queryable<Packet>& packets,
+                                 double eps, std::int64_t bucket) {
+  const auto boundaries = toolkit::make_boundaries(0, 1000, bucket);
+  return toolkit::cdf_partition(flow_loss_permille(packets), boundaries, eps);
+}
+
+std::vector<std::int64_t> exact_rtts_ms(std::span<const Packet> trace) {
+  std::vector<std::int64_t> out;
+  for (const net::RttSample& s : net::handshake_rtts(trace)) {
+    out.push_back(static_cast<std::int64_t>(std::llround(s.rtt_s * 1000.0)));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> exact_loss_permille(std::span<const Packet> trace,
+                                              std::size_t min_packets) {
+  std::unordered_map<FlowKey, std::vector<Packet>> flows;
+  for (const Packet& p : trace) {
+    if (is_tcp_data(p)) flows[net::flow_of(p)].push_back(p);
+  }
+  std::vector<std::int64_t> out;
+  for (const auto& [key, packets] : flows) {
+    if (packets.size() > min_packets) {
+      out.push_back(loss_permille_of(packets));
+    }
+  }
+  return out;
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,62 @@
+#include "analysis/packet_dist.hpp"
+
+namespace dpnet::analysis {
+
+using net::Packet;
+
+core::Queryable<std::int64_t> packet_lengths(
+    const core::Queryable<Packet>& packets) {
+  return packets.select(
+      [](const Packet& p) { return static_cast<std::int64_t>(p.length); });
+}
+
+core::Queryable<std::int64_t> dst_ports(
+    const core::Queryable<Packet>& packets) {
+  return packets.select(
+      [](const Packet& p) { return static_cast<std::int64_t>(p.dst_port); });
+}
+
+toolkit::CdfEstimate dp_packet_length_cdf(
+    const core::Queryable<Packet>& packets, double eps,
+    std::int64_t bucket_width) {
+  const auto boundaries = toolkit::make_boundaries(0, 1500, bucket_width);
+  return toolkit::cdf_partition(packet_lengths(packets), boundaries, eps);
+}
+
+toolkit::CdfEstimate dp_port_cdf(const core::Queryable<Packet>& packets,
+                                 double eps, std::int64_t bucket_width) {
+  const auto boundaries = toolkit::make_boundaries(0, 65535, bucket_width);
+  return toolkit::cdf_partition(dst_ports(packets), boundaries, eps);
+}
+
+namespace {
+
+std::vector<std::int64_t> lengths_of(std::span<const Packet> packets) {
+  std::vector<std::int64_t> out;
+  out.reserve(packets.size());
+  for (const Packet& p : packets) out.push_back(p.length);
+  return out;
+}
+
+std::vector<std::int64_t> ports_of(std::span<const Packet> packets) {
+  std::vector<std::int64_t> out;
+  out.reserve(packets.size());
+  for (const Packet& p : packets) out.push_back(p.dst_port);
+  return out;
+}
+
+}  // namespace
+
+toolkit::CdfEstimate exact_packet_length_cdf(std::span<const Packet> packets,
+                                             std::int64_t bucket_width) {
+  const auto boundaries = toolkit::make_boundaries(0, 1500, bucket_width);
+  return toolkit::exact_cdf(lengths_of(packets), boundaries);
+}
+
+toolkit::CdfEstimate exact_port_cdf(std::span<const Packet> packets,
+                                    std::int64_t bucket_width) {
+  const auto boundaries = toolkit::make_boundaries(0, 65535, bucket_width);
+  return toolkit::exact_cdf(ports_of(packets), boundaries);
+}
+
+}  // namespace dpnet::analysis

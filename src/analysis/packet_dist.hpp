@@ -1,0 +1,40 @@
+// §5.1.1: packet-size and port distributions — CDFs of arbitrary per-packet
+// statistics under differential privacy (Fig 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "net/packet.hpp"
+#include "toolkit/cdf.hpp"
+
+namespace dpnet::analysis {
+
+/// Packet lengths as a protected value column.
+core::Queryable<std::int64_t> packet_lengths(
+    const core::Queryable<net::Packet>& packets);
+
+/// Destination ports as a protected value column.
+core::Queryable<std::int64_t> dst_ports(
+    const core::Queryable<net::Packet>& packets);
+
+/// Private CDF of packet lengths over [0, 1500] with the given bucket
+/// width, using the Partition-based estimator (the paper's choice).
+/// Total privacy cost: eps.
+toolkit::CdfEstimate dp_packet_length_cdf(
+    const core::Queryable<net::Packet>& packets, double eps,
+    std::int64_t bucket_width = 25);
+
+/// Private CDF of destination ports over [0, 65535].
+toolkit::CdfEstimate dp_port_cdf(const core::Queryable<net::Packet>& packets,
+                                 double eps, std::int64_t bucket_width = 1024);
+
+/// Noise-free references.
+toolkit::CdfEstimate exact_packet_length_cdf(
+    std::span<const net::Packet> packets, std::int64_t bucket_width = 25);
+toolkit::CdfEstimate exact_port_cdf(std::span<const net::Packet> packets,
+                                    std::int64_t bucket_width = 1024);
+
+}  // namespace dpnet::analysis

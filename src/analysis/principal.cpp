@@ -1,0 +1,60 @@
+#include "analysis/principal.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpnet::analysis {
+
+using net::Ipv4;
+using net::Packet;
+
+std::vector<HostRecord> aggregate_by_host(std::span<const Packet> trace) {
+  std::unordered_map<Ipv4, std::size_t> index;
+  std::vector<HostRecord> hosts;
+  for (const Packet& p : trace) {
+    auto [it, inserted] = index.emplace(p.src_ip, hosts.size());
+    if (inserted) hosts.push_back(HostRecord{p.src_ip, {}});
+    hosts[it->second].packets.push_back(p);
+  }
+  return hosts;
+}
+
+core::Queryable<std::int64_t> host_packet_lengths(
+    const core::Queryable<HostRecord>& hosts, std::size_t per_host_cap) {
+  return hosts.select_many(
+      [per_host_cap](const HostRecord& h) {
+        // Stride evenly through the host's packets so the contributed
+        // sample spans its whole activity rather than a prefix.
+        std::vector<std::int64_t> lengths;
+        if (h.packets.empty()) return lengths;
+        const std::size_t stride =
+            std::max<std::size_t>(1, h.packets.size() / per_host_cap);
+        for (std::size_t i = 0;
+             i < h.packets.size() && lengths.size() < per_host_cap;
+             i += stride) {
+          lengths.push_back(h.packets[i].length);
+        }
+        return lengths;
+      },
+      per_host_cap);
+}
+
+core::Queryable<std::int64_t> host_total_bytes(
+    const core::Queryable<HostRecord>& hosts) {
+  return hosts.select([](const HostRecord& h) {
+    std::int64_t bytes = 0;
+    for (const Packet& p : h.packets) bytes += p.length;
+    return bytes;
+  });
+}
+
+core::Queryable<std::int64_t> host_fanout(
+    const core::Queryable<HostRecord>& hosts) {
+  return hosts.select([](const HostRecord& h) {
+    std::unordered_set<Ipv4> dsts;
+    for (const Packet& p : h.packets) dsts.insert(p.dst_ip);
+    return static_cast<std::int64_t>(dsts.size());
+  });
+}
+
+}  // namespace dpnet::analysis

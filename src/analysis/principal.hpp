@@ -1,0 +1,54 @@
+// Coarser-grained privacy principals (paper §3 and §7 open issues).
+//
+// Differential privacy protects the *records* of the dataset.  When the
+// records are packets, hosts spread across many packets get no direct
+// guarantee.  The paper's remedy: the data owner aggregates finer-grained
+// records that share a principal into one logical record *before*
+// protection, trading analysis fidelity for a principal-level guarantee.
+//
+// This module implements that pre-aggregation for hosts, plus bounded
+// "re-flattening" helpers: a host-level queryable can still expose
+// per-packet statistics by letting each host contribute at most k sampled
+// packets (sensitivity k), which is the fidelity/protection dial the paper
+// describes ("analysis fidelity will decrease as fewer records are able to
+// contribute to the output statistics").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "net/packet.hpp"
+
+namespace dpnet::analysis {
+
+/// One logical record per host: every packet the host originated.
+struct HostRecord {
+  net::Ipv4 host;
+  std::vector<net::Packet> packets;
+};
+
+/// Trusted-side pre-aggregation: groups a trace into one HostRecord per
+/// source IP (first-occurrence order).  Wrapping the result in a Queryable
+/// yields host-level differential privacy.
+std::vector<HostRecord> aggregate_by_host(std::span<const net::Packet> trace);
+
+/// Packet lengths at host granularity: each host contributes the lengths
+/// of at most `per_host_cap` of its packets (evenly strided through the
+/// host's traffic), bounding the sensitivity of downstream statistics to
+/// the cap.
+core::Queryable<std::int64_t> host_packet_lengths(
+    const core::Queryable<HostRecord>& hosts, std::size_t per_host_cap);
+
+/// Per-host total bytes sent — one value per principal, the natural
+/// host-level statistic (no fan-out, stability 1).
+core::Queryable<std::int64_t> host_total_bytes(
+    const core::Queryable<HostRecord>& hosts);
+
+/// Per-host count of distinct destination hosts contacted (a fan-out /
+/// scanning indicator).
+core::Queryable<std::int64_t> host_fanout(
+    const core::Queryable<HostRecord>& hosts);
+
+}  // namespace dpnet::analysis

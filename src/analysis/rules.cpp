@@ -1,0 +1,153 @@
+#include "analysis/rules.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "toolkit/itemsets.hpp"
+
+namespace dpnet::analysis {
+
+namespace {
+
+std::vector<CommunicationRule> rules_from_supports(
+    const std::map<std::pair<int, int>, double>& pair_supports,
+    const std::map<int, double>& single_supports, double min_support,
+    double min_confidence) {
+  std::vector<CommunicationRule> rules;
+  for (const auto& [pair, support] : pair_supports) {
+    if (support < min_support) continue;
+    for (const auto& [lhs, rhs] :
+         {pair, std::pair{pair.second, pair.first}}) {
+      const auto it = single_supports.find(lhs);
+      if (it == single_supports.end() || it->second <= 0.0) continue;
+      CommunicationRule rule;
+      rule.lhs = lhs;
+      rule.rhs = rhs;
+      rule.support = support;
+      rule.confidence = std::min(1.0, support / it->second);
+      if (rule.confidence >= min_confidence) rules.push_back(rule);
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const CommunicationRule& a, const CommunicationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              return a.support > b.support;
+            });
+  return rules;
+}
+
+bool window_contains(const std::vector<int>& window, int item) {
+  return std::binary_search(window.begin(), window.end(), item);
+}
+
+}  // namespace
+
+std::vector<CommunicationRule> dp_mine_rules(
+    const core::Queryable<std::vector<int>>& windows,
+    const std::vector<int>& universe, const RuleMiningOptions& options) {
+  // Stage 1 — cheap candidate mining.  Partitioned apriori counts are
+  // heavily diluted on dense windows (each window backs one candidate),
+  // so the mining threshold is only a candidate filter, not the final
+  // support test.
+  toolkit::ItemsetOptions iopt;
+  iopt.max_size = 2;
+  iopt.eps_per_level = options.eps_per_level;
+  iopt.threshold = options.mining_support;
+  iopt.max_candidates = options.max_candidates;
+  const auto itemsets = toolkit::frequent_itemsets(windows, universe, iopt);
+
+  std::vector<std::pair<int, int>> candidate_pairs;
+  std::set<int> items;
+  for (const auto& s : itemsets) {
+    if (s.items.size() == 2 &&
+        candidate_pairs.size() < options.max_scored_pairs) {
+      candidate_pairs.emplace_back(s.items[0], s.items[1]);
+      items.insert(s.items[0]);
+      items.insert(s.items[1]);
+    }
+  }
+  if (candidate_pairs.empty()) return {};
+
+  // Stage 2 — precise measurement of the shortlisted candidates: true
+  // (unsplit) supports for each pair and each antecedent, one epsilon
+  // level for each of the two passes.
+  std::map<std::pair<int, int>, double> pair_supports;
+  const double eps_pair =
+      options.eps_per_level / static_cast<double>(candidate_pairs.size());
+  for (const auto& [a, b] : candidate_pairs) {
+    pair_supports[{a, b}] =
+        windows
+            .where([a, b](const std::vector<int>& w) {
+              return window_contains(w, a) && window_contains(w, b);
+            })
+            .noisy_count(eps_pair);
+  }
+  std::map<int, double> single_supports;
+  const double eps_single =
+      options.eps_per_level / static_cast<double>(items.size());
+  for (int item : items) {
+    single_supports[item] =
+        windows
+            .where([item](const std::vector<int>& w) {
+              return window_contains(w, item);
+            })
+            .noisy_count(eps_single);
+  }
+
+  return rules_from_supports(pair_supports, single_supports,
+                             options.min_support, options.min_confidence);
+}
+
+std::vector<CommunicationRule> exact_mine_rules(
+    const std::vector<std::vector<int>>& windows,
+    const std::vector<int>& universe, double min_support,
+    double min_confidence) {
+  std::map<int, double> single_supports;
+  std::map<std::pair<int, int>, double> pair_supports;
+  std::set<int> in_universe(universe.begin(), universe.end());
+  for (const auto& w : windows) {
+    std::vector<int> present;
+    for (int item : w) {
+      if (in_universe.count(item)) present.push_back(item);
+    }
+    for (std::size_t i = 0; i < present.size(); ++i) {
+      single_supports[present[i]] += 1.0;
+      for (std::size_t j = i + 1; j < present.size(); ++j) {
+        pair_supports[{present[i], present[j]}] += 1.0;
+      }
+    }
+  }
+  return rules_from_supports(pair_supports, single_supports, min_support,
+                             min_confidence);
+}
+
+std::vector<std::vector<int>> build_activity_windows(
+    std::span<const std::vector<double>> channel_event_times, double width,
+    double t_end) {
+  if (width <= 0.0 || t_end <= 0.0) {
+    throw std::invalid_argument("activity windows need positive extent");
+  }
+  const auto num_windows =
+      static_cast<std::size_t>(std::ceil(t_end / width));
+  std::vector<std::set<int>> windows(num_windows);
+  for (std::size_t channel = 0; channel < channel_event_times.size();
+       ++channel) {
+    for (double t : channel_event_times[channel]) {
+      if (t < 0.0 || t >= t_end) continue;
+      windows[static_cast<std::size_t>(t / width)].insert(
+          static_cast<int>(channel));
+    }
+  }
+  std::vector<std::vector<int>> out;
+  out.reserve(num_windows);
+  for (const auto& w : windows) {
+    out.emplace_back(w.begin(), w.end());
+  }
+  return out;
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,73 @@
+#include "analysis/scan_detection.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "toolkit/cdf.hpp"
+
+namespace dpnet::analysis {
+
+using core::Group;
+using net::Ipv4;
+using net::Packet;
+
+namespace {
+
+std::size_t distinct_dsts(const Group<Ipv4, Packet>& grp) {
+  std::unordered_set<Ipv4> dsts;
+  for (const Packet& p : grp.items) dsts.insert(p.dst_ip);
+  return dsts.size();
+}
+
+}  // namespace
+
+ScanDetectionResult dp_scan_detection(
+    const core::Queryable<Packet>& packets,
+    const ScanDetectionOptions& options) {
+  auto to_port = packets.where([port = options.target_port](const Packet& p) {
+    return p.dst_port == port;
+  });
+  auto by_host = to_port.group_by([](const Packet& p) { return p.src_ip; });
+
+  ScanDetectionResult result;
+  result.noisy_scanner_count =
+      by_host
+          .where([threshold = options.fanout_threshold](
+                     const Group<Ipv4, Packet>& grp) {
+            return distinct_dsts(grp) >
+                   static_cast<std::size_t>(threshold);
+          })
+          .noisy_count(options.eps_count);
+
+  const auto bounds = toolkit::make_boundaries(
+      0, options.histogram_max, options.histogram_bucket);
+  auto fanouts = by_host.select([](const Group<Ipv4, Packet>& grp) {
+    return static_cast<std::int64_t>(distinct_dsts(grp));
+  });
+  const auto cdf = toolkit::cdf_partition(fanouts, bounds,
+                                          options.eps_histogram);
+  result.fanout_boundaries = cdf.boundaries;
+  result.fanout_cdf = cdf.values;
+  return result;
+}
+
+std::vector<std::pair<Ipv4, std::size_t>> exact_scanners(
+    std::span<const Packet> trace, std::uint16_t target_port,
+    int fanout_threshold) {
+  std::unordered_map<Ipv4, std::unordered_set<Ipv4>> fanout;
+  for (const Packet& p : trace) {
+    if (p.dst_port == target_port) fanout[p.src_ip].insert(p.dst_ip);
+  }
+  std::vector<std::pair<Ipv4, std::size_t>> out;
+  for (const auto& [host, dsts] : fanout) {
+    if (dsts.size() > static_cast<std::size_t>(fanout_threshold)) {
+      out.emplace_back(host, dsts.size());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,48 @@
+// Scanning / botnet-style detection under differential privacy.
+//
+// The paper's related work (§6) cites Reed et al.'s proposal to detect
+// botnets with a PINQ-like language and notes "our experience suggests
+// that it can be effective".  This module is that experience made
+// concrete: detect hosts whose traffic fans out to unusually many
+// distinct destinations on a target port (worm propagation, horizontal
+// scans), releasing only noisy aggregates.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "net/packet.hpp"
+
+namespace dpnet::analysis {
+
+struct ScanDetectionOptions {
+  std::uint16_t target_port = 445;  // the scanned service
+  int fanout_threshold = 20;        // distinct destinations to call a scan
+  double eps_count = 0.1;           // the scanner-population count
+  double eps_histogram = 0.1;       // the fan-out histogram
+  std::int64_t histogram_max = 512; // fan-out histogram domain
+  std::int64_t histogram_bucket = 8;
+};
+
+struct ScanDetectionResult {
+  /// Noisy number of hosts exceeding the fan-out threshold on the port.
+  double noisy_scanner_count = 0.0;
+  /// Noisy CDF of per-host fan-out (counts of hosts with fan-out <= x).
+  std::vector<std::int64_t> fanout_boundaries;
+  std::vector<double> fanout_cdf;
+};
+
+/// The private pipeline: group traffic to the target port by source host,
+/// measure the scanner population and the fan-out distribution.
+ScanDetectionResult dp_scan_detection(
+    const core::Queryable<net::Packet>& packets,
+    const ScanDetectionOptions& options);
+
+/// Noise-free reference: hosts whose distinct-destination fan-out on the
+/// port exceeds the threshold, sorted by fan-out descending.
+std::vector<std::pair<net::Ipv4, std::size_t>> exact_scanners(
+    std::span<const net::Packet> trace, std::uint16_t target_port,
+    int fanout_threshold);
+
+}  // namespace dpnet::analysis

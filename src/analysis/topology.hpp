@@ -1,0 +1,63 @@
+// §5.3.2: passive network discovery (Eriksson et al.) under differential
+// privacy.  IP addresses are clustered by their hop-count vectors to a set
+// of monitors; the private pipeline uses noisy per-monitor averages to
+// fill missing readings and differentially-private k-means for the
+// clustering itself (Fig 5).  Gaussian EM — the original algorithm — is
+// available as the non-private baseline (linalg/gmm.hpp); its higher
+// privacy cost is the paper's complexity-vs-privacy trade-off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "linalg/kmeans.hpp"
+#include "linalg/matrix.hpp"
+#include "net/records.hpp"
+
+namespace dpnet::analysis {
+
+struct TopologyOptions {
+  int monitors = 0;       // public metadata
+  int clusters = 9;
+  int iterations = 10;
+  double eps_per_iteration = 0.1;  // one epsilon multiple per iteration
+  double eps_averages = 0.1;       // per-monitor mean fill-in values
+  double hop_magnitude = 64.0;     // clamp bound for sums/averages
+  std::uint64_t init_seed = 99;    // the common random initialization
+};
+
+struct TopologyResult {
+  linalg::Matrix centers;  // clusters x monitors
+  /// Clustering objective after each iteration, evaluated on the
+  /// noise-free vectors (the paper's Fig 5 y-axis).
+  std::vector<double> objective_trace;
+  std::vector<double> monitor_averages;  // the released fill-in values
+};
+
+/// Noisy per-monitor hop-count averages (used in lieu of absent readings).
+/// Costs eps_averages in total via Partition.
+std::vector<double> dp_monitor_averages(
+    const core::Queryable<net::ScatterRecord>& records,
+    const TopologyOptions& options);
+
+/// The full private pipeline: averages -> per-IP hop vectors (behind the
+/// curtain) -> iterated private k-means.  Each iteration partitions the
+/// vectors by nearest center and releases per-cluster noisy sums/counts,
+/// costing eps_per_iteration; `eval_points` (trusted side) is only used to
+/// chart the objective.
+TopologyResult dp_topology_clustering(
+    const core::Queryable<net::ScatterRecord>& records,
+    const TopologyOptions& options, const linalg::Matrix& eval_points);
+
+/// Noise-free per-IP hop vectors with exact-average fill-in (trusted side;
+/// also the eval_points for the function above).
+linalg::Matrix exact_hop_vectors(std::span<const net::ScatterRecord> records,
+                                 int monitors);
+
+/// Noise-free k-means reference from the same initialization.
+linalg::KmeansResult exact_topology_clustering(const linalg::Matrix& points,
+                                               const TopologyOptions& options);
+
+}  // namespace dpnet::analysis

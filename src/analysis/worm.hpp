@@ -1,0 +1,53 @@
+// §5.1.2: automated worm fingerprinting (Singh et al.) under differential
+// privacy — frequently occurring payloads originated by and destined to
+// many distinct addresses.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/queryable.hpp"
+#include "net/packet.hpp"
+
+namespace dpnet::analysis {
+
+struct WormOptions {
+  std::size_t payload_len = 8;       // signature length in bytes
+  int src_threshold = 50;            // dispersion thresholds
+  int dst_threshold = 50;
+  double eps_group_count = 0.1;      // the "2739 +/- 10 groups" aggregate
+  double eps_per_string_level = 0.1; // frequent-string search, per byte
+  double string_threshold = 50.0;    // candidate payload frequency cutoff
+  double eps_dispersion = 0.1;       // per distinct-src / distinct-dst count
+};
+
+struct WormCandidate {
+  std::string payload;
+  double noisy_count = 0.0;          // occurrences (from the string search)
+  double noisy_distinct_srcs = 0.0;
+  double noisy_distinct_dsts = 0.0;
+  bool flagged = false;              // passes both dispersion thresholds
+};
+
+struct WormResult {
+  /// Noisy count of payload groups exceeding the dispersion thresholds
+  /// (the groups remain behind the privacy curtain; only the count leaves).
+  double noisy_group_count = 0.0;
+  /// Candidate payloads spelled out via frequent-string search, each with
+  /// noisy dispersion measurements.
+  std::vector<WormCandidate> candidates;
+};
+
+/// The full private pipeline: group -> dispersion filter -> count, then
+/// frequent-string search + per-candidate dispersion measurement.
+WormResult dp_worm_fingerprint(const core::Queryable<net::Packet>& packets,
+                               const WormOptions& options);
+
+/// Noise-free reference: payloads whose groups exceed both dispersion
+/// thresholds, sorted by occurrence count descending (trusted side only).
+std::vector<std::string> exact_worm_payloads(
+    std::span<const net::Packet> packets, std::size_t payload_len,
+    int src_threshold, int dst_threshold);
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,81 @@
+// Audit trail for privacy charges.
+//
+// Data owners operating a mediated-analysis service need an account of
+// *what* consumed the budget, not just how much is left (paper §7's
+// policy discussion).  AuditingBudget decorates any PrivacyBudget and
+// records every successful charge with a label; ScopedAuditLabel tags the
+// charges made while it is alive.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/budget.hpp"
+
+namespace dpnet::core {
+
+class AuditingBudget final : public PrivacyBudget {
+ public:
+  struct Entry {
+    double eps = 0.0;
+    std::string label;
+  };
+
+  explicit AuditingBudget(std::shared_ptr<PrivacyBudget> inner)
+      : inner_(std::move(inner)) {
+    if (!inner_) throw InvalidQueryError("auditing budget requires an inner");
+  }
+
+  [[nodiscard]] bool can_charge(double eps) const override {
+    return inner_->can_charge(eps);
+  }
+
+  void charge(double eps) override {
+    inner_->charge(eps);  // throws on refusal; refusals are not logged
+    entries_.push_back(Entry{eps, label_});
+  }
+
+  [[nodiscard]] double spent() const override { return inner_->spent(); }
+
+  /// Sets the label applied to subsequent charges (prefer the RAII
+  /// ScopedAuditLabel below).
+  void set_label(std::string label) { label_ = std::move(label); }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Total charged per label.
+  [[nodiscard]] std::map<std::string, double> totals_by_label() const {
+    std::map<std::string, double> totals;
+    for (const Entry& e : entries_) totals[e.label] += e.eps;
+    return totals;
+  }
+
+ private:
+  std::shared_ptr<PrivacyBudget> inner_;
+  std::string label_;
+  std::vector<Entry> entries_;
+};
+
+/// Tags every charge made during its lifetime; restores the previous
+/// label on destruction (labels nest).
+class ScopedAuditLabel {
+ public:
+  ScopedAuditLabel(AuditingBudget& budget, std::string label)
+      : budget_(budget), previous_(budget.label()) {
+    budget_.set_label(std::move(label));
+  }
+  ~ScopedAuditLabel() { budget_.set_label(previous_); }
+
+  ScopedAuditLabel(const ScopedAuditLabel&) = delete;
+  ScopedAuditLabel& operator=(const ScopedAuditLabel&) = delete;
+
+ private:
+  AuditingBudget& budget_;
+  std::string previous_;
+};
+
+}  // namespace dpnet::core

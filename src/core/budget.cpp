@@ -1,0 +1,140 @@
+#include "core/budget.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace dpnet::core {
+
+namespace {
+
+void require_nonnegative(double eps) {
+  if (eps < 0.0) {
+    throw InvalidEpsilonError("privacy charge must be non-negative");
+  }
+}
+
+[[noreturn]] void throw_exhausted(double requested, double remaining) {
+  std::ostringstream os;
+  os << "privacy budget exhausted: requested " << requested << ", remaining "
+     << remaining;
+  throw BudgetExhaustedError(os.str());
+}
+
+}  // namespace
+
+RootBudget::RootBudget(double total) : total_(total) {
+  if (total < 0.0) {
+    throw InvalidEpsilonError("budget total must be non-negative");
+  }
+}
+
+bool RootBudget::can_charge(double eps) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return eps >= 0.0 && spent_ + eps <= total_ + kSlack;
+}
+
+void RootBudget::charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!(spent_ + eps <= total_ + kSlack)) {
+    throw_exhausted(eps, total_ - spent_);
+  }
+  spent_ += eps;
+}
+
+double RootBudget::spent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
+}
+
+PartitionGroup::PartitionGroup(std::shared_ptr<PrivacyBudget> parent)
+    : parent_(std::move(parent)) {
+  if (!parent_) throw InvalidQueryError("partition requires a parent budget");
+}
+
+bool PartitionGroup::can_raise_to(double child_total) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double delta = child_total - max_child_;
+  return delta <= 0.0 || parent_->can_charge(delta);
+}
+
+void PartitionGroup::raise_to(double child_total) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double delta = child_total - max_child_;
+  if (delta > 0.0) {
+    parent_->charge(delta);
+    max_child_ = child_total;
+  }
+}
+
+double PartitionGroup::max_child() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_child_;
+}
+
+PartitionBudget::PartitionBudget(std::shared_ptr<PartitionGroup> group)
+    : group_(std::move(group)) {
+  if (!group_) throw InvalidQueryError("partition budget requires a group");
+}
+
+bool PartitionBudget::can_charge(double eps) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return eps >= 0.0 && group_->can_raise_to(spent_ + eps);
+}
+
+void PartitionBudget::charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  group_->raise_to(spent_ + eps);
+  spent_ += eps;
+}
+
+double PartitionBudget::spent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
+}
+
+CappedBudget::CappedBudget(double cap, std::shared_ptr<PrivacyBudget> parent)
+    : cap_(cap), parent_(std::move(parent)) {
+  if (cap < 0.0) throw InvalidEpsilonError("budget cap must be non-negative");
+  if (!parent_) throw InvalidQueryError("capped budget requires a parent");
+}
+
+bool CappedBudget::can_charge(double eps) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return eps >= 0.0 && spent_ + eps <= cap_ + kSlack &&
+         parent_->can_charge(eps);
+}
+
+void CappedBudget::charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spent_ + eps > cap_ + kSlack) throw_exhausted(eps, cap_ - spent_);
+  parent_->charge(eps);
+  spent_ += eps;
+}
+
+double CappedBudget::spent() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spent_;
+}
+
+BudgetLedger::BudgetLedger(double dataset_total)
+    : root_(std::make_shared<RootBudget>(dataset_total)) {}
+
+std::shared_ptr<PrivacyBudget> BudgetLedger::analyst(const std::string& name,
+                                                     double cap) {
+  auto it = analysts_.find(name);
+  if (it != analysts_.end()) {
+    if (it->second->cap() != cap) {
+      throw InvalidQueryError("analyst '" + name +
+                              "' already registered with a different cap");
+    }
+    return it->second;
+  }
+  auto budget = std::make_shared<CappedBudget>(cap, root_);
+  analysts_.emplace(name, budget);
+  return budget;
+}
+
+}  // namespace dpnet::core

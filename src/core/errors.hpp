@@ -1,0 +1,37 @@
+// Error types for the dpnet differential-privacy engine.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpnet::core {
+
+/// Base class for all errors raised by the privacy engine.
+class DpError : public std::runtime_error {
+ public:
+  explicit DpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an aggregation would exceed the remaining privacy budget.
+///
+/// PINQ semantics: the query is refused; the analyst may retry with a
+/// smaller epsilon or against a different (partitioned) budget.
+class BudgetExhaustedError : public DpError {
+ public:
+  explicit BudgetExhaustedError(const std::string& what) : DpError(what) {}
+};
+
+/// Raised when an aggregation is invoked with a non-positive epsilon.
+class InvalidEpsilonError : public DpError {
+ public:
+  explicit InvalidEpsilonError(const std::string& what) : DpError(what) {}
+};
+
+/// Raised for structurally invalid queries (e.g. a Partition with
+/// duplicate keys).
+class InvalidQueryError : public DpError {
+ public:
+  explicit InvalidQueryError(const std::string& what) : DpError(what) {}
+};
+
+}  // namespace dpnet::core

@@ -1,0 +1,20 @@
+// Group record produced by Queryable::group_by.
+#pragma once
+
+#include <vector>
+
+namespace dpnet::core {
+
+/// One group of a GroupBy: the key plus every record that mapped to it,
+/// in first-occurrence order.  A Group is a single logical record of the
+/// grouped queryable — transformations may look inside it arbitrarily
+/// (the "privacy curtain" is only lifted at aggregation time).
+template <typename K, typename V>
+struct Group {
+  K key{};
+  std::vector<V> items;
+
+  [[nodiscard]] std::size_t size() const { return items.size(); }
+};
+
+}  // namespace dpnet::core

@@ -1,0 +1,56 @@
+// Hash utilities for composite query keys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <utility>
+
+namespace dpnet::core {
+
+/// Boost-style hash combiner.
+inline void hash_combine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash of any tuple/pair of hashable elements.
+template <typename... Ts>
+std::size_t hash_tuple(const std::tuple<Ts...>& t) {
+  std::size_t seed = 0;
+  std::apply(
+      [&seed](const Ts&... elems) {
+        (hash_combine(seed, std::hash<Ts>{}(elems)), ...);
+      },
+      t);
+  return seed;
+}
+
+template <typename A, typename B>
+std::size_t hash_pair(const std::pair<A, B>& p) {
+  std::size_t seed = std::hash<A>{}(p.first);
+  hash_combine(seed, std::hash<B>{}(p.second));
+  return seed;
+}
+
+}  // namespace dpnet::core
+
+// Transparent std::hash specializations so pairs/tuples can key GroupBy
+// and Partition without boilerplate at call sites.
+namespace std {
+
+template <typename A, typename B>
+struct hash<std::pair<A, B>> {
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return dpnet::core::hash_pair(p);
+  }
+};
+
+template <typename... Ts>
+struct hash<std::tuple<Ts...>> {
+  std::size_t operator()(const std::tuple<Ts...>& t) const {
+    return dpnet::core::hash_tuple(t);
+  }
+};
+
+}  // namespace std

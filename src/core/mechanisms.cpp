@@ -1,0 +1,91 @@
+#include "core/mechanisms.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/errors.hpp"
+
+namespace dpnet::core {
+
+namespace {
+
+void require_positive_eps(double epsilon) {
+  if (!(epsilon > 0.0)) {
+    throw InvalidEpsilonError("mechanism epsilon must be > 0");
+  }
+}
+
+}  // namespace
+
+double laplace_mechanism(double true_value, double sensitivity,
+                         double epsilon, NoiseSource& noise) {
+  require_positive_eps(epsilon);
+  if (sensitivity < 0.0) {
+    throw std::invalid_argument("sensitivity must be non-negative");
+  }
+  if (sensitivity == 0.0) return true_value;
+  return true_value + noise.laplace(sensitivity / epsilon);
+}
+
+std::int64_t geometric_mechanism(std::int64_t true_value, double sensitivity,
+                                 double epsilon, NoiseSource& noise) {
+  require_positive_eps(epsilon);
+  if (sensitivity <= 0.0) {
+    throw std::invalid_argument("sensitivity must be positive");
+  }
+  return true_value + noise.two_sided_geometric(epsilon / sensitivity);
+}
+
+std::size_t exponential_mechanism(std::span<const double> scores,
+                                  double epsilon, double score_sensitivity,
+                                  NoiseSource& noise) {
+  require_positive_eps(epsilon);
+  if (scores.empty()) {
+    throw std::invalid_argument("exponential mechanism requires candidates");
+  }
+  if (score_sensitivity <= 0.0) {
+    throw std::invalid_argument("score sensitivity must be positive");
+  }
+  const double scale = epsilon / (2.0 * score_sensitivity);
+  std::size_t best = 0;
+  double best_key = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double key = scale * scores[i] + noise.gumbel();
+    if (key > best_key) {
+      best_key = key;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double exponential_quantile(std::vector<double> values, double q,
+                            double epsilon, NoiseSource& noise) {
+  require_positive_eps(epsilon);
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile q must be in [0, 1]");
+  }
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  const double target = q * (n - 1.0);
+  std::vector<double> scores(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Rank distance to the target rank; adding/removing one record shifts
+    // every rank by at most one, so the utility sensitivity is 1.
+    scores[i] = -std::abs(static_cast<double>(i) - target);
+  }
+  const std::size_t pick =
+      exponential_mechanism(scores, epsilon, /*score_sensitivity=*/1.0, noise);
+  return values[pick];
+}
+
+double exponential_median(std::vector<double> values, double epsilon,
+                          NoiseSource& noise) {
+  return exponential_quantile(std::move(values), 0.5, epsilon, noise);
+}
+
+double clamp_unit(double x) { return std::clamp(x, -1.0, 1.0); }
+
+}  // namespace dpnet::core

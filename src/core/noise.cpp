@@ -1,0 +1,77 @@
+#include "core/noise.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dpnet::core {
+
+NoiseSource::NoiseSource(std::uint64_t seed) : rng_(seed) {}
+
+std::uint64_t NoiseSource::raw() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rng_();
+}
+
+double NoiseSource::uniform() {
+  // Draw in [0, 1) with 53 bits of precision.
+  return (raw() >> 11) * 0x1.0p-53;
+}
+
+double NoiseSource::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+double NoiseSource::laplace(double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("laplace scale must be > 0");
+  // Inverse-CDF sampling: u uniform in (-1/2, 1/2].
+  double u = uniform() - 0.5;
+  // Guard the log argument away from zero.
+  double mag = 1.0 - 2.0 * std::abs(u);
+  if (mag <= 0.0) mag = std::numeric_limits<double>::min();
+  double draw = -scale * std::log(mag);
+  return u < 0.0 ? -draw : draw;
+}
+
+std::int64_t NoiseSource::two_sided_geometric(double epsilon) {
+  if (epsilon <= 0.0) {
+    throw std::invalid_argument("geometric epsilon must be > 0");
+  }
+  const double alpha = std::exp(-epsilon);
+  // P(0) = (1 - alpha) / (1 + alpha); otherwise sign is +/- with equal
+  // probability and |k| >= 1 is geometric with ratio alpha.
+  const double p_zero = (1.0 - alpha) / (1.0 + alpha);
+  double u = uniform();
+  if (u < p_zero) return 0;
+  // Remaining mass split evenly between the two signs.
+  u = (u - p_zero) / (1.0 - p_zero);
+  const bool negative = u < 0.5;
+  double v = uniform();
+  if (v <= 0.0) v = std::numeric_limits<double>::min();
+  // Magnitude >= 1 with P(|k| = m) proportional to alpha^m.
+  auto magnitude =
+      static_cast<std::int64_t>(1.0 + std::floor(std::log(v) / std::log(alpha)));
+  if (magnitude < 1) magnitude = 1;
+  return negative ? -magnitude : magnitude;
+}
+
+double NoiseSource::gumbel() {
+  double u = uniform();
+  if (u <= 0.0) u = std::numeric_limits<double>::min();
+  return -std::log(-std::log(u));
+}
+
+double NoiseSource::gaussian(double mean, double stddev) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(rng_);
+}
+
+std::uint64_t NoiseSource::next_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("next_index requires n > 0");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uniform_int_distribution<std::uint64_t> dist(0, n - 1);
+  return dist(rng_);
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,58 @@
+// Randomness source for all differentially-private mechanisms.
+//
+// Every bit of randomness used by the engine flows through a NoiseSource so
+// that experiments are reproducible under a fixed seed.  (The privacy
+// guarantee itself of course requires a cryptographically unpredictable
+// seed in production; seeding is the data owner's deployment concern.)
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace dpnet::core {
+
+/// Thread-safe: draws serialize on an internal mutex, so one NoiseSource
+/// may back queryables used from several analyst threads.
+class NoiseSource {
+ public:
+  /// Constructs a deterministic noise source from `seed`.
+  explicit NoiseSource(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform draw in [0, 1).
+  double uniform();
+
+  /// Uniform draw in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Zero-mean Laplace draw with scale parameter `scale` (b).
+  /// Standard deviation is sqrt(2) * scale.
+  double laplace(double scale);
+
+  /// Two-sided geometric ("discrete Laplace") draw with
+  /// P(k) proportional to exp(-epsilon * |k|).  The integer analogue of
+  /// Laplace noise; used by the geometric mechanism for counts.
+  std::int64_t two_sided_geometric(double epsilon);
+
+  /// Standard Gumbel draw; used for Gumbel-max sampling in the
+  /// exponential mechanism.
+  double gumbel();
+
+  /// Standard normal draw (used by trace generators, not by mechanisms).
+  double gaussian(double mean, double stddev);
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t next_index(std::uint64_t n);
+
+  /// Access to the underlying engine for composing with <random>.
+  /// NOT thread-safe; callers who use the raw engine own the locking.
+  std::mt19937_64& engine() { return rng_; }
+
+ private:
+  std::uint64_t raw();  // locked draw from the engine
+
+  std::mutex mutex_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace dpnet::core

@@ -1,0 +1,572 @@
+// Queryable<T>: the declarative, privacy-accounted query surface.
+//
+// This is a from-scratch C++ analogue of PINQ's PINQueryable.  A Queryable
+// wraps a protected record collection behind a "privacy curtain": the
+// analyst composes transformations (Where/Select/GroupBy/Join/...) freely,
+// but can only observe the data through noisy aggregations whose privacy
+// cost is charged to an attached budget.
+//
+// Stability accounting (paper Table 1):
+//   Where/Select/Distinct ................ stability x1
+//   SelectMany(max_fanout=k) ............. stability xk
+//   GroupBy .............................. stability x2
+//   Join/Concat/Intersect ................ per-input stability preserved;
+//                                          both inputs are charged
+//   Partition ............................ parts share the source's cost
+//                                          as a maximum, not a sum
+//
+// Transformations are lazy: nothing is materialized until an aggregation
+// or Partition forces it, and materializations are memoized so a shared
+// sub-query is evaluated once.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/errors.hpp"
+#include "core/group.hpp"
+#include "core/hash.hpp"
+#include "core/mechanisms.hpp"
+#include "core/noise.hpp"
+
+namespace dpnet::core {
+
+namespace detail {
+
+/// Lazily-computed, memoized record buffer shared between queryables.
+/// Materialization is thread-safe (std::call_once), so analyst threads
+/// may share derived queryables.
+template <typename T>
+class DataNode {
+ public:
+  explicit DataNode(std::vector<T> data) : cache_(std::move(data)) {
+    std::call_once(materialized_, [] {});
+  }
+  explicit DataNode(std::function<std::vector<T>()> compute)
+      : compute_(std::move(compute)) {}
+
+  const std::vector<T>& get() {
+    std::call_once(materialized_, [this] {
+      cache_ = compute_();
+      compute_ = nullptr;  // release captured parents once materialized
+    });
+    return cache_;
+  }
+
+ private:
+  std::once_flag materialized_;
+  std::function<std::vector<T>()> compute_;
+  std::vector<T> cache_;
+};
+
+/// One (budget, stability) pair.  An aggregation at accuracy eps charges
+/// stability * eps to the budget.
+struct ChargeEntry {
+  std::shared_ptr<PrivacyBudget> budget;
+  double stability = 1.0;
+};
+
+using ChargeList = std::vector<ChargeEntry>;
+
+inline ChargeList scale_charges(ChargeList charges, double factor) {
+  for (auto& c : charges) c.stability *= factor;
+  return charges;
+}
+
+/// Merges two charge lists, summing stabilities of entries that share a
+/// budget object (two views of the same source compose additively).
+inline ChargeList merge_charges(const ChargeList& a, const ChargeList& b) {
+  ChargeList out = a;
+  for (const auto& entry : b) {
+    auto it = std::find_if(out.begin(), out.end(), [&](const ChargeEntry& e) {
+      return e.budget == entry.budget;
+    });
+    if (it != out.end()) {
+      it->stability += entry.stability;
+    } else {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+inline void check_epsilon(double eps) {
+  if (!(eps > 0.0) || !std::isfinite(eps)) {
+    throw InvalidEpsilonError("aggregation epsilon must be positive finite");
+  }
+}
+
+/// Two-phase charge: verify every entry can pay, then commit.  (Two
+/// entries never alias the same budget because merge_charges sums them.)
+inline void charge_all(const ChargeList& charges, double eps) {
+  for (const auto& c : charges) {
+    if (!c.budget->can_charge(c.stability * eps)) {
+      throw BudgetExhaustedError(
+          "privacy budget exhausted for aggregation at epsilon " +
+          std::to_string(eps));
+    }
+  }
+  for (const auto& c : charges) c.budget->charge(c.stability * eps);
+}
+
+}  // namespace detail
+
+template <typename T>
+class Queryable {
+ public:
+  using value_type = T;
+
+  /// Wraps `data` as a protected dataset governed by `budget`.
+  Queryable(std::vector<T> data, std::shared_ptr<PrivacyBudget> budget,
+            std::shared_ptr<NoiseSource> noise)
+      : node_(std::make_shared<detail::DataNode<T>>(std::move(data))),
+        charges_{{std::move(budget), 1.0}},
+        noise_(std::move(noise)) {
+    if (!charges_.front().budget) {
+      throw InvalidQueryError("queryable requires a budget");
+    }
+    if (!noise_) throw InvalidQueryError("queryable requires a noise source");
+  }
+
+  // ---------------------------------------------------------------------
+  // Transformations
+  // ---------------------------------------------------------------------
+
+  /// Keeps records satisfying `pred`.  No stability change.
+  template <typename Pred>
+  [[nodiscard]] Queryable<T> where(Pred pred) const {
+    auto parent = node_;
+    return derived<T>(
+        [parent, pred]() {
+          std::vector<T> out;
+          for (const auto& x : parent->get()) {
+            if (pred(x)) out.push_back(x);
+          }
+          return out;
+        },
+        charges_);
+  }
+
+  /// Maps each record through `f`.  No stability change.
+  template <typename F>
+  [[nodiscard]] auto select(F f) const
+      -> Queryable<std::decay_t<std::invoke_result_t<F, const T&>>> {
+    using U = std::decay_t<std::invoke_result_t<F, const T&>>;
+    auto parent = node_;
+    return derived<U>(
+        [parent, f]() {
+          std::vector<U> out;
+          out.reserve(parent->get().size());
+          for (const auto& x : parent->get()) out.push_back(f(x));
+          return out;
+        },
+        charges_);
+  }
+
+  /// Maps each record to up to `max_fanout` records (outputs beyond the
+  /// bound are truncated).  Stability multiplies by `max_fanout`: each
+  /// input record can influence that many outputs.
+  template <typename F>
+  [[nodiscard]] auto select_many(F f, std::size_t max_fanout) const {
+    using Container = std::decay_t<std::invoke_result_t<F, const T&>>;
+    using U = std::decay_t<typename Container::value_type>;
+    if (max_fanout == 0) {
+      throw InvalidQueryError("select_many requires max_fanout >= 1");
+    }
+    auto parent = node_;
+    return derived<U>(
+        [parent, f, max_fanout]() {
+          std::vector<U> out;
+          for (const auto& x : parent->get()) {
+            Container produced = f(x);
+            std::size_t taken = 0;
+            for (auto& item : produced) {
+              if (taken++ == max_fanout) break;
+              out.push_back(std::move(item));
+            }
+          }
+          return out;
+        },
+        detail::scale_charges(charges_, static_cast<double>(max_fanout)));
+  }
+
+  /// Removes duplicate records (first occurrence kept).  Requires
+  /// std::hash<T> and operator==.  No stability change.
+  [[nodiscard]] Queryable<T> distinct() const {
+    auto parent = node_;
+    return derived<T>(
+        [parent]() {
+          std::vector<T> out;
+          std::unordered_set<T> seen;
+          for (const auto& x : parent->get()) {
+            if (seen.insert(x).second) out.push_back(x);
+          }
+          return out;
+        },
+        charges_);
+  }
+
+  /// Groups records by `key(record)`.  Each group becomes one logical
+  /// record; stability doubles (one record's arrival can remove a group
+  /// and add a different one).
+  template <typename KeyF>
+  [[nodiscard]] auto group_by(KeyF key) const {
+    using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
+    auto parent = node_;
+    return derived<Group<K, T>>(
+        [parent, key]() {
+          std::vector<Group<K, T>> out;
+          std::unordered_map<K, std::size_t> index;
+          for (const auto& x : parent->get()) {
+            K k = key(x);
+            auto [it, inserted] = index.emplace(k, out.size());
+            if (inserted) out.push_back(Group<K, T>{std::move(k), {}});
+            out[it->second].items.push_back(x);
+          }
+          return out;
+        },
+        detail::scale_charges(charges_, 2.0));
+  }
+
+  /// The "more flexible grouping transformation" the paper proposes as a
+  /// PINQ extension (§5.2.1): groups records by `key` preserving order,
+  /// and *within* each key starts a new group whenever
+  /// `starts_new_span(record)` holds (the first record of a key always
+  /// starts one).  This is exactly what splitting a 5-tuple flow into TCP
+  /// connections at each SYN needs.  Stability triples: one record's
+  /// arrival can join a group, or split one group into two (one group
+  /// removed, two added).
+  template <typename KeyF, typename BoundaryF>
+  [[nodiscard]] auto group_by_spans(KeyF key, BoundaryF starts_new_span)
+      const {
+    using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
+    auto parent = node_;
+    return derived<Group<K, T>>(
+        [parent, key, starts_new_span]() {
+          std::vector<Group<K, T>> out;
+          // Current open group per key (index into out).
+          std::unordered_map<K, std::size_t> open;
+          for (const auto& x : parent->get()) {
+            K k = key(x);
+            auto it = open.find(k);
+            if (it == open.end() || starts_new_span(x)) {
+              const std::size_t index = out.size();
+              out.push_back(Group<K, T>{k, {}});
+              if (it == open.end()) {
+                open.emplace(std::move(k), index);
+              } else {
+                it->second = index;
+              }
+              out.back().items.push_back(x);
+            } else {
+              out[it->second].items.push_back(x);
+            }
+          }
+          return out;
+        },
+        detail::scale_charges(charges_, 3.0));
+  }
+
+  /// PINQ's bounded-sensitivity Join: both inputs are grouped by their join
+  /// key and matching groups are zipped element-wise, so one input record
+  /// influences at most one output record.  Both inputs' budgets are
+  /// charged by subsequent aggregations.
+  template <typename U, typename KF1, typename KF2, typename RF>
+  [[nodiscard]] auto join(const Queryable<U>& other, KF1 outer_key,
+                          KF2 inner_key, RF result) const {
+    using K = std::decay_t<std::invoke_result_t<KF1, const T&>>;
+    using K2 = std::decay_t<std::invoke_result_t<KF2, const U&>>;
+    static_assert(std::is_same_v<K, K2>,
+                  "join key selectors must produce the same key type");
+    using R = std::decay_t<std::invoke_result_t<RF, const T&, const U&>>;
+    auto left = node_;
+    auto right = other.node_;
+    return derived<R>(
+        [left, right, outer_key, inner_key, result]() {
+          std::unordered_map<K, std::vector<const U*>> by_key;
+          for (const auto& y : right->get()) {
+            by_key[inner_key(y)].push_back(&y);
+          }
+          std::unordered_map<K, std::size_t> used;
+          std::vector<R> out;
+          for (const auto& x : left->get()) {
+            K k = outer_key(x);
+            auto it = by_key.find(k);
+            if (it == by_key.end()) continue;
+            std::size_t& u = used[k];
+            if (u >= it->second.size()) continue;  // group exhausted
+            out.push_back(result(x, *it->second[u]));
+            ++u;
+          }
+          return out;
+        },
+        detail::merge_charges(charges_, other.charges_));
+  }
+
+  /// Appends `other`.  Each input's stability is preserved; a record
+  /// reaching the output through both inputs pays for both paths.
+  [[nodiscard]] Queryable<T> concat(const Queryable<T>& other) const {
+    auto left = node_;
+    auto right = other.node_;
+    return derived<T>(
+        [left, right]() {
+          std::vector<T> out = left->get();
+          const auto& r = right->get();
+          out.insert(out.end(), r.begin(), r.end());
+          return out;
+        },
+        detail::merge_charges(charges_, other.charges_));
+  }
+
+  /// Set union of the distinct records of both inputs (left-then-right
+  /// first-occurrence order).  Like Concat, each input's stability is
+  /// preserved and both are charged.
+  [[nodiscard]] Queryable<T> set_union(const Queryable<T>& other) const {
+    auto left = node_;
+    auto right = other.node_;
+    return derived<T>(
+        [left, right]() {
+          std::unordered_set<T> emitted;
+          std::vector<T> out;
+          for (const auto& x : left->get()) {
+            if (emitted.insert(x).second) out.push_back(x);
+          }
+          for (const auto& x : right->get()) {
+            if (emitted.insert(x).second) out.push_back(x);
+          }
+          return out;
+        },
+        detail::merge_charges(charges_, other.charges_));
+  }
+
+  /// Set difference: distinct records of this input absent from `other`.
+  [[nodiscard]] Queryable<T> except(const Queryable<T>& other) const {
+    auto left = node_;
+    auto right = other.node_;
+    return derived<T>(
+        [left, right]() {
+          std::unordered_set<T> removed(right->get().begin(),
+                                        right->get().end());
+          std::unordered_set<T> emitted;
+          std::vector<T> out;
+          for (const auto& x : left->get()) {
+            if (!removed.count(x) && emitted.insert(x).second) {
+              out.push_back(x);
+            }
+          }
+          return out;
+        },
+        detail::merge_charges(charges_, other.charges_));
+  }
+
+  /// Set intersection of the distinct records of both inputs.
+  [[nodiscard]] Queryable<T> intersect(const Queryable<T>& other) const {
+    auto left = node_;
+    auto right = other.node_;
+    return derived<T>(
+        [left, right]() {
+          std::unordered_set<T> in_right(right->get().begin(),
+                                         right->get().end());
+          std::unordered_set<T> emitted;
+          std::vector<T> out;
+          for (const auto& x : left->get()) {
+            if (in_right.count(x) && emitted.insert(x).second) {
+              out.push_back(x);
+            }
+          }
+          return out;
+        },
+        detail::merge_charges(charges_, other.charges_));
+  }
+
+  /// Splits the dataset into one protected part per key in `keys`.
+  /// Records whose key is not listed are dropped (PINQ semantics).  The
+  /// cumulative privacy cost to this queryable is the *maximum* over the
+  /// parts, not the sum — the paper's central cost-saving device.
+  template <typename K, typename KeyF>
+  [[nodiscard]] std::unordered_map<K, Queryable<T>> partition(
+      const std::vector<K>& keys, KeyF key) const {
+    std::unordered_set<K> key_set(keys.begin(), keys.end());
+    if (key_set.size() != keys.size()) {
+      throw InvalidQueryError("partition keys must be distinct");
+    }
+    // One PartitionGroup per upstream budget preserves max-cost semantics
+    // against every accountant this queryable answers to.
+    std::vector<std::shared_ptr<PartitionGroup>> groups;
+    groups.reserve(charges_.size());
+    for (const auto& c : charges_) {
+      groups.push_back(std::make_shared<PartitionGroup>(c.budget));
+    }
+    std::unordered_map<K, std::vector<T>> buckets;
+    for (const auto& k : keys) buckets.emplace(k, std::vector<T>{});
+    for (const auto& x : node_->get()) {
+      auto it = buckets.find(key(x));
+      if (it != buckets.end()) it->second.push_back(x);
+    }
+    std::unordered_map<K, Queryable<T>> parts;
+    for (auto& [k, records] : buckets) {
+      detail::ChargeList part_charges;
+      part_charges.reserve(charges_.size());
+      for (std::size_t i = 0; i < charges_.size(); ++i) {
+        part_charges.push_back(
+            {std::make_shared<PartitionBudget>(groups[i]),
+             charges_[i].stability});
+      }
+      parts.emplace(k, Queryable<T>(std::make_shared<detail::DataNode<T>>(
+                                        std::move(records)),
+                                    std::move(part_charges), noise_));
+    }
+    return parts;
+  }
+
+  // ---------------------------------------------------------------------
+  // Aggregations (the only way information crosses the privacy curtain)
+  // ---------------------------------------------------------------------
+
+  /// Noisy record count: true count + Laplace(stability / eps).
+  double noisy_count(double eps) const {
+    detail::check_epsilon(eps);
+    const auto n = static_cast<double>(node_->get().size());
+    detail::charge_all(charges_, eps);
+    return n + noise_->laplace(total_stability() / eps);
+  }
+
+  /// Integer-valued noisy count using the geometric mechanism.
+  std::int64_t noisy_count_geometric(double eps) const {
+    detail::check_epsilon(eps);
+    const auto n = static_cast<std::int64_t>(node_->get().size());
+    detail::charge_all(charges_, eps);
+    return geometric_mechanism(n, total_stability(), eps, *noise_);
+  }
+
+  /// Noisy sum of `f(record)` with each term clamped to [-1, 1].
+  template <typename F>
+  double noisy_sum(double eps, F f) const {
+    detail::check_epsilon(eps);
+    double sum = 0.0;
+    for (const auto& x : node_->get()) sum += clamp_unit(f(x));
+    detail::charge_all(charges_, eps);
+    return sum + noise_->laplace(total_stability() / eps);
+  }
+
+  /// Noisy sum of `f(record)` with each term clamped to [-magnitude,
+  /// magnitude]; noise scales proportionally.  Convenience wrapper for
+  /// bounded non-unit ranges (packet sizes, hop counts, ...).
+  template <typename F>
+  double noisy_sum_scaled(double eps, F f, double magnitude) const {
+    if (!(magnitude > 0.0)) {
+      throw InvalidQueryError("noisy_sum_scaled requires magnitude > 0");
+    }
+    return magnitude *
+           noisy_sum(eps, [&f, magnitude](const T& x) { return f(x) / magnitude; });
+  }
+
+  /// Noisy average of `f(record)` clamped to [-1, 1]; noise standard
+  /// deviation is sqrt(8) / (eps * n) per Table 1.
+  template <typename F>
+  double noisy_average(double eps, F f) const {
+    detail::check_epsilon(eps);
+    const auto& data = node_->get();
+    const double n = std::max<double>(1.0, static_cast<double>(data.size()));
+    double sum = 0.0;
+    for (const auto& x : data) sum += clamp_unit(f(x));
+    detail::charge_all(charges_, eps);
+    return sum / n + noise_->laplace(2.0 * total_stability() / (eps * n));
+  }
+
+  /// Noisy average over [-magnitude, magnitude] values.
+  template <typename F>
+  double noisy_average_scaled(double eps, F f, double magnitude) const {
+    if (!(magnitude > 0.0)) {
+      throw InvalidQueryError("noisy_average_scaled requires magnitude > 0");
+    }
+    return magnitude * noisy_average(
+                           eps, [&f, magnitude](const T& x) { return f(x) / magnitude; });
+  }
+
+  /// Noisy median of `f(record)` via the exponential mechanism.  The
+  /// result splits the input into sets whose sizes differ by roughly
+  /// sqrt(2)/eps (Table 1).
+  template <typename F>
+  double noisy_median(double eps, F f) const {
+    return noisy_quantile(eps, 0.5, std::move(f));
+  }
+
+  /// Noisy q-quantile of `f(record)` (q in [0, 1]) via the exponential
+  /// mechanism with rank-distance utility.
+  template <typename F>
+  double noisy_quantile(double eps, double q, F f) const {
+    detail::check_epsilon(eps);
+    std::vector<double> values;
+    values.reserve(node_->get().size());
+    for (const auto& x : node_->get()) values.push_back(f(x));
+    detail::charge_all(charges_, eps);
+    return exponential_quantile(std::move(values), q,
+                                eps / total_stability(), *noise_);
+  }
+
+  // ---------------------------------------------------------------------
+  // Trusted-side accessors
+  // ---------------------------------------------------------------------
+  // These bypass the privacy curtain.  They exist for the data owner's
+  // side only: ground-truth baselines, tests, and experiment evaluation.
+  // Nothing in the analyst-facing pipeline may call them.
+
+  [[nodiscard]] std::size_t size_unsafe() const { return node_->get().size(); }
+  [[nodiscard]] const std::vector<T>& data_unsafe() const {
+    return node_->get();
+  }
+
+  /// Combined stability across all charge entries (used by tests to verify
+  /// Table 1 accounting).
+  [[nodiscard]] double total_stability() const {
+    double s = 0.0;
+    for (const auto& c : charges_) s += c.stability;
+    return s;
+  }
+
+  /// Number of distinct budget accountants this queryable charges.
+  [[nodiscard]] std::size_t budget_count() const { return charges_.size(); }
+
+ private:
+  template <typename>
+  friend class Queryable;
+
+  Queryable(std::shared_ptr<detail::DataNode<T>> node,
+            detail::ChargeList charges, std::shared_ptr<NoiseSource> noise)
+      : node_(std::move(node)),
+        charges_(std::move(charges)),
+        noise_(std::move(noise)) {}
+
+  template <typename U, typename ComputeF>
+  Queryable<U> derived(ComputeF compute, detail::ChargeList charges) const {
+    return Queryable<U>(
+        std::make_shared<detail::DataNode<U>>(
+            std::function<std::vector<U>()>(std::move(compute))),
+        std::move(charges), noise_);
+  }
+
+  std::shared_ptr<detail::DataNode<T>> node_;
+  detail::ChargeList charges_;
+  std::shared_ptr<NoiseSource> noise_;
+};
+
+/// Convenience factory mirroring `new PINQueryable<T>(trace, epsilon)`.
+template <typename T>
+Queryable<T> make_queryable(std::vector<T> data, double total_epsilon,
+                            std::uint64_t seed = 1) {
+  return Queryable<T>(std::move(data),
+                      std::make_shared<RootBudget>(total_epsilon),
+                      std::make_shared<NoiseSource>(seed));
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,79 @@
+// One-pass differentially-private counting for datasets too large to
+// materialize (the paper's IspTraffic is 15.7 B de-aggregated records).
+//
+// StreamingHistogram accumulates per-cell counts as records stream by and
+// releases them all at once with Laplace noise.  Because the cells
+// partition the records (each record lands in at most one cell), the
+// whole histogram costs a single epsilon — the streaming counterpart of
+// Queryable::partition + per-part noisy_count.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/errors.hpp"
+#include "core/noise.hpp"
+
+namespace dpnet::core {
+
+template <typename K>
+class StreamingHistogram {
+ public:
+  /// `cells` fixes the public cell universe up front (records outside it
+  /// are dropped, mirroring Partition's unlisted-key semantics).
+  StreamingHistogram(std::vector<K> cells,
+                     std::shared_ptr<PrivacyBudget> budget,
+                     std::shared_ptr<NoiseSource> noise)
+      : budget_(std::move(budget)), noise_(std::move(noise)) {
+    if (!budget_) throw InvalidQueryError("streaming histogram needs budget");
+    if (!noise_) throw InvalidQueryError("streaming histogram needs noise");
+    cells_.reserve(cells.size());
+    for (auto& c : cells) {
+      if (!counts_.emplace(c, 0.0).second) {
+        throw InvalidQueryError("streaming histogram cells must be distinct");
+      }
+      cells_.push_back(std::move(c));
+    }
+  }
+
+  /// Accumulates one record (O(1); never touches the budget).
+  void feed(const K& cell) {
+    const auto it = counts_.find(cell);
+    if (it != counts_.end()) it->second += 1.0;
+    ++records_seen_;
+  }
+
+  /// Number of records fed so far (trusted side bookkeeping).
+  [[nodiscard]] std::uint64_t records_seen() const { return records_seen_; }
+
+  /// Releases every cell's noisy count, charging `eps` once for the whole
+  /// histogram (the cells are disjoint).  The histogram can be released
+  /// repeatedly; each release charges again and draws fresh noise.
+  [[nodiscard]] std::unordered_map<K, double> release(double eps) {
+    if (!(eps > 0.0)) {
+      throw InvalidEpsilonError("release epsilon must be > 0");
+    }
+    if (!budget_->can_charge(eps)) {
+      throw BudgetExhaustedError("streaming histogram release over budget");
+    }
+    budget_->charge(eps);
+    std::unordered_map<K, double> out;
+    out.reserve(counts_.size());
+    for (const K& c : cells_) {
+      out.emplace(c, counts_.at(c) + noise_->laplace(1.0 / eps));
+    }
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<K>& cells() const { return cells_; }
+
+ private:
+  std::vector<K> cells_;
+  std::unordered_map<K, double> counts_;
+  std::shared_ptr<PrivacyBudget> budget_;
+  std::shared_ptr<NoiseSource> noise_;
+  std::uint64_t records_seen_ = 0;
+};
+
+}  // namespace dpnet::core

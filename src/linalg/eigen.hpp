@@ -1,0 +1,20 @@
+// Symmetric eigen-decomposition via the cyclic Jacobi method.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dpnet::linalg {
+
+struct EigenResult {
+  std::vector<double> values;  // descending
+  Matrix vectors;              // column j is the eigenvector of values[j]
+};
+
+/// Eigen-decomposition of a symmetric matrix.  Throws on non-square input;
+/// symmetry is assumed (the strictly lower triangle is ignored).
+EigenResult jacobi_eigen(const Matrix& symmetric, int max_sweeps = 64,
+                         double tolerance = 1e-12);
+
+}  // namespace dpnet::linalg

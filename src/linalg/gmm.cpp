@@ -1,0 +1,112 @@
+#include "linalg/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace dpnet::linalg {
+
+namespace {
+
+/// Log density of a diagonal Gaussian.
+double log_gaussian(std::span<const double> x, std::span<const double> mean,
+                    std::span<const double> var) {
+  double log_p = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double diff = x[d] - mean[d];
+    log_p += -0.5 * std::log(2.0 * std::numbers::pi * var[d]) -
+             0.5 * diff * diff / var[d];
+  }
+  return log_p;
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (double x : xs) m = std::max(m, x);
+  if (!std::isfinite(m)) return m;
+  double sum = 0.0;
+  for (double x : xs) sum += std::exp(x - m);
+  return m + std::log(sum);
+}
+
+}  // namespace
+
+GmmResult gaussian_em(const Matrix& points, Matrix initial_means,
+                      int iterations, double min_variance) {
+  if (points.cols() != initial_means.cols()) {
+    throw std::invalid_argument("gmm dimension mismatch");
+  }
+  const std::size_t n = points.rows();
+  const std::size_t dims = points.cols();
+  const std::size_t k = initial_means.rows();
+  if (n == 0) throw std::invalid_argument("gmm requires data");
+
+  GmmResult model;
+  model.means = std::move(initial_means);
+  model.variances = Matrix(k, dims, 1.0);
+  model.weights.assign(k, 1.0 / static_cast<double>(k));
+
+  Matrix resp(n, k);  // responsibilities
+  std::vector<double> log_probs(k);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // E step.
+    double log_likelihood = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t c = 0; c < k; ++c) {
+        log_probs[c] = std::log(model.weights[c]) +
+                       log_gaussian(points.row(p), model.means.row(c),
+                                    model.variances.row(c));
+      }
+      const double lse = log_sum_exp(log_probs);
+      log_likelihood += lse;
+      for (std::size_t c = 0; c < k; ++c) {
+        resp(p, c) = std::exp(log_probs[c] - lse);
+      }
+    }
+    model.log_likelihood_trace.push_back(log_likelihood);
+
+    // M step.
+    for (std::size_t c = 0; c < k; ++c) {
+      double total = 0.0;
+      for (std::size_t p = 0; p < n; ++p) total += resp(p, c);
+      if (total < 1e-12) continue;  // dead component keeps its parameters
+      model.weights[c] = total / static_cast<double>(n);
+      for (std::size_t d = 0; d < dims; ++d) {
+        double mean = 0.0;
+        for (std::size_t p = 0; p < n; ++p) {
+          mean += resp(p, c) * points(p, d);
+        }
+        mean /= total;
+        double var = 0.0;
+        for (std::size_t p = 0; p < n; ++p) {
+          const double diff = points(p, d) - mean;
+          var += resp(p, c) * diff * diff;
+        }
+        model.means(c, d) = mean;
+        model.variances(c, d) = std::max(min_variance, var / total);
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<int> gmm_assign(const Matrix& points, const GmmResult& model) {
+  std::vector<int> out(points.rows(), 0);
+  std::vector<double> log_probs(model.weights.size());
+  for (std::size_t p = 0; p < points.rows(); ++p) {
+    for (std::size_t c = 0; c < model.weights.size(); ++c) {
+      log_probs[c] = std::log(model.weights[c]) +
+                     log_gaussian(points.row(p), model.means.row(c),
+                                  model.variances.row(c));
+    }
+    out[p] = static_cast<int>(
+        std::max_element(log_probs.begin(), log_probs.end()) -
+        log_probs.begin());
+  }
+  return out;
+}
+
+}  // namespace dpnet::linalg

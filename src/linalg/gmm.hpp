@@ -1,0 +1,29 @@
+// Diagonal-covariance Gaussian mixture fitted by EM: the clustering
+// baseline that the paper's passive-topology analysis originally used
+// (Eriksson et al.).  Non-private; §5.3.2 notes its higher privacy cost is
+// exactly why the private pipeline falls back to k-means — this baseline
+// quantifies what that trade-off gives up.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dpnet::linalg {
+
+struct GmmResult {
+  Matrix means;                     // k x dims
+  Matrix variances;                 // k x dims (diagonal covariances)
+  std::vector<double> weights;      // k mixing weights
+  std::vector<double> log_likelihood_trace;  // per EM iteration
+};
+
+/// Fits a k-component diagonal GMM with EM from the given initial means.
+GmmResult gaussian_em(const Matrix& points, Matrix initial_means,
+                      int iterations, double min_variance = 1e-3);
+
+/// Hard assignment of each point to its most likely component.
+std::vector<int> gmm_assign(const Matrix& points, const GmmResult& model);
+
+}  // namespace dpnet::linalg

@@ -1,0 +1,82 @@
+#include "linalg/kmeans.hpp"
+
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace dpnet::linalg {
+
+std::size_t nearest_center(std::span<const double> point,
+                           const Matrix& centers) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    const double d = squared_distance(point, centers.row(c));
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double clustering_objective(const Matrix& points, const Matrix& centers) {
+  if (points.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t p = 0; p < points.rows(); ++p) {
+    const std::size_t c = nearest_center(points.row(p), centers);
+    total += euclidean_distance(points.row(p), centers.row(c));
+  }
+  return total / static_cast<double>(points.rows());
+}
+
+KmeansResult kmeans(const Matrix& points, Matrix initial_centers,
+                    int iterations) {
+  if (points.cols() != initial_centers.cols()) {
+    throw std::invalid_argument("kmeans dimension mismatch");
+  }
+  const std::size_t k = initial_centers.rows();
+  KmeansResult result;
+  result.centers = std::move(initial_centers);
+  result.assignment.assign(points.rows(), 0);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (std::size_t p = 0; p < points.rows(); ++p) {
+      result.assignment[p] =
+          static_cast<int>(nearest_center(points.row(p), result.centers));
+    }
+    Matrix sums(k, points.cols());
+    std::vector<double> counts(k, 0.0);
+    for (std::size_t p = 0; p < points.rows(); ++p) {
+      const auto c = static_cast<std::size_t>(result.assignment[p]);
+      counts[c] += 1.0;
+      for (std::size_t d = 0; d < points.cols(); ++d) {
+        sums(c, d) += points(p, d);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0.0) continue;  // empty cluster keeps its center
+      for (std::size_t d = 0; d < points.cols(); ++d) {
+        result.centers(c, d) = sums(c, d) / counts[c];
+      }
+    }
+    result.objective_trace.push_back(
+        clustering_objective(points, result.centers));
+  }
+  return result;
+}
+
+Matrix random_centers(std::size_t k, std::size_t dims, double lo, double hi,
+                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  Matrix centers(k, dims);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centers(c, d) = dist(rng);
+    }
+  }
+  return centers;
+}
+
+}  // namespace dpnet::linalg

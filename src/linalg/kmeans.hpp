@@ -1,0 +1,36 @@
+// k-means clustering: the non-private reference implementation plus the
+// step primitives the differentially-private variant composes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dpnet::linalg {
+
+struct KmeansResult {
+  Matrix centers;                       // k x dims
+  std::vector<int> assignment;          // per point
+  std::vector<double> objective_trace;  // avg point-to-center distance per
+                                        // iteration (the Fig 5 "RMSE")
+};
+
+/// Index of the center nearest to `point`.
+std::size_t nearest_center(std::span<const double> point,
+                           const Matrix& centers);
+
+/// Average distance from each point (row) to its nearest center — the
+/// clustering objective the paper plots.
+double clustering_objective(const Matrix& points, const Matrix& centers);
+
+/// Standard Lloyd iterations from the given initial centers.
+KmeansResult kmeans(const Matrix& points, Matrix initial_centers,
+                    int iterations);
+
+/// A common random initialization (the paper initializes all privacy
+/// levels from the same random vectors).
+Matrix random_centers(std::size_t k, std::size_t dims, double lo, double hi,
+                      std::uint64_t seed);
+
+}  // namespace dpnet::linalg

@@ -1,0 +1,76 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dpnet::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("matrix dimension mismatch in multiply");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::center_rows() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) mean += (*this)(r, c);
+    mean /= static_cast<double>(cols_);
+    for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) -= mean;
+  }
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector length mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double euclidean_distance(std::span<const double> a,
+                          std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("vector length mismatch");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace dpnet::linalg

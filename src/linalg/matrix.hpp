@@ -1,0 +1,61 @@
+// Minimal dense-matrix substrate for the graph-level analyses (PCA-based
+// anomaly detection, k-means / Gaussian-EM clustering).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpnet::linalg {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  /// Subtracts the row-mean from every column (centers each row variable
+  /// across the columns).
+  void center_rows();
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean distance between two equal-length vectors.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+
+/// Squared Euclidean distance.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+
+/// Dot product.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// L2 norm.
+double norm(std::span<const double> a);
+
+}  // namespace dpnet::linalg

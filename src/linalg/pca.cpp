@@ -1,0 +1,83 @@
+#include "linalg/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eigen.hpp"
+
+namespace dpnet::linalg {
+
+PcaSubspace fit_pca(const Matrix& data, std::size_t k) {
+  if (k == 0 || k > data.rows()) {
+    throw std::invalid_argument("pca requires 0 < k <= #variables");
+  }
+  Matrix centered = data;
+  centered.center_rows();
+
+  // Covariance of the row variables over the observations.
+  const std::size_t n = centered.rows();
+  const std::size_t m = centered.cols();
+  Matrix cov(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t t = 0; t < m; ++t) {
+        sum += centered(i, t) * centered(j, t);
+      }
+      cov(i, j) = sum / static_cast<double>(m);
+      cov(j, i) = cov(i, j);
+    }
+  }
+
+  const EigenResult eig = jacobi_eigen(cov);
+  PcaSubspace out;
+  out.components = Matrix(n, k);
+  out.explained_variance.assign(eig.values.begin(),
+                                eig.values.begin() +
+                                    static_cast<std::ptrdiff_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      out.components(i, j) = eig.vectors(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> residual_norms(const Matrix& data,
+                                   const PcaSubspace& subspace) {
+  if (data.rows() != subspace.components.rows()) {
+    throw std::invalid_argument("pca subspace dimension mismatch");
+  }
+  Matrix centered = data;
+  centered.center_rows();
+  const std::size_t n = centered.rows();
+  const std::size_t m = centered.cols();
+  const std::size_t k = subspace.components.cols();
+
+  std::vector<double> norms(m, 0.0);
+  std::vector<double> x(n), proj(k);
+  for (std::size_t t = 0; t < m; ++t) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = centered(i, t);
+    for (std::size_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sum += subspace.components(i, j) * x[i];
+      }
+      proj[j] = sum;
+    }
+    double residual_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double reconstructed = 0.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        reconstructed += subspace.components(i, j) * proj[j];
+      }
+      const double r = x[i] - reconstructed;
+      residual_sq += r * r;
+    }
+    norms[t] = std::sqrt(residual_sq);
+  }
+  return norms;
+}
+
+}  // namespace dpnet::linalg

@@ -1,0 +1,28 @@
+// Principal-components subspace analysis (the Lakhina et al. anomaly
+// detection substrate): fit the "normal" traffic subspace from the top
+// principal components of the link x time matrix and measure, per time
+// bin, the norm of the traffic not explained by that subspace.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace dpnet::linalg {
+
+struct PcaSubspace {
+  Matrix components;  // variables x k, orthonormal columns
+  std::vector<double> explained_variance;
+};
+
+/// Fits the top-k principal components of `data` (variables in rows,
+/// observations in columns).  Rows are mean-centered internally.
+PcaSubspace fit_pca(const Matrix& data, std::size_t k);
+
+/// For each observation (column of `data`), the Euclidean norm of its
+/// residual after projection onto the subspace: ||x - P P^T x||.
+/// Rows of `data` are centered with their own means before projection.
+std::vector<double> residual_norms(const Matrix& data,
+                                   const PcaSubspace& subspace);
+
+}  // namespace dpnet::linalg

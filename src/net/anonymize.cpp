@@ -1,0 +1,59 @@
+#include "net/anonymize.hpp"
+
+namespace dpnet::net {
+
+namespace {
+
+/// Keyed 64-bit mixer (splitmix64 finalizer) used as the per-prefix PRF.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Ipv4 anonymize_ip(Ipv4 address, std::uint64_t key) {
+  std::uint32_t out = 0;
+  std::uint32_t prefix = 0;  // the original leading bits seen so far
+  for (int bit = 31; bit >= 0; --bit) {
+    const std::uint32_t original_bit = (address.value >> bit) & 1u;
+    // The flip decision depends only on the key and the preceding
+    // original prefix, which is exactly what preserves prefixes.
+    const std::uint64_t prf =
+        mix(key ^ (static_cast<std::uint64_t>(prefix) << 6) ^
+            static_cast<std::uint64_t>(31 - bit));
+    const std::uint32_t flip = static_cast<std::uint32_t>(prf & 1u);
+    out = (out << 1) | (original_bit ^ flip);
+    prefix = (prefix << 1) | original_bit;
+  }
+  return Ipv4(out);
+}
+
+int common_prefix_len(Ipv4 a, Ipv4 b) {
+  const std::uint32_t diff = a.value ^ b.value;
+  if (diff == 0) return 32;
+  int len = 0;
+  for (int bit = 31; bit >= 0 && ((diff >> bit) & 1u) == 0; --bit) ++len;
+  return len;
+}
+
+std::vector<Packet> anonymize_trace(std::span<const Packet> trace,
+                                    const AnonymizeOptions& options) {
+  std::vector<Packet> out;
+  out.reserve(trace.size());
+  double t0 = trace.empty() ? 0.0 : trace.front().timestamp;
+  for (const Packet& p : trace) t0 = std::min(t0, p.timestamp);
+  for (const Packet& p : trace) {
+    Packet q = p;
+    q.src_ip = anonymize_ip(p.src_ip, options.key);
+    q.dst_ip = anonymize_ip(p.dst_ip, options.key);
+    if (options.strip_payloads) q.payload.clear();
+    if (options.zero_timestamps) q.timestamp = p.timestamp - t0;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace dpnet::net

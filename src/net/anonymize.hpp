@@ -1,0 +1,42 @@
+// Prefix-preserving trace anonymization — the community's status-quo
+// sharing mechanism that the paper contrasts with differential privacy
+// (§1, §6).  Implements the Xu et al. / TCPdpriv construction: two
+// addresses sharing a k-bit prefix map to addresses sharing a k-bit
+// prefix, with each deeper bit decided by a keyed pseudorandom function of
+// the preceding prefix.
+//
+// Included as a baseline, not an endorsement: the paper's §6 catalogues
+// the attacks that defeat exactly this kind of sanitization.  (The PRF
+// here is a mixing hash keyed by `key` — structurally faithful, not
+// cryptographically hardened.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+/// Prefix-preserving IPv4 anonymization under `key`.  Deterministic: the
+/// same (address, key) always maps to the same output, and
+/// common_prefix_len(a, b) == common_prefix_len(f(a), f(b)).
+Ipv4 anonymize_ip(Ipv4 address, std::uint64_t key);
+
+/// Length of the common leading-bit prefix of two addresses.
+int common_prefix_len(Ipv4 a, Ipv4 b);
+
+struct AnonymizeOptions {
+  std::uint64_t key = 0x5bd1e995u;
+  bool strip_payloads = true;   // released traces rarely keep payloads
+  bool zero_timestamps = false; // coarse re-basing to the trace start
+};
+
+/// Sanitizes a whole trace: both endpoint addresses are anonymized
+/// prefix-preservingly and (by default) payloads are removed — the
+/// "heavily sanitized" release format the paper describes.
+std::vector<Packet> anonymize_trace(std::span<const Packet> trace,
+                                    const AnonymizeOptions& options = {});
+
+}  // namespace dpnet::net

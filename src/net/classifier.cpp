@@ -1,0 +1,93 @@
+#include "net/classifier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dpnet::net {
+
+namespace {
+
+bool rule_matches(const ClassifierRule& r, const Packet& p) {
+  if (r.protocol && p.protocol != *r.protocol) return false;
+  if (p.dst_port < r.dst_port_lo || p.dst_port > r.dst_port_hi) return false;
+  if (p.length < r.min_length) return false;
+  if (r.src_prefix && !p.src_ip.in_subnet(*r.src_prefix, r.src_prefix_len)) {
+    return false;
+  }
+  if (r.dst_prefix && !p.dst_ip.in_subnet(*r.dst_prefix, r.dst_prefix_len)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PacketClassifier::PacketClassifier(std::vector<ClassifierRule> rules,
+                                   std::string default_label)
+    : rules_(std::move(rules)) {
+  for (const ClassifierRule& r : rules_) {
+    if (r.label.empty()) {
+      throw std::invalid_argument("classifier rule needs a label");
+    }
+    if (r.dst_port_lo > r.dst_port_hi) {
+      throw std::invalid_argument("classifier rule has inverted port range");
+    }
+  }
+  std::stable_sort(rules_.begin(), rules_.end(),
+                   [](const ClassifierRule& a, const ClassifierRule& b) {
+                     return a.priority < b.priority;
+                   });
+  std::unordered_map<std::string, int> seen;
+  for (const ClassifierRule& r : rules_) {
+    auto [it, inserted] =
+        seen.emplace(r.label, static_cast<int>(labels_.size()));
+    if (inserted) labels_.push_back(r.label);
+    rule_label_index_.push_back(it->second);
+  }
+  default_index_ = static_cast<int>(labels_.size());
+  labels_.push_back(std::move(default_label));
+}
+
+const std::string& PacketClassifier::classify(const Packet& p) const {
+  return labels_[static_cast<std::size_t>(classify_index(p))];
+}
+
+int PacketClassifier::classify_index(const Packet& p) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rule_matches(rules_[i], p)) return rule_label_index_[i];
+  }
+  return default_index_;
+}
+
+PacketClassifier PacketClassifier::service_mix() {
+  std::vector<ClassifierRule> rules;
+  auto port_rule = [](std::string label, int priority, std::uint16_t lo,
+                      std::uint16_t hi,
+                      std::optional<std::uint8_t> proto = kProtoTcp) {
+    ClassifierRule r;
+    r.label = std::move(label);
+    r.priority = priority;
+    r.dst_port_lo = lo;
+    r.dst_port_hi = hi;
+    r.protocol = proto;
+    return r;
+  };
+  rules.push_back(port_rule("web", 10, 80, 80));
+  rules.push_back(port_rule("web", 10, 8080, 8080));
+  rules.push_back(port_rule("tls", 11, 443, 443));
+  rules.push_back(port_rule("mail", 12, 25, 25));
+  rules.push_back(port_rule("mail", 12, 110, 110));
+  rules.push_back(port_rule("mail", 12, 143, 143));
+  rules.push_back(port_rule("mail", 12, 993, 993));
+  rules.push_back(port_rule("ssh", 13, 22, 22));
+  rules.push_back(port_rule("dns", 14, 53, 53, kProtoUdp));
+  rules.push_back(port_rule("smb", 15, 139, 139));
+  rules.push_back(port_rule("smb", 15, 445, 445));
+  ClassifierRule interactive = port_rule("interactive", 16, 23, 23);
+  interactive.min_length = 0;
+  rules.push_back(interactive);
+  return PacketClassifier(std::move(rules));
+}
+
+}  // namespace dpnet::net

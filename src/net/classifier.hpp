@@ -1,0 +1,64 @@
+// Rule-based packet classification (Gupta & McKeown style priority rule
+// lists) — the packet-level analysis family §5.1.3 points at: "various
+// classification algorithms can also be implemented in the differentially
+// private manner".  The classifier itself runs inside transformations
+// (arbitrary logic is allowed there); only its aggregate outputs are
+// released with noise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+/// One classification rule: all fields must match; unset fields match
+/// anything.  Lower `priority` values win.
+struct ClassifierRule {
+  std::string label;
+  int priority = 0;
+  std::optional<Ipv4> src_prefix;
+  int src_prefix_len = 0;
+  std::optional<Ipv4> dst_prefix;
+  int dst_prefix_len = 0;
+  std::uint16_t dst_port_lo = 0;
+  std::uint16_t dst_port_hi = 65535;
+  std::optional<std::uint8_t> protocol;
+  std::uint16_t min_length = 0;
+};
+
+class PacketClassifier {
+ public:
+  /// Rules are evaluated best-priority-first; `default_label` is returned
+  /// when nothing matches.  Throws std::invalid_argument on rules with
+  /// empty labels or inverted port ranges.
+  PacketClassifier(std::vector<ClassifierRule> rules,
+                   std::string default_label = "other");
+
+  /// The label of the highest-priority matching rule.
+  [[nodiscard]] const std::string& classify(const Packet& p) const;
+
+  /// Index (into labels()) of the matched class — handy as a Partition key.
+  [[nodiscard]] int classify_index(const Packet& p) const;
+
+  /// All labels this classifier can produce; the default label is last.
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+
+  /// A ready-made service-mix classifier (web/tls/mail/ssh/dns/smb/
+  /// interactive/other) used by the examples and benches.
+  static PacketClassifier service_mix();
+
+ private:
+  std::vector<ClassifierRule> rules_;  // sorted by priority
+  std::vector<std::string> labels_;
+  std::vector<int> rule_label_index_;
+  int default_index_;
+};
+
+}  // namespace dpnet::net

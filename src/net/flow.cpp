@@ -1,0 +1,67 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "net/tcp.hpp"
+
+namespace dpnet::net {
+
+std::vector<FlowStats> compute_flow_stats(std::span<const Packet> trace) {
+  auto flows = group_flows(trace);
+  std::vector<FlowStats> out;
+  out.reserve(flows.size());
+  for (auto& [key, packets] : flows) {
+    FlowStats s;
+    s.key = key;
+    s.packets = packets.size();
+    s.first_time = std::numeric_limits<double>::infinity();
+    s.last_time = -std::numeric_limits<double>::infinity();
+    for (const Packet& p : packets) {
+      s.bytes += p.length;
+      s.first_time = std::min(s.first_time, p.timestamp);
+      s.last_time = std::max(s.last_time, p.timestamp);
+    }
+    s.loss_rate = flow_loss_rate(packets);
+    s.out_of_order = out_of_order_count(packets);
+    std::size_t syns = 0;
+    for (const Packet& p : packets) {
+      if (p.flags.syn && !p.flags.ack) ++syns;
+    }
+    s.connections = std::max<std::size_t>(syns, 1);
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ConnPacket> assign_connection_ids(std::span<const Packet> trace) {
+  std::unordered_map<FlowKey, std::uint32_t> current;
+  std::uint32_t next_id = 1;
+  std::vector<ConnPacket> out;
+  out.reserve(trace.size());
+  for (const Packet& p : trace) {
+    const FlowKey key = flow_of(p).canonical();
+    auto it = current.find(key);
+    const bool starts_connection = p.flags.syn && !p.flags.ack;
+    if (it == current.end()) {
+      current[key] = next_id++;
+    } else if (starts_connection) {
+      it->second = next_id++;
+    }
+    out.push_back(ConnPacket{p, current[key]});
+  }
+  return out;
+}
+
+std::vector<std::size_t> packets_per_connection(
+    std::span<const ConnPacket> tagged) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (const ConnPacket& cp : tagged) ++counts[cp.connection_id];
+  std::vector<std::size_t> out;
+  out.reserve(counts.size());
+  for (const auto& [id, n] : counts) out.push_back(n);
+  return out;
+}
+
+}  // namespace dpnet::net

@@ -1,0 +1,49 @@
+// Flow-level bookkeeping: per-flow statistics and connection splitting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+/// Aggregate statistics of one 5-tuple flow.
+struct FlowStats {
+  FlowKey key;
+  std::size_t packets = 0;
+  std::uint64_t bytes = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+  double loss_rate = 0.0;        // Swing downstream-loss estimate
+  std::size_t out_of_order = 0;  // Swing upstream-loss proxy
+  std::size_t connections = 0;   // number of TCP connections in the flow
+
+  [[nodiscard]] double duration() const { return last_time - first_time; }
+};
+
+/// Computes FlowStats for every flow in the trace.
+std::vector<FlowStats> compute_flow_stats(std::span<const Packet> trace);
+
+/// A packet tagged with the connection it belongs to.  The paper notes that
+/// isolating TCP connections inside a 5-tuple flow was not expressible in
+/// PINQ and suggests the data owner pre-process the trace to add a
+/// connection id — this is that pre-processing step.
+struct ConnPacket {
+  Packet packet;
+  std::uint32_t connection_id = 0;  // unique across the whole trace
+};
+
+/// Splits flows into connections: within a flow, each client SYN (without
+/// ACK) starts a new connection; packets before the first SYN belong to
+/// connection 0 of that flow.  Returns packets in original trace order.
+std::vector<ConnPacket> assign_connection_ids(std::span<const Packet> trace);
+
+/// Packets-per-connection counts (the Swing statistic that needed the
+/// pre-processing above).
+std::vector<std::size_t> packets_per_connection(
+    std::span<const ConnPacket> tagged);
+
+}  // namespace dpnet::net

@@ -1,0 +1,36 @@
+#include "net/ip.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dpnet::net {
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+Ipv4 Ipv4::from_string(const std::string& text) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("malformed IPv4 address: " + text);
+  }
+  return Ipv4(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+bool Ipv4::in_subnet(Ipv4 prefix, int prefix_len) const {
+  if (prefix_len < 0 || prefix_len > 32) {
+    throw std::invalid_argument("prefix length must be in [0,32]");
+  }
+  if (prefix_len == 0) return true;
+  const std::uint32_t mask = ~std::uint32_t{0} << (32 - prefix_len);
+  return (value & mask) == (prefix.value & mask);
+}
+
+}  // namespace dpnet::net

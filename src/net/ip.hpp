@@ -1,0 +1,44 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dpnet::net {
+
+/// An IPv4 address stored in host byte order.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t v) : value(v) {}
+  /// Builds a.b.c.d.
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  auto operator<=>(const Ipv4&) const = default;
+
+  /// Dotted-quad rendering.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad; throws std::invalid_argument on malformed input.
+  static Ipv4 from_string(const std::string& text);
+
+  /// True if this address is in `prefix`/`prefix_len`.
+  [[nodiscard]] bool in_subnet(Ipv4 prefix, int prefix_len) const;
+};
+
+}  // namespace dpnet::net
+
+namespace std {
+template <>
+struct hash<dpnet::net::Ipv4> {
+  std::size_t operator()(const dpnet::net::Ipv4& ip) const {
+    return std::hash<std::uint32_t>{}(ip.value);
+  }
+};
+}  // namespace std

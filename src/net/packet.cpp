@@ -1,0 +1,45 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+#include <tuple>
+
+namespace dpnet::net {
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (syn) b |= 0x02;
+  if (ack) b |= 0x10;
+  if (fin) b |= 0x01;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = b & 0x01;
+  f.syn = b & 0x02;
+  f.rst = b & 0x04;
+  f.psh = b & 0x08;
+  f.ack = b & 0x10;
+  return f;
+}
+
+FlowKey FlowKey::canonical() const {
+  const auto forward = std::tie(src_ip, src_port, dst_ip, dst_port);
+  const auto backward = std::tie(dst_ip, dst_port, src_ip, src_port);
+  return backward < forward ? reversed() : *this;
+}
+
+std::string FlowKey::to_string() const {
+  std::ostringstream os;
+  os << src_ip.to_string() << ':' << src_port << "->" << dst_ip.to_string()
+     << ':' << dst_port << '/' << static_cast<int>(protocol);
+  return os.str();
+}
+
+FlowKey flow_of(const Packet& p) {
+  return FlowKey{p.src_ip, p.dst_ip, p.src_port, p.dst_port, p.protocol};
+}
+
+}  // namespace dpnet::net

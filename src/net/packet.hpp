@@ -1,0 +1,87 @@
+// Packet and flow record types — the records the privacy engine protects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/hash.hpp"
+#include "net/ip.hpp"
+
+namespace dpnet::net {
+
+/// TCP header flags (only the ones the analyses use).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  bool operator==(const TcpFlags&) const = default;
+
+  [[nodiscard]] std::uint8_t to_byte() const;
+  static TcpFlags from_byte(std::uint8_t b);
+};
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// One captured packet.  Mirrors the paper's Packet type: timestamps,
+/// unaltered addresses and ports, TCP header fields, and the raw payload —
+/// precisely the sensitive fields differential privacy must protect.
+struct Packet {
+  double timestamp = 0.0;  // seconds since trace start
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = kProtoTcp;
+  TcpFlags flags;
+  std::uint32_t seq = 0;
+  std::uint32_t ack_no = 0;
+  std::uint16_t length = 0;  // total on-wire bytes
+  std::string payload;       // may be empty
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// The standard 5-tuple flow key.
+struct FlowKey {
+  Ipv4 src_ip;
+  Ipv4 dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = kProtoTcp;
+
+  bool operator==(const FlowKey&) const = default;
+
+  /// The key of the reverse direction.
+  [[nodiscard]] FlowKey reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// Direction-insensitive key: the lexicographically smaller of the two
+  /// directions, so both halves of a conversation share one key.
+  [[nodiscard]] FlowKey canonical() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] FlowKey flow_of(const Packet& p);
+
+}  // namespace dpnet::net
+
+namespace std {
+template <>
+struct hash<dpnet::net::FlowKey> {
+  std::size_t operator()(const dpnet::net::FlowKey& k) const {
+    std::size_t seed = std::hash<dpnet::net::Ipv4>{}(k.src_ip);
+    dpnet::core::hash_combine(seed, std::hash<dpnet::net::Ipv4>{}(k.dst_ip));
+    dpnet::core::hash_combine(seed, k.src_port);
+    dpnet::core::hash_combine(seed, k.dst_port);
+    dpnet::core::hash_combine(seed, k.protocol);
+    return seed;
+  }
+};
+}  // namespace std

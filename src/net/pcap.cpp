@@ -1,0 +1,240 @@
+#include "net/pcap.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace dpnet::net {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+constexpr std::uint32_t kPcapMagicSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+constexpr std::size_t kEthernetHeader = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+std::uint16_t swap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+/// Big-endian field access into a raw frame buffer.
+std::uint16_t be16(const unsigned char* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+std::uint32_t be32(const unsigned char* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+void put_be16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v >> 8));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+void put_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v >> 24));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+template <typename T>
+void put_host(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool take_host(std::istream& in, T& v) {
+  return static_cast<bool>(
+      in.read(reinterpret_cast<char*>(&v), sizeof(v)));
+}
+
+/// Parses one captured Ethernet frame into a Packet; returns false if the
+/// frame is not IPv4 TCP/UDP or is truncated short of its headers.
+bool parse_frame(const unsigned char* frame, std::size_t len, double ts,
+                 std::uint32_t orig_len, Packet& out) {
+  if (len < kEthernetHeader + 20) return false;
+  if (be16(frame + 12) != kEtherTypeIpv4) return false;
+  const unsigned char* ip = frame + kEthernetHeader;
+  if ((ip[0] >> 4) != 4) return false;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  if (ihl < 20 || len < kEthernetHeader + ihl) return false;
+
+  Packet p;
+  p.timestamp = ts;
+  p.protocol = ip[9];
+  p.src_ip = Ipv4(be32(ip + 12));
+  p.dst_ip = Ipv4(be32(ip + 16));
+  p.length = static_cast<std::uint16_t>(
+      std::min<std::uint32_t>(orig_len, 0xffff));
+
+  const unsigned char* transport = ip + ihl;
+  const std::size_t remaining = len - kEthernetHeader - ihl;
+  if (p.protocol == kProtoTcp) {
+    if (remaining < 20) return false;
+    p.src_port = be16(transport);
+    p.dst_port = be16(transport + 2);
+    p.seq = be32(transport + 4);
+    p.ack_no = be32(transport + 8);
+    const std::size_t data_offset =
+        static_cast<std::size_t>(transport[12] >> 4) * 4;
+    if (data_offset < 20 || remaining < data_offset) return false;
+    p.flags = TcpFlags::from_byte(transport[13]);
+    p.payload.assign(
+        reinterpret_cast<const char*>(transport + data_offset),
+        remaining - data_offset);
+  } else if (p.protocol == kProtoUdp) {
+    if (remaining < 8) return false;
+    p.src_port = be16(transport);
+    p.dst_port = be16(transport + 2);
+    p.payload.assign(reinterpret_cast<const char*>(transport + 8),
+                     remaining - 8);
+  } else {
+    return false;
+  }
+  out = std::move(p);
+  return true;
+}
+
+}  // namespace
+
+PcapReadResult read_pcap(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!take_host(in, magic)) throw PcapError("empty pcap stream");
+  bool swapped = false;
+  if (magic == kPcapMagicSwapped) {
+    swapped = true;
+  } else if (magic != kPcapMagic) {
+    throw PcapError("bad pcap magic");
+  }
+  auto fix32 = [swapped](std::uint32_t v) { return swapped ? swap32(v) : v; };
+  auto fix16 = [swapped](std::uint16_t v) { return swapped ? swap16(v) : v; };
+
+  std::uint16_t version_major = 0, version_minor = 0;
+  std::uint32_t thiszone = 0, sigfigs = 0, snaplen = 0, network = 0;
+  if (!take_host(in, version_major) || !take_host(in, version_minor) ||
+      !take_host(in, thiszone) || !take_host(in, sigfigs) ||
+      !take_host(in, snaplen) || !take_host(in, network)) {
+    throw PcapError("truncated pcap global header");
+  }
+  if (fix16(version_major) != 2) {
+    throw PcapError("unsupported pcap version");
+  }
+  if (fix32(network) != kLinkTypeEthernet) {
+    throw PcapError("unsupported pcap link type (want Ethernet)");
+  }
+
+  PcapReadResult result;
+  std::vector<unsigned char> frame;
+  for (;;) {
+    std::uint32_t ts_sec = 0, ts_usec = 0, incl_len = 0, orig_len = 0;
+    if (!take_host(in, ts_sec)) break;  // clean end of stream
+    if (!take_host(in, ts_usec) || !take_host(in, incl_len) ||
+        !take_host(in, orig_len)) {
+      throw PcapError("truncated pcap record header");
+    }
+    const std::uint32_t len = fix32(incl_len);
+    if (len > 256 * 1024) throw PcapError("implausible pcap record length");
+    frame.resize(len);
+    if (len > 0 && !in.read(reinterpret_cast<char*>(frame.data()), len)) {
+      throw PcapError("truncated pcap record body");
+    }
+    const double ts = static_cast<double>(fix32(ts_sec)) +
+                      static_cast<double>(fix32(ts_usec)) * 1e-6;
+    Packet p;
+    if (parse_frame(frame.data(), frame.size(), ts, fix32(orig_len), p)) {
+      result.packets.push_back(std::move(p));
+    } else {
+      ++result.skipped;
+    }
+  }
+  return result;
+}
+
+PcapReadResult read_pcap_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PcapError("cannot open for reading: " + path);
+  return read_pcap(in);
+}
+
+void write_pcap(std::ostream& out, std::span<const Packet> packets) {
+  put_host(out, kPcapMagic);
+  put_host(out, std::uint16_t{2});
+  put_host(out, std::uint16_t{4});
+  put_host(out, std::int32_t{0});      // thiszone
+  put_host(out, std::uint32_t{0});     // sigfigs
+  put_host(out, std::uint32_t{65535}); // snaplen
+  put_host(out, kLinkTypeEthernet);
+
+  for (const Packet& p : packets) {
+    std::string frame;
+    // Ethernet II with synthetic MACs derived from the addresses.
+    for (int i = 0; i < 2; ++i) {
+      const std::uint32_t ip = i == 0 ? p.dst_ip.value : p.src_ip.value;
+      frame.push_back(0x02);
+      frame.push_back(0x00);
+      put_be32(frame, ip);
+    }
+    put_be16(frame, kEtherTypeIpv4);
+
+    const bool tcp = p.protocol == kProtoTcp;
+    const std::size_t transport_len =
+        (tcp ? 20 : 8) + p.payload.size();
+    // IPv4 header, 20 bytes, no options.
+    frame.push_back(0x45);
+    frame.push_back(0x00);
+    put_be16(frame, static_cast<std::uint16_t>(20 + transport_len));
+    put_be16(frame, 0);                 // identification
+    put_be16(frame, 0x4000);            // don't fragment
+    frame.push_back(64);                // ttl
+    frame.push_back(static_cast<char>(p.protocol));
+    put_be16(frame, 0);                 // header checksum (unverified)
+    put_be32(frame, p.src_ip.value);
+    put_be32(frame, p.dst_ip.value);
+
+    if (tcp) {
+      put_be16(frame, p.src_port);
+      put_be16(frame, p.dst_port);
+      put_be32(frame, p.seq);
+      put_be32(frame, p.ack_no);
+      frame.push_back(0x50);  // data offset 5 words
+      frame.push_back(static_cast<char>(p.flags.to_byte()));
+      put_be16(frame, 65535);  // window
+      put_be16(frame, 0);      // checksum
+      put_be16(frame, 0);      // urgent pointer
+    } else {
+      put_be16(frame, p.src_port);
+      put_be16(frame, p.dst_port);
+      put_be16(frame, static_cast<std::uint16_t>(8 + p.payload.size()));
+      put_be16(frame, 0);  // checksum
+    }
+    frame.append(p.payload);
+
+    const auto ts_sec = static_cast<std::uint32_t>(p.timestamp);
+    const auto ts_usec = static_cast<std::uint32_t>(
+        (p.timestamp - static_cast<double>(ts_sec)) * 1e6);
+    put_host(out, ts_sec);
+    put_host(out, ts_usec);
+    put_host(out, static_cast<std::uint32_t>(frame.size()));
+    put_host(out, std::max<std::uint32_t>(
+                      p.length, static_cast<std::uint32_t>(frame.size())));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+  if (!out) throw PcapError("pcap write failed");
+}
+
+void write_pcap_file(const std::string& path,
+                     std::span<const Packet> packets) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw PcapError("cannot open for writing: " + path);
+  write_pcap(out, packets);
+}
+
+}  // namespace dpnet::net

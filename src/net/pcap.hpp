@@ -1,0 +1,45 @@
+// Minimal libpcap-format support: read and write classic pcap capture
+// files (magic 0xa1b2c3d4, microsecond timestamps, LINKTYPE_ETHERNET),
+// parsing Ethernet/IPv4/TCP/UDP headers into dpnet Packet records — so
+// real captures can be loaded straight into the privacy engine, and the
+// synthetic traces can be exported for inspection with standard tools.
+//
+// Scope: IPv4 over Ethernet II, TCP/UDP transports.  Other link or
+// network types are skipped on read (counted, not fatal) and unsupported
+// on write.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+class PcapError : public std::runtime_error {
+ public:
+  explicit PcapError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct PcapReadResult {
+  std::vector<Packet> packets;
+  std::size_t skipped = 0;  // frames that were not Ethernet/IPv4 TCP|UDP
+};
+
+/// Reads a classic pcap stream.  Handles both byte orders (0xa1b2c3d4 and
+/// the byte-swapped magic).  Throws PcapError on malformed containers.
+PcapReadResult read_pcap(std::istream& in);
+PcapReadResult read_pcap_file(const std::string& path);
+
+/// Writes packets as a classic pcap capture (Ethernet II framing with
+/// synthetic MAC addresses, native byte order, microsecond timestamps).
+/// Payload bytes are emitted after the TCP/UDP header; `length` is
+/// recorded as the original (on-wire) length.
+void write_pcap(std::ostream& out, std::span<const Packet> packets);
+void write_pcap_file(const std::string& path, std::span<const Packet> packets);
+
+}  // namespace dpnet::net

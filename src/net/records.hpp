@@ -1,0 +1,52 @@
+// Record types for the IspTraffic and IPscatter datasets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/hash.hpp"
+
+namespace dpnet::net {
+
+/// One de-aggregated IspTraffic record: a 1500-byte packet observed on
+/// `link` during 15-minute window `window` (the paper reconstructs
+/// fine-grained records from per-link volume aggregates exactly this way).
+struct LinkPacket {
+  std::int32_t link = 0;
+  std::int32_t window = 0;
+
+  bool operator==(const LinkPacket&) const = default;
+};
+
+/// One IPscatter record: IP address `ip` observed `hops` TTL-hops away from
+/// `monitor`.
+struct ScatterRecord {
+  std::int32_t monitor = 0;
+  std::uint32_t ip = 0;
+  std::int32_t hops = 0;
+
+  bool operator==(const ScatterRecord&) const = default;
+};
+
+}  // namespace dpnet::net
+
+namespace std {
+template <>
+struct hash<dpnet::net::LinkPacket> {
+  std::size_t operator()(const dpnet::net::LinkPacket& r) const {
+    std::size_t seed = std::hash<std::int32_t>{}(r.link);
+    dpnet::core::hash_combine(seed, std::hash<std::int32_t>{}(r.window));
+    return seed;
+  }
+};
+
+template <>
+struct hash<dpnet::net::ScatterRecord> {
+  std::size_t operator()(const dpnet::net::ScatterRecord& r) const {
+    std::size_t seed = std::hash<std::int32_t>{}(r.monitor);
+    dpnet::core::hash_combine(seed, std::hash<std::uint32_t>{}(r.ip));
+    dpnet::core::hash_combine(seed, std::hash<std::int32_t>{}(r.hops));
+    return seed;
+  }
+};
+}  // namespace std

@@ -1,0 +1,102 @@
+#include "net/tcp.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/hash.hpp"
+
+namespace dpnet::net {
+
+std::vector<RttSample> handshake_rtts(std::span<const Packet> trace) {
+  // Key: (server-side flow key, expected ack number) -> SYN timestamp.
+  struct PendingSyn {
+    double time;
+    bool matched;
+  };
+  std::unordered_map<FlowKey, std::unordered_map<std::uint32_t, PendingSyn>>
+      pending;
+  std::vector<RttSample> out;
+  for (const Packet& p : trace) {
+    if (p.protocol != kProtoTcp) continue;
+    if (p.flags.syn && !p.flags.ack) {
+      pending[flow_of(p)].insert_or_assign(p.seq + 1,
+                                           PendingSyn{p.timestamp, false});
+    } else if (p.flags.syn && p.flags.ack) {
+      // A SYN-ACK travels on the reversed flow of the SYN.
+      auto flow_it = pending.find(flow_of(p).reversed());
+      if (flow_it == pending.end()) continue;
+      auto syn_it = flow_it->second.find(p.ack_no);
+      if (syn_it == flow_it->second.end() || syn_it->second.matched) continue;
+      syn_it->second.matched = true;
+      out.push_back(RttSample{flow_of(p).reversed(),
+                              p.timestamp - syn_it->second.time});
+    }
+  }
+  return out;
+}
+
+std::vector<double> retransmit_time_diffs_ms(std::span<const Packet> trace) {
+  // Per (flow, seq): timestamp of the most recent packet with that seq.
+  std::unordered_map<FlowKey, std::unordered_map<std::uint32_t, double>>
+      last_seen;
+  std::vector<double> diffs;
+  for (const Packet& p : trace) {
+    if (p.protocol != kProtoTcp) continue;
+    if (p.flags.syn || p.length <= 40) continue;  // data packets only
+    auto& per_flow = last_seen[flow_of(p)];
+    auto it = per_flow.find(p.seq);
+    if (it != per_flow.end()) {
+      diffs.push_back((p.timestamp - it->second) * 1000.0);
+    }
+    per_flow[p.seq] = p.timestamp;
+  }
+  return diffs;
+}
+
+double flow_loss_rate(std::span<const Packet> flow_packets) {
+  if (flow_packets.empty()) return 0.0;
+  std::unordered_set<std::uint32_t> distinct;
+  for (const Packet& p : flow_packets) distinct.insert(p.seq);
+  return 1.0 - static_cast<double>(distinct.size()) /
+                   static_cast<double>(flow_packets.size());
+}
+
+std::size_t out_of_order_count(std::span<const Packet> flow_packets) {
+  std::size_t count = 0;
+  bool have_max = false;
+  std::uint32_t max_seq = 0;
+  std::unordered_set<std::uint32_t> seen;
+  for (const Packet& p : flow_packets) {
+    const bool retransmission = !seen.insert(p.seq).second;
+    if (have_max && p.seq < max_seq && !retransmission) ++count;
+    if (!have_max || p.seq > max_seq) {
+      max_seq = p.seq;
+      have_max = true;
+    }
+  }
+  return count;
+}
+
+std::vector<Activation> extract_activations(std::span<const Packet> trace,
+                                            double t_idle) {
+  std::unordered_map<FlowKey, double> last_time;
+  std::vector<Activation> out;
+  for (const Packet& p : trace) {
+    const FlowKey key = flow_of(p);
+    auto it = last_time.find(key);
+    if (it == last_time.end() || p.timestamp - it->second > t_idle) {
+      out.push_back(Activation{key, p.timestamp});
+    }
+    last_time[key] = p.timestamp;
+  }
+  return out;
+}
+
+std::unordered_map<FlowKey, std::vector<Packet>> group_flows(
+    std::span<const Packet> trace) {
+  std::unordered_map<FlowKey, std::vector<Packet>> flows;
+  for (const Packet& p : trace) flows[flow_of(p)].push_back(p);
+  return flows;
+}
+
+}  // namespace dpnet::net

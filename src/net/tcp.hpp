@@ -1,0 +1,59 @@
+// TCP-semantics helpers: handshake matching, retransmission and reordering
+// detection, idle-to-active transition extraction.
+//
+// These run on the *trusted* side (ground-truth baselines, generator
+// validation, experiment evaluation).  The differentially-private versions
+// of the same computations are expressed over Queryable in src/analysis.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+/// A matched SYN / SYN-ACK pair.
+struct RttSample {
+  FlowKey flow;      // the client's 5-tuple
+  double rtt_s = 0;  // SYN-ACK timestamp minus SYN timestamp
+};
+
+/// Matches each TCP SYN with the first subsequent SYN-ACK whose ack number
+/// equals the SYN's sequence number plus one (Swing's RTT estimator).
+std::vector<RttSample> handshake_rtts(std::span<const Packet> trace);
+
+/// Time differences (milliseconds) between a data packet and its
+/// retransmission: for each flow, a packet whose sequence number was
+/// already seen is a retransmission; the diff is measured to the most
+/// recent packet with that sequence number.  This is the Figure 1 dataset.
+std::vector<double> retransmit_time_diffs_ms(std::span<const Packet> trace);
+
+/// Downstream loss rate of one flow's packets per Swing:
+/// 1 - distinct_sequence_numbers / total_packets.  Returns 0 for empty.
+double flow_loss_rate(std::span<const Packet> flow_packets);
+
+/// Number of out-of-order arrivals (sequence number below the running
+/// maximum, excluding exact retransmissions) — Swing's upstream-loss proxy.
+std::size_t out_of_order_count(std::span<const Packet> flow_packets);
+
+/// An idle-to-active transition of a flow: the first packet after at least
+/// `t_idle` seconds of silence (the flow's first packet also counts).
+struct Activation {
+  FlowKey flow;
+  double time = 0.0;
+
+  bool operator==(const Activation&) const = default;
+};
+
+/// Exact activation extraction (the non-private reference that the paper's
+/// bucketed approximation is compared against).
+std::vector<Activation> extract_activations(std::span<const Packet> trace,
+                                            double t_idle);
+
+/// Groups a trace by 5-tuple, preserving packet order within each flow.
+std::unordered_map<FlowKey, std::vector<Packet>> group_flows(
+    std::span<const Packet> trace);
+
+}  // namespace dpnet::net

@@ -1,0 +1,159 @@
+#include "net/trace_io.hpp"
+
+#include <algorithm>
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace dpnet::net {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T take(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  if (!in.read(reinterpret_cast<char*>(&value), sizeof(value))) {
+    throw TraceIoError("truncated trace container");
+  }
+  return value;
+}
+
+void put_packet(std::ostream& out, const Packet& p) {
+  put(out, p.timestamp);
+  put(out, p.src_ip.value);
+  put(out, p.dst_ip.value);
+  put(out, p.src_port);
+  put(out, p.dst_port);
+  put(out, p.protocol);
+  put(out, p.flags.to_byte());
+  put(out, p.seq);
+  put(out, p.ack_no);
+  put(out, p.length);
+  if (p.payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw TraceIoError("payload too large to serialize");
+  }
+  put(out, static_cast<std::uint32_t>(p.payload.size()));
+  out.write(p.payload.data(),
+            static_cast<std::streamsize>(p.payload.size()));
+}
+
+Packet take_packet(std::istream& in) {
+  Packet p;
+  p.timestamp = take<double>(in);
+  p.src_ip = Ipv4(take<std::uint32_t>(in));
+  p.dst_ip = Ipv4(take<std::uint32_t>(in));
+  p.src_port = take<std::uint16_t>(in);
+  p.dst_port = take<std::uint16_t>(in);
+  p.protocol = take<std::uint8_t>(in);
+  p.flags = TcpFlags::from_byte(take<std::uint8_t>(in));
+  p.seq = take<std::uint32_t>(in);
+  p.ack_no = take<std::uint32_t>(in);
+  p.length = take<std::uint16_t>(in);
+  const auto payload_len = take<std::uint32_t>(in);
+  if (payload_len > 64u * 1024 * 1024) {
+    throw TraceIoError("implausible payload length (corrupt container?)");
+  }
+  p.payload.resize(payload_len);
+  if (payload_len > 0 &&
+      !in.read(p.payload.data(), static_cast<std::streamsize>(payload_len))) {
+    throw TraceIoError("truncated packet payload");
+  }
+  return p;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, std::span<const Packet> trace) {
+  TraceWriter writer(out);
+  for (const Packet& p : trace) writer.write(p);
+  writer.finish();
+}
+
+std::vector<Packet> read_trace(std::istream& in) {
+  TraceReader reader(in);
+  std::vector<Packet> out;
+  // A corrupted count must not drive a giant up-front allocation; the
+  // vector grows naturally past this if the records are really there.
+  out.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(reader.total(), 1u << 20)));
+  Packet p;
+  while (reader.next(p)) out.push_back(p);
+  return out;
+}
+
+void write_trace_file(const std::string& path,
+                      std::span<const Packet> trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceIoError("cannot open for writing: " + path);
+  write_trace(out, trace);
+  if (!out) throw TraceIoError("write failed: " + path);
+}
+
+std::vector<Packet> read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceIoError("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+TraceWriter::TraceWriter(std::ostream& out) : out_(out) {
+  put(out_, kTraceMagic);
+  put(out_, kTraceVersion);
+  count_pos_ = out_.tellp();
+  put(out_, std::uint64_t{0});  // patched by finish()
+}
+
+TraceWriter::~TraceWriter() {
+  if (!finished_) {
+    try {
+      finish();
+    } catch (...) {
+      // Destructors must not throw; an explicit finish() reports errors.
+    }
+  }
+}
+
+void TraceWriter::write(const Packet& p) {
+  if (finished_) throw TraceIoError("write after finish");
+  put_packet(out_, p);
+  ++count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const std::streampos end = out_.tellp();
+  out_.seekp(count_pos_);
+  put(out_, count_);
+  out_.seekp(end);
+  if (!out_) throw TraceIoError("trace writer stream failure");
+}
+
+TraceReader::TraceReader(std::istream& in) : in_(in) {
+  if (take<std::uint32_t>(in_) != kTraceMagic) {
+    throw TraceIoError("bad trace magic");
+  }
+  const auto version = take<std::uint16_t>(in_);
+  if (version != kTraceVersion) {
+    throw TraceIoError("unsupported trace version " +
+                       std::to_string(version));
+  }
+  total_ = take<std::uint64_t>(in_);
+}
+
+bool TraceReader::next(Packet& p) {
+  if (read_ >= total_) return false;
+  p = take_packet(in_);
+  ++read_;
+  return true;
+}
+
+}  // namespace dpnet::net

@@ -1,0 +1,76 @@
+// Binary packet-trace serialization.
+//
+// A small versioned container format ("DPNT") so generated traces can be
+// written once and shared between benches, plus streaming read/write for
+// traces larger than memory.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::net {
+
+inline constexpr std::uint32_t kTraceMagic = 0x44504e54;  // "DPNT"
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/// Raised on malformed trace containers.
+class TraceIoError : public std::runtime_error {
+ public:
+  explicit TraceIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes `trace` to `out` in DPNT format.
+void write_trace(std::ostream& out, std::span<const Packet> trace);
+
+/// Reads a DPNT container; throws TraceIoError on corruption.
+std::vector<Packet> read_trace(std::istream& in);
+
+/// Convenience file wrappers.
+void write_trace_file(const std::string& path, std::span<const Packet> trace);
+std::vector<Packet> read_trace_file(const std::string& path);
+
+/// Incremental writer for traces produced in chunks.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const Packet& p);
+  /// Patches the header with the final record count.  Called by the
+  /// destructor if not invoked explicitly; explicit calls surface errors.
+  void finish();
+
+ private:
+  std::ostream& out_;
+  std::uint64_t count_ = 0;
+  std::streampos count_pos_;
+  bool finished_ = false;
+};
+
+/// Incremental reader.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& in);
+
+  /// Reads the next packet into `p`; returns false at end of trace.
+  bool next(Packet& p);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::uint64_t remaining() const { return total_ - read_; }
+
+ private:
+  std::istream& in_;
+  std::uint64_t total_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace dpnet::net

@@ -1,0 +1,93 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dpnet::stats {
+
+namespace {
+
+void require_same_size(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("metric inputs must have equal length");
+  }
+}
+
+}  // namespace
+
+double relative_rmse(std::span<const double> private_values,
+                     std::span<const double> noise_free_values) {
+  require_same_size(private_values, noise_free_values);
+  double sum_sq = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < private_values.size(); ++i) {
+    if (noise_free_values[i] == 0.0) continue;
+    const double r = 1.0 - private_values[i] / noise_free_values[i];
+    sum_sq += r * r;
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  return std::sqrt(sum_sq / static_cast<double>(used));
+}
+
+double rmse(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b);
+  if (a.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(a.size()));
+}
+
+double mean_abs_error(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b);
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double max_abs_error(std::span<const double> a, std::span<const double> b) {
+  require_same_size(a, b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("q must be in [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace dpnet::stats

@@ -1,0 +1,39 @@
+// Error metrics and summary statistics used across benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dpnet::stats {
+
+/// The paper's relative RMSE:  sqrt( (1/n) * sum_i (1 - vp[i]/vnf[i])^2 ).
+/// Indices where the noise-free value is zero are skipped (the ratio is
+/// undefined there); if every index is skipped the result is 0.
+double relative_rmse(std::span<const double> private_values,
+                     std::span<const double> noise_free_values);
+
+/// Plain root-mean-squared difference.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Mean absolute error.
+double mean_abs_error(std::span<const double> a, std::span<const double> b);
+
+/// Maximum absolute error.
+double max_abs_error(std::span<const double> a, std::span<const double> b);
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Mean / stddev / extrema of a sample.
+Summary summarize(std::span<const double> values);
+
+/// Empirical quantile (linear interpolation, q in [0,1]).
+double quantile(std::vector<double> values, double q);
+
+}  // namespace dpnet::stats

@@ -1,0 +1,65 @@
+// Differentially-private CDF estimation (§4.1 of the paper).
+//
+// Arbitrary-resolution empirical CDFs are impossible under differential
+// privacy, so the toolkit offers three bucketed approximations that trade
+// error scaling for structure, all normalized to the same *total* privacy
+// cost `eps_total` so they are directly comparable (Fig 1):
+//
+//   cdf_prefix_counts (cdf1): one Where+Count per bucket boundary.
+//       Per-point error stddev ~ |buckets| / eps_total.
+//   cdf_partition     (cdf2): Partition by bucket, running sum of counts.
+//       Accumulated error stddev ~ sqrt(|buckets|) / eps_total.
+//   cdf_recursive     (cdf3): recursive multi-resolution measurement.
+//       Per-point error stddev ~ log(|buckets|)^{3/2} / eps_total.
+//
+// All three take values pre-discretized to std::int64_t (e.g. milliseconds,
+// bytes) and ascending bucket boundaries; cdf(x_i) estimates the number of
+// records with value <= boundaries[i].
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::toolkit {
+
+struct CdfEstimate {
+  std::vector<std::int64_t> boundaries;
+  std::vector<double> values;  // estimated counts of records <= boundary
+};
+
+/// cdf1: direct prefix counts, one aggregation per boundary; each runs at
+/// eps_total / |boundaries| so the whole query costs eps_total.
+CdfEstimate cdf_prefix_counts(const core::Queryable<std::int64_t>& data,
+                              std::span<const std::int64_t> boundaries,
+                              double eps_total);
+
+/// cdf2: Partition into buckets and accumulate counts.  The Partition
+/// max-cost rule makes the whole query cost eps_total regardless of the
+/// number of buckets.
+CdfEstimate cdf_partition(const core::Queryable<std::int64_t>& data,
+                          std::span<const std::int64_t> boundaries,
+                          double eps_total);
+
+/// cdf3: recursive multi-resolution counts; each output aggregates at most
+/// ceil(log2 |boundaries|) + 1 measurements.  Costs eps_total in total.
+CdfEstimate cdf_recursive(const core::Queryable<std::int64_t>& data,
+                          std::span<const std::int64_t> boundaries,
+                          double eps_total);
+
+/// The noise-free reference CDF (trusted side only).
+CdfEstimate exact_cdf(std::span<const std::int64_t> values,
+                      std::span<const std::int64_t> boundaries);
+
+/// Equally-spaced boundaries [lo, lo+step, ..., >= hi].
+std::vector<std::int64_t> make_boundaries(std::int64_t lo, std::int64_t hi,
+                                          std::int64_t step);
+
+/// Pool-adjacent-violators isotonic regression: the non-decreasing curve
+/// minimizing squared distance from `values` (noisy CDFs are not
+/// monotone; §4.1 notes this smoothing is optional and non-reversible).
+std::vector<double> isotonic_fit(std::span<const double> values);
+
+}  // namespace dpnet::toolkit

@@ -1,0 +1,63 @@
+// Differentially-private dyadic range tree.
+//
+// The paper's CDF3 measures counts at multiple resolutions so each CDF
+// point aggregates only log-many measurements.  The same structure,
+// materialized once, answers *arbitrary* interval counts as free
+// post-processing: this class measures every dyadic node of the value
+// domain (one epsilon in total — each level is a Partition, and levels
+// split the budget), and then any [lo, hi) count decomposes into at most
+// 2·log2(domain) released node counts.
+//
+// Use it when an analyst wants many ad-hoc range queries against one
+// column without paying per query.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::toolkit {
+
+class DpRangeTree {
+ public:
+  /// Measures the dyadic counts of `values` over the domain [0,
+  /// domain_size); the domain is padded to a power of two and values
+  /// outside it are dropped.  Total privacy cost: eps.
+  DpRangeTree(const core::Queryable<std::int64_t>& values,
+              std::int64_t domain_size, double eps);
+
+  /// Noisy count of records with lo <= value < hi.  Pure post-processing
+  /// of the released tree: costs nothing, and repeated queries return
+  /// identical answers.  Throws InvalidQueryError on an empty or
+  /// out-of-domain range.
+  [[nodiscard]] double range_count(std::int64_t lo, std::int64_t hi) const;
+
+  /// Number of dyadic nodes a range decomposes into (for error analysis:
+  /// the answer's noise variance is nodes * per-node variance).
+  [[nodiscard]] std::size_t decomposition_size(std::int64_t lo,
+                                               std::int64_t hi) const;
+
+  [[nodiscard]] std::int64_t domain_size() const { return padded_; }
+  [[nodiscard]] int levels() const { return levels_; }
+  /// Per-node Laplace scale used at build time.
+  [[nodiscard]] double node_noise_scale() const { return node_scale_; }
+
+ private:
+  void decompose(std::int64_t lo, std::int64_t hi,
+                 std::vector<std::pair<int, std::int64_t>>& nodes) const;
+
+  std::int64_t padded_ = 0;
+  int levels_ = 0;          // tree height; level 0 is the root
+  double node_scale_ = 0.0;
+  // counts_[level][index]: noisy count of values in
+  // [index * (padded >> level), (index + 1) * (padded >> level)).
+  std::vector<std::vector<double>> counts_;
+};
+
+/// Exact interval count over raw values (trusted side).
+double exact_range_count(const std::vector<std::int64_t>& values,
+                         std::int64_t lo, std::int64_t hi);
+
+}  // namespace dpnet::toolkit

@@ -1,0 +1,46 @@
+// Privacy-efficient sliding-window counts (paper §5.2.2 / §7).
+//
+// Sliding windows are "easy otherwise but can have a high privacy cost":
+// measuring each of W overlapping windows as its own Where+Count splits the
+// budget W ways.  The toolkit's formulation buckets time once at the
+// window *step* via Partition (one epsilon total), releases the per-bucket
+// counts, and reconstructs every sliding window as free post-processing —
+// the same bucketing idea the stepping-stone analysis uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::toolkit {
+
+struct SlidingWindowSpec {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double window = 0.0;  // window width (seconds)
+  double step = 0.0;    // slide amount; must divide window
+};
+
+struct SlidingCounts {
+  std::vector<double> window_starts;
+  std::vector<double> counts;
+};
+
+/// Bucketed sliding counts: total privacy cost is `eps` regardless of the
+/// number of windows; per-window error stddev ~ sqrt(window/step) * the
+/// single-count noise.
+SlidingCounts sliding_counts(const core::Queryable<double>& times,
+                             const SlidingWindowSpec& spec, double eps);
+
+/// The naive formulation for comparison: one Where+Count per window, each
+/// at eps / num_windows so the total cost is also `eps`.  Per-window error
+/// stddev ~ num_windows * the single-count noise.
+SlidingCounts sliding_counts_naive(const core::Queryable<double>& times,
+                                   const SlidingWindowSpec& spec, double eps);
+
+/// Noise-free reference.
+SlidingCounts exact_sliding_counts(const std::vector<double>& times,
+                                   const SlidingWindowSpec& spec);
+
+}  // namespace dpnet::toolkit

@@ -1,0 +1,83 @@
+#include "tracegen/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dpnet::tracegen {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler requires n > 0");
+  cumulative_.reserve(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_.push_back(total);
+  }
+}
+
+std::size_t ZipfSampler::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> dist(0.0, cumulative_.back());
+  const double u = dist(rng);
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  if (k >= cumulative_.size()) return 0.0;
+  const double prev = k == 0 ? 0.0 : cumulative_[k - 1];
+  return (cumulative_[k] - prev) / cumulative_.back();
+}
+
+WeightedSampler::WeightedSampler(std::vector<double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("WeightedSampler requires weights");
+  }
+  double total = 0.0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weights must be non-negative");
+    total += w;
+    cumulative_.push_back(total);
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weights must not all be zero");
+  }
+}
+
+std::size_t WeightedSampler::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> dist(0.0, cumulative_.back());
+  const double u = dist(rng);
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double lognormal(std::mt19937_64& rng, double median, double sigma) {
+  std::lognormal_distribution<double> dist(std::log(median), sigma);
+  return dist(rng);
+}
+
+double exponential(std::mt19937_64& rng, double mean) {
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(rng);
+}
+
+std::int64_t uniform_int(std::mt19937_64& rng, std::int64_t lo,
+                         std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(rng);
+}
+
+double uniform_real(std::mt19937_64& rng, double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(rng);
+}
+
+bool coin(std::mt19937_64& rng, double p_true) {
+  std::bernoulli_distribution dist(p_true);
+  return dist(rng);
+}
+
+}  // namespace dpnet::tracegen

@@ -1,0 +1,53 @@
+// Sampling helpers shared by the trace generators.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dpnet::tracegen {
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`:
+/// P(k) proportional to 1 / (k+1)^s.  O(log n) per draw via the inverse
+/// CDF over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t operator()(std::mt19937_64& rng) const;
+
+  /// Probability mass of rank k.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Sampler over explicit weights (need not be normalized).
+class WeightedSampler {
+ public:
+  explicit WeightedSampler(std::vector<double> weights);
+
+  std::size_t operator()(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+/// Log-normal with given median and sigma of the underlying normal.
+double lognormal(std::mt19937_64& rng, double median, double sigma);
+
+/// Exponential with the given mean.
+double exponential(std::mt19937_64& rng, double mean);
+
+/// Uniform integer in [lo, hi] inclusive.
+std::int64_t uniform_int(std::mt19937_64& rng, std::int64_t lo,
+                         std::int64_t hi);
+
+/// Uniform real in [lo, hi).
+double uniform_real(std::mt19937_64& rng, double lo, double hi);
+
+/// Bernoulli draw.
+bool coin(std::mt19937_64& rng, double p_true);
+
+}  // namespace dpnet::tracegen

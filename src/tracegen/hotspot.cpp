@@ -1,0 +1,493 @@
+#include "tracegen/hotspot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "tracegen/distributions.hpp"
+
+namespace dpnet::tracegen {
+
+using net::FlowKey;
+using net::Ipv4;
+using net::Packet;
+using net::TcpFlags;
+
+namespace {
+
+constexpr TcpFlags kSyn{.syn = true};
+constexpr TcpFlags kSynAck{.syn = true, .ack = true};
+constexpr TcpFlags kAck{.ack = true};
+constexpr TcpFlags kPshAck{.ack = true, .psh = true};
+
+Ipv4 client_ip(int host) {
+  return Ipv4(10, 0, static_cast<std::uint8_t>(host / 250),
+              static_cast<std::uint8_t>(host % 250 + 1));
+}
+
+Ipv4 server_ip(int server) {
+  return Ipv4(198, 18, static_cast<std::uint8_t>(server / 250),
+              static_cast<std::uint8_t>(server % 250 + 1));
+}
+
+Packet make_packet(double t, Ipv4 src, Ipv4 dst, std::uint16_t sport,
+                   std::uint16_t dport, TcpFlags flags, std::uint32_t seq,
+                   std::uint32_t ack, std::uint16_t len,
+                   std::string payload = {}) {
+  Packet p;
+  p.timestamp = t;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.protocol = net::kProtoTcp;
+  p.flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.length = len;
+  p.payload = std::move(payload);
+  return p;
+}
+
+}  // namespace
+
+HotspotConfig HotspotConfig::small() {
+  HotspotConfig c;
+  c.duration_s = 300.0;
+  c.num_hosts = 80;
+  c.num_servers = 40;
+  c.content_servers = 8;
+  c.sessions_per_port_mean = 2;
+  c.responses_per_session_mean = 6;
+  c.vocab_size = 16;
+  c.num_worms = 8;
+  c.worm_dispersion_min = 12;
+  c.worm_dispersion_max = 40;
+  c.worm_count_min = 40;
+  c.worm_count_max = 600;
+  c.background_dispersed_payloads = 30;
+  c.stone_pairs = 4;
+  c.noise_interactive_flows = 10;
+  c.activations_min = 60;
+  c.activations_max = 90;
+  return c;
+}
+
+HotspotConfig HotspotConfig::conference() {
+  HotspotConfig c;
+  c.seed = 1968;
+  c.duration_s = 1800.0;
+  c.num_hosts = 600;       // a conference hall of laptops
+  c.num_servers = 120;
+  c.content_servers = 24;
+  c.sessions_per_port_mean = 4;   // short, bursty browsing
+  c.responses_per_session_mean = 6;
+  c.lossy_session_prob = 0.8;     // wireless: most sessions see loss
+  c.loss_min = 0.03;
+  c.loss_max = 0.20;
+  c.vocab_size = 32;
+  c.num_worms = 12;
+  c.worm_count_max = 1500;
+  c.worm_count_min = 80;
+  c.background_dispersed_payloads = 150;
+  c.stone_pairs = 6;
+  c.noise_interactive_flows = 30;
+  c.activations_min = 400;
+  c.activations_max = 600;
+  c.udp_fraction = 0.08;          // chattier control traffic
+  return c;
+}
+
+struct HotspotGenerator::Session {
+  Ipv4 client;
+  Ipv4 server;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  double start = 0.0;
+  double rtt = 0.0;
+  int requests = 0;
+  int responses = 0;
+  double loss_rate = 0.0;
+  bool use_vocab = false;
+  int content_server_index = -1;  // >= 0 when the server hosts vocabulary
+  int min_client_bytes = 0;       // web-heavy guarantee (0 = none)
+};
+
+HotspotGenerator::HotspotGenerator(HotspotConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.num_hosts < 20 || config_.num_servers < 4) {
+    throw std::invalid_argument("hotspot config too small");
+  }
+}
+
+void HotspotGenerator::assign_profiles() {
+  // Fixed fractions chosen so the §4.3 itemset pairs come out in the
+  // paper's order: (22,80) > (25,22) > (443,80) > (445,139) > (993,22),
+  // and so that hosts using port 80 (the web-heavy set) are exactly the
+  // first two profiles.
+  const int n = config_.num_hosts;
+  const int n_22_80 = static_cast<int>(std::round(n * 0.175));
+  const int n_25_22 = static_cast<int>(std::round(n * 0.150));
+  const int n_443_80 = static_cast<int>(std::round(n * 0.125));
+  const int n_445_139 = static_cast<int>(std::round(n * 0.1125));
+  const int n_993_22 = static_cast<int>(std::round(n * 0.100));
+  web_heavy_hosts_ = n_22_80 + n_443_80;
+
+  host_profiles_.assign(static_cast<std::size_t>(n), {});
+  int h = 0;
+  auto fill = [&](int count, std::vector<std::uint16_t> ports) {
+    for (int i = 0; i < count && h < n; ++i, ++h) {
+      host_profiles_[static_cast<std::size_t>(h)] = ports;
+    }
+  };
+  fill(n_22_80, {22, 80});
+  fill(n_443_80, {443, 80});
+  fill(n_25_22, {25, 22});
+  fill(n_445_139, {445, 139});
+  fill(n_993_22, {993, 22});
+  // Remaining hosts get a single non-80 service port.
+  const std::vector<std::uint16_t> misc = {53, 8080, 110, 143, 3389, 5222};
+  for (; h < n; ++h) {
+    host_profiles_[static_cast<std::size_t>(h)] = {
+        misc[static_cast<std::size_t>(h) % misc.size()]};
+  }
+}
+
+std::string HotspotGenerator::random_payload(std::mt19937_64& rng) {
+  std::string s(static_cast<std::size_t>(config_.payload_len), '\0');
+  for (auto& ch : s) {
+    ch = static_cast<char>(uniform_int(rng, 0, 255));
+  }
+  return s;
+}
+
+void HotspotGenerator::make_vocabulary() {
+  std::unordered_set<std::string> seen;
+  vocab_.clear();
+  while (static_cast<int>(vocab_.size()) < config_.vocab_size) {
+    std::string s = random_payload(rng_);
+    if (seen.insert(s).second) vocab_.push_back(std::move(s));
+  }
+}
+
+void HotspotGenerator::emit_web_sessions(std::vector<Packet>& out) {
+  // Per-server vocabulary affinity: string k is served by a window of
+  // content servers, capping each string's destination dispersion below
+  // the worm threshold.
+  const int cs = std::max(1, config_.content_servers);
+  std::poisson_distribution<int> extra_sessions(
+      std::max(0, config_.sessions_per_port_mean - 1));
+  std::poisson_distribution<int> extra_requests(2);
+  std::poisson_distribution<int> extra_responses(
+      std::max(0, config_.responses_per_session_mean - 2));
+
+  for (int h = 0; h < config_.num_hosts; ++h) {
+    bool first_port80 = true;
+    for (std::uint16_t port : host_profiles_[static_cast<std::size_t>(h)]) {
+      const int sessions = 1 + extra_sessions(rng_);
+      for (int i = 0; i < sessions; ++i) {
+        Session s;
+        s.client = client_ip(h);
+        const int server =
+            static_cast<int>(uniform_int(rng_, 0, config_.num_servers - 1));
+        s.server = server_ip(server);
+        s.src_port = static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999));
+        s.dst_port = port;
+        s.start = uniform_real(rng_, 0.0, config_.duration_s * 0.97);
+        s.rtt = std::clamp(lognormal(rng_, 0.050, 0.6), 0.002, 0.5);
+        s.requests = 1 + extra_requests(rng_);
+        s.responses = 2 + extra_responses(rng_);
+        s.loss_rate = coin(rng_, config_.lossy_session_prob)
+                          ? uniform_real(rng_, config_.loss_min,
+                                         config_.loss_max)
+                          : 0.0;
+        s.use_vocab = server < cs;
+        s.content_server_index = s.use_vocab ? server : -1;
+        if (port == 80 && first_port80) {
+          s.min_client_bytes = 1100;  // §2.3 guarantee
+          first_port80 = false;
+        }
+        emit_session(out, s);
+      }
+    }
+  }
+}
+
+void HotspotGenerator::emit_session(std::vector<Packet>& out,
+                                    const Session& s) {
+  const auto isn_c = static_cast<std::uint32_t>(rng_());
+  const auto isn_s = static_cast<std::uint32_t>(rng_());
+
+  // Handshake: the 40-byte mode of Fig 2a and the RTT sample of Fig 3a.
+  out.push_back(make_packet(s.start, s.client, s.server, s.src_port,
+                            s.dst_port, kSyn, isn_c, 0, 40));
+  out.push_back(make_packet(s.start + s.rtt, s.server, s.client, s.dst_port,
+                            s.src_port, kSynAck, isn_s, isn_c + 1, 40));
+  out.push_back(make_packet(s.start + s.rtt + 0.0005, s.client, s.server,
+                            s.src_port, s.dst_port, kAck, isn_c + 1,
+                            isn_s + 1, 40));
+
+  auto maybe_retransmit = [&](const Packet& p) {
+    if (!coin(rng_, s.loss_rate)) return;
+    Packet dup = p;
+    const double rto =
+        std::clamp(1.5 * s.rtt + exponential(rng_, 0.030), 0.010, 0.245);
+    dup.timestamp += rto;
+    out.push_back(std::move(dup));
+  };
+
+  // Client requests (carry payloads; this is the direction the capture
+  // keeps full payload bytes for).
+  double t = s.start + s.rtt + 0.001;
+  std::uint32_t seq_c = isn_c + 1;
+  int client_bytes = 120;  // handshake contribution
+  int emitted_requests = 0;
+  while (emitted_requests < s.requests ||
+         client_bytes <= s.min_client_bytes) {
+    const auto len =
+        static_cast<std::uint16_t>(uniform_int(rng_, 200, 700));
+    std::string payload;
+    if (s.use_vocab && coin(rng_, 0.8)) {
+      // Strings are pinned to a window of content servers so each
+      // string's destination dispersion stays below the worm threshold.
+      const int window = std::max(1, config_.vocab_size / 4);
+      const int base = (s.content_server_index * 7) % config_.vocab_size;
+      // vocab[0] is served everywhere and drawn with high probability so a
+      // single globally dominant string emerges (Table 4's shape); the
+      // rest of the window gives each content server its local mix.
+      if (coin(rng_, 0.45)) {
+        payload = vocab_[0];
+      } else {
+        const int rank = static_cast<int>(uniform_int(rng_, 0, window - 1));
+        payload = vocab_[static_cast<std::size_t>((base + rank) %
+                                                  config_.vocab_size)];
+      }
+    } else {
+      payload = random_payload(rng_);
+    }
+    Packet p = make_packet(t, s.client, s.server, s.src_port, s.dst_port,
+                           kPshAck, seq_c, isn_s + 1, len,
+                           std::move(payload));
+    out.push_back(p);
+    maybe_retransmit(p);
+    client_bytes += len;
+    seq_c += len - 40u;
+    t += uniform_real(rng_, 0.005, 0.050);
+    ++emitted_requests;
+    if (emitted_requests > 200) break;  // safety against bad configs
+  }
+
+  // Server responses: the 1492-byte mode, loss -> retransmissions, and the
+  // pure-ACK stream back from the client.
+  double tr = s.start + 2.0 * s.rtt + 0.002;
+  std::uint32_t seq_s = isn_s + 1;
+  for (int j = 0; j < s.responses; ++j) {
+    const std::uint16_t len =
+        coin(rng_, 0.85)
+            ? 1492
+            : static_cast<std::uint16_t>(uniform_int(rng_, 300, 1400));
+    Packet p = make_packet(tr, s.server, s.client, s.dst_port, s.src_port,
+                           kPshAck, seq_s, seq_c, len);
+    out.push_back(p);
+    maybe_retransmit(p);
+    seq_s += len - 40u;
+    if (j % 2 == 1) {
+      out.push_back(make_packet(tr + s.rtt / 2.0, s.client, s.server,
+                                s.src_port, s.dst_port, kAck, seq_c, seq_s,
+                                40));
+    }
+    tr += uniform_real(rng_, 0.002, 0.020);
+  }
+}
+
+void HotspotGenerator::emit_worms(std::vector<Packet>& out) {
+  worms_.clear();
+  std::unordered_set<std::string> taken(vocab_.begin(), vocab_.end());
+  const double log_max = std::log(static_cast<double>(config_.worm_count_max));
+  const double log_min = std::log(static_cast<double>(config_.worm_count_min));
+
+  for (int w = 0; w < config_.num_worms; ++w) {
+    std::string payload;
+    do {
+      payload = random_payload(rng_);
+    } while (!taken.insert(payload).second);
+
+    double frac = config_.num_worms == 1
+                      ? 0.0
+                      : static_cast<double>(w) / (config_.num_worms - 1);
+    frac = std::pow(frac, config_.worm_count_skew);
+    const auto count = static_cast<int>(
+        std::round(std::exp(log_max + frac * (log_min - log_max))));
+    int srcs = static_cast<int>(uniform_int(rng_, config_.worm_dispersion_min,
+                                            config_.worm_dispersion_max));
+    int dsts = static_cast<int>(uniform_int(rng_, config_.worm_dispersion_min,
+                                            config_.worm_dispersion_max));
+    srcs = std::min(srcs, count);
+    dsts = std::min(dsts, count);
+
+    std::unordered_set<Ipv4> src_set, dst_set;
+    for (int k = 0; k < count; ++k) {
+      const int si = k % srcs;
+      const int di = (k + k / dsts) % dsts;
+      const Ipv4 src(203, static_cast<std::uint8_t>(w),
+                     static_cast<std::uint8_t>(si / 250),
+                     static_cast<std::uint8_t>(si % 250 + 1));
+      const Ipv4 dst(192, 168, static_cast<std::uint8_t>((w * 16 + di / 250) % 256),
+                     static_cast<std::uint8_t>(di % 250 + 1));
+      src_set.insert(src);
+      dst_set.insert(dst);
+      out.push_back(make_packet(
+          uniform_real(rng_, 0.0, config_.duration_s), src, dst,
+          static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999)), 445,
+          kPshAck, static_cast<std::uint32_t>(rng_()), 0, 404,
+          std::string(payload)));
+    }
+    worms_.push_back(WormTruth{payload, static_cast<std::size_t>(count),
+                               src_set.size(), dst_set.size()});
+  }
+}
+
+void HotspotGenerator::emit_background_payload_groups(
+    std::vector<Packet>& out) {
+  // Payload groups with moderate dispersion: enough to clear the worm
+  // fingerprinting GroupBy thresholds (>5) but below the dispersion-50
+  // worm criterion.  These populate the "2739 groups" analogue.
+  const int hi = std::max(6, config_.worm_dispersion_min - 6);
+  const std::vector<std::uint16_t> ports = {139, 8080, 6881};
+  for (int g = 0; g < config_.background_dispersed_payloads; ++g) {
+    const std::string payload = random_payload(rng_);
+    const int count = static_cast<int>(uniform_int(rng_, 20, 200));
+    const int srcs = static_cast<int>(
+        uniform_int(rng_, 6, std::max(7, std::min(hi, count))));
+    const int dsts = static_cast<int>(
+        uniform_int(rng_, 6, std::max(7, std::min(hi, count))));
+    for (int k = 0; k < count; ++k) {
+      const int si = k % srcs;
+      const int di = (k + 1 + k / dsts) % dsts;
+      const Ipv4 src(100, 64, static_cast<std::uint8_t>(g % 256),
+                     static_cast<std::uint8_t>(si + 1));
+      const Ipv4 dst(100, 96, static_cast<std::uint8_t>(g % 256),
+                     static_cast<std::uint8_t>(di + 1));
+      out.push_back(make_packet(
+          uniform_real(rng_, 0.0, config_.duration_s), src, dst,
+          static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999)),
+          ports[static_cast<std::size_t>(g) % ports.size()], kPshAck,
+          static_cast<std::uint32_t>(rng_()), 0, 280, std::string(payload)));
+    }
+  }
+}
+
+void HotspotGenerator::emit_interactive_flow(
+    std::vector<Packet>& out, const FlowKey& flow,
+    const std::vector<double>& activation_times) {
+  const auto isn = static_cast<std::uint32_t>(rng_());
+  std::uint32_t seq = isn;
+  for (double at : activation_times) {
+    int burst = 1 + (coin(rng_, 0.5) ? static_cast<int>(uniform_int(rng_, 1, 2))
+                                     : 0);
+    double t = at;
+    for (int b = 0; b < burst; ++b) {
+      out.push_back(make_packet(t, flow.src_ip, flow.dst_ip, flow.src_port,
+                                flow.dst_port, kPshAck, seq, 0, 92));
+      seq += 52;
+      t += uniform_real(rng_, 0.030, 0.080);
+    }
+  }
+}
+
+void HotspotGenerator::emit_stepping_stones(std::vector<Packet>& out) {
+  stone_pairs_.clear();
+  auto make_schedule = [&](int target) {
+    const double spacing = (config_.duration_s - 10.0) / target;
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(target));
+    for (int k = 0; k < target; ++k) {
+      const double jitter = uniform_real(rng_, -0.2, 0.2) * spacing;
+      times.push_back(5.0 + k * spacing + jitter);
+    }
+    return times;
+  };
+
+  for (int i = 0; i < config_.stone_pairs; ++i) {
+    const int target = static_cast<int>(
+        uniform_int(rng_, config_.activations_min, config_.activations_max));
+    const std::vector<double> base = make_schedule(target);
+
+    FlowKey f1{Ipv4(172, 16, 1, static_cast<std::uint8_t>(i + 1)),
+               Ipv4(172, 16, 2, static_cast<std::uint8_t>(i + 1)),
+               static_cast<std::uint16_t>(3000 + i), 22, net::kProtoTcp};
+    FlowKey f2{Ipv4(172, 16, 2, static_cast<std::uint8_t>(i + 1)),
+               Ipv4(172, 16, 3, static_cast<std::uint8_t>(i + 1)),
+               static_cast<std::uint16_t>(4000 + i), 22, net::kProtoTcp};
+
+    std::vector<double> follow;
+    follow.reserve(base.size());
+    for (double t : base) {
+      if (coin(rng_, 0.2)) {
+        follow.push_back(t + 0.25);  // occasionally uncorrelated
+      } else {
+        follow.push_back(t + uniform_real(rng_, 0.004, 0.036));
+      }
+    }
+    emit_interactive_flow(out, f1, base);
+    emit_interactive_flow(out, f2, follow);
+    stone_pairs_.push_back(StonePairTruth{f1, f2});
+  }
+
+  for (int j = 0; j < config_.noise_interactive_flows; ++j) {
+    const int target = static_cast<int>(
+        uniform_int(rng_, config_.activations_min, config_.activations_max));
+    FlowKey f{Ipv4(172, 17, static_cast<std::uint8_t>(1 + j / 200),
+                   static_cast<std::uint8_t>(j % 200 + 1)),
+              Ipv4(172, 18, static_cast<std::uint8_t>(1 + j / 200),
+                   static_cast<std::uint8_t>(j % 200 + 1)),
+              static_cast<std::uint16_t>(5000 + j), 22, net::kProtoTcp};
+    emit_interactive_flow(out, f, make_schedule(target));
+  }
+}
+
+void HotspotGenerator::emit_udp(std::vector<Packet>& out) {
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(out.size()) * config_.udp_fraction);
+  const Ipv4 resolver(198, 18, 0, 1);
+  for (std::size_t k = 0; k < n; ++k) {
+    const int h =
+        static_cast<int>(uniform_int(rng_, 0, config_.num_hosts - 1));
+    Packet q;
+    q.timestamp = uniform_real(rng_, 0.0, config_.duration_s);
+    q.src_ip = client_ip(h);
+    q.dst_ip = resolver;
+    q.src_port = static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999));
+    q.dst_port = 53;
+    q.protocol = net::kProtoUdp;
+    q.length = static_cast<std::uint16_t>(uniform_int(rng_, 60, 120));
+    out.push_back(q);
+    Packet r = q;
+    r.timestamp += 0.02;
+    std::swap(r.src_ip, r.dst_ip);
+    std::swap(r.src_port, r.dst_port);
+    r.length = static_cast<std::uint16_t>(uniform_int(rng_, 80, 500));
+    out.push_back(r);
+  }
+}
+
+std::vector<Packet> HotspotGenerator::generate() {
+  assign_profiles();
+  make_vocabulary();
+
+  std::vector<Packet> out;
+  emit_web_sessions(out);
+  emit_worms(out);
+  emit_background_payload_groups(out);
+  emit_stepping_stones(out);
+  emit_udp(out);
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace dpnet::tracegen

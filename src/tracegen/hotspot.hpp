@@ -1,0 +1,147 @@
+// Synthetic stand-in for the paper's Hotspot trace: a tcpdump-style packet
+// capture on the wired access link of a large hotspot, with complete
+// packets including unaltered addresses and payloads.
+//
+// The generator implants every phenomenon the paper's Hotspot experiments
+// measure, with ground truth exposed for evaluation:
+//   * TCP sessions with SYN/SYN-ACK handshakes   -> RTT CDF (Fig 3a)
+//   * downstream loss and retransmissions        -> loss CDF (Fig 3b) and
+//                                                    retransmit time diffs
+//                                                    (Fig 1)
+//   * packet-size modes at 40 and 1492 bytes     -> Fig 2a
+//   * service-port mix                           -> Fig 2b
+//   * exactly `web-heavy` hosts sending > 1024 B
+//     to port 80                                 -> the §2.3 example
+//   * per-host port profiles                     -> §4.3 itemsets
+//   * a frequency-skewed payload vocabulary      -> Table 4
+//   * worm payloads with high src/dst dispersion -> §5.1.2
+//   * stepping-stone flow pairs with correlated
+//     idle-to-active transitions                 -> Table 5
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace dpnet::tracegen {
+
+struct HotspotConfig {
+  std::uint64_t seed = 42;
+  double duration_s = 3600.0;
+
+  // --- client population & port profiles -------------------------------
+  // Hosts are assigned port profiles by fixed fractions; the two profiles
+  // containing port 80 cover `web_heavy_fraction` of hosts, which pins the
+  // §2.3 example's answer (120 at the default 400 hosts).
+  int num_hosts = 400;
+  int num_servers = 200;
+  int content_servers = 40;  // servers eligible for vocabulary payloads
+  int sessions_per_port_mean = 3;
+  int responses_per_session_mean = 10;
+  double lossy_session_prob = 0.3;  // sessions that see downstream loss
+  double loss_min = 0.01;           // per-packet loss of a lossy session
+  double loss_max = 0.12;
+
+  // --- payload vocabulary (Table 4) -------------------------------------
+  int vocab_size = 48;
+  int payload_len = 8;
+
+  // --- worm traffic (§5.1.2) --------------------------------------------
+  int num_worms = 29;
+  int worm_dispersion_min = 50;   // distinct srcs and dsts, at least
+  int worm_dispersion_max = 220;
+  int worm_count_min = 150;       // packets of the rarest worm payload
+  int worm_count_max = 40000;     // packets of the most common worm payload
+  // Shape of the count spacing between max and min: 1.0 = uniform in log
+  // space; < 1 skews mass toward the rare end, so the recall-vs-epsilon
+  // curve has the paper's steep drop at strong privacy.
+  double worm_count_skew = 1.0;
+  int background_dispersed_payloads = 300;  // dispersion in [5, 45)
+
+  // --- stepping stones (Table 5) ----------------------------------------
+  int stone_pairs = 20;
+  int noise_interactive_flows = 60;
+  int activations_min = 1200;  // per interactive flow
+  int activations_max = 1400;
+  double t_idle = 0.5;    // idle timeout (s)
+  double delta = 0.040;   // correlation window (s)
+
+  // --- misc --------------------------------------------------------------
+  double udp_fraction = 0.04;  // small DNS component for protocol diversity
+
+  /// A configuration small enough for unit tests (hundreds of ms to
+  /// generate) while keeping every phenomenon present.
+  static HotspotConfig small();
+
+  /// A second dataset flavor: a wireless conference network (the paper
+  /// also validated on CRAWDAD microsoft/osdi2006 and ITA traces and saw
+  /// similar results).  More clients, shorter bursty sessions, higher
+  /// wireless loss, a larger interactive population.
+  static HotspotConfig conference();
+};
+
+/// Ground truth for one implanted worm payload.
+struct WormTruth {
+  std::string payload;
+  std::size_t count = 0;
+  std::size_t distinct_srcs = 0;
+  std::size_t distinct_dsts = 0;
+};
+
+/// Ground truth for one implanted stepping-stone relationship.
+struct StonePairTruth {
+  net::FlowKey first;
+  net::FlowKey second;
+};
+
+class HotspotGenerator {
+ public:
+  explicit HotspotGenerator(HotspotConfig config);
+
+  /// Generates the full trace, sorted by timestamp.  Ground-truth
+  /// accessors below are valid after this returns.
+  std::vector<net::Packet> generate();
+
+  // --- ground truth (trusted side only) ---------------------------------
+  [[nodiscard]] const HotspotConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<std::string>& vocabulary() const {
+    return vocab_;
+  }
+  [[nodiscard]] const std::vector<WormTruth>& worms() const { return worms_; }
+  [[nodiscard]] const std::vector<StonePairTruth>& stone_pairs() const {
+    return stone_pairs_;
+  }
+  /// Number of hosts guaranteed to send more than 1024 bytes to port 80
+  /// (the §2.3 example's noise-free answer).
+  [[nodiscard]] int web_heavy_hosts() const { return web_heavy_hosts_; }
+
+ private:
+  struct Session;
+
+  void assign_profiles();
+  void make_vocabulary();
+  std::string random_payload(std::mt19937_64& rng);
+  void emit_web_sessions(std::vector<net::Packet>& out);
+  void emit_session(std::vector<net::Packet>& out, const Session& s);
+  void emit_worms(std::vector<net::Packet>& out);
+  void emit_background_payload_groups(std::vector<net::Packet>& out);
+  void emit_stepping_stones(std::vector<net::Packet>& out);
+  void emit_interactive_flow(std::vector<net::Packet>& out,
+                             const net::FlowKey& flow,
+                             const std::vector<double>& activation_times);
+  void emit_udp(std::vector<net::Packet>& out);
+
+  HotspotConfig config_;
+  std::mt19937_64 rng_;
+  std::vector<std::vector<std::uint16_t>> host_profiles_;  // per host
+  std::vector<std::string> vocab_;
+  std::vector<WormTruth> worms_;
+  std::vector<StonePairTruth> stone_pairs_;
+  int web_heavy_hosts_ = 0;
+};
+
+}  // namespace dpnet::tracegen

@@ -1,0 +1,64 @@
+#include "tracegen/ip_scatter.hpp"
+
+#include <stdexcept>
+
+#include "tracegen/distributions.hpp"
+
+namespace dpnet::tracegen {
+
+ScatterConfig ScatterConfig::small() {
+  ScatterConfig c;
+  c.monitors = 12;
+  c.ips = 1500;
+  c.clusters = 5;
+  return c;
+}
+
+IpScatterGenerator::IpScatterGenerator(ScatterConfig config)
+    : config_(config) {
+  if (config_.monitors <= 0 || config_.ips <= 0 || config_.clusters <= 0) {
+    throw std::invalid_argument("scatter config requires positive sizes");
+  }
+  if (config_.hop_min >= config_.hop_max) {
+    throw std::invalid_argument("scatter config requires hop_min < hop_max");
+  }
+}
+
+std::vector<net::ScatterRecord> IpScatterGenerator::generate() {
+  std::mt19937_64 rng(config_.seed);
+
+  centers_.assign(static_cast<std::size_t>(config_.clusters),
+                  std::vector<double>(
+                      static_cast<std::size_t>(config_.monitors), 0.0));
+  for (auto& center : centers_) {
+    for (auto& hop : center) {
+      hop = static_cast<double>(
+          uniform_int(rng, config_.hop_min, config_.hop_max));
+    }
+  }
+
+  assignment_.resize(static_cast<std::size_t>(config_.ips));
+  std::vector<net::ScatterRecord> records;
+  records.reserve(static_cast<std::size_t>(
+      config_.ips * config_.monitors * (1.0 - config_.missing_prob)));
+  for (int i = 0; i < config_.ips; ++i) {
+    const int c = static_cast<int>(uniform_int(rng, 0, config_.clusters - 1));
+    assignment_[static_cast<std::size_t>(i)] = c;
+    // Synthetic address space: 23.0.0.0/8 laid out by index.
+    const auto ip = static_cast<std::uint32_t>((23u << 24) +
+                                               static_cast<std::uint32_t>(i));
+    for (int m = 0; m < config_.monitors; ++m) {
+      if (coin(rng, config_.missing_prob)) continue;
+      double hops =
+          centers_[static_cast<std::size_t>(c)][static_cast<std::size_t>(m)];
+      if (coin(rng, config_.jitter_prob)) {
+        hops += coin(rng, 0.5) ? 1.0 : -1.0;
+      }
+      records.push_back(net::ScatterRecord{
+          m, ip, static_cast<std::int32_t>(hops)});
+    }
+  }
+  return records;
+}
+
+}  // namespace dpnet::tracegen

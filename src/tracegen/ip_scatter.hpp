@@ -1,0 +1,53 @@
+// Synthetic stand-in for the paper's IPscatter dataset: TTL-inferred hop
+// counts from a set of monitors (PlanetLab sites in the paper) to a large
+// number of IP addresses.
+//
+// Ground truth: IPs belong to topological clusters; every IP in a cluster
+// shares the cluster's characteristic hop-count vector up to small jitter,
+// and some (monitor, IP) readings are missing — the structure the Fig 5
+// clustering analysis recovers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/records.hpp"
+
+namespace dpnet::tracegen {
+
+struct ScatterConfig {
+  std::uint64_t seed = 11;
+  int monitors = 38;
+  int ips = 20000;
+  int clusters = 9;
+  double missing_prob = 0.3;  // fraction of unobserved (monitor, IP) pairs
+  int hop_min = 4;
+  int hop_max = 30;
+  double jitter_prob = 0.35;  // chance a reading is off by one hop
+
+  static ScatterConfig small();
+};
+
+class IpScatterGenerator {
+ public:
+  explicit IpScatterGenerator(ScatterConfig config);
+
+  std::vector<net::ScatterRecord> generate();
+
+  /// Cluster centers: clusters x monitors hop counts.
+  [[nodiscard]] const std::vector<std::vector<double>>& centers() const {
+    return centers_;
+  }
+  /// Ground-truth cluster of each IP index.
+  [[nodiscard]] const std::vector<int>& assignment() const {
+    return assignment_;
+  }
+  [[nodiscard]] const ScatterConfig& config() const { return config_; }
+
+ private:
+  ScatterConfig config_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<int> assignment_;
+};
+
+}  // namespace dpnet::tracegen

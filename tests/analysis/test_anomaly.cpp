@@ -1,0 +1,128 @@
+#include "analysis/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tracegen/isp_traffic.hpp"
+
+namespace dpnet::analysis {
+namespace {
+
+using net::LinkPacket;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 18)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<LinkPacket> wrap(std::vector<LinkPacket> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+TEST(DpLinkTimeMatrix, HighEpsRecoversExactCounts) {
+  tracegen::IspTrafficGenerator gen(tracegen::IspConfig::small());
+  const auto records = gen.generate();
+  Env env;
+  AnomalyOptions opt;
+  opt.links = gen.config().links;
+  opt.windows = gen.config().windows;
+  opt.eps = 1e7;
+  const auto dp = dp_link_time_matrix(env.wrap(records), opt);
+  const auto exact = exact_link_time_matrix(gen.true_counts());
+  ASSERT_EQ(dp.rows(), exact.rows());
+  ASSERT_EQ(dp.cols(), exact.cols());
+  for (std::size_t l = 0; l < dp.rows(); ++l) {
+    for (std::size_t w = 0; w < dp.cols(); ++w) {
+      EXPECT_NEAR(dp(l, w), exact(l, w), 0.1);
+    }
+  }
+}
+
+TEST(DpLinkTimeMatrix, WholeMatrixCostsOneEps) {
+  tracegen::IspConfig cfg = tracegen::IspConfig::small();
+  tracegen::IspTrafficGenerator gen(cfg);
+  const auto records = gen.generate();
+  Env env;
+  AnomalyOptions opt;
+  opt.links = cfg.links;
+  opt.windows = cfg.windows;
+  opt.eps = 0.1;
+  dp_link_time_matrix(env.wrap(records), opt);
+  // links x windows counts, but nested Partition max-cost: just eps.
+  EXPECT_NEAR(env.budget->spent(), 0.1, 1e-9);
+}
+
+TEST(DpLinkTimeMatrix, RejectsMissingDimensions) {
+  Env env;
+  AnomalyOptions opt;
+  EXPECT_THROW(dp_link_time_matrix(env.wrap({}), opt),
+               std::invalid_argument);
+}
+
+TEST(AnomalyNorms, SpikeAtEveryImplantedAnomaly) {
+  tracegen::IspConfig cfg = tracegen::IspConfig::small();
+  tracegen::IspTrafficGenerator gen(cfg);
+  gen.generate();
+  AnomalyOptions opt;
+  opt.links = cfg.links;
+  opt.windows = cfg.windows;
+  const auto norms =
+      anomaly_norms(exact_link_time_matrix(gen.true_counts()), opt);
+  ASSERT_EQ(static_cast<int>(norms.size()), cfg.windows);
+
+  double baseline = 0.0;
+  int baseline_n = 0;
+  for (int w = 0; w < cfg.windows; ++w) {
+    bool anomalous = false;
+    for (const auto& a : cfg.anomalies) {
+      if (a.window == w) anomalous = true;
+    }
+    if (!anomalous) {
+      baseline += norms[static_cast<std::size_t>(w)];
+      ++baseline_n;
+    }
+  }
+  baseline /= baseline_n;
+  for (const auto& a : cfg.anomalies) {
+    EXPECT_GT(norms[static_cast<std::size_t>(a.window)], 3.0 * baseline)
+        << "anomaly at window " << a.window;
+  }
+}
+
+TEST(AnomalyNorms, PrivateAndExactNormsAgreeAtMediumEps) {
+  // The paper's Fig 4 claim: the residual norm is robust to the counting
+  // noise even at strong privacy.
+  tracegen::IspConfig cfg = tracegen::IspConfig::small();
+  tracegen::IspTrafficGenerator gen(cfg);
+  const auto records = gen.generate();
+  Env env;
+  AnomalyOptions opt;
+  opt.links = cfg.links;
+  opt.windows = cfg.windows;
+  opt.eps = 1.0;
+  const auto dp_norms =
+      anomaly_norms(dp_link_time_matrix(env.wrap(records), opt), opt);
+  const auto exact_norms =
+      anomaly_norms(exact_link_time_matrix(gen.true_counts()), opt);
+  // The top anomaly stands out in both and at the same window.
+  auto argmax = [](const std::vector<double>& v) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      if (v[i] > v[best]) best = i;
+    }
+    return best;
+  };
+  EXPECT_EQ(argmax(dp_norms), argmax(exact_norms));
+}
+
+TEST(ExactLinkTimeMatrix, RejectsRaggedOrEmptyInput) {
+  EXPECT_THROW(exact_link_time_matrix({}), std::invalid_argument);
+  EXPECT_THROW(exact_link_time_matrix({{1.0, 2.0}, {1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,100 @@
+// Cross-analysis property: weaker privacy never hurts.  For each analysis
+// we compare a strong-privacy and a weak-privacy run (averaged over a few
+// seeds) and require the weak run to be at least as accurate — the
+// ordering every figure of the paper exhibits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "analysis/packet_dist.hpp"
+#include "analysis/scan_detection.hpp"
+#include "analysis/worm.hpp"
+#include "stats/metrics.hpp"
+#include "tracegen/hotspot.hpp"
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Packet;
+
+const std::vector<Packet>& shared_trace() {
+  static const std::vector<Packet> trace = [] {
+    tracegen::HotspotGenerator gen(tracegen::HotspotConfig::small());
+    return gen.generate();
+  }();
+  return trace;
+}
+
+core::Queryable<Packet> protect(std::uint64_t seed) {
+  return {shared_trace(), std::make_shared<core::RootBudget>(1e9),
+          std::make_shared<core::NoiseSource>(seed)};
+}
+
+TEST(EpsOrdering, PacketLengthCdf) {
+  const auto exact = exact_packet_length_cdf(shared_trace(), 50);
+  auto mean_err = [&](double eps, std::uint64_t base) {
+    double total = 0.0;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const auto dp = dp_packet_length_cdf(protect(base + s), eps, 50);
+      total += stats::rmse(dp.values, exact.values);
+    }
+    return total / 4.0;
+  };
+  EXPECT_GT(mean_err(0.05, 10), mean_err(5.0, 20));
+}
+
+TEST(EpsOrdering, WormRecallNeverDropsWithWeakerPrivacy) {
+  const auto& trace = shared_trace();
+  const auto cfg = tracegen::HotspotConfig::small();
+  const int dispersion = cfg.worm_dispersion_min - 1;
+  const auto exact_set =
+      exact_worm_payloads(trace, 8, dispersion, dispersion);
+  const std::set<std::string> truth(exact_set.begin(), exact_set.end());
+  ASSERT_FALSE(truth.empty());
+
+  auto recall = [&](double eps, std::uint64_t seed) {
+    WormOptions opt;
+    opt.payload_len = 8;
+    opt.src_threshold = dispersion;
+    opt.dst_threshold = dispersion;
+    opt.eps_group_count = eps;
+    opt.eps_per_string_level = eps;
+    opt.string_threshold = 25.0;
+    opt.eps_dispersion = eps;
+    const auto result = dp_worm_fingerprint(protect(seed), opt);
+    std::size_t hits = 0;
+    for (const auto& c : result.candidates) {
+      if (c.flagged && truth.count(c.payload)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(truth.size());
+  };
+  double weak = 0.0, strong = 0.0;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    weak += recall(20.0, 30 + s);
+    strong += recall(0.05, 40 + s);
+  }
+  EXPECT_GE(weak, strong);
+  EXPECT_GT(weak / 3.0, 0.8);  // weak privacy finds most worms
+}
+
+TEST(EpsOrdering, ScannerCountErrorShrinks) {
+  auto err = [&](double eps, std::uint64_t base) {
+    const auto exact = exact_scanners(shared_trace(), 445, 8).size();
+    double total = 0.0;
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      ScanDetectionOptions opt;
+      opt.fanout_threshold = 8;
+      opt.eps_count = eps;
+      opt.eps_histogram = 1e6;  // keep the histogram out of the comparison
+      const auto r = dp_scan_detection(protect(base + s), opt);
+      total += std::abs(r.noisy_scanner_count -
+                        static_cast<double>(exact));
+    }
+    return total / 4.0;
+  };
+  EXPECT_GT(err(0.05, 50), err(5.0, 60));
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

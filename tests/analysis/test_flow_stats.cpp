@@ -1,0 +1,295 @@
+#include "analysis/flow_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+using net::TcpFlags;
+
+constexpr double kExactEps = 1e7;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 15)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+Packet tcp_packet(double t, Ipv4 src, Ipv4 dst, std::uint16_t sport,
+                  std::uint16_t dport, TcpFlags flags, std::uint32_t seq,
+                  std::uint32_t ack, std::uint16_t len) {
+  Packet p;
+  p.timestamp = t;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.protocol = net::kProtoTcp;
+  p.flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.length = len;
+  return p;
+}
+
+const Ipv4 kClient(10, 0, 0, 1);
+const Ipv4 kServer(198, 18, 0, 1);
+constexpr TcpFlags kSyn{.syn = true};
+constexpr TcpFlags kSynAck{.syn = true, .ack = true};
+constexpr TcpFlags kData{.ack = true, .psh = true};
+
+/// Two handshakes with RTTs of 30 ms and 120 ms.
+std::vector<Packet> handshake_trace() {
+  return {
+      tcp_packet(1.00, kClient, kServer, 1000, 80, kSyn, 100, 0, 40),
+      tcp_packet(1.03, kServer, kClient, 80, 1000, kSynAck, 500, 101, 40),
+      tcp_packet(2.00, kClient, kServer, 2000, 443, kSyn, 700, 0, 40),
+      tcp_packet(2.12, kServer, kClient, 443, 2000, kSynAck, 900, 701, 40),
+  };
+}
+
+TEST(HandshakeRttsMs, JoinRecoversBothRtts) {
+  Env env;
+  auto rtts = handshake_rtts_ms(env.wrap(handshake_trace()));
+  auto values = rtts.data_unsafe();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::int64_t>{30, 120}));
+}
+
+TEST(HandshakeRttsMs, AgreesWithExactReference) {
+  Env env;
+  auto values = handshake_rtts_ms(env.wrap(handshake_trace())).data_unsafe();
+  auto exact = exact_rtts_ms(handshake_trace());
+  std::sort(values.begin(), values.end());
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(values, exact);
+}
+
+TEST(HandshakeRttsMs, UnmatchedSynProducesNothing) {
+  Env env;
+  std::vector<Packet> trace = {
+      tcp_packet(1.0, kClient, kServer, 1000, 80, kSyn, 100, 0, 40),
+  };
+  EXPECT_TRUE(handshake_rtts_ms(env.wrap(trace)).data_unsafe().empty());
+}
+
+TEST(FlowLossPermille, ComputesPerFlowRates) {
+  Env env;
+  std::vector<Packet> trace;
+  // Flow with 12 data packets, 2 of them retransmissions -> 2/12 loss.
+  for (int i = 0; i < 10; ++i) {
+    trace.push_back(tcp_packet(i * 0.1, kClient, kServer, 1000, 80, kData,
+                               static_cast<std::uint32_t>(100 * i), 0, 500));
+  }
+  trace.push_back(
+      tcp_packet(1.5, kClient, kServer, 1000, 80, kData, 100, 0, 500));
+  trace.push_back(
+      tcp_packet(1.6, kClient, kServer, 1000, 80, kData, 200, 0, 500));
+  const auto rates =
+      flow_loss_permille(env.wrap(trace), 10).data_unsafe();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_EQ(rates[0], 167);  // 2/12 = 0.1667
+}
+
+TEST(FlowLossPermille, ShortFlowsAreExcluded) {
+  Env env;
+  std::vector<Packet> trace;
+  for (int i = 0; i < 5; ++i) {
+    trace.push_back(tcp_packet(i * 0.1, kClient, kServer, 1000, 80, kData,
+                               static_cast<std::uint32_t>(i), 0, 500));
+  }
+  EXPECT_TRUE(flow_loss_permille(env.wrap(trace), 10).data_unsafe().empty());
+}
+
+TEST(FlowLossPermille, AgreesWithExactReference) {
+  Env env;
+  std::vector<Packet> trace;
+  for (int f = 0; f < 3; ++f) {
+    for (int i = 0; i < 15; ++i) {
+      const auto seq = static_cast<std::uint32_t>(i % (15 - f));  // dups
+      trace.push_back(tcp_packet(
+          i * 0.1, kClient, kServer, static_cast<std::uint16_t>(1000 + f),
+          80, kData, seq, 0, 500));
+    }
+  }
+  auto dp = flow_loss_permille(env.wrap(trace), 10).data_unsafe();
+  auto exact = exact_loss_permille(trace, 10);
+  std::sort(dp.begin(), dp.end());
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(dp, exact);
+}
+
+TEST(OutOfOrderPermille, DetectsReordering) {
+  Env env;
+  std::vector<Packet> trace;
+  const std::uint32_t seqs[] = {10, 20, 30, 40, 50, 45, 60, 70, 80, 90, 100,
+                                110};
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back(tcp_packet(i * 0.1, kClient, kServer, 1000, 80, kData,
+                               seqs[i], 0, 500));
+  }
+  const auto rates =
+      flow_out_of_order_permille(env.wrap(trace), 10).data_unsafe();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_EQ(rates[0], 83);  // 1 of 12
+}
+
+TEST(FlowCapacityKbps, MedianPairRatePerFlow) {
+  Env env;
+  std::vector<Packet> trace;
+  // 12 in-order packets of 1000 bytes spaced 10 ms: 8*1000/(0.01*1000)
+  // = 800 kbit/s per pair.
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back(tcp_packet(1.0 + i * 0.010, kClient, kServer, 1000, 80,
+                               kData, static_cast<std::uint32_t>(1000 * i),
+                               0, 1000));
+  }
+  const auto caps = flow_capacity_kbps(env.wrap(trace), 10).data_unsafe();
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(caps[0]), 800.0, 1.0);
+}
+
+TEST(FlowCapacityKbps, IgnoresRetransmissionsAndShortFlows) {
+  Env env;
+  std::vector<Packet> trace;
+  for (int i = 0; i < 12; ++i) {
+    trace.push_back(tcp_packet(1.0 + i * 0.010, kClient, kServer, 1000, 80,
+                               kData, static_cast<std::uint32_t>(1000 * i),
+                               0, 1000));
+  }
+  // A retransmission (seq goes backwards) must not contribute a pair.
+  trace.push_back(
+      tcp_packet(1.5, kClient, kServer, 1000, 80, kData, 3000, 0, 1000));
+  const auto caps = flow_capacity_kbps(env.wrap(trace), 10).data_unsafe();
+  ASSERT_EQ(caps.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(caps[0]), 800.0, 1.0);
+  // Short flows are excluded entirely.
+  std::vector<Packet> short_flow(trace.begin(), trace.begin() + 5);
+  EXPECT_TRUE(
+      flow_capacity_kbps(env.wrap(short_flow), 10).data_unsafe().empty());
+}
+
+TEST(RetransmitDiffsMs, ExtractsPerFlowGaps) {
+  Env env;
+  std::vector<Packet> trace = {
+      tcp_packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      tcp_packet(1.2, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      tcp_packet(2.0, kClient, kServer, 2000, 80, kData, 7, 0, 500),
+      tcp_packet(2.05, kClient, kServer, 2000, 80, kData, 7, 0, 500),
+  };
+  auto diffs = retransmit_diffs_ms(env.wrap(trace), 8).data_unsafe();
+  std::sort(diffs.begin(), diffs.end());
+  EXPECT_EQ(diffs, (std::vector<std::int64_t>{50, 200}));
+}
+
+TEST(RetransmitDiffsMs, FanoutBoundTruncates) {
+  Env env;
+  std::vector<Packet> trace;
+  // One flow with 5 retransmissions of the same segment.
+  for (int i = 0; i < 6; ++i) {
+    trace.push_back(tcp_packet(1.0 + i * 0.1, kClient, kServer, 1000, 80,
+                               kData, 100, 0, 500));
+  }
+  EXPECT_EQ(retransmit_diffs_ms(env.wrap(trace), 2).data_unsafe().size(),
+            2u);
+}
+
+TEST(PacketsPerConnection, SplitsFlowsAtClientSyns) {
+  Env env;
+  std::vector<Packet> trace = {
+      tcp_packet(1.0, kClient, kServer, 1000, 80, kSyn, 1, 0, 40),
+      tcp_packet(1.1, kClient, kServer, 1000, 80, kData, 2, 0, 500),
+      tcp_packet(1.2, kClient, kServer, 1000, 80, kData, 3, 0, 500),
+      tcp_packet(2.0, kClient, kServer, 1000, 80, kSyn, 50, 0, 40),
+      tcp_packet(2.1, kClient, kServer, 1000, 80, kData, 51, 0, 500),
+  };
+  auto counts =
+      packets_per_connection_column(env.wrap(trace)).data_unsafe();
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{2, 3}));
+}
+
+TEST(PacketsPerConnection, ServerDirectionJoinsTheSameConnection) {
+  Env env;
+  std::vector<Packet> trace = {
+      tcp_packet(1.0, kClient, kServer, 1000, 80, kSyn, 1, 0, 40),
+      tcp_packet(1.05, kServer, kClient, 80, 1000, kSynAck, 9, 2, 40),
+      tcp_packet(1.1, kClient, kServer, 1000, 80, kData, 2, 10, 500),
+  };
+  const auto counts =
+      packets_per_connection_column(env.wrap(trace)).data_unsafe();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 3);
+}
+
+TEST(PacketsPerConnection, AgreesWithTrustedSidePreprocessing) {
+  Env env;
+  std::vector<Packet> trace;
+  for (int c = 0; c < 4; ++c) {
+    trace.push_back(tcp_packet(c * 10.0, kClient, kServer, 1000, 80, kSyn,
+                               static_cast<std::uint32_t>(100 * c), 0, 40));
+    for (int i = 1; i <= c + 1; ++i) {
+      trace.push_back(tcp_packet(
+          c * 10.0 + i * 0.1, kClient, kServer, 1000, 80, kData,
+          static_cast<std::uint32_t>(100 * c + i), 0, 500));
+    }
+  }
+  auto dp = packets_per_connection_column(env.wrap(trace)).data_unsafe();
+  auto exact_sizes =
+      net::packets_per_connection(net::assign_connection_ids(trace));
+  std::vector<std::int64_t> exact(exact_sizes.begin(), exact_sizes.end());
+  std::sort(dp.begin(), dp.end());
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(dp, exact);
+}
+
+TEST(DpRttCdf, CostsTwiceEpsBecauseBothJoinInputsPay) {
+  Env env;
+  dp_rtt_cdf(env.wrap(handshake_trace()), 0.25, 50);
+  EXPECT_NEAR(env.budget->spent(), 0.5, 1e-9);
+}
+
+TEST(DpRttCdf, MatchesExactShapeAtHighEps) {
+  Env env;
+  const auto dp = dp_rtt_cdf(env.wrap(handshake_trace()), kExactEps, 10);
+  // 30ms rtt is included by boundary 30; 120ms by 120.
+  for (std::size_t i = 0; i < dp.boundaries.size(); ++i) {
+    if (dp.boundaries[i] == 20) {
+      EXPECT_NEAR(dp.values[i], 0.0, 0.1);
+    }
+    if (dp.boundaries[i] == 100) {
+      EXPECT_NEAR(dp.values[i], 1.0, 0.1);
+    }
+    if (dp.boundaries[i] == 600) {
+      EXPECT_NEAR(dp.values[i], 2.0, 0.1);
+    }
+  }
+}
+
+TEST(DpLossCdf, CostsTwiceEpsBecauseOfGrouping) {
+  Env env;
+  std::vector<Packet> trace;
+  for (int i = 0; i < 15; ++i) {
+    trace.push_back(tcp_packet(i * 0.1, kClient, kServer, 1000, 80, kData,
+                               static_cast<std::uint32_t>(i), 0, 500));
+  }
+  dp_loss_cdf(env.wrap(trace), 0.25, 100);
+  EXPECT_NEAR(env.budget->spent(), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,137 @@
+#include "analysis/packet_dist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+constexpr double kExactEps = 1e7;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 12)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+std::vector<Packet> sample_trace() {
+  std::vector<Packet> trace;
+  const std::uint16_t lengths[] = {40, 40, 40, 1492, 1492, 700, 320, 40};
+  const std::uint16_t ports[] = {80, 80, 443, 22, 53, 80, 8080, 40000};
+  for (int i = 0; i < 8; ++i) {
+    Packet p;
+    p.timestamp = i;
+    p.src_ip = Ipv4(10, 0, 0, 1);
+    p.dst_ip = Ipv4(198, 18, 0, 1);
+    p.length = lengths[i];
+    p.dst_port = ports[i];
+    trace.push_back(p);
+  }
+  return trace;
+}
+
+TEST(PacketLengths, ExtractsLengthColumn) {
+  Env env;
+  auto lengths = packet_lengths(env.wrap(sample_trace()));
+  EXPECT_EQ(lengths.data_unsafe(),
+            (std::vector<std::int64_t>{40, 40, 40, 1492, 1492, 700, 320, 40}));
+}
+
+TEST(DstPorts, ExtractsPortColumn) {
+  Env env;
+  auto ports = dst_ports(env.wrap(sample_trace()));
+  EXPECT_EQ(ports.data_unsafe()[0], 80);
+  EXPECT_EQ(ports.data_unsafe()[7], 40000);
+}
+
+TEST(PacketLengthCdf, MatchesExactAtHighEps) {
+  Env env;
+  const auto trace = sample_trace();
+  const auto exact = exact_packet_length_cdf(trace, 100);
+  const auto dp = dp_packet_length_cdf(env.wrap(trace), kExactEps, 100);
+  ASSERT_EQ(dp.values.size(), exact.values.size());
+  for (std::size_t i = 0; i < exact.values.size(); ++i) {
+    EXPECT_NEAR(dp.values[i], exact.values[i], 0.1);
+  }
+  // The final boundary covers every packet.
+  EXPECT_NEAR(dp.values.back(), 8.0, 0.1);
+}
+
+TEST(PacketLengthCdf, CapturesTheTwoModes) {
+  const auto exact = exact_packet_length_cdf(sample_trace(), 25);
+  // Mass at <=50 is the four 40-byte packets.
+  const auto& b = exact.boundaries;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i] == 50) {
+      EXPECT_DOUBLE_EQ(exact.values[i], 4.0);
+    }
+    if (b[i] == 1475) {
+      EXPECT_DOUBLE_EQ(exact.values[i], 6.0);
+    }
+    if (b[i] == 1500) {
+      EXPECT_DOUBLE_EQ(exact.values[i], 8.0);
+    }
+  }
+}
+
+TEST(PortCdf, MatchesExactAtHighEps) {
+  Env env;
+  const auto trace = sample_trace();
+  const auto exact = exact_port_cdf(trace, 4096);
+  const auto dp = dp_port_cdf(env.wrap(trace), kExactEps, 4096);
+  ASSERT_EQ(dp.values.size(), exact.values.size());
+  for (std::size_t i = 0; i < exact.values.size(); ++i) {
+    EXPECT_NEAR(dp.values[i], exact.values[i], 0.1);
+  }
+}
+
+TEST(PacketLengthCdf, CostsExactlyEps) {
+  Env env;
+  dp_packet_length_cdf(env.wrap(sample_trace()), 0.4, 100);
+  EXPECT_NEAR(env.budget->spent(), 0.4, 1e-9);
+}
+
+TEST(PortCdf, CostsExactlyEps) {
+  Env env;
+  dp_port_cdf(env.wrap(sample_trace()), 0.3, 4096);
+  EXPECT_NEAR(env.budget->spent(), 0.3, 1e-9);
+}
+
+TEST(PacketLengthCdf, ErrorGrowsAsEpsShrinks) {
+  const auto trace = [] {
+    std::vector<Packet> t;
+    for (int i = 0; i < 2000; ++i) {
+      Packet p;
+      p.length = static_cast<std::uint16_t>(40 + (i % 1400));
+      t.push_back(p);
+    }
+    return t;
+  }();
+  const auto exact = exact_packet_length_cdf(trace, 50);
+  auto avg_err = [&](double eps) {
+    double total = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      Env env(1e12, 40 + seed);
+      const auto dp = dp_packet_length_cdf(env.wrap(trace), eps, 50);
+      for (std::size_t i = 0; i < exact.values.size(); ++i) {
+        total += std::abs(dp.values[i] - exact.values[i]);
+      }
+    }
+    return total;
+  };
+  EXPECT_GT(avg_err(0.1), avg_err(10.0));
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,185 @@
+#include "analysis/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::analysis {
+namespace {
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 28)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<std::vector<int>> wrap(
+      std::vector<std::vector<int>> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+/// Channel 0 implies channel 1 (always together); channel 2 independent.
+std::vector<std::vector<int>> window_corpus() {
+  std::vector<std::vector<int>> windows;
+  for (int i = 0; i < 200; ++i) windows.push_back({0, 1});
+  for (int i = 0; i < 100; ++i) windows.push_back({1});  // 1 without 0
+  for (int i = 0; i < 150; ++i) windows.push_back({2});
+  return windows;
+}
+
+const std::vector<int> kUniverse = {0, 1, 2};
+
+TEST(ExactMineRules, ConfidenceMatchesSupportRatio) {
+  const auto rules = exact_mine_rules(window_corpus(), kUniverse, 50.0, 0.5);
+  // 0 => 1 has confidence 200/200 = 1.0; 1 => 0 has 200/300 = 0.667.
+  bool found_0_1 = false, found_1_0 = false;
+  for (const auto& r : rules) {
+    if (r.lhs == 0 && r.rhs == 1) {
+      found_0_1 = true;
+      EXPECT_DOUBLE_EQ(r.confidence, 1.0);
+      EXPECT_DOUBLE_EQ(r.support, 200.0);
+    }
+    if (r.lhs == 1 && r.rhs == 0) {
+      found_1_0 = true;
+      EXPECT_NEAR(r.confidence, 200.0 / 300.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_0_1);
+  EXPECT_TRUE(found_1_0);
+}
+
+TEST(ExactMineRules, MinConfidenceFilters) {
+  const auto rules = exact_mine_rules(window_corpus(), kUniverse, 50.0, 0.9);
+  for (const auto& r : rules) {
+    EXPECT_GE(r.confidence, 0.9);
+  }
+  // 1 => 0 (0.667) must be gone.
+  for (const auto& r : rules) {
+    EXPECT_FALSE(r.lhs == 1 && r.rhs == 0);
+  }
+}
+
+TEST(ExactMineRules, IndependentChannelProducesNoRules) {
+  const auto rules = exact_mine_rules(window_corpus(), kUniverse, 50.0, 0.3);
+  for (const auto& r : rules) {
+    EXPECT_NE(r.lhs, 2);
+    EXPECT_NE(r.rhs, 2);
+  }
+}
+
+TEST(DpMineRules, RecoversTheImplantedRuleAtHighEps) {
+  Env env;
+  RuleMiningOptions opt;
+  opt.eps_per_level = 1e6;
+  opt.mining_support = 50.0;
+  opt.min_support = 50.0;
+  opt.min_confidence = 0.5;
+  const auto rules = dp_mine_rules(env.wrap(window_corpus()), kUniverse, opt);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_EQ(rules[0].lhs, 0);
+  EXPECT_EQ(rules[0].rhs, 1);
+  EXPECT_GT(rules[0].confidence, 0.9);
+}
+
+TEST(DpMineRules, PrivacyCostIsFourLevels) {
+  Env env;
+  RuleMiningOptions opt;
+  opt.eps_per_level = 0.2;
+  opt.mining_support = 50.0;
+  opt.min_support = 50.0;
+  dp_mine_rules(env.wrap(window_corpus()), kUniverse, opt);
+  // Two apriori levels + the pair pass + the antecedent pass.
+  EXPECT_NEAR(env.budget->spent(), 0.8, 1e-9);
+}
+
+TEST(DpMineRules, NoCandidatesMeansNoExtraCharges) {
+  Env env;
+  RuleMiningOptions opt;
+  opt.eps_per_level = 0.2;
+  opt.mining_support = 1e12;  // nothing survives mining
+  EXPECT_TRUE(
+      dp_mine_rules(env.wrap(window_corpus()), kUniverse, opt).empty());
+  // Level 1 finds nothing, so level 2 and both measurement passes are
+  // skipped: only one mining level is ever charged.
+  EXPECT_NEAR(env.budget->spent(), 0.2, 1e-9);
+}
+
+TEST(DpMineRules, ConfidenceDenominatorsAreUnsplit) {
+  // The 1 => 0 rule: exact confidence 200/300.  Without the dedicated
+  // antecedent pass the partitioned support of {1} (~200) would inflate
+  // it to ~1.0.
+  Env env;
+  RuleMiningOptions opt;
+  opt.eps_per_level = 1e6;
+  opt.mining_support = 50.0;
+  opt.min_support = 50.0;
+  opt.min_confidence = 0.1;
+  const auto rules = dp_mine_rules(env.wrap(window_corpus()), kUniverse, opt);
+  bool found = false;
+  for (const auto& r : rules) {
+    if (r.lhs == 1 && r.rhs == 0) {
+      found = true;
+      EXPECT_NEAR(r.confidence, 200.0 / 300.0, 0.02);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DpMineRules, SupportsAndConfidencesMatchExactAtHighEps) {
+  // Stage 2 re-measures true supports, so private rules mirror the exact
+  // ones (unlike the diluted stage-1 mining counts).
+  Env env;
+  RuleMiningOptions opt;
+  opt.eps_per_level = 1e6;
+  opt.mining_support = 30.0;
+  opt.min_support = 30.0;
+  opt.min_confidence = 0.1;
+  const auto dp = dp_mine_rules(env.wrap(window_corpus()), kUniverse, opt);
+  const auto exact = exact_mine_rules(window_corpus(), kUniverse, 30.0, 0.1);
+  std::size_t matched = 0;
+  for (const auto& d : dp) {
+    for (const auto& e : exact) {
+      if (d.lhs == e.lhs && d.rhs == e.rhs) {
+        ++matched;
+        EXPECT_NEAR(d.confidence, e.confidence, 0.02);
+        EXPECT_NEAR(d.support, e.support, 2.0);
+      }
+    }
+  }
+  EXPECT_GE(matched, 2u);
+}
+
+TEST(BuildActivityWindows, BucketsEventsByTime) {
+  std::vector<std::vector<double>> events = {
+      {0.1, 5.1},   // channel 0 in windows 0 and 5
+      {0.9, 1.1},   // channel 1 in windows 0 and 1
+  };
+  const auto windows = build_activity_windows(events, 1.0, 6.0);
+  ASSERT_EQ(windows.size(), 6u);
+  EXPECT_EQ(windows[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(windows[1], (std::vector<int>{1}));
+  EXPECT_TRUE(windows[2].empty());
+  EXPECT_EQ(windows[5], (std::vector<int>{0}));
+}
+
+TEST(BuildActivityWindows, DropsEventsOutsideRange) {
+  std::vector<std::vector<double>> events = {{-0.5, 10.0, 2.0}};
+  const auto windows = build_activity_windows(events, 1.0, 4.0);
+  std::size_t total = 0;
+  for (const auto& w : windows) total += w.size();
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(BuildActivityWindows, RejectsBadExtents) {
+  std::vector<std::vector<double>> events;
+  EXPECT_THROW(build_activity_windows(events, 0.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(build_activity_windows(events, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,126 @@
+#include "analysis/scan_detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 61)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+Packet probe(Ipv4 src, Ipv4 dst, std::uint16_t port) {
+  Packet p;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.dst_port = port;
+  p.length = 60;
+  return p;
+}
+
+/// One scanner probing 30 distinct hosts on 445, one benign host talking
+/// to 3, plus unrelated port-80 traffic.
+std::vector<Packet> scan_trace() {
+  std::vector<Packet> trace;
+  const Ipv4 scanner(203, 0, 0, 1);
+  for (int d = 0; d < 30; ++d) {
+    trace.push_back(probe(scanner,
+                          Ipv4(10, 0, 0, static_cast<std::uint8_t>(d + 1)),
+                          445));
+  }
+  const Ipv4 benign(10, 0, 1, 1);
+  for (int d = 0; d < 3; ++d) {
+    for (int r = 0; r < 5; ++r) {  // repeated contact: still 3 distinct
+      trace.push_back(probe(
+          benign, Ipv4(10, 0, 2, static_cast<std::uint8_t>(d + 1)), 445));
+    }
+  }
+  for (int d = 0; d < 100; ++d) {
+    trace.push_back(probe(Ipv4(10, 9, 9, 9),
+                          Ipv4(10, 0, 3, static_cast<std::uint8_t>(d % 20)),
+                          80));
+  }
+  return trace;
+}
+
+TEST(ExactScanners, FindsOnlyTheFanningHost) {
+  const auto scanners = exact_scanners(scan_trace(), 445, 20);
+  ASSERT_EQ(scanners.size(), 1u);
+  EXPECT_EQ(scanners[0].first, Ipv4(203, 0, 0, 1));
+  EXPECT_EQ(scanners[0].second, 30u);
+}
+
+TEST(ExactScanners, ThresholdAndPortAreRespected) {
+  EXPECT_EQ(exact_scanners(scan_trace(), 445, 2).size(), 2u);
+  EXPECT_TRUE(exact_scanners(scan_trace(), 445, 40).empty());
+  // Port 80 traffic has fan-out 20, threshold 19 catches it there.
+  EXPECT_EQ(exact_scanners(scan_trace(), 80, 19).size(), 1u);
+}
+
+TEST(DpScanDetection, CountsScannersAtHighEps) {
+  Env env;
+  ScanDetectionOptions opt;
+  opt.target_port = 445;
+  opt.fanout_threshold = 20;
+  opt.eps_count = 1e7;
+  opt.eps_histogram = 1e7;
+  const auto result = dp_scan_detection(env.wrap(scan_trace()), opt);
+  EXPECT_NEAR(result.noisy_scanner_count, 1.0, 0.01);
+}
+
+TEST(DpScanDetection, FanoutCdfReflectsBothHosts) {
+  Env env;
+  ScanDetectionOptions opt;
+  opt.eps_count = 1e7;
+  opt.eps_histogram = 1e7;
+  opt.histogram_max = 64;
+  opt.histogram_bucket = 4;
+  const auto result = dp_scan_detection(env.wrap(scan_trace()), opt);
+  // Two hosts touch port 445: fan-outs 3 and 30.
+  ASSERT_FALSE(result.fanout_cdf.empty());
+  for (std::size_t i = 0; i < result.fanout_boundaries.size(); ++i) {
+    if (result.fanout_boundaries[i] == 4) {
+      EXPECT_NEAR(result.fanout_cdf[i], 1.0, 0.1);
+    }
+    if (result.fanout_boundaries[i] == 32) {
+      EXPECT_NEAR(result.fanout_cdf[i], 2.0, 0.1);
+    }
+  }
+}
+
+TEST(DpScanDetection, PrivacyCostIsCountPlusHistogram) {
+  Env env;
+  ScanDetectionOptions opt;
+  opt.eps_count = 0.1;
+  opt.eps_histogram = 0.2;
+  dp_scan_detection(env.wrap(scan_trace()), opt);
+  // Both run on a GroupBy (stability 2): 2*0.1 + 2*0.2.
+  EXPECT_NEAR(env.budget->spent(), 0.6, 1e-9);
+}
+
+TEST(DpScanDetection, EmptyTraceYieldsNoisyZero) {
+  Env env;
+  ScanDetectionOptions opt;
+  opt.eps_count = 1e7;
+  opt.eps_histogram = 1e7;
+  const auto result = dp_scan_detection(env.wrap({}), opt);
+  EXPECT_NEAR(result.noisy_scanner_count, 0.0, 0.01);
+  EXPECT_NEAR(result.fanout_cdf.back(), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

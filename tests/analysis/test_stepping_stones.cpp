@@ -1,0 +1,213 @@
+#include "analysis/stepping_stones.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Activation;
+using net::FlowKey;
+using net::Ipv4;
+using net::Packet;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 16)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+FlowKey make_flow(int i) {
+  return FlowKey{Ipv4(172, 16, 1, static_cast<std::uint8_t>(i)),
+                 Ipv4(172, 16, 2, static_cast<std::uint8_t>(i)),
+                 static_cast<std::uint16_t>(3000 + i), 22, net::kProtoTcp};
+}
+
+Packet flow_packet(const FlowKey& f, double t) {
+  Packet p;
+  p.timestamp = t;
+  p.src_ip = f.src_ip;
+  p.dst_ip = f.dst_ip;
+  p.src_port = f.src_port;
+  p.dst_port = f.dst_port;
+  p.protocol = f.protocol;
+  p.length = 92;
+  p.flags = net::TcpFlags{.ack = true, .psh = true};
+  return p;
+}
+
+void add_bursts(std::vector<Packet>& trace, const FlowKey& f,
+                const std::vector<double>& activation_times) {
+  for (double t : activation_times) {
+    trace.push_back(flow_packet(f, t));
+    trace.push_back(flow_packet(f, t + 0.1));  // within t_idle: same burst
+  }
+}
+
+std::vector<Packet> sorted_by_time(std::vector<Packet> trace) {
+  std::sort(trace.begin(), trace.end(),
+            [](const Packet& a, const Packet& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return trace;
+}
+
+TEST(DpActivations, MatchesExactExtractionOnBurstyFlows) {
+  std::vector<Packet> trace;
+  add_bursts(trace, make_flow(1), {1.0, 3.0, 5.5, 9.0});
+  add_bursts(trace, make_flow(2), {2.0, 7.0});
+  trace = sorted_by_time(std::move(trace));
+
+  Env env;
+  auto dp = dp_activations(env.wrap(trace), 0.5).data_unsafe();
+  const auto exact = net::extract_activations(trace, 0.5);
+
+  auto as_set = [](const std::vector<Activation>& acts) {
+    std::set<std::pair<std::string, double>> s;
+    for (const auto& a : acts) s.emplace(a.flow.to_string(), a.time);
+    return s;
+  };
+  EXPECT_EQ(as_set(dp), as_set(exact));
+}
+
+TEST(DpActivations, NoDoubleCountingAcrossTheTwoPasses) {
+  // Activations at bucket-aligned and mid-bucket instants.
+  std::vector<Packet> trace;
+  add_bursts(trace, make_flow(1), {0.0, 1.0, 1.5, 2.49, 4.0});
+  trace = sorted_by_time(std::move(trace));
+  Env env;
+  auto dp = dp_activations(env.wrap(trace), 0.5).data_unsafe();
+  // Exact count: gaps are 1.0-0.1=0.9, ... all gaps > 0.5 except 2.49
+  // follows 1.6 by 0.89 -> all five are activations.
+  EXPECT_EQ(dp.size(), net::extract_activations(trace, 0.5).size());
+}
+
+TEST(DpActivations, PacketsWithinIdleWindowAreNotActivations) {
+  std::vector<Packet> trace;
+  const FlowKey f = make_flow(1);
+  trace.push_back(flow_packet(f, 1.0));
+  trace.push_back(flow_packet(f, 1.3));
+  trace.push_back(flow_packet(f, 1.6));
+  Env env;
+  auto dp = dp_activations(env.wrap(trace), 0.5).data_unsafe();
+  ASSERT_EQ(dp.size(), 1u);
+  EXPECT_DOUBLE_EQ(dp[0].time, 1.0);
+}
+
+TEST(ExactCorrelation, PerfectLockstepIsOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.01, 2.02, 3.01};
+  EXPECT_DOUBLE_EQ(exact_correlation(a, b, 0.04), 1.0);
+}
+
+TEST(ExactCorrelation, DisjointSchedulesAreZero) {
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(exact_correlation(a, b, 0.04), 0.0);
+}
+
+TEST(ExactCorrelation, PartialOverlapIsFractional) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {1.01, 2.01, 30.0, 40.0};
+  // Matched: 2 of a, 2 of b -> 4 / 8.
+  EXPECT_DOUBLE_EQ(exact_correlation(a, b, 0.04), 0.5);
+}
+
+TEST(ExactCorrelation, EmptyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(exact_correlation({}, {}, 0.04), 0.0);
+}
+
+class SteppingStonePipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two correlated pairs (1,2) and (3,4), one independent flow 5.
+    std::vector<double> base1, base2;
+    for (int k = 0; k < 120; ++k) {
+      base1.push_back(5.0 + k * 2.0);
+      base2.push_back(5.7 + k * 2.0);
+    }
+    std::vector<Packet> trace;
+    add_bursts(trace, make_flow(1), base1);
+    add_bursts(trace, make_flow(2), shifted(base1, 0.02));
+    add_bursts(trace, make_flow(3), base2);
+    add_bursts(trace, make_flow(4), shifted(base2, 0.015));
+    std::vector<double> indep;
+    for (int k = 0; k < 120; ++k) indep.push_back(6.3 + k * 2.0);
+    add_bursts(trace, make_flow(5), indep);
+    trace_ = sorted_by_time(std::move(trace));
+    for (int i = 1; i <= 5; ++i) candidates_.push_back(make_flow(i));
+  }
+
+  static std::vector<double> shifted(std::vector<double> v, double d) {
+    for (double& x : v) x += d;
+    return v;
+  }
+
+  std::vector<Packet> trace_;
+  std::vector<FlowKey> candidates_;
+};
+
+TEST_F(SteppingStonePipeline, ExactDetectorRanksTruePairsFirst) {
+  const auto scores =
+      exact_stepping_stones(trace_, candidates_, 0.5, 0.04);
+  ASSERT_GE(scores.size(), 2u);
+  auto is_true_pair = [](const ExactPairScore& s) {
+    const auto a = s.a.src_ip.value & 0xff;
+    const auto b = s.b.src_ip.value & 0xff;
+    return (std::min(a, b) == 1 && std::max(a, b) == 2) ||
+           (std::min(a, b) == 3 && std::max(a, b) == 4);
+  };
+  EXPECT_TRUE(is_true_pair(scores[0]));
+  EXPECT_TRUE(is_true_pair(scores[1]));
+  EXPECT_GT(scores[0].correlation, 0.9);
+  EXPECT_LT(scores[2].correlation, 0.3);
+}
+
+TEST_F(SteppingStonePipeline, DpPipelineFindsTruePairsAtHighEps) {
+  Env env;
+  SteppingStoneOptions opt;
+  opt.eps_itemset = 1e5;
+  opt.eps_eval = 1e5;
+  opt.itemset_threshold = 40.0;
+  opt.top_k = 4;
+  const auto scored =
+      dp_stepping_stones(env.wrap(trace_), candidates_, opt);
+  ASSERT_GE(scored.size(), 2u);
+  auto is_true_pair = [](const StonePairScore& s) {
+    const auto a = s.a.src_ip.value & 0xff;
+    const auto b = s.b.src_ip.value & 0xff;
+    return (std::min(a, b) == 1 && std::max(a, b) == 2) ||
+           (std::min(a, b) == 3 && std::max(a, b) == 4);
+  };
+  EXPECT_TRUE(is_true_pair(scored[0]));
+  EXPECT_TRUE(is_true_pair(scored[1]));
+  EXPECT_GT(scored[0].noisy_correlation, 0.7);
+}
+
+TEST_F(SteppingStonePipeline, EmptyCandidateListYieldsNothing) {
+  Env env;
+  SteppingStoneOptions opt;
+  opt.eps_itemset = 1e5;
+  EXPECT_TRUE(dp_stepping_stones(env.wrap(trace_), {}, opt).empty());
+}
+
+TEST_F(SteppingStonePipeline, HighThresholdSuppressesAllPairs) {
+  Env env;
+  SteppingStoneOptions opt;
+  opt.eps_itemset = 1e5;
+  opt.itemset_threshold = 1e7;
+  EXPECT_TRUE(dp_stepping_stones(env.wrap(trace_), candidates_, opt).empty());
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,150 @@
+#include "analysis/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tracegen/ip_scatter.hpp"
+
+namespace dpnet::analysis {
+namespace {
+
+using net::ScatterRecord;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 19)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<ScatterRecord> wrap(std::vector<ScatterRecord> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+TopologyOptions options_for(const tracegen::ScatterConfig& cfg) {
+  TopologyOptions opt;
+  opt.monitors = cfg.monitors;
+  opt.clusters = cfg.clusters;
+  opt.iterations = 6;
+  return opt;
+}
+
+TEST(DpMonitorAverages, NearExactAtHighEps) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  Env env;
+  TopologyOptions opt = options_for(cfg);
+  opt.eps_averages = 1e7;
+  const auto averages = dp_monitor_averages(env.wrap(records), opt);
+
+  // Exact per-monitor means.
+  std::vector<double> sums(static_cast<std::size_t>(cfg.monitors), 0.0);
+  std::vector<double> counts(static_cast<std::size_t>(cfg.monitors), 0.0);
+  for (const auto& r : records) {
+    sums[static_cast<std::size_t>(r.monitor)] += r.hops;
+    counts[static_cast<std::size_t>(r.monitor)] += 1.0;
+  }
+  for (int m = 0; m < cfg.monitors; ++m) {
+    const auto i = static_cast<std::size_t>(m);
+    EXPECT_NEAR(averages[i], sums[i] / counts[i], 0.05);
+  }
+}
+
+TEST(DpMonitorAverages, CostsOneEpsViaPartition) {
+  tracegen::IpScatterGenerator gen(tracegen::ScatterConfig::small());
+  const auto records = gen.generate();
+  Env env;
+  TopologyOptions opt = options_for(gen.config());
+  opt.eps_averages = 0.2;
+  dp_monitor_averages(env.wrap(records), opt);
+  EXPECT_NEAR(env.budget->spent(), 0.2, 1e-9);
+}
+
+TEST(DpMonitorAverages, RejectsMissingMonitorCount) {
+  Env env;
+  TopologyOptions opt;
+  EXPECT_THROW(dp_monitor_averages(env.wrap({}), opt),
+               std::invalid_argument);
+}
+
+TEST(ExactHopVectors, OneRowPerIpWithFilledCoordinates) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const auto points = exact_hop_vectors(records, cfg.monitors);
+  EXPECT_EQ(points.cols(), static_cast<std::size_t>(cfg.monitors));
+  // One row per distinct IP observed.
+  std::set<std::uint32_t> ips;
+  for (const auto& r : records) ips.insert(r.ip);
+  EXPECT_EQ(points.rows(), ips.size());
+  // All coordinates are plausible hop counts (filled where missing).
+  for (std::size_t p = 0; p < points.rows(); ++p) {
+    for (std::size_t m = 0; m < points.cols(); ++m) {
+      EXPECT_GE(points(p, m), 0.0);
+      EXPECT_LE(points(p, m), 64.0);
+    }
+  }
+}
+
+TEST(ExactTopologyClustering, ObjectiveImprovesOverIterations) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto points = exact_hop_vectors(gen.generate(), cfg.monitors);
+  const auto result = exact_topology_clustering(points, options_for(cfg));
+  ASSERT_GE(result.objective_trace.size(), 2u);
+  EXPECT_LT(result.objective_trace.back(), result.objective_trace.front());
+}
+
+TEST(DpTopologyClustering, HighEpsTracksTheExactObjective) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const auto points = exact_hop_vectors(records, cfg.monitors);
+  Env env;
+  TopologyOptions opt = options_for(cfg);
+  opt.eps_per_iteration = 1e7;
+  opt.eps_averages = 1e7;
+  const auto dp = dp_topology_clustering(env.wrap(records), opt, points);
+  const auto exact = exact_topology_clustering(points, opt);
+  ASSERT_EQ(dp.objective_trace.size(), exact.objective_trace.size());
+  EXPECT_NEAR(dp.objective_trace.back(), exact.objective_trace.back(),
+              0.15 * exact.objective_trace.back() + 0.05);
+}
+
+TEST(DpTopologyClustering, EachIterationCostsEps) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const auto points = exact_hop_vectors(records, cfg.monitors);
+  Env env;
+  TopologyOptions opt = options_for(cfg);
+  opt.iterations = 5;
+  opt.eps_per_iteration = 0.1;
+  opt.eps_averages = 0.05;
+  dp_topology_clustering(env.wrap(records), opt, points);
+  // 0.05 for the averages + 5 iterations x 0.1.
+  EXPECT_NEAR(env.budget->spent(), 0.55, 1e-9);
+}
+
+TEST(DpTopologyClustering, StrongPrivacyDegradesTheObjective) {
+  tracegen::ScatterConfig cfg = tracegen::ScatterConfig::small();
+  tracegen::IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const auto points = exact_hop_vectors(records, cfg.monitors);
+
+  auto final_objective = [&](double eps) {
+    Env env(1e12, 500);
+    TopologyOptions opt = options_for(cfg);
+    opt.eps_per_iteration = eps;
+    opt.eps_averages = eps;
+    return dp_topology_clustering(env.wrap(records), opt, points)
+        .objective_trace.back();
+  };
+  // The paper's Fig 5 shape: weaker privacy is at least as good.
+  EXPECT_LE(final_objective(10.0), final_objective(0.01) + 1.0);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

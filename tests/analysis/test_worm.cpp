@@ -1,0 +1,163 @@
+#include "analysis/worm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::analysis {
+namespace {
+
+using net::Ipv4;
+using net::Packet;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 14)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+Packet payload_packet(const std::string& payload, Ipv4 src, Ipv4 dst) {
+  Packet p;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.payload = payload;
+  p.length = 400;
+  return p;
+}
+
+/// One dispersed "worm" payload (12 srcs x 12 dsts, 144 packets) and one
+/// popular but concentrated payload (300 packets, 2 srcs, 2 dsts).
+std::vector<Packet> worm_trace() {
+  std::vector<Packet> trace;
+  for (int s = 0; s < 12; ++s) {
+    for (int d = 0; d < 12; ++d) {
+      trace.push_back(payload_packet(
+          "WORMWORM", Ipv4(203, 0, 0, static_cast<std::uint8_t>(s + 1)),
+          Ipv4(192, 168, 0, static_cast<std::uint8_t>(d + 1))));
+    }
+  }
+  for (int i = 0; i < 300; ++i) {
+    trace.push_back(payload_packet(
+        "POPULAR!", Ipv4(10, 0, 0, static_cast<std::uint8_t>(1 + i % 2)),
+        Ipv4(198, 18, 0, static_cast<std::uint8_t>(1 + i % 2))));
+  }
+  return trace;
+}
+
+WormOptions exact_options() {
+  WormOptions opt;
+  opt.payload_len = 8;
+  opt.src_threshold = 10;
+  opt.dst_threshold = 10;
+  opt.eps_group_count = 1e6;
+  opt.eps_per_string_level = 1e6;
+  opt.string_threshold = 100.0;
+  opt.eps_dispersion = 1e6;
+  return opt;
+}
+
+TEST(ExactWormPayloads, FlagsOnlyDispersedPayloads) {
+  const auto payloads = exact_worm_payloads(worm_trace(), 8, 10, 10);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0], "WORMWORM");
+}
+
+TEST(ExactWormPayloads, ThresholdsAreStrict) {
+  // Exactly 12 distinct srcs/dsts: a threshold of 12 ("> 12") excludes it.
+  EXPECT_TRUE(exact_worm_payloads(worm_trace(), 8, 12, 12).empty());
+  EXPECT_EQ(exact_worm_payloads(worm_trace(), 8, 11, 11).size(), 1u);
+}
+
+TEST(ExactWormPayloads, SortedByOccurrenceCount) {
+  auto trace = worm_trace();
+  // Add a second, rarer dispersed payload.
+  for (int s = 0; s < 11; ++s) {
+    for (int d = 0; d < 11; ++d) {
+      trace.push_back(payload_packet(
+          "WORM-TWO", Ipv4(203, 1, 0, static_cast<std::uint8_t>(s + 1)),
+          Ipv4(192, 169, 0, static_cast<std::uint8_t>(d + 1))));
+    }
+  }
+  const auto payloads = exact_worm_payloads(trace, 8, 10, 10);
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0], "WORMWORM");  // 144 > 121
+  EXPECT_EQ(payloads[1], "WORM-TWO");
+}
+
+TEST(DpWormFingerprint, FlagsTheWormAtHighEps) {
+  Env env;
+  const auto result =
+      dp_worm_fingerprint(env.wrap(worm_trace()), exact_options());
+  // Only WORMWORM has dispersion > 10 on both sides.
+  EXPECT_NEAR(result.noisy_group_count, 1.0, 0.1);
+
+  bool worm_flagged = false, popular_flagged = false;
+  for (const auto& c : result.candidates) {
+    if (c.payload == "WORMWORM") {
+      worm_flagged = c.flagged;
+      EXPECT_NEAR(c.noisy_distinct_srcs, 12.0, 0.1);
+      EXPECT_NEAR(c.noisy_distinct_dsts, 12.0, 0.1);
+    }
+    if (c.payload == "POPULAR!") {
+      popular_flagged = c.flagged;
+      EXPECT_NEAR(c.noisy_distinct_srcs, 2.0, 0.1);
+    }
+  }
+  EXPECT_TRUE(worm_flagged);
+  EXPECT_FALSE(popular_flagged);
+}
+
+TEST(DpWormFingerprint, CandidatesComeFromFrequentStrings) {
+  Env env;
+  WormOptions opt = exact_options();
+  opt.string_threshold = 200.0;  // only POPULAR! (300) clears this
+  const auto result = dp_worm_fingerprint(env.wrap(worm_trace()), opt);
+  ASSERT_EQ(result.candidates.size(), 1u);
+  EXPECT_EQ(result.candidates[0].payload, "POPULAR!");
+  EXPECT_FALSE(result.candidates[0].flagged);
+}
+
+TEST(DpWormFingerprint, ShortPayloadsAreIgnored) {
+  Env env;
+  std::vector<Packet> trace = worm_trace();
+  for (int i = 0; i < 500; ++i) {
+    trace.push_back(payload_packet("TINY", Ipv4(1, 1, 1, 1),
+                                   Ipv4(2, 2, 2, 2)));  // 4 bytes < 8
+  }
+  const auto result =
+      dp_worm_fingerprint(env.wrap(std::move(trace)), exact_options());
+  for (const auto& c : result.candidates) {
+    EXPECT_NE(c.payload.substr(0, 4), "TINY");
+  }
+}
+
+TEST(DpWormFingerprint, EmptyCandidateSetIsHandled) {
+  Env env;
+  WormOptions opt = exact_options();
+  opt.string_threshold = 1e9;
+  const auto result = dp_worm_fingerprint(env.wrap(worm_trace()), opt);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(DpWormFingerprint, PrivacyCostIsBounded) {
+  Env env;
+  WormOptions opt = exact_options();
+  opt.eps_group_count = 0.05;
+  opt.eps_per_string_level = 0.5;  // large enough to still find strings
+  opt.eps_dispersion = 0.03;
+  dp_worm_fingerprint(env.wrap(worm_trace()), opt);
+  // group count: stability 2 x 0.05 = 0.1; string search: 8 x 0.5 = 4;
+  // dispersion: one partition, two counts per part = 2 x 0.03 = 0.06.
+  EXPECT_LE(env.budget->spent(), 0.1 + 8 * 0.5 + 0.06 + 1e-9);
+  EXPECT_GT(env.budget->spent(), 4.0);
+}
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Smoke test for the dpnet_cli tool: generate, convert, stats, anonymize,
+# and analyze must all succeed and produce sane output.
+# Usage: test_cli.sh <path-to-dpnet_cli>
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== gen =="
+"$CLI" gen "$WORK/t.pcap" --seed 9 | grep -q "wrote"
+
+echo "== stats =="
+"$CLI" stats "$WORK/t.pcap" | grep -q "^packets:"
+
+echo "== convert =="
+"$CLI" convert "$WORK/t.pcap" "$WORK/t.dpnt" | grep -q "converted"
+"$CLI" stats "$WORK/t.dpnt" | grep -q "^packets:"
+
+echo "== anonymize =="
+"$CLI" anonymize "$WORK/t.dpnt" "$WORK/anon.dpnt" | grep -q "anonymized"
+
+echo "== analyze count =="
+"$CLI" analyze "$WORK/t.dpnt" count --eps 0.5 | grep -q "noisy packet count"
+
+echo "== analyze length-cdf =="
+"$CLI" analyze "$WORK/t.dpnt" length-cdf --eps 1 | grep -q "privacy spent"
+
+echo "== analyze service-mix =="
+"$CLI" analyze "$WORK/t.dpnt" service-mix --eps 1 | grep -q "web"
+
+echo "== budget enforcement =="
+if "$CLI" analyze "$WORK/t.dpnt" count --eps 5 --budget 1 2>/dev/null; then
+  echo "expected over-budget analyze to fail" >&2
+  exit 1
+fi
+
+echo "== bad usage exits nonzero =="
+if "$CLI" frobnicate 2>/dev/null; then
+  echo "expected unknown command to fail" >&2
+  exit 1
+fi
+
+echo "CLI-SMOKE-OK"

@@ -1,0 +1,99 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+TEST(AuditingBudget, RecordsSuccessfulCharges) {
+  auto audit = std::make_shared<AuditingBudget>(
+      std::make_shared<RootBudget>(1.0));
+  audit->charge(0.2);
+  audit->charge(0.3);
+  ASSERT_EQ(audit->entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(audit->entries()[0].eps, 0.2);
+  EXPECT_DOUBLE_EQ(audit->entries()[1].eps, 0.3);
+  EXPECT_DOUBLE_EQ(audit->spent(), 0.5);
+}
+
+TEST(AuditingBudget, RefusalsAreNotLogged) {
+  auto audit = std::make_shared<AuditingBudget>(
+      std::make_shared<RootBudget>(0.1));
+  EXPECT_THROW(audit->charge(0.5), BudgetExhaustedError);
+  EXPECT_TRUE(audit->entries().empty());
+  EXPECT_FALSE(audit->can_charge(0.5));
+  EXPECT_TRUE(audit->can_charge(0.1));
+}
+
+TEST(AuditingBudget, LabelsTagCharges) {
+  auto audit = std::make_shared<AuditingBudget>(
+      std::make_shared<RootBudget>(10.0));
+  audit->set_label("warmup");
+  audit->charge(0.1);
+  {
+    ScopedAuditLabel scope(*audit, "rtt-cdf");
+    audit->charge(0.2);
+    audit->charge(0.3);
+  }
+  audit->charge(0.4);  // back to "warmup"
+  const auto totals = audit->totals_by_label();
+  EXPECT_DOUBLE_EQ(totals.at("warmup"), 0.5);
+  EXPECT_DOUBLE_EQ(totals.at("rtt-cdf"), 0.5);
+}
+
+TEST(ScopedAuditLabel, NestsAndRestores) {
+  AuditingBudget audit(std::make_shared<RootBudget>(10.0));
+  {
+    ScopedAuditLabel outer(audit, "outer");
+    EXPECT_EQ(audit.label(), "outer");
+    {
+      ScopedAuditLabel inner(audit, "inner");
+      EXPECT_EQ(audit.label(), "inner");
+    }
+    EXPECT_EQ(audit.label(), "outer");
+  }
+  EXPECT_EQ(audit.label(), "");
+}
+
+TEST(AuditingBudget, RejectsNullInner) {
+  EXPECT_THROW(AuditingBudget(nullptr), InvalidQueryError);
+}
+
+TEST(AuditingBudget, WorksAsAQueryableBudget) {
+  auto audit = std::make_shared<AuditingBudget>(
+      std::make_shared<RootBudget>(1.0));
+  Queryable<int> q(std::vector<int>{1, 2, 3}, audit,
+                   std::make_shared<NoiseSource>(1));
+  {
+    ScopedAuditLabel scope(*audit, "count-evens");
+    q.where([](int x) { return x % 2 == 0; }).noisy_count(0.25);
+  }
+  ASSERT_EQ(audit->entries().size(), 1u);
+  EXPECT_EQ(audit->entries()[0].label, "count-evens");
+  EXPECT_DOUBLE_EQ(audit->entries()[0].eps, 0.25);
+}
+
+TEST(AuditingBudget, GroupByChargeShowsAmplifiedCost) {
+  auto audit = std::make_shared<AuditingBudget>(
+      std::make_shared<RootBudget>(1.0));
+  Queryable<int> q(std::vector<int>{1, 2, 3, 4}, audit,
+                   std::make_shared<NoiseSource>(2));
+  q.group_by([](int x) { return x % 2; }).noisy_count(0.1);
+  ASSERT_EQ(audit->entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(audit->entries()[0].eps, 0.2);  // stability 2 x 0.1
+}
+
+TEST(AuditingBudget, ComposesWithTheLedger) {
+  BudgetLedger ledger(1.0);
+  auto audit = std::make_shared<AuditingBudget>(
+      ledger.analyst("alice", 0.5));
+  audit->charge(0.3);
+  EXPECT_DOUBLE_EQ(ledger.dataset_spent(), 0.3);
+  EXPECT_THROW(audit->charge(0.3), BudgetExhaustedError);
+  EXPECT_EQ(audit->entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,151 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace dpnet::core {
+namespace {
+
+TEST(RootBudget, TracksSpending) {
+  RootBudget budget(1.0);
+  EXPECT_DOUBLE_EQ(budget.total(), 1.0);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.0);
+  budget.charge(0.3);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.3);
+  EXPECT_DOUBLE_EQ(budget.remaining(), 0.7);
+}
+
+TEST(RootBudget, ThrowsWhenExhausted) {
+  RootBudget budget(0.5);
+  budget.charge(0.4);
+  EXPECT_THROW(budget.charge(0.2), BudgetExhaustedError);
+  // A failed charge leaves the budget unchanged.
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.4);
+  budget.charge(0.1);
+  EXPECT_DOUBLE_EQ(budget.spent(), 0.5);
+}
+
+TEST(RootBudget, AdmitsExactExhaustionDespiteFloatRounding) {
+  RootBudget budget(1.0);
+  for (int i = 0; i < 10; ++i) budget.charge(0.1);
+  EXPECT_NEAR(budget.spent(), 1.0, 1e-12);
+}
+
+TEST(RootBudget, RejectsNegativeCharge) {
+  RootBudget budget(1.0);
+  EXPECT_THROW(budget.charge(-0.1), InvalidEpsilonError);
+}
+
+TEST(RootBudget, RejectsNegativeTotal) {
+  EXPECT_THROW(RootBudget(-1.0), InvalidEpsilonError);
+}
+
+TEST(RootBudget, CanChargeReflectsRemaining) {
+  RootBudget budget(1.0);
+  EXPECT_TRUE(budget.can_charge(1.0));
+  EXPECT_FALSE(budget.can_charge(1.1));
+  budget.charge(0.6);
+  EXPECT_TRUE(budget.can_charge(0.4));
+  EXPECT_FALSE(budget.can_charge(0.5));
+  EXPECT_FALSE(budget.can_charge(-0.1));
+}
+
+TEST(PartitionBudget, ParentPaysMaximumOfChildren) {
+  auto root = std::make_shared<RootBudget>(10.0);
+  auto group = std::make_shared<PartitionGroup>(root);
+  PartitionBudget a(group);
+  PartitionBudget b(group);
+
+  a.charge(0.3);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.3);
+  b.charge(0.5);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.5);  // max(0.3, 0.5), not the sum
+  a.charge(0.1);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.5);  // a is at 0.4, still below max
+  a.charge(0.3);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.7);  // a is now the max at 0.7
+  EXPECT_DOUBLE_EQ(a.spent(), 0.7);
+  EXPECT_DOUBLE_EQ(b.spent(), 0.5);
+}
+
+TEST(PartitionBudget, ChildChargeFailsWhenParentCannotPay) {
+  auto root = std::make_shared<RootBudget>(1.0);
+  auto group = std::make_shared<PartitionGroup>(root);
+  PartitionBudget child(group);
+  child.charge(0.8);
+  EXPECT_THROW(child.charge(0.3), BudgetExhaustedError);
+  EXPECT_DOUBLE_EQ(child.spent(), 0.8);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.8);
+}
+
+TEST(PartitionBudget, CanChargeConsultsParentDelta) {
+  auto root = std::make_shared<RootBudget>(1.0);
+  auto group = std::make_shared<PartitionGroup>(root);
+  PartitionBudget a(group);
+  PartitionBudget b(group);
+  a.charge(0.9);
+  // b can rise all the way to the existing maximum for free.
+  EXPECT_TRUE(b.can_charge(0.9));
+  EXPECT_TRUE(b.can_charge(1.0));
+  EXPECT_FALSE(b.can_charge(1.2));
+}
+
+TEST(PartitionBudget, NestedPartitionsComposeMaxSemantics) {
+  auto root = std::make_shared<RootBudget>(10.0);
+  auto outer = std::make_shared<PartitionGroup>(root);
+  auto part1 = std::make_shared<PartitionBudget>(outer);
+  auto part2 = std::make_shared<PartitionBudget>(outer);
+  auto inner = std::make_shared<PartitionGroup>(part1);
+  PartitionBudget leaf_a(inner);
+  PartitionBudget leaf_b(inner);
+
+  leaf_a.charge(0.2);
+  leaf_b.charge(0.4);
+  part2->charge(0.1);
+  // part1 pays max(0.2, 0.4) = 0.4; root pays max(0.4, 0.1) = 0.4.
+  EXPECT_DOUBLE_EQ(part1->spent(), 0.4);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.4);
+}
+
+TEST(CappedBudget, EnforcesOwnCapAndChargesParent) {
+  auto root = std::make_shared<RootBudget>(10.0);
+  CappedBudget capped(0.5, root);
+  capped.charge(0.4);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.4);
+  EXPECT_THROW(capped.charge(0.2), BudgetExhaustedError);
+  EXPECT_DOUBLE_EQ(capped.spent(), 0.4);
+  EXPECT_DOUBLE_EQ(root->spent(), 0.4);
+}
+
+TEST(CappedBudget, ParentExhaustionBlocksEvenUnderCap) {
+  auto root = std::make_shared<RootBudget>(0.3);
+  CappedBudget capped(5.0, root);
+  capped.charge(0.25);
+  EXPECT_FALSE(capped.can_charge(0.1));
+  EXPECT_THROW(capped.charge(0.1), BudgetExhaustedError);
+}
+
+TEST(BudgetLedger, AnalystsShareTheDatasetBudget) {
+  BudgetLedger ledger(1.0);
+  auto alice = ledger.analyst("alice", 0.6);
+  auto bob = ledger.analyst("bob", 0.6);
+  alice->charge(0.5);
+  bob->charge(0.4);
+  EXPECT_DOUBLE_EQ(ledger.dataset_spent(), 0.9);
+  // Bob is under his cap but the dataset has only 0.1 left.
+  EXPECT_THROW(bob->charge(0.2), BudgetExhaustedError);
+  bob->charge(0.1);
+  EXPECT_NEAR(ledger.dataset_remaining(), 0.0, 1e-12);
+}
+
+TEST(BudgetLedger, ReturnsSameAccountantForRepeatCalls) {
+  BudgetLedger ledger(2.0);
+  auto first = ledger.analyst("carol", 1.0);
+  auto second = ledger.analyst("carol", 1.0);
+  EXPECT_EQ(first, second);
+  EXPECT_THROW(ledger.analyst("carol", 0.5), InvalidQueryError);
+}
+
+}  // namespace
+}  // namespace dpnet::core

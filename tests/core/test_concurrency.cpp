@@ -1,0 +1,128 @@
+// Concurrency: a data owner serving several analyst threads against one
+// protected dataset must get atomic budget accounting, race-free noise
+// draws, and exactly-once materialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Concurrency, ParallelChargesNeverOverdrawTheBudget) {
+  auto budget = std::make_shared<RootBudget>(1.0);
+  std::atomic<int> succeeded{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget, &succeeded] {
+      for (int i = 0; i < 100; ++i) {
+        try {
+          budget->charge(0.01);
+          succeeded.fetch_add(1);
+        } catch (const BudgetExhaustedError&) {
+          // expected once the pool drains
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exactly 100 charges of 0.01 fit into 1.0 (kSlack admits the boundary).
+  EXPECT_EQ(succeeded.load(), 100);
+  EXPECT_NEAR(budget->spent(), 1.0, 1e-9);
+}
+
+TEST(Concurrency, ParallelAggregationsAccountExactly) {
+  auto budget = std::make_shared<RootBudget>(1e6);
+  auto noise = std::make_shared<NoiseSource>(5);
+  Queryable<int> q(iota_vec(1000), budget, noise);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&q] {
+      for (int i = 0; i < 200; ++i) {
+        const double v = q.noisy_count(1.0);
+        EXPECT_GT(v, 0.0);  // 1000 +/- small noise
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(budget->spent(), 1200.0, 1e-6);
+}
+
+TEST(Concurrency, SharedDerivedQueryableMaterializesOnce) {
+  auto budget = std::make_shared<RootBudget>(1e12);
+  auto noise = std::make_shared<NoiseSource>(6);
+  Queryable<int> q(iota_vec(100000), budget, noise);
+  std::atomic<int> evaluations{0};
+  auto filtered = q.where([&evaluations](int x) {
+    if (x == 0) evaluations.fetch_add(1);
+    return x % 2 == 0;
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&filtered] {
+      EXPECT_NEAR(filtered.noisy_count(1e7), 50000.0, 1.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(evaluations.load(), 1);  // the predicate ran one pass only
+}
+
+TEST(Concurrency, PartitionMaxAccountingHoldsUnderContention) {
+  auto budget = std::make_shared<RootBudget>(1e6);
+  auto noise = std::make_shared<NoiseSource>(7);
+  Queryable<int> q(iota_vec(900), budget, noise);
+  auto parts = q.partition(std::vector<int>{0, 1, 2},
+                           [](int x) { return x % 3; });
+  std::vector<std::thread> threads;
+  for (int part = 0; part < 3; ++part) {
+    threads.emplace_back([&parts, part] {
+      for (int i = 0; i < 50; ++i) {
+        parts.at(part).noisy_count(0.1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every part charged exactly 5.0; the root pays the maximum.
+  EXPECT_NEAR(budget->spent(), 5.0, 1e-9);
+}
+
+TEST(Concurrency, NoiseDrawsAreRaceFreeAndStillRandom) {
+  auto noise = std::make_shared<NoiseSource>(8);
+  std::vector<std::vector<double>> draws(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&noise, &draws, t] {
+      for (int i = 0; i < 5000; ++i) {
+        draws[static_cast<std::size_t>(t)].push_back(noise->laplace(1.0));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Pooled draws still look like Laplace(1): stddev ~ sqrt(2).
+  double sum = 0.0, sum_sq = 0.0;
+  std::size_t n = 0;
+  for (const auto& d : draws) {
+    for (double x : d) {
+      sum += x;
+      sum_sq += x * x;
+      ++n;
+    }
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double stddev =
+      std::sqrt(sum_sq / static_cast<double>(n) - mean * mean);
+  EXPECT_NEAR(stddev, std::sqrt(2.0), 0.1);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,164 @@
+#include "core/mechanisms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/errors.hpp"
+
+namespace dpnet::core {
+namespace {
+
+TEST(LaplaceMechanism, ZeroSensitivityReturnsExactValue) {
+  NoiseSource noise(1);
+  EXPECT_DOUBLE_EQ(laplace_mechanism(42.0, 0.0, 0.1, noise), 42.0);
+}
+
+TEST(LaplaceMechanism, RejectsInvalidParameters) {
+  NoiseSource noise(1);
+  EXPECT_THROW(laplace_mechanism(1.0, 1.0, 0.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(laplace_mechanism(1.0, 1.0, -1.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(laplace_mechanism(1.0, -1.0, 0.5, noise),
+               std::invalid_argument);
+}
+
+class LaplaceMechanismNoiseTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LaplaceMechanismNoiseTest, ErrorStddevIsSqrtTwoSensitivityOverEps) {
+  const auto [sensitivity, eps] = GetParam();
+  NoiseSource noise(13);
+  const int n = 100000;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double err = laplace_mechanism(0.0, sensitivity, eps, noise);
+    sum_sq += err * err;
+  }
+  const double expected = std::sqrt(2.0) * sensitivity / eps;
+  EXPECT_NEAR(std::sqrt(sum_sq / n), expected, 0.05 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, LaplaceMechanismNoiseTest,
+    ::testing::Values(std::pair{1.0, 0.1}, std::pair{1.0, 1.0},
+                      std::pair{2.0, 1.0}, std::pair{1.0, 10.0}));
+
+TEST(GeometricMechanism, ProducesIntegersAroundTruth) {
+  NoiseSource noise(3);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(geometric_mechanism(100, 1.0, 1.0, noise));
+  }
+  EXPECT_NEAR(sum / n, 100.0, 0.1);
+}
+
+TEST(GeometricMechanism, RejectsInvalidParameters) {
+  NoiseSource noise(1);
+  EXPECT_THROW(geometric_mechanism(1, 1.0, 0.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(geometric_mechanism(1, 0.0, 1.0, noise),
+               std::invalid_argument);
+}
+
+TEST(ExponentialMechanism, StronglyPrefersTheBestCandidateAtHighEps) {
+  NoiseSource noise(5);
+  const std::array<double, 4> scores = {1.0, 5.0, 2.0, 4.9};
+  int best_picked = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (exponential_mechanism(scores, 1000.0, 1.0, noise) == 1) {
+      ++best_picked;
+    }
+  }
+  EXPECT_GT(best_picked, 990);
+}
+
+TEST(ExponentialMechanism, SamplesProportionallyToExpScores) {
+  NoiseSource noise(17);
+  // With eps = 2 and sensitivity 1, P(i) ~ exp(scores[i]).
+  const std::array<double, 2> scores = {0.0, std::log(3.0)};
+  int second = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    if (exponential_mechanism(scores, 2.0, 1.0, noise) == 1) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.02);
+}
+
+TEST(ExponentialMechanism, RejectsDegenerateInputs) {
+  NoiseSource noise(1);
+  const std::array<double, 2> scores = {0.0, 1.0};
+  EXPECT_THROW(exponential_mechanism({}, 1.0, 1.0, noise),
+               std::invalid_argument);
+  EXPECT_THROW(exponential_mechanism(scores, 0.0, 1.0, noise),
+               InvalidEpsilonError);
+  EXPECT_THROW(exponential_mechanism(scores, 1.0, 0.0, noise),
+               std::invalid_argument);
+}
+
+TEST(ExponentialMedian, EmptyInputReturnsDefault) {
+  NoiseSource noise(1);
+  EXPECT_DOUBLE_EQ(exponential_median({}, 1.0, noise), 0.0);
+}
+
+TEST(ExponentialMedian, FindsTheMedianAtHighEps) {
+  NoiseSource noise(1);
+  std::vector<double> values;
+  for (int i = 1; i <= 101; ++i) values.push_back(i);
+  for (int trial = 0; trial < 20; ++trial) {
+    EXPECT_NEAR(exponential_median(values, 1000.0, noise), 51.0, 1.0);
+  }
+}
+
+TEST(ExponentialMedian, RankErrorShrinksWithEps) {
+  NoiseSource noise(23);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(i);
+  auto mean_abs_rank_error = [&](double eps) {
+    double total = 0.0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      total += std::abs(exponential_median(values, eps, noise) - 499.5);
+    }
+    return total / trials;
+  };
+  const double loose = mean_abs_rank_error(0.05);
+  const double tight = mean_abs_rank_error(5.0);
+  EXPECT_LT(tight, loose / 5.0);
+  EXPECT_LT(tight, 5.0);  // ~sqrt(2)/eps at eps=5
+}
+
+TEST(ExponentialQuantile, HitsTheTargetRankAtHighEps) {
+  NoiseSource noise(29);
+  std::vector<double> values;
+  for (int i = 0; i <= 100; ++i) values.push_back(i);
+  EXPECT_NEAR(exponential_quantile(values, 0.0, 1000.0, noise), 0.0, 1.0);
+  EXPECT_NEAR(exponential_quantile(values, 0.25, 1000.0, noise), 25.0, 1.0);
+  EXPECT_NEAR(exponential_quantile(values, 0.9, 1000.0, noise), 90.0, 1.0);
+  EXPECT_NEAR(exponential_quantile(values, 1.0, 1000.0, noise), 100.0, 1.0);
+}
+
+TEST(ExponentialQuantile, RejectsOutOfRangeQ) {
+  NoiseSource noise(30);
+  std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW(exponential_quantile(values, -0.1, 1.0, noise),
+               std::invalid_argument);
+  EXPECT_THROW(exponential_quantile(values, 1.1, 1.0, noise),
+               std::invalid_argument);
+}
+
+TEST(ExponentialQuantile, EmptyInputReturnsDefault) {
+  NoiseSource noise(32);
+  EXPECT_DOUBLE_EQ(exponential_quantile({}, 0.5, 1.0, noise), 0.0);
+}
+
+TEST(ClampUnit, ClampsToSymmetricUnitInterval) {
+  EXPECT_DOUBLE_EQ(clamp_unit(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp_unit(2.5), 1.0);
+  EXPECT_DOUBLE_EQ(clamp_unit(-7.0), -1.0);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,141 @@
+#include "core/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dpnet::core {
+namespace {
+
+TEST(NoiseSource, UniformStaysInUnitInterval) {
+  NoiseSource noise(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = noise.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(NoiseSource, UniformRangeRespectsBounds) {
+  NoiseSource noise(2);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = noise.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(NoiseSource, SameSeedSameStream) {
+  NoiseSource a(42);
+  NoiseSource b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(NoiseSource, DifferentSeedsDiverge) {
+  NoiseSource a(1);
+  NoiseSource b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(NoiseSource, LaplaceRejectsNonPositiveScale) {
+  NoiseSource noise(1);
+  EXPECT_THROW(noise.laplace(0.0), std::invalid_argument);
+  EXPECT_THROW(noise.laplace(-1.0), std::invalid_argument);
+}
+
+class LaplaceMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LaplaceMomentsTest, MeanZeroAndStddevMatchesTheory) {
+  const double scale = GetParam();
+  NoiseSource noise(7);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = noise.laplace(scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sum_sq / n - mean * mean);
+  const double expected = std::sqrt(2.0) * scale;
+  EXPECT_NEAR(mean, 0.0, 0.05 * expected);
+  EXPECT_NEAR(stddev, expected, 0.05 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, LaplaceMomentsTest,
+                         ::testing::Values(0.1, 1.0, 10.0, 100.0));
+
+class GeometricMomentsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricMomentsTest, MatchesDiscreteLaplaceDistribution) {
+  const double eps = GetParam();
+  const double alpha = std::exp(-eps);
+  NoiseSource noise(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  int zeros = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<double>(noise.two_sided_geometric(eps));
+    sum += k;
+    sum_sq += k * k;
+    if (k == 0.0) ++zeros;
+  }
+  const double mean = sum / n;
+  // Var of two-sided geometric: 2 alpha / (1 - alpha)^2.
+  const double expected_var = 2.0 * alpha / ((1 - alpha) * (1 - alpha));
+  const double expected_p0 = (1 - alpha) / (1 + alpha);
+  EXPECT_NEAR(mean, 0.0, 0.05 * std::sqrt(expected_var) + 0.01);
+  EXPECT_NEAR(sum_sq / n - mean * mean, expected_var, 0.08 * expected_var);
+  EXPECT_NEAR(static_cast<double>(zeros) / n, expected_p0,
+              0.05 * expected_p0 + 0.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GeometricMomentsTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0));
+
+TEST(NoiseSource, GeometricRejectsNonPositiveEpsilon) {
+  NoiseSource noise(1);
+  EXPECT_THROW(noise.two_sided_geometric(0.0), std::invalid_argument);
+  EXPECT_THROW(noise.two_sided_geometric(-2.0), std::invalid_argument);
+}
+
+TEST(NoiseSource, GumbelHasExpectedMean) {
+  NoiseSource noise(3);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += noise.gumbel();
+  // Mean of the standard Gumbel is the Euler-Mascheroni constant.
+  EXPECT_NEAR(sum / n, 0.5772, 0.02);
+}
+
+TEST(NoiseSource, GaussianMatchesMoments) {
+  NoiseSource noise(5);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = noise.gaussian(3.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(NoiseSource, NextIndexStaysInRangeAndRejectsZero) {
+  NoiseSource noise(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(noise.next_index(17), 17u);
+  }
+  EXPECT_THROW(noise.next_index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::core

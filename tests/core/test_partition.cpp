@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+constexpr double kExactEps = 1e7;
+
+struct Env {
+  std::shared_ptr<RootBudget> budget;
+  std::shared_ptr<NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 2)
+      : budget(std::make_shared<RootBudget>(total)),
+        noise(std::make_shared<NoiseSource>(seed)) {}
+
+  template <typename T>
+  Queryable<T> wrap(std::vector<T> data) const {
+    return Queryable<T>(std::move(data), budget, noise);
+  }
+};
+
+TEST(Partition, SplitsRecordsByKey) {
+  Env env;
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto parts = env.wrap(std::move(data)).partition(
+      std::vector<int>{0, 1, 2}, [](int x) { return x % 3; });
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_NEAR(parts.at(0).noisy_count(kExactEps), 34.0, 0.01);
+  EXPECT_NEAR(parts.at(1).noisy_count(kExactEps), 33.0, 0.01);
+  EXPECT_NEAR(parts.at(2).noisy_count(kExactEps), 33.0, 0.01);
+}
+
+TEST(Partition, DropsRecordsWithUnlistedKeys) {
+  Env env;
+  auto parts = env.wrap(std::vector<int>{1, 2, 3, 4, 5})
+                   .partition(std::vector<int>{0},
+                              [](int x) { return x % 2; });
+  EXPECT_NEAR(parts.at(0).noisy_count(kExactEps), 2.0, 0.01);  // 2 and 4
+}
+
+TEST(Partition, EmptyPartsExistForAllKeys) {
+  Env env;
+  auto parts = env.wrap(std::vector<int>{1}).partition(
+      std::vector<int>{0, 1, 2}, [](int x) { return x; });
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_NEAR(parts.at(2).noisy_count(kExactEps), 0.0, 0.01);
+}
+
+TEST(Partition, RejectsDuplicateKeys) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1, 2});
+  EXPECT_THROW(
+      q.partition(std::vector<int>{0, 0}, [](int x) { return x; }),
+      InvalidQueryError);
+}
+
+TEST(Partition, SourcePaysOnlyTheMaximumOverParts) {
+  Env env;
+  std::vector<int> data(60);
+  std::iota(data.begin(), data.end(), 0);
+  auto parts = env.wrap(std::move(data)).partition(
+      std::vector<int>{0, 1, 2}, [](int x) { return x % 3; });
+  parts.at(0).noisy_count(0.2);
+  parts.at(1).noisy_count(0.5);
+  parts.at(2).noisy_count(0.3);
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.5);
+  // A second query on part 0 raises it to 0.6, above the old maximum.
+  parts.at(0).noisy_count(0.4);
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.6);
+}
+
+TEST(Partition, StringKeysWork) {
+  Env env;
+  auto parts = env.wrap(std::vector<std::string>{"cat", "cow", "dog"})
+                   .partition(std::vector<std::string>{"c", "d"},
+                              [](const std::string& s) {
+                                return s.substr(0, 1);
+                              });
+  EXPECT_NEAR(parts.at("c").noisy_count(kExactEps), 2.0, 0.01);
+  EXPECT_NEAR(parts.at("d").noisy_count(kExactEps), 1.0, 0.01);
+}
+
+TEST(Partition, NestedPartitionsChargeMaxOfMax) {
+  Env env;
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto outer = env.wrap(std::move(data)).partition(
+      std::vector<int>{0, 1}, [](int x) { return x % 2; });
+  auto inner0 = outer.at(0).partition(std::vector<int>{0, 1},
+                                      [](int x) { return (x / 2) % 2; });
+  auto inner1 = outer.at(1).partition(std::vector<int>{0, 1},
+                                      [](int x) { return (x / 2) % 2; });
+  // Every leaf counted at the same epsilon: the root pays just epsilon.
+  inner0.at(0).noisy_count(0.25);
+  inner0.at(1).noisy_count(0.25);
+  inner1.at(0).noisy_count(0.25);
+  inner1.at(1).noisy_count(0.25);
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.25);
+}
+
+TEST(Partition, PartsInheritStability) {
+  Env env;
+  std::vector<int> data(30);
+  std::iota(data.begin(), data.end(), 0);
+  auto grouped = env.wrap(std::move(data))
+                     .group_by([](int x) { return x % 10; });
+  auto parts = grouped.partition(
+      std::vector<int>{0, 1},
+      [](const Group<int, int>& g) { return g.key % 2; });
+  EXPECT_DOUBLE_EQ(parts.at(0).total_stability(), 2.0);
+  parts.at(0).noisy_count(0.1);
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);  // stability 2 x eps 0.1
+}
+
+TEST(Partition, TransformationsInsidePartsStayAccounted) {
+  Env env;
+  std::vector<int> data(40);
+  std::iota(data.begin(), data.end(), 0);
+  auto parts = env.wrap(std::move(data)).partition(
+      std::vector<int>{0, 1}, [](int x) { return x % 2; });
+  auto grouped = parts.at(0).group_by([](int x) { return x % 5; });
+  grouped.noisy_count(0.1);  // stability 2 -> part pays 0.2
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);
+  parts.at(1).noisy_count(0.15);  // below the 0.2 maximum
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);
+}
+
+TEST(Partition, JoinAcrossSiblingPartsChargesBoth) {
+  Env env;
+  std::vector<int> data(20);
+  std::iota(data.begin(), data.end(), 0);
+  auto parts = env.wrap(std::move(data)).partition(
+      std::vector<int>{0, 1}, [](int x) { return x % 2; });
+  auto joined = parts.at(0).join(
+      parts.at(1), [](int x) { return x / 2; }, [](int y) { return y / 2; },
+      [](int x, int) { return x; });
+  EXPECT_EQ(joined.budget_count(), 2u);
+  joined.noisy_count(0.3);
+  // Each sibling paid 0.3, and the parent pays the maximum: 0.3.
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.3);
+}
+
+TEST(Partition, ExhaustionInsideAPartSurfacesAsBudgetError) {
+  auto budget = std::make_shared<RootBudget>(0.5);
+  auto noise = std::make_shared<NoiseSource>(6);
+  Queryable<int> q(std::vector<int>{1, 2, 3, 4}, budget, noise);
+  auto parts =
+      q.partition(std::vector<int>{0, 1}, [](int x) { return x % 2; });
+  parts.at(0).noisy_count(0.4);
+  EXPECT_THROW(parts.at(1).noisy_count(0.6), BudgetExhaustedError);
+  // 0.4 of the parent is already pledged to the maximum; 0.1 headroom.
+  EXPECT_NO_THROW(parts.at(1).noisy_count(0.5));
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.5);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,406 @@
+#include "core/queryable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dpnet::core {
+namespace {
+
+// With a huge epsilon the Laplace scale is negligible, so aggregations are
+// effectively exact and we can test transformation semantics through the
+// privacy curtain.
+constexpr double kExactEps = 1e7;
+
+struct Env {
+  std::shared_ptr<RootBudget> budget;
+  std::shared_ptr<NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 1)
+      : budget(std::make_shared<RootBudget>(total)),
+        noise(std::make_shared<NoiseSource>(seed)) {}
+
+  template <typename T>
+  Queryable<T> wrap(std::vector<T> data) const {
+    return Queryable<T>(std::move(data), budget, noise);
+  }
+};
+
+std::vector<int> iota_vec(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Queryable, NoisyCountIsNearTruthAtHighEps) {
+  Env env;
+  auto q = env.wrap(iota_vec(1000));
+  EXPECT_NEAR(q.noisy_count(kExactEps), 1000.0, 0.01);
+}
+
+TEST(Queryable, WhereFilters) {
+  Env env;
+  auto q = env.wrap(iota_vec(100));
+  const double count =
+      q.where([](int x) { return x % 2 == 0; }).noisy_count(kExactEps);
+  EXPECT_NEAR(count, 50.0, 0.01);
+}
+
+TEST(Queryable, SelectMapsValues) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1, 2, 3});
+  const double sum = q.select([](int x) { return x / 10.0; })
+                         .noisy_sum(kExactEps, [](double v) { return v; });
+  EXPECT_NEAR(sum, 0.6, 0.01);
+}
+
+TEST(Queryable, DistinctRemovesDuplicates) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1, 1, 2, 2, 2, 3});
+  EXPECT_NEAR(q.distinct().noisy_count(kExactEps), 3.0, 0.01);
+}
+
+TEST(Queryable, DistinctWorksOnStrings) {
+  Env env;
+  auto q = env.wrap(std::vector<std::string>{"a", "b", "a", "c", "b"});
+  EXPECT_NEAR(q.distinct().noisy_count(kExactEps), 3.0, 0.01);
+}
+
+TEST(Queryable, GroupByGroupsAndKeepsInsertionOrder) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{5, 3, 8, 6, 1});
+  auto grouped = q.group_by([](int x) { return x % 2; });
+  // Two groups: odd {5,3,1} first (5 arrives first), even {8,6}.
+  EXPECT_NEAR(grouped.noisy_count(kExactEps), 2.0, 0.01);
+  const auto& groups = grouped.data_unsafe();
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].key, 1);
+  EXPECT_EQ(groups[0].items, (std::vector<int>{5, 3, 1}));
+  EXPECT_EQ(groups[1].items, (std::vector<int>{8, 6}));
+}
+
+TEST(Queryable, GroupByDoublesStability) {
+  Env env;
+  auto q = env.wrap(iota_vec(10));
+  auto grouped = q.group_by([](int x) { return x % 3; });
+  EXPECT_DOUBLE_EQ(q.total_stability(), 1.0);
+  EXPECT_DOUBLE_EQ(grouped.total_stability(), 2.0);
+  const double before = env.budget->spent();
+  grouped.noisy_count(0.5);
+  EXPECT_DOUBLE_EQ(env.budget->spent() - before, 1.0);  // 2 * 0.5
+}
+
+TEST(Queryable, SelectManyTruncatesAndScalesStability) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1, 2, 3});
+  auto expanded = q.select_many(
+      [](int x) { return std::vector<int>{x, x * 10, x * 100, x * 1000}; },
+      2);
+  EXPECT_DOUBLE_EQ(expanded.total_stability(), 2.0);
+  EXPECT_NEAR(expanded.noisy_count(kExactEps), 6.0, 0.01);  // 2 per record
+  const auto& data = expanded.data_unsafe();
+  EXPECT_EQ(data, (std::vector<int>{1, 10, 2, 20, 3, 30}));
+}
+
+TEST(Queryable, SelectManyRejectsZeroFanout) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1});
+  EXPECT_THROW(
+      q.select_many([](int x) { return std::vector<int>{x}; }, 0),
+      InvalidQueryError);
+}
+
+TEST(Queryable, JoinZipsWithinMatchedKeyGroups) {
+  Env env;
+  auto left = env.wrap(std::vector<int>{1, 2, 2, 3});
+  auto right = env.wrap(std::vector<int>{2, 2, 3, 4});
+  auto joined = left.join(
+      right, [](int x) { return x; }, [](int y) { return y; },
+      [](int x, int y) { return x + y; });
+  // Key 2 matches twice (zip of [2,2] with [2,2]); key 3 once; 1/4 unmatched.
+  EXPECT_NEAR(joined.noisy_count(kExactEps), 3.0, 0.01);
+  EXPECT_EQ(joined.data_unsafe(), (std::vector<int>{4, 4, 6}));
+}
+
+TEST(Queryable, JoinBoundsGroupFanout) {
+  Env env;
+  // Left has 5 records with key 0, right only 2: the zip stops at 2.
+  auto left = env.wrap(std::vector<int>{0, 0, 0, 0, 0});
+  auto right = env.wrap(std::vector<int>{0, 0});
+  auto joined = left.join(
+      right, [](int x) { return x; }, [](int y) { return y; },
+      [](int, int) { return 1; });
+  EXPECT_NEAR(joined.noisy_count(kExactEps), 2.0, 0.01);
+}
+
+TEST(Queryable, JoinOnSharedBudgetChargesBothPaths) {
+  Env env;
+  auto left = env.wrap(std::vector<int>{1, 2});
+  auto right = env.wrap(std::vector<int>{2, 3});
+  auto joined = left.join(
+      right, [](int x) { return x; }, [](int y) { return y; },
+      [](int x, int) { return x; });
+  EXPECT_DOUBLE_EQ(joined.total_stability(), 2.0);
+  const double before = env.budget->spent();
+  joined.noisy_count(0.25);
+  EXPECT_DOUBLE_EQ(env.budget->spent() - before, 0.5);
+}
+
+TEST(Queryable, ConcatAppendsAndSumsStability) {
+  Env env;
+  auto a = env.wrap(std::vector<int>{1, 2});
+  auto b = env.wrap(std::vector<int>{3});
+  auto both = a.concat(b);
+  EXPECT_NEAR(both.noisy_count(kExactEps), 3.0, 0.01);
+  EXPECT_DOUBLE_EQ(both.total_stability(), 2.0);
+}
+
+TEST(Queryable, SetUnionDeduplicatesAcrossInputs) {
+  Env env;
+  auto a = env.wrap(std::vector<int>{1, 2, 2, 3});
+  auto b = env.wrap(std::vector<int>{3, 4, 4});
+  auto u = a.set_union(b);
+  EXPECT_EQ(u.data_unsafe(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(u.total_stability(), 2.0);
+}
+
+TEST(Queryable, ExceptRemovesRightSideRecords) {
+  Env env;
+  auto a = env.wrap(std::vector<int>{1, 2, 2, 3, 4});
+  auto b = env.wrap(std::vector<int>{2, 4, 9});
+  auto diff = a.except(b);
+  EXPECT_EQ(diff.data_unsafe(), (std::vector<int>{1, 3}));
+  EXPECT_DOUBLE_EQ(diff.total_stability(), 2.0);
+}
+
+TEST(Queryable, ExceptAgainstEmptyIsDistinct) {
+  Env env;
+  auto a = env.wrap(std::vector<int>{5, 5, 6});
+  auto b = env.wrap(std::vector<int>{});
+  EXPECT_EQ(a.except(b).data_unsafe(), (std::vector<int>{5, 6}));
+}
+
+TEST(Queryable, IntersectIsSetIntersection) {
+  Env env;
+  auto a = env.wrap(std::vector<int>{1, 2, 2, 3, 4});
+  auto b = env.wrap(std::vector<int>{2, 3, 3, 5});
+  auto common = a.intersect(b);
+  EXPECT_NEAR(common.noisy_count(kExactEps), 2.0, 0.01);
+  EXPECT_EQ(common.data_unsafe(), (std::vector<int>{2, 3}));
+}
+
+TEST(Queryable, NoisySumClampsEachTerm) {
+  Env env;
+  auto q = env.wrap(std::vector<double>{0.5, 10.0, -10.0, 0.25});
+  // 0.5 + 1 - 1 + 0.25
+  EXPECT_NEAR(q.noisy_sum(kExactEps, [](double v) { return v; }), 0.75,
+              0.01);
+}
+
+TEST(Queryable, NoisySumScaledUsesWiderClampAndScaledNoise) {
+  Env env;
+  auto q = env.wrap(std::vector<double>{100.0, 900.0, 2000.0});
+  // Clamped at 1000: 100 + 900 + 1000.
+  EXPECT_NEAR(q.noisy_sum_scaled(kExactEps, [](double v) { return v; },
+                                 1000.0),
+              2000.0, 1.0);
+}
+
+TEST(Queryable, NoisyAverageIsNearTruth) {
+  Env env;
+  std::vector<double> data(1000, 0.25);
+  auto q = env.wrap(std::move(data));
+  EXPECT_NEAR(q.noisy_average(kExactEps, [](double v) { return v; }), 0.25,
+              0.001);
+}
+
+TEST(Queryable, NoisyAverageScaledRecoversWideRangeMean) {
+  Env env;
+  auto q = env.wrap(std::vector<double>{10.0, 20.0, 30.0});
+  EXPECT_NEAR(q.noisy_average_scaled(kExactEps, [](double v) { return v; },
+                                     64.0),
+              20.0, 0.01);
+}
+
+TEST(Queryable, NoisyMedianFindsCentralValue) {
+  Env env;
+  std::vector<double> values;
+  for (int i = 1; i <= 99; ++i) values.push_back(i);
+  auto q = env.wrap(std::move(values));
+  EXPECT_NEAR(q.noisy_median(1000.0, [](double v) { return v; }), 50.0, 2.0);
+}
+
+TEST(Queryable, NoisyQuantileFindsPercentiles) {
+  Env env;
+  std::vector<double> values;
+  for (int i = 0; i <= 1000; ++i) values.push_back(i);
+  auto q = env.wrap(std::move(values));
+  EXPECT_NEAR(q.noisy_quantile(1000.0, 0.95, [](double v) { return v; }),
+              950.0, 5.0);
+  EXPECT_NEAR(q.noisy_quantile(1000.0, 0.10, [](double v) { return v; }),
+              100.0, 5.0);
+}
+
+TEST(Queryable, NoisyQuantileChargesStabilityTimesEps) {
+  Env env;
+  auto q = env.wrap(std::vector<double>{1.0, 2.0, 3.0});
+  auto grouped = q.group_by([](double v) { return v > 1.5; })
+                    .select([](const Group<bool, double>& g) {
+                      return static_cast<double>(g.items.size());
+                    });
+  const double before = env.budget->spent();
+  grouped.noisy_quantile(0.1, 0.5, [](double v) { return v; });
+  EXPECT_DOUBLE_EQ(env.budget->spent() - before, 0.2);
+}
+
+TEST(Queryable, CountGeometricReturnsInteger) {
+  Env env;
+  auto q = env.wrap(iota_vec(500));
+  const std::int64_t c = q.noisy_count_geometric(kExactEps);
+  EXPECT_NEAR(static_cast<double>(c), 500.0, 1.0);
+}
+
+TEST(Queryable, AggregationsRejectNonPositiveEpsilon) {
+  Env env;
+  auto q = env.wrap(iota_vec(5));
+  EXPECT_THROW(q.noisy_count(0.0), InvalidEpsilonError);
+  EXPECT_THROW(q.noisy_count(-1.0), InvalidEpsilonError);
+  EXPECT_THROW(q.noisy_sum(0.0, [](int x) { return double(x); }),
+               InvalidEpsilonError);
+}
+
+TEST(Queryable, AggregationsRejectNonFiniteEpsilon) {
+  Env env;
+  auto q = env.wrap(iota_vec(5));
+  EXPECT_THROW(q.noisy_count(std::numeric_limits<double>::infinity()),
+               InvalidEpsilonError);
+  EXPECT_THROW(q.noisy_count(std::numeric_limits<double>::quiet_NaN()),
+               InvalidEpsilonError);
+}
+
+TEST(Queryable, TransformationsAreFreeUntilAggregation) {
+  Env env;
+  auto q = env.wrap(iota_vec(100));
+  auto chained = q.where([](int x) { return x > 10; })
+                     .select([](int x) { return x * 2; })
+                     .group_by([](int x) { return x % 5; });
+  EXPECT_DOUBLE_EQ(env.budget->spent(), 0.0);
+  chained.noisy_count(0.1);
+  EXPECT_GT(env.budget->spent(), 0.0);
+}
+
+TEST(Queryable, BudgetExhaustionBlocksFurtherLargeQueries) {
+  auto budget = std::make_shared<RootBudget>(1.0);
+  auto noise = std::make_shared<NoiseSource>(4);
+  Queryable<int> q(iota_vec(100), budget, noise);
+  q.noisy_count(0.9);
+  EXPECT_THROW(q.noisy_count(0.2), BudgetExhaustedError);
+  // The failed query consumed nothing; a smaller one still fits.
+  EXPECT_NO_THROW(q.noisy_count(0.1));
+}
+
+TEST(Queryable, RequiresBudgetAndNoise) {
+  auto noise = std::make_shared<NoiseSource>(1);
+  auto budget = std::make_shared<RootBudget>(1.0);
+  EXPECT_THROW(Queryable<int>({1}, nullptr, noise), InvalidQueryError);
+  EXPECT_THROW(Queryable<int>({1}, budget, nullptr), InvalidQueryError);
+}
+
+TEST(Queryable, MakeQueryableFactoryWorksEndToEnd) {
+  auto q = make_queryable(iota_vec(10), 1.0, 5);
+  EXPECT_NO_THROW(q.noisy_count(0.5));
+  EXPECT_THROW(q.noisy_count(0.6), BudgetExhaustedError);
+}
+
+// Property sweep: the count error distribution matches Table 1's
+// sqrt(2)/eps standard deviation.
+class CountNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CountNoiseSweep, ErrorStddevTracksTable1) {
+  const double eps = GetParam();
+  Env env(1e12, 21);
+  auto q = env.wrap(iota_vec(1000));
+  const int trials = 20000;
+  double sum_sq = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const double err = q.noisy_count(eps) - 1000.0;
+    sum_sq += err * err;
+  }
+  const double expected = std::sqrt(2.0) / eps;
+  EXPECT_NEAR(std::sqrt(sum_sq / trials), expected, 0.1 * expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, CountNoiseSweep,
+                         ::testing::Values(0.1, 1.0, 10.0));
+
+TEST(Queryable, GroupBySpansSplitsAtBoundaries) {
+  Env env;
+  // Key = sign; boundary on value 0 within a key's sequence.
+  struct Rec {
+    int key;
+    bool boundary;
+    int id;
+  };
+  std::vector<Rec> data = {
+      {1, true, 0},  {1, false, 1}, {2, true, 2},  {1, true, 3},
+      {1, false, 4}, {2, false, 5}, {2, true, 6},
+  };
+  auto q = env.wrap(data);
+  auto spans = q.group_by_spans([](const Rec& r) { return r.key; },
+                                [](const Rec& r) { return r.boundary; });
+  const auto& groups = spans.data_unsafe();
+  // key 1: {0,1}, {3,4}; key 2: {2,5}, {6}.
+  ASSERT_EQ(groups.size(), 4u);
+  auto ids_of = [&](std::size_t g) {
+    std::vector<int> ids;
+    for (const auto& r : groups[g].items) ids.push_back(r.id);
+    return ids;
+  };
+  EXPECT_EQ(ids_of(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ids_of(1), (std::vector<int>{2, 5}));
+  EXPECT_EQ(ids_of(2), (std::vector<int>{3, 4}));
+  EXPECT_EQ(ids_of(3), (std::vector<int>{6}));
+}
+
+TEST(Queryable, GroupBySpansFirstRecordOpensAGroupWithoutBoundary) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{5, 6, 7});
+  auto spans = q.group_by_spans([](int) { return 0; },
+                                [](int) { return false; });
+  ASSERT_EQ(spans.data_unsafe().size(), 1u);
+  EXPECT_EQ(spans.data_unsafe()[0].items.size(), 3u);
+}
+
+TEST(Queryable, GroupBySpansTriplesStability) {
+  Env env;
+  auto q = env.wrap(std::vector<int>{1, 2, 3, 4});
+  auto spans = q.group_by_spans([](int x) { return x % 2; },
+                                [](int x) { return x > 2; });
+  EXPECT_DOUBLE_EQ(spans.total_stability(), 3.0);
+  const double before = env.budget->spent();
+  spans.noisy_count(0.1);
+  EXPECT_NEAR(env.budget->spent() - before, 0.3, 1e-12);
+}
+
+// Chained stabilities compose multiplicatively.
+TEST(Queryable, StabilityComposesThroughChains) {
+  Env env;
+  auto q = env.wrap(iota_vec(20));
+  auto chained =
+      q.group_by([](int x) { return x % 2; })
+          .select_many(
+              [](const Group<int, int>& g) {
+                return std::vector<int>(g.items.begin(), g.items.end());
+              },
+              3)
+          .group_by([](int x) { return x % 4; });
+  // 1 (source) * 2 (group) * 3 (select_many) * 2 (group) = 12.
+  EXPECT_DOUBLE_EQ(chained.total_stability(), 12.0);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,115 @@
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tracegen/isp_traffic.hpp"
+
+namespace dpnet::core {
+namespace {
+
+StreamingHistogram<int> make_histogram(std::vector<int> cells,
+                                       double budget_total = 1e12,
+                                       std::uint64_t seed = 33) {
+  return {std::move(cells), std::make_shared<RootBudget>(budget_total),
+          std::make_shared<NoiseSource>(seed)};
+}
+
+TEST(StreamingHistogram, CountsFedRecordsPerCell) {
+  auto hist = make_histogram({0, 1, 2});
+  for (int i = 0; i < 90; ++i) hist.feed(i % 3);
+  const auto released = hist.release(1e7);
+  EXPECT_NEAR(released.at(0), 30.0, 0.01);
+  EXPECT_NEAR(released.at(1), 30.0, 0.01);
+  EXPECT_NEAR(released.at(2), 30.0, 0.01);
+  EXPECT_EQ(hist.records_seen(), 90u);
+}
+
+TEST(StreamingHistogram, UnlistedCellsAreDropped) {
+  auto hist = make_histogram({0, 1});
+  hist.feed(0);
+  hist.feed(5);  // not a cell
+  const auto released = hist.release(1e7);
+  EXPECT_NEAR(released.at(0), 1.0, 0.01);
+  EXPECT_NEAR(released.at(1), 0.0, 0.01);
+}
+
+TEST(StreamingHistogram, ReleaseChargesOneEpsilonForAllCells) {
+  auto budget = std::make_shared<RootBudget>(1.0);
+  StreamingHistogram<int> hist({0, 1, 2, 3, 4},
+                               budget, std::make_shared<NoiseSource>(1));
+  for (int i = 0; i < 100; ++i) hist.feed(i % 5);
+  static_cast<void>(hist.release(0.25));
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.25);
+}
+
+TEST(StreamingHistogram, RepeatedReleasesChargeAgainWithFreshNoise) {
+  auto budget = std::make_shared<RootBudget>(1.0);
+  StreamingHistogram<int> hist({0}, budget,
+                               std::make_shared<NoiseSource>(2));
+  for (int i = 0; i < 1000; ++i) hist.feed(0);
+  const auto first = hist.release(0.3);
+  const auto second = hist.release(0.3);
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.6);
+  EXPECT_NE(first.at(0), second.at(0));
+}
+
+TEST(StreamingHistogram, ReleaseRefusedWhenOverBudget) {
+  auto budget = std::make_shared<RootBudget>(0.1);
+  StreamingHistogram<int> hist({0}, budget,
+                               std::make_shared<NoiseSource>(3));
+  hist.feed(0);
+  EXPECT_THROW(hist.release(0.5), BudgetExhaustedError);
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.0);
+}
+
+TEST(StreamingHistogram, RejectsBadConstruction) {
+  auto budget = std::make_shared<RootBudget>(1.0);
+  auto noise = std::make_shared<NoiseSource>(4);
+  EXPECT_THROW(StreamingHistogram<int>({0, 0}, budget, noise),
+               InvalidQueryError);
+  EXPECT_THROW(StreamingHistogram<int>({0}, nullptr, noise),
+               InvalidQueryError);
+  EXPECT_THROW(StreamingHistogram<int>({0}, budget, nullptr),
+               InvalidQueryError);
+}
+
+TEST(StreamingHistogram, RejectsNonPositiveEps) {
+  auto hist = make_histogram({0});
+  EXPECT_THROW(hist.release(0.0), InvalidEpsilonError);
+}
+
+TEST(StreamingHistogram, NoiseMatchesLaplaceScale) {
+  // Empirical stddev of release noise at eps=1 is sqrt(2).
+  double sum_sq = 0.0;
+  const int trials = 5000;
+  auto hist = make_histogram({0}, 1e12, 55);
+  for (int i = 0; i < 100; ++i) hist.feed(0);
+  for (int t = 0; t < trials; ++t) {
+    const double err = hist.release(1.0).at(0) - 100.0;
+    sum_sq += err * err;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / trials), std::sqrt(2.0), 0.1);
+}
+
+TEST(StreamingIspTraffic, StreamAgreesWithMaterializedGenerate) {
+  tracegen::IspConfig cfg = tracegen::IspConfig::small();
+  tracegen::IspTrafficGenerator gen_a(cfg);
+  const auto records = gen_a.generate();
+
+  tracegen::IspTrafficGenerator gen_b(cfg);
+  std::size_t streamed = 0;
+  std::vector<std::vector<double>> observed(
+      static_cast<std::size_t>(cfg.links),
+      std::vector<double>(static_cast<std::size_t>(cfg.windows), 0.0));
+  gen_b.stream([&](const net::LinkPacket& r) {
+    ++streamed;
+    observed[static_cast<std::size_t>(r.link)]
+            [static_cast<std::size_t>(r.window)] += 1.0;
+  });
+  EXPECT_EQ(streamed, records.size());
+  EXPECT_EQ(observed, gen_b.true_counts());
+  EXPECT_EQ(gen_a.true_counts(), gen_b.true_counts());
+}
+
+}  // namespace
+}  // namespace dpnet::core

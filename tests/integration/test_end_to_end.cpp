@@ -1,0 +1,190 @@
+// End-to-end integration: run the paper's analyses against the synthetic
+// Hotspot trace through the full private pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/flow_stats.hpp"
+#include "analysis/packet_dist.hpp"
+#include "analysis/worm.hpp"
+#include "core/queryable.hpp"
+#include "net/tcp.hpp"
+#include "stats/metrics.hpp"
+#include "toolkit/frequent_strings.hpp"
+#include "toolkit/itemsets.hpp"
+#include "tracegen/hotspot.hpp"
+
+namespace dpnet {
+namespace {
+
+using core::Group;
+using net::Packet;
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen_ = new tracegen::HotspotGenerator(tracegen::HotspotConfig::small());
+    trace_ = new std::vector<Packet>(gen_->generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete gen_;
+  }
+
+  core::Queryable<Packet> protect(double budget, std::uint64_t seed) const {
+    return {*trace_, std::make_shared<core::RootBudget>(budget),
+            std::make_shared<core::NoiseSource>(seed)};
+  }
+
+  static tracegen::HotspotGenerator* gen_;
+  static std::vector<Packet>* trace_;
+};
+
+tracegen::HotspotGenerator* EndToEnd::gen_ = nullptr;
+std::vector<Packet>* EndToEnd::trace_ = nullptr;
+
+// The §2.3 example: distinct hosts sending more than 1024 bytes to port 80.
+TEST_F(EndToEnd, Section23ExampleCountsWebHeavyHosts) {
+  auto packets = protect(1.0, 77);
+  const double count =
+      packets
+          .where([](const Packet& p) {
+            return p.dst_port == 80 && p.protocol == net::kProtoTcp;
+          })
+          .group_by([](const Packet& p) { return p.src_ip; })
+          .where([](const Group<net::Ipv4, Packet>& grp) {
+            std::uint64_t bytes = 0;
+            for (const Packet& p : grp.items) bytes += p.length;
+            return bytes > 1024;
+          })
+          .noisy_count(0.1);
+  // Expected error +/- sqrt(2)*2/0.1 ~ 28; the true answer is exact by
+  // construction of the generator.
+  EXPECT_NEAR(count, gen_->web_heavy_hosts(), 90.0);
+}
+
+TEST_F(EndToEnd, PacketLengthCdfHasLowRelativeError) {
+  auto packets = protect(1.0, 78);
+  const auto dp = analysis::dp_packet_length_cdf(packets, 1.0, 25);
+  const auto exact = analysis::exact_packet_length_cdf(*trace_, 25);
+  EXPECT_LT(stats::relative_rmse(dp.values, exact.values), 0.05);
+}
+
+TEST_F(EndToEnd, RttCdfMatchesExactShape) {
+  auto packets = protect(10.0, 79);
+  const auto dp = analysis::dp_rtt_cdf(packets, 1.0, 10);
+  const auto exact = toolkit::exact_cdf(
+      analysis::exact_rtts_ms(*trace_),
+      toolkit::make_boundaries(0, 600, 10));
+  ASSERT_EQ(dp.values.size(), exact.values.size());
+  // The join's stability of 2 doubles the per-bucket noise; allow the
+  // corresponding slack over the accumulated 60-bucket CDF.
+  EXPECT_LT(stats::rmse(dp.values, exact.values),
+            0.08 * exact.values.back() + 15.0);
+}
+
+TEST_F(EndToEnd, LossCdfMatchesExactShape) {
+  auto packets = protect(10.0, 80);
+  const auto dp = analysis::dp_loss_cdf(packets, 1.0, 20);
+  const auto exact = toolkit::exact_cdf(
+      analysis::exact_loss_permille(*trace_),
+      toolkit::make_boundaries(0, 1000, 20));
+  EXPECT_LT(stats::rmse(dp.values, exact.values),
+            0.05 * exact.values.back() + 10.0);
+}
+
+TEST_F(EndToEnd, FrequentStringsRecoverTheDominantPayload) {
+  auto packets = protect(10.0, 81);
+  auto payloads =
+      packets.select([](const Packet& p) { return p.payload; });
+  toolkit::FrequentStringOptions opt;
+  opt.length = 8;
+  opt.eps_per_level = 1.0;
+  opt.threshold = 60.0;
+  const auto found = toolkit::frequent_strings(payloads, opt);
+  ASSERT_FALSE(found.empty());
+  // The exact most frequent 8-byte payload tops the list.
+  const auto exact = toolkit::exact_frequent_strings(
+      [&] {
+        std::vector<std::string> all;
+        for (const Packet& p : *trace_) all.push_back(p.payload);
+        return all;
+      }(),
+      8, 60.0);
+  ASSERT_FALSE(exact.empty());
+  EXPECT_EQ(found[0].value, exact[0].value);
+  EXPECT_NEAR(found[0].estimated_count, exact[0].estimated_count,
+              0.1 * exact[0].estimated_count);
+}
+
+TEST_F(EndToEnd, WormRecallIsHighAtWeakPrivacyOnly) {
+  const auto& cfg = gen_->config();
+  const auto exact = analysis::exact_worm_payloads(
+      *trace_, 8, cfg.worm_dispersion_min - 1, cfg.worm_dispersion_min - 1);
+  ASSERT_FALSE(exact.empty());
+  const std::set<std::string> truth(exact.begin(), exact.end());
+
+  auto recall_at = [&](double eps, std::uint64_t seed) {
+    auto packets = protect(1e9, seed);
+    analysis::WormOptions opt;
+    opt.payload_len = 8;
+    opt.src_threshold = cfg.worm_dispersion_min - 1;
+    opt.dst_threshold = cfg.worm_dispersion_min - 1;
+    opt.eps_group_count = eps;
+    opt.eps_per_string_level = eps;
+    opt.string_threshold = 30.0;
+    opt.eps_dispersion = eps;
+    const auto result = analysis::dp_worm_fingerprint(packets, opt);
+    std::size_t hits = 0;
+    for (const auto& c : result.candidates) {
+      if (c.flagged && truth.count(c.payload)) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(truth.size());
+  };
+  const double weak = recall_at(10.0, 90);
+  const double strong = recall_at(0.05, 91);
+  EXPECT_GT(weak, 0.6);
+  EXPECT_LE(strong, weak);
+}
+
+TEST_F(EndToEnd, PortItemsetsMatchTheImplantedProfiles) {
+  auto packets = protect(1e9, 82);
+  // Per-host destination port sets, restricted to client hosts.
+  auto port_sets =
+      packets
+          .where([](const Packet& p) {
+            return p.src_ip.in_subnet(net::Ipv4(10, 0, 0, 0), 8);
+          })
+          .group_by([](const Packet& p) { return p.src_ip; })
+          .select([](const Group<net::Ipv4, Packet>& grp) {
+            std::set<int> ports;
+            for (const Packet& p : grp.items) ports.insert(p.dst_port);
+            return std::vector<int>(ports.begin(), ports.end());
+          });
+  toolkit::ItemsetOptions opt;
+  opt.max_size = 2;
+  opt.eps_per_level = 1e5;
+  opt.threshold = 5.0;
+  const std::vector<int> universe = {22, 25, 80, 139, 443, 445, 993};
+  const auto found = toolkit::frequent_itemsets(port_sets, universe, opt);
+  // The (22,80) profile is the largest and must be among the pairs.
+  bool pair_22_80 = false;
+  for (const auto& r : found) {
+    if (r.items == std::vector<int>{22, 80}) pair_22_80 = true;
+  }
+  EXPECT_TRUE(pair_22_80);
+}
+
+TEST_F(EndToEnd, RepeatedAnalysesDepleteTheBudget) {
+  auto packets = protect(0.3, 83);
+  analysis::dp_packet_length_cdf(packets, 0.1, 50);
+  analysis::dp_packet_length_cdf(packets, 0.1, 50);
+  analysis::dp_packet_length_cdf(packets, 0.1, 50);
+  EXPECT_THROW(analysis::dp_packet_length_cdf(packets, 0.1, 50),
+               core::BudgetExhaustedError);
+}
+
+}  // namespace
+}  // namespace dpnet

@@ -1,0 +1,117 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace dpnet::linalg {
+namespace {
+
+TEST(JacobiEigen, DiagonalMatrixReturnsSortedDiagonal) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const EigenResult r = jacobi_eigen(m);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 1.0);
+}
+
+TEST(JacobiEigen, TwoByTwoKnownDecomposition) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const EigenResult r = jacobi_eigen(m);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::abs(r.vectors(1, 0)), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiEigen, ReconstructsTheMatrix) {
+  std::mt19937_64 rng(17);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 12;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = dist(rng);
+      m(j, i) = m(i, j);
+    }
+  }
+  const EigenResult r = jacobi_eigen(m);
+  // Reconstruct V diag(L) V^T and compare.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += r.vectors(i, k) * r.values[k] * r.vectors(j, k);
+      }
+      EXPECT_NEAR(sum, m(i, j), 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, EigenvectorsAreOrthonormal) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  const std::size_t n = 8;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = dist(rng);
+      m(j, i) = m(i, j);
+    }
+  }
+  const EigenResult r = jacobi_eigen(m);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      double d = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        d += r.vectors(i, a) * r.vectors(i, b);
+      }
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigen, TraceIsPreserved) {
+  std::mt19937_64 rng(31);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  const std::size_t n = 20;
+  Matrix m(n, n);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = dist(rng);
+      m(j, i) = m(i, j);
+    }
+    trace += m(i, i);
+  }
+  const EigenResult r = jacobi_eigen(m);
+  double eig_sum = 0.0;
+  for (double v : r.values) eig_sum += v;
+  EXPECT_NEAR(eig_sum, trace, 1e-8);
+}
+
+TEST(JacobiEigen, RejectsNonSquare) {
+  EXPECT_THROW(jacobi_eigen(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(JacobiEigen, HandlesOneByOne) {
+  Matrix m(1, 1);
+  m(0, 0) = 4.2;
+  const EigenResult r = jacobi_eigen(m);
+  EXPECT_DOUBLE_EQ(r.values[0], 4.2);
+  EXPECT_DOUBLE_EQ(std::abs(r.vectors(0, 0)), 1.0);
+}
+
+}  // namespace
+}  // namespace dpnet::linalg

@@ -1,0 +1,93 @@
+#include "linalg/gmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dpnet::linalg {
+namespace {
+
+Matrix two_blobs(std::size_t per_cluster, std::uint64_t seed = 6) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> a(0.0, 0.5);
+  std::normal_distribution<double> b(8.0, 0.5);
+  Matrix points(2 * per_cluster, 1);
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    points(i, 0) = a(rng);
+    points(per_cluster + i, 0) = b(rng);
+  }
+  return points;
+}
+
+TEST(GaussianEm, RecoversTwoComponentMeans) {
+  const Matrix points = two_blobs(300);
+  Matrix init(2, 1);
+  init(0, 0) = -1.0;
+  init(1, 0) = 9.0;
+  const GmmResult model = gaussian_em(points, init, 30);
+  const double m0 = std::min(model.means(0, 0), model.means(1, 0));
+  const double m1 = std::max(model.means(0, 0), model.means(1, 0));
+  EXPECT_NEAR(m0, 0.0, 0.2);
+  EXPECT_NEAR(m1, 8.0, 0.2);
+  EXPECT_NEAR(model.weights[0], 0.5, 0.05);
+}
+
+TEST(GaussianEm, LogLikelihoodIsNonDecreasing) {
+  const Matrix points = two_blobs(100);
+  Matrix init(2, 1);
+  init(0, 0) = 2.0;
+  init(1, 0) = 5.0;
+  const GmmResult model = gaussian_em(points, init, 20);
+  for (std::size_t i = 1; i < model.log_likelihood_trace.size(); ++i) {
+    EXPECT_GE(model.log_likelihood_trace[i],
+              model.log_likelihood_trace[i - 1] - 1e-6);
+  }
+}
+
+TEST(GaussianEm, VarianceFloorPreventsCollapse) {
+  Matrix points(10, 1);  // all identical points
+  for (std::size_t i = 0; i < 10; ++i) points(i, 0) = 3.0;
+  Matrix init(1, 1);
+  init(0, 0) = 3.0;
+  const GmmResult model = gaussian_em(points, init, 10, 1e-3);
+  EXPECT_GE(model.variances(0, 0), 1e-3);
+}
+
+TEST(GaussianEm, HardAssignmentSeparatesBlobs) {
+  const Matrix points = two_blobs(100);
+  Matrix init(2, 1);
+  init(0, 0) = -1.0;
+  init(1, 0) = 9.0;
+  const GmmResult model = gaussian_em(points, init, 20);
+  const auto assign = gmm_assign(points, model);
+  // Points within a blob agree with each other.
+  for (std::size_t i = 1; i < 100; ++i) {
+    EXPECT_EQ(assign[i], assign[0]);
+    EXPECT_EQ(assign[100 + i], assign[100]);
+  }
+  EXPECT_NE(assign[0], assign[100]);
+}
+
+TEST(GaussianEm, RejectsBadInputs) {
+  EXPECT_THROW(gaussian_em(Matrix(4, 2), Matrix(2, 3), 5),
+               std::invalid_argument);
+  EXPECT_THROW(gaussian_em(Matrix(0, 2), Matrix(2, 2), 5),
+               std::invalid_argument);
+}
+
+TEST(GaussianEm, FitsAnisotropicDiagonalVariances) {
+  std::mt19937_64 rng(9);
+  std::normal_distribution<double> narrow(0.0, 0.2);
+  std::normal_distribution<double> wide(0.0, 3.0);
+  Matrix points(400, 2);
+  for (std::size_t i = 0; i < 400; ++i) {
+    points(i, 0) = narrow(rng);
+    points(i, 1) = wide(rng);
+  }
+  Matrix init(1, 2);
+  const GmmResult model = gaussian_em(points, init, 15);
+  EXPECT_LT(model.variances(0, 0), model.variances(0, 1) / 10.0);
+}
+
+}  // namespace
+}  // namespace dpnet::linalg

@@ -1,0 +1,108 @@
+#include "linalg/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dpnet::linalg {
+namespace {
+
+/// Three well-separated 2D blobs.
+Matrix blobs(std::size_t per_cluster, std::uint64_t seed = 5) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> jitter(0.0, 0.3);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix points(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      const std::size_t p = c * per_cluster + i;
+      points(p, 0) = centers[c][0] + jitter(rng);
+      points(p, 1) = centers[c][1] + jitter(rng);
+    }
+  }
+  return points;
+}
+
+TEST(NearestCenter, PicksClosest) {
+  Matrix centers(2, 2);
+  centers(0, 0) = 0.0;
+  centers(0, 1) = 0.0;
+  centers(1, 0) = 10.0;
+  centers(1, 1) = 10.0;
+  const std::vector<double> p = {9.0, 9.0};
+  EXPECT_EQ(nearest_center(p, centers), 1u);
+}
+
+TEST(Kmeans, RecoversWellSeparatedBlobs) {
+  const Matrix points = blobs(100);
+  const KmeansResult r =
+      kmeans(points, random_centers(3, 2, -2.0, 12.0, 42), 20);
+  // Each blob maps to a single cluster.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const int first = r.assignment[c * 100];
+    for (std::size_t i = 1; i < 100; ++i) {
+      EXPECT_EQ(r.assignment[c * 100 + i], first);
+    }
+  }
+  EXPECT_LT(r.objective_trace.back(), 1.0);
+}
+
+TEST(Kmeans, ObjectiveIsNonIncreasing) {
+  const Matrix points = blobs(50);
+  const KmeansResult r =
+      kmeans(points, random_centers(3, 2, -2.0, 12.0, 7), 15);
+  for (std::size_t i = 1; i < r.objective_trace.size(); ++i) {
+    EXPECT_LE(r.objective_trace[i], r.objective_trace[i - 1] + 1e-9);
+  }
+}
+
+TEST(Kmeans, EmptyClustersKeepTheirCenters) {
+  Matrix points(4, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 0.1;
+  points(2, 0) = 0.2;
+  points(3, 0) = 0.3;
+  Matrix init(2, 1);
+  init(0, 0) = 0.15;
+  init(1, 0) = 100.0;  // captures nothing
+  const KmeansResult r = kmeans(points, init, 5);
+  EXPECT_DOUBLE_EQ(r.centers(1, 0), 100.0);
+}
+
+TEST(Kmeans, RejectsDimensionMismatch) {
+  EXPECT_THROW(kmeans(Matrix(4, 2), Matrix(2, 3), 3), std::invalid_argument);
+}
+
+TEST(ClusteringObjective, ZeroWhenCentersCoverAllPoints) {
+  Matrix points(2, 1);
+  points(0, 0) = 1.0;
+  points(1, 0) = 5.0;
+  Matrix centers(2, 1);
+  centers(0, 0) = 1.0;
+  centers(1, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(clustering_objective(points, centers), 0.0);
+}
+
+TEST(ClusteringObjective, AveragesPointToNearestCenterDistance) {
+  Matrix points(2, 1);
+  points(0, 0) = 0.0;
+  points(1, 0) = 4.0;
+  Matrix centers(1, 1);
+  centers(0, 0) = 1.0;
+  EXPECT_DOUBLE_EQ(clustering_objective(points, centers), 2.0);  // (1+3)/2
+}
+
+TEST(RandomCenters, DeterministicPerSeedAndInRange) {
+  const Matrix a = random_centers(4, 3, -1.0, 1.0, 11);
+  const Matrix b = random_centers(4, 3, -1.0, 1.0, 11);
+  EXPECT_EQ(a, b);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_GE(a(c, d), -1.0);
+      EXPECT_LT(a(c, d), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpnet::linalg

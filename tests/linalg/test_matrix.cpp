@@ -1,0 +1,95 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpnet::linalg {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, ElementAccessReadsAndWrites) {
+  Matrix m(2, 2);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);
+}
+
+TEST(Matrix, RowSpansAliasStorage) {
+  Matrix m(2, 3);
+  auto row = m.row(1);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix m(2, 3);
+  m(0, 1) = 4.0;
+  m(1, 2) = 5.0;
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 5.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  Matrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyRejectsDimensionMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, CenterRowsZeroesEachRowMean) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(0, 2) = 3;
+  m(1, 0) = 10;
+  m(1, 1) = 10;
+  m(1, 2) = 10;
+  m.center_rows();
+  EXPECT_DOUBLE_EQ(m(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(VectorOps, DistancesAndDotProducts) {
+  const std::vector<double> a = {0.0, 3.0};
+  const std::vector<double> b = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(norm(a), 3.0);
+}
+
+TEST(VectorOps, RejectLengthMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(squared_distance(a, b), std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::linalg

@@ -1,0 +1,99 @@
+#include "linalg/pca.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace dpnet::linalg {
+namespace {
+
+/// Low-rank data: observations are combinations of two basis patterns
+/// across 6 variables, plus one spiked column.
+Matrix low_rank_data(std::size_t vars, std::size_t obs, std::size_t spike_at,
+                     double spike) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> coeff(-1.0, 1.0);
+  std::vector<double> basis1(vars), basis2(vars);
+  for (std::size_t v = 0; v < vars; ++v) {
+    basis1[v] = std::sin(0.7 * static_cast<double>(v) + 0.3);
+    basis2[v] = std::cos(1.3 * static_cast<double>(v));
+  }
+  Matrix data(vars, obs);
+  for (std::size_t t = 0; t < obs; ++t) {
+    const double a = coeff(rng);
+    const double b = coeff(rng);
+    for (std::size_t v = 0; v < vars; ++v) {
+      data(v, t) = 10.0 + a * basis1[v] + b * basis2[v];
+    }
+  }
+  for (std::size_t v = 0; v < vars; ++v) data(v, spike_at) += spike;
+  return data;
+}
+
+TEST(Pca, ExplainedVarianceIsDescending) {
+  const Matrix data = low_rank_data(6, 200, 50, 0.0);
+  const PcaSubspace s = fit_pca(data, 3);
+  for (std::size_t i = 1; i < s.explained_variance.size(); ++i) {
+    EXPECT_GE(s.explained_variance[i - 1], s.explained_variance[i] - 1e-12);
+  }
+}
+
+TEST(Pca, ComponentsAreOrthonormal) {
+  const Matrix data = low_rank_data(6, 200, 50, 0.0);
+  const PcaSubspace s = fit_pca(data, 3);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      double d = 0.0;
+      for (std::size_t v = 0; v < 6; ++v) {
+        d += s.components(v, a) * s.components(v, b);
+      }
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Pca, RankTwoDataIsFullyExplainedByTwoComponents) {
+  const Matrix data = low_rank_data(6, 300, 10, 0.0);
+  const PcaSubspace s = fit_pca(data, 2);
+  const auto norms = residual_norms(data, s);
+  for (double n : norms) {
+    EXPECT_NEAR(n, 0.0, 1e-6);
+  }
+}
+
+TEST(Pca, ResidualNormSpikesAtTheAnomaly) {
+  // The spike must stay smaller than the basis variance: an anomaly big
+  // enough to dominate the covariance would be absorbed into the fitted
+  // subspace instead of standing out in the residual.
+  const std::size_t spike_at = 123;
+  const Matrix data = low_rank_data(6, 300, spike_at, 6.0);
+  const PcaSubspace s = fit_pca(data, 2);
+  const auto norms = residual_norms(data, s);
+  std::size_t argmax = 0;
+  for (std::size_t t = 1; t < norms.size(); ++t) {
+    if (norms[t] > norms[argmax]) argmax = t;
+  }
+  EXPECT_EQ(argmax, spike_at);
+  double other_mean = 0.0;
+  for (std::size_t t = 0; t < norms.size(); ++t) {
+    if (t != spike_at) other_mean += norms[t];
+  }
+  other_mean /= static_cast<double>(norms.size() - 1);
+  EXPECT_GT(norms[spike_at], 10.0 * (other_mean + 1e-9));
+}
+
+TEST(Pca, RejectsBadComponentCounts) {
+  const Matrix data = low_rank_data(6, 50, 10, 0.0);
+  EXPECT_THROW(fit_pca(data, 0), std::invalid_argument);
+  EXPECT_THROW(fit_pca(data, 7), std::invalid_argument);
+}
+
+TEST(Pca, ResidualRejectsDimensionMismatch) {
+  const Matrix data = low_rank_data(6, 50, 10, 0.0);
+  const PcaSubspace s = fit_pca(data, 2);
+  EXPECT_THROW(residual_norms(Matrix(5, 50), s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::linalg

@@ -1,0 +1,113 @@
+#include "net/anonymize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+namespace dpnet::net {
+namespace {
+
+TEST(CommonPrefixLen, HandComputedCases) {
+  EXPECT_EQ(common_prefix_len(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 1)), 32);
+  EXPECT_EQ(common_prefix_len(Ipv4(10, 0, 0, 0), Ipv4(10, 0, 0, 1)), 31);
+  EXPECT_EQ(common_prefix_len(Ipv4(10, 0, 0, 0), Ipv4(10, 128, 0, 0)), 8);
+  EXPECT_EQ(common_prefix_len(Ipv4(0, 0, 0, 0), Ipv4(128, 0, 0, 0)), 0);
+}
+
+TEST(AnonymizeIp, DeterministicUnderSameKey) {
+  const Ipv4 ip(192, 168, 1, 77);
+  EXPECT_EQ(anonymize_ip(ip, 42).value, anonymize_ip(ip, 42).value);
+  EXPECT_NE(anonymize_ip(ip, 42).value, anonymize_ip(ip, 43).value);
+}
+
+TEST(AnonymizeIp, IsInjectivePerKey) {
+  std::unordered_set<std::uint32_t> outputs;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    outputs.insert(anonymize_ip(Ipv4((10u << 24) + i * 7919u), 9).value);
+  }
+  EXPECT_EQ(outputs.size(), 5000u);
+}
+
+TEST(AnonymizeIp, PreservesPrefixLengthsExactly) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Ipv4 a(static_cast<std::uint32_t>(rng()));
+    const Ipv4 b(static_cast<std::uint32_t>(rng()));
+    const int before = common_prefix_len(a, b);
+    const int after =
+        common_prefix_len(anonymize_ip(a, 77), anonymize_ip(b, 77));
+    EXPECT_EQ(before, after) << a.to_string() << " vs " << b.to_string();
+  }
+}
+
+TEST(AnonymizeIp, ActuallyChangesMostAddresses) {
+  int unchanged = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const Ipv4 ip((172u << 24) + i);
+    if (anonymize_ip(ip, 123).value == ip.value) ++unchanged;
+  }
+  EXPECT_LT(unchanged, 10);
+}
+
+TEST(AnonymizeTrace, RewritesEndpointsAndStripsPayloads) {
+  Packet p;
+  p.src_ip = Ipv4(10, 0, 0, 1);
+  p.dst_ip = Ipv4(198, 18, 0, 1);
+  p.payload = "secret";
+  p.length = 100;
+  const auto out = anonymize_trace(std::vector<Packet>{p});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NE(out[0].src_ip, p.src_ip);
+  EXPECT_NE(out[0].dst_ip, p.dst_ip);
+  EXPECT_TRUE(out[0].payload.empty());
+  EXPECT_EQ(out[0].length, 100);  // structure preserved
+}
+
+TEST(AnonymizeTrace, KeepsPayloadsWhenAskedTo) {
+  Packet p;
+  p.payload = "body";
+  AnonymizeOptions opt;
+  opt.strip_payloads = false;
+  const auto out = anonymize_trace(std::vector<Packet>{p}, opt);
+  EXPECT_EQ(out[0].payload, "body");
+}
+
+TEST(AnonymizeTrace, SameHostMapsConsistentlyAcrossPackets) {
+  std::vector<Packet> trace(3);
+  for (auto& p : trace) {
+    p.src_ip = Ipv4(10, 1, 2, 3);
+    p.dst_ip = Ipv4(8, 8, 8, 8);
+  }
+  const auto out = anonymize_trace(trace);
+  EXPECT_EQ(out[0].src_ip, out[1].src_ip);
+  EXPECT_EQ(out[1].src_ip, out[2].src_ip);
+}
+
+TEST(AnonymizeTrace, ZeroTimestampsRebasesToTraceStart) {
+  std::vector<Packet> trace(2);
+  trace[0].timestamp = 100.5;
+  trace[1].timestamp = 101.25;
+  AnonymizeOptions opt;
+  opt.zero_timestamps = true;
+  const auto out = anonymize_trace(trace, opt);
+  EXPECT_DOUBLE_EQ(out[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(out[1].timestamp, 0.75);
+}
+
+TEST(AnonymizeTrace, SubnetStructureSurvives) {
+  // Hosts in one /24 stay in one (different) /24 — the property that both
+  // keeps research value and enables the fingerprinting attacks of §6.
+  std::vector<Packet> trace(10);
+  for (int i = 0; i < 10; ++i) {
+    trace[static_cast<std::size_t>(i)].src_ip =
+        Ipv4(10, 5, 5, static_cast<std::uint8_t>(i + 1));
+  }
+  const auto out = anonymize_trace(trace);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(common_prefix_len(out[0].src_ip, out[i].src_ip), 24);
+  }
+}
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,112 @@
+#include "net/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dpnet::net {
+namespace {
+
+Packet packet(std::uint16_t dst_port, std::uint8_t proto = kProtoTcp,
+              std::uint16_t length = 100) {
+  Packet p;
+  p.dst_port = dst_port;
+  p.protocol = proto;
+  p.length = length;
+  p.src_ip = Ipv4(10, 0, 0, 1);
+  p.dst_ip = Ipv4(198, 18, 0, 1);
+  return p;
+}
+
+TEST(PacketClassifier, ServiceMixLabelsCommonPorts) {
+  const auto clf = PacketClassifier::service_mix();
+  EXPECT_EQ(clf.classify(packet(80)), "web");
+  EXPECT_EQ(clf.classify(packet(8080)), "web");
+  EXPECT_EQ(clf.classify(packet(443)), "tls");
+  EXPECT_EQ(clf.classify(packet(25)), "mail");
+  EXPECT_EQ(clf.classify(packet(993)), "mail");
+  EXPECT_EQ(clf.classify(packet(22)), "ssh");
+  EXPECT_EQ(clf.classify(packet(445)), "smb");
+  EXPECT_EQ(clf.classify(packet(53, kProtoUdp)), "dns");
+}
+
+TEST(PacketClassifier, UnmatchedTrafficGetsDefaultLabel) {
+  const auto clf = PacketClassifier::service_mix();
+  EXPECT_EQ(clf.classify(packet(31337)), "other");
+  // TCP port 53 does not match the UDP-only DNS rule.
+  EXPECT_EQ(clf.classify(packet(53, kProtoTcp)), "other");
+}
+
+TEST(PacketClassifier, IndexAgreesWithLabel) {
+  const auto clf = PacketClassifier::service_mix();
+  const Packet p = packet(443);
+  EXPECT_EQ(clf.labels()[static_cast<std::size_t>(clf.classify_index(p))],
+            clf.classify(p));
+}
+
+TEST(PacketClassifier, DefaultLabelIsLastInLabels) {
+  const auto clf = PacketClassifier::service_mix();
+  EXPECT_EQ(clf.labels().back(), "other");
+}
+
+TEST(PacketClassifier, PriorityDecidesOverlaps) {
+  std::vector<ClassifierRule> rules;
+  ClassifierRule broad;
+  broad.label = "any-low-port";
+  broad.priority = 20;
+  broad.dst_port_lo = 0;
+  broad.dst_port_hi = 1023;
+  ClassifierRule narrow;
+  narrow.label = "http";
+  narrow.priority = 5;
+  narrow.dst_port_lo = 80;
+  narrow.dst_port_hi = 80;
+  rules.push_back(broad);
+  rules.push_back(narrow);
+  PacketClassifier clf(rules);
+  EXPECT_EQ(clf.classify(packet(80)), "http");
+  EXPECT_EQ(clf.classify(packet(81)), "any-low-port");
+}
+
+TEST(PacketClassifier, PrefixRulesRestrictAddresses) {
+  ClassifierRule internal;
+  internal.label = "internal";
+  internal.src_prefix = Ipv4(10, 0, 0, 0);
+  internal.src_prefix_len = 8;
+  PacketClassifier clf({internal});
+  Packet inside = packet(80);
+  EXPECT_EQ(clf.classify(inside), "internal");
+  Packet outside = packet(80);
+  outside.src_ip = Ipv4(203, 0, 0, 1);
+  EXPECT_EQ(clf.classify(outside), "other");
+}
+
+TEST(PacketClassifier, MinLengthFiltersSmallPackets) {
+  ClassifierRule bulky;
+  bulky.label = "bulk";
+  bulky.min_length = 1000;
+  PacketClassifier clf({bulky});
+  EXPECT_EQ(clf.classify(packet(80, kProtoTcp, 1400)), "bulk");
+  EXPECT_EQ(clf.classify(packet(80, kProtoTcp, 40)), "other");
+}
+
+TEST(PacketClassifier, RejectsMalformedRules) {
+  ClassifierRule unnamed;
+  EXPECT_THROW(PacketClassifier({unnamed}), std::invalid_argument);
+  ClassifierRule inverted;
+  inverted.label = "x";
+  inverted.dst_port_lo = 100;
+  inverted.dst_port_hi = 50;
+  EXPECT_THROW(PacketClassifier({inverted}), std::invalid_argument);
+}
+
+TEST(PacketClassifier, SharedLabelAcrossRulesCollapses) {
+  const auto clf = PacketClassifier::service_mix();
+  // "web" appears for both 80 and 8080 but is one label.
+  int count = 0;
+  for (const auto& l : clf.labels()) {
+    if (l == "web") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace dpnet::net

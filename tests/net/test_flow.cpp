@@ -1,0 +1,109 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::net {
+namespace {
+
+Packet packet(double t, std::uint16_t sport, TcpFlags flags,
+              std::uint32_t seq, std::uint16_t len) {
+  Packet p;
+  p.timestamp = t;
+  p.src_ip = Ipv4(10, 0, 0, 1);
+  p.dst_ip = Ipv4(198, 18, 0, 1);
+  p.src_port = sport;
+  p.dst_port = 80;
+  p.protocol = kProtoTcp;
+  p.flags = flags;
+  p.seq = seq;
+  p.length = len;
+  return p;
+}
+
+constexpr TcpFlags kSyn{.syn = true};
+constexpr TcpFlags kData{.ack = true, .psh = true};
+
+TEST(FlowStats, AggregatesBytesPacketsAndDuration) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kData, 1, 100),
+      packet(3.0, 1000, kData, 2, 200),
+      packet(2.0, 2000, kData, 1, 50),
+  };
+  auto stats = compute_flow_stats(trace);
+  ASSERT_EQ(stats.size(), 2u);
+  const auto& big = stats[0].packets == 2 ? stats[0] : stats[1];
+  EXPECT_EQ(big.packets, 2u);
+  EXPECT_EQ(big.bytes, 300u);
+  EXPECT_DOUBLE_EQ(big.duration(), 2.0);
+}
+
+TEST(FlowStats, CountsConnectionsBySyn) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kSyn, 1, 40),   packet(1.1, 1000, kData, 2, 100),
+      packet(2.0, 1000, kSyn, 50, 40),  packet(2.1, 1000, kData, 51, 100),
+      packet(3.0, 1000, kSyn, 90, 40),
+  };
+  auto stats = compute_flow_stats(trace);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].connections, 3u);
+}
+
+TEST(ConnectionIds, NewSynStartsNewConnection) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kSyn, 1, 40),
+      packet(1.1, 1000, kData, 2, 100),
+      packet(2.0, 1000, kSyn, 50, 40),
+      packet(2.1, 1000, kData, 51, 100),
+  };
+  auto tagged = assign_connection_ids(trace);
+  ASSERT_EQ(tagged.size(), 4u);
+  EXPECT_EQ(tagged[0].connection_id, tagged[1].connection_id);
+  EXPECT_EQ(tagged[2].connection_id, tagged[3].connection_id);
+  EXPECT_NE(tagged[0].connection_id, tagged[2].connection_id);
+}
+
+TEST(ConnectionIds, PacketsBeforeFirstSynShareAConnection) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kData, 1, 100),
+      packet(1.1, 1000, kData, 2, 100),
+  };
+  auto tagged = assign_connection_ids(trace);
+  EXPECT_EQ(tagged[0].connection_id, tagged[1].connection_id);
+}
+
+TEST(ConnectionIds, DifferentFlowsGetDifferentConnections) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kSyn, 1, 40),
+      packet(1.0, 2000, kSyn, 1, 40),
+  };
+  auto tagged = assign_connection_ids(trace);
+  EXPECT_NE(tagged[0].connection_id, tagged[1].connection_id);
+}
+
+TEST(ConnectionIds, BothDirectionsShareTheConnection) {
+  Packet forward = packet(1.0, 1000, kSyn, 1, 40);
+  Packet reverse = forward;
+  std::swap(reverse.src_ip, reverse.dst_ip);
+  std::swap(reverse.src_port, reverse.dst_port);
+  reverse.flags = TcpFlags{.syn = true, .ack = true};
+  reverse.timestamp = 1.05;
+  auto tagged = assign_connection_ids(std::vector<Packet>{forward, reverse});
+  EXPECT_EQ(tagged[0].connection_id, tagged[1].connection_id);
+}
+
+TEST(PacketsPerConnection, CountsEachConnection) {
+  std::vector<Packet> trace = {
+      packet(1.0, 1000, kSyn, 1, 40),  packet(1.1, 1000, kData, 2, 100),
+      packet(1.2, 1000, kData, 3, 100),
+      packet(2.0, 1000, kSyn, 50, 40), packet(2.1, 1000, kData, 51, 100),
+  };
+  const auto counts = packets_per_connection(assign_connection_ids(trace));
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+}  // namespace
+}  // namespace dpnet::net

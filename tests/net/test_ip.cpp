@@ -1,0 +1,64 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dpnet::net {
+namespace {
+
+TEST(Ipv4, OctetConstructorLaysOutBigEndian) {
+  const Ipv4 ip(10, 0, 1, 2);
+  EXPECT_EQ(ip.value, 0x0A000102u);
+}
+
+TEST(Ipv4, ToStringRendersDottedQuad) {
+  EXPECT_EQ(Ipv4(192, 168, 0, 1).to_string(), "192.168.0.1");
+  EXPECT_EQ(Ipv4(0, 0, 0, 0).to_string(), "0.0.0.0");
+  EXPECT_EQ(Ipv4(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4, FromStringRoundTrips) {
+  for (const char* text : {"1.2.3.4", "10.0.0.1", "203.0.113.7"}) {
+    EXPECT_EQ(Ipv4::from_string(text).to_string(), text);
+  }
+}
+
+TEST(Ipv4, FromStringRejectsMalformedInput) {
+  EXPECT_THROW(Ipv4::from_string("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::from_string("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::from_string("256.1.1.1"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::from_string("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::from_string(""), std::invalid_argument);
+}
+
+TEST(Ipv4, ComparesByValue) {
+  EXPECT_EQ(Ipv4(1, 2, 3, 4), Ipv4(1, 2, 3, 4));
+  EXPECT_LT(Ipv4(1, 2, 3, 4), Ipv4(1, 2, 3, 5));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Ipv4, SubnetMembership) {
+  const Ipv4 ip(10, 1, 2, 3);
+  EXPECT_TRUE(ip.in_subnet(Ipv4(10, 0, 0, 0), 8));
+  EXPECT_FALSE(ip.in_subnet(Ipv4(10, 0, 0, 0), 16));
+  EXPECT_TRUE(ip.in_subnet(Ipv4(10, 1, 0, 0), 16));
+  EXPECT_TRUE(ip.in_subnet(Ipv4(0, 0, 0, 0), 0));
+  EXPECT_FALSE(ip.in_subnet(Ipv4(10, 1, 2, 4), 32));
+  EXPECT_TRUE(ip.in_subnet(ip, 32));
+  EXPECT_THROW(static_cast<void>(ip.in_subnet(ip, 33)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ip.in_subnet(ip, -1)),
+               std::invalid_argument);
+}
+
+TEST(Ipv4, HashableInUnorderedContainers) {
+  std::unordered_set<Ipv4> set;
+  set.insert(Ipv4(1, 1, 1, 1));
+  set.insert(Ipv4(1, 1, 1, 1));
+  set.insert(Ipv4(2, 2, 2, 2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,77 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace dpnet::net {
+namespace {
+
+TEST(TcpFlags, ByteRoundTrip) {
+  TcpFlags f;
+  f.syn = true;
+  f.ack = true;
+  f.psh = true;
+  const TcpFlags back = TcpFlags::from_byte(f.to_byte());
+  EXPECT_EQ(back, f);
+}
+
+TEST(TcpFlags, AllFlagBitsAreIndependent) {
+  for (int bits = 0; bits < 32; ++bits) {
+    TcpFlags f;
+    f.fin = bits & 1;
+    f.syn = bits & 2;
+    f.rst = bits & 4;
+    f.psh = bits & 8;
+    f.ack = bits & 16;
+    EXPECT_EQ(TcpFlags::from_byte(f.to_byte()), f);
+  }
+}
+
+TEST(FlowKey, FlowOfExtractsFiveTuple) {
+  Packet p;
+  p.src_ip = Ipv4(10, 0, 0, 1);
+  p.dst_ip = Ipv4(10, 0, 0, 2);
+  p.src_port = 1234;
+  p.dst_port = 80;
+  p.protocol = kProtoTcp;
+  const FlowKey k = flow_of(p);
+  EXPECT_EQ(k.src_ip, p.src_ip);
+  EXPECT_EQ(k.dst_ip, p.dst_ip);
+  EXPECT_EQ(k.src_port, 1234);
+  EXPECT_EQ(k.dst_port, 80);
+  EXPECT_EQ(k.protocol, kProtoTcp);
+}
+
+TEST(FlowKey, ReversedSwapsEndpoints) {
+  const FlowKey k{Ipv4(1, 1, 1, 1), Ipv4(2, 2, 2, 2), 10, 20, kProtoTcp};
+  const FlowKey r = k.reversed();
+  EXPECT_EQ(r.src_ip, k.dst_ip);
+  EXPECT_EQ(r.dst_ip, k.src_ip);
+  EXPECT_EQ(r.src_port, k.dst_port);
+  EXPECT_EQ(r.dst_port, k.src_port);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(FlowKey, CanonicalIsDirectionInsensitive) {
+  const FlowKey k{Ipv4(9, 9, 9, 9), Ipv4(2, 2, 2, 2), 10, 20, kProtoTcp};
+  EXPECT_EQ(k.canonical(), k.reversed().canonical());
+  // Canonicalizing twice is stable.
+  EXPECT_EQ(k.canonical(), k.canonical().canonical());
+}
+
+TEST(FlowKey, HashEqualsForEqualKeys) {
+  const FlowKey a{Ipv4(1, 2, 3, 4), Ipv4(5, 6, 7, 8), 1, 2, kProtoTcp};
+  const FlowKey b = a;
+  EXPECT_EQ(std::hash<FlowKey>{}(a), std::hash<FlowKey>{}(b));
+  std::unordered_set<FlowKey> set{a, b};
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlowKey, ToStringIsHumanReadable) {
+  const FlowKey k{Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2), 1234, 80, kProtoTcp};
+  EXPECT_EQ(k.to_string(), "10.0.0.1:1234->10.0.0.2:80/6");
+}
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,149 @@
+#include "net/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dpnet::net {
+namespace {
+
+Packet tcp_packet(int i) {
+  Packet p;
+  p.timestamp = 100.0 + i * 0.25;
+  p.src_ip = Ipv4(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+  p.dst_ip = Ipv4(198, 18, 0, 1);
+  p.src_port = static_cast<std::uint16_t>(4000 + i);
+  p.dst_port = 80;
+  p.protocol = kProtoTcp;
+  p.flags = TcpFlags{.syn = i % 2 == 0, .ack = true, .psh = i % 3 == 0};
+  p.seq = static_cast<std::uint32_t>(1000 * i);
+  p.ack_no = static_cast<std::uint32_t>(77 * i);
+  p.payload = i % 2 == 0 ? "" : "GET /i" + std::to_string(i);
+  p.length = static_cast<std::uint16_t>(60 + p.payload.size());
+  return p;
+}
+
+Packet udp_packet() {
+  Packet p;
+  p.timestamp = 5.5;
+  p.src_ip = Ipv4(10, 0, 0, 9);
+  p.dst_ip = Ipv4(8, 8, 8, 8);
+  p.src_port = 5353;
+  p.dst_port = 53;
+  p.protocol = kProtoUdp;
+  p.payload = "dns?";
+  p.length = 46;
+  return p;
+}
+
+TEST(Pcap, RoundTripsTcpFields) {
+  std::vector<Packet> trace;
+  for (int i = 0; i < 8; ++i) trace.push_back(tcp_packet(i));
+  std::stringstream buffer;
+  write_pcap(buffer, trace);
+  const auto result = read_pcap(buffer);
+  EXPECT_EQ(result.skipped, 0u);
+  ASSERT_EQ(result.packets.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Packet& a = trace[i];
+    const Packet& b = result.packets[i];
+    EXPECT_NEAR(b.timestamp, a.timestamp, 2e-6);
+    EXPECT_EQ(b.src_ip, a.src_ip);
+    EXPECT_EQ(b.dst_ip, a.dst_ip);
+    EXPECT_EQ(b.src_port, a.src_port);
+    EXPECT_EQ(b.dst_port, a.dst_port);
+    EXPECT_EQ(b.protocol, a.protocol);
+    EXPECT_EQ(b.flags, a.flags);
+    EXPECT_EQ(b.seq, a.seq);
+    EXPECT_EQ(b.ack_no, a.ack_no);
+    EXPECT_EQ(b.payload, a.payload);
+  }
+}
+
+TEST(Pcap, RoundTripsUdp) {
+  std::stringstream buffer;
+  write_pcap(buffer, std::vector<Packet>{udp_packet()});
+  const auto result = read_pcap(buffer);
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.packets[0].protocol, kProtoUdp);
+  EXPECT_EQ(result.packets[0].dst_port, 53);
+  EXPECT_EQ(result.packets[0].payload, "dns?");
+}
+
+TEST(Pcap, OriginalLengthIsPreservedWhenLarger) {
+  Packet p = tcp_packet(1);
+  p.payload.clear();
+  p.length = 1492;  // on-wire length larger than the captured frame
+  std::stringstream buffer;
+  write_pcap(buffer, std::vector<Packet>{p});
+  const auto result = read_pcap(buffer);
+  ASSERT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.packets[0].length, 1492);
+}
+
+TEST(Pcap, RejectsGarbage) {
+  std::stringstream buffer;
+  buffer << "this is not a capture";
+  EXPECT_THROW(read_pcap(buffer), PcapError);
+}
+
+TEST(Pcap, RejectsEmptyStream) {
+  std::stringstream buffer;
+  EXPECT_THROW(read_pcap(buffer), PcapError);
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  std::stringstream buffer;
+  write_pcap(buffer, std::vector<Packet>{tcp_packet(0)});
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  EXPECT_THROW(read_pcap(cut), PcapError);
+}
+
+TEST(Pcap, EmptyCaptureRoundTrips) {
+  std::stringstream buffer;
+  write_pcap(buffer, {});
+  const auto result = read_pcap(buffer);
+  EXPECT_TRUE(result.packets.empty());
+  EXPECT_EQ(result.skipped, 0u);
+}
+
+TEST(Pcap, SkipsNonIpv4FramesWithoutFailing) {
+  // Hand-craft a capture with one ARP frame (ethertype 0x0806).
+  std::stringstream buffer;
+  write_pcap(buffer, std::vector<Packet>{tcp_packet(0)});
+  std::string bytes = buffer.str();
+  // Append a record header (host order) + a tiny ARP frame.
+  auto put32 = [&bytes](std::uint32_t v) {
+    bytes.append(reinterpret_cast<const char*>(&v), 4);
+  };
+  put32(0);   // ts_sec
+  put32(0);   // ts_usec
+  put32(16);  // incl_len
+  put32(16);  // orig_len
+  std::string arp(16, '\0');
+  arp[12] = 0x08;
+  arp[13] = 0x06;
+  bytes += arp;
+
+  std::stringstream combined(bytes);
+  const auto result = read_pcap(combined);
+  EXPECT_EQ(result.packets.size(), 1u);
+  EXPECT_EQ(result.skipped, 1u);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dpnet_test.pcap";
+  std::vector<Packet> trace;
+  for (int i = 0; i < 5; ++i) trace.push_back(tcp_packet(i));
+  write_pcap_file(path, trace);
+  const auto result = read_pcap_file(path);
+  EXPECT_EQ(result.packets.size(), trace.size());
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(read_pcap_file("/nonexistent/file.pcap"), PcapError);
+}
+
+}  // namespace
+}  // namespace dpnet::net

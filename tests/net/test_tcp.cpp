@@ -1,0 +1,187 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::net {
+namespace {
+
+Packet packet(double t, Ipv4 src, Ipv4 dst, std::uint16_t sport,
+              std::uint16_t dport, TcpFlags flags, std::uint32_t seq,
+              std::uint32_t ack, std::uint16_t len) {
+  Packet p;
+  p.timestamp = t;
+  p.src_ip = src;
+  p.dst_ip = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.protocol = kProtoTcp;
+  p.flags = flags;
+  p.seq = seq;
+  p.ack_no = ack;
+  p.length = len;
+  return p;
+}
+
+const Ipv4 kClient(10, 0, 0, 1);
+const Ipv4 kServer(198, 18, 0, 1);
+constexpr TcpFlags kSyn{.syn = true};
+constexpr TcpFlags kSynAck{.syn = true, .ack = true};
+constexpr TcpFlags kData{.ack = true, .psh = true};
+
+TEST(HandshakeRtts, MatchesSynWithSynAck) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kSyn, 500, 0, 40),
+      packet(1.05, kServer, kClient, 80, 1000, kSynAck, 900, 501, 40),
+  };
+  const auto rtts = handshake_rtts(trace);
+  ASSERT_EQ(rtts.size(), 1u);
+  EXPECT_NEAR(rtts[0].rtt_s, 0.05, 1e-9);
+  EXPECT_EQ(rtts[0].flow.src_ip, kClient);
+}
+
+TEST(HandshakeRtts, IgnoresMismatchedAckNumbers) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kSyn, 500, 0, 40),
+      packet(1.05, kServer, kClient, 80, 1000, kSynAck, 900, 777, 40),
+  };
+  EXPECT_TRUE(handshake_rtts(trace).empty());
+}
+
+TEST(HandshakeRtts, MatchesEachSynAtMostOnce) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kSyn, 500, 0, 40),
+      packet(1.05, kServer, kClient, 80, 1000, kSynAck, 900, 501, 40),
+      packet(1.30, kServer, kClient, 80, 1000, kSynAck, 900, 501, 40),
+  };
+  EXPECT_EQ(handshake_rtts(trace).size(), 1u);
+}
+
+TEST(HandshakeRtts, SynAckOnDifferentFlowIgnored) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kSyn, 500, 0, 40),
+      packet(1.05, kServer, kClient, 80, 2000, kSynAck, 900, 501, 40),
+  };
+  EXPECT_TRUE(handshake_rtts(trace).empty());
+}
+
+TEST(RetransmitDiffs, DetectsRepeatedSequenceNumbers) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.2, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+  };
+  const auto diffs = retransmit_time_diffs_ms(trace);
+  ASSERT_EQ(diffs.size(), 1u);
+  EXPECT_NEAR(diffs[0], 200.0, 1e-6);
+}
+
+TEST(RetransmitDiffs, MeasuresFromMostRecentTransmission) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.2, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.5, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+  };
+  const auto diffs = retransmit_time_diffs_ms(trace);
+  ASSERT_EQ(diffs.size(), 2u);
+  EXPECT_NEAR(diffs[0], 200.0, 1e-6);
+  EXPECT_NEAR(diffs[1], 300.0, 1e-6);
+}
+
+TEST(RetransmitDiffs, IgnoresPureAcksAndSyns) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kSyn, 100, 0, 40),
+      packet(1.2, kClient, kServer, 1000, 80, kSyn, 100, 0, 40),
+      packet(1.4, kClient, kServer, 1000, 80, TcpFlags{.ack = true}, 101, 5,
+             40),
+      packet(1.6, kClient, kServer, 1000, 80, TcpFlags{.ack = true}, 101, 5,
+             40),
+  };
+  EXPECT_TRUE(retransmit_time_diffs_ms(trace).empty());
+}
+
+TEST(RetransmitDiffs, SeparatesFlows) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.5, kClient, kServer, 2000, 80, kData, 100, 0, 500),
+  };
+  EXPECT_TRUE(retransmit_time_diffs_ms(trace).empty());
+}
+
+TEST(FlowLossRate, ZeroWhenAllSequencesDistinct) {
+  std::vector<Packet> flow = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.1, kClient, kServer, 1000, 80, kData, 200, 0, 500),
+  };
+  EXPECT_DOUBLE_EQ(flow_loss_rate(flow), 0.0);
+}
+
+TEST(FlowLossRate, CountsDuplicatesAsLoss) {
+  std::vector<Packet> flow = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.1, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.2, kClient, kServer, 1000, 80, kData, 200, 0, 500),
+      packet(1.3, kClient, kServer, 1000, 80, kData, 300, 0, 500),
+  };
+  EXPECT_DOUBLE_EQ(flow_loss_rate(flow), 0.25);
+}
+
+TEST(FlowLossRate, EmptyFlowIsZero) {
+  EXPECT_DOUBLE_EQ(flow_loss_rate({}), 0.0);
+}
+
+TEST(OutOfOrder, CountsReorderingButNotRetransmissions) {
+  std::vector<Packet> flow = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 100, 0, 500),
+      packet(1.1, kClient, kServer, 1000, 80, kData, 300, 0, 500),
+      packet(1.2, kClient, kServer, 1000, 80, kData, 200, 0, 500),  // ooo
+      packet(1.3, kClient, kServer, 1000, 80, kData, 300, 0, 500),  // retx
+  };
+  EXPECT_EQ(out_of_order_count(flow), 1u);
+}
+
+TEST(Activations, FirstPacketIsAnActivation) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 22, kData, 1, 0, 92),
+  };
+  const auto acts = extract_activations(trace, 0.5);
+  ASSERT_EQ(acts.size(), 1u);
+  EXPECT_DOUBLE_EQ(acts[0].time, 1.0);
+}
+
+TEST(Activations, GapBeyondIdleTimeoutStartsNewActivation) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 22, kData, 1, 0, 92),
+      packet(1.3, kClient, kServer, 1000, 22, kData, 2, 0, 92),  // active
+      packet(2.5, kClient, kServer, 1000, 22, kData, 3, 0, 92),  // idle gap
+  };
+  const auto acts = extract_activations(trace, 0.5);
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_DOUBLE_EQ(acts[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(acts[1].time, 2.5);
+}
+
+TEST(Activations, FlowsAreIndependent) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 22, kData, 1, 0, 92),
+      packet(1.1, kClient, kServer, 2000, 22, kData, 1, 0, 92),
+  };
+  EXPECT_EQ(extract_activations(trace, 0.5).size(), 2u);
+}
+
+TEST(GroupFlows, PreservesPerFlowOrder) {
+  std::vector<Packet> trace = {
+      packet(1.0, kClient, kServer, 1000, 80, kData, 1, 0, 100),
+      packet(1.1, kClient, kServer, 2000, 80, kData, 2, 0, 100),
+      packet(1.2, kClient, kServer, 1000, 80, kData, 3, 0, 100),
+  };
+  const auto flows = group_flows(trace);
+  ASSERT_EQ(flows.size(), 2u);
+  const auto& f = flows.at(flow_of(trace[0]));
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].seq, 1u);
+  EXPECT_EQ(f[1].seq, 3u);
+}
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,108 @@
+#include "net/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace dpnet::net {
+namespace {
+
+Packet sample_packet(int i) {
+  Packet p;
+  p.timestamp = 0.5 * i;
+  p.src_ip = Ipv4(10, 0, 0, static_cast<std::uint8_t>(i + 1));
+  p.dst_ip = Ipv4(198, 18, 0, 1);
+  p.src_port = static_cast<std::uint16_t>(1000 + i);
+  p.dst_port = 80;
+  p.protocol = kProtoTcp;
+  p.flags = TcpFlags{.syn = i % 2 == 0, .ack = true};
+  p.seq = static_cast<std::uint32_t>(100 * i);
+  p.ack_no = static_cast<std::uint32_t>(7 * i);
+  p.length = static_cast<std::uint16_t>(40 + i);
+  if (i % 3 == 0) p.payload = "payload-" + std::to_string(i);
+  return p;
+}
+
+TEST(TraceIo, RoundTripsPackets) {
+  std::vector<Packet> trace;
+  for (int i = 0; i < 50; ++i) trace.push_back(sample_packet(i));
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const auto back = read_trace(buffer);
+  EXPECT_EQ(back, trace);
+}
+
+TEST(TraceIo, RoundTripsEmptyTrace) {
+  std::stringstream buffer;
+  write_trace(buffer, {});
+  EXPECT_TRUE(read_trace(buffer).empty());
+}
+
+TEST(TraceIo, RoundTripsBinaryPayloads) {
+  Packet p = sample_packet(1);
+  p.payload = std::string("\x00\xff\x7f\x01\x00", 5);
+  std::stringstream buffer;
+  write_trace(buffer, std::vector<Packet>{p});
+  const auto back = read_trace(buffer);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].payload.size(), 5u);
+  EXPECT_EQ(back[0], p);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "not a trace at all";
+  EXPECT_THROW(read_trace(buffer), TraceIoError);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::vector<Packet> trace = {sample_packet(0), sample_packet(1)};
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() - 10));
+  EXPECT_THROW(read_trace(cut), TraceIoError);
+}
+
+TEST(TraceIo, StreamingWriterAndReaderAgree) {
+  std::stringstream buffer;
+  {
+    TraceWriter writer(buffer);
+    for (int i = 0; i < 10; ++i) writer.write(sample_packet(i));
+    writer.finish();
+  }
+  TraceReader reader(buffer);
+  EXPECT_EQ(reader.total(), 10u);
+  Packet p;
+  int count = 0;
+  while (reader.next(p)) {
+    EXPECT_EQ(p, sample_packet(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceIo, WriteAfterFinishThrows) {
+  std::stringstream buffer;
+  TraceWriter writer(buffer);
+  writer.write(sample_packet(0));
+  writer.finish();
+  EXPECT_THROW(writer.write(sample_packet(1)), TraceIoError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dpnt_roundtrip.trace";
+  std::vector<Packet> trace;
+  for (int i = 0; i < 20; ++i) trace.push_back(sample_packet(i));
+  write_trace_file(path, trace);
+  EXPECT_EQ(read_trace_file(path), trace);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.bin"), TraceIoError);
+}
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,114 @@
+// Property tests: accuracy must move the right way as epsilon, data
+// volume, and resolution change — the qualitative laws every figure of
+// the paper rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stats/metrics.hpp"
+#include "toolkit/cdf.hpp"
+
+namespace dpnet::toolkit {
+namespace {
+
+core::Queryable<std::int64_t> wrap(const std::vector<std::int64_t>& data,
+                                   std::uint64_t seed) {
+  return {data, std::make_shared<core::RootBudget>(1e12),
+          std::make_shared<core::NoiseSource>(seed)};
+}
+
+std::vector<std::int64_t> ramp(int n, std::int64_t range) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i % range;
+  return v;
+}
+
+double mean_cdf_error(const std::vector<std::int64_t>& data, double eps,
+                      int repeats, std::uint64_t seed_base) {
+  const auto bounds = make_boundaries(0, 199, 5);
+  const auto exact = exact_cdf(data, bounds);
+  double total = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const auto est =
+        cdf_partition(wrap(data, seed_base + static_cast<std::uint64_t>(r)),
+                      bounds, eps);
+    total += stats::rmse(est.values, exact.values);
+  }
+  return total / repeats;
+}
+
+TEST(AccuracyScaling, ErrorDecreasesMonotonicallyInEpsilon) {
+  const auto data = ramp(20000, 200);
+  const double e_strong = mean_cdf_error(data, 0.1, 8, 100);
+  const double e_medium = mean_cdf_error(data, 1.0, 8, 200);
+  const double e_weak = mean_cdf_error(data, 10.0, 8, 300);
+  EXPECT_GT(e_strong, 2.0 * e_medium);
+  EXPECT_GT(e_medium, 2.0 * e_weak);
+}
+
+TEST(AccuracyScaling, AbsoluteErrorIsIndependentOfDataVolume) {
+  // DP noise is absolute: tenfold data does not change the absolute
+  // error, which is exactly why relative error improves with volume
+  // (the paper's 1/10th-of-the-data experiment).
+  const auto small = ramp(2000, 200);
+  const auto big = ramp(20000, 200);
+  const double e_small = mean_cdf_error(small, 1.0, 10, 400);
+  const double e_big = mean_cdf_error(big, 1.0, 10, 500);
+  EXPECT_NEAR(e_small, e_big, 0.6 * std::max(e_small, e_big));
+}
+
+TEST(AccuracyScaling, RelativeErrorImprovesWithDataVolume) {
+  const auto bounds = make_boundaries(0, 199, 5);
+  auto rel_err = [&](int n, std::uint64_t seed) {
+    const auto data = ramp(n, 200);
+    const auto exact = exact_cdf(data, bounds);
+    const auto est = cdf_partition(wrap(data, seed), bounds, 0.5);
+    return stats::relative_rmse(est.values, exact.values);
+  };
+  double small = 0.0, big = 0.0;
+  for (std::uint64_t r = 0; r < 6; ++r) {
+    small += rel_err(1000, 600 + r);
+    big += rel_err(50000, 700 + r);
+  }
+  EXPECT_GT(small, 5.0 * big);
+}
+
+TEST(AccuracyScaling, CountErrorMatchesTheoreticalScaleAcrossEps) {
+  // stddev of count error = sqrt(2)/eps within sampling tolerance,
+  // uniformly over a sweep of epsilons.
+  const std::vector<std::int64_t> data = ramp(500, 100);
+  for (double eps : {0.05, 0.2, 0.8, 3.2}) {
+    auto q = wrap(data, static_cast<std::uint64_t>(eps * 1000));
+    double sum_sq = 0.0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+      const double err = q.noisy_count(eps) - 500.0;
+      sum_sq += err * err;
+    }
+    const double expected = std::sqrt(2.0) / eps;
+    EXPECT_NEAR(std::sqrt(sum_sq / trials), expected, 0.15 * expected)
+        << "eps " << eps;
+  }
+}
+
+TEST(AccuracyScaling, FinerResolutionCostsAccuracyAtFixedBudget) {
+  const auto data = ramp(20000, 200);
+  auto err_at = [&](std::int64_t step, std::uint64_t seed) {
+    const auto bounds = make_boundaries(step - 1, 199, step);
+    const auto exact = exact_cdf(data, bounds);
+    double total = 0.0;
+    for (std::uint64_t r = 0; r < 6; ++r) {
+      total += stats::rmse(
+          cdf_prefix_counts(wrap(data, seed + r), bounds, 1.0).values,
+          exact.values);
+    }
+    return total / 6.0;
+  };
+  const double coarse = err_at(40, 800);  // 5 buckets
+  const double fine = err_at(5, 900);     // 40 buckets
+  EXPECT_GT(fine, 3.0 * coarse);
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

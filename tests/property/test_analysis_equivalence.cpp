@@ -1,0 +1,137 @@
+// Property tests: the DP pipelines' *transformations* agree with the
+// trusted-side reference implementations on randomized inputs (the noise
+// enters only at aggregation, so at huge epsilon the two must coincide).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "analysis/flow_stats.hpp"
+#include "analysis/stepping_stones.hpp"
+#include "net/tcp.hpp"
+
+namespace dpnet::analysis {
+namespace {
+
+using net::FlowKey;
+using net::Ipv4;
+using net::Packet;
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(std::uint64_t seed)
+      : budget(std::make_shared<core::RootBudget>(1e12)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<Packet> wrap(std::vector<Packet> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+/// Random bursty multi-flow trace: a handful of flows, each an arrival
+/// process with heavy-tailed gaps, data packets with occasional repeats.
+std::vector<Packet> random_trace(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> flows(2, 6);
+  std::uniform_real_distribution<double> gap(0.01, 2.0);
+  std::uniform_int_distribution<int> repeat(0, 9);
+  std::vector<Packet> trace;
+  const int num_flows = flows(rng);
+  for (int f = 0; f < num_flows; ++f) {
+    double t = gap(rng);
+    std::uint32_t seq = static_cast<std::uint32_t>(rng());
+    const int packets = 30 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < packets; ++i) {
+      Packet p;
+      p.timestamp = t;
+      p.src_ip = Ipv4(10, 0, 0, static_cast<std::uint8_t>(f + 1));
+      p.dst_ip = Ipv4(198, 18, 0, 1);
+      p.src_port = static_cast<std::uint16_t>(1000 + f);
+      p.dst_port = 80;
+      p.protocol = net::kProtoTcp;
+      p.flags = net::TcpFlags{.ack = true, .psh = true};
+      p.length = 500;
+      p.seq = seq;
+      if (repeat(rng) != 0) seq += 500;  // else: a retransmission follows
+      trace.push_back(p);
+      t += gap(rng);
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Packet& a, const Packet& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return trace;
+}
+
+class AnalysisEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisEquivalence, DpActivationsEqualExactActivations) {
+  const auto trace = random_trace(GetParam());
+  Env env(GetParam());
+  for (double t_idle : {0.25, 0.5, 1.0}) {
+    auto dp = dp_activations(env.wrap(trace), t_idle).data_unsafe();
+    const auto exact = net::extract_activations(trace, t_idle);
+    auto key_set = [](const std::vector<net::Activation>& acts) {
+      std::multiset<std::pair<std::string, double>> s;
+      for (const auto& a : acts) s.emplace(a.flow.to_string(), a.time);
+      return s;
+    };
+    EXPECT_EQ(key_set(dp), key_set(exact)) << "t_idle " << t_idle;
+  }
+}
+
+TEST_P(AnalysisEquivalence, LossColumnEqualsExactReference) {
+  const auto trace = random_trace(GetParam() + 100);
+  Env env(GetParam() + 100);
+  auto dp = flow_loss_permille(env.wrap(trace), 10).data_unsafe();
+  auto exact = exact_loss_permille(trace, 10);
+  std::sort(dp.begin(), dp.end());
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(dp, exact);
+}
+
+TEST_P(AnalysisEquivalence, RetransmitColumnMatchesReferenceUpToFanout) {
+  const auto trace = random_trace(GetParam() + 200);
+  Env env(GetParam() + 200);
+  // With a huge fan-out bound nothing is truncated, so the multiset of
+  // diffs must equal the trusted-side extraction.
+  auto dp = retransmit_diffs_ms(env.wrap(trace), 1 << 20).data_unsafe();
+  std::vector<std::int64_t> exact;
+  for (double d : net::retransmit_time_diffs_ms(trace)) {
+    exact.push_back(static_cast<std::int64_t>(std::llround(d)));
+  }
+  std::sort(dp.begin(), dp.end());
+  std::sort(exact.begin(), exact.end());
+  EXPECT_EQ(dp, exact);
+}
+
+TEST_P(AnalysisEquivalence, ExactCorrelationIsSymmetricAndBounded) {
+  std::mt19937_64 rng(GetParam() + 300);
+  std::uniform_real_distribution<double> t(0.0, 100.0);
+  std::vector<double> a, b;
+  for (int i = 0; i < 50; ++i) a.push_back(t(rng));
+  for (int i = 0; i < 70; ++i) b.push_back(t(rng));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (double delta : {0.01, 0.1, 1.0}) {
+    const double ab = exact_correlation(a, b, delta);
+    const double ba = exact_correlation(b, a, delta);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+  //
+
+  // Self-correlation is 1 for any delta.
+  EXPECT_DOUBLE_EQ(exact_correlation(a, a, 0.001), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisEquivalence,
+                         ::testing::Values(7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace dpnet::analysis

@@ -1,0 +1,125 @@
+// Robustness: randomly corrupted containers must fail cleanly (typed
+// exceptions), never crash, hang, or allocate absurdly — the reader sits
+// on the data owner's trust boundary.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "net/pcap.hpp"
+#include "net/trace_io.hpp"
+#include "tracegen/hotspot.hpp"
+
+namespace dpnet::net {
+namespace {
+
+std::string serialized_trace() {
+  tracegen::HotspotConfig cfg = tracegen::HotspotConfig::small();
+  cfg.num_hosts = 40;
+  cfg.num_servers = 8;
+  cfg.content_servers = 4;
+  cfg.stone_pairs = 1;
+  cfg.noise_interactive_flows = 1;
+  cfg.activations_min = 20;
+  cfg.activations_max = 30;
+  cfg.num_worms = 2;
+  cfg.worm_dispersion_min = 4;
+  cfg.worm_dispersion_max = 8;
+  cfg.worm_count_min = 10;
+  cfg.worm_count_max = 40;
+  cfg.background_dispersed_payloads = 4;
+  tracegen::HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  std::stringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+std::string serialized_pcap() {
+  tracegen::HotspotGenerator gen([] {
+    tracegen::HotspotConfig cfg = tracegen::HotspotConfig::small();
+    cfg.num_hosts = 40;
+    cfg.num_servers = 8;
+    cfg.content_servers = 4;
+    return cfg;
+  }());
+  const auto trace = gen.generate();
+  std::stringstream out;
+  write_pcap(out, trace);
+  return out.str();
+}
+
+class FormatFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatFuzz, CorruptedDpntNeverCrashes) {
+  static const std::string pristine = serialized_trace();
+  std::mt19937_64 rng(GetParam());
+  for (int round = 0; round < 60; ++round) {
+    std::string bytes = pristine;
+    // Flip a handful of random bytes.
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng() % bytes.size()] =
+          static_cast<char>(rng() & 0xff);
+    }
+    std::stringstream in(bytes);
+    try {
+      const auto packets = read_trace(in);
+      EXPECT_LE(packets.size(), 10'000'000u);  // no absurd allocation
+    } catch (const TraceIoError&) {
+      // clean failure is the expected outcome
+    } catch (const std::bad_alloc&) {
+      FAIL() << "corrupted length field caused unbounded allocation";
+    }
+  }
+}
+
+TEST_P(FormatFuzz, TruncatedDpntNeverCrashes) {
+  static const std::string pristine = serialized_trace();
+  std::mt19937_64 rng(GetParam() + 100);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t cut = rng() % pristine.size();
+    std::stringstream in(pristine.substr(0, cut));
+    try {
+      read_trace(in);
+    } catch (const TraceIoError&) {
+    }
+  }
+}
+
+TEST_P(FormatFuzz, CorruptedPcapNeverCrashes) {
+  static const std::string pristine = serialized_pcap();
+  std::mt19937_64 rng(GetParam() + 200);
+  for (int round = 0; round < 60; ++round) {
+    std::string bytes = pristine;
+    const int flips = 1 + static_cast<int>(rng() % 8);
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng() % bytes.size()] =
+          static_cast<char>(rng() & 0xff);
+    }
+    std::stringstream in(bytes);
+    try {
+      const auto result = read_pcap(in);
+      EXPECT_LE(result.packets.size(), 10'000'000u);
+    } catch (const PcapError&) {
+    }
+  }
+}
+
+TEST_P(FormatFuzz, TruncatedPcapNeverCrashes) {
+  static const std::string pristine = serialized_pcap();
+  std::mt19937_64 rng(GetParam() + 300);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t cut = rng() % pristine.size();
+    std::stringstream in(pristine.substr(0, cut));
+    try {
+      read_pcap(in);
+    } catch (const PcapError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzz, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace dpnet::net

@@ -1,0 +1,93 @@
+#include "stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dpnet::stats {
+namespace {
+
+TEST(RelativeRmse, ZeroWhenIdentical) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(relative_rmse(v, v), 0.0);
+}
+
+TEST(RelativeRmse, MatchesHandComputedValue) {
+  const std::vector<double> noisy = {110.0, 90.0};
+  const std::vector<double> exact = {100.0, 100.0};
+  // Both ratios off by 0.1 -> RMSE 0.1.
+  EXPECT_NEAR(relative_rmse(noisy, exact), 0.1, 1e-12);
+}
+
+TEST(RelativeRmse, SkipsZeroDenominators) {
+  const std::vector<double> noisy = {5.0, 110.0};
+  const std::vector<double> exact = {0.0, 100.0};
+  EXPECT_NEAR(relative_rmse(noisy, exact), 0.1, 1e-12);
+}
+
+TEST(RelativeRmse, AllZeroDenominatorsGiveZero) {
+  const std::vector<double> noisy = {5.0};
+  const std::vector<double> exact = {0.0};
+  EXPECT_DOUBLE_EQ(relative_rmse(noisy, exact), 0.0);
+}
+
+TEST(RelativeRmse, RejectsLengthMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(relative_rmse(a, b), std::invalid_argument);
+}
+
+TEST(Rmse, MatchesHandComputedValue) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Rmse, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(rmse({}, {}), 0.0);
+}
+
+TEST(MeanAbsError, MatchesHandComputedValue) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 0.0, 3.0};
+  EXPECT_NEAR(mean_abs_error(a, b), 1.0, 1e-12);
+}
+
+TEST(MaxAbsError, PicksTheWorstIndex) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.5, -2.0, 3.1};
+  EXPECT_DOUBLE_EQ(max_abs_error(a, b), 4.0);
+}
+
+TEST(Summarize, ComputesMomentsAndExtrema) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, EmptyInputIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 25.0);
+}
+
+TEST(Quantile, RejectsBadInputs) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::stats

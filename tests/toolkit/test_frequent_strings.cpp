@@ -1,0 +1,207 @@
+#include "toolkit/frequent_strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dpnet::toolkit {
+namespace {
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 8)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<std::string> wrap(std::vector<std::string> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+std::vector<std::string> corpus() {
+  std::vector<std::string> data;
+  for (int i = 0; i < 500; ++i) data.push_back("AAAA");
+  for (int i = 0; i < 300; ++i) data.push_back("ABCD");
+  for (int i = 0; i < 150; ++i) data.push_back("ZZZZ");
+  for (int i = 0; i < 3; ++i) data.push_back("RARE");
+  return data;
+}
+
+TEST(FrequentStrings, FindsFrequentStringsInOrder) {
+  Env env;
+  FrequentStringOptions opt;
+  opt.length = 4;
+  opt.eps_per_level = 1e6;  // effectively exact
+  opt.threshold = 50.0;
+  const auto found = frequent_strings(env.wrap(corpus()), opt);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_EQ(found[0].value, "AAAA");
+  EXPECT_EQ(found[1].value, "ABCD");
+  EXPECT_EQ(found[2].value, "ZZZZ");
+  EXPECT_NEAR(found[0].estimated_count, 500.0, 1.0);
+  EXPECT_NEAR(found[1].estimated_count, 300.0, 1.0);
+}
+
+TEST(FrequentStrings, RareStringsStayHidden) {
+  Env env;
+  FrequentStringOptions opt;
+  opt.length = 4;
+  opt.eps_per_level = 1e6;
+  opt.threshold = 50.0;
+  const auto found = frequent_strings(env.wrap(corpus()), opt);
+  for (const auto& f : found) {
+    EXPECT_NE(f.value, "RARE");
+  }
+}
+
+TEST(FrequentStrings, SharedPrefixesAreSeparated) {
+  Env env;
+  std::vector<std::string> data;
+  for (int i = 0; i < 200; ++i) data.push_back("ABX");
+  for (int i = 0; i < 200; ++i) data.push_back("ABY");
+  FrequentStringOptions opt;
+  opt.length = 3;
+  opt.eps_per_level = 1e6;
+  opt.threshold = 100.0;
+  const auto found = frequent_strings(env.wrap(std::move(data)), opt);
+  ASSERT_EQ(found.size(), 2u);
+}
+
+TEST(FrequentStrings, ShortRecordsAreIgnored) {
+  Env env;
+  std::vector<std::string> data;
+  for (int i = 0; i < 200; ++i) data.push_back("AB");  // too short
+  for (int i = 0; i < 200; ++i) data.push_back("XYZ");
+  FrequentStringOptions opt;
+  opt.length = 3;
+  opt.eps_per_level = 1e6;
+  opt.threshold = 100.0;
+  const auto found = frequent_strings(env.wrap(std::move(data)), opt);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].value, "XYZ");
+}
+
+TEST(FrequentStrings, LongerRecordsParticipateViaPrefix) {
+  Env env;
+  std::vector<std::string> data;
+  for (int i = 0; i < 200; ++i) data.push_back("PREFIX-" + std::to_string(i));
+  FrequentStringOptions opt;
+  opt.length = 6;
+  opt.eps_per_level = 1e6;
+  opt.threshold = 100.0;
+  const auto found = frequent_strings(env.wrap(std::move(data)), opt);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].value, "PREFIX");
+}
+
+TEST(FrequentStrings, PrivacyCostIsLengthTimesLevelEps) {
+  Env env;
+  FrequentStringOptions opt;
+  opt.length = 4;
+  opt.eps_per_level = 0.05;
+  opt.threshold = 50.0;
+  frequent_strings(env.wrap(corpus()), opt);
+  EXPECT_NEAR(env.budget->spent(), 4 * 0.05, 1e-9);
+}
+
+TEST(FrequentStrings, HandlesBinaryBytes) {
+  Env env;
+  std::vector<std::string> data;
+  const std::string binary("\x00\xff\x80", 3);
+  for (int i = 0; i < 150; ++i) data.push_back(binary);
+  FrequentStringOptions opt;
+  opt.length = 3;
+  opt.eps_per_level = 1e6;
+  opt.threshold = 100.0;
+  const auto found = frequent_strings(env.wrap(std::move(data)), opt);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].value, binary);
+}
+
+TEST(FrequentStrings, RejectsZeroLength) {
+  Env env;
+  FrequentStringOptions opt;
+  opt.length = 0;
+  EXPECT_THROW(frequent_strings(env.wrap({"x"}), opt),
+               std::invalid_argument);
+}
+
+TEST(FrequentStrings, EmptyDataYieldsNothingAtModestThreshold) {
+  Env env;
+  FrequentStringOptions opt;
+  opt.length = 2;
+  opt.eps_per_level = 1.0;
+  opt.threshold = 50.0;
+  EXPECT_TRUE(frequent_strings(env.wrap({}), opt).empty());
+}
+
+TEST(FrequentStrings, NoiseCanMissBorderlineStringsAtStrongPrivacy) {
+  // At eps 0.01 per level, counts near the threshold flip in and out —
+  // run many seeds and check the dominant string always survives while
+  // the borderline one is sometimes lost (the paper's recall-vs-eps).
+  int dominant_found = 0, borderline_found = 0;
+  const int trials = 12;
+  for (int t = 0; t < trials; ++t) {
+    Env env(1e12, static_cast<std::uint64_t>(t) + 100);
+    std::vector<std::string> data;
+    for (int i = 0; i < 5000; ++i) data.push_back("BIG!");
+    for (int i = 0; i < 55; ++i) data.push_back("TINY");
+    FrequentStringOptions opt;
+    opt.length = 4;
+    opt.eps_per_level = 0.01;
+    opt.threshold = 50.0;
+    const auto found = frequent_strings(env.wrap(std::move(data)), opt);
+    for (const auto& f : found) {
+      if (f.value == "BIG!") ++dominant_found;
+      if (f.value == "TINY") ++borderline_found;
+    }
+  }
+  EXPECT_EQ(dominant_found, trials);
+  EXPECT_LT(borderline_found, trials);
+}
+
+TEST(ThresholdForConfidence, ControlsNoiseBornSurvivors) {
+  // At eps=0.1/level and 256 bins, the derived threshold should keep
+  // false positives per level near the requested rate.  Empirically: count
+  // how often Laplace(1/eps) noise on an empty bin clears the threshold.
+  const double eps = 0.1;
+  const double rate = 0.5;  // half a false positive per level
+  const double t = threshold_for_confidence(eps, rate, 256);
+  core::NoiseSource noise(90);
+  const int trials = 200000;
+  int cleared = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (noise.laplace(1.0 / eps) > t) ++cleared;
+  }
+  const double per_level =
+      256.0 * static_cast<double>(cleared) / static_cast<double>(trials);
+  EXPECT_NEAR(per_level, rate, 0.15 * rate);
+}
+
+TEST(ThresholdForConfidence, TightensWithMoreBinsAndLowerRates) {
+  const double base = threshold_for_confidence(0.1, 1.0, 256);
+  EXPECT_GT(threshold_for_confidence(0.1, 1.0, 4096), base);
+  EXPECT_GT(threshold_for_confidence(0.1, 0.01, 256), base);
+  EXPECT_LT(threshold_for_confidence(1.0, 1.0, 256), base);
+}
+
+TEST(ThresholdForConfidence, RejectsDegenerateInputs) {
+  EXPECT_THROW(threshold_for_confidence(0.0, 0.5, 256),
+               std::invalid_argument);
+  EXPECT_THROW(threshold_for_confidence(0.1, 0.0, 256),
+               std::invalid_argument);
+  EXPECT_THROW(threshold_for_confidence(0.1, 0.5, 0),
+               std::invalid_argument);
+}
+
+TEST(ToHex, RendersUppercaseHex) {
+  EXPECT_EQ(to_hex(std::string("\x2d\x28\x16\xfe", 4)), "2D2816FE");
+  EXPECT_EQ(to_hex(""), "");
+  EXPECT_EQ(to_hex(std::string("\x00", 1)), "00");
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "toolkit/cdf.hpp"
+
+namespace dpnet::toolkit {
+namespace {
+
+TEST(IsotonicFit, LeavesMonotoneInputUnchanged) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 5.0};
+  EXPECT_EQ(isotonic_fit(v), v);
+}
+
+TEST(IsotonicFit, AveragesAdjacentViolators) {
+  const std::vector<double> v = {3.0, 1.0};
+  EXPECT_EQ(isotonic_fit(v), (std::vector<double>{2.0, 2.0}));
+}
+
+TEST(IsotonicFit, HandlesCascadingMerges) {
+  const std::vector<double> v = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_EQ(isotonic_fit(v), (std::vector<double>{2.5, 2.5, 2.5, 2.5}));
+}
+
+TEST(IsotonicFit, ClassicTextbookExample) {
+  const std::vector<double> v = {1.0, 3.0, 2.0, 4.0};
+  EXPECT_EQ(isotonic_fit(v), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(IsotonicFit, EmptyInput) {
+  EXPECT_TRUE(isotonic_fit(std::vector<double>{}).empty());
+}
+
+TEST(IsotonicFit, OutputIsAlwaysNonDecreasing) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-10.0, 10.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v(100);
+    for (auto& x : v) x = dist(rng);
+    const auto fit = isotonic_fit(v);
+    ASSERT_EQ(fit.size(), v.size());
+    for (std::size_t i = 1; i < fit.size(); ++i) {
+      EXPECT_GE(fit[i], fit[i - 1] - 1e-12);
+    }
+  }
+}
+
+TEST(IsotonicFit, PreservesTotalMass) {
+  // PAVA's block means preserve the sum of the input.
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<double> dist(0.0, 5.0);
+  std::vector<double> v(64);
+  for (auto& x : v) x = dist(rng);
+  double before = 0.0, after = 0.0;
+  for (double x : v) before += x;
+  for (double x : isotonic_fit(v)) after += x;
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+TEST(IsotonicFit, NeverIncreasesSquaredErrorVersusMonotoneTruth) {
+  // Smoothing a noisy version of a monotone signal moves it closer to the
+  // signal (projection onto a convex set).
+  std::mt19937_64 rng(7);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> truth(50), noisy(50);
+  for (int i = 0; i < 50; ++i) {
+    truth[static_cast<std::size_t>(i)] = i * 0.5;
+    noisy[static_cast<std::size_t>(i)] =
+        truth[static_cast<std::size_t>(i)] + noise(rng);
+  }
+  const auto fit = isotonic_fit(noisy);
+  double err_noisy = 0.0, err_fit = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    err_noisy += (noisy[i] - truth[i]) * (noisy[i] - truth[i]);
+    err_fit += (fit[i] - truth[i]) * (fit[i] - truth[i]);
+  }
+  EXPECT_LE(err_fit, err_noisy + 1e-9);
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

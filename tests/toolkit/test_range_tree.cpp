@@ -1,0 +1,127 @@
+#include "toolkit/range_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace dpnet::toolkit {
+namespace {
+
+core::Queryable<std::int64_t> wrap(const std::vector<std::int64_t>& data,
+                                   std::uint64_t seed = 51) {
+  return {data, std::make_shared<core::RootBudget>(1e12),
+          std::make_shared<core::NoiseSource>(seed)};
+}
+
+std::vector<std::int64_t> random_values(int n, std::int64_t domain,
+                                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(0, domain - 1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = dist(rng);
+  return out;
+}
+
+TEST(DpRangeTree, ArbitraryRangesMatchExactAtHighEps) {
+  const auto values = random_values(5000, 256, 3);
+  DpRangeTree tree(wrap(values), 256, 1e8);
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto lo = static_cast<std::int64_t>(rng() % 255);
+    const auto hi =
+        lo + 1 + static_cast<std::int64_t>(rng() % (256 - lo));
+    EXPECT_NEAR(tree.range_count(lo, hi), exact_range_count(values, lo, hi),
+                1.0)
+        << "[" << lo << "," << hi << ")";
+  }
+}
+
+TEST(DpRangeTree, WholeBuildCostsOneEps) {
+  auto budget = std::make_shared<core::RootBudget>(1.0);
+  core::Queryable<std::int64_t> q(random_values(500, 64, 5), budget,
+                                  std::make_shared<core::NoiseSource>(6));
+  DpRangeTree tree(q, 64, 0.5);
+  EXPECT_NEAR(budget->spent(), 0.5, 1e-9);
+  // Queries afterwards are free.
+  static_cast<void>(tree.range_count(3, 40));
+  static_cast<void>(tree.range_count(0, 64));
+  EXPECT_NEAR(budget->spent(), 0.5, 1e-9);
+}
+
+TEST(DpRangeTree, RepeatedQueriesAreDeterministic) {
+  const auto values = random_values(1000, 128, 7);
+  DpRangeTree tree(wrap(values), 128, 1.0);
+  EXPECT_DOUBLE_EQ(tree.range_count(10, 90), tree.range_count(10, 90));
+}
+
+TEST(DpRangeTree, DecompositionIsLogarithmic) {
+  const auto values = random_values(100, 1024, 8);
+  DpRangeTree tree(wrap(values), 1024, 1.0);
+  EXPECT_EQ(tree.levels(), 11);
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto lo = static_cast<std::int64_t>(rng() % 1023);
+    const auto hi =
+        lo + 1 + static_cast<std::int64_t>(rng() % (1024 - lo));
+    EXPECT_LE(tree.decomposition_size(lo, hi),
+              2u * static_cast<std::size_t>(tree.levels() - 1) + 1);
+  }
+  // Aligned full-domain query is a single node (the root).
+  EXPECT_EQ(tree.decomposition_size(0, 1024), 1u);
+  // A leaf is a single node too.
+  EXPECT_EQ(tree.decomposition_size(17, 18), 1u);
+}
+
+TEST(DpRangeTree, PadsNonPowerOfTwoDomains) {
+  const auto values = random_values(500, 100, 10);
+  DpRangeTree tree(wrap(values), 100, 1e8);
+  EXPECT_EQ(tree.domain_size(), 128);
+  EXPECT_NEAR(tree.range_count(0, 100), 500.0, 1.0);
+}
+
+TEST(DpRangeTree, OutOfDomainValuesAreDropped) {
+  std::vector<std::int64_t> values = {5, 6, 7, -3, 999};
+  DpRangeTree tree(wrap(values), 16, 1e8);
+  EXPECT_NEAR(tree.range_count(0, 16), 3.0, 0.5);
+}
+
+TEST(DpRangeTree, RejectsBadRangesAndDomains) {
+  const auto values = random_values(10, 16, 11);
+  DpRangeTree tree(wrap(values), 16, 1.0);
+  EXPECT_THROW(static_cast<void>(tree.range_count(-1, 4)),
+               core::InvalidQueryError);
+  EXPECT_THROW(static_cast<void>(tree.range_count(4, 4)),
+               core::InvalidQueryError);
+  EXPECT_THROW(static_cast<void>(tree.range_count(0, 17)),
+               core::InvalidQueryError);
+  EXPECT_THROW(DpRangeTree(wrap(values), 0, 1.0), core::InvalidQueryError);
+}
+
+TEST(DpRangeTree, BeatsPerQueryCountingForManyQueries) {
+  // 100 ad-hoc range queries at a shared total budget of 1.0: per-query
+  // Where+Count runs each at eps/100; the tree pays once and reuses.
+  const auto values = random_values(50000, 256, 12);
+  std::mt19937_64 rng(13);
+  std::vector<std::pair<std::int64_t, std::int64_t>> queries;
+  for (int i = 0; i < 100; ++i) {
+    const auto lo = static_cast<std::int64_t>(rng() % 200);
+    queries.emplace_back(lo, lo + 40);
+  }
+
+  DpRangeTree tree(wrap(values, 100), 256, 1.0);
+  auto q = wrap(values, 200);
+  double tree_err = 0.0, naive_err = 0.0;
+  for (const auto& [lo, hi] : queries) {
+    const double exact = exact_range_count(values, lo, hi);
+    tree_err += std::abs(tree.range_count(lo, hi) - exact);
+    const double naive =
+        q.where([lo, hi](std::int64_t v) { return v >= lo && v < hi; })
+            .noisy_count(1.0 / 100.0);
+    naive_err += std::abs(naive - exact);
+  }
+  EXPECT_LT(tree_err * 2.0, naive_err);
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

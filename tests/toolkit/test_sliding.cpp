@@ -1,0 +1,122 @@
+#include "toolkit/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "stats/metrics.hpp"
+
+namespace dpnet::toolkit {
+namespace {
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 22)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<double> wrap(std::vector<double> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+SlidingWindowSpec spec(double t0, double t1, double window, double step) {
+  SlidingWindowSpec s;
+  s.t_start = t0;
+  s.t_end = t1;
+  s.window = window;
+  s.step = step;
+  return s;
+}
+
+std::vector<double> random_times(int n, double t_end, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, t_end);
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (auto& t : out) t = dist(rng);
+  return out;
+}
+
+TEST(ExactSlidingCounts, HandComputedWindows) {
+  const std::vector<double> times = {0.5, 1.5, 2.5, 2.6, 3.5};
+  const auto counts = exact_sliding_counts(times, spec(0, 4, 2, 1));
+  // Windows: [0,2)=2, [1,3)=3, [2,4)=3.
+  ASSERT_EQ(counts.counts.size(), 3u);
+  EXPECT_DOUBLE_EQ(counts.counts[0], 2.0);
+  EXPECT_DOUBLE_EQ(counts.counts[1], 3.0);
+  EXPECT_DOUBLE_EQ(counts.counts[2], 3.0);
+  EXPECT_DOUBLE_EQ(counts.window_starts[1], 1.0);
+}
+
+TEST(ExactSlidingCounts, IgnoresOutOfRangeEvents) {
+  const std::vector<double> times = {-1.0, 0.5, 99.0};
+  const auto counts = exact_sliding_counts(times, spec(0, 4, 2, 1));
+  EXPECT_DOUBLE_EQ(counts.counts[0], 1.0);
+}
+
+TEST(SlidingCounts, MatchesExactAtHighEps) {
+  Env env;
+  const auto times = random_times(5000, 100.0, 4);
+  const auto exact = exact_sliding_counts(times, spec(0, 100, 10, 2));
+  const auto dp = sliding_counts(env.wrap(times), spec(0, 100, 10, 2), 1e7);
+  ASSERT_EQ(dp.counts.size(), exact.counts.size());
+  for (std::size_t i = 0; i < exact.counts.size(); ++i) {
+    EXPECT_NEAR(dp.counts[i], exact.counts[i], 0.5);
+  }
+}
+
+TEST(SlidingCounts, BucketedCostsOneEpsTotal) {
+  Env env;
+  const auto times = random_times(500, 50.0, 5);
+  sliding_counts(env.wrap(times), spec(0, 50, 5, 1), 0.4);
+  EXPECT_NEAR(env.budget->spent(), 0.4, 1e-9);
+}
+
+TEST(SlidingCounts, NaiveAlsoCostsOneEpsTotalButSplitsIt) {
+  Env env;
+  const auto times = random_times(500, 50.0, 6);
+  sliding_counts_naive(env.wrap(times), spec(0, 50, 5, 1), 0.4);
+  EXPECT_NEAR(env.budget->spent(), 0.4, 1e-9);
+}
+
+TEST(SlidingCounts, BucketedBeatsNaiveAtEqualCost) {
+  const auto times = random_times(20000, 200.0, 7);
+  const auto s = spec(0, 200, 20, 2);  // 91 windows
+  const auto exact = exact_sliding_counts(times, s);
+  double err_bucketed = 0.0, err_naive = 0.0;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Env e1(1e12, 30 + seed), e2(1e12, 40 + seed);
+    err_bucketed += stats::rmse(
+        sliding_counts(e1.wrap(times), s, 1.0).counts, exact.counts);
+    err_naive += stats::rmse(
+        sliding_counts_naive(e2.wrap(times), s, 1.0).counts, exact.counts);
+  }
+  EXPECT_LT(err_bucketed * 5.0, err_naive);
+}
+
+TEST(SlidingCounts, RejectsBadSpecs) {
+  Env env;
+  auto q = env.wrap({1.0});
+  EXPECT_THROW(sliding_counts(q, spec(0, 10, 0, 1), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sliding_counts(q, spec(0, 10, 3, 2), 1.0),
+               std::invalid_argument);  // window not multiple of step
+  EXPECT_THROW(sliding_counts(q, spec(10, 0, 2, 1), 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sliding_counts(q, spec(0, 1, 2, 2), 1.0),
+               std::invalid_argument);  // range shorter than one window
+}
+
+TEST(SlidingCounts, WindowEqualsStepDegeneratesToBuckets) {
+  Env env;
+  const std::vector<double> times = {0.5, 1.5, 1.6};
+  const auto dp = sliding_counts(env.wrap(times), spec(0, 2, 1, 1), 1e7);
+  ASSERT_EQ(dp.counts.size(), 2u);
+  EXPECT_NEAR(dp.counts[0], 1.0, 0.1);
+  EXPECT_NEAR(dp.counts[1], 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

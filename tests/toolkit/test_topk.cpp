@@ -1,0 +1,109 @@
+#include "toolkit/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::toolkit {
+namespace {
+
+struct Env {
+  std::shared_ptr<core::RootBudget> budget;
+  std::shared_ptr<core::NoiseSource> noise;
+
+  explicit Env(double total = 1e12, std::uint64_t seed = 24)
+      : budget(std::make_shared<core::RootBudget>(total)),
+        noise(std::make_shared<core::NoiseSource>(seed)) {}
+
+  core::Queryable<int> wrap(std::vector<int> data) const {
+    return {std::move(data), budget, noise};
+  }
+};
+
+/// Candidate i appears (10 - i) * 50 times for i in [0, 5).
+std::vector<int> skewed_data() {
+  std::vector<int> data;
+  for (int i = 0; i < 5; ++i) {
+    for (int n = 0; n < (10 - i) * 50; ++n) data.push_back(i);
+  }
+  return data;
+}
+
+int identity(int x) { return x; }
+
+TEST(TopKPeeling, FindsTrueTopKInOrderAtHighEps) {
+  Env env;
+  const auto result =
+      top_k_peeling(env.wrap(skewed_data()), 5, identity, 3, 1e6);
+  EXPECT_EQ(result.indices, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(TopKPeeling, NeverRepeatsACandidate) {
+  Env env(1e12, 77);
+  const auto result =
+      top_k_peeling(env.wrap(skewed_data()), 5, identity, 5, 0.5);
+  std::vector<bool> seen(5, false);
+  for (std::size_t i : result.indices) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(TopKPeeling, TotalCostIsEps) {
+  Env env;
+  top_k_peeling(env.wrap(skewed_data()), 5, identity, 3, 0.3);
+  EXPECT_NEAR(env.budget->spent(), 0.3, 1e-9);
+}
+
+TEST(TopKNoisyCounts, ReleasesCountsAndRanksThem) {
+  Env env;
+  const auto result =
+      top_k_noisy_counts(env.wrap(skewed_data()), 5, identity, 2, 1e6);
+  EXPECT_EQ(result.indices, (std::vector<std::size_t>{0, 1}));
+  EXPECT_NEAR(result.scores[0], 500.0, 1.0);
+  EXPECT_NEAR(result.scores[1], 450.0, 1.0);
+}
+
+TEST(TopKNoisyCounts, TotalCostIsEpsViaPartition) {
+  Env env;
+  top_k_noisy_counts(env.wrap(skewed_data()), 5, identity, 2, 0.25);
+  EXPECT_NEAR(env.budget->spent(), 0.25, 1e-9);
+}
+
+TEST(TopK, RejectsDegenerateK) {
+  Env env;
+  auto q = env.wrap(skewed_data());
+  EXPECT_THROW(top_k_peeling(q, 5, identity, 0, 1.0),
+               core::InvalidQueryError);
+  EXPECT_THROW(top_k_peeling(q, 5, identity, 6, 1.0),
+               core::InvalidQueryError);
+  EXPECT_THROW(top_k_noisy_counts(q, 5, identity, 6, 1.0),
+               core::InvalidQueryError);
+}
+
+TEST(TopK, OutOfUniverseRecordsAreDropped) {
+  Env env;
+  std::vector<int> data = skewed_data();
+  for (int n = 0; n < 10000; ++n) data.push_back(99);  // unlisted
+  const auto result =
+      top_k_noisy_counts(env.wrap(std::move(data)), 5, identity, 1, 1e6);
+  EXPECT_EQ(result.indices[0], 0u);
+  EXPECT_NEAR(result.scores[0], 500.0, 1.0);
+}
+
+TEST(TopKPeeling, NoisySelectionDegradesGracefully) {
+  // At modest eps the top-1 (clear margin) is still found reliably even
+  // when lower ranks shuffle.
+  int top_correct = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Env env(1e12, 100 + static_cast<std::uint64_t>(t));
+    const auto result =
+        top_k_peeling(env.wrap(skewed_data()), 5, identity, 3, 1.0);
+    if (result.indices[0] == 0) ++top_correct;
+  }
+  EXPECT_GE(top_correct, 8);
+}
+
+}  // namespace
+}  // namespace dpnet::toolkit

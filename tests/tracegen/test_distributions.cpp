@@ -1,0 +1,106 @@
+#include "tracegen/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace dpnet::tracegen {
+namespace {
+
+TEST(ZipfSampler, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(zipf.pmf(100), 0.0);
+}
+
+TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
+  ZipfSampler zipf(10, 1.0);
+  std::mt19937_64 rng(1);
+  std::map<std::size_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k),
+                0.01 + 0.1 * zipf.pmf(k));
+  }
+}
+
+TEST(ZipfSampler, RankZeroIsMostFrequent) {
+  ZipfSampler zipf(50, 1.5);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_GT(zipf.pmf(0), zipf.pmf(k));
+  }
+}
+
+TEST(WeightedSampler, RespectsWeights) {
+  WeightedSampler sampler({1.0, 3.0});
+  std::mt19937_64 rng(2);
+  int second = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler(rng) == 1) ++second;
+  }
+  EXPECT_NEAR(static_cast<double>(second) / n, 0.75, 0.01);
+}
+
+TEST(WeightedSampler, RejectsDegenerateWeights) {
+  EXPECT_THROW(WeightedSampler({}), std::invalid_argument);
+  EXPECT_THROW(WeightedSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(WeightedSampler({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(WeightedSampler, ZeroWeightNeverSampled) {
+  WeightedSampler sampler({0.0, 1.0, 0.0});
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler(rng), 1u);
+  }
+}
+
+TEST(Lognormal, MedianIsApproximatelyRight) {
+  std::mt19937_64 rng(4);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(lognormal(rng, 5.0, 0.5));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 5.0, 0.15);
+}
+
+TEST(Exponential, MeanMatches) {
+  std::mt19937_64 rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += exponential(rng, 2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(UniformHelpers, StayInBounds) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = uniform_int(rng, -5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double r = uniform_real(rng, 1.0, 2.0);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LT(r, 2.0);
+  }
+}
+
+TEST(Coin, ProbabilityRespected) {
+  std::mt19937_64 rng(7);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (coin(rng, 0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace dpnet::tracegen

@@ -1,0 +1,209 @@
+// Validates that the synthetic Hotspot trace actually implants the ground
+// truth every experiment relies on.
+#include "tracegen/hotspot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/tcp.hpp"
+
+namespace dpnet::tracegen {
+namespace {
+
+using net::FlowKey;
+using net::Packet;
+
+class HotspotTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    gen_ = new HotspotGenerator(HotspotConfig::small());
+    trace_ = new std::vector<Packet>(gen_->generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete gen_;
+    trace_ = nullptr;
+    gen_ = nullptr;
+  }
+
+  static HotspotGenerator* gen_;
+  static std::vector<Packet>* trace_;
+};
+
+HotspotGenerator* HotspotTraceTest::gen_ = nullptr;
+std::vector<Packet>* HotspotTraceTest::trace_ = nullptr;
+
+TEST_F(HotspotTraceTest, TraceIsTimeSorted) {
+  EXPECT_TRUE(std::is_sorted(trace_->begin(), trace_->end(),
+                             [](const Packet& a, const Packet& b) {
+                               return a.timestamp < b.timestamp;
+                             }));
+}
+
+TEST_F(HotspotTraceTest, DeterministicUnderSameSeed) {
+  HotspotGenerator again(HotspotConfig::small());
+  const auto other = again.generate();
+  ASSERT_EQ(other.size(), trace_->size());
+  EXPECT_EQ(other.front(), trace_->front());
+  EXPECT_EQ(other.back(), trace_->back());
+}
+
+TEST_F(HotspotTraceTest, DifferentSeedChangesTheTrace) {
+  HotspotConfig cfg = HotspotConfig::small();
+  cfg.seed = 777;
+  HotspotGenerator other_gen(cfg);
+  const auto other = other_gen.generate();
+  EXPECT_NE(other.size(), 0u);
+  EXPECT_TRUE(other.size() != trace_->size() ||
+              !(other.front() == trace_->front()));
+}
+
+TEST_F(HotspotTraceTest, WebHeavyHostCountMatchesSection23Example) {
+  // Exactly web_heavy_hosts() distinct hosts send > 1024 bytes to port 80.
+  std::unordered_map<std::uint32_t, std::uint64_t> bytes_to_80;
+  for (const Packet& p : *trace_) {
+    if (p.dst_port == 80 && p.protocol == net::kProtoTcp) {
+      bytes_to_80[p.src_ip.value] += p.length;
+    }
+  }
+  int heavy = 0;
+  for (const auto& [ip, bytes] : bytes_to_80) {
+    if (bytes > 1024) ++heavy;
+  }
+  EXPECT_EQ(heavy, gen_->web_heavy_hosts());
+}
+
+TEST_F(HotspotTraceTest, PacketSizesShowTheTwoModes) {
+  std::size_t at_40 = 0, at_1492 = 0;
+  for (const Packet& p : *trace_) {
+    if (p.length == 40) ++at_40;
+    if (p.length == 1492) ++at_1492;
+  }
+  EXPECT_GT(at_40, trace_->size() / 20);
+  EXPECT_GT(at_1492, trace_->size() / 20);
+}
+
+TEST_F(HotspotTraceTest, HandshakesYieldRttSamples) {
+  const auto rtts = net::handshake_rtts(*trace_);
+  EXPECT_GT(rtts.size(), 100u);
+  for (const auto& s : rtts) {
+    EXPECT_GT(s.rtt_s, 0.0);
+    EXPECT_LT(s.rtt_s, 1.0);
+  }
+}
+
+TEST_F(HotspotTraceTest, RetransmissionsExistWithBoundedDelays) {
+  const auto diffs = net::retransmit_time_diffs_ms(*trace_);
+  EXPECT_GT(diffs.size(), 20u);
+  for (double d : diffs) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 400.0);
+  }
+}
+
+TEST_F(HotspotTraceTest, WormsHavePromisedDispersionAndCounts) {
+  const auto& worms = gen_->worms();
+  ASSERT_EQ(static_cast<int>(worms.size()),
+            gen_->config().num_worms);
+  std::unordered_map<std::string, std::size_t> payload_counts;
+  for (const Packet& p : *trace_) ++payload_counts[p.payload];
+  for (const auto& w : worms) {
+    EXPECT_GE(w.distinct_srcs,
+              static_cast<std::size_t>(
+                  std::min(gen_->config().worm_dispersion_min,
+                           static_cast<int>(w.count))));
+    EXPECT_GE(w.distinct_dsts,
+              static_cast<std::size_t>(
+                  std::min(gen_->config().worm_dispersion_min,
+                           static_cast<int>(w.count))));
+    EXPECT_EQ(payload_counts.at(w.payload), w.count);
+  }
+}
+
+TEST_F(HotspotTraceTest, WormPayloadsAreDistinctFromVocabulary) {
+  std::unordered_set<std::string> vocab(gen_->vocabulary().begin(),
+                                        gen_->vocabulary().end());
+  for (const auto& w : gen_->worms()) {
+    EXPECT_FALSE(vocab.count(w.payload));
+  }
+}
+
+TEST_F(HotspotTraceTest, VocabularyStringsHaveBoundedDestinationDispersion) {
+  // Vocabulary payloads must stay below the worm dst-dispersion threshold,
+  // so the noise-free worm set is exactly the implanted worms.
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>> dsts;
+  for (const Packet& p : *trace_) {
+    if (!p.payload.empty()) dsts[p.payload].insert(p.dst_ip.value);
+  }
+  for (const auto& v : gen_->vocabulary()) {
+    const auto it = dsts.find(v);
+    if (it == dsts.end()) continue;
+    EXPECT_LT(static_cast<int>(it->second.size()),
+              gen_->config().worm_dispersion_min);
+  }
+}
+
+TEST_F(HotspotTraceTest, DominantVocabularyStringIsMostFrequent) {
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const Packet& p : *trace_) {
+    if (!p.payload.empty()) ++counts[p.payload];
+  }
+  const std::size_t top = counts[gen_->vocabulary().front()];
+  for (std::size_t i = 1; i < gen_->vocabulary().size(); ++i) {
+    EXPECT_GT(top, counts[gen_->vocabulary()[i]]);
+  }
+}
+
+TEST_F(HotspotTraceTest, StonePairsActivateInLockstep) {
+  const double t_idle = gen_->config().t_idle;
+  const double delta = gen_->config().delta;
+  const auto activations = net::extract_activations(*trace_, t_idle);
+  std::unordered_map<FlowKey, std::vector<double>> times;
+  for (const auto& a : activations) times[a.flow].push_back(a.time);
+
+  ASSERT_EQ(static_cast<int>(gen_->stone_pairs().size()),
+            gen_->config().stone_pairs);
+  for (const auto& pair : gen_->stone_pairs()) {
+    const auto& ta = times.at(pair.first);
+    const auto& tb = times.at(pair.second);
+    // Activation counts land in the configured band.
+    EXPECT_GE(static_cast<int>(ta.size()), gen_->config().activations_min);
+    EXPECT_LE(static_cast<int>(ta.size()), gen_->config().activations_max);
+    // Most of the second flow's activations follow the first within delta.
+    std::size_t matched = 0;
+    std::size_t j = 0;
+    for (double t : tb) {
+      while (j < ta.size() && ta[j] < t - delta) ++j;
+      if (j < ta.size() && std::abs(ta[j] - t) <= delta) ++matched;
+    }
+    EXPECT_GT(static_cast<double>(matched) / static_cast<double>(tb.size()),
+              0.6);
+  }
+}
+
+TEST_F(HotspotTraceTest, UdpTrafficPresent) {
+  std::size_t udp = 0;
+  for (const Packet& p : *trace_) {
+    if (p.protocol == net::kProtoUdp) ++udp;
+  }
+  EXPECT_GT(udp, 0u);
+}
+
+TEST_F(HotspotTraceTest, TimestampsWithinConfiguredDuration) {
+  for (const Packet& p : *trace_) {
+    EXPECT_GE(p.timestamp, 0.0);
+    EXPECT_LT(p.timestamp, gen_->config().duration_s + 2.0);
+  }
+}
+
+TEST(HotspotGenerator, RejectsDegenerateConfig) {
+  HotspotConfig cfg;
+  cfg.num_hosts = 3;
+  EXPECT_THROW(HotspotGenerator{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::tracegen

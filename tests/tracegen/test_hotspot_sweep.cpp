@@ -1,0 +1,132 @@
+// Parameterized sweep: the Hotspot generator's implanted invariants must
+// hold across seeds and config scales, not just the default fixture.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/tcp.hpp"
+#include "tracegen/hotspot.hpp"
+
+namespace dpnet::tracegen {
+namespace {
+
+using net::Packet;
+
+struct SweepCase {
+  std::uint64_t seed;
+  int num_hosts;
+  int stone_pairs;
+};
+
+class HotspotSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static HotspotConfig config_for(const SweepCase& c) {
+    HotspotConfig cfg = HotspotConfig::small();
+    cfg.seed = c.seed;
+    cfg.num_hosts = c.num_hosts;
+    cfg.stone_pairs = c.stone_pairs;
+    return cfg;
+  }
+};
+
+TEST_P(HotspotSweep, WebHeavyCountIsExactAtEveryScale) {
+  const HotspotConfig cfg = config_for(GetParam());
+  HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  std::unordered_map<std::uint32_t, std::uint64_t> bytes_to_80;
+  for (const Packet& p : trace) {
+    if (p.dst_port == 80 && p.protocol == net::kProtoTcp) {
+      bytes_to_80[p.src_ip.value] += p.length;
+    }
+  }
+  int heavy = 0;
+  for (const auto& [ip, bytes] : bytes_to_80) {
+    if (bytes > 1024) ++heavy;
+  }
+  EXPECT_EQ(heavy, gen.web_heavy_hosts());
+  // The fixed 30% fraction scales with the host count.
+  EXPECT_NEAR(gen.web_heavy_hosts(), cfg.num_hosts * 0.3,
+              cfg.num_hosts * 0.02 + 2.0);
+}
+
+TEST_P(HotspotSweep, WormTruthMatchesTraceContents) {
+  HotspotGenerator gen(config_for(GetParam()));
+  const auto trace = gen.generate();
+  std::unordered_map<std::string, std::unordered_set<std::uint32_t>> srcs;
+  std::unordered_map<std::string, std::size_t> counts;
+  for (const Packet& p : trace) {
+    if (p.payload.empty()) continue;
+    ++counts[p.payload];
+    srcs[p.payload].insert(p.src_ip.value);
+  }
+  for (const auto& w : gen.worms()) {
+    EXPECT_EQ(counts.at(w.payload), w.count);
+    EXPECT_EQ(srcs.at(w.payload).size(), w.distinct_srcs);
+  }
+}
+
+TEST_P(HotspotSweep, StonePairActivationCountsStayInBand) {
+  const HotspotConfig cfg = config_for(GetParam());
+  HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  std::unordered_map<net::FlowKey, std::size_t> counts;
+  for (const auto& a : net::extract_activations(trace, cfg.t_idle)) {
+    ++counts[a.flow];
+  }
+  for (const auto& pair : gen.stone_pairs()) {
+    for (const auto& flow : {pair.first, pair.second}) {
+      const auto n = counts.at(flow);
+      EXPECT_GE(n, static_cast<std::size_t>(cfg.activations_min));
+      EXPECT_LE(n, static_cast<std::size_t>(cfg.activations_max));
+    }
+  }
+}
+
+TEST_P(HotspotSweep, TraceIsSortedAndInDuration) {
+  const HotspotConfig cfg = config_for(GetParam());
+  HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  ASSERT_FALSE(trace.empty());
+  double last = -1.0;
+  for (const Packet& p : trace) {
+    EXPECT_GE(p.timestamp, last);
+    last = p.timestamp;
+    EXPECT_LT(p.timestamp, cfg.duration_s + 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, HotspotSweep,
+    ::testing::Values(SweepCase{1, 80, 4}, SweepCase{2, 80, 4},
+                      SweepCase{3, 160, 2}, SweepCase{4, 240, 6},
+                      SweepCase{5, 120, 8}));
+
+TEST(HotspotConference, PresetKeepsTheCoreInvariants) {
+  const HotspotConfig cfg = HotspotConfig::conference();
+  HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  EXPECT_GT(trace.size(), 50000u);
+
+  // The §2.3 invariant scales: 30% of 600 hosts are web-heavy.
+  std::unordered_map<std::uint32_t, std::uint64_t> bytes_to_80;
+  for (const Packet& p : trace) {
+    if (p.dst_port == 80 && p.protocol == net::kProtoTcp) {
+      bytes_to_80[p.src_ip.value] += p.length;
+    }
+  }
+  int heavy = 0;
+  for (const auto& [ip, bytes] : bytes_to_80) {
+    if (bytes > 1024) ++heavy;
+  }
+  EXPECT_EQ(heavy, gen.web_heavy_hosts());
+  EXPECT_EQ(gen.web_heavy_hosts(), 180);
+
+  // Wireless flavor: retransmissions are plentiful.
+  EXPECT_GT(net::retransmit_time_diffs_ms(trace).size(), 1000u);
+  // And the interactive population exists for rule mining.
+  EXPECT_EQ(static_cast<int>(gen.stone_pairs().size()), cfg.stone_pairs);
+}
+
+}  // namespace
+}  // namespace dpnet::tracegen

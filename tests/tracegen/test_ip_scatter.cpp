@@ -1,0 +1,84 @@
+#include "tracegen/ip_scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpnet::tracegen {
+namespace {
+
+TEST(IpScatter, GeneratesExpectedVolumeOfRecords) {
+  const ScatterConfig cfg = ScatterConfig::small();
+  IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const double expected = cfg.ips * cfg.monitors * (1.0 - cfg.missing_prob);
+  EXPECT_NEAR(static_cast<double>(records.size()), expected, 0.05 * expected);
+}
+
+TEST(IpScatter, HopsStayNearTheAssignedClusterCenter) {
+  const ScatterConfig cfg = ScatterConfig::small();
+  IpScatterGenerator gen(cfg);
+  const auto records = gen.generate();
+  const auto& centers = gen.centers();
+  const auto& assignment = gen.assignment();
+  for (const auto& r : records) {
+    const auto ip_index = r.ip & 0x00ffffffu;
+    const int cluster = assignment[ip_index];
+    const double center =
+        centers[static_cast<std::size_t>(cluster)]
+               [static_cast<std::size_t>(r.monitor)];
+    EXPECT_LE(std::abs(static_cast<double>(r.hops) - center), 1.0);
+  }
+}
+
+TEST(IpScatter, EveryClusterIsPopulated) {
+  const ScatterConfig cfg = ScatterConfig::small();
+  IpScatterGenerator gen(cfg);
+  gen.generate();
+  std::unordered_set<int> used(gen.assignment().begin(),
+                               gen.assignment().end());
+  EXPECT_EQ(static_cast<int>(used.size()), cfg.clusters);
+}
+
+TEST(IpScatter, MonitorsInRange) {
+  const ScatterConfig cfg = ScatterConfig::small();
+  IpScatterGenerator gen(cfg);
+  for (const auto& r : gen.generate()) {
+    EXPECT_GE(r.monitor, 0);
+    EXPECT_LT(r.monitor, cfg.monitors);
+  }
+}
+
+TEST(IpScatter, DeterministicUnderSeed) {
+  IpScatterGenerator a(ScatterConfig::small());
+  IpScatterGenerator b(ScatterConfig::small());
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(IpScatter, CentersSeparatedEnoughToCluster) {
+  const ScatterConfig cfg = ScatterConfig::small();
+  IpScatterGenerator gen(cfg);
+  gen.generate();
+  const auto& centers = gen.centers();
+  // No two centers are identical in every coordinate.
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers.size(); ++j) {
+      EXPECT_NE(centers[i], centers[j]);
+    }
+  }
+}
+
+TEST(IpScatter, RejectsDegenerateConfigs) {
+  ScatterConfig cfg;
+  cfg.monitors = 0;
+  EXPECT_THROW(IpScatterGenerator{cfg}, std::invalid_argument);
+  cfg = ScatterConfig{};
+  cfg.hop_min = 30;
+  cfg.hop_max = 30;
+  EXPECT_THROW(IpScatterGenerator{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dpnet::tracegen

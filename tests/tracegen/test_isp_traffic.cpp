@@ -1,0 +1,97 @@
+#include "tracegen/isp_traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpnet::tracegen {
+namespace {
+
+TEST(IspTraffic, RecordCountsMatchGroundTruthMatrix) {
+  IspTrafficGenerator gen(IspConfig::small());
+  const auto records = gen.generate();
+  const auto& counts = gen.true_counts();
+
+  std::vector<std::vector<double>> observed(
+      counts.size(), std::vector<double>(counts.front().size(), 0.0));
+  for (const auto& r : records) {
+    observed[static_cast<std::size_t>(r.link)]
+            [static_cast<std::size_t>(r.window)] += 1.0;
+  }
+  EXPECT_EQ(observed, counts);
+}
+
+TEST(IspTraffic, AnomaliesStickOutOfTheirLinkBaseline) {
+  const IspConfig cfg = IspConfig::small();
+  IspTrafficGenerator gen(cfg);
+  gen.generate();
+  const auto& counts = gen.true_counts();
+  for (const IspAnomaly& a : cfg.anomalies) {
+    for (int l = a.first_link; l < a.first_link + a.num_links; ++l) {
+      const auto& row = counts[static_cast<std::size_t>(l)];
+      double mean = 0.0;
+      for (double v : row) mean += v;
+      mean /= static_cast<double>(row.size());
+      EXPECT_GT(row[static_cast<std::size_t>(a.window)], 2.0 * mean);
+    }
+  }
+}
+
+TEST(IspTraffic, DeterministicUnderSeed) {
+  IspTrafficGenerator a(IspConfig::small());
+  IspTrafficGenerator b(IspConfig::small());
+  EXPECT_EQ(a.generate(), b.generate());
+}
+
+TEST(IspTraffic, DifferentSeedsDiffer) {
+  IspConfig cfg = IspConfig::small();
+  IspTrafficGenerator a(cfg);
+  cfg.seed = 1234;
+  IspTrafficGenerator b(cfg);
+  EXPECT_NE(a.generate(), b.generate());
+}
+
+TEST(IspTraffic, RecordsStayOnTheGrid) {
+  const IspConfig cfg = IspConfig::small();
+  IspTrafficGenerator gen(cfg);
+  for (const auto& r : gen.generate()) {
+    EXPECT_GE(r.link, 0);
+    EXPECT_LT(r.link, cfg.links);
+    EXPECT_GE(r.window, 0);
+    EXPECT_LT(r.window, cfg.windows);
+  }
+}
+
+TEST(IspTraffic, RejectsAnomalyOutsideGrid) {
+  IspConfig cfg = IspConfig::small();
+  cfg.anomalies = {{cfg.windows + 5, 0, 1, 2.0}};
+  EXPECT_THROW(IspTrafficGenerator{cfg}, std::invalid_argument);
+  cfg.anomalies = {{0, cfg.links - 1, 5, 2.0}};
+  EXPECT_THROW(IspTrafficGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(IspTraffic, RejectsEmptyGrid) {
+  IspConfig cfg;
+  cfg.links = 0;
+  EXPECT_THROW(IspTrafficGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(IspTraffic, DiurnalPatternVariesWithinEachDay) {
+  IspConfig cfg = IspConfig::small();
+  cfg.anomalies.clear();
+  IspTrafficGenerator gen(cfg);
+  gen.generate();
+  const auto& counts = gen.true_counts();
+  // Within one day (96 windows) the min and max load of a link differ
+  // noticeably thanks to the diurnal factor.
+  const auto& row = counts[0];
+  double lo = row[0], hi = row[0];
+  for (int w = 0; w < 96 && w < cfg.windows; ++w) {
+    lo = std::min(lo, row[static_cast<std::size_t>(w)]);
+    hi = std::max(hi, row[static_cast<std::size_t>(w)]);
+  }
+  EXPECT_GT(hi, 1.5 * std::max(1.0, lo));
+}
+
+}  // namespace
+}  // namespace dpnet::tracegen

@@ -1,0 +1,223 @@
+// dpnet command-line tool: generate, convert, sanitize, and privately
+// analyze packet traces from the shell.
+//
+//   dpnet_cli gen <out.{pcap,dpnt}> [--seed N] [--full]
+//   dpnet_cli convert <in> <out>
+//   dpnet_cli stats <in>                      (trusted side, exact)
+//   dpnet_cli anonymize <in> <out> [--key N] [--keep-payloads]
+//   dpnet_cli analyze <in> <query> [--eps E] [--budget B]
+//       queries: count | length-cdf | port-cdf | rtt-cdf | loss-cdf |
+//                service-mix
+//
+// Formats are chosen by extension: .pcap (standard capture) or .dpnt
+// (dpnet's native container, keeps exact timestamps and lengths).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpnet.hpp"
+
+namespace {
+
+using namespace dpnet;
+using net::Packet;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr, "%s",
+               "usage:\n"
+               "  dpnet_cli gen <out.{pcap,dpnt}> [--seed N] [--full]\n"
+               "  dpnet_cli convert <in> <out>\n"
+               "  dpnet_cli stats <in>\n"
+               "  dpnet_cli anonymize <in> <out> [--key N] "
+               "[--keep-payloads]\n"
+               "  dpnet_cli analyze <in> <query> [--eps E] [--budget B]\n"
+               "      query: count | length-cdf | port-cdf | rtt-cdf |\n"
+               "             loss-cdf | service-mix\n");
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<Packet> load(const std::string& path) {
+  if (ends_with(path, ".pcap")) {
+    auto result = net::read_pcap_file(path);
+    if (result.skipped > 0) {
+      std::fprintf(stderr, "note: skipped %zu non-IPv4/TCP/UDP frames\n",
+                   result.skipped);
+    }
+    return std::move(result.packets);
+  }
+  if (ends_with(path, ".dpnt")) return net::read_trace_file(path);
+  std::fprintf(stderr, "error: unknown input format for %s\n", path.c_str());
+  std::exit(2);
+}
+
+void save(const std::string& path, const std::vector<Packet>& trace) {
+  if (ends_with(path, ".pcap")) {
+    net::write_pcap_file(path, trace);
+  } else if (ends_with(path, ".dpnt")) {
+    net::write_trace_file(path, trace);
+  } else {
+    std::fprintf(stderr, "error: unknown output format for %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+}
+
+/// Value of `--flag V` in args, or fallback.
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  tracegen::HotspotConfig cfg = has_flag(args, "--full")
+                                    ? tracegen::HotspotConfig{}
+                                    : tracegen::HotspotConfig::small();
+  cfg.seed = std::stoull(flag_value(args, "--seed", "42"));
+  tracegen::HotspotGenerator gen(cfg);
+  const auto trace = gen.generate();
+  save(args[0], trace);
+  std::printf("wrote %zu packets to %s (web-heavy hosts: %d)\n",
+              trace.size(), args[0].c_str(), gen.web_heavy_hosts());
+  return 0;
+}
+
+int cmd_convert(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const auto trace = load(args[0]);
+  save(args[1], trace);
+  std::printf("converted %zu packets: %s -> %s\n", trace.size(),
+              args[0].c_str(), args[1].c_str());
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.empty()) usage();
+  const auto trace = load(args[0]);
+  const auto flows = net::compute_flow_stats(trace);
+  std::uint64_t bytes = 0;
+  std::size_t tcp = 0, udp = 0, with_payload = 0;
+  double t_min = trace.empty() ? 0 : trace.front().timestamp;
+  double t_max = t_min;
+  for (const Packet& p : trace) {
+    bytes += p.length;
+    if (p.protocol == net::kProtoTcp) ++tcp;
+    if (p.protocol == net::kProtoUdp) ++udp;
+    if (!p.payload.empty()) ++with_payload;
+    t_min = std::min(t_min, p.timestamp);
+    t_max = std::max(t_max, p.timestamp);
+  }
+  std::printf("packets:       %zu (tcp %zu, udp %zu, payloads %zu)\n",
+              trace.size(), tcp, udp, with_payload);
+  std::printf("bytes:         %llu\n",
+              static_cast<unsigned long long>(bytes));
+  std::printf("flows:         %zu\n", flows.size());
+  std::printf("duration:      %.3f s\n", t_max - t_min);
+  std::printf("rtt samples:   %zu\n", net::handshake_rtts(trace).size());
+  std::printf("retransmits:   %zu\n",
+              net::retransmit_time_diffs_ms(trace).size());
+  return 0;
+}
+
+int cmd_anonymize(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  net::AnonymizeOptions opt;
+  opt.key = std::stoull(flag_value(args, "--key", "1537228672809129301"));
+  opt.strip_payloads = !has_flag(args, "--keep-payloads");
+  const auto trace = load(args[0]);
+  save(args[1], net::anonymize_trace(trace, opt));
+  std::printf("anonymized %zu packets (payloads %s) -> %s\n", trace.size(),
+              opt.strip_payloads ? "stripped" : "kept", args[1].c_str());
+  return 0;
+}
+
+void print_cdf(const toolkit::CdfEstimate& cdf, const char* unit) {
+  std::printf("%12s %14s\n", unit, "count<=x");
+  const std::size_t stride = std::max<std::size_t>(
+      1, cdf.boundaries.size() / 20);
+  for (std::size_t i = 0; i < cdf.boundaries.size(); i += stride) {
+    std::printf("%12lld %14.1f\n",
+                static_cast<long long>(cdf.boundaries[i]), cdf.values[i]);
+  }
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage();
+  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
+  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
+  const auto trace = load(args[0]);
+  const std::string query = args[1];
+
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(budget_total));
+  core::Queryable<Packet> packets(
+      trace, audit,
+      std::make_shared<core::NoiseSource>(
+          std::stoull(flag_value(args, "--seed", "1"))));
+  core::ScopedAuditLabel label(*audit, query);
+
+  if (query == "count") {
+    std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
+  } else if (query == "length-cdf") {
+    print_cdf(analysis::dp_packet_length_cdf(packets, eps, 50), "bytes");
+  } else if (query == "port-cdf") {
+    print_cdf(analysis::dp_port_cdf(packets, eps, 2048), "port");
+  } else if (query == "rtt-cdf") {
+    print_cdf(analysis::dp_rtt_cdf(packets, eps, 20), "ms");
+  } else if (query == "loss-cdf") {
+    print_cdf(analysis::dp_loss_cdf(packets, eps, 50), "permille");
+  } else if (query == "service-mix") {
+    const auto clf = net::PacketClassifier::service_mix();
+    std::vector<int> keys(clf.labels().size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      keys[i] = static_cast<int>(i);
+    }
+    auto parts = packets.partition(keys, [&clf](const Packet& p) {
+      return clf.classify_index(p);
+    });
+    for (std::size_t c = 0; c < clf.labels().size(); ++c) {
+      std::printf("%-14s %14.1f\n", clf.labels()[c].c_str(),
+                  parts.at(static_cast<int>(c)).noisy_count(eps));
+    }
+  } else {
+    usage();
+  }
+  std::printf("privacy spent: %.4f of %.4f\n", audit->spent(), budget_total);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "convert") return cmd_convert(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "anonymize") return cmd_anonymize(args);
+    if (command == "analyze") return cmd_analyze(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
