@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_principal"
+  "../bench/bench_ablation_principal.pdb"
+  "CMakeFiles/bench_ablation_principal.dir/bench_ablation_principal.cpp.o"
+  "CMakeFiles/bench_ablation_principal.dir/bench_ablation_principal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_principal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

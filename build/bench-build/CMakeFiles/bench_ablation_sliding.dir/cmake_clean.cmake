@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sliding"
+  "../bench/bench_ablation_sliding.pdb"
+  "CMakeFiles/bench_ablation_sliding.dir/bench_ablation_sliding.cpp.o"
+  "CMakeFiles/bench_ablation_sliding.dir/bench_ablation_sliding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sliding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_connections.cpp" "bench-build/CMakeFiles/bench_connections.dir/bench_connections.cpp.o" "gcc" "bench-build/CMakeFiles/bench_connections.dir/bench_connections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dpnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/dpnet_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dpnet_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpnet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

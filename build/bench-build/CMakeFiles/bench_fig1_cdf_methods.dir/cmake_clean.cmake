@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_cdf_methods"
+  "../bench/bench_fig1_cdf_methods.pdb"
+  "CMakeFiles/bench_fig1_cdf_methods.dir/bench_fig1_cdf_methods.cpp.o"
+  "CMakeFiles/bench_fig1_cdf_methods.dir/bench_fig1_cdf_methods.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cdf_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

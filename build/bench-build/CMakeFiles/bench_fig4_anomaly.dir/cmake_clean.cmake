@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_anomaly"
+  "../bench/bench_fig4_anomaly.pdb"
+  "CMakeFiles/bench_fig4_anomaly.dir/bench_fig4_anomaly.cpp.o"
+  "CMakeFiles/bench_fig4_anomaly.dir/bench_fig4_anomaly.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_quickstart_count"
+  "../bench/bench_quickstart_count.pdb"
+  "CMakeFiles/bench_quickstart_count.dir/bench_quickstart_count.cpp.o"
+  "CMakeFiles/bench_quickstart_count.dir/bench_quickstart_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quickstart_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rule_mining"
+  "../bench/bench_rule_mining.pdb"
+  "CMakeFiles/bench_rule_mining.dir/bench_rule_mining.cpp.o"
+  "CMakeFiles/bench_rule_mining.dir/bench_rule_mining.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rule_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

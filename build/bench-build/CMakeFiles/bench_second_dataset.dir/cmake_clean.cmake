@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_second_dataset"
+  "../bench/bench_second_dataset.pdb"
+  "CMakeFiles/bench_second_dataset.dir/bench_second_dataset.cpp.o"
+  "CMakeFiles/bench_second_dataset.dir/bench_second_dataset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_second_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_mechanisms"
+  "../bench/bench_table1_mechanisms.pdb"
+  "CMakeFiles/bench_table1_mechanisms.dir/bench_table1_mechanisms.cpp.o"
+  "CMakeFiles/bench_table1_mechanisms.dir/bench_table1_mechanisms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_frequent_strings"
+  "../bench/bench_table4_frequent_strings.pdb"
+  "CMakeFiles/bench_table4_frequent_strings.dir/bench_table4_frequent_strings.cpp.o"
+  "CMakeFiles/bench_table4_frequent_strings.dir/bench_table4_frequent_strings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_frequent_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

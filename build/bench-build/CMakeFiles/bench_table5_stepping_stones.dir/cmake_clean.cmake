@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_stepping_stones"
+  "../bench/bench_table5_stepping_stones.pdb"
+  "CMakeFiles/bench_table5_stepping_stones.dir/bench_table5_stepping_stones.cpp.o"
+  "CMakeFiles/bench_table5_stepping_stones.dir/bench_table5_stepping_stones.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_stepping_stones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

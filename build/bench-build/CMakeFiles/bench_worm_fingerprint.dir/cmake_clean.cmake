@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_worm_fingerprint"
+  "../bench/bench_worm_fingerprint.pdb"
+  "CMakeFiles/bench_worm_fingerprint.dir/bench_worm_fingerprint.cpp.o"
+  "CMakeFiles/bench_worm_fingerprint.dir/bench_worm_fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worm_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

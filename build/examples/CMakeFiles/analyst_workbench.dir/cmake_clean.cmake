@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyst_workbench.dir/analyst_workbench.cpp.o"
+  "CMakeFiles/analyst_workbench.dir/analyst_workbench.cpp.o.d"
+  "analyst_workbench"
+  "analyst_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyst_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

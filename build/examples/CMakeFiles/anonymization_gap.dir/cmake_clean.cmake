@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymization_gap.dir/anonymization_gap.cpp.o"
+  "CMakeFiles/anonymization_gap.dir/anonymization_gap.cpp.o.d"
+  "anonymization_gap"
+  "anonymization_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymization_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediated_session.dir/mediated_session.cpp.o"
+  "CMakeFiles/mediated_session.dir/mediated_session.cpp.o.d"
+  "mediated_session"
+  "mediated_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediated_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stepping_stone_hunt.dir/stepping_stone_hunt.cpp.o"
+  "CMakeFiles/stepping_stone_hunt.dir/stepping_stone_hunt.cpp.o.d"
+  "stepping_stone_hunt"
+  "stepping_stone_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stepping_stone_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_map.dir/topology_map.cpp.o"
+  "CMakeFiles/topology_map.dir/topology_map.cpp.o.d"
+  "topology_map"
+  "topology_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

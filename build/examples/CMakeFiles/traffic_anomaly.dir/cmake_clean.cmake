@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_anomaly.dir/traffic_anomaly.cpp.o"
+  "CMakeFiles/traffic_anomaly.dir/traffic_anomaly.cpp.o.d"
+  "traffic_anomaly"
+  "traffic_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

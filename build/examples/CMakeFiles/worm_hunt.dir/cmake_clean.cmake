@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worm_hunt.dir/worm_hunt.cpp.o"
+  "CMakeFiles/worm_hunt.dir/worm_hunt.cpp.o.d"
+  "worm_hunt"
+  "worm_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worm_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anomaly.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/anomaly.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/anomaly.cpp.o.d"
+  "/root/repo/src/analysis/flow_stats.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/flow_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/flow_stats.cpp.o.d"
+  "/root/repo/src/analysis/packet_dist.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/packet_dist.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/packet_dist.cpp.o.d"
+  "/root/repo/src/analysis/principal.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/principal.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/principal.cpp.o.d"
+  "/root/repo/src/analysis/rules.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/rules.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/rules.cpp.o.d"
+  "/root/repo/src/analysis/scan_detection.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/scan_detection.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/scan_detection.cpp.o.d"
+  "/root/repo/src/analysis/stepping_stones.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/stepping_stones.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/stepping_stones.cpp.o.d"
+  "/root/repo/src/analysis/topology.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/topology.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/topology.cpp.o.d"
+  "/root/repo/src/analysis/worm.cpp" "src/analysis/CMakeFiles/dpnet_analysis.dir/worm.cpp.o" "gcc" "src/analysis/CMakeFiles/dpnet_analysis.dir/worm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/dpnet_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpnet_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

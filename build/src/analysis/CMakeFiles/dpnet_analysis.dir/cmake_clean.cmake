@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_analysis.dir/anomaly.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/anomaly.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/flow_stats.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/flow_stats.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/packet_dist.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/packet_dist.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/principal.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/principal.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/rules.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/rules.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/scan_detection.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/scan_detection.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/stepping_stones.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/stepping_stones.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/topology.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/topology.cpp.o.d"
+  "CMakeFiles/dpnet_analysis.dir/worm.cpp.o"
+  "CMakeFiles/dpnet_analysis.dir/worm.cpp.o.d"
+  "libdpnet_analysis.a"
+  "libdpnet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

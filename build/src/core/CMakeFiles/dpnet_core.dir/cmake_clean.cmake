@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_core.dir/budget.cpp.o"
+  "CMakeFiles/dpnet_core.dir/budget.cpp.o.d"
+  "CMakeFiles/dpnet_core.dir/mechanisms.cpp.o"
+  "CMakeFiles/dpnet_core.dir/mechanisms.cpp.o.d"
+  "CMakeFiles/dpnet_core.dir/noise.cpp.o"
+  "CMakeFiles/dpnet_core.dir/noise.cpp.o.d"
+  "libdpnet_core.a"
+  "libdpnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

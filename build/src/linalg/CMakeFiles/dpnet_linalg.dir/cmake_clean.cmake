@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/dpnet_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/dpnet_linalg.dir/gmm.cpp.o"
+  "CMakeFiles/dpnet_linalg.dir/gmm.cpp.o.d"
+  "CMakeFiles/dpnet_linalg.dir/kmeans.cpp.o"
+  "CMakeFiles/dpnet_linalg.dir/kmeans.cpp.o.d"
+  "CMakeFiles/dpnet_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/dpnet_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/dpnet_linalg.dir/pca.cpp.o"
+  "CMakeFiles/dpnet_linalg.dir/pca.cpp.o.d"
+  "libdpnet_linalg.a"
+  "libdpnet_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

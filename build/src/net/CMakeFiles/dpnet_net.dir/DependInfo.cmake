@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/anonymize.cpp" "src/net/CMakeFiles/dpnet_net.dir/anonymize.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/anonymize.cpp.o.d"
+  "/root/repo/src/net/classifier.cpp" "src/net/CMakeFiles/dpnet_net.dir/classifier.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/classifier.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/dpnet_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/dpnet_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/dpnet_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/dpnet_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/dpnet_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/dpnet_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/dpnet_net.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

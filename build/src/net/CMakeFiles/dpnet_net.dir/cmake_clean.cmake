@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_net.dir/anonymize.cpp.o"
+  "CMakeFiles/dpnet_net.dir/anonymize.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/classifier.cpp.o"
+  "CMakeFiles/dpnet_net.dir/classifier.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/flow.cpp.o"
+  "CMakeFiles/dpnet_net.dir/flow.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/ip.cpp.o"
+  "CMakeFiles/dpnet_net.dir/ip.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/packet.cpp.o"
+  "CMakeFiles/dpnet_net.dir/packet.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/pcap.cpp.o"
+  "CMakeFiles/dpnet_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/tcp.cpp.o"
+  "CMakeFiles/dpnet_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/dpnet_net.dir/trace_io.cpp.o"
+  "CMakeFiles/dpnet_net.dir/trace_io.cpp.o.d"
+  "libdpnet_net.a"
+  "libdpnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_stats.dir/metrics.cpp.o"
+  "CMakeFiles/dpnet_stats.dir/metrics.cpp.o.d"
+  "libdpnet_stats.a"
+  "libdpnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolkit/cdf.cpp" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/cdf.cpp.o" "gcc" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/cdf.cpp.o.d"
+  "/root/repo/src/toolkit/frequent_strings.cpp" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/frequent_strings.cpp.o" "gcc" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/frequent_strings.cpp.o.d"
+  "/root/repo/src/toolkit/itemsets.cpp" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/itemsets.cpp.o" "gcc" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/itemsets.cpp.o.d"
+  "/root/repo/src/toolkit/range_tree.cpp" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/range_tree.cpp.o" "gcc" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/range_tree.cpp.o.d"
+  "/root/repo/src/toolkit/sliding.cpp" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/sliding.cpp.o" "gcc" "src/toolkit/CMakeFiles/dpnet_toolkit.dir/sliding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_toolkit.dir/cdf.cpp.o"
+  "CMakeFiles/dpnet_toolkit.dir/cdf.cpp.o.d"
+  "CMakeFiles/dpnet_toolkit.dir/frequent_strings.cpp.o"
+  "CMakeFiles/dpnet_toolkit.dir/frequent_strings.cpp.o.d"
+  "CMakeFiles/dpnet_toolkit.dir/itemsets.cpp.o"
+  "CMakeFiles/dpnet_toolkit.dir/itemsets.cpp.o.d"
+  "CMakeFiles/dpnet_toolkit.dir/range_tree.cpp.o"
+  "CMakeFiles/dpnet_toolkit.dir/range_tree.cpp.o.d"
+  "CMakeFiles/dpnet_toolkit.dir/sliding.cpp.o"
+  "CMakeFiles/dpnet_toolkit.dir/sliding.cpp.o.d"
+  "libdpnet_toolkit.a"
+  "libdpnet_toolkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_toolkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracegen/distributions.cpp" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/distributions.cpp.o" "gcc" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/distributions.cpp.o.d"
+  "/root/repo/src/tracegen/hotspot.cpp" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/hotspot.cpp.o" "gcc" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/hotspot.cpp.o.d"
+  "/root/repo/src/tracegen/ip_scatter.cpp" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/ip_scatter.cpp.o" "gcc" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/ip_scatter.cpp.o.d"
+  "/root/repo/src/tracegen/isp_traffic.cpp" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/isp_traffic.cpp.o" "gcc" "src/tracegen/CMakeFiles/dpnet_tracegen.dir/isp_traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dpnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

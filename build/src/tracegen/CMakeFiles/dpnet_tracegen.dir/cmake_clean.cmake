@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_tracegen.dir/distributions.cpp.o"
+  "CMakeFiles/dpnet_tracegen.dir/distributions.cpp.o.d"
+  "CMakeFiles/dpnet_tracegen.dir/hotspot.cpp.o"
+  "CMakeFiles/dpnet_tracegen.dir/hotspot.cpp.o.d"
+  "CMakeFiles/dpnet_tracegen.dir/ip_scatter.cpp.o"
+  "CMakeFiles/dpnet_tracegen.dir/ip_scatter.cpp.o.d"
+  "CMakeFiles/dpnet_tracegen.dir/isp_traffic.cpp.o"
+  "CMakeFiles/dpnet_tracegen.dir/isp_traffic.cpp.o.d"
+  "libdpnet_tracegen.a"
+  "libdpnet_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

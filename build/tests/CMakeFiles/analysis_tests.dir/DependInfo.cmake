@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_anomaly.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o.d"
+  "/root/repo/tests/analysis/test_eps_ordering.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_eps_ordering.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_eps_ordering.cpp.o.d"
+  "/root/repo/tests/analysis/test_flow_stats.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_flow_stats.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_flow_stats.cpp.o.d"
+  "/root/repo/tests/analysis/test_packet_dist.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_packet_dist.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_packet_dist.cpp.o.d"
+  "/root/repo/tests/analysis/test_principal.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_principal.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_principal.cpp.o.d"
+  "/root/repo/tests/analysis/test_rules.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_rules.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_rules.cpp.o.d"
+  "/root/repo/tests/analysis/test_scan_detection.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_scan_detection.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_scan_detection.cpp.o.d"
+  "/root/repo/tests/analysis/test_stepping_stones.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_stepping_stones.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_stepping_stones.cpp.o.d"
+  "/root/repo/tests/analysis/test_topology.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_topology.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_topology.cpp.o.d"
+  "/root/repo/tests/analysis/test_worm.cpp" "tests/CMakeFiles/analysis_tests.dir/analysis/test_worm.cpp.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/test_worm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dpnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/dpnet_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dpnet_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpnet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_anomaly.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_eps_ordering.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_eps_ordering.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_flow_stats.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_flow_stats.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_packet_dist.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_packet_dist.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_principal.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_principal.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_rules.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_rules.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_scan_detection.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_scan_detection.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_stepping_stones.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_stepping_stones.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_topology.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_topology.cpp.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/test_worm.cpp.o"
+  "CMakeFiles/analysis_tests.dir/analysis/test_worm.cpp.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

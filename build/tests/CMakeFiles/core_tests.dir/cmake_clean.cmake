@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_audit.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_audit.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_budget.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_budget.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_concurrency.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_concurrency.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_mechanisms.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_mechanisms.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_noise.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_noise.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_partition.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_partition.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_queryable.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_queryable.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_streaming.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_streaming.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

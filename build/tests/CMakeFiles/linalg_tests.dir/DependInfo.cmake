@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_eigen.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/test_eigen.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/test_eigen.cpp.o.d"
+  "/root/repo/tests/linalg/test_gmm.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/test_gmm.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/test_gmm.cpp.o.d"
+  "/root/repo/tests/linalg/test_kmeans.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/test_kmeans.cpp.o.d"
+  "/root/repo/tests/linalg/test_matrix.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/test_matrix.cpp.o.d"
+  "/root/repo/tests/linalg/test_pca.cpp" "tests/CMakeFiles/linalg_tests.dir/linalg/test_pca.cpp.o" "gcc" "tests/CMakeFiles/linalg_tests.dir/linalg/test_pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/dpnet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolkit/CMakeFiles/dpnet_toolkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracegen/CMakeFiles/dpnet_tracegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dpnet_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dpnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dpnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dpnet_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

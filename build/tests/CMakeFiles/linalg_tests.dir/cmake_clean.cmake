@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/test_eigen.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/test_eigen.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/test_gmm.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/test_gmm.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/test_kmeans.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/test_kmeans.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/test_matrix.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/test_matrix.cpp.o.d"
+  "CMakeFiles/linalg_tests.dir/linalg/test_pca.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/test_pca.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+  "linalg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

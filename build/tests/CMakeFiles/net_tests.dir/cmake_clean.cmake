@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/test_anonymize.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_anonymize.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_classifier.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_classifier.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_flow.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_flow.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_ip.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_ip.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_packet.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_packet.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_pcap.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_pcap.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_tcp.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_tcp.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_trace_io.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_trace_io.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

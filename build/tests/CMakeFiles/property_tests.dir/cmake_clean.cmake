@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/property/test_accuracy_scaling.cpp.o"
+  "CMakeFiles/property_tests.dir/property/test_accuracy_scaling.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/test_analysis_equivalence.cpp.o"
+  "CMakeFiles/property_tests.dir/property/test_analysis_equivalence.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/test_dp_guarantee.cpp.o"
+  "CMakeFiles/property_tests.dir/property/test_dp_guarantee.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/test_format_fuzz.cpp.o"
+  "CMakeFiles/property_tests.dir/property/test_format_fuzz.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/test_queryable_laws.cpp.o"
+  "CMakeFiles/property_tests.dir/property/test_queryable_laws.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_cdf.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_cdf.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_frequent_strings.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_frequent_strings.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_isotonic.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_isotonic.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_itemsets.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_itemsets.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_range_tree.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_range_tree.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_sliding.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_sliding.cpp.o.d"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_topk.cpp.o"
+  "CMakeFiles/toolkit_tests.dir/toolkit/test_topk.cpp.o.d"
+  "toolkit_tests"
+  "toolkit_tests.pdb"
+  "toolkit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolkit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_distributions.cpp.o"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_distributions.cpp.o.d"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_hotspot.cpp.o"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_hotspot.cpp.o.d"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_hotspot_sweep.cpp.o"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_hotspot_sweep.cpp.o.d"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_ip_scatter.cpp.o"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_ip_scatter.cpp.o.d"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_isp_traffic.cpp.o"
+  "CMakeFiles/tracegen_tests.dir/tracegen/test_isp_traffic.cpp.o.d"
+  "tracegen_tests"
+  "tracegen_tests.pdb"
+  "tracegen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

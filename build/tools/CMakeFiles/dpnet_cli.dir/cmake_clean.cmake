@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpnet_cli.dir/dpnet_cli.cpp.o"
+  "CMakeFiles/dpnet_cli.dir/dpnet_cli.cpp.o.d"
+  "dpnet_cli"
+  "dpnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
