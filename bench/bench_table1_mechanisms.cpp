@@ -8,6 +8,7 @@
 
 #include "bench/common.hpp"
 #include "stats/metrics.hpp"
+#include <tuple>
 
 namespace {
 
@@ -97,9 +98,9 @@ int main() {
                            std::make_shared<core::NoiseSource>(4));
     auto parts = q.partition(std::vector<int>{0, 1, 2},
                              [](int x) { return x % 3; });
-    parts.at(0).noisy_count(0.2);
-    parts.at(1).noisy_count(0.5);
-    parts.at(2).noisy_count(0.3);
+    std::ignore = parts.at(0).noisy_count(0.2);
+    std::ignore = parts.at(1).noisy_count(0.5);
+    std::ignore = parts.at(2).noisy_count(0.3);
     bench::paper_vs_measured(
         "Partition cost", "max of parts (0.5), not sum (1.0)",
         std::to_string(budget->spent()));

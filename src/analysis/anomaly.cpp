@@ -12,6 +12,10 @@ linalg::Matrix dp_link_time_matrix(
   if (options.links <= 0 || options.windows <= 0) {
     throw std::invalid_argument("anomaly options require grid dimensions");
   }
+  if (!(options.eps > 0.0)) {
+    throw std::invalid_argument(
+        "anomaly options require an explicit eps > 0 (no default accuracy)");
+  }
   std::vector<int> link_keys(static_cast<std::size_t>(options.links));
   for (int l = 0; l < options.links; ++l) {
     link_keys[static_cast<std::size_t>(l)] = l;

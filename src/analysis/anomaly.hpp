@@ -16,7 +16,9 @@ namespace dpnet::analysis {
 struct AnomalyOptions {
   int links = 0;    // grid dimensions (public metadata)
   int windows = 0;
-  double eps = 0.1;          // total privacy cost of the load matrix
+  // Total privacy cost of the load matrix.  No baked-in default: the
+  // analyst chooses the accuracy level against their budget (0 rejects).
+  double eps = 0.0;
   std::size_t components = 4;  // "normal traffic" subspace dimension
   double bytes_per_packet = 1500.0;  // de-aggregation unit
 };

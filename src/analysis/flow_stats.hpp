@@ -15,23 +15,23 @@ namespace dpnet::analysis {
 
 /// Handshake RTTs in milliseconds as a protected column: SYNs joined with
 /// SYN-ACKs on (addresses, ports, seq+1 == ack) per Swing.
-core::Queryable<std::int64_t> handshake_rtts_ms(
+[[nodiscard]] core::Queryable<std::int64_t> handshake_rtts_ms(
     const core::Queryable<net::Packet>& packets);
 
 /// Per-flow downstream loss rates, scaled to integer permille (0..1000):
 /// 1 - distinct_seq/total over data packets, for flows with more than
 /// `min_packets` data packets.
-core::Queryable<std::int64_t> flow_loss_permille(
+[[nodiscard]] core::Queryable<std::int64_t> flow_loss_permille(
     const core::Queryable<net::Packet>& packets, std::size_t min_packets = 10);
 
 /// Per-flow out-of-order fraction in permille (Swing's upstream loss).
-core::Queryable<std::int64_t> flow_out_of_order_permille(
+[[nodiscard]] core::Queryable<std::int64_t> flow_out_of_order_permille(
     const core::Queryable<net::Packet>& packets, std::size_t min_packets = 10);
 
 /// Per-flow path-capacity estimate in kbit/s (Swing: the time difference
 /// and sizes of in-order data-packet pairs — we take the median pair rate
 /// within each flow), for flows with more than `min_packets` data packets.
-core::Queryable<std::int64_t> flow_capacity_kbps(
+[[nodiscard]] core::Queryable<std::int64_t> flow_capacity_kbps(
     const core::Queryable<net::Packet>& packets, std::size_t min_packets = 10);
 
 /// Packets per TCP connection: the Swing statistic the paper could *not*
@@ -39,14 +39,14 @@ core::Queryable<std::int64_t> flow_capacity_kbps(
 /// a flow using the currently available operations") — expressed here
 /// with the grouping extension the paper proposes (group_by_spans: a new
 /// connection starts at each client SYN).  Stability 3.
-core::Queryable<std::int64_t> packets_per_connection_column(
+[[nodiscard]] core::Queryable<std::int64_t> packets_per_connection_column(
     const core::Queryable<net::Packet>& packets);
 
 /// Retransmission time differences in milliseconds (the Fig 1 values):
 /// within each flow group, the gaps between a data packet and its earlier
 /// transmission.  `max_per_flow` bounds the per-group fan-out (and thus
 /// the stability multiplier).
-core::Queryable<std::int64_t> retransmit_diffs_ms(
+[[nodiscard]] core::Queryable<std::int64_t> retransmit_diffs_ms(
     const core::Queryable<net::Packet>& packets, std::size_t max_per_flow = 8);
 
 /// Private RTT CDF over [0, 600] ms (Fig 3a).  Total cost: eps times the

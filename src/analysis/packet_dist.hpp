@@ -13,11 +13,11 @@
 namespace dpnet::analysis {
 
 /// Packet lengths as a protected value column.
-core::Queryable<std::int64_t> packet_lengths(
+[[nodiscard]] core::Queryable<std::int64_t> packet_lengths(
     const core::Queryable<net::Packet>& packets);
 
 /// Destination ports as a protected value column.
-core::Queryable<std::int64_t> dst_ports(
+[[nodiscard]] core::Queryable<std::int64_t> dst_ports(
     const core::Queryable<net::Packet>& packets);
 
 /// Private CDF of packet lengths over [0, 1500] with the given bucket

@@ -38,17 +38,17 @@ std::vector<HostRecord> aggregate_by_host(std::span<const net::Packet> trace);
 /// of at most `per_host_cap` of its packets (evenly strided through the
 /// host's traffic), bounding the sensitivity of downstream statistics to
 /// the cap.
-core::Queryable<std::int64_t> host_packet_lengths(
+[[nodiscard]] core::Queryable<std::int64_t> host_packet_lengths(
     const core::Queryable<HostRecord>& hosts, std::size_t per_host_cap);
 
 /// Per-host total bytes sent — one value per principal, the natural
 /// host-level statistic (no fan-out, stability 1).
-core::Queryable<std::int64_t> host_total_bytes(
+[[nodiscard]] core::Queryable<std::int64_t> host_total_bytes(
     const core::Queryable<HostRecord>& hosts);
 
 /// Per-host count of distinct destination hosts contacted (a fan-out /
 /// scanning indicator).
-core::Queryable<std::int64_t> host_fanout(
+[[nodiscard]] core::Queryable<std::int64_t> host_fanout(
     const core::Queryable<HostRecord>& hosts);
 
 }  // namespace dpnet::analysis

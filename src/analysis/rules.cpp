@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "toolkit/itemsets.hpp"
 
@@ -49,6 +50,10 @@ bool window_contains(const std::vector<int>& window, int item) {
 std::vector<CommunicationRule> dp_mine_rules(
     const core::Queryable<std::vector<int>>& windows,
     const std::vector<int>& universe, const RuleMiningOptions& options) {
+  if (!(options.eps_per_level > 0.0)) {
+    throw std::invalid_argument(
+        "rule-mining options require an explicit eps_per_level > 0");
+  }
   // Stage 1 — cheap candidate mining.  Partitioned apriori counts are
   // heavily diluted on dense windows (each window backs one candidate),
   // so the mining threshold is only a candidate filter, not the final

@@ -23,7 +23,7 @@ struct CommunicationRule {
 };
 
 struct RuleMiningOptions {
-  double eps_per_level = 0.1;
+  double eps_per_level = 0.0;  // per apriori level; analyst-chosen (0 rejects)
   /// Candidate filter on the *partitioned* apriori counts, which are
   /// heavily diluted on dense windows — keep it well below min_support.
   double mining_support = 20.0;

@@ -1,6 +1,7 @@
 #include "analysis/scan_detection.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,6 +26,11 @@ std::size_t distinct_dsts(const Group<Ipv4, Packet>& grp) {
 ScanDetectionResult dp_scan_detection(
     const core::Queryable<Packet>& packets,
     const ScanDetectionOptions& options) {
+  if (!(options.eps_count > 0.0) || !(options.eps_histogram > 0.0)) {
+    throw std::invalid_argument(
+        "scan-detection options require explicit eps_count and "
+        "eps_histogram > 0");
+  }
   auto to_port = packets.where([port = options.target_port](const Packet& p) {
     return p.dst_port == port;
   });

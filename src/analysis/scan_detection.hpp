@@ -19,8 +19,8 @@ namespace dpnet::analysis {
 struct ScanDetectionOptions {
   std::uint16_t target_port = 445;  // the scanned service
   int fanout_threshold = 20;        // distinct destinations to call a scan
-  double eps_count = 0.1;           // the scanner-population count
-  double eps_histogram = 0.1;       // the fan-out histogram
+  double eps_count = 0.0;      // scanner-population count (0 rejects)
+  double eps_histogram = 0.0;  // fan-out histogram (0 rejects)
   std::int64_t histogram_max = 512; // fan-out histogram domain
   std::int64_t histogram_bucket = 8;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 #include <set>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "toolkit/itemsets.hpp"
@@ -68,6 +69,11 @@ std::vector<StonePairScore> dp_stepping_stones(
     const core::Queryable<Packet>& packets,
     const std::vector<FlowKey>& candidate_flows,
     const SteppingStoneOptions& options) {
+  if (!(options.eps_itemset > 0.0) || !(options.eps_eval > 0.0)) {
+    throw std::invalid_argument(
+        "stepping-stone options require explicit eps_itemset and "
+        "eps_eval > 0");
+  }
   // Index the analysis scope; all private processing below speaks in flow
   // indices.
   std::unordered_map<FlowKey, int> index;

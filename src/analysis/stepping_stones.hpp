@@ -20,9 +20,9 @@ namespace dpnet::analysis {
 struct SteppingStoneOptions {
   double t_idle = 0.5;   // idle timeout (s)
   double delta = 0.040;  // correlation window (s)
-  double eps_itemset = 0.1;        // per apriori level (2 levels)
+  double eps_itemset = 0.0;  // per apriori level, 2 levels (0 rejects)
   double itemset_threshold = 30.0;
-  double eps_eval = 0.1;           // per count when scoring a pair
+  double eps_eval = 0.0;     // per count when scoring a pair (0 rejects)
   int top_k = 20;
   std::size_t max_eval_pairs = 64;
 };
@@ -39,7 +39,7 @@ struct StonePairScore {
 /// A second pass shifted by t_idle covers first-half activations, so
 /// together the two passes cover every activation exactly once — the
 /// price is the doubled grouping noise the paper describes.
-core::Queryable<net::Activation> dp_activations(
+[[nodiscard]] core::Queryable<net::Activation> dp_activations(
     const core::Queryable<net::Packet>& packets, double t_idle);
 
 /// The full private pipeline over the given candidate flows (the analysis

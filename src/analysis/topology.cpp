@@ -52,6 +52,10 @@ std::vector<double> dp_monitor_averages(
   if (options.monitors <= 0) {
     throw std::invalid_argument("topology options require monitor count");
   }
+  if (!(options.eps_averages > 0.0)) {
+    throw std::invalid_argument(
+        "topology options require an explicit eps_averages > 0");
+  }
   auto parts = records.partition(
       iota_keys(options.monitors),
       [](const ScatterRecord& r) { return r.monitor; });
@@ -72,6 +76,10 @@ std::vector<double> dp_monitor_averages(
 TopologyResult dp_topology_clustering(
     const core::Queryable<ScatterRecord>& records,
     const TopologyOptions& options, const linalg::Matrix& eval_points) {
+  if (!(options.eps_per_iteration > 0.0)) {
+    throw std::invalid_argument(
+        "topology options require an explicit eps_per_iteration > 0");
+  }
   TopologyResult result;
   result.monitor_averages = dp_monitor_averages(records, options);
 

@@ -22,8 +22,8 @@ struct TopologyOptions {
   int monitors = 0;       // public metadata
   int clusters = 9;
   int iterations = 10;
-  double eps_per_iteration = 0.1;  // one epsilon multiple per iteration
-  double eps_averages = 0.1;       // per-monitor mean fill-in values
+  double eps_per_iteration = 0.0;  // per k-means iteration (0 rejects)
+  double eps_averages = 0.0;  // per-monitor mean fill-ins (0 rejects)
   double hop_magnitude = 64.0;     // clamp bound for sums/averages
   std::uint64_t init_seed = 99;    // the common random initialization
 };

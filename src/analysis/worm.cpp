@@ -1,6 +1,7 @@
 #include "analysis/worm.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -30,6 +31,13 @@ std::size_t distinct_dsts(const Group<std::string, Packet>& grp) {
 
 WormResult dp_worm_fingerprint(const core::Queryable<Packet>& packets,
                                const WormOptions& options) {
+  if (!(options.eps_group_count > 0.0) ||
+      !(options.eps_per_string_level > 0.0) ||
+      !(options.eps_dispersion > 0.0)) {
+    throw std::invalid_argument(
+        "worm options require explicit eps_group_count, "
+        "eps_per_string_level, and eps_dispersion > 0");
+  }
   const std::size_t len = options.payload_len;
   auto with_payload = packets.where(
       [len](const Packet& p) { return p.payload.size() >= len; });

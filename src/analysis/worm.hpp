@@ -16,10 +16,10 @@ struct WormOptions {
   std::size_t payload_len = 8;       // signature length in bytes
   int src_threshold = 50;            // dispersion thresholds
   int dst_threshold = 50;
-  double eps_group_count = 0.1;      // the "2739 +/- 10 groups" aggregate
-  double eps_per_string_level = 0.1; // frequent-string search, per byte
+  double eps_group_count = 0.0;      // the "2739 +/- 10 groups" aggregate
+  double eps_per_string_level = 0.0; // frequent-string search, per byte
   double string_threshold = 50.0;    // candidate payload frequency cutoff
-  double eps_dispersion = 0.1;       // per distinct-src / distinct-dst count
+  double eps_dispersion = 0.0;       // per distinct-src/dst count (0 rejects)
 };
 
 struct WormCandidate {

@@ -119,7 +119,8 @@ class BudgetLedger {
 
   /// Returns (creating on first use) the accountant for `analyst`, capped
   /// at `cap`.  A repeat call with a different cap throws InvalidQueryError.
-  std::shared_ptr<PrivacyBudget> analyst(const std::string& name, double cap);
+  [[nodiscard]] std::shared_ptr<PrivacyBudget> analyst(const std::string& name,
+                                                       double cap);
 
   [[nodiscard]] double dataset_spent() const { return root_->spent(); }
   [[nodiscard]] double dataset_remaining() const { return root_->remaining(); }

@@ -17,36 +17,39 @@ namespace dpnet::core {
 /// Laplace mechanism: `true_value` + Laplace(sensitivity / epsilon).
 /// Standard deviation of the added noise is sqrt(2) * sensitivity / epsilon
 /// (Table 1 of the paper: sqrt(2)/epsilon for counts and clamped sums).
-double laplace_mechanism(double true_value, double sensitivity,
-                         double epsilon, NoiseSource& noise);
+[[nodiscard]] double laplace_mechanism(double true_value, double sensitivity,
+                                       double epsilon, NoiseSource& noise);
 
 /// Geometric mechanism: the integer analogue of the Laplace mechanism.
 /// Adds two-sided geometric noise with P(k) proportional to
 /// exp(-epsilon * |k| / sensitivity).
-std::int64_t geometric_mechanism(std::int64_t true_value, double sensitivity,
-                                 double epsilon, NoiseSource& noise);
+[[nodiscard]] std::int64_t geometric_mechanism(std::int64_t true_value,
+                                               double sensitivity,
+                                               double epsilon,
+                                               NoiseSource& noise);
 
 /// Exponential mechanism via Gumbel-max sampling: returns the index i that
 /// maximizes  epsilon * scores[i] / (2 * score_sensitivity) + Gumbel().
 /// This is distributionally identical to sampling index i with probability
 /// proportional to exp(epsilon * scores[i] / (2 * sensitivity)).
-std::size_t exponential_mechanism(std::span<const double> scores,
-                                  double epsilon, double score_sensitivity,
-                                  NoiseSource& noise);
+[[nodiscard]] std::size_t exponential_mechanism(std::span<const double> scores,
+                                                double epsilon,
+                                                double score_sensitivity,
+                                                NoiseSource& noise);
 
 /// Differentially-private q-quantile of `values` via the exponential
 /// mechanism with rank-distance utility (q in [0, 1]).  Returns 0.0 on
 /// empty input (PINQ's default-value behavior).
-double exponential_quantile(std::vector<double> values, double q,
-                            double epsilon, NoiseSource& noise);
+[[nodiscard]] double exponential_quantile(std::vector<double> values, double q,
+                                          double epsilon, NoiseSource& noise);
 
 /// Differentially-private median — exponential_quantile at q = 0.5.  The
 /// returned value partitions the input into two sets whose sizes differ
 /// by approximately sqrt(2)/epsilon (Table 1).
-double exponential_median(std::vector<double> values, double epsilon,
-                          NoiseSource& noise);
+[[nodiscard]] double exponential_median(std::vector<double> values,
+                                        double epsilon, NoiseSource& noise);
 
 /// Clamps x into [-1, 1]; PINQ's NoisySum/NoisyAverage contract.
-double clamp_unit(double x);
+[[nodiscard]] double clamp_unit(double x);
 
 }  // namespace dpnet::core

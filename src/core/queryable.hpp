@@ -433,7 +433,7 @@ class Queryable {
   // ---------------------------------------------------------------------
 
   /// Noisy record count: true count + Laplace(stability / eps).
-  double noisy_count(double eps) const {
+  [[nodiscard]] double noisy_count(double eps) const {
     detail::check_epsilon(eps);
     const auto n = static_cast<double>(node_->get().size());
     detail::charge_all(charges_, eps);
@@ -441,7 +441,7 @@ class Queryable {
   }
 
   /// Integer-valued noisy count using the geometric mechanism.
-  std::int64_t noisy_count_geometric(double eps) const {
+  [[nodiscard]] std::int64_t noisy_count_geometric(double eps) const {
     detail::check_epsilon(eps);
     const auto n = static_cast<std::int64_t>(node_->get().size());
     detail::charge_all(charges_, eps);
@@ -450,7 +450,7 @@ class Queryable {
 
   /// Noisy sum of `f(record)` with each term clamped to [-1, 1].
   template <typename F>
-  double noisy_sum(double eps, F f) const {
+  [[nodiscard]] double noisy_sum(double eps, F f) const {
     detail::check_epsilon(eps);
     double sum = 0.0;
     for (const auto& x : node_->get()) sum += clamp_unit(f(x));
@@ -462,7 +462,8 @@ class Queryable {
   /// magnitude]; noise scales proportionally.  Convenience wrapper for
   /// bounded non-unit ranges (packet sizes, hop counts, ...).
   template <typename F>
-  double noisy_sum_scaled(double eps, F f, double magnitude) const {
+  [[nodiscard]] double noisy_sum_scaled(double eps, F f,
+                                        double magnitude) const {
     if (!(magnitude > 0.0)) {
       throw InvalidQueryError("noisy_sum_scaled requires magnitude > 0");
     }
@@ -473,7 +474,7 @@ class Queryable {
   /// Noisy average of `f(record)` clamped to [-1, 1]; noise standard
   /// deviation is sqrt(8) / (eps * n) per Table 1.
   template <typename F>
-  double noisy_average(double eps, F f) const {
+  [[nodiscard]] double noisy_average(double eps, F f) const {
     detail::check_epsilon(eps);
     const auto& data = node_->get();
     const double n = std::max<double>(1.0, static_cast<double>(data.size()));
@@ -485,7 +486,8 @@ class Queryable {
 
   /// Noisy average over [-magnitude, magnitude] values.
   template <typename F>
-  double noisy_average_scaled(double eps, F f, double magnitude) const {
+  [[nodiscard]] double noisy_average_scaled(double eps, F f,
+                                            double magnitude) const {
     if (!(magnitude > 0.0)) {
       throw InvalidQueryError("noisy_average_scaled requires magnitude > 0");
     }
@@ -497,14 +499,14 @@ class Queryable {
   /// result splits the input into sets whose sizes differ by roughly
   /// sqrt(2)/eps (Table 1).
   template <typename F>
-  double noisy_median(double eps, F f) const {
+  [[nodiscard]] double noisy_median(double eps, F f) const {
     return noisy_quantile(eps, 0.5, std::move(f));
   }
 
   /// Noisy q-quantile of `f(record)` (q in [0, 1]) via the exponential
   /// mechanism with rank-distance utility.
   template <typename F>
-  double noisy_quantile(double eps, double q, F f) const {
+  [[nodiscard]] double noisy_quantile(double eps, double q, F f) const {
     detail::check_epsilon(eps);
     std::vector<double> values;
     values.reserve(node_->get().size());
@@ -521,10 +523,12 @@ class Queryable {
   // side only: ground-truth baselines, tests, and experiment evaluation.
   // Nothing in the analyst-facing pipeline may call them.
 
+  // dpnet-lint: trusted
   [[nodiscard]] std::size_t size_unsafe() const { return node_->get().size(); }
   [[nodiscard]] const std::vector<T>& data_unsafe() const {
     return node_->get();
   }
+  // dpnet-lint: end-trusted
 
   /// Combined stability across all charge entries (used by tests to verify
   /// Table 1 accounting).
@@ -548,7 +552,8 @@ class Queryable {
         noise_(std::move(noise)) {}
 
   template <typename U, typename ComputeF>
-  Queryable<U> derived(ComputeF compute, detail::ChargeList charges) const {
+  [[nodiscard]] Queryable<U> derived(ComputeF compute,
+                                     detail::ChargeList charges) const {
     return Queryable<U>(
         std::make_shared<detail::DataNode<U>>(
             std::function<std::vector<U>()>(std::move(compute))),
@@ -560,10 +565,11 @@ class Queryable {
   std::shared_ptr<NoiseSource> noise_;
 };
 
-/// Convenience factory mirroring `new PINQueryable<T>(trace, epsilon)`.
+/// Convenience factory mirroring PINQ's `new PINQueryable<T>(trace, eps)`.
 template <typename T>
-Queryable<T> make_queryable(std::vector<T> data, double total_epsilon,
-                            std::uint64_t seed = 1) {
+[[nodiscard]] Queryable<T> make_queryable(std::vector<T> data,
+                                          double total_epsilon,
+                                          std::uint64_t seed = 1) {
   return Queryable<T>(std::move(data),
                       std::make_shared<RootBudget>(total_epsilon),
                       std::make_shared<NoiseSource>(seed));

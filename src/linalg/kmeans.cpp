@@ -4,6 +4,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/noise.hpp"
+
 namespace dpnet::linalg {
 
 std::size_t nearest_center(std::span<const double> point,
@@ -68,12 +70,12 @@ KmeansResult kmeans(const Matrix& points, Matrix initial_centers,
 
 Matrix random_centers(std::size_t k, std::size_t dims, double lo, double hi,
                       std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
+  core::NoiseSource noise(seed);
   std::uniform_real_distribution<double> dist(lo, hi);
   Matrix centers(k, dims);
   for (std::size_t c = 0; c < k; ++c) {
     for (std::size_t d = 0; d < dims; ++d) {
-      centers(c, d) = dist(rng);
+      centers(c, d) = dist(noise.engine());
     }
   }
   return centers;

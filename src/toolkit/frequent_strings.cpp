@@ -23,6 +23,10 @@ std::vector<FrequentString> frequent_strings(
   if (options.length == 0) {
     throw std::invalid_argument("frequent_strings requires length >= 1");
   }
+  if (!(options.eps_per_level > 0.0)) {
+    throw std::invalid_argument(
+        "frequent-string options require an explicit eps_per_level > 0");
+  }
   const std::size_t len = options.length;
   auto fixed = data.where([len](const std::string& s) {
                      return s.size() >= len;

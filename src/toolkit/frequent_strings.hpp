@@ -23,7 +23,7 @@ struct FrequentString {
 
 struct FrequentStringOptions {
   std::size_t length = 8;        // bytes to spell out
-  double eps_per_level = 0.1;    // privacy cost per byte position
+  double eps_per_level = 0.0;    // privacy cost per byte (0 rejects)
   double threshold = 50.0;       // keep prefixes with noisy count above this
   std::size_t max_candidates = 4096;  // safety valve on the frontier
 };

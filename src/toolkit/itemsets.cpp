@@ -80,6 +80,10 @@ std::vector<FrequentItemset> frequent_itemsets(
   if (options.max_size < 1) {
     throw std::invalid_argument("itemset max_size must be >= 1");
   }
+  if (!(options.eps_per_level > 0.0)) {
+    throw std::invalid_argument(
+        "itemset options require an explicit eps_per_level > 0");
+  }
 
   std::vector<FrequentItemset> results;
   // Level-1 candidates: the item universe as singletons.

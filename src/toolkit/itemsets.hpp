@@ -21,7 +21,7 @@ struct FrequentItemset {
 
 struct ItemsetOptions {
   int max_size = 2;            // largest itemset to mine
-  double eps_per_level = 0.1;  // privacy cost per apriori level
+  double eps_per_level = 0.0;  // privacy cost per apriori level (0 rejects)
   double threshold = 20.0;     // keep candidates with noisy count above this
   std::size_t max_candidates = 2048;
 };

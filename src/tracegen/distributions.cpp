@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 #include <stdexcept>
 
 namespace dpnet::tracegen {
@@ -16,9 +17,9 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) {
   }
 }
 
-std::size_t ZipfSampler::operator()(std::mt19937_64& rng) const {
+std::size_t ZipfSampler::operator()(core::NoiseSource& noise) const {
   std::uniform_real_distribution<double> dist(0.0, cumulative_.back());
-  const double u = dist(rng);
+  const double u = dist(noise.engine());
   const auto it =
       std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   return static_cast<std::size_t>(it - cumulative_.begin());
@@ -46,38 +47,38 @@ WeightedSampler::WeightedSampler(std::vector<double> weights) {
   }
 }
 
-std::size_t WeightedSampler::operator()(std::mt19937_64& rng) const {
+std::size_t WeightedSampler::operator()(core::NoiseSource& noise) const {
   std::uniform_real_distribution<double> dist(0.0, cumulative_.back());
-  const double u = dist(rng);
+  const double u = dist(noise.engine());
   const auto it =
       std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
   return static_cast<std::size_t>(it - cumulative_.begin());
 }
 
-double lognormal(std::mt19937_64& rng, double median, double sigma) {
+double lognormal(core::NoiseSource& noise, double median, double sigma) {
   std::lognormal_distribution<double> dist(std::log(median), sigma);
-  return dist(rng);
+  return dist(noise.engine());
 }
 
-double exponential(std::mt19937_64& rng, double mean) {
+double exponential(core::NoiseSource& noise, double mean) {
   std::exponential_distribution<double> dist(1.0 / mean);
-  return dist(rng);
+  return dist(noise.engine());
 }
 
-std::int64_t uniform_int(std::mt19937_64& rng, std::int64_t lo,
+std::int64_t uniform_int(core::NoiseSource& noise, std::int64_t lo,
                          std::int64_t hi) {
   std::uniform_int_distribution<std::int64_t> dist(lo, hi);
-  return dist(rng);
+  return dist(noise.engine());
 }
 
-double uniform_real(std::mt19937_64& rng, double lo, double hi) {
+double uniform_real(core::NoiseSource& noise, double lo, double hi) {
   std::uniform_real_distribution<double> dist(lo, hi);
-  return dist(rng);
+  return dist(noise.engine());
 }
 
-bool coin(std::mt19937_64& rng, double p_true) {
+bool coin(core::NoiseSource& noise, double p_true) {
   std::bernoulli_distribution dist(p_true);
-  return dist(rng);
+  return dist(noise.engine());
 }
 
 }  // namespace dpnet::tracegen

@@ -1,9 +1,16 @@
 // Sampling helpers shared by the trace generators.
+//
+// All draws go through core::NoiseSource (the engine-wide randomness
+// funnel) so generated traces are reproducible from a single seed and the
+// lint pass can verify no other randomness source exists.  The helpers use
+// the raw engine (NoiseSource::engine()) — generators are single-threaded,
+// so they own the locking per that accessor's contract.
 #pragma once
 
 #include <cstdint>
-#include <random>
 #include <vector>
+
+#include "core/noise.hpp"
 
 namespace dpnet::tracegen {
 
@@ -14,7 +21,7 @@ class ZipfSampler {
  public:
   ZipfSampler(std::size_t n, double s);
 
-  std::size_t operator()(std::mt19937_64& rng) const;
+  std::size_t operator()(core::NoiseSource& noise) const;
 
   /// Probability mass of rank k.
   [[nodiscard]] double pmf(std::size_t k) const;
@@ -28,26 +35,26 @@ class WeightedSampler {
  public:
   explicit WeightedSampler(std::vector<double> weights);
 
-  std::size_t operator()(std::mt19937_64& rng) const;
+  std::size_t operator()(core::NoiseSource& noise) const;
 
  private:
   std::vector<double> cumulative_;
 };
 
 /// Log-normal with given median and sigma of the underlying normal.
-double lognormal(std::mt19937_64& rng, double median, double sigma);
+double lognormal(core::NoiseSource& noise, double median, double sigma);
 
 /// Exponential with the given mean.
-double exponential(std::mt19937_64& rng, double mean);
+double exponential(core::NoiseSource& noise, double mean);
 
 /// Uniform integer in [lo, hi] inclusive.
-std::int64_t uniform_int(std::mt19937_64& rng, std::int64_t lo,
+std::int64_t uniform_int(core::NoiseSource& noise, std::int64_t lo,
                          std::int64_t hi);
 
 /// Uniform real in [lo, hi).
-double uniform_real(std::mt19937_64& rng, double lo, double hi);
+double uniform_real(core::NoiseSource& noise, double lo, double hi);
 
 /// Bernoulli draw.
-bool coin(std::mt19937_64& rng, double p_true);
+bool coin(core::NoiseSource& noise, double p_true);
 
 }  // namespace dpnet::tracegen

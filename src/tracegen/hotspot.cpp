@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <random>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -115,7 +116,7 @@ struct HotspotGenerator::Session {
 };
 
 HotspotGenerator::HotspotGenerator(HotspotConfig config)
-    : config_(config), rng_(config.seed) {
+    : config_(config), noise_(config.seed) {
   if (config_.num_hosts < 20 || config_.num_servers < 4) {
     throw std::invalid_argument("hotspot config too small");
   }
@@ -154,10 +155,10 @@ void HotspotGenerator::assign_profiles() {
   }
 }
 
-std::string HotspotGenerator::random_payload(std::mt19937_64& rng) {
+std::string HotspotGenerator::random_payload(core::NoiseSource& noise) {
   std::string s(static_cast<std::size_t>(config_.payload_len), '\0');
   for (auto& ch : s) {
-    ch = static_cast<char>(uniform_int(rng, 0, 255));
+    ch = static_cast<char>(uniform_int(noise, 0, 255));
   }
   return s;
 }
@@ -166,7 +167,7 @@ void HotspotGenerator::make_vocabulary() {
   std::unordered_set<std::string> seen;
   vocab_.clear();
   while (static_cast<int>(vocab_.size()) < config_.vocab_size) {
-    std::string s = random_payload(rng_);
+    std::string s = random_payload(noise_);
     if (seen.insert(s).second) vocab_.push_back(std::move(s));
   }
 }
@@ -185,21 +186,21 @@ void HotspotGenerator::emit_web_sessions(std::vector<Packet>& out) {
   for (int h = 0; h < config_.num_hosts; ++h) {
     bool first_port80 = true;
     for (std::uint16_t port : host_profiles_[static_cast<std::size_t>(h)]) {
-      const int sessions = 1 + extra_sessions(rng_);
+      const int sessions = 1 + extra_sessions(noise_.engine());
       for (int i = 0; i < sessions; ++i) {
         Session s;
         s.client = client_ip(h);
         const int server =
-            static_cast<int>(uniform_int(rng_, 0, config_.num_servers - 1));
+            static_cast<int>(uniform_int(noise_, 0, config_.num_servers - 1));
         s.server = server_ip(server);
-        s.src_port = static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999));
+        s.src_port = static_cast<std::uint16_t>(uniform_int(noise_, 2048, 64999));
         s.dst_port = port;
-        s.start = uniform_real(rng_, 0.0, config_.duration_s * 0.97);
-        s.rtt = std::clamp(lognormal(rng_, 0.050, 0.6), 0.002, 0.5);
-        s.requests = 1 + extra_requests(rng_);
-        s.responses = 2 + extra_responses(rng_);
-        s.loss_rate = coin(rng_, config_.lossy_session_prob)
-                          ? uniform_real(rng_, config_.loss_min,
+        s.start = uniform_real(noise_, 0.0, config_.duration_s * 0.97);
+        s.rtt = std::clamp(lognormal(noise_, 0.050, 0.6), 0.002, 0.5);
+        s.requests = 1 + extra_requests(noise_.engine());
+        s.responses = 2 + extra_responses(noise_.engine());
+        s.loss_rate = coin(noise_, config_.lossy_session_prob)
+                          ? uniform_real(noise_, config_.loss_min,
                                          config_.loss_max)
                           : 0.0;
         s.use_vocab = server < cs;
@@ -216,8 +217,8 @@ void HotspotGenerator::emit_web_sessions(std::vector<Packet>& out) {
 
 void HotspotGenerator::emit_session(std::vector<Packet>& out,
                                     const Session& s) {
-  const auto isn_c = static_cast<std::uint32_t>(rng_());
-  const auto isn_s = static_cast<std::uint32_t>(rng_());
+  const auto isn_c = static_cast<std::uint32_t>(noise_.engine()());
+  const auto isn_s = static_cast<std::uint32_t>(noise_.engine()());
 
   // Handshake: the 40-byte mode of Fig 2a and the RTT sample of Fig 3a.
   out.push_back(make_packet(s.start, s.client, s.server, s.src_port,
@@ -229,10 +230,10 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
                             isn_s + 1, 40));
 
   auto maybe_retransmit = [&](const Packet& p) {
-    if (!coin(rng_, s.loss_rate)) return;
+    if (!coin(noise_, s.loss_rate)) return;
     Packet dup = p;
     const double rto =
-        std::clamp(1.5 * s.rtt + exponential(rng_, 0.030), 0.010, 0.245);
+        std::clamp(1.5 * s.rtt + exponential(noise_, 0.030), 0.010, 0.245);
     dup.timestamp += rto;
     out.push_back(std::move(dup));
   };
@@ -246,9 +247,9 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
   while (emitted_requests < s.requests ||
          client_bytes <= s.min_client_bytes) {
     const auto len =
-        static_cast<std::uint16_t>(uniform_int(rng_, 200, 700));
+        static_cast<std::uint16_t>(uniform_int(noise_, 200, 700));
     std::string payload;
-    if (s.use_vocab && coin(rng_, 0.8)) {
+    if (s.use_vocab && coin(noise_, 0.8)) {
       // Strings are pinned to a window of content servers so each
       // string's destination dispersion stays below the worm threshold.
       const int window = std::max(1, config_.vocab_size / 4);
@@ -256,15 +257,15 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
       // vocab[0] is served everywhere and drawn with high probability so a
       // single globally dominant string emerges (Table 4's shape); the
       // rest of the window gives each content server its local mix.
-      if (coin(rng_, 0.45)) {
+      if (coin(noise_, 0.45)) {
         payload = vocab_[0];
       } else {
-        const int rank = static_cast<int>(uniform_int(rng_, 0, window - 1));
+        const int rank = static_cast<int>(uniform_int(noise_, 0, window - 1));
         payload = vocab_[static_cast<std::size_t>((base + rank) %
                                                   config_.vocab_size)];
       }
     } else {
-      payload = random_payload(rng_);
+      payload = random_payload(noise_);
     }
     Packet p = make_packet(t, s.client, s.server, s.src_port, s.dst_port,
                            kPshAck, seq_c, isn_s + 1, len,
@@ -273,7 +274,7 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
     maybe_retransmit(p);
     client_bytes += len;
     seq_c += len - 40u;
-    t += uniform_real(rng_, 0.005, 0.050);
+    t += uniform_real(noise_, 0.005, 0.050);
     ++emitted_requests;
     if (emitted_requests > 200) break;  // safety against bad configs
   }
@@ -284,9 +285,9 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
   std::uint32_t seq_s = isn_s + 1;
   for (int j = 0; j < s.responses; ++j) {
     const std::uint16_t len =
-        coin(rng_, 0.85)
+        coin(noise_, 0.85)
             ? 1492
-            : static_cast<std::uint16_t>(uniform_int(rng_, 300, 1400));
+            : static_cast<std::uint16_t>(uniform_int(noise_, 300, 1400));
     Packet p = make_packet(tr, s.server, s.client, s.dst_port, s.src_port,
                            kPshAck, seq_s, seq_c, len);
     out.push_back(p);
@@ -297,7 +298,7 @@ void HotspotGenerator::emit_session(std::vector<Packet>& out,
                                 s.src_port, s.dst_port, kAck, seq_c, seq_s,
                                 40));
     }
-    tr += uniform_real(rng_, 0.002, 0.020);
+    tr += uniform_real(noise_, 0.002, 0.020);
   }
 }
 
@@ -310,7 +311,7 @@ void HotspotGenerator::emit_worms(std::vector<Packet>& out) {
   for (int w = 0; w < config_.num_worms; ++w) {
     std::string payload;
     do {
-      payload = random_payload(rng_);
+      payload = random_payload(noise_);
     } while (!taken.insert(payload).second);
 
     double frac = config_.num_worms == 1
@@ -319,9 +320,9 @@ void HotspotGenerator::emit_worms(std::vector<Packet>& out) {
     frac = std::pow(frac, config_.worm_count_skew);
     const auto count = static_cast<int>(
         std::round(std::exp(log_max + frac * (log_min - log_max))));
-    int srcs = static_cast<int>(uniform_int(rng_, config_.worm_dispersion_min,
+    int srcs = static_cast<int>(uniform_int(noise_, config_.worm_dispersion_min,
                                             config_.worm_dispersion_max));
-    int dsts = static_cast<int>(uniform_int(rng_, config_.worm_dispersion_min,
+    int dsts = static_cast<int>(uniform_int(noise_, config_.worm_dispersion_min,
                                             config_.worm_dispersion_max));
     srcs = std::min(srcs, count);
     dsts = std::min(dsts, count);
@@ -338,9 +339,9 @@ void HotspotGenerator::emit_worms(std::vector<Packet>& out) {
       src_set.insert(src);
       dst_set.insert(dst);
       out.push_back(make_packet(
-          uniform_real(rng_, 0.0, config_.duration_s), src, dst,
-          static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999)), 445,
-          kPshAck, static_cast<std::uint32_t>(rng_()), 0, 404,
+          uniform_real(noise_, 0.0, config_.duration_s), src, dst,
+          static_cast<std::uint16_t>(uniform_int(noise_, 2048, 64999)), 445,
+          kPshAck, static_cast<std::uint32_t>(noise_.engine()()), 0, 404,
           std::string(payload)));
     }
     worms_.push_back(WormTruth{payload, static_cast<std::size_t>(count),
@@ -356,12 +357,12 @@ void HotspotGenerator::emit_background_payload_groups(
   const int hi = std::max(6, config_.worm_dispersion_min - 6);
   const std::vector<std::uint16_t> ports = {139, 8080, 6881};
   for (int g = 0; g < config_.background_dispersed_payloads; ++g) {
-    const std::string payload = random_payload(rng_);
-    const int count = static_cast<int>(uniform_int(rng_, 20, 200));
+    const std::string payload = random_payload(noise_);
+    const int count = static_cast<int>(uniform_int(noise_, 20, 200));
     const int srcs = static_cast<int>(
-        uniform_int(rng_, 6, std::max(7, std::min(hi, count))));
+        uniform_int(noise_, 6, std::max(7, std::min(hi, count))));
     const int dsts = static_cast<int>(
-        uniform_int(rng_, 6, std::max(7, std::min(hi, count))));
+        uniform_int(noise_, 6, std::max(7, std::min(hi, count))));
     for (int k = 0; k < count; ++k) {
       const int si = k % srcs;
       const int di = (k + 1 + k / dsts) % dsts;
@@ -370,10 +371,10 @@ void HotspotGenerator::emit_background_payload_groups(
       const Ipv4 dst(100, 96, static_cast<std::uint8_t>(g % 256),
                      static_cast<std::uint8_t>(di + 1));
       out.push_back(make_packet(
-          uniform_real(rng_, 0.0, config_.duration_s), src, dst,
-          static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999)),
+          uniform_real(noise_, 0.0, config_.duration_s), src, dst,
+          static_cast<std::uint16_t>(uniform_int(noise_, 2048, 64999)),
           ports[static_cast<std::size_t>(g) % ports.size()], kPshAck,
-          static_cast<std::uint32_t>(rng_()), 0, 280, std::string(payload)));
+          static_cast<std::uint32_t>(noise_.engine()()), 0, 280, std::string(payload)));
     }
   }
 }
@@ -381,17 +382,17 @@ void HotspotGenerator::emit_background_payload_groups(
 void HotspotGenerator::emit_interactive_flow(
     std::vector<Packet>& out, const FlowKey& flow,
     const std::vector<double>& activation_times) {
-  const auto isn = static_cast<std::uint32_t>(rng_());
+  const auto isn = static_cast<std::uint32_t>(noise_.engine()());
   std::uint32_t seq = isn;
   for (double at : activation_times) {
-    int burst = 1 + (coin(rng_, 0.5) ? static_cast<int>(uniform_int(rng_, 1, 2))
+    int burst = 1 + (coin(noise_, 0.5) ? static_cast<int>(uniform_int(noise_, 1, 2))
                                      : 0);
     double t = at;
     for (int b = 0; b < burst; ++b) {
       out.push_back(make_packet(t, flow.src_ip, flow.dst_ip, flow.src_port,
                                 flow.dst_port, kPshAck, seq, 0, 92));
       seq += 52;
-      t += uniform_real(rng_, 0.030, 0.080);
+      t += uniform_real(noise_, 0.030, 0.080);
     }
   }
 }
@@ -403,7 +404,7 @@ void HotspotGenerator::emit_stepping_stones(std::vector<Packet>& out) {
     std::vector<double> times;
     times.reserve(static_cast<std::size_t>(target));
     for (int k = 0; k < target; ++k) {
-      const double jitter = uniform_real(rng_, -0.2, 0.2) * spacing;
+      const double jitter = uniform_real(noise_, -0.2, 0.2) * spacing;
       times.push_back(5.0 + k * spacing + jitter);
     }
     return times;
@@ -411,7 +412,7 @@ void HotspotGenerator::emit_stepping_stones(std::vector<Packet>& out) {
 
   for (int i = 0; i < config_.stone_pairs; ++i) {
     const int target = static_cast<int>(
-        uniform_int(rng_, config_.activations_min, config_.activations_max));
+        uniform_int(noise_, config_.activations_min, config_.activations_max));
     const std::vector<double> base = make_schedule(target);
 
     FlowKey f1{Ipv4(172, 16, 1, static_cast<std::uint8_t>(i + 1)),
@@ -424,10 +425,10 @@ void HotspotGenerator::emit_stepping_stones(std::vector<Packet>& out) {
     std::vector<double> follow;
     follow.reserve(base.size());
     for (double t : base) {
-      if (coin(rng_, 0.2)) {
+      if (coin(noise_, 0.2)) {
         follow.push_back(t + 0.25);  // occasionally uncorrelated
       } else {
-        follow.push_back(t + uniform_real(rng_, 0.004, 0.036));
+        follow.push_back(t + uniform_real(noise_, 0.004, 0.036));
       }
     }
     emit_interactive_flow(out, f1, base);
@@ -437,7 +438,7 @@ void HotspotGenerator::emit_stepping_stones(std::vector<Packet>& out) {
 
   for (int j = 0; j < config_.noise_interactive_flows; ++j) {
     const int target = static_cast<int>(
-        uniform_int(rng_, config_.activations_min, config_.activations_max));
+        uniform_int(noise_, config_.activations_min, config_.activations_max));
     FlowKey f{Ipv4(172, 17, static_cast<std::uint8_t>(1 + j / 200),
                    static_cast<std::uint8_t>(j % 200 + 1)),
               Ipv4(172, 18, static_cast<std::uint8_t>(1 + j / 200),
@@ -453,21 +454,21 @@ void HotspotGenerator::emit_udp(std::vector<Packet>& out) {
   const Ipv4 resolver(198, 18, 0, 1);
   for (std::size_t k = 0; k < n; ++k) {
     const int h =
-        static_cast<int>(uniform_int(rng_, 0, config_.num_hosts - 1));
+        static_cast<int>(uniform_int(noise_, 0, config_.num_hosts - 1));
     Packet q;
-    q.timestamp = uniform_real(rng_, 0.0, config_.duration_s);
+    q.timestamp = uniform_real(noise_, 0.0, config_.duration_s);
     q.src_ip = client_ip(h);
     q.dst_ip = resolver;
-    q.src_port = static_cast<std::uint16_t>(uniform_int(rng_, 2048, 64999));
+    q.src_port = static_cast<std::uint16_t>(uniform_int(noise_, 2048, 64999));
     q.dst_port = 53;
     q.protocol = net::kProtoUdp;
-    q.length = static_cast<std::uint16_t>(uniform_int(rng_, 60, 120));
+    q.length = static_cast<std::uint16_t>(uniform_int(noise_, 60, 120));
     out.push_back(q);
     Packet r = q;
     r.timestamp += 0.02;
     std::swap(r.src_ip, r.dst_ip);
     std::swap(r.src_port, r.dst_port);
-    r.length = static_cast<std::uint16_t>(uniform_int(rng_, 80, 500));
+    r.length = static_cast<std::uint16_t>(uniform_int(noise_, 80, 500));
     out.push_back(r);
   }
 }

@@ -20,11 +20,11 @@
 #pragma once
 
 #include <cstdint>
-#include <random>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/noise.hpp"
 #include "net/packet.hpp"
 
 namespace dpnet::tracegen {
@@ -124,7 +124,7 @@ class HotspotGenerator {
 
   void assign_profiles();
   void make_vocabulary();
-  std::string random_payload(std::mt19937_64& rng);
+  std::string random_payload(core::NoiseSource& noise);
   void emit_web_sessions(std::vector<net::Packet>& out);
   void emit_session(std::vector<net::Packet>& out, const Session& s);
   void emit_worms(std::vector<net::Packet>& out);
@@ -136,7 +136,7 @@ class HotspotGenerator {
   void emit_udp(std::vector<net::Packet>& out);
 
   HotspotConfig config_;
-  std::mt19937_64 rng_;
+  core::NoiseSource noise_;
   std::vector<std::vector<std::uint16_t>> host_profiles_;  // per host
   std::vector<std::string> vocab_;
   std::vector<WormTruth> worms_;

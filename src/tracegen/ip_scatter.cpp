@@ -25,7 +25,7 @@ IpScatterGenerator::IpScatterGenerator(ScatterConfig config)
 }
 
 std::vector<net::ScatterRecord> IpScatterGenerator::generate() {
-  std::mt19937_64 rng(config_.seed);
+  core::NoiseSource noise(config_.seed);
 
   centers_.assign(static_cast<std::size_t>(config_.clusters),
                   std::vector<double>(
@@ -33,7 +33,7 @@ std::vector<net::ScatterRecord> IpScatterGenerator::generate() {
   for (auto& center : centers_) {
     for (auto& hop : center) {
       hop = static_cast<double>(
-          uniform_int(rng, config_.hop_min, config_.hop_max));
+          uniform_int(noise, config_.hop_min, config_.hop_max));
     }
   }
 
@@ -42,17 +42,17 @@ std::vector<net::ScatterRecord> IpScatterGenerator::generate() {
   records.reserve(static_cast<std::size_t>(
       config_.ips * config_.monitors * (1.0 - config_.missing_prob)));
   for (int i = 0; i < config_.ips; ++i) {
-    const int c = static_cast<int>(uniform_int(rng, 0, config_.clusters - 1));
+    const int c = static_cast<int>(uniform_int(noise, 0, config_.clusters - 1));
     assignment_[static_cast<std::size_t>(i)] = c;
     // Synthetic address space: 23.0.0.0/8 laid out by index.
     const auto ip = static_cast<std::uint32_t>((23u << 24) +
                                                static_cast<std::uint32_t>(i));
     for (int m = 0; m < config_.monitors; ++m) {
-      if (coin(rng, config_.missing_prob)) continue;
+      if (coin(noise, config_.missing_prob)) continue;
       double hops =
           centers_[static_cast<std::size_t>(c)][static_cast<std::size_t>(m)];
-      if (coin(rng, config_.jitter_prob)) {
-        hops += coin(rng, 0.5) ? 1.0 : -1.0;
+      if (coin(noise, config_.jitter_prob)) {
+        hops += coin(noise, 0.5) ? 1.0 : -1.0;
       }
       records.push_back(net::ScatterRecord{
           m, ip, static_cast<std::int32_t>(hops)});

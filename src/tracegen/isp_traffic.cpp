@@ -31,7 +31,7 @@ IspTrafficGenerator::IspTrafficGenerator(IspConfig config)
 }
 
 void IspTrafficGenerator::compute_counts() {
-  std::mt19937_64 rng(config_.seed);
+  core::NoiseSource noise(config_.seed);
   const int windows_per_day = 96;  // 15-minute windows
 
   // Per-link base loads are heavy-tailed (backbone links vary widely).
@@ -45,9 +45,9 @@ void IspTrafficGenerator::compute_counts() {
   std::vector<double> phase2(static_cast<std::size_t>(config_.links));
   for (int l = 0; l < config_.links; ++l) {
     base[static_cast<std::size_t>(l)] =
-        lognormal(rng, config_.mean_packets_per_cell, 0.5);
-    phase1[static_cast<std::size_t>(l)] = uniform_real(rng, 0.0, 1.0);
-    phase2[static_cast<std::size_t>(l)] = uniform_real(rng, 0.0, 1.0);
+        lognormal(noise, config_.mean_packets_per_cell, 0.5);
+    phase1[static_cast<std::size_t>(l)] = uniform_real(noise, 0.0, 1.0);
+    phase2[static_cast<std::size_t>(l)] = uniform_real(noise, 0.0, 1.0);
   }
 
   counts_.assign(static_cast<std::size_t>(config_.links),
@@ -63,7 +63,7 @@ void IspTrafficGenerator::compute_counts() {
           0.25 * std::sin(2.0 * std::numbers::pi * (day_pos + phase1[i])) +
           0.12 * std::sin(4.0 * std::numbers::pi * (day_pos + phase2[i]));
       double volume = base[i] * diurnal *
-                      (1.0 + uniform_real(rng, -config_.noise_level,
+                      (1.0 + uniform_real(noise, -config_.noise_level,
                                           config_.noise_level));
       counts_[i][static_cast<std::size_t>(w)] = std::max(0.0, volume);
     }

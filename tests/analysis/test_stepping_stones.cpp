@@ -198,6 +198,7 @@ TEST_F(SteppingStonePipeline, EmptyCandidateListYieldsNothing) {
   Env env;
   SteppingStoneOptions opt;
   opt.eps_itemset = 1e5;
+  opt.eps_eval = 1e5;
   EXPECT_TRUE(dp_stepping_stones(env.wrap(trace_), {}, opt).empty());
 }
 
@@ -205,6 +206,7 @@ TEST_F(SteppingStonePipeline, HighThresholdSuppressesAllPairs) {
   Env env;
   SteppingStoneOptions opt;
   opt.eps_itemset = 1e5;
+  opt.eps_eval = 1e5;
   opt.itemset_threshold = 1e7;
   EXPECT_TRUE(dp_stepping_stones(env.wrap(trace_), candidates_, opt).empty());
 }

@@ -1,0 +1,67 @@
+// Runtime guard for lint rule R3: [[nodiscard]] on aggregations is a
+// compile-time courtesy, but the accounting contract is stronger — an
+// aggregation charges the budget the moment it runs, whether or not the
+// analyst looks at the result.  Discard-then-retry must never be a way to
+// probe for free (docs/privacy_accounting.md).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/budget.hpp"
+#include "core/noise.hpp"
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+struct Env {
+  std::shared_ptr<RootBudget> budget = std::make_shared<RootBudget>(10.0);
+  std::shared_ptr<NoiseSource> noise = std::make_shared<NoiseSource>(7);
+
+  [[nodiscard]] Queryable<int> wrap(std::vector<int> data) const {
+    return Queryable<int>(std::move(data), budget, noise);
+  }
+};
+
+TEST(BudgetNodiscard, DiscardedCountStillCharges) {
+  Env env;
+  const auto q = env.wrap({1, 2, 3, 4});
+  std::ignore = q.noisy_count(0.25);
+  EXPECT_NEAR(env.budget->spent(), 0.25, 1e-12);
+}
+
+TEST(BudgetNodiscard, EveryAggregationChargesWhenDiscarded) {
+  Env env;
+  const auto q = env.wrap({1, 2, 3, 4, 5});
+  const auto to_unit = [](int x) { return static_cast<double>(x) / 10.0; };
+  std::ignore = q.noisy_count(0.5);
+  std::ignore = q.noisy_count_geometric(0.5);
+  std::ignore = q.noisy_sum(0.5, to_unit);
+  std::ignore = q.noisy_average(0.5, to_unit);
+  std::ignore = q.noisy_median(0.5, to_unit);
+  std::ignore = q.noisy_quantile(0.5, 0.25, to_unit);
+  EXPECT_NEAR(env.budget->spent(), 3.0, 1e-12);
+}
+
+TEST(BudgetNodiscard, DiscardedAggregationOnDerivedViewChargesStability) {
+  Env env;
+  const auto q = env.wrap({1, 2, 3, 4, 5, 6});
+  // GroupBy doubles stability, so a discarded count at eps still costs
+  // 2 * eps against the source budget (paper Table 1).
+  const auto grouped = q.group_by([](int x) { return x % 2; });
+  std::ignore = grouped.noisy_count(0.5);
+  EXPECT_NEAR(env.budget->spent(), 1.0, 1e-12);
+}
+
+TEST(BudgetNodiscard, DiscardingCannotOverdrawEither) {
+  Env env;
+  const auto q = env.wrap({1, 2, 3});
+  std::ignore = q.noisy_count(9.5);
+  EXPECT_THROW(std::ignore = q.noisy_count(1.0), BudgetExhaustedError);
+  EXPECT_NEAR(env.budget->spent(), 9.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/queryable.hpp"
+#include <tuple>
 
 namespace dpnet::core {
 namespace {
@@ -68,7 +69,7 @@ TEST(AuditingBudget, WorksAsAQueryableBudget) {
                    std::make_shared<NoiseSource>(1));
   {
     ScopedAuditLabel scope(*audit, "count-evens");
-    q.where([](int x) { return x % 2 == 0; }).noisy_count(0.25);
+    std::ignore = q.where([](int x) { return x % 2 == 0; }).noisy_count(0.25);
   }
   ASSERT_EQ(audit->entries().size(), 1u);
   EXPECT_EQ(audit->entries()[0].label, "count-evens");
@@ -80,7 +81,7 @@ TEST(AuditingBudget, GroupByChargeShowsAmplifiedCost) {
       std::make_shared<RootBudget>(1.0));
   Queryable<int> q(std::vector<int>{1, 2, 3, 4}, audit,
                    std::make_shared<NoiseSource>(2));
-  q.group_by([](int x) { return x % 2; }).noisy_count(0.1);
+  std::ignore = q.group_by([](int x) { return x % 2; }).noisy_count(0.1);
   ASSERT_EQ(audit->entries().size(), 1u);
   EXPECT_DOUBLE_EQ(audit->entries()[0].eps, 0.2);  // stability 2 x 0.1
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/queryable.hpp"
+#include <tuple>
 
 namespace dpnet::core {
 namespace {
@@ -87,7 +88,7 @@ TEST(Concurrency, PartitionMaxAccountingHoldsUnderContention) {
   for (int part = 0; part < 3; ++part) {
     threads.emplace_back([&parts, part] {
       for (int i = 0; i < 50; ++i) {
-        parts.at(part).noisy_count(0.1);
+        std::ignore = parts.at(part).noisy_count(0.1);
       }
     });
   }

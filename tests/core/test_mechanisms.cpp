@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/errors.hpp"
+#include <tuple>
 
 namespace dpnet::core {
 namespace {
@@ -19,9 +20,9 @@ TEST(LaplaceMechanism, ZeroSensitivityReturnsExactValue) {
 
 TEST(LaplaceMechanism, RejectsInvalidParameters) {
   NoiseSource noise(1);
-  EXPECT_THROW(laplace_mechanism(1.0, 1.0, 0.0, noise), InvalidEpsilonError);
-  EXPECT_THROW(laplace_mechanism(1.0, 1.0, -1.0, noise), InvalidEpsilonError);
-  EXPECT_THROW(laplace_mechanism(1.0, -1.0, 0.5, noise),
+  EXPECT_THROW(std::ignore = laplace_mechanism(1.0, 1.0, 0.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(std::ignore = laplace_mechanism(1.0, 1.0, -1.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(std::ignore = laplace_mechanism(1.0, -1.0, 0.5, noise),
                std::invalid_argument);
 }
 
@@ -58,8 +59,8 @@ TEST(GeometricMechanism, ProducesIntegersAroundTruth) {
 
 TEST(GeometricMechanism, RejectsInvalidParameters) {
   NoiseSource noise(1);
-  EXPECT_THROW(geometric_mechanism(1, 1.0, 0.0, noise), InvalidEpsilonError);
-  EXPECT_THROW(geometric_mechanism(1, 0.0, 1.0, noise),
+  EXPECT_THROW(std::ignore = geometric_mechanism(1, 1.0, 0.0, noise), InvalidEpsilonError);
+  EXPECT_THROW(std::ignore = geometric_mechanism(1, 0.0, 1.0, noise),
                std::invalid_argument);
 }
 
@@ -90,11 +91,11 @@ TEST(ExponentialMechanism, SamplesProportionallyToExpScores) {
 TEST(ExponentialMechanism, RejectsDegenerateInputs) {
   NoiseSource noise(1);
   const std::array<double, 2> scores = {0.0, 1.0};
-  EXPECT_THROW(exponential_mechanism({}, 1.0, 1.0, noise),
+  EXPECT_THROW(std::ignore = exponential_mechanism({}, 1.0, 1.0, noise),
                std::invalid_argument);
-  EXPECT_THROW(exponential_mechanism(scores, 0.0, 1.0, noise),
+  EXPECT_THROW(std::ignore = exponential_mechanism(scores, 0.0, 1.0, noise),
                InvalidEpsilonError);
-  EXPECT_THROW(exponential_mechanism(scores, 1.0, 0.0, noise),
+  EXPECT_THROW(std::ignore = exponential_mechanism(scores, 1.0, 0.0, noise),
                std::invalid_argument);
 }
 
@@ -143,9 +144,9 @@ TEST(ExponentialQuantile, HitsTheTargetRankAtHighEps) {
 TEST(ExponentialQuantile, RejectsOutOfRangeQ) {
   NoiseSource noise(30);
   std::vector<double> values = {1.0, 2.0};
-  EXPECT_THROW(exponential_quantile(values, -0.1, 1.0, noise),
+  EXPECT_THROW(std::ignore = exponential_quantile(values, -0.1, 1.0, noise),
                std::invalid_argument);
-  EXPECT_THROW(exponential_quantile(values, 1.1, 1.0, noise),
+  EXPECT_THROW(std::ignore = exponential_quantile(values, 1.1, 1.0, noise),
                std::invalid_argument);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/queryable.hpp"
+#include <tuple>
 
 namespace dpnet::core {
 namespace {
@@ -67,12 +68,12 @@ TEST(Partition, SourcePaysOnlyTheMaximumOverParts) {
   std::iota(data.begin(), data.end(), 0);
   auto parts = env.wrap(std::move(data)).partition(
       std::vector<int>{0, 1, 2}, [](int x) { return x % 3; });
-  parts.at(0).noisy_count(0.2);
-  parts.at(1).noisy_count(0.5);
-  parts.at(2).noisy_count(0.3);
+  std::ignore = parts.at(0).noisy_count(0.2);
+  std::ignore = parts.at(1).noisy_count(0.5);
+  std::ignore = parts.at(2).noisy_count(0.3);
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.5);
   // A second query on part 0 raises it to 0.6, above the old maximum.
-  parts.at(0).noisy_count(0.4);
+  std::ignore = parts.at(0).noisy_count(0.4);
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.6);
 }
 
@@ -98,10 +99,10 @@ TEST(Partition, NestedPartitionsChargeMaxOfMax) {
   auto inner1 = outer.at(1).partition(std::vector<int>{0, 1},
                                       [](int x) { return (x / 2) % 2; });
   // Every leaf counted at the same epsilon: the root pays just epsilon.
-  inner0.at(0).noisy_count(0.25);
-  inner0.at(1).noisy_count(0.25);
-  inner1.at(0).noisy_count(0.25);
-  inner1.at(1).noisy_count(0.25);
+  std::ignore = inner0.at(0).noisy_count(0.25);
+  std::ignore = inner0.at(1).noisy_count(0.25);
+  std::ignore = inner1.at(0).noisy_count(0.25);
+  std::ignore = inner1.at(1).noisy_count(0.25);
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.25);
 }
 
@@ -115,7 +116,7 @@ TEST(Partition, PartsInheritStability) {
       std::vector<int>{0, 1},
       [](const Group<int, int>& g) { return g.key % 2; });
   EXPECT_DOUBLE_EQ(parts.at(0).total_stability(), 2.0);
-  parts.at(0).noisy_count(0.1);
+  std::ignore = parts.at(0).noisy_count(0.1);
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);  // stability 2 x eps 0.1
 }
 
@@ -126,9 +127,9 @@ TEST(Partition, TransformationsInsidePartsStayAccounted) {
   auto parts = env.wrap(std::move(data)).partition(
       std::vector<int>{0, 1}, [](int x) { return x % 2; });
   auto grouped = parts.at(0).group_by([](int x) { return x % 5; });
-  grouped.noisy_count(0.1);  // stability 2 -> part pays 0.2
+  std::ignore = grouped.noisy_count(0.1);  // stability 2 -> part pays 0.2
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);
-  parts.at(1).noisy_count(0.15);  // below the 0.2 maximum
+  std::ignore = parts.at(1).noisy_count(0.15);  // below the 0.2 maximum
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.2);
 }
 
@@ -142,7 +143,7 @@ TEST(Partition, JoinAcrossSiblingPartsChargesBoth) {
       parts.at(1), [](int x) { return x / 2; }, [](int y) { return y / 2; },
       [](int x, int) { return x; });
   EXPECT_EQ(joined.budget_count(), 2u);
-  joined.noisy_count(0.3);
+  std::ignore = joined.noisy_count(0.3);
   // Each sibling paid 0.3, and the parent pays the maximum: 0.3.
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.3);
 }
@@ -153,10 +154,10 @@ TEST(Partition, ExhaustionInsideAPartSurfacesAsBudgetError) {
   Queryable<int> q(std::vector<int>{1, 2, 3, 4}, budget, noise);
   auto parts =
       q.partition(std::vector<int>{0, 1}, [](int x) { return x % 2; });
-  parts.at(0).noisy_count(0.4);
-  EXPECT_THROW(parts.at(1).noisy_count(0.6), BudgetExhaustedError);
+  std::ignore = parts.at(0).noisy_count(0.4);
+  EXPECT_THROW(std::ignore = parts.at(1).noisy_count(0.6), BudgetExhaustedError);
   // 0.4 of the parent is already pledged to the maximum; 0.1 headroom.
-  EXPECT_NO_THROW(parts.at(1).noisy_count(0.5));
+  EXPECT_NO_THROW(std::ignore = parts.at(1).noisy_count(0.5));
   EXPECT_DOUBLE_EQ(budget->spent(), 0.5);
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <string>
 #include <vector>
+#include <tuple>
 
 namespace dpnet::core {
 namespace {
@@ -90,7 +91,7 @@ TEST(Queryable, GroupByDoublesStability) {
   EXPECT_DOUBLE_EQ(q.total_stability(), 1.0);
   EXPECT_DOUBLE_EQ(grouped.total_stability(), 2.0);
   const double before = env.budget->spent();
-  grouped.noisy_count(0.5);
+  std::ignore = grouped.noisy_count(0.5);
   EXPECT_DOUBLE_EQ(env.budget->spent() - before, 1.0);  // 2 * 0.5
 }
 
@@ -146,7 +147,7 @@ TEST(Queryable, JoinOnSharedBudgetChargesBothPaths) {
       [](int x, int) { return x; });
   EXPECT_DOUBLE_EQ(joined.total_stability(), 2.0);
   const double before = env.budget->spent();
-  joined.noisy_count(0.25);
+  std::ignore = joined.noisy_count(0.25);
   EXPECT_DOUBLE_EQ(env.budget->spent() - before, 0.5);
 }
 
@@ -253,7 +254,7 @@ TEST(Queryable, NoisyQuantileChargesStabilityTimesEps) {
                       return static_cast<double>(g.items.size());
                     });
   const double before = env.budget->spent();
-  grouped.noisy_quantile(0.1, 0.5, [](double v) { return v; });
+  std::ignore = grouped.noisy_quantile(0.1, 0.5, [](double v) { return v; });
   EXPECT_DOUBLE_EQ(env.budget->spent() - before, 0.2);
 }
 
@@ -267,18 +268,18 @@ TEST(Queryable, CountGeometricReturnsInteger) {
 TEST(Queryable, AggregationsRejectNonPositiveEpsilon) {
   Env env;
   auto q = env.wrap(iota_vec(5));
-  EXPECT_THROW(q.noisy_count(0.0), InvalidEpsilonError);
-  EXPECT_THROW(q.noisy_count(-1.0), InvalidEpsilonError);
-  EXPECT_THROW(q.noisy_sum(0.0, [](int x) { return double(x); }),
+  EXPECT_THROW(std::ignore = q.noisy_count(0.0), InvalidEpsilonError);
+  EXPECT_THROW(std::ignore = q.noisy_count(-1.0), InvalidEpsilonError);
+  EXPECT_THROW(std::ignore = q.noisy_sum(0.0, [](int x) { return double(x); }),
                InvalidEpsilonError);
 }
 
 TEST(Queryable, AggregationsRejectNonFiniteEpsilon) {
   Env env;
   auto q = env.wrap(iota_vec(5));
-  EXPECT_THROW(q.noisy_count(std::numeric_limits<double>::infinity()),
+  EXPECT_THROW(std::ignore = q.noisy_count(std::numeric_limits<double>::infinity()),
                InvalidEpsilonError);
-  EXPECT_THROW(q.noisy_count(std::numeric_limits<double>::quiet_NaN()),
+  EXPECT_THROW(std::ignore = q.noisy_count(std::numeric_limits<double>::quiet_NaN()),
                InvalidEpsilonError);
 }
 
@@ -289,7 +290,7 @@ TEST(Queryable, TransformationsAreFreeUntilAggregation) {
                      .select([](int x) { return x * 2; })
                      .group_by([](int x) { return x % 5; });
   EXPECT_DOUBLE_EQ(env.budget->spent(), 0.0);
-  chained.noisy_count(0.1);
+  std::ignore = chained.noisy_count(0.1);
   EXPECT_GT(env.budget->spent(), 0.0);
 }
 
@@ -297,10 +298,10 @@ TEST(Queryable, BudgetExhaustionBlocksFurtherLargeQueries) {
   auto budget = std::make_shared<RootBudget>(1.0);
   auto noise = std::make_shared<NoiseSource>(4);
   Queryable<int> q(iota_vec(100), budget, noise);
-  q.noisy_count(0.9);
-  EXPECT_THROW(q.noisy_count(0.2), BudgetExhaustedError);
+  std::ignore = q.noisy_count(0.9);
+  EXPECT_THROW(std::ignore = q.noisy_count(0.2), BudgetExhaustedError);
   // The failed query consumed nothing; a smaller one still fits.
-  EXPECT_NO_THROW(q.noisy_count(0.1));
+  EXPECT_NO_THROW(std::ignore = q.noisy_count(0.1));
 }
 
 TEST(Queryable, RequiresBudgetAndNoise) {
@@ -312,8 +313,8 @@ TEST(Queryable, RequiresBudgetAndNoise) {
 
 TEST(Queryable, MakeQueryableFactoryWorksEndToEnd) {
   auto q = make_queryable(iota_vec(10), 1.0, 5);
-  EXPECT_NO_THROW(q.noisy_count(0.5));
-  EXPECT_THROW(q.noisy_count(0.6), BudgetExhaustedError);
+  EXPECT_NO_THROW(std::ignore = q.noisy_count(0.5));
+  EXPECT_THROW(std::ignore = q.noisy_count(0.6), BudgetExhaustedError);
 }
 
 // Property sweep: the count error distribution matches Table 1's
@@ -382,7 +383,7 @@ TEST(Queryable, GroupBySpansTriplesStability) {
                                 [](int x) { return x > 2; });
   EXPECT_DOUBLE_EQ(spans.total_stability(), 3.0);
   const double before = env.budget->spent();
-  spans.noisy_count(0.1);
+  std::ignore = spans.noisy_count(0.1);
   EXPECT_NEAR(env.budget->spent() - before, 0.3, 1e-12);
 }
 

@@ -2,6 +2,9 @@
 // one dataset budget, each individually capped.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+
 #include "analysis/packet_dist.hpp"
 #include "core/queryable.hpp"
 #include "tracegen/hotspot.hpp"
@@ -18,14 +21,14 @@ class BudgetPolicies : public ::testing::Test {
     cfg.stone_pairs = 1;           // keep this fixture cheap
     cfg.noise_interactive_flows = 2;
     tracegen::HotspotGenerator gen(cfg);
-    trace_ = new std::vector<Packet>(gen.generate());
+    trace_ = std::make_unique<std::vector<Packet>>(gen.generate());
   }
-  static void TearDownTestSuite() { delete trace_; }
+  static void TearDownTestSuite() { trace_.reset(); }
 
-  static std::vector<Packet>* trace_;
+  static std::unique_ptr<std::vector<Packet>> trace_;
 };
 
-std::vector<Packet>* BudgetPolicies::trace_ = nullptr;
+std::unique_ptr<std::vector<Packet>> BudgetPolicies::trace_;
 
 TEST_F(BudgetPolicies, AnalystCapLimitsQuerying) {
   core::BudgetLedger ledger(1.0);
@@ -76,13 +79,13 @@ TEST_F(BudgetPolicies, IncreasingBudgetOverTimePolicy) {
   auto noise = std::make_shared<core::NoiseSource>(33);
   auto early = ledger.analyst("carol", 0.2);
   core::Queryable<Packet> view(*trace_, early, noise);
-  view.noisy_count(0.2);
-  EXPECT_THROW(view.noisy_count(0.05), core::BudgetExhaustedError);
+  std::ignore = view.noisy_count(0.2);
+  EXPECT_THROW(std::ignore = view.noisy_count(0.05), core::BudgetExhaustedError);
 
   // Later: a second tranche for the same analyst under a new label.
   core::Queryable<Packet> renewed(*trace_,
                                   ledger.analyst("carol/2", 0.3), noise);
-  EXPECT_NO_THROW(renewed.noisy_count(0.25));
+  EXPECT_NO_THROW(std::ignore = renewed.noisy_count(0.25));
   EXPECT_NEAR(ledger.dataset_spent(), 0.45, 1e-9);
 }
 

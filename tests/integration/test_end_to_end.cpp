@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
@@ -25,12 +26,13 @@ using net::Packet;
 class EndToEnd : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    gen_ = new tracegen::HotspotGenerator(tracegen::HotspotConfig::small());
-    trace_ = new std::vector<Packet>(gen_->generate());
+    gen_ = std::make_unique<tracegen::HotspotGenerator>(
+        tracegen::HotspotConfig::small());
+    trace_ = std::make_unique<std::vector<Packet>>(gen_->generate());
   }
   static void TearDownTestSuite() {
-    delete trace_;
-    delete gen_;
+    trace_.reset();
+    gen_.reset();
   }
 
   core::Queryable<Packet> protect(double budget, std::uint64_t seed) const {
@@ -38,12 +40,12 @@ class EndToEnd : public ::testing::Test {
             std::make_shared<core::NoiseSource>(seed)};
   }
 
-  static tracegen::HotspotGenerator* gen_;
-  static std::vector<Packet>* trace_;
+  static std::unique_ptr<tracegen::HotspotGenerator> gen_;
+  static std::unique_ptr<std::vector<Packet>> trace_;
 };
 
-tracegen::HotspotGenerator* EndToEnd::gen_ = nullptr;
-std::vector<Packet>* EndToEnd::trace_ = nullptr;
+std::unique_ptr<tracegen::HotspotGenerator> EndToEnd::gen_;
+std::unique_ptr<std::vector<Packet>> EndToEnd::trace_;
 
 // The §2.3 example: distinct hosts sending more than 1024 bytes to port 80.
 TEST_F(EndToEnd, Section23ExampleCountsWebHeavyHosts) {

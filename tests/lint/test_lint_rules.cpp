@@ -1,0 +1,243 @@
+// Fixture-driven tests for the dpnet-lint rule engine: one positive and one
+// negative case per rule R1-R5, plus suppression-comment behavior.  The
+// fixtures are tiny in-memory sources; the path passed to analyze_source
+// decides which trusted-directory exemptions apply.
+#include "dpnet_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace dpnet::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& r) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&r](const Finding& f) { return f.rule == r; }));
+}
+
+// ---------------------------------------------------------------------- R1
+
+TEST(RuleUnsafe, FlagsUnsafeCallInAnalystCode) {
+  const auto f = analyze_source(
+      "src/analysis/foo.cpp",
+      "void peek(const Q& q) { auto n = q.size_unsafe(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "R1");
+  EXPECT_EQ(f[0].line, 1);
+  EXPECT_EQ(f[0].file, "src/analysis/foo.cpp");
+}
+
+TEST(RuleUnsafe, TrustedDirectoriesAreExempt) {
+  const std::string code =
+      "void peek(const Q& q) { auto n = q.data_unsafe(); }\n";
+  EXPECT_TRUE(analyze_source("tests/core/t.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("bench/b.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("src/tracegen/g.cpp", code).empty());
+}
+
+TEST(RuleUnsafe, TrustedRegionSuppressesUntilEndMarker) {
+  const std::string code =
+      "// dpnet-lint: trusted\n"
+      "auto a = q.size_unsafe();\n"
+      "// dpnet-lint: end-trusted\n"
+      "auto b = q.size_unsafe();\n";
+  const auto f = analyze_source("src/core/x.cpp", code);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].line, 4);
+}
+
+TEST(RuleUnsafe, TrustedRegionRunsToEndOfFileWhenUnterminated) {
+  const std::string code =
+      "// dpnet-lint: trusted\n"
+      "auto a = q.size_unsafe();\n"
+      "auto b = q.data_unsafe();\n";
+  EXPECT_TRUE(analyze_source("src/core/x.cpp", code).empty());
+}
+
+TEST(RuleUnsafe, MentionInCommentOrStringIsIgnored) {
+  const std::string code =
+      "// calls size_unsafe() internally\n"
+      "const char* s = \"data_unsafe()\";\n";
+  EXPECT_TRUE(analyze_source("src/core/x.cpp", code).empty());
+}
+
+// ---------------------------------------------------------------------- R2
+
+TEST(RuleRandomness, FlagsRawEngineOutsideNoise) {
+  const auto f = analyze_source("src/toolkit/s.cpp",
+                                "std::mt19937_64 rng(7);\n"
+                                "int r = rand();\n");
+  EXPECT_EQ(count_rule(f, "R2"), 2);
+}
+
+TEST(RuleRandomness, NoiseSourceFilesAndHarnessesAreExempt) {
+  const std::string code = "std::mt19937_64 rng_;\n";
+  EXPECT_TRUE(analyze_source("src/core/noise.hpp", code).empty());
+  EXPECT_TRUE(analyze_source("src/core/noise.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("tests/core/t.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("bench/b.cpp", code).empty());
+}
+
+TEST(RuleRandomness, RandomDeviceIsFlaggedEverywhereInSrc) {
+  const auto f =
+      analyze_source("src/net/x.cpp", "std::random_device rd;\n");
+  EXPECT_EQ(count_rule(f, "R2"), 1);
+}
+
+// ---------------------------------------------------------------------- R3
+
+TEST(RuleNodiscard, FlagsAggregationWithoutNodiscard) {
+  const auto f = analyze_source("src/core/q.hpp",
+                                "class Q {\n"
+                                " public:\n"
+                                "  double noisy_count(double eps) const;\n"
+                                "};\n");
+  ASSERT_EQ(count_rule(f, "R3"), 1);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(RuleNodiscard, FlagsQueryableReturnWithoutNodiscard) {
+  const auto f = analyze_source(
+      "src/core/q.hpp",
+      "template <typename T>\nQueryable<T> wrap(std::vector<T> v);\n");
+  EXPECT_EQ(count_rule(f, "R3"), 1);
+}
+
+TEST(RuleNodiscard, AcceptsAnnotatedDeclarations) {
+  const auto f = analyze_source(
+      "src/core/q.hpp",
+      "class Q {\n"
+      " public:\n"
+      "  [[nodiscard]] double noisy_count(double eps) const;\n"
+      "  template <typename P>\n"
+      "  [[nodiscard]] Queryable<int> where(P pred) const;\n"
+      "};\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(RuleNodiscard, IgnoresCallsConstructorsAndNonHeaders) {
+  // Calls (return/member/argument position) and constructors are not
+  // declarations; .cpp files carry definitions, not the public contract.
+  EXPECT_TRUE(analyze_source("src/core/q.hpp",
+                             "double f(const Q& q) {\n"
+                             "  return q.noisy_count(1.0);\n"
+                             "}\n"
+                             "class Queryable {\n"
+                             " public:\n"
+                             "  explicit Queryable(int n);\n"
+                             "};\n")
+                  .empty());
+  EXPECT_TRUE(
+      analyze_source("src/core/q.cpp", "double noisy_count(double e);\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------- R4
+
+TEST(RuleOwnership, FlagsRawNewDeleteMalloc) {
+  const auto f = analyze_source("src/net/x.cpp",
+                                "int* p = new int(3);\n"
+                                "delete p;\n"
+                                "void* q = malloc(16);\n");
+  EXPECT_EQ(count_rule(f, "R4"), 3);
+}
+
+TEST(RuleOwnership, AllowsDeletedFunctionsAndOperatorOverloads) {
+  const auto f = analyze_source("src/net/x.hpp",
+                                "struct S {\n"
+                                "  S(const S&) = delete;\n"
+                                "  S& operator=(const S&) = delete;\n"
+                                "  void operator delete(void*);\n"
+                                "  void operator new(unsigned long);\n"
+                                "};\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(RuleOwnership, AppliesToTestsAndBenchesToo) {
+  EXPECT_EQ(count_rule(analyze_source("tests/core/t.cpp",
+                                      "auto* p = new double[4];\n"),
+                       "R4"),
+            1);
+}
+
+// ---------------------------------------------------------------------- R5
+
+TEST(RuleEpsilon, FlagsHardCodedEpsilonInSrc) {
+  const auto f = analyze_source("src/analysis/a.hpp",
+                                "struct Opt { double eps = 0.1; };\n");
+  ASSERT_EQ(count_rule(f, "R5"), 1);
+  EXPECT_EQ(f[0].rule, "R5");
+}
+
+TEST(RuleEpsilon, AllowsZeroSentinelsNonLiteralsAndNonSrc) {
+  EXPECT_TRUE(analyze_source("src/analysis/a.hpp",
+                             "struct Opt { double eps = 0.0; };\n"
+                             "void f(Opt o) { double e = o.eps; }\n")
+                  .empty());
+  // Analyst-side code (tests, benches, examples) chooses its own accuracy.
+  EXPECT_TRUE(
+      analyze_source("tests/analysis/t.cpp", "double eps = 0.5;\n").empty());
+  EXPECT_TRUE(
+      analyze_source("examples/e.cpp", "double eps_count = 2.0;\n").empty());
+}
+
+TEST(RuleEpsilon, MatchesPrefixedAndSuffixedNames) {
+  const auto f = analyze_source("src/toolkit/t.hpp",
+                                "double eps_per_level = 0.25;\n"
+                                "double total_eps{1.5};\n");
+  EXPECT_EQ(count_rule(f, "R5"), 2);
+}
+
+// -------------------------------------------------------------- suppression
+
+TEST(Suppression, TrailingCommentSuppressesNamedRuleOnLine) {
+  const auto f = analyze_source(
+      "src/net/x.cpp",
+      "int* p = new int(3);  // dpnet-lint: suppress(R4)\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Suppression, StandaloneCommentCoversNextLine) {
+  const auto f = analyze_source("src/net/x.cpp",
+                                "// dpnet-lint: suppress(R4)\n"
+                                "int* p = new int(3);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Suppression, ListedRulesOnlyOtherRulesStillFire) {
+  const auto f = analyze_source(
+      "src/net/x.cpp",
+      "double eps = 0.3; auto n = q.size_unsafe();  "
+      "// dpnet-lint: suppress(R5)\n");
+  EXPECT_EQ(count_rule(f, "R5"), 0);
+  EXPECT_EQ(count_rule(f, "R1"), 1);
+}
+
+TEST(Suppression, CommaSeparatedRuleList) {
+  const auto f = analyze_source(
+      "src/net/x.cpp",
+      "// dpnet-lint: suppress(R4, R5)\n"
+      "double eps = 0.3; int* p = new int(1);\n");
+  EXPECT_TRUE(f.empty());
+}
+
+// ------------------------------------------------------------------- misc
+
+TEST(Lint, WantsOnlyCxxSourcesUnderScannedRoots) {
+  EXPECT_TRUE(wants_file("src/core/queryable.hpp"));
+  EXPECT_TRUE(wants_file("tools/dpnet_cli.cpp"));
+  EXPECT_FALSE(wants_file("docs/static_analysis.md"));
+  EXPECT_FALSE(wants_file("build/generated.cpp"));
+  EXPECT_FALSE(wants_file("src/core/README"));
+}
+
+TEST(Lint, FormatIsFileLineRuleMessage) {
+  const Finding f{"src/a.cpp", 12, "R1", "boom"};
+  EXPECT_EQ(format(f), "src/a.cpp:12: [R1] boom");
+}
+
+}  // namespace
+}  // namespace dpnet::lint

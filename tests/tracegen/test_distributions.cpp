@@ -22,7 +22,7 @@ TEST(ZipfSampler, PmfSumsToOne) {
 
 TEST(ZipfSampler, EmpiricalFrequenciesMatchPmf) {
   ZipfSampler zipf(10, 1.0);
-  std::mt19937_64 rng(1);
+  core::NoiseSource rng(1);
   std::map<std::size_t, int> counts;
   const int n = 100000;
   for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
@@ -41,7 +41,7 @@ TEST(ZipfSampler, RankZeroIsMostFrequent) {
 
 TEST(WeightedSampler, RespectsWeights) {
   WeightedSampler sampler({1.0, 3.0});
-  std::mt19937_64 rng(2);
+  core::NoiseSource rng(2);
   int second = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {
@@ -58,14 +58,14 @@ TEST(WeightedSampler, RejectsDegenerateWeights) {
 
 TEST(WeightedSampler, ZeroWeightNeverSampled) {
   WeightedSampler sampler({0.0, 1.0, 0.0});
-  std::mt19937_64 rng(3);
+  core::NoiseSource rng(3);
   for (int i = 0; i < 1000; ++i) {
     EXPECT_EQ(sampler(rng), 1u);
   }
 }
 
 TEST(Lognormal, MedianIsApproximatelyRight) {
-  std::mt19937_64 rng(4);
+  core::NoiseSource rng(4);
   std::vector<double> samples;
   for (int i = 0; i < 50000; ++i) samples.push_back(lognormal(rng, 5.0, 0.5));
   std::sort(samples.begin(), samples.end());
@@ -73,7 +73,7 @@ TEST(Lognormal, MedianIsApproximatelyRight) {
 }
 
 TEST(Exponential, MeanMatches) {
-  std::mt19937_64 rng(5);
+  core::NoiseSource rng(5);
   double sum = 0.0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) sum += exponential(rng, 2.5);
@@ -81,7 +81,7 @@ TEST(Exponential, MeanMatches) {
 }
 
 TEST(UniformHelpers, StayInBounds) {
-  std::mt19937_64 rng(6);
+  core::NoiseSource rng(6);
   for (int i = 0; i < 1000; ++i) {
     const auto v = uniform_int(rng, -5, 5);
     EXPECT_GE(v, -5);
@@ -93,7 +93,7 @@ TEST(UniformHelpers, StayInBounds) {
 }
 
 TEST(Coin, ProbabilityRespected) {
-  std::mt19937_64 rng(7);
+  core::NoiseSource rng(7);
   int heads = 0;
   const int n = 100000;
   for (int i = 0; i < n; ++i) {

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -19,22 +20,20 @@ using net::Packet;
 class HotspotTraceTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    gen_ = new HotspotGenerator(HotspotConfig::small());
-    trace_ = new std::vector<Packet>(gen_->generate());
+    gen_ = std::make_unique<HotspotGenerator>(HotspotConfig::small());
+    trace_ = std::make_unique<std::vector<Packet>>(gen_->generate());
   }
   static void TearDownTestSuite() {
-    delete trace_;
-    delete gen_;
-    trace_ = nullptr;
-    gen_ = nullptr;
+    trace_.reset();
+    gen_.reset();
   }
 
-  static HotspotGenerator* gen_;
-  static std::vector<Packet>* trace_;
+  static std::unique_ptr<HotspotGenerator> gen_;
+  static std::unique_ptr<std::vector<Packet>> trace_;
 };
 
-HotspotGenerator* HotspotTraceTest::gen_ = nullptr;
-std::vector<Packet>* HotspotTraceTest::trace_ = nullptr;
+std::unique_ptr<HotspotGenerator> HotspotTraceTest::gen_;
+std::unique_ptr<std::vector<Packet>> HotspotTraceTest::trace_;
 
 TEST_F(HotspotTraceTest, TraceIsTimeSorted) {
   EXPECT_TRUE(std::is_sorted(trace_->begin(), trace_->end(),

@@ -1,0 +1,550 @@
+#include "dpnet_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dpnet::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+struct FileClass {
+  bool in_src = false;       // src/**
+  bool is_header = false;    // *.hpp / *.h / *.hh
+  bool allow_unsafe = false; // tests/, bench/, src/tracegen/  (R1)
+  bool is_noise = false;     // src/core/noise.{hpp,cpp}       (R2)
+  bool harness = false;      // tests/, bench/: own seeding OK (R2)
+};
+
+FileClass classify(std::string_view path) {
+  FileClass c;
+  c.in_src = starts_with(path, "src/");
+  c.is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
+                ends_with(path, ".hh");
+  const bool in_tests = starts_with(path, "tests/");
+  const bool in_bench = starts_with(path, "bench/");
+  c.allow_unsafe =
+      in_tests || in_bench || starts_with(path, "src/tracegen/");
+  c.is_noise = path == "src/core/noise.hpp" || path == "src/core/noise.cpp";
+  c.harness = in_tests || in_bench;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class Kind { Ident, Number, Punct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// Per-line suppression state harvested from comments while lexing.
+struct Suppressions {
+  // line -> rules suppressed on that line ("*" = trusted region, R1+R2).
+  std::unordered_map<int, std::unordered_set<std::string>> by_line;
+  std::vector<std::pair<int, int>> trusted;  // [begin, end] line ranges
+
+  [[nodiscard]] bool trusted_line(int line) const {
+    return std::any_of(trusted.begin(), trusted.end(), [line](auto r) {
+      return line >= r.first && line <= r.second;
+    });
+  }
+
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
+    auto it = by_line.find(line);
+    return it != by_line.end() && it->second.count(rule) > 0;
+  }
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Lexer {
+  explicit Lexer(std::string_view source) : src(source) {}
+
+  std::string_view src;
+  std::size_t i = 0;
+  int line = 1;
+  int last_token_line = 0;  // to detect comments standing alone on a line
+  std::vector<Token> tokens;
+  Suppressions supp;
+  int open_trusted = -1;  // line where an unterminated trusted region began
+
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  }
+  void bump() {
+    if (src[i] == '\n') ++line;
+    ++i;
+  }
+
+  void handle_directive(std::string_view comment, int comment_line,
+                        bool alone) {
+    const auto pos = comment.find("dpnet-lint:");
+    if (pos == std::string_view::npos) return;
+    std::string_view rest = comment.substr(pos + 11);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (starts_with(rest, "end-trusted")) {
+      if (open_trusted >= 0) {
+        supp.trusted.emplace_back(open_trusted, comment_line);
+        open_trusted = -1;
+      }
+    } else if (starts_with(rest, "trusted")) {
+      if (open_trusted < 0) open_trusted = comment_line;
+    } else if (starts_with(rest, "suppress(")) {
+      std::string_view list = rest.substr(9);
+      const auto close = list.find(')');
+      if (close == std::string_view::npos) return;
+      list = list.substr(0, close);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        auto comma = list.find(',', start);
+        if (comma == std::string_view::npos) comma = list.size();
+        std::string rule;
+        for (char c : list.substr(start, comma - start)) {
+          if (!std::isspace(static_cast<unsigned char>(c))) rule.push_back(c);
+        }
+        if (!rule.empty()) {
+          supp.by_line[comment_line].insert(rule);
+          if (alone) supp.by_line[comment_line + 1].insert(rule);
+        }
+        start = comma + 1;
+      }
+    }
+  }
+
+  void skip_line_comment() {
+    const int start_line = line;
+    const bool alone = last_token_line != start_line;
+    std::size_t begin = i;
+    while (i < src.size() && src[i] != '\n') ++i;
+    handle_directive(src.substr(begin, i - begin), start_line, alone);
+  }
+
+  void skip_block_comment() {
+    const int start_line = line;
+    const bool alone = last_token_line != start_line;
+    std::size_t begin = i;
+    bump();  // '/'
+    bump();  // '*'
+    while (i < src.size() && !(peek() == '*' && peek(1) == '/')) bump();
+    if (i < src.size()) {
+      bump();
+      bump();
+    }
+    handle_directive(src.substr(begin, i - begin), start_line, alone);
+  }
+
+  void skip_string() {
+    bump();  // opening quote
+    while (i < src.size() && peek() != '"') {
+      if (peek() == '\\' && i + 1 < src.size()) bump();
+      bump();
+    }
+    if (i < src.size()) bump();
+  }
+
+  void skip_raw_string() {
+    // R"delim( ... )delim"
+    bump();  // R already consumed by caller; this is '"'
+    std::string delim;
+    while (i < src.size() && peek() != '(') {
+      delim.push_back(peek());
+      bump();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (i < src.size() && src.substr(i, close.size()) != close) bump();
+    for (std::size_t k = 0; k < close.size() && i < src.size(); ++k) bump();
+  }
+
+  void skip_char_literal() {
+    bump();  // opening '
+    while (i < src.size() && peek() != '\'') {
+      if (peek() == '\\' && i + 1 < src.size()) bump();
+      bump();
+    }
+    if (i < src.size()) bump();
+  }
+
+  void skip_preprocessor() {
+    // Skip to end of line, honoring backslash continuations and comments.
+    while (i < src.size()) {
+      if (peek() == '\\' && peek(1) == '\n') {
+        bump();
+        bump();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        skip_line_comment();
+        return;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (peek() == '\n') return;
+      bump();
+    }
+  }
+
+  void lex_number() {
+    const int start_line = line;
+    std::size_t begin = i;
+    while (i < src.size()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        bump();
+      } else if ((c == '+' || c == '-') && i > begin) {
+        const char prev = src[i - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          bump();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    tokens.push_back(
+        {Kind::Number, std::string(src.substr(begin, i - begin)), start_line});
+    last_token_line = start_line;
+  }
+
+  void run() {
+    bool at_line_start = true;
+    while (i < src.size()) {
+      const char c = peek();
+      if (c == '\n') {
+        bump();
+        at_line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        skip_preprocessor();
+        continue;
+      }
+      at_line_start = false;
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        skip_string();
+        continue;
+      }
+      if (c == '\'') {
+        skip_char_literal();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        bump();  // 'R'
+        skip_raw_string();
+        continue;
+      }
+      if (ident_start(c)) {
+        const int start_line = line;
+        std::size_t begin = i;
+        while (i < src.size() && ident_char(peek())) bump();
+        tokens.push_back({Kind::Ident,
+                          std::string(src.substr(begin, i - begin)),
+                          start_line});
+        last_token_line = start_line;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number();
+        continue;
+      }
+      tokens.push_back({Kind::Punct, std::string(1, c), line});
+      last_token_line = line;
+      bump();
+    }
+    if (open_trusted >= 0) {
+      supp.trusted.emplace_back(open_trusted, line);  // to end of file
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+const Token* tok_at(const std::vector<Token>& toks, std::size_t idx) {
+  return idx < toks.size() ? &toks[idx] : nullptr;
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view text) {
+  const Token* t = tok_at(toks, i + 1);
+  return t != nullptr && t->text == text;
+}
+
+bool prev_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view text) {
+  return i > 0 && toks[i - 1].text == text;
+}
+
+/// True for names that denote privacy parameters: eps, epsilon, eps_*,
+/// epsilon_*, *_eps, *_epsilon.
+bool epsilon_name(std::string_view name) {
+  return name == "eps" || name == "epsilon" || starts_with(name, "eps_") ||
+         starts_with(name, "epsilon_") || ends_with(name, "_eps") ||
+         ends_with(name, "_epsilon");
+}
+
+bool zero_literal(const std::string& text) {
+  return std::strtod(text.c_str(), nullptr) == 0.0;
+}
+
+// Declaration-specifier keywords that may legitimately precede a
+// constructor name; a candidate whose whole prefix is specifiers is a
+// constructor, not a value-returning method.
+bool specifier(const std::string& t) {
+  return t == "explicit" || t == "inline" || t == "constexpr" ||
+         t == "static" || t == "friend" || t == "virtual" || t == "typename";
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+class Analysis {
+ public:
+  Analysis(std::string_view rel_path, std::string_view content)
+      : path_(rel_path), cls_(classify(rel_path)) {
+    Lexer lexer(content);
+    lexer.run();
+    toks_ = std::move(lexer.tokens);
+    supp_ = std::move(lexer.supp);
+  }
+
+  std::vector<Finding> run() {
+    rule_unsafe_calls();
+    rule_raw_randomness();
+    rule_nodiscard();
+    rule_raw_ownership();
+    rule_epsilon_literals();
+    std::sort(findings_.begin(), findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    return std::move(findings_);
+  }
+
+ private:
+  void report(const std::string& rule, int line, std::string message) {
+    if (supp_.suppressed(rule, line)) return;
+    findings_.push_back({std::string(path_), line, rule, std::move(message)});
+  }
+
+  /// R1: *_unsafe() confined to trusted code.
+  void rule_unsafe_calls() {
+    if (cls_.allow_unsafe) return;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident || !ends_with(t.text, "_unsafe")) continue;
+      if (!next_is(toks_, i, "(")) continue;
+      if (supp_.trusted_line(t.line)) continue;
+      report("R1", t.line,
+             t.text + "() bypasses the privacy curtain; only tests/, "
+                      "bench/, src/tracegen/, and '// dpnet-lint: trusted' "
+                      "regions may use *_unsafe accessors");
+    }
+  }
+
+  /// R2: all randomness flows through core::NoiseSource.
+  void rule_raw_randomness() {
+    if (cls_.is_noise || cls_.harness) return;
+    static const std::unordered_set<std::string> kEngines = {
+        "random_device", "mt19937",       "mt19937_64",
+        "minstd_rand",   "minstd_rand0",  "default_random_engine",
+        "ranlux24",      "ranlux48",      "ranlux24_base",
+        "ranlux48_base", "knuth_b"};
+    static const std::unordered_set<std::string> kCalls = {
+        "rand", "srand", "rand_r", "drand48", "lrand48", "srand48"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident) continue;
+      const bool engine = kEngines.count(t.text) > 0;
+      const bool call = kCalls.count(t.text) > 0 && next_is(toks_, i, "(");
+      if (!engine && !call) continue;
+      if (supp_.trusted_line(t.line)) continue;
+      report("R2", t.line,
+             t.text + " used directly; route randomness through "
+                      "core::NoiseSource (src/core/noise.hpp) so draws are "
+                      "seedable and auditable");
+    }
+  }
+
+  /// R3: public aggregation / Queryable-returning declarations in src/
+  /// headers must be [[nodiscard]].
+  void rule_nodiscard() {
+    if (!cls_.in_src || !cls_.is_header) return;
+    std::size_t stmt_start = 0;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == Kind::Punct &&
+          (t.text == ";" || t.text == "{" || t.text == "}")) {
+        stmt_start = i + 1;
+        continue;
+      }
+      // Access labels reset the statement without ending a declaration.
+      if (t.kind == Kind::Ident &&
+          (t.text == "public" || t.text == "private" ||
+           t.text == "protected") &&
+          next_is(toks_, i, ":") && !next_is(toks_, i + 1, ":")) {
+        stmt_start = i + 2;
+        ++i;
+        continue;
+      }
+      if (t.kind != Kind::Ident || !next_is(toks_, i, "(")) continue;
+
+      const bool agg_name = starts_with(t.text, "noisy_") ||
+                            ends_with(t.text, "_mechanism") ||
+                            t.text == "exponential_quantile" ||
+                            t.text == "exponential_median";
+      bool queryable_return = false;
+      bool has_nodiscard = false;
+      bool is_call = false;
+      bool only_specifiers = true;
+      if (i == stmt_start) is_call = true;  // no return type: expression
+      for (std::size_t k = stmt_start; k < i; ++k) {
+        const std::string& p = toks_[k].text;
+        if (p == "Queryable") queryable_return = true;
+        if (p == "nodiscard") has_nodiscard = true;
+        if (p == "return" || p == "throw" || p == "=" || p == "co_return") {
+          is_call = true;
+        }
+        if (toks_[k].kind == Kind::Ident && !specifier(p)) {
+          only_specifiers = false;
+        }
+      }
+      if (!agg_name && !queryable_return) continue;
+      // Member / qualified / argument-position uses are calls, not decls.
+      if (prev_is(toks_, i, ".") || prev_is(toks_, i, "(") ||
+          prev_is(toks_, i, ",") || prev_is(toks_, i, ":") ||
+          (prev_is(toks_, i, ">") && i >= 2 && toks_[i - 2].text == "-")) {
+        continue;
+      }
+      if (is_call || only_specifiers || has_nodiscard) continue;
+      report("R3", t.line,
+             t.text + " returns analyst-visible information; declare it "
+                      "[[nodiscard]] so a discarded result (which still "
+                      "charges the budget) is a compile-time warning");
+    }
+  }
+
+  /// R4: no raw owning new/delete/malloc.
+  void rule_raw_ownership() {
+    static const std::unordered_set<std::string> kAlloc = {
+        "malloc", "calloc", "realloc", "free", "strdup"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident) continue;
+      if (t.text == "new" || t.text == "delete") {
+        if (prev_is(toks_, i, "operator")) continue;
+        if (t.text == "delete" && prev_is(toks_, i, "=")) continue;
+        report("R4", t.line,
+               "raw '" + t.text + "' — use value semantics or "
+                                  "std::make_unique/std::make_shared "
+                                  "(C++ Core Guidelines R.11)");
+      } else if (kAlloc.count(t.text) > 0 && next_is(toks_, i, "(") &&
+                 !prev_is(toks_, i, ".") &&
+                 !(prev_is(toks_, i, ">") && i >= 2 &&
+                   toks_[i - 2].text == "-")) {
+        report("R4", t.line,
+               t.text + "() allocates untracked memory; use RAII "
+                        "containers or smart pointers");
+      }
+    }
+  }
+
+  /// R5: epsilon values in library code come from the caller's budget
+  /// policy, never from a hard-coded literal (zero sentinels are fine).
+  void rule_epsilon_literals() {
+    if (!cls_.in_src) return;
+    for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident || !epsilon_name(t.text)) continue;
+      const Token& op = toks_[i + 1];
+      if (op.kind != Kind::Punct || (op.text != "=" && op.text != "{")) {
+        continue;
+      }
+      std::size_t v = i + 2;
+      if (toks_[v].kind == Kind::Punct && toks_[v].text == "-" &&
+          v + 1 < toks_.size()) {
+        ++v;
+      }
+      if (toks_[v].kind != Kind::Number || zero_literal(toks_[v].text)) {
+        continue;
+      }
+      report("R5", t.line,
+             "hard-coded epsilon '" + toks_[v].text + "' for '" + t.text +
+                 "'; accuracy levels must be chosen by the analyst against "
+                 "a PrivacyBudget, not baked into src/");
+    }
+  }
+
+  std::string_view path_;
+  FileClass cls_;
+  std::vector<Token> toks_;
+  Suppressions supp_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+bool wants_file(std::string_view rel_path) {
+  if (!(ends_with(rel_path, ".cpp") || ends_with(rel_path, ".cc") ||
+        ends_with(rel_path, ".hpp") || ends_with(rel_path, ".h") ||
+        ends_with(rel_path, ".hh"))) {
+    return false;
+  }
+  return starts_with(rel_path, "src/") || starts_with(rel_path, "tests/") ||
+         starts_with(rel_path, "bench/") ||
+         starts_with(rel_path, "examples/") ||
+         starts_with(rel_path, "tools/");
+}
+
+std::vector<Finding> analyze_source(std::string_view rel_path,
+                                    std::string_view content) {
+  return Analysis(rel_path, content).run();
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace dpnet::lint

@@ -1,0 +1,49 @@
+// dpnet-lint: privacy-invariant static analysis for the dpnet source tree.
+//
+// The engine enforces the repo conventions that keep untrusted analyst code
+// on the right side of the privacy curtain (see docs/static_analysis.md):
+//
+//   R1  *_unsafe() accessors only in trusted code (tests/, bench/,
+//       src/tracegen/, or a `// dpnet-lint: trusted` region).
+//   R2  no direct <random> engines / rand() outside src/core/noise.* —
+//       randomness flows through core::NoiseSource.
+//   R3  public aggregation and Queryable-returning declarations in src/
+//       headers carry [[nodiscard]].
+//   R4  no raw owning new/delete/malloc anywhere.
+//   R5  no hard-coded positive epsilon literals in src/ — accuracy levels
+//       are supplied by the caller's budget policy.
+//
+// Suppression syntax:
+//   // dpnet-lint: trusted          start of a trusted region (R1, R2)
+//   // dpnet-lint: end-trusted      end of a trusted region
+//   // dpnet-lint: suppress(R4)     suppress listed rules on this line (or
+//                                   the next line when the comment stands
+//                                   alone); comma-separate multiple rules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpnet::lint {
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  int line = 0;         // 1-based
+  std::string rule;     // "R1".."R5"
+  std::string message;  // human-readable diagnostic
+};
+
+/// True if `rel_path` is a C++ source the linter should scan.
+[[nodiscard]] bool wants_file(std::string_view rel_path);
+
+/// Runs every rule over one file's contents.  `rel_path` must be
+/// repo-relative with forward slashes ("src/core/noise.cpp"); the path
+/// decides which rules apply and which trusted directories are exempt.
+[[nodiscard]] std::vector<Finding> analyze_source(std::string_view rel_path,
+                                                  std::string_view content);
+
+/// "file:line: [rule] message" — the diagnostic format the CLI prints.
+[[nodiscard]] std::string format(const Finding& finding);
+
+}  // namespace dpnet::lint

@@ -1,0 +1,66 @@
+// dpnet-lint CLI: walks a dpnet source tree and reports privacy-invariant
+// violations.  Exit status is nonzero iff findings exist, so the binary
+// doubles as the `dpnet_lint_repo` CTest test and a CI gate.
+//
+// Usage: dpnet_lint [repo_root]      (default: current directory)
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dpnet_lint/lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::is_directory(root)) {
+    std::cerr << "dpnet_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      if (dpnet::lint::wants_file(rel)) files.push_back(std::move(rel));
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const std::string& rel : files) {
+    for (const auto& f :
+         dpnet::lint::analyze_source(rel, slurp(root / rel))) {
+      std::cout << dpnet::lint::format(f) << "\n";
+      ++findings;
+    }
+  }
+
+  if (findings > 0) {
+    std::cerr << "dpnet-lint: " << findings << " finding(s) in "
+              << files.size() << " files\n";
+    return 1;
+  }
+  std::cout << "dpnet-lint: OK (" << files.size() << " files clean)\n";
+  return 0;
+}
