@@ -1,9 +1,15 @@
 // §2.3 example: count distinct hosts that send more than 1024 bytes to
 // port 80.  The paper reports a noise-free answer of 120 and a noisy
 // answer of 121 at epsilon = 0.1 with expected error +/-10.
+//
+// The ten runs execute under a TraceSession against a shared auditing
+// budget, so the emitted BENCH json carries the per-operator span tree and
+// a ledger whose totals reconcile exactly with the spans' eps_charged.
 #include <cstdio>
 
 #include "bench/common.hpp"
+#include "core/audit.hpp"
+#include "core/trace.hpp"
 #include "net/packet.hpp"
 
 namespace {
@@ -40,13 +46,21 @@ int main() {
             static_cast<double>(gen.web_heavy_hosts()));
 
   bench::section("noisy answers at eps=0.1 (ten runs)");
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(1e9));
+  core::QueryTrace query_trace;
   double sum_err = 0.0;
-  for (std::uint64_t run = 0; run < 10; ++run) {
-    auto packets = bench::protect(trace, 7000 + run);
-    const double noisy = run_query(packets, 0.1);
-    std::printf("  run %llu: %.2f\n",
-                static_cast<unsigned long long>(run), noisy);
-    sum_err += std::abs(noisy - gen.web_heavy_hosts());
+  {
+    core::TraceSession session(query_trace);
+    for (std::uint64_t run = 0; run < 10; ++run) {
+      core::ScopedAuditLabel label(*audit,
+                                   "run" + std::to_string(run));
+      auto packets = bench::protect_audited(trace, 7000 + run, audit);
+      const double noisy = run_query(packets, 0.1);
+      std::printf("  run %llu: %.2f\n",
+                  static_cast<unsigned long long>(run), noisy);
+      sum_err += std::abs(noisy - gen.web_heavy_hosts());
+    }
   }
   bench::kv("mean absolute error over runs", sum_err / 10.0);
   // GroupBy doubles the stability, so the count's noise has scale
@@ -54,6 +68,13 @@ int main() {
   // pre-grouping scale 1/eps.
   bench::kv("theoretical noise stddev (stability 2)",
             std::sqrt(2.0) * 2.0 / 0.1);
+
+  bench::section("query trace");
+  std::printf("%s", query_trace.pretty().c_str());
+  bench::kv("trace total eps charged", query_trace.total_eps_charged());
+  bench::kv("audit ledger spent", audit->spent());
+  bench::BenchReport::instance().attach_trace(query_trace);
+  bench::BenchReport::instance().attach_audit(*audit);
 
   bench::section("paper vs measured");
   bench::paper_vs_measured("noise-free count", "120",

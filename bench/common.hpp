@@ -1,16 +1,31 @@
 // Shared plumbing for the reproduction benches: standard dataset
 // configurations, protected-view construction, and uniform output
 // formatting so every bench prints paper-vs-measured the same way.
+//
+// Every formatted line also lands in a process-wide BenchReport, which is
+// written out at exit as BENCH_<binary>.json (schema "dpnet.bench.v1",
+// validated by tools/bench_schema_check).  Benches that run pipelines under
+// a TraceSession can attach the query trace and the audit ledger so the
+// JSON artifact carries the full accounting story; the global metrics
+// snapshot is always included.  Set DPNET_BENCH_JSON_DIR to redirect the
+// artifacts (default: current directory).  See docs/observability.md.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "core/audit.hpp"
+#include "core/json.hpp"
+#include "core/metrics.hpp"
 #include "core/queryable.hpp"
+#include "core/trace.hpp"
 #include "tracegen/hotspot.hpp"
 #include "tracegen/ip_scatter.hpp"
 #include "tracegen/isp_traffic.hpp"
@@ -75,7 +90,178 @@ core::Queryable<T> protect(const std::vector<T>& records,
                             std::make_shared<core::NoiseSource>(seed));
 }
 
+/// A protected view whose charges flow through `audit`, so the bench can
+/// attach the resulting ledger to its JSON report.
+template <typename T>
+core::Queryable<T> protect_audited(const std::vector<T>& records,
+                                   std::uint64_t seed,
+                                   std::shared_ptr<core::AuditingBudget> audit) {
+  return core::Queryable<T>(records, std::move(audit),
+                            std::make_shared<core::NoiseSource>(seed));
+}
+
+/// Accumulates everything a bench prints, plus optional trace/audit
+/// sub-documents, and writes BENCH_<binary>.json at process exit.
+class BenchReport {
+ public:
+  static BenchReport& instance() {
+    static BenchReport report;
+    return report;
+  }
+
+  void begin(std::string title, std::string reproduces) {
+    title_ = std::move(title);
+    reproduces_ = std::move(reproduces);
+    if (!atexit_registered_) {
+      atexit_registered_ = true;
+      // Force the global registry into existence first: exit handlers run
+      // in reverse registration order, so touching it here guarantees it
+      // outlives the JSON writer registered on the next line.
+      core::MetricsRegistry::global();
+      std::atexit(+[] { BenchReport::instance().write_json_now(); });
+    }
+  }
+
+  void set_section(std::string name) { section_ = std::move(name); }
+
+  void add_kv(std::string key, std::string text) {
+    Row r;
+    r.section = section_;
+    r.key = std::move(key);
+    r.text = std::move(text);
+    rows_.push_back(std::move(r));
+  }
+
+  void add_kv(std::string key, double number) {
+    Row r;
+    r.section = section_;
+    r.key = std::move(key);
+    r.number = number;
+    r.is_number = true;
+    rows_.push_back(std::move(r));
+  }
+
+  void add_comparison(std::string key, std::string paper,
+                      std::string measured) {
+    Row r;
+    r.section = section_;
+    r.key = std::move(key);
+    r.paper = std::move(paper);
+    r.measured = std::move(measured);
+    r.is_comparison = true;
+    rows_.push_back(std::move(r));
+  }
+
+  /// Attaches the recorded query trace to the report (replaces any earlier
+  /// attachment; call once, after the traced pipelines have run).
+  void attach_trace(const core::QueryTrace& trace) {
+    trace_json_ = trace.to_json();
+  }
+
+  /// Attaches the audit ledger the traced pipelines charged against.
+  void attach_audit(const core::AuditingBudget& audit) {
+    audit_json_ = audit.to_json();
+  }
+
+  /// Serializes the report (schema "dpnet.bench.v1").
+  [[nodiscard]] std::string to_json() const {
+    core::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("dpnet.bench.v1");
+    w.key("name").value(binary_name());
+    w.key("title").value(title_);
+    w.key("reproduces").value(reproduces_);
+    w.key("results").begin_array();
+    for (const Row& r : rows_) {
+      w.begin_object();
+      w.key("section").value(r.section);
+      w.key("key").value(r.key);
+      if (r.is_comparison) {
+        w.key("paper").value(r.paper);
+        w.key("measured").value(r.measured);
+      } else if (r.is_number) {
+        w.key("value").value(r.number);
+      } else {
+        w.key("value").value(r.text);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("trace");
+    if (trace_json_.empty()) {
+      w.null();
+    } else {
+      w.raw(trace_json_);
+    }
+    w.key("audit");
+    if (audit_json_.empty()) {
+      w.null();
+    } else {
+      w.raw(audit_json_);
+    }
+    w.key("metrics").raw(core::MetricsRegistry::global().to_json());
+    w.end_object();
+    return w.str();
+  }
+
+  /// Writes BENCH_<binary>.json into $DPNET_BENCH_JSON_DIR (or the current
+  /// directory).  Called automatically at exit once begin() has run.
+  void write_json_now() const {
+    if (title_.empty()) return;  // header() never ran; nothing to report
+    std::string dir = ".";
+    if (const char* env = std::getenv("DPNET_BENCH_JSON_DIR");
+        env != nullptr && *env != '\0') {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + binary_name() + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string doc = to_json();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n[bench json] %s\n", path.c_str());
+  }
+
+  /// Basename of the running binary (via /proc/self/exe).
+  [[nodiscard]] static std::string binary_name() {
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0) return "bench";
+    buf[n] = '\0';
+    const std::string path(buf);
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+  }
+
+ private:
+  struct Row {
+    std::string section;
+    std::string key;
+    std::string text;
+    double number = 0.0;
+    bool is_number = false;
+    std::string paper;
+    std::string measured;
+    bool is_comparison = false;
+  };
+
+  BenchReport() = default;
+
+  std::string title_;
+  std::string reproduces_;
+  std::string section_;
+  std::vector<Row> rows_;
+  std::string trace_json_;
+  std::string audit_json_;
+  bool atexit_registered_ = false;
+};
+
 inline void header(const std::string& title, const std::string& paper_ref) {
+  BenchReport::instance().begin(title, paper_ref);
   std::printf("================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("reproduces: %s\n", paper_ref.c_str());
@@ -83,14 +269,17 @@ inline void header(const std::string& title, const std::string& paper_ref) {
 }
 
 inline void section(const std::string& name) {
+  BenchReport::instance().set_section(name);
   std::printf("\n--- %s ---\n", name.c_str());
 }
 
 inline void kv(const std::string& key, const std::string& value) {
+  BenchReport::instance().add_kv(key, value);
   std::printf("%-44s %s\n", (key + ":").c_str(), value.c_str());
 }
 
 inline void kv(const std::string& key, double value) {
+  BenchReport::instance().add_kv(key, value);
   std::printf("%-44s %.6g\n", (key + ":").c_str(), value);
 }
 
@@ -98,12 +287,14 @@ inline void kv(const std::string& key, double value) {
 inline void paper_vs_measured(const std::string& what,
                               const std::string& paper,
                               const std::string& measured) {
+  BenchReport::instance().add_comparison(what, paper, measured);
   std::printf("%-36s paper: %-22s measured: %s\n", what.c_str(),
               paper.c_str(), measured.c_str());
 }
 
 /// Prints aligned TSV series (x plus one column per named series),
-/// sampling every `stride`-th point to keep output readable.
+/// sampling every `stride`-th point to keep output readable.  Series stay
+/// text-only; the JSON report carries scalars and comparisons.
 inline void print_series(std::span<const double> xs,
                          const std::vector<std::string>& names,
                          const std::vector<std::vector<double>>& columns,

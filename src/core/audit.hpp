@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/json.hpp"
 
 namespace dpnet::core {
 
@@ -33,6 +34,13 @@ class AuditingBudget final : public PrivacyBudget {
     return inner_->can_charge(eps);
   }
 
+  /// Exception-safety ordering: the inner charge runs FIRST and the ledger
+  /// entry is appended only after it succeeds.  A throwing inner charge
+  /// (refusal, exhausted parent) therefore leaves the ledger untouched —
+  /// the books only ever record budget that was actually consumed.  This
+  /// ordering is load-bearing for the telemetry layer (trace span ε sums
+  /// are reconciled against the ledger) and is pinned by
+  /// tests/core/test_audit.cpp.
   void charge(double eps) override {
     inner_->charge(eps);  // throws on refusal; refusals are not logged
     entries_.push_back(Entry{eps, label_});
@@ -52,6 +60,34 @@ class AuditingBudget final : public PrivacyBudget {
     std::map<std::string, double> totals;
     for (const Entry& e : entries_) totals[e.label] += e.eps;
     return totals;
+  }
+
+  /// Discards the recorded entries (the inner budget's spend is of course
+  /// untouched — the ledger is an account of it, not the source of truth).
+  void clear() { entries_.clear(); }
+
+  /// Serializes the ledger as JSON:
+  /// {"spent": s, "entries": [{"eps": e, "label": l}...],
+  ///  "totals_by_label": {...}}.
+  [[nodiscard]] std::string to_json() const {
+    JsonWriter w;
+    w.begin_object();
+    w.key("spent").value(spent());
+    w.key("entries").begin_array();
+    for (const Entry& e : entries_) {
+      w.begin_object();
+      w.key("eps").value(e.eps);
+      w.key("label").value(e.label);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("totals_by_label").begin_object();
+    for (const auto& [label, total] : totals_by_label()) {
+      w.key(label).value(total);
+    }
+    w.end_object();
+    w.end_object();
+    return w.str();
   }
 
  private:

@@ -1,0 +1,99 @@
+// Dependency-free JSON support for dpnet telemetry.
+//
+// JsonWriter is a small streaming writer (objects, arrays, scalars) with
+// full string escaping; it backs every machine-readable artifact the
+// engine emits (query traces, metrics snapshots, audit ledgers, bench
+// reports).  JsonValue + parse_json is the matching minimal reader, used
+// by the bench schema checker and the round-trip tests.  Neither side
+// allocates anything beyond std::string/std::vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/errors.hpp"
+
+namespace dpnet::core {
+
+/// Thrown by parse_json on malformed input.
+class JsonParseError : public DpError {
+ public:
+  explicit JsonParseError(const std::string& what) : DpError(what) {}
+};
+
+/// Streaming JSON writer.  Commas and colons are inserted automatically;
+/// misuse (a key outside an object, unbalanced end_*) throws
+/// InvalidQueryError rather than emitting malformed output.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be inside an object and followed by a value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices a pre-serialized JSON document in value position (used to
+  /// compose telemetry sub-documents: traces, ledgers, metric snapshots).
+  /// The caller vouches that `json` is well-formed.
+  JsonWriter& raw(std::string_view json);
+
+  /// The document built so far.  Valid once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escapes `s` per RFC 8259 (quotes, backslash, control characters);
+  /// the result excludes the surrounding quotes.
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> first_;   // parallel to stack_: no comma needed yet
+  bool key_pending_ = false;  // a key was written, value must follow
+};
+
+/// Parsed JSON document (order-preserving objects).
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view k) const;
+
+  /// Member lookup; throws JsonParseError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view k) const;
+};
+
+/// Parses one JSON document (throws JsonParseError on malformed input or
+/// trailing garbage).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace dpnet::core

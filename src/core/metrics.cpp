@@ -1,0 +1,137 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+
+#include "core/errors.hpp"
+#include "core/json.hpp"
+
+namespace dpnet::core {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw InvalidQueryError("histogram '" + std::string(name) +
+                            "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) w.key(name).value(c->value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) w.key(name).value(g->value());
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("count").value(h->count());
+    w.key("sum").value(h->sum());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      w.begin_object();
+      w.key("upper_bound");
+      if (i < h->bounds().size()) {
+        w.value(h->bounds()[i]);
+      } else {
+        w.null();  // overflow bucket
+      }
+      w.key("count").value(h->bucket(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::pretty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  char line[160];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(line, sizeof line, "%-32s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(line, sizeof line, "%-32s %20.6g\n", name.c_str(),
+                  g->value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(line, sizeof line, "%-32s count=%llu sum=%.6g\n",
+                  name.c_str(), static_cast<unsigned long long>(h->count()),
+                  h->sum());
+    out += line;
+  }
+  return out;
+}
+
+namespace builtin_metrics {
+
+Counter& queries_executed() {
+  static Counter& c = MetricsRegistry::global().counter("queries.executed");
+  return c;
+}
+
+Counter& refused_charges() {
+  static Counter& c = MetricsRegistry::global().counter("budget.refused");
+  return c;
+}
+
+Counter& noise_draws() {
+  static Counter& c = MetricsRegistry::global().counter("noise.draws");
+  return c;
+}
+
+Gauge& eps_charged(std::string_view mechanism) {
+  return MetricsRegistry::global().gauge("eps.charged." +
+                                         std::string(mechanism));
+}
+
+Histogram& query_wall_ms() {
+  static Histogram& h = MetricsRegistry::global().histogram(
+      "query.wall_ms", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+  return h;
+}
+
+}  // namespace builtin_metrics
+
+}  // namespace dpnet::core

@@ -1,0 +1,153 @@
+// Process-wide operational metrics for the privacy engine.
+//
+// A MetricsRegistry holds named counters, gauges, and fixed-bucket
+// histograms.  All metric updates are lock-free atomics, so the streaming
+// substrate and concurrent analyst threads can record without contention;
+// registration (name -> metric) takes a mutex but happens once per name.
+//
+// The engine maintains built-in metrics on MetricsRegistry::global():
+//
+//   queries.executed            aggregations released (counter)
+//   eps.charged.<mechanism>     privacy cost charged per mechanism (gauge,
+//                               monotone: only add() is applied)
+//   budget.refused              charges refused by a budget (counter)
+//   noise.draws                 draws taken from any NoiseSource (counter)
+//   query.wall_ms               aggregation wall-clock time (histogram)
+//
+// Telemetry stance: metrics carry *names and numbers only* — never record
+// contents (see docs/observability.md); dpnet-lint rule R6 enforces the
+// serialized field set.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpnet::core {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Double-valued gauge.  set() overwrites; add() accumulates atomically
+/// (used for the monotone eps.charged.* series).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bound[i], plus
+/// one overflow bucket.  Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)),
+        buckets_(bounds_.size() + 1) {}
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i).load(std::memory_order_relaxed);
+  }
+
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric registry.  Metric objects are created on first use and
+/// live as long as the registry; returned references stay valid, so hot
+/// paths can cache them.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the engine's built-in metrics live on.
+  static MetricsRegistry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registers (or fetches) a histogram.  Bounds must match on repeat
+  /// registration of the same name.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Zeroes every metric value (names stay registered).  Test plumbing.
+  void reset();
+
+  /// Serializes a point-in-time snapshot of every metric as JSON.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable snapshot (one metric per line).
+  [[nodiscard]] std::string pretty() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Built-in metric accessors (cached; safe on hot paths).
+namespace builtin_metrics {
+
+Counter& queries_executed();
+Counter& refused_charges();
+Counter& noise_draws();
+Gauge& eps_charged(std::string_view mechanism);
+Histogram& query_wall_ms();
+
+}  // namespace builtin_metrics
+
+}  // namespace dpnet::core

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/metrics.hpp"
+
 namespace dpnet::core {
 
 NoiseSource::NoiseSource(std::uint64_t seed) : rng_(seed) {}
@@ -24,6 +26,7 @@ double NoiseSource::uniform(double lo, double hi) {
 
 double NoiseSource::laplace(double scale) {
   if (scale <= 0.0) throw std::invalid_argument("laplace scale must be > 0");
+  builtin_metrics::noise_draws().increment();
   // Inverse-CDF sampling: u uniform in (-1/2, 1/2].
   double u = uniform() - 0.5;
   // Guard the log argument away from zero.
@@ -37,6 +40,7 @@ std::int64_t NoiseSource::two_sided_geometric(double epsilon) {
   if (epsilon <= 0.0) {
     throw std::invalid_argument("geometric epsilon must be > 0");
   }
+  builtin_metrics::noise_draws().increment();
   const double alpha = std::exp(-epsilon);
   // P(0) = (1 - alpha) / (1 + alpha); otherwise sign is +/- with equal
   // probability and |k| >= 1 is geometric with ratio alpha.
@@ -56,12 +60,14 @@ std::int64_t NoiseSource::two_sided_geometric(double epsilon) {
 }
 
 double NoiseSource::gumbel() {
+  builtin_metrics::noise_draws().increment();
   double u = uniform();
   if (u <= 0.0) u = std::numeric_limits<double>::min();
   return -std::log(-std::log(u));
 }
 
 double NoiseSource::gaussian(double mean, double stddev) {
+  builtin_metrics::noise_draws().increment();
   const std::lock_guard<std::mutex> lock(mutex_);
   std::normal_distribution<double> dist(mean, stddev);
   return dist(rng_);

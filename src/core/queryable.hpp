@@ -18,13 +18,22 @@
 // Transformations are lazy: nothing is materialized until an aggregation
 // or Partition forces it, and materializations are memoized so a shared
 // sub-query is evaluated once.
+//
+// Observability: when a TraceSession is active on the executing thread,
+// every operator and aggregation records a TraceSpan (core/trace.hpp) and
+// the built-in metrics (core/metrics.hpp) count queries, charges, and
+// refusals.  A memoized node contributes its operator span only on first
+// materialization; later aggregations over the same node record just the
+// release span.
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,7 +45,9 @@
 #include "core/group.hpp"
 #include "core/hash.hpp"
 #include "core/mechanisms.hpp"
+#include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "core/trace.hpp"
 
 namespace dpnet::core {
 
@@ -110,12 +121,28 @@ inline void check_epsilon(double eps) {
 inline void charge_all(const ChargeList& charges, double eps) {
   for (const auto& c : charges) {
     if (!c.budget->can_charge(c.stability * eps)) {
+      builtin_metrics::refused_charges().increment();
       throw BudgetExhaustedError(
           "privacy budget exhausted for aggregation at epsilon " +
           std::to_string(eps));
     }
   }
   for (const auto& c : charges) c.budget->charge(c.stability * eps);
+}
+
+/// Stringifies a partition key for trace annotations (numbers and strings
+/// verbatim; opaque key types fall back to a placeholder).  Partition keys
+/// are analyst-supplied public values, so exposing them in telemetry leaks
+/// nothing about the protected records.
+template <typename K>
+std::string key_to_tag(const K& k) {
+  if constexpr (std::is_arithmetic_v<K>) {
+    return std::to_string(k);
+  } else if constexpr (std::is_convertible_v<const K&, std::string>) {
+    return std::string(k);
+  } else {
+    return "?";
+  }
 }
 
 }  // namespace detail
@@ -146,6 +173,7 @@ class Queryable {
   [[nodiscard]] Queryable<T> where(Pred pred) const {
     auto parent = node_;
     return derived<T>(
+        "where", 1.0,
         [parent, pred]() {
           std::vector<T> out;
           for (const auto& x : parent->get()) {
@@ -163,6 +191,7 @@ class Queryable {
     using U = std::decay_t<std::invoke_result_t<F, const T&>>;
     auto parent = node_;
     return derived<U>(
+        "select", 1.0,
         [parent, f]() {
           std::vector<U> out;
           out.reserve(parent->get().size());
@@ -184,6 +213,7 @@ class Queryable {
     }
     auto parent = node_;
     return derived<U>(
+        "select_many", static_cast<double>(max_fanout),
         [parent, f, max_fanout]() {
           std::vector<U> out;
           for (const auto& x : parent->get()) {
@@ -204,6 +234,7 @@ class Queryable {
   [[nodiscard]] Queryable<T> distinct() const {
     auto parent = node_;
     return derived<T>(
+        "distinct", 1.0,
         [parent]() {
           std::vector<T> out;
           std::unordered_set<T> seen;
@@ -223,6 +254,7 @@ class Queryable {
     using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
     auto parent = node_;
     return derived<Group<K, T>>(
+        "group_by", 2.0,
         [parent, key]() {
           std::vector<Group<K, T>> out;
           std::unordered_map<K, std::size_t> index;
@@ -251,6 +283,7 @@ class Queryable {
     using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
     auto parent = node_;
     return derived<Group<K, T>>(
+        "group_by_spans", 3.0,
         [parent, key, starts_new_span]() {
           std::vector<Group<K, T>> out;
           // Current open group per key (index into out).
@@ -290,7 +323,9 @@ class Queryable {
     using R = std::decay_t<std::invoke_result_t<RF, const T&, const U&>>;
     auto left = node_;
     auto right = other.node_;
-    return derived<R>(
+    return derived_sized<R>(
+        "join", 1.0,
+        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right, outer_key, inner_key, result]() {
           std::unordered_map<K, std::vector<const U*>> by_key;
           for (const auto& y : right->get()) {
@@ -317,7 +352,9 @@ class Queryable {
   [[nodiscard]] Queryable<T> concat(const Queryable<T>& other) const {
     auto left = node_;
     auto right = other.node_;
-    return derived<T>(
+    return derived_sized<T>(
+        "concat", 1.0,
+        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
           std::vector<T> out = left->get();
           const auto& r = right->get();
@@ -333,7 +370,9 @@ class Queryable {
   [[nodiscard]] Queryable<T> set_union(const Queryable<T>& other) const {
     auto left = node_;
     auto right = other.node_;
-    return derived<T>(
+    return derived_sized<T>(
+        "set_union", 1.0,
+        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
           std::unordered_set<T> emitted;
           std::vector<T> out;
@@ -352,7 +391,9 @@ class Queryable {
   [[nodiscard]] Queryable<T> except(const Queryable<T>& other) const {
     auto left = node_;
     auto right = other.node_;
-    return derived<T>(
+    return derived_sized<T>(
+        "except", 1.0,
+        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
           std::unordered_set<T> removed(right->get().begin(),
                                         right->get().end());
@@ -372,7 +413,9 @@ class Queryable {
   [[nodiscard]] Queryable<T> intersect(const Queryable<T>& other) const {
     auto left = node_;
     auto right = other.node_;
-    return derived<T>(
+    return derived_sized<T>(
+        "intersect", 1.0,
+        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
           std::unordered_set<T> in_right(right->get().begin(),
                                          right->get().end());
@@ -399,6 +442,10 @@ class Queryable {
     if (key_set.size() != keys.size()) {
       throw InvalidQueryError("partition keys must be distinct");
     }
+    // Partition is eager, so its span is recorded at call time; each
+    // part's later aggregations carry a "partition[key]" annotation so the
+    // trace shows the per-branch charges behind the max-cost rule.
+    TraceScope scope("partition");
     // One PartitionGroup per upstream budget preserves max-cost semantics
     // against every accountant this queryable answers to.
     std::vector<std::shared_ptr<PartitionGroup>> groups;
@@ -412,6 +459,9 @@ class Queryable {
       auto it = buckets.find(key(x));
       if (it != buckets.end()) it->second.push_back(x);
     }
+    scope.set_stability(total_stability());
+    scope.set_rows(static_cast<std::int64_t>(node_->get().size()),
+                   static_cast<std::int64_t>(buckets.size()));
     std::unordered_map<K, Queryable<T>> parts;
     for (auto& [k, records] : buckets) {
       detail::ChargeList part_charges;
@@ -423,7 +473,9 @@ class Queryable {
       }
       parts.emplace(k, Queryable<T>(std::make_shared<detail::DataNode<T>>(
                                         std::move(records)),
-                                    std::move(part_charges), noise_));
+                                    std::move(part_charges), noise_,
+                                    "partition[" + detail::key_to_tag(k) +
+                                        "]"));
     }
     return parts;
   }
@@ -435,16 +487,20 @@ class Queryable {
   /// Noisy record count: true count + Laplace(stability / eps).
   [[nodiscard]] double noisy_count(double eps) const {
     detail::check_epsilon(eps);
+    TraceScope scope("noisy_count");
+    const auto start = std::chrono::steady_clock::now();
     const auto n = static_cast<double>(node_->get().size());
-    detail::charge_all(charges_, eps);
+    release(scope, eps, "laplace", node_->get().size(), start);
     return n + noise_->laplace(total_stability() / eps);
   }
 
   /// Integer-valued noisy count using the geometric mechanism.
   [[nodiscard]] std::int64_t noisy_count_geometric(double eps) const {
     detail::check_epsilon(eps);
+    TraceScope scope("noisy_count_geometric");
+    const auto start = std::chrono::steady_clock::now();
     const auto n = static_cast<std::int64_t>(node_->get().size());
-    detail::charge_all(charges_, eps);
+    release(scope, eps, "geometric", node_->get().size(), start);
     return geometric_mechanism(n, total_stability(), eps, *noise_);
   }
 
@@ -452,9 +508,11 @@ class Queryable {
   template <typename F>
   [[nodiscard]] double noisy_sum(double eps, F f) const {
     detail::check_epsilon(eps);
+    TraceScope scope("noisy_sum");
+    const auto start = std::chrono::steady_clock::now();
     double sum = 0.0;
     for (const auto& x : node_->get()) sum += clamp_unit(f(x));
-    detail::charge_all(charges_, eps);
+    release(scope, eps, "laplace", node_->get().size(), start);
     return sum + noise_->laplace(total_stability() / eps);
   }
 
@@ -476,11 +534,13 @@ class Queryable {
   template <typename F>
   [[nodiscard]] double noisy_average(double eps, F f) const {
     detail::check_epsilon(eps);
+    TraceScope scope("noisy_average");
+    const auto start = std::chrono::steady_clock::now();
     const auto& data = node_->get();
     const double n = std::max<double>(1.0, static_cast<double>(data.size()));
     double sum = 0.0;
     for (const auto& x : data) sum += clamp_unit(f(x));
-    detail::charge_all(charges_, eps);
+    release(scope, eps, "laplace", data.size(), start);
     return sum / n + noise_->laplace(2.0 * total_stability() / (eps * n));
   }
 
@@ -508,10 +568,12 @@ class Queryable {
   template <typename F>
   [[nodiscard]] double noisy_quantile(double eps, double q, F f) const {
     detail::check_epsilon(eps);
+    TraceScope scope("noisy_quantile");
+    const auto start = std::chrono::steady_clock::now();
     std::vector<double> values;
     values.reserve(node_->get().size());
     for (const auto& x : node_->get()) values.push_back(f(x));
-    detail::charge_all(charges_, eps);
+    release(scope, eps, "exponential", values.size(), start);
     return exponential_quantile(std::move(values), q,
                                 eps / total_stability(), *noise_);
   }
@@ -546,23 +608,85 @@ class Queryable {
   friend class Queryable;
 
   Queryable(std::shared_ptr<detail::DataNode<T>> node,
-            detail::ChargeList charges, std::shared_ptr<NoiseSource> noise)
+            detail::ChargeList charges, std::shared_ptr<NoiseSource> noise,
+            std::string trace_tag = {})
       : node_(std::move(node)),
         charges_(std::move(charges)),
-        noise_(std::move(noise)) {}
+        noise_(std::move(noise)),
+        trace_tag_(std::move(trace_tag)) {}
+
+  /// Commits an aggregation: charges every accountant, updates the
+  /// built-in metrics, and fills in the aggregation's trace span.  Throws
+  /// BudgetExhaustedError (charging nothing) on refusal, leaving a span
+  /// marked "refused" so the data owner sees the attempt.
+  void release(TraceScope& scope, double eps, const char* mechanism,
+               std::size_t input_rows,
+               std::chrono::steady_clock::time_point start) const {
+    try {
+      detail::charge_all(charges_, eps);
+    } catch (const BudgetExhaustedError&) {
+      scope.set_detail(trace_tag_.empty() ? "refused"
+                                          : trace_tag_ + ";refused");
+      throw;
+    }
+    const double charged = total_stability() * eps;
+    builtin_metrics::queries_executed().increment();
+    builtin_metrics::eps_charged(mechanism).add(charged);
+    builtin_metrics::query_wall_ms().observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    scope.set_mechanism(mechanism);
+    scope.set_stability(total_stability());
+    scope.set_eps(eps, charged);
+    scope.set_rows(static_cast<std::int64_t>(input_rows), 1);
+    if (!trace_tag_.empty()) scope.set_detail(trace_tag_);
+  }
 
   template <typename U, typename ComputeF>
-  [[nodiscard]] Queryable<U> derived(ComputeF compute,
+  [[nodiscard]] Queryable<U> derived(const char* op, double op_stability,
+                                     ComputeF compute,
                                      detail::ChargeList charges) const {
+    auto self = node_;
+    return derived_sized<U>(
+        op, op_stability, [self]() { return self->get().size(); },
+        std::move(compute), std::move(charges));
+  }
+
+  /// Wraps `compute` so that, when a trace is active at materialization
+  /// time, the operator records a span (nesting under whatever forced it).
+  /// When tracing is disarmed the wrapper is skipped at construction, so
+  /// the pipeline carries no instrumentation at all.
+  template <typename U, typename SizeF, typename ComputeF>
+  [[nodiscard]] Queryable<U> derived_sized(const char* op, double op_stability,
+                                           SizeF input_size, ComputeF compute,
+                                           detail::ChargeList charges) const {
+    if (!tracing_armed()) {
+      return Queryable<U>(
+          std::make_shared<detail::DataNode<U>>(
+              std::function<std::vector<U>()>(std::move(compute))),
+          std::move(charges), noise_, trace_tag_);
+    }
+    auto traced = [op, op_stability, input_size = std::move(input_size),
+                   compute = std::move(compute)]() {
+      if (active_trace() == nullptr) return compute();
+      TraceScope scope(op);
+      scope.set_stability(op_stability);
+      auto out = compute();
+      scope.set_rows(static_cast<std::int64_t>(input_size()),
+                     static_cast<std::int64_t>(out.size()));
+      return out;
+    };
     return Queryable<U>(
         std::make_shared<detail::DataNode<U>>(
-            std::function<std::vector<U>()>(std::move(compute))),
-        std::move(charges), noise_);
+            std::function<std::vector<U>()>(std::move(traced))),
+        std::move(charges), noise_, trace_tag_);
   }
 
   std::shared_ptr<detail::DataNode<T>> node_;
   detail::ChargeList charges_;
   std::shared_ptr<NoiseSource> noise_;
+  std::string trace_tag_;  // "partition[key]" for partitioned parts
 };
 
 /// Convenience factory mirroring PINQ's `new PINQueryable<T>(trace, eps)`.

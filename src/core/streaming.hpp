@@ -8,12 +8,16 @@
 // Queryable::partition + per-part noisy_count.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "core/trace.hpp"
 
 namespace dpnet::core {
 
@@ -54,15 +58,30 @@ class StreamingHistogram {
     if (!(eps > 0.0)) {
       throw InvalidEpsilonError("release epsilon must be > 0");
     }
+    TraceScope scope("streaming_release");
+    const auto start = std::chrono::steady_clock::now();
     if (!budget_->can_charge(eps)) {
+      builtin_metrics::refused_charges().increment();
+      scope.set_detail("refused");
       throw BudgetExhaustedError("streaming histogram release over budget");
     }
     budget_->charge(eps);
+    builtin_metrics::queries_executed().increment();
+    builtin_metrics::eps_charged("laplace").add(eps);
     std::unordered_map<K, double> out;
     out.reserve(counts_.size());
     for (const K& c : cells_) {
       out.emplace(c, counts_.at(c) + noise_->laplace(1.0 / eps));
     }
+    builtin_metrics::query_wall_ms().observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    scope.set_mechanism("laplace");
+    scope.set_stability(1.0);
+    scope.set_eps(eps, eps);
+    scope.set_rows(static_cast<std::int64_t>(records_seen_),
+                   static_cast<std::int64_t>(cells_.size()));
     return out;
   }
 

@@ -1,0 +1,124 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+
+#include "core/json.hpp"
+
+namespace dpnet::core {
+
+namespace {
+
+void sum_eps(const TraceSpan& span, double& total) {
+  total += span.eps_charged;
+  for (const TraceSpan& child : span.children) sum_eps(child, total);
+}
+
+void group_eps(const TraceSpan& span, std::map<std::string, double>& by_op) {
+  if (span.eps_charged > 0.0) by_op[span.op] += span.eps_charged;
+  for (const TraceSpan& child : span.children) group_eps(child, by_op);
+}
+
+void write_span(JsonWriter& w, const TraceSpan& span) {
+  w.begin_object();
+  w.key("op").value(span.op);
+  if (!span.detail.empty()) w.key("detail").value(span.detail);
+  w.key("stability").value(span.stability);
+  w.key("input_rows").value(static_cast<std::int64_t>(span.input_rows));
+  w.key("output_rows").value(static_cast<std::int64_t>(span.output_rows));
+  w.key("eps_requested").value(span.eps_requested);
+  w.key("eps_charged").value(span.eps_charged);
+  if (!span.mechanism.empty()) w.key("mechanism").value(span.mechanism);
+  w.key("wall_ms").value(span.wall_ms);
+  w.key("children").begin_array();
+  for (const TraceSpan& child : span.children) write_span(w, child);
+  w.end_array();
+  w.end_object();
+}
+
+void pretty_span(const TraceSpan& span, int depth, std::string& out) {
+  char buf[256];
+  std::string meta;
+  if (span.input_rows >= 0) {
+    std::snprintf(buf, sizeof buf, " rows=%lld->%lld",
+                  static_cast<long long>(span.input_rows),
+                  static_cast<long long>(span.output_rows));
+    meta += buf;
+  }
+  if (span.stability > 0.0) {
+    std::snprintf(buf, sizeof buf, " stability=%g", span.stability);
+    meta += buf;
+  }
+  if (span.eps_charged > 0.0) {
+    std::snprintf(buf, sizeof buf, " eps=%g charged=%g", span.eps_requested,
+                  span.eps_charged);
+    meta += buf;
+  }
+  if (!span.mechanism.empty()) meta += " mechanism=" + span.mechanism;
+  std::snprintf(buf, sizeof buf, " (%.3f ms)", span.wall_ms);
+  meta += buf;
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+  out += span.op;
+  if (!span.detail.empty()) out += "[" + span.detail + "]";
+  out += meta;
+  out += '\n';
+  for (const TraceSpan& child : span.children) {
+    pretty_span(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+void QueryTrace::clear() {
+  if (!stack_.empty()) return;  // never clear under an open scope
+  roots_.clear();
+}
+
+double QueryTrace::total_eps_charged() const {
+  double total = 0.0;
+  for (const TraceSpan& root : roots_) sum_eps(root, total);
+  return total;
+}
+
+std::map<std::string, double> QueryTrace::eps_by_op() const {
+  std::map<std::string, double> by_op;
+  for (const TraceSpan& root : roots_) group_eps(root, by_op);
+  return by_op;
+}
+
+std::string QueryTrace::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("spans").begin_array();
+  for (const TraceSpan& root : roots_) write_span(w, root);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string QueryTrace::pretty() const {
+  std::string out;
+  for (const TraceSpan& root : roots_) pretty_span(root, 0, out);
+  return out;
+}
+
+TraceScope::TraceScope(std::string op) : trace_(trace_detail::tls_sink) {
+  if (trace_ == nullptr) return;
+  std::vector<TraceSpan>& siblings = trace_->stack_.empty()
+                                         ? trace_->roots_
+                                         : trace_->stack_.back()->children;
+  siblings.push_back(TraceSpan{});
+  span_ = &siblings.back();
+  span_->op = std::move(op);
+  trace_->stack_.push_back(span_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceScope::~TraceScope() {
+  if (span_ == nullptr) return;
+  span_->wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  trace_->stack_.pop_back();
+}
+
+}  // namespace dpnet::core

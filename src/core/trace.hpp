@@ -1,0 +1,166 @@
+// Query-plan tracing: a span tree recording what a pipeline actually did.
+//
+// The mediated-analysis model (paper §7) asks the data owner to see *what*
+// an analyst's query did — which operators ran, what stability factors
+// multiplied the charge, and where the epsilon went.  A QueryTrace captures
+// exactly that: one TraceSpan per operator (Where/Select/GroupBy/Partition/
+// Join/aggregation) with operator name, stability factor, input/output row
+// counts, epsilon charged, mechanism used, and wall-clock time.  Spans nest:
+// materializing a lazy pipeline records the upstream operators as children
+// of the aggregation that forced them, and an analyst-opened TraceScope
+// groups whatever runs inside it (per-partition subqueries, named phases).
+//
+// Recording is per-thread: a TraceSession installs a QueryTrace as the
+// current thread's sink, so concurrent analyst threads trace independently.
+// With no session installed the instrumentation is a single thread-local
+// pointer check per *operator* (never per record) — zero-overhead on the
+// hot path, benchmarked in bench_micro_engine.
+//
+// Privacy stance: spans expose accounting metadata and cardinalities that
+// are already visible to the trusted side.  They never contain record
+// contents (enforced by dpnet-lint rule R6; see docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dpnet::core {
+
+/// One node of the query-plan trace.
+struct TraceSpan {
+  std::string op;           // operator / aggregation / scope name
+  std::string detail;       // partition part, scope annotation ("" if none)
+  double stability = 0.0;   // operator factor, or total stability at release
+  std::int64_t input_rows = -1;   // -1: not applicable / not recorded
+  std::int64_t output_rows = -1;
+  double eps_requested = 0.0;  // analyst-chosen accuracy (aggregations)
+  double eps_charged = 0.0;    // total charged across all accountants
+  std::string mechanism;       // "laplace" / "geometric" / "exponential"
+  double wall_ms = 0.0;
+  std::vector<TraceSpan> children;
+};
+
+/// A recorded span tree for one traced session.
+class QueryTrace {
+ public:
+  [[nodiscard]] const std::vector<TraceSpan>& roots() const { return roots_; }
+  [[nodiscard]] bool empty() const { return roots_.empty(); }
+  void clear();
+
+  /// Sum of eps_charged over the whole tree.
+  [[nodiscard]] double total_eps_charged() const;
+
+  /// eps_charged grouped by operator name over the whole tree.
+  [[nodiscard]] std::map<std::string, double> eps_by_op() const;
+
+  /// Serializes the span tree as JSON: {"spans": [...]}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Indented human-readable rendering of the span tree.
+  [[nodiscard]] std::string pretty() const;
+
+ private:
+  friend class TraceScope;
+  friend class TraceSession;
+
+  // Only the top-of-stack span's children vector is ever appended to, so
+  // every pointer on the stack stays valid (a span never moves while any
+  // of its ancestors hold open scopes).
+  std::vector<TraceSpan> roots_;
+  std::vector<TraceSpan*> stack_;
+};
+
+namespace trace_detail {
+
+inline thread_local QueryTrace* tls_sink = nullptr;
+
+// Construction-time kill switch: when disarmed, Queryable::derived() skips
+// installing the tracing wrapper entirely.  Exists so bench_micro_engine
+// can A/B the cost of the armed-but-disabled check; defaults to armed.
+inline std::atomic<bool> armed{true};
+
+}  // namespace trace_detail
+
+/// The QueryTrace currently recording on this thread, or nullptr.
+[[nodiscard]] inline QueryTrace* active_trace() {
+  return trace_detail::tls_sink;
+}
+
+/// True when tracing instrumentation is compiled into newly-built pipeline
+/// stages (the default).  Disarming is bench/ops plumbing only: pipelines
+/// built while disarmed never record, even under a later TraceSession.
+[[nodiscard]] inline bool tracing_armed() {
+  return trace_detail::armed.load(std::memory_order_relaxed);
+}
+inline void set_tracing_armed(bool on) {
+  trace_detail::armed.store(on, std::memory_order_relaxed);
+}
+
+/// Installs `trace` as this thread's recording sink for its lifetime;
+/// restores the previous sink (sessions nest) on destruction.
+class TraceSession {
+ public:
+  explicit TraceSession(QueryTrace& trace)
+      : previous_(trace_detail::tls_sink) {
+    trace_detail::tls_sink = &trace;
+  }
+  ~TraceSession() { trace_detail::tls_sink = previous_; }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  QueryTrace* previous_;
+};
+
+/// RAII span: opens a child of the current span (or a new root) on the
+/// thread's active trace, records wall-clock time, and closes on
+/// destruction.  A no-op (and cheap) when no trace is active.
+class TraceScope {
+ public:
+  explicit TraceScope(std::string op);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// True when a span is actually being recorded.
+  [[nodiscard]] bool active() const { return span_ != nullptr; }
+
+  void set_stability(double s) {
+    if (span_ != nullptr) span_->stability = s;
+  }
+  void set_rows(std::int64_t in, std::int64_t out) {
+    if (span_ != nullptr) {
+      span_->input_rows = in;
+      span_->output_rows = out;
+    }
+  }
+  void set_eps(double requested, double charged) {
+    if (span_ != nullptr) {
+      span_->eps_requested = requested;
+      span_->eps_charged = charged;
+    }
+  }
+  // dpnet-lint: suppress(R3)  (void setter, not a release mechanism)
+  void set_mechanism(std::string mechanism) {
+    if (span_ != nullptr) span_->mechanism = std::move(mechanism);
+  }
+  void set_detail(std::string detail) {
+    if (span_ != nullptr) span_->detail = std::move(detail);
+  }
+  [[nodiscard]] double eps_charged() const {
+    return span_ != nullptr ? span_->eps_charged : 0.0;
+  }
+
+ private:
+  QueryTrace* trace_ = nullptr;
+  TraceSpan* span_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dpnet::core

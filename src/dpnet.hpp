@@ -12,10 +12,13 @@
 #include "core/budget.hpp"
 #include "core/errors.hpp"
 #include "core/group.hpp"
+#include "core/json.hpp"
 #include "core/mechanisms.hpp"
+#include "core/metrics.hpp"
 #include "core/noise.hpp"
 #include "core/queryable.hpp"
 #include "core/streaming.hpp"
+#include "core/trace.hpp"
 
 // Toolkit (paper §4 and extensions).
 #include "toolkit/cdf.hpp"

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Runs the quickstart bench and validates the BENCH json it emits: schema
+# dpnet.bench.v1, well-formed spans and ledger, and the trace-vs-audit
+# epsilon reconciliation enforced by bench_schema_check.
+# Usage: test_bench_json.sh <bench_quickstart_count> <bench_schema_check>
+set -eu
+
+BENCH="$1"
+CHECK="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== run bench =="
+DPNET_BENCH_JSON_DIR="$WORK" "$BENCH" > "$WORK/stdout.txt"
+grep -q "bench json" "$WORK/stdout.txt"
+test -f "$WORK/BENCH_bench_quickstart_count.json"
+
+echo "== validate =="
+"$CHECK" "$WORK/BENCH_bench_quickstart_count.json"
+
+echo "== checker rejects corrupted reports =="
+sed 's/dpnet.bench.v1/bogus.schema/' \
+  "$WORK/BENCH_bench_quickstart_count.json" > "$WORK/bad_schema.json"
+if "$CHECK" "$WORK/bad_schema.json" 2>/dev/null; then
+  echo "expected bad schema to fail" >&2
+  exit 1
+fi
+
+# Inflate the first span's eps_charged so the trace no longer matches the
+# ledger (the document is one line, so an un-anchored s/// hits one span).
+sed 's/"eps_charged":[0-9.e+-]*/"eps_charged":99/' \
+  "$WORK/BENCH_bench_quickstart_count.json" > "$WORK/bad_eps.json"
+if "$CHECK" "$WORK/bad_eps.json" 2>/dev/null; then
+  echo "expected eps mismatch to fail" >&2
+  exit 1
+fi
+
+echo "BENCH-JSON-OK"

@@ -36,6 +36,23 @@ if "$CLI" analyze "$WORK/t.dpnt" count --eps 5 --budget 1 2>/dev/null; then
   exit 1
 fi
 
+echo "== trace =="
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 | grep -q "query trace"
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 | grep -q "noisy_count"
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 --json | grep -q '"spans"'
+"$CLI" trace "$WORK/t.dpnt" service-mix --eps 0.5 | grep -q "partition"
+
+echo "== metrics =="
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 | grep -q "queries.executed"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q '"counters"'
+
+echo "== help =="
+"$CLI" --help | grep -q "commands:"
+"$CLI" help | grep -q "commands:"
+"$CLI" help trace | grep -q "usage: dpnet_cli trace"
+"$CLI" trace --help | grep -q "query-plan trace"
+"$CLI" analyze -h | grep -q "usage: dpnet_cli analyze"
+
 echo "== bad usage exits nonzero =="
 if "$CLI" frobnicate 2>/dev/null; then
   echo "expected unknown command to fail" >&2

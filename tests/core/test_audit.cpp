@@ -86,6 +86,55 @@ TEST(AuditingBudget, GroupByChargeShowsAmplifiedCost) {
   EXPECT_DOUBLE_EQ(audit->entries()[0].eps, 0.2);  // stability 2 x 0.1
 }
 
+// Pins the charge() exception-safety ordering documented in audit.hpp:
+// the inner charge runs first, so a refusal leaves the ledger untouched
+// and later successes append cleanly.  Telemetry reconciliation (trace
+// span sums vs ledger) depends on this never drifting.
+TEST(AuditingBudget, ChargeOrderingKeepsLedgerConsistentAcrossRefusals) {
+  auto inner = std::make_shared<RootBudget>(0.5);
+  AuditingBudget audit(inner);
+  audit.charge(0.3);
+  EXPECT_THROW(audit.charge(0.3), BudgetExhaustedError);  // inner refused
+  ASSERT_EQ(audit.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(inner->spent(), 0.3);  // refusal charged nothing
+  audit.charge(0.2);
+  ASSERT_EQ(audit.entries().size(), 2u);
+  double ledger_sum = 0.0;
+  for (const auto& e : audit.entries()) ledger_sum += e.eps;
+  EXPECT_DOUBLE_EQ(ledger_sum, audit.spent());
+}
+
+TEST(AuditingBudget, ClearDropsEntriesButNotSpend) {
+  AuditingBudget audit(std::make_shared<RootBudget>(1.0));
+  audit.charge(0.4);
+  audit.clear();
+  EXPECT_TRUE(audit.entries().empty());
+  EXPECT_DOUBLE_EQ(audit.spent(), 0.4);  // the ledger is not the budget
+  audit.charge(0.1);
+  ASSERT_EQ(audit.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(audit.entries()[0].eps, 0.1);
+}
+
+TEST(AuditingBudget, SerializesLedgerAsJson) {
+  AuditingBudget audit(std::make_shared<RootBudget>(10.0));
+  {
+    ScopedAuditLabel scope(audit, "a");
+    audit.charge(0.25);
+    audit.charge(0.25);
+  }
+  {
+    ScopedAuditLabel scope(audit, "b");
+    audit.charge(0.5);
+  }
+  const JsonValue doc = parse_json(audit.to_json());
+  EXPECT_DOUBLE_EQ(doc.at("spent").number, 1.0);
+  ASSERT_EQ(doc.at("entries").array.size(), 3u);
+  EXPECT_EQ(doc.at("entries").array[0].at("label").string, "a");
+  EXPECT_DOUBLE_EQ(doc.at("entries").array[2].at("eps").number, 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("totals_by_label").at("a").number, 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("totals_by_label").at("b").number, 0.5);
+}
+
 TEST(AuditingBudget, ComposesWithTheLedger) {
   BudgetLedger ledger(1.0);
   auto audit = std::make_shared<AuditingBudget>(

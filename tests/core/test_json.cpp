@@ -1,0 +1,122 @@
+// JsonWriter escaping / misuse detection and parse_json round-trips.
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <tuple>
+
+namespace dpnet::core {
+namespace {
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("k").value("a\"b\\c\nd\te\x01"
+                   "f");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+}
+
+TEST(JsonWriter, EscapeHelperMatchesWriter) {
+  EXPECT_EQ(JsonWriter::escape("x\r\b\fy"), "x\\r\\b\\fy");
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InvalidQueryError);  // key outside object
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), InvalidQueryError);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InvalidQueryError);  // unbalanced close
+  }
+}
+
+TEST(JsonWriter, RawSplicesSubDocuments) {
+  JsonWriter inner;
+  inner.begin_object();
+  inner.key("a").value(std::int64_t{1});
+  inner.end_object();
+  JsonWriter w;
+  w.begin_object();
+  w.key("sub").raw(inner.str());
+  w.key("b").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"sub\":{\"a\":1},\"b\":true}");
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_DOUBLE_EQ(doc.at("sub").at("a").number, 1.0);
+}
+
+TEST(JsonRoundTrip, WriterOutputParsesBackExactly) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("q\"uote\\slash\n");
+  w.key("tenth").value(0.1);
+  w.key("big").value(std::int64_t{-1234567890123});
+  w.key("flag").value(false);
+  w.key("nothing").null();
+  w.key("list").begin_array();
+  w.value(std::uint64_t{7}).value("x");
+  w.end_array();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("name").string, "q\"uote\\slash\n");
+  // %.17g guarantees doubles survive the text round-trip bit-exactly.
+  EXPECT_EQ(doc.at("tenth").number, 0.1);
+  EXPECT_EQ(doc.at("big").number, -1234567890123.0);
+  EXPECT_FALSE(doc.at("flag").boolean);
+  EXPECT_TRUE(doc.at("nothing").is_null());
+  ASSERT_EQ(doc.at("list").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.at("list").array[0].number, 7.0);
+  EXPECT_EQ(doc.at("list").array[1].string, "x");
+}
+
+TEST(JsonParser, UnicodeEscapesDecodeToUtf8) {
+  const JsonValue doc = parse_json("\"a\\u00e9\\u0416b\"");
+  EXPECT_EQ(doc.string, "a\xc3\xa9\xd0\x96"
+                        "b");
+}
+
+TEST(JsonParser, PreservesObjectOrderAndDuplicateLookup) {
+  const JsonValue doc = parse_json("{\"z\":1,\"a\":2}");
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(std::ignore = doc.at("missing"), JsonParseError);
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("{"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW(parse_json("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW(parse_json("01x"), JsonParseError);
+  EXPECT_THROW(parse_json("troo"), JsonParseError);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -224,6 +224,53 @@ TEST(Suppression, CommaSeparatedRuleList) {
   EXPECT_TRUE(f.empty());
 }
 
+// ---------------------------------------------------------------------- R6
+
+TEST(RuleTelemetry, FlagsUnapprovedFieldInTelemetryFile) {
+  const auto f = analyze_source(
+      "src/core/trace.cpp",
+      "void f(JsonWriter& w) { w.key(\"payload\").value(1.0); }\n");
+  ASSERT_EQ(count_rule(f, "R6"), 1);
+  EXPECT_EQ(f[0].line, 1);
+}
+
+TEST(RuleTelemetry, ApprovedFieldsPass) {
+  const auto f = analyze_source(
+      "src/core/metrics.cpp",
+      "void f(JsonWriter& w) {\n"
+      "  w.key(\"counters\").value(1.0);\n"
+      "  w.key(\"eps_charged\").value(2.0);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(f, "R6"), 0);
+}
+
+TEST(RuleTelemetry, NonTelemetryFilesAreExempt) {
+  const auto f = analyze_source(
+      "src/toolkit/export.cpp",
+      "void f(JsonWriter& w) { w.key(\"anything\"); }\n");
+  EXPECT_EQ(count_rule(f, "R6"), 0);
+}
+
+TEST(RuleTelemetry, DynamicKeysAndOtherLiteralsAreIgnored) {
+  const auto f = analyze_source(
+      "src/core/audit.hpp",
+      "void f(JsonWriter& w, const std::string& label) {\n"
+      "  w.key(label);\n"
+      "  w.value(\"not a key position\");\n"
+      "  throw InvalidQueryError(\"free-form message\");\n"
+      "}\n");
+  EXPECT_EQ(count_rule(f, "R6"), 0);
+}
+
+TEST(RuleTelemetry, SuppressionCommentApplies) {
+  const auto f = analyze_source(
+      "bench/common.hpp",
+      "void f(JsonWriter& w) {\n"
+      "  w.key(\"experimental\");  // dpnet-lint: suppress(R6)\n"
+      "}\n");
+  EXPECT_EQ(count_rule(f, "R6"), 0);
+}
+
 // ------------------------------------------------------------------- misc
 
 TEST(Lint, WantsOnlyCxxSourcesUnderScannedRoots) {

@@ -1,0 +1,212 @@
+// Validates the BENCH_*.json artifacts the benches emit (schema
+// "dpnet.bench.v1", see docs/observability.md):
+//
+//   bench_schema_check <report.json>...
+//
+// Beyond shape checking, it verifies the accounting invariants that make
+// the artifacts trustworthy: when a report carries both a query trace and
+// an audit ledger, the spans' eps_charged must sum to the ledger's spend,
+// and any "tracing disabled overhead pct" result must stay under 2%.
+// Exit status 0 iff every file passes; each failure prints one line.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace {
+
+using dpnet::core::JsonValue;
+
+int failures = 0;
+const char* current_file = "";
+
+void fail(const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", current_file, why.c_str());
+  ++failures;
+}
+
+bool require_string(const JsonValue& doc, const char* field) {
+  const JsonValue* v = doc.find(field);
+  if (v == nullptr || !v->is_string()) {
+    fail(std::string("missing or non-string field '") + field + "'");
+    return false;
+  }
+  return true;
+}
+
+/// Sum of eps_charged over a span subtree; checks span shape as it goes.
+double check_span(const JsonValue& span) {
+  if (!span.is_object()) {
+    fail("trace span is not an object");
+    return 0.0;
+  }
+  for (const char* field : {"op", "stability", "input_rows", "output_rows",
+                            "eps_requested", "eps_charged", "wall_ms",
+                            "children"}) {
+    if (span.find(field) == nullptr) {
+      fail(std::string("trace span missing '") + field + "'");
+      return 0.0;
+    }
+  }
+  if (!span.at("op").is_string() || !span.at("eps_charged").is_number() ||
+      !span.at("children").is_array()) {
+    fail("trace span has mistyped fields");
+    return 0.0;
+  }
+  double total = span.at("eps_charged").number;
+  for (const JsonValue& child : span.at("children").array) {
+    total += check_span(child);
+  }
+  return total;
+}
+
+void check_results(const JsonValue& results) {
+  for (const JsonValue& row : results.array) {
+    if (!row.is_object() || row.find("section") == nullptr ||
+        row.find("key") == nullptr) {
+      fail("result row missing section/key");
+      continue;
+    }
+    const bool comparison =
+        row.find("paper") != nullptr && row.find("measured") != nullptr;
+    const JsonValue* value = row.find("value");
+    if (!comparison && value == nullptr) {
+      fail("result row '" + row.at("key").string +
+           "' has neither value nor paper/measured");
+      continue;
+    }
+    if (row.at("key").string == "tracing disabled overhead pct") {
+      if (value == nullptr || !value->is_number()) {
+        fail("overhead result is not numeric");
+      } else if (!(value->number < 2.0)) {
+        fail("tracing disabled overhead " + std::to_string(value->number) +
+             "% exceeds the 2% bound");
+      }
+    }
+  }
+}
+
+void check_report(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    fail("document is not an object");
+    return;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != "dpnet.bench.v1") {
+    fail("schema is not \"dpnet.bench.v1\"");
+    return;
+  }
+  require_string(doc, "name");
+  require_string(doc, "title");
+  require_string(doc, "reproduces");
+
+  const JsonValue* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) {
+    fail("missing or non-array 'results'");
+  } else {
+    check_results(*results);
+  }
+
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    fail("missing or non-object 'metrics'");
+  } else {
+    for (const char* field : {"counters", "gauges", "histograms"}) {
+      const JsonValue* m = metrics->find(field);
+      if (m == nullptr || !m->is_object()) {
+        fail(std::string("metrics missing object '") + field + "'");
+      }
+    }
+  }
+
+  const JsonValue* trace = doc.find("trace");
+  const JsonValue* audit = doc.find("audit");
+  if (trace == nullptr || audit == nullptr) {
+    fail("missing 'trace' or 'audit' (use null when not recorded)");
+    return;
+  }
+
+  double trace_eps = 0.0;
+  if (!trace->is_null()) {
+    const JsonValue* spans = trace->find("spans");
+    if (spans == nullptr || !spans->is_array()) {
+      fail("trace missing 'spans' array");
+      return;
+    }
+    for (const JsonValue& span : spans->array) {
+      trace_eps += check_span(span);
+    }
+  }
+
+  if (!audit->is_null()) {
+    const JsonValue* spent = audit->find("spent");
+    const JsonValue* entries = audit->find("entries");
+    const JsonValue* totals = audit->find("totals_by_label");
+    if (spent == nullptr || !spent->is_number() || entries == nullptr ||
+        !entries->is_array() || totals == nullptr || !totals->is_object()) {
+      fail("audit ledger missing spent/entries/totals_by_label");
+      return;
+    }
+    double entry_sum = 0.0;
+    for (const JsonValue& e : entries->array) {
+      if (!e.is_object() || e.find("eps") == nullptr ||
+          !e.at("eps").is_number() || e.find("label") == nullptr) {
+        fail("audit entry missing eps/label");
+        return;
+      }
+      entry_sum += e.at("eps").number;
+    }
+    double label_sum = 0.0;
+    for (const auto& [label, total] : totals->object) {
+      if (!total.is_number()) {
+        fail("non-numeric total for label '" + label + "'");
+        return;
+      }
+      label_sum += total.number;
+    }
+    // The per-entry and per-label views are two groupings of one ledger.
+    if (std::abs(entry_sum - label_sum) > 1e-9 * std::max(1.0, entry_sum)) {
+      fail("audit entries and totals_by_label disagree");
+    }
+    // The load-bearing invariant: what the trace says was charged is what
+    // the ledger says was spent (charge-then-record ordering guarantees
+    // the two never drift; see src/core/audit.hpp).
+    if (!trace->is_null() && trace_eps != entry_sum) {
+      fail("trace eps_charged sum " + std::to_string(trace_eps) +
+           " != audit ledger sum " + std::to_string(entry_sum));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_schema_check <report.json>...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    current_file = argv[i];
+    std::ifstream in(argv[i]);
+    if (!in) {
+      fail("cannot open");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      check_report(dpnet::core::parse_json(buf.str()));
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_schema_check: %d file(s) ok\n", argc - 1);
+  }
+  return failures == 0 ? 0 : 1;
+}

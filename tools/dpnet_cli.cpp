@@ -1,13 +1,9 @@
 // dpnet command-line tool: generate, convert, sanitize, and privately
 // analyze packet traces from the shell.
 //
-//   dpnet_cli gen <out.{pcap,dpnt}> [--seed N] [--full]
-//   dpnet_cli convert <in> <out>
-//   dpnet_cli stats <in>                      (trusted side, exact)
-//   dpnet_cli anonymize <in> <out> [--key N] [--keep-payloads]
-//   dpnet_cli analyze <in> <query> [--eps E] [--budget B]
-//       queries: count | length-cdf | port-cdf | rtt-cdf | loss-cdf |
-//                service-mix
+// Subcommands are described by one table (kSubcommands); the global usage
+// text and every per-subcommand `--help` page are generated from it, so
+// adding a command means adding one table row plus a handler.
 //
 // Formats are chosen by extension: .pcap (standard capture) or .dpnt
 // (dpnet's native container, keeps exact timestamps and lengths).
@@ -24,19 +20,8 @@ namespace {
 using namespace dpnet;
 using net::Packet;
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr, "%s",
-               "usage:\n"
-               "  dpnet_cli gen <out.{pcap,dpnt}> [--seed N] [--full]\n"
-               "  dpnet_cli convert <in> <out>\n"
-               "  dpnet_cli stats <in>\n"
-               "  dpnet_cli anonymize <in> <out> [--key N] "
-               "[--keep-payloads]\n"
-               "  dpnet_cli analyze <in> <query> [--eps E] [--budget B]\n"
-               "      query: count | length-cdf | port-cdf | rtt-cdf |\n"
-               "             loss-cdf | service-mix\n");
-  std::exit(2);
-}
+[[noreturn]] void usage();
+[[noreturn]] void usage_for(const std::string& name);
 
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -86,7 +71,7 @@ bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
-  if (args.empty()) usage();
+  if (args.empty()) usage_for("gen");
   tracegen::HotspotConfig cfg = has_flag(args, "--full")
                                     ? tracegen::HotspotConfig{}
                                     : tracegen::HotspotConfig::small();
@@ -100,7 +85,7 @@ int cmd_gen(const std::vector<std::string>& args) {
 }
 
 int cmd_convert(const std::vector<std::string>& args) {
-  if (args.size() < 2) usage();
+  if (args.size() < 2) usage_for("convert");
   const auto trace = load(args[0]);
   save(args[1], trace);
   std::printf("converted %zu packets: %s -> %s\n", trace.size(),
@@ -109,7 +94,7 @@ int cmd_convert(const std::vector<std::string>& args) {
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.empty()) usage();
+  if (args.empty()) usage_for("stats");
   const auto trace = load(args[0]);
   const auto flows = net::compute_flow_stats(trace);
   std::uint64_t bytes = 0;
@@ -137,7 +122,7 @@ int cmd_stats(const std::vector<std::string>& args) {
 }
 
 int cmd_anonymize(const std::vector<std::string>& args) {
-  if (args.size() < 2) usage();
+  if (args.size() < 2) usage_for("anonymize");
   net::AnonymizeOptions opt;
   opt.key = std::stoull(flag_value(args, "--key", "1537228672809129301"));
   opt.strip_payloads = !has_flag(args, "--keep-payloads");
@@ -158,21 +143,10 @@ void print_cdf(const toolkit::CdfEstimate& cdf, const char* unit) {
   }
 }
 
-int cmd_analyze(const std::vector<std::string>& args) {
-  if (args.size() < 2) usage();
-  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
-  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
-  const auto trace = load(args[0]);
-  const std::string query = args[1];
-
-  auto audit = std::make_shared<core::AuditingBudget>(
-      std::make_shared<core::RootBudget>(budget_total));
-  core::Queryable<Packet> packets(
-      trace, audit,
-      std::make_shared<core::NoiseSource>(
-          std::stoull(flag_value(args, "--seed", "1"))));
-  core::ScopedAuditLabel label(*audit, query);
-
+/// Runs one named analysis query against the protected view; returns false
+/// when `query` is not recognized.  Shared by `analyze` and `trace`.
+bool run_analysis_query(core::Queryable<Packet>& packets,
+                        const std::string& query, double eps) {
   if (query == "count") {
     std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
   } else if (query == "length-cdf") {
@@ -197,10 +171,184 @@ int cmd_analyze(const std::vector<std::string>& args) {
                   parts.at(static_cast<int>(c)).noisy_count(eps));
     }
   } else {
-    usage();
+    return false;
   }
+  return true;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage_for("analyze");
+  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
+  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
+  const auto trace = load(args[0]);
+  const std::string query = args[1];
+
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(budget_total));
+  core::Queryable<Packet> packets(
+      trace, audit,
+      std::make_shared<core::NoiseSource>(
+          std::stoull(flag_value(args, "--seed", "1"))));
+  core::ScopedAuditLabel label(*audit, query);
+
+  if (!run_analysis_query(packets, query, eps)) usage_for("analyze");
   std::printf("privacy spent: %.4f of %.4f\n", audit->spent(), budget_total);
   return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage_for("trace");
+  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
+  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
+  const bool want_json = has_flag(args, "--json");
+  const auto trace = load(args[0]);
+  const std::string query = args[1];
+
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(budget_total));
+  core::Queryable<Packet> packets(
+      trace, audit,
+      std::make_shared<core::NoiseSource>(
+          std::stoull(flag_value(args, "--seed", "1"))));
+
+  core::QueryTrace query_trace;
+  {
+    core::TraceSession session(query_trace);
+    core::ScopedAuditLabel label(*audit, query);
+    if (!run_analysis_query(packets, query, eps)) usage_for("trace");
+  }
+
+  if (want_json) {
+    core::JsonWriter w;
+    w.begin_object();
+    w.key("query").value(query);
+    w.key("trace").raw(query_trace.to_json());
+    w.key("audit").raw(audit->to_json());
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  std::printf("\n--- query trace ---\n%s", query_trace.pretty().c_str());
+  std::printf("\n--- epsilon by operator ---\n");
+  for (const auto& [op, charged] : query_trace.eps_by_op()) {
+    if (charged > 0.0) std::printf("%-24s %10.4f\n", op.c_str(), charged);
+  }
+  std::printf("trace total: %.4f\n", query_trace.total_eps_charged());
+  std::printf("privacy spent: %.4f of %.4f\n", audit->spent(), budget_total);
+  return 0;
+}
+
+int cmd_metrics(const std::vector<std::string>& args) {
+  if (args.empty()) usage_for("metrics");
+  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
+  const bool want_json = has_flag(args, "--json");
+  const auto trace = load(args[0]);
+
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(1e6));
+  core::Queryable<Packet> packets(
+      trace, audit,
+      std::make_shared<core::NoiseSource>(
+          std::stoull(flag_value(args, "--seed", "1"))));
+  // A small representative workload so the snapshot has something to show.
+  std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
+  print_cdf(analysis::dp_packet_length_cdf(packets, eps, 50), "bytes");
+
+  if (want_json) {
+    std::printf("%s\n", core::MetricsRegistry::global().to_json().c_str());
+  } else {
+    std::printf("\n--- metrics ---\n%s",
+                core::MetricsRegistry::global().pretty().c_str());
+  }
+  return 0;
+}
+
+using Handler = int (*)(const std::vector<std::string>&);
+
+struct Subcommand {
+  const char* name;
+  const char* synopsis;  // arguments, shown after the command name
+  const char* summary;   // one line for the global usage listing
+  const char* flags;     // flag detail for the per-command help ("" if none)
+  Handler handler;
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"gen", "<out.{pcap,dpnt}> [--seed N] [--full]",
+     "generate a synthetic hotspot packet trace",
+     "  --seed N   generator seed (default 42)\n"
+     "  --full     full-size configuration (default: small)\n",
+     &cmd_gen},
+    {"convert", "<in> <out>",
+     "convert between .pcap and .dpnt containers", "", &cmd_convert},
+    {"stats", "<in>",
+     "exact trace statistics (trusted side, no privacy)", "", &cmd_stats},
+    {"anonymize", "<in> <out> [--key N] [--keep-payloads]",
+     "prefix-preserving IP anonymization",
+     "  --key N           anonymization key\n"
+     "  --keep-payloads   keep packet payloads (default: strip)\n",
+     &cmd_anonymize},
+    {"analyze", "<in> <query> [--eps E] [--budget B] [--seed N]",
+     "run a differentially-private analysis",
+     "  query: count | length-cdf | port-cdf | rtt-cdf | loss-cdf |\n"
+     "         service-mix\n"
+     "  --eps E      epsilon per query (default 1.0)\n"
+     "  --budget B   total privacy budget (default 10)\n"
+     "  --seed N     noise seed (default 1)\n",
+     &cmd_analyze},
+    {"trace", "<in> <query> [--eps E] [--budget B] [--seed N] [--json]",
+     "run an analysis and show its query-plan trace",
+     "  query: as for `analyze`\n"
+     "  --json       print the trace and audit ledger as one JSON document\n"
+     "  --eps E      epsilon per query (default 1.0)\n"
+     "  --budget B   total privacy budget (default 10)\n"
+     "  --seed N     noise seed (default 1)\n",
+     &cmd_trace},
+    {"metrics", "<in> [--eps E] [--seed N] [--json]",
+     "run a sample workload and dump the metrics registry",
+     "  --json       print the snapshot as JSON\n"
+     "  --eps E      epsilon per query (default 1.0)\n"
+     "  --seed N     noise seed (default 1)\n",
+     &cmd_metrics},
+};
+
+const Subcommand* find_subcommand(const std::string& name) {
+  for (const Subcommand& sc : kSubcommands) {
+    if (name == sc.name) return &sc;
+  }
+  return nullptr;
+}
+
+void print_help_for(std::FILE* out, const Subcommand& sc) {
+  std::fprintf(out, "usage: dpnet_cli %s %s\n", sc.name, sc.synopsis);
+  std::fprintf(out, "  %s\n", sc.summary);
+  if (sc.flags[0] != '\0') std::fprintf(out, "%s", sc.flags);
+}
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out, "usage: dpnet_cli <command> [args]\n\ncommands:\n");
+  for (const Subcommand& sc : kSubcommands) {
+    std::fprintf(out, "  %-10s %s\n", sc.name, sc.summary);
+  }
+  std::fprintf(out,
+               "\nrun `dpnet_cli help <command>` or "
+               "`dpnet_cli <command> --help` for details\n");
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
+  std::exit(2);
+}
+
+[[noreturn]] void usage_for(const std::string& name) {
+  const Subcommand* sc = find_subcommand(name);
+  if (sc != nullptr) {
+    print_help_for(stderr, *sc);
+  } else {
+    print_usage(stderr);
+  }
+  std::exit(2);
 }
 
 }  // namespace
@@ -209,15 +357,32 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
+  if (command == "help") {
+    if (args.empty()) {
+      print_usage(stdout);
+      return 0;
+    }
+    const Subcommand* sc = find_subcommand(args[0]);
+    if (sc == nullptr) usage();
+    print_help_for(stdout, *sc);
+    return 0;
+  }
+
+  const Subcommand* sc = find_subcommand(command);
+  if (sc == nullptr) usage();
+  if (has_flag(args, "--help") || has_flag(args, "-h")) {
+    print_help_for(stdout, *sc);
+    return 0;
+  }
   try {
-    if (command == "gen") return cmd_gen(args);
-    if (command == "convert") return cmd_convert(args);
-    if (command == "stats") return cmd_stats(args);
-    if (command == "anonymize") return cmd_anonymize(args);
-    if (command == "analyze") return cmd_analyze(args);
+    return sc->handler(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  usage();
 }

@@ -29,6 +29,7 @@ struct FileClass {
   bool allow_unsafe = false; // tests/, bench/, src/tracegen/  (R1)
   bool is_noise = false;     // src/core/noise.{hpp,cpp}       (R2)
   bool harness = false;      // tests/, bench/: own seeding OK (R2)
+  bool telemetry = false;    // files that serialize telemetry (R6)
 };
 
 FileClass classify(std::string_view path) {
@@ -42,6 +43,12 @@ FileClass classify(std::string_view path) {
       in_tests || in_bench || starts_with(path, "src/tracegen/");
   c.is_noise = path == "src/core/noise.hpp" || path == "src/core/noise.cpp";
   c.harness = in_tests || in_bench;
+  c.telemetry = path == "src/core/trace.hpp" || path == "src/core/trace.cpp" ||
+                path == "src/core/metrics.hpp" ||
+                path == "src/core/metrics.cpp" ||
+                path == "src/core/audit.hpp" ||
+                path == "src/core/streaming.hpp" ||
+                path == "bench/common.hpp" || path == "tools/dpnet_cli.cpp";
   return c;
 }
 
@@ -55,6 +62,15 @@ struct Token {
   Kind kind;
   std::string text;
   int line;
+};
+
+/// String literals are not tokens (the rules reason about code structure),
+/// but R6 needs them: each literal is recorded alongside the index of the
+/// next token slot, so a rule can inspect the tokens just before it.
+struct StringLit {
+  std::string text;        // contents, escapes left as written
+  int line;
+  std::size_t token_slot;  // == tokens.size() at the time it was lexed
 };
 
 /// Per-line suppression state harvested from comments while lexing.
@@ -90,6 +106,7 @@ struct Lexer {
   int line = 1;
   int last_token_line = 0;  // to detect comments standing alone on a line
   std::vector<Token> tokens;
+  std::vector<StringLit> strings;
   Suppressions supp;
   int open_trusted = -1;  // line where an unterminated trusted region began
 
@@ -159,11 +176,15 @@ struct Lexer {
   }
 
   void skip_string() {
+    const int start_line = line;
     bump();  // opening quote
+    const std::size_t begin = i;
     while (i < src.size() && peek() != '"') {
       if (peek() == '\\' && i + 1 < src.size()) bump();
       bump();
     }
+    strings.push_back({std::string(src.substr(begin, i - begin)), start_line,
+                       tokens.size()});
     if (i < src.size()) bump();
   }
 
@@ -346,6 +367,7 @@ class Analysis {
     Lexer lexer(content);
     lexer.run();
     toks_ = std::move(lexer.tokens);
+    strings_ = std::move(lexer.strings);
     supp_ = std::move(lexer.supp);
   }
 
@@ -355,6 +377,7 @@ class Analysis {
     rule_nodiscard();
     rule_raw_ownership();
     rule_epsilon_literals();
+    rule_telemetry_fields();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -516,9 +539,45 @@ class Analysis {
     }
   }
 
+  /// R6: telemetry serializes only approved fields.  In the files that
+  /// build JSON telemetry (traces, metrics, ledgers, bench reports), every
+  /// string literal passed to a JsonWriter key() must come from the
+  /// approved-field list in docs/observability.md — so a change that would
+  /// leak a new field (worst case, record payloads) into the telemetry
+  /// stream fails the lint until the field is reviewed and listed here.
+  void rule_telemetry_fields() {
+    if (!cls_.telemetry) return;
+    static const std::unordered_set<std::string> kApprovedFields = {
+        // query trace (src/core/trace.cpp)
+        "spans", "op", "detail", "stability", "input_rows", "output_rows",
+        "eps_requested", "eps_charged", "mechanism", "wall_ms", "children",
+        // metrics snapshot (src/core/metrics.cpp)
+        "counters", "gauges", "histograms", "count", "sum", "buckets",
+        "upper_bound",
+        // audit ledger (src/core/audit.hpp)
+        "spent", "entries", "eps", "label", "totals_by_label",
+        // bench report (bench/common.hpp) and CLI trace output
+        "schema", "name", "title", "reproduces", "results", "section", "key",
+        "value", "paper", "measured", "trace", "audit", "metrics", "query"};
+    for (const StringLit& lit : strings_) {
+      if (lit.token_slot < 2) continue;
+      const Token& open = toks_[lit.token_slot - 1];
+      const Token& callee = toks_[lit.token_slot - 2];
+      if (open.kind != Kind::Punct || open.text != "(") continue;
+      if (callee.kind != Kind::Ident || callee.text != "key") continue;
+      if (kApprovedFields.count(lit.text) > 0) continue;
+      report("R6", lit.line,
+             "telemetry field '" + lit.text +
+                 "' is not on the approved list; telemetry may only "
+                 "serialize accounting metadata, never record contents "
+                 "(docs/observability.md)");
+    }
+  }
+
   std::string_view path_;
   FileClass cls_;
   std::vector<Token> toks_;
+  std::vector<StringLit> strings_;
   Suppressions supp_;
   std::vector<Finding> findings_;
 };

@@ -12,6 +12,10 @@
 //   R4  no raw owning new/delete/malloc anywhere.
 //   R5  no hard-coded positive epsilon literals in src/ — accuracy levels
 //       are supplied by the caller's budget policy.
+//   R6  telemetry files (core trace/metrics/audit serializers, the bench
+//       report, the CLI) may only pass approved field names to JsonWriter
+//       key() — telemetry carries accounting metadata, never record
+//       contents (see docs/observability.md for the field list).
 //
 // Suppression syntax:
 //   // dpnet-lint: trusted          start of a trusted region (R1, R2)
@@ -30,7 +34,7 @@ namespace dpnet::lint {
 struct Finding {
   std::string file;     // repo-relative path, forward slashes
   int line = 0;         // 1-based
-  std::string rule;     // "R1".."R5"
+  std::string rule;     // "R1".."R6"
   std::string message;  // human-readable diagnostic
 };
 
