@@ -21,7 +21,7 @@ constexpr Row kRows[] = {
     {"Packet size & port dist. (5.1.1)", "faithful", "strong privacy",
      "faithful", "strong privacy (0.05% RMSE at eps=0.1)"},
     {"Worm fingerprinting (5.1.2)", "faithful", "weak privacy",
-     "faithful", "weak privacy (recall 5/28/29 at 0.1/1/10)"},
+     "faithful", "weak privacy (recall 6/27/29 at 0.1/1/10)"},
     {"Common flow properties (5.2.1)",
      "could not isolate connections in a flow", "strong privacy",
      "fully expressed (group_by_spans extension)",

@@ -35,6 +35,10 @@ int main() {
     opt.dst_threshold = 5;
     opt.eps_group_count = 0.1;
     opt.string_threshold = 1e12;  // skip the string search for this part
+    // The skipped stages still need explicit accuracies to pass the
+    // options check; the huge threshold leaves no candidates to measure.
+    opt.eps_per_string_level = 0.1 / 8.0;
+    opt.eps_dispersion = 0.1;
     auto packets = bench::protect(trace, 601);
     const auto result = analysis::dp_worm_fingerprint(packets, opt);
     const auto exact5 = analysis::exact_worm_payloads(trace, 8, 5, 5);

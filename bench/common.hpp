@@ -163,6 +163,14 @@ class BenchReport {
     audit_json_ = audit.to_json();
   }
 
+  /// Records the executor parallelism the bench ran with and the measured
+  /// speedup over its own single-thread run (accounting metadata only).
+  void set_parallelism(std::size_t threads, double speedup_vs_1thread) {
+    threads_ = threads;
+    speedup_ = speedup_vs_1thread;
+    has_parallelism_ = true;
+  }
+
   /// Serializes the report (schema "dpnet.bench.v1").
   [[nodiscard]] std::string to_json() const {
     core::JsonWriter w;
@@ -200,6 +208,10 @@ class BenchReport {
       w.raw(audit_json_);
     }
     w.key("metrics").raw(core::MetricsRegistry::global().to_json());
+    if (has_parallelism_) {
+      w.key("threads").value(static_cast<double>(threads_));
+      w.key("speedup_vs_1thread").value(speedup_);
+    }
     w.end_object();
     return w.str();
   }
@@ -257,6 +269,9 @@ class BenchReport {
   std::vector<Row> rows_;
   std::string trace_json_;
   std::string audit_json_;
+  std::size_t threads_ = 1;
+  double speedup_ = 1.0;
+  bool has_parallelism_ = false;
   bool atexit_registered_ = false;
 };
 

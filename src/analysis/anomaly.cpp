@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/exec/executor.hpp"
+
 namespace dpnet::analysis {
 
 using net::LinkPacket;
@@ -29,12 +31,24 @@ linalg::Matrix dp_link_time_matrix(
                         static_cast<std::size_t>(options.windows));
   auto rows = records.partition(
       link_keys, [](const LinkPacket& r) { return r.link; });
+  // Each link's row (an inner window partition plus one count per cell)
+  // derives only from that link's part, so rows are independent branches
+  // and fan out under the executor policy.
+  const double eps = options.eps;
+  const std::vector<std::vector<double>> row_counts = core::exec::map_parts(
+      options.exec, link_keys, rows,
+      [&window_keys, eps](int, const core::Queryable<LinkPacket>& row) {
+        auto cells = row.partition(
+            window_keys, [](const LinkPacket& r) { return r.window; });
+        std::vector<double> out;
+        out.reserve(window_keys.size());
+        for (int w : window_keys) out.push_back(cells.at(w).noisy_count(eps));
+        return out;
+      });
   for (int l = 0; l < options.links; ++l) {
-    auto cells = rows.at(l).partition(
-        window_keys, [](const LinkPacket& r) { return r.window; });
     for (int w = 0; w < options.windows; ++w) {
       counts(static_cast<std::size_t>(l), static_cast<std::size_t>(w)) =
-          cells.at(w).noisy_count(options.eps);
+          row_counts[static_cast<std::size_t>(l)][static_cast<std::size_t>(w)];
     }
   }
   return counts;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/pca.hpp"
@@ -21,6 +22,7 @@ struct AnomalyOptions {
   double eps = 0.0;
   std::size_t components = 4;  // "normal traffic" subspace dimension
   double bytes_per_packet = 1500.0;  // de-aggregation unit
+  core::exec::ExecPolicy exec;  // per-link rows fan out when > 1
 };
 
 /// Privately measures the link x time packet-count matrix: Partition by

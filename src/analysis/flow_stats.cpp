@@ -151,15 +151,19 @@ core::Queryable<std::int64_t> retransmit_diffs_ms(
 }
 
 toolkit::CdfEstimate dp_rtt_cdf(const core::Queryable<Packet>& packets,
-                                double eps, std::int64_t bucket_ms) {
+                                double eps, std::int64_t bucket_ms,
+                                core::exec::ExecPolicy policy) {
   const auto boundaries = toolkit::make_boundaries(0, 600, bucket_ms);
-  return toolkit::cdf_partition(handshake_rtts_ms(packets), boundaries, eps);
+  return toolkit::cdf_partition(handshake_rtts_ms(packets), boundaries, eps,
+                                policy);
 }
 
 toolkit::CdfEstimate dp_loss_cdf(const core::Queryable<Packet>& packets,
-                                 double eps, std::int64_t bucket) {
+                                 double eps, std::int64_t bucket,
+                                 core::exec::ExecPolicy policy) {
   const auto boundaries = toolkit::make_boundaries(0, 1000, bucket);
-  return toolkit::cdf_partition(flow_loss_permille(packets), boundaries, eps);
+  return toolkit::cdf_partition(flow_loss_permille(packets), boundaries, eps,
+                                policy);
 }
 
 std::vector<std::int64_t> exact_rtts_ms(std::span<const Packet> trace) {

@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "net/packet.hpp"
 #include "toolkit/cdf.hpp"
@@ -52,11 +53,13 @@ namespace dpnet::analysis {
 /// Private RTT CDF over [0, 600] ms (Fig 3a).  Total cost: eps times the
 /// column's stability (2: both join inputs draw on the same trace).
 toolkit::CdfEstimate dp_rtt_cdf(const core::Queryable<net::Packet>& packets,
-                                double eps, std::int64_t bucket_ms = 10);
+                                double eps, std::int64_t bucket_ms = 10,
+                                core::exec::ExecPolicy policy = {});
 
 /// Private loss-rate CDF over [0, 1000] permille (Fig 3b).
 toolkit::CdfEstimate dp_loss_cdf(const core::Queryable<net::Packet>& packets,
-                                 double eps, std::int64_t bucket = 20);
+                                 double eps, std::int64_t bucket = 20,
+                                 core::exec::ExecPolicy policy = {});
 
 /// Noise-free references (trusted side).
 std::vector<std::int64_t> exact_rtts_ms(std::span<const net::Packet> trace);

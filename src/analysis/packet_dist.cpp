@@ -18,15 +18,17 @@ core::Queryable<std::int64_t> dst_ports(
 
 toolkit::CdfEstimate dp_packet_length_cdf(
     const core::Queryable<Packet>& packets, double eps,
-    std::int64_t bucket_width) {
+    std::int64_t bucket_width, core::exec::ExecPolicy policy) {
   const auto boundaries = toolkit::make_boundaries(0, 1500, bucket_width);
-  return toolkit::cdf_partition(packet_lengths(packets), boundaries, eps);
+  return toolkit::cdf_partition(packet_lengths(packets), boundaries, eps,
+                                policy);
 }
 
 toolkit::CdfEstimate dp_port_cdf(const core::Queryable<Packet>& packets,
-                                 double eps, std::int64_t bucket_width) {
+                                 double eps, std::int64_t bucket_width,
+                                 core::exec::ExecPolicy policy) {
   const auto boundaries = toolkit::make_boundaries(0, 65535, bucket_width);
-  return toolkit::cdf_partition(dst_ports(packets), boundaries, eps);
+  return toolkit::cdf_partition(dst_ports(packets), boundaries, eps, policy);
 }
 
 namespace {

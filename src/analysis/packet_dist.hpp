@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "net/packet.hpp"
 #include "toolkit/cdf.hpp"
@@ -25,11 +26,12 @@ namespace dpnet::analysis {
 /// Total privacy cost: eps.
 toolkit::CdfEstimate dp_packet_length_cdf(
     const core::Queryable<net::Packet>& packets, double eps,
-    std::int64_t bucket_width = 25);
+    std::int64_t bucket_width = 25, core::exec::ExecPolicy policy = {});
 
 /// Private CDF of destination ports over [0, 65535].
 toolkit::CdfEstimate dp_port_cdf(const core::Queryable<net::Packet>& packets,
-                                 double eps, std::int64_t bucket_width = 1024);
+                                 double eps, std::int64_t bucket_width = 1024,
+                                 core::exec::ExecPolicy policy = {});
 
 /// Noise-free references.
 toolkit::CdfEstimate exact_packet_length_cdf(

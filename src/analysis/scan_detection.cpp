@@ -52,7 +52,7 @@ ScanDetectionResult dp_scan_detection(
     return static_cast<std::int64_t>(distinct_dsts(grp));
   });
   const auto cdf = toolkit::cdf_partition(fanouts, bounds,
-                                          options.eps_histogram);
+                                          options.eps_histogram, options.exec);
   result.fanout_boundaries = cdf.boundaries;
   result.fanout_cdf = cdf.values;
   return result;

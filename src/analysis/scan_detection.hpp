@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "net/packet.hpp"
 
@@ -23,6 +24,7 @@ struct ScanDetectionOptions {
   double eps_histogram = 0.0;  // fan-out histogram (0 rejects)
   std::int64_t histogram_max = 512; // fan-out histogram domain
   std::int64_t histogram_bucket = 8;
+  core::exec::ExecPolicy exec;      // histogram buckets fan out when > 1
 };
 
 struct ScanDetectionResult {

@@ -115,6 +115,7 @@ std::vector<StonePairScore> dp_stepping_stones(
   iopt.max_size = 2;
   iopt.eps_per_level = options.eps_itemset;
   iopt.threshold = options.itemset_threshold;
+  iopt.exec = options.exec;
   const auto itemsets = toolkit::frequent_itemsets(bins, universe, iopt);
 
   std::vector<std::pair<int, int>> pairs;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "net/packet.hpp"
 #include "net/tcp.hpp"
@@ -25,6 +26,10 @@ struct SteppingStoneOptions {
   double eps_eval = 0.0;     // per count when scoring a pair (0 rejects)
   int top_k = 20;
   std::size_t max_eval_pairs = 64;
+  // Forwarded to the itemset mining stage.  Pair scoring itself stays
+  // sequential: the joins cross partition branches and share a memoized
+  // per-flow bin cache, so its releases are not independent branches.
+  core::exec::ExecPolicy exec;
 };
 
 struct StonePairScore {

@@ -1,5 +1,7 @@
 #include "analysis/topology.hpp"
 
+#include "core/exec/executor.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -56,21 +58,22 @@ std::vector<double> dp_monitor_averages(
     throw std::invalid_argument(
         "topology options require an explicit eps_averages > 0");
   }
+  const auto keys = iota_keys(options.monitors);
   auto parts = records.partition(
-      iota_keys(options.monitors),
-      [](const ScatterRecord& r) { return r.monitor; });
-  std::vector<double> averages(static_cast<std::size_t>(options.monitors));
-  for (int m = 0; m < options.monitors; ++m) {
-    averages[static_cast<std::size_t>(m)] = std::clamp(
-        parts.at(m).noisy_average_scaled(
-            options.eps_averages,
-            [](const ScatterRecord& r) {
-              return static_cast<double>(r.hops);
-            },
-            options.hop_magnitude),
-        0.0, options.hop_magnitude);
-  }
-  return averages;
+      keys, [](const ScatterRecord& r) { return r.monitor; });
+  const double eps = options.eps_averages;
+  const double magnitude = options.hop_magnitude;
+  return core::exec::map_parts(
+      options.exec, keys, parts,
+      [eps, magnitude](int, const core::Queryable<ScatterRecord>& part) {
+        return std::clamp(part.noisy_average_scaled(
+                              eps,
+                              [](const ScatterRecord& r) {
+                                return static_cast<double>(r.hops);
+                              },
+                              magnitude),
+                          0.0, magnitude);
+      });
 }
 
 TopologyResult dp_topology_clustering(
@@ -112,18 +115,29 @@ TopologyResult dp_topology_clustering(
         cluster_keys, [centers](const std::vector<double>& v) {
           return static_cast<int>(linalg::nearest_center(v, centers));
         });
+    // Each cluster's count + per-coordinate sums touch only its own
+    // partition branch; the clusters fan out under the executor policy.
+    const int monitors = options.monitors;
+    const double magnitude = options.hop_magnitude;
+    const auto stats = core::exec::map_parts(
+        options.exec, cluster_keys, parts,
+        [eps_step, monitors, magnitude](
+            int, const core::Queryable<std::vector<double>>& part) {
+          std::pair<double, std::vector<double>> out;
+          out.first = part.noisy_count(eps_step);
+          out.second.resize(static_cast<std::size_t>(monitors));
+          for (int d = 0; d < monitors; ++d) {
+            out.second[static_cast<std::size_t>(d)] = part.noisy_sum_scaled(
+                eps_step,
+                [d](const std::vector<double>& v) {
+                  return v[static_cast<std::size_t>(d)];
+                },
+                magnitude);
+          }
+          return out;
+        });
     for (int c = 0; c < options.clusters; ++c) {
-      const auto& part = parts.at(c);
-      const double count = part.noisy_count(eps_step);
-      std::vector<double> sums(static_cast<std::size_t>(options.monitors));
-      for (int d = 0; d < options.monitors; ++d) {
-        sums[static_cast<std::size_t>(d)] = part.noisy_sum_scaled(
-            eps_step,
-            [d](const std::vector<double>& v) {
-              return v[static_cast<std::size_t>(d)];
-            },
-            options.hop_magnitude);
-      }
+      const auto& [count, sums] = stats[static_cast<std::size_t>(c)];
       if (count < 1.0) continue;  // too small to re-estimate; keep center
       for (int d = 0; d < options.monitors; ++d) {
         result.centers(static_cast<std::size_t>(c),

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "linalg/kmeans.hpp"
 #include "linalg/matrix.hpp"
@@ -26,6 +27,7 @@ struct TopologyOptions {
   double eps_averages = 0.0;  // per-monitor mean fill-ins (0 rejects)
   double hop_magnitude = 64.0;     // clamp bound for sums/averages
   std::uint64_t init_seed = 99;    // the common random initialization
+  core::exec::ExecPolicy exec;     // partition branches fan out when > 1
 };
 
 struct TopologyResult {

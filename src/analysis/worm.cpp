@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/exec/executor.hpp"
 #include "toolkit/frequent_strings.hpp"
 
 namespace dpnet::analysis {
@@ -63,6 +64,7 @@ WormResult dp_worm_fingerprint(const core::Queryable<Packet>& packets,
   fs.length = len;
   fs.eps_per_level = options.eps_per_string_level;
   fs.threshold = options.string_threshold;
+  fs.exec = options.exec;
   const auto payloads = with_payload.select(
       [](const Packet& p) { return p.payload; });
   const auto frequent = toolkit::frequent_strings(payloads, fs);
@@ -75,23 +77,29 @@ WormResult dp_worm_fingerprint(const core::Queryable<Packet>& packets,
   auto parts = with_payload.partition(
       candidates,
       [len](const Packet& p) { return p.payload.substr(0, len); });
-  for (const auto& f : frequent) {
-    const auto& part = parts.at(f.value);
-    WormCandidate cand;
-    cand.payload = f.value;
-    cand.noisy_count = f.estimated_count;
-    cand.noisy_distinct_srcs =
-        part.select([](const Packet& p) { return p.src_ip; })
-            .distinct()
-            .noisy_count(options.eps_dispersion);
-    cand.noisy_distinct_dsts =
-        part.select([](const Packet& p) { return p.dst_ip; })
-            .distinct()
-            .noisy_count(options.eps_dispersion);
-    cand.flagged = cand.noisy_distinct_srcs > options.src_threshold &&
-                   cand.noisy_distinct_dsts > options.dst_threshold;
-    result.candidates.push_back(std::move(cand));
-  }
+  // Each candidate's dispersion measurements derive only from its own
+  // partition branch, so the candidates fan out under the executor policy.
+  std::unordered_map<std::string, double> counts;
+  for (const auto& f : frequent) counts[f.value] = f.estimated_count;
+  result.candidates = core::exec::map_parts(
+      options.exec, candidates, parts,
+      [&options, &counts](const std::string& payload,
+                          const core::Queryable<Packet>& part) {
+        WormCandidate cand;
+        cand.payload = payload;
+        cand.noisy_count = counts.at(payload);
+        cand.noisy_distinct_srcs =
+            part.select([](const Packet& p) { return p.src_ip; })
+                .distinct()
+                .noisy_count(options.eps_dispersion);
+        cand.noisy_distinct_dsts =
+            part.select([](const Packet& p) { return p.dst_ip; })
+                .distinct()
+                .noisy_count(options.eps_dispersion);
+        cand.flagged = cand.noisy_distinct_srcs > options.src_threshold &&
+                       cand.noisy_distinct_dsts > options.dst_threshold;
+        return cand;
+      });
   return result;
 }
 

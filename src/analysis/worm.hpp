@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 #include "net/packet.hpp"
 
@@ -20,6 +21,7 @@ struct WormOptions {
   double eps_per_string_level = 0.0; // frequent-string search, per byte
   double string_threshold = 50.0;    // candidate payload frequency cutoff
   double eps_dispersion = 0.0;       // per distinct-src/dst count (0 rejects)
+  core::exec::ExecPolicy exec;       // per-candidate branches fan out when > 1
 };
 
 struct WormCandidate {

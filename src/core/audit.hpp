@@ -5,10 +5,21 @@
 // policy discussion).  AuditingBudget decorates any PrivacyBudget and
 // records every successful charge with a label; ScopedAuditLabel tags the
 // charges made while it is alive.
+//
+// Thread-safety: the ledger is internally synchronized, so charges may
+// arrive from core::exec worker threads.  `entries()` keeps arrival order
+// (deterministic under sequential execution, schedule-dependent under
+// parallel execution); `canonical_entries()` re-sorts by the charging
+// plan node's id, which is schedule-independent — parallel runs of the
+// same pipeline always flush the same canonical ledger.  See
+// docs/architecture.md.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +34,7 @@ class AuditingBudget final : public PrivacyBudget {
   struct Entry {
     double eps = 0.0;
     std::string label;
+    std::uint64_t node_id = 0;  // charging plan node (0: outside the plan)
   };
 
   explicit AuditingBudget(std::shared_ptr<PrivacyBudget> inner)
@@ -43,20 +55,51 @@ class AuditingBudget final : public PrivacyBudget {
   /// tests/core/test_audit.cpp.
   void charge(double eps) override {
     inner_->charge(eps);  // throws on refusal; refusals are not logged
-    entries_.push_back(Entry{eps, label_});
+    record(eps);
+  }
+
+  [[nodiscard]] bool try_charge(double eps) override {
+    if (!inner_->try_charge(eps)) return false;
+    record(eps);
+    return true;
   }
 
   [[nodiscard]] double spent() const override { return inner_->spent(); }
 
   /// Sets the label applied to subsequent charges (prefer the RAII
   /// ScopedAuditLabel below).
-  void set_label(std::string label) { label_ = std::move(label); }
-  [[nodiscard]] const std::string& label() const { return label_; }
+  void set_label(std::string label) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    label_ = std::move(label);
+  }
+  [[nodiscard]] std::string label() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return label_;
+  }
 
-  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  /// Entries in arrival order.  The reference is only stable while no
+  /// other thread is charging; read it after workers have joined.
+  [[nodiscard]] const std::vector<Entry>& entries() const {
+    return entries_;
+  }
+
+  /// Entries in canonical flush order: stably sorted by charging node id,
+  /// so two runs of the same pipeline agree regardless of how worker
+  /// threads interleaved their charges.  (The stable sort keeps one
+  /// node's repeated releases in their sequential per-node order.)
+  [[nodiscard]] std::vector<Entry> canonical_entries() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Entry> sorted = entries_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.node_id < b.node_id;
+                     });
+    return sorted;
+  }
 
   /// Total charged per label.
   [[nodiscard]] std::map<std::string, double> totals_by_label() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::map<std::string, double> totals;
     for (const Entry& e : entries_) totals[e.label] += e.eps;
     return totals;
@@ -64,20 +107,30 @@ class AuditingBudget final : public PrivacyBudget {
 
   /// Discards the recorded entries (the inner budget's spend is of course
   /// untouched — the ledger is an account of it, not the source of truth).
-  void clear() { entries_.clear(); }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
 
   /// Serializes the ledger as JSON:
-  /// {"spent": s, "entries": [{"eps": e, "label": l}...],
-  ///  "totals_by_label": {...}}.
-  [[nodiscard]] std::string to_json() const {
+  /// {"spent": s, "entries": [{"eps": e, "label": l, "node_id": n}...],
+  ///  "totals_by_label": {...}}.  `canonical` switches the entries array
+  /// from arrival order to the node-id flush order.
+  [[nodiscard]] std::string to_json(bool canonical = false) const {
+    const std::vector<Entry> snapshot =
+        canonical ? canonical_entries() : [this] {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          return entries_;
+        }();
     JsonWriter w;
     w.begin_object();
     w.key("spent").value(spent());
     w.key("entries").begin_array();
-    for (const Entry& e : entries_) {
+    for (const Entry& e : snapshot) {
       w.begin_object();
       w.key("eps").value(e.eps);
       w.key("label").value(e.label);
+      w.key("node_id").value(e.node_id);
       w.end_object();
     }
     w.end_array();
@@ -91,6 +144,12 @@ class AuditingBudget final : public PrivacyBudget {
   }
 
  private:
+  void record(double eps) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{eps, label_, ScopedChargeNode::current()});
+  }
+
+  mutable std::mutex mutex_;
   std::shared_ptr<PrivacyBudget> inner_;
   std::string label_;
   std::vector<Entry> entries_;

@@ -42,6 +42,14 @@ void RootBudget::charge(double eps) {
   spent_ += eps;
 }
 
+bool RootBudget::try_charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!(spent_ + eps <= total_ + kSlack)) return false;
+  spent_ += eps;
+  return true;
+}
+
 double RootBudget::spent() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spent_;
@@ -67,6 +75,17 @@ void PartitionGroup::raise_to(double child_total) {
   }
 }
 
+bool PartitionGroup::try_raise_to(double child_total) {
+  // Lock order is always child -> group -> parent (acyclic), so holding
+  // the group mutex across the parent's try_charge cannot deadlock.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double delta = child_total - max_child_;
+  if (delta <= 0.0) return true;
+  if (!parent_->try_charge(delta)) return false;
+  max_child_ = child_total;
+  return true;
+}
+
 double PartitionGroup::max_child() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return max_child_;
@@ -87,6 +106,14 @@ void PartitionBudget::charge(double eps) {
   const std::lock_guard<std::mutex> lock(mutex_);
   group_->raise_to(spent_ + eps);
   spent_ += eps;
+}
+
+bool PartitionBudget::try_charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!group_->try_raise_to(spent_ + eps)) return false;
+  spent_ += eps;
+  return true;
 }
 
 double PartitionBudget::spent() const {
@@ -112,6 +139,15 @@ void CappedBudget::charge(double eps) {
   if (spent_ + eps > cap_ + kSlack) throw_exhausted(eps, cap_ - spent_);
   parent_->charge(eps);
   spent_ += eps;
+}
+
+bool CappedBudget::try_charge(double eps) {
+  require_nonnegative(eps);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (spent_ + eps > cap_ + kSlack) return false;
+  if (!parent_->try_charge(eps)) return false;
+  spent_ += eps;
+  return true;
 }
 
 double CappedBudget::spent() const {

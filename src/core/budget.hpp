@@ -8,6 +8,7 @@
 // their sum, which PartitionGroup/PartitionBudget implement below.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,12 @@ namespace dpnet::core {
 
 /// Abstract accountant.  Implementations must be monotone: `spent()` never
 /// decreases and `charge(e)` increases it by exactly `e`.
+///
+/// Thread-safety contract: every implementation is internally
+/// synchronized.  `try_charge` is the atomic check-and-commit primitive —
+/// under concurrency the two-phase `can_charge` + `charge` pattern is
+/// racy (another thread can consume the headroom between the calls), so
+/// parallel release paths must use `try_charge` instead.
 class PrivacyBudget {
  public:
   virtual ~PrivacyBudget() = default;
@@ -30,8 +37,41 @@ class PrivacyBudget {
   /// the budget unchanged) if the charge cannot be admitted.
   virtual void charge(double eps) = 0;
 
+  /// Atomically checks and commits a charge of `eps`.  Returns false
+  /// (leaving the budget unchanged) instead of throwing when the charge
+  /// cannot be admitted.  Concurrent callers can never jointly overdraw.
+  [[nodiscard]] virtual bool try_charge(double eps) = 0;
+
   /// Cumulative privacy cost charged so far to this accountant.
   [[nodiscard]] virtual double spent() const = 0;
+};
+
+namespace detail {
+// Thread-local plan-node annotation for in-flight charges (0 = charge
+// from outside the plan layer).  Read by AuditingBudget so ledger
+// entries can be re-sorted into a schedule-independent canonical order.
+inline thread_local std::uint64_t tls_charge_node = 0;
+}  // namespace detail
+
+/// Names the plan node whose release is charging for the current thread;
+/// restores the previous annotation on destruction (scopes nest).
+class ScopedChargeNode {
+ public:
+  explicit ScopedChargeNode(std::uint64_t node_id)
+      : previous_(detail::tls_charge_node) {
+    detail::tls_charge_node = node_id;
+  }
+  ~ScopedChargeNode() { detail::tls_charge_node = previous_; }
+
+  ScopedChargeNode(const ScopedChargeNode&) = delete;
+  ScopedChargeNode& operator=(const ScopedChargeNode&) = delete;
+
+  [[nodiscard]] static std::uint64_t current() {
+    return detail::tls_charge_node;
+  }
+
+ private:
+  std::uint64_t previous_;
 };
 
 /// Top-level budget for a dataset: a fixed total that charges draw down.
@@ -43,6 +83,7 @@ class RootBudget final : public PrivacyBudget {
 
   [[nodiscard]] bool can_charge(double eps) const override;
   void charge(double eps) override;
+  [[nodiscard]] bool try_charge(double eps) override;
   [[nodiscard]] double spent() const override;
 
   [[nodiscard]] double total() const { return total_; }
@@ -67,6 +108,7 @@ class PartitionGroup {
 
   [[nodiscard]] bool can_raise_to(double child_total) const;
   void raise_to(double child_total);
+  [[nodiscard]] bool try_raise_to(double child_total);
   [[nodiscard]] double max_child() const;
 
  private:
@@ -82,6 +124,7 @@ class PartitionBudget final : public PrivacyBudget {
 
   [[nodiscard]] bool can_charge(double eps) const override;
   void charge(double eps) override;
+  [[nodiscard]] bool try_charge(double eps) override;
   [[nodiscard]] double spent() const override;
 
  private:
@@ -99,6 +142,7 @@ class CappedBudget final : public PrivacyBudget {
 
   [[nodiscard]] bool can_charge(double eps) const override;
   void charge(double eps) override;
+  [[nodiscard]] bool try_charge(double eps) override;
   [[nodiscard]] double spent() const override;
   [[nodiscard]] double cap() const { return cap_; }
 

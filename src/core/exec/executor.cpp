@@ -1,0 +1,59 @@
+#include "core/exec/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <latch>
+#include <optional>
+
+#include "core/exec/thread_pool.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core::exec {
+
+void Executor::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (policy_.threads <= 1 || tasks.size() == 1) {
+    // Sequential path: run inline, in order, under the caller's trace
+    // session.  This is the reference behavior the parallel path must
+    // reproduce byte-for-byte.
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  const std::size_t n = tasks.size();
+  QueryTrace* parent_trace = active_trace();
+  std::vector<QueryTrace> worker_traces(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::latch done(static_cast<std::ptrdiff_t>(n));
+
+  ThreadPool pool(std::min(policy_.threads, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      // Tracing is per-thread; give each task a private sink so worker
+      // interleaving cannot scramble the span tree.  Without a parent
+      // trace, skip the session entirely (matches untraced sequential).
+      std::optional<TraceSession> session;
+      if (parent_trace != nullptr) session.emplace(worker_traces[i]);
+      try {
+        tasks[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+
+  // Merge per-worker spans in task-index order: the merged tree has the
+  // same shape the sequential loop would have recorded.
+  if (parent_trace != nullptr) {
+    for (QueryTrace& t : worker_traces) {
+      parent_trace->merge_from(std::move(t));
+    }
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dpnet::core::exec

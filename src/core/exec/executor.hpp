@@ -1,0 +1,66 @@
+// Parallel executor for independent plan branches.
+//
+// The scheduler is intentionally simple: the caller hands over a list of
+// closures (typically "aggregate partition part i"), the executor runs
+// them on a fixed thread pool, and three invariants make the parallel run
+// indistinguishable from the sequential one (docs/architecture.md):
+//
+//   1. Noise: aggregations fork NoiseSource per (stream, node id, release
+//      ordinal) — plan.hpp — so draws don't depend on the schedule.
+//   2. Traces: each task records into a private per-worker QueryTrace;
+//      the executor merges them back into the caller's active trace in
+//      task-index order, reproducing the sequential tree shape.
+//   3. Budgets: charges go through the internally-synchronized
+//      PrivacyBudget::try_charge, and AuditingBudget re-sorts its ledger
+//      by plan-node id for a schedule-independent canonical order.
+//
+// With ExecPolicy{threads <= 1} every task runs inline on the calling
+// thread, in order — byte-for-byte the sequential engine.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/exec/policy.hpp"
+
+namespace dpnet::core::exec {
+
+class Executor {
+ public:
+  explicit Executor(ExecPolicy policy) : policy_(policy) {}
+
+  [[nodiscard]] const ExecPolicy& policy() const { return policy_; }
+
+  /// Runs every task to completion.  Tasks must be independent (no task
+  /// may wait on another).  Exceptions are captured per task and the
+  /// first one *by task index* — not by completion time — is rethrown
+  /// after all tasks finish, so failure behavior is deterministic too.
+  void run(std::vector<std::function<void()>> tasks);
+
+ private:
+  ExecPolicy policy_;
+};
+
+/// Applies `fn(key, parts.at(key))` to every key, returning results in
+/// key order.  The workhorse for partition fan-out: each part's branch is
+/// an independent task.  `fn`'s result type must be default-
+/// constructible (results are written into a pre-sized vector).
+template <typename K, typename Parts, typename F>
+auto map_parts(const ExecPolicy& policy, const std::vector<K>& keys,
+               Parts& parts, F fn) {
+  using R = std::decay_t<decltype(fn(keys.front(), parts.at(keys.front())))>;
+  std::vector<R> results(keys.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    tasks.push_back([&keys, &parts, &results, &fn, i] {
+      results[i] = fn(keys[i], parts.at(keys[i]));
+    });
+  }
+  Executor(policy).run(std::move(tasks));
+  return results;
+}
+
+}  // namespace dpnet::core::exec

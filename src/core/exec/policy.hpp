@@ -1,0 +1,18 @@
+// Execution policy: how many worker threads a pipeline may use.
+//
+// Kept dependency-free so toolkit/analysis option structs can embed an
+// ExecPolicy without pulling in the executor (or <thread>).
+#pragma once
+
+#include <cstddef>
+
+namespace dpnet::core::exec {
+
+/// threads <= 1 means strictly sequential execution on the calling
+/// thread — the default, and always byte-identical to any parallel
+/// schedule for a fixed NoiseSource seed (see docs/architecture.md).
+struct ExecPolicy {
+  std::size_t threads = 1;
+};
+
+}  // namespace dpnet::core::exec

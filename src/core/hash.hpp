@@ -14,6 +14,20 @@ inline void hash_combine(std::size_t& seed, std::size_t value) {
   seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/// splitmix64-style mixer for deriving plan-node ids and per-node noise
+/// streams.  The full avalanche matters: ids seed NoiseSource forks, so
+/// nearby inputs (parent id, small ordinals) must land far apart.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t a,
+                                            std::uint64_t b) {
+  std::uint64_t x = a + 0x9e3779b97f4a7c15ULL + b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
 /// Hash of any tuple/pair of hashable elements.
 template <typename... Ts>
 std::size_t hash_tuple(const std::tuple<Ts...>& t) {

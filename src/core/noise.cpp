@@ -73,6 +73,8 @@ double NoiseSource::gaussian(double mean, double stddev) {
   return dist(rng_);
 }
 
+std::uint64_t NoiseSource::stream_base() { return raw(); }
+
 std::uint64_t NoiseSource::next_index(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("next_index requires n > 0");
   const std::lock_guard<std::mutex> lock(mutex_);

@@ -44,6 +44,12 @@ class NoiseSource {
   /// Uniform integer in [0, n).  n must be positive.
   std::uint64_t next_index(std::uint64_t n);
 
+  /// Draws a raw 64-bit value for seeding derived noise streams (each
+  /// Queryable root draws one; plan nodes fork per-release sources from
+  /// it — see docs/architecture.md).  Not a mechanism draw: it never
+  /// leaves the trusted side.
+  [[nodiscard]] std::uint64_t stream_base();
+
   /// Access to the underlying engine for composing with <random>.
   /// NOT thread-safe; callers who use the raw engine own the locking.
   std::mt19937_64& engine() { return rng_; }

@@ -1,0 +1,191 @@
+// Logical plan IR: the operator DAG behind every Queryable.
+//
+// A Queryable used to interleave operator logic, memoization, budget
+// charging, and trace emission in one closure chain.  The plan layer
+// separates the *what* from the *when*: each transformation builds a
+// plan::Node carrying the operator name, its stability factor, a stable
+// node id, and a deferred batch compute over its inputs' row buffers.
+// Executors (sequential aggregation calls or core::exec workers) then
+// materialize nodes on demand; materialization stays memoized and
+// thread-safe, so the same node evaluated from two workers runs once.
+//
+// Node ids are the determinism anchor (see docs/architecture.md):
+//
+//   root id   = mix64(kRootSalt, noise-stream base)
+//   child id  = mix64(parent id, per-parent child ordinal)
+//
+// Ids therefore depend only on the shape of the plan and the order in
+// which the analyst's code derives children from each parent — never on
+// which thread happens to run first.  NoiseSource forks and audit-ledger
+// entries key off these ids, which is what makes parallel execution
+// byte-identical to sequential.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core::plan {
+
+using NodeId = std::uint64_t;
+
+inline constexpr NodeId kRootSalt = 0x706c616e726f6f74ULL;     // "planroot"
+inline constexpr NodeId kReleaseSalt = 0x72656c65617365ULL;    // "release"
+
+/// Type-erased plan node: identity, operator metadata, and DAG edges.
+/// The typed row buffer lives in the Node<T> subclass.
+class NodeBase {
+ public:
+  NodeBase(NodeId id, std::string op, double op_stability,
+           std::vector<std::weak_ptr<const NodeBase>> inputs = {})
+      : id_(id),
+        op_(std::move(op)),
+        op_stability_(op_stability),
+        inputs_(std::move(inputs)) {}
+
+  virtual ~NodeBase() = default;
+
+  NodeBase(const NodeBase&) = delete;
+  NodeBase& operator=(const NodeBase&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] double op_stability() const { return op_stability_; }
+
+  /// True once the row buffer has been computed (or was supplied eagerly).
+  [[nodiscard]] bool materialized() const {
+    return materialized_.load(std::memory_order_acquire);
+  }
+
+  /// Live upstream nodes.  Edges are weak so a parent's row buffer can be
+  /// freed once every consumer has materialized (the pre-plan engine had
+  /// the same behavior by dropping compute closures).
+  [[nodiscard]] std::vector<std::shared_ptr<const NodeBase>> inputs() const {
+    std::vector<std::shared_ptr<const NodeBase>> live;
+    live.reserve(inputs_.size());
+    for (const auto& weak : inputs_) {
+      if (auto strong = weak.lock()) live.push_back(std::move(strong));
+    }
+    return live;
+  }
+
+  /// Id for the next child derived from this node.  Deterministic as long
+  /// as each node's children are derived in a deterministic order (which
+  /// analyst code — including per-partition executor tasks, each of which
+  /// owns its branch — guarantees by construction).
+  [[nodiscard]] NodeId next_child_id() const {
+    return mix64(id_, child_ordinal_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  /// Seed for the NoiseSource fork backing this node's next release.
+  /// Mixing (stream base, node id, per-node release ordinal) makes every
+  /// aggregation's noise independent of both sibling nodes and thread
+  /// schedule.
+  [[nodiscard]] std::uint64_t next_release_seed(std::uint64_t stream) const {
+    const std::uint64_t ordinal =
+        release_ordinal_.fetch_add(1, std::memory_order_relaxed);
+    return mix64(mix64(mix64(kReleaseSalt, stream), id_), ordinal);
+  }
+
+  /// Indented rendering of the reachable DAG (operator, short id, and a
+  /// '*' marker on materialized nodes).  Diagnostic only.
+  [[nodiscard]] std::string describe() const {
+    std::string out;
+    describe_into(out, 0);
+    return out;
+  }
+
+ protected:
+  void mark_materialized() {
+    materialized_.store(true, std::memory_order_release);
+  }
+
+ private:
+  void describe_into(std::string& out, int depth) const {
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    out += op_;
+    out += '#';
+    constexpr char kHex[] = "0123456789abcdef";
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out += kHex[(id_ >> shift) & 0xF];
+    }
+    if (materialized()) out += '*';
+    out += '\n';
+    for (const auto& input : inputs()) {
+      input->describe_into(out, depth + 1);
+    }
+  }
+
+  const NodeId id_;
+  const std::string op_;
+  const double op_stability_;
+  const std::vector<std::weak_ptr<const NodeBase>> inputs_;
+  mutable std::atomic<std::uint64_t> child_ordinal_{0};
+  mutable std::atomic<std::uint64_t> release_ordinal_{0};
+  std::atomic<bool> materialized_{false};
+};
+
+/// A typed plan node: a lazily-computed, memoized batch row buffer.
+/// Materialization is thread-safe (std::call_once), so executor workers
+/// may race to force a shared node and exactly one compute runs.
+template <typename T>
+class Node final : public NodeBase {
+ public:
+  /// Eager source node (protected datasets, partition parts).
+  Node(NodeId id, std::string op, std::vector<T> rows)
+      : NodeBase(id, std::move(op), 1.0), rows_(std::move(rows)) {
+    std::call_once(once_, [] {});
+    mark_materialized();
+  }
+
+  /// Derived node: `compute` runs once on first demand.  `input_size` is
+  /// only consulted for the trace span, after compute (when the parents
+  /// are guaranteed materialized).
+  Node(NodeId id, std::string op, double op_stability,
+       std::function<std::vector<T>()> compute,
+       std::function<std::size_t()> input_size,
+       std::vector<std::weak_ptr<const NodeBase>> inputs)
+      : NodeBase(id, std::move(op), op_stability, std::move(inputs)),
+        compute_(std::move(compute)),
+        input_size_(std::move(input_size)),
+        traced_(tracing_armed()) {}
+
+  /// The node's row buffer, computing it on first call.  When the forcing
+  /// thread has an active trace and the pipeline was built armed, the
+  /// materialization records an operator span — nested under whatever
+  /// span forced it, exactly like the pre-plan engine.
+  const std::vector<T>& rows() {
+    std::call_once(once_, [this] {
+      if (traced_ && active_trace() != nullptr) {
+        TraceScope scope(op());
+        scope.set_stability(op_stability());
+        rows_ = compute_();
+        scope.set_rows(static_cast<std::int64_t>(input_size_()),
+                       static_cast<std::int64_t>(rows_.size()));
+      } else {
+        rows_ = compute_();
+      }
+      compute_ = nullptr;  // release captured parents once materialized
+      input_size_ = nullptr;
+      mark_materialized();
+    });
+    return rows_;
+  }
+
+ private:
+  std::once_flag once_;
+  std::function<std::vector<T>()> compute_;
+  std::function<std::size_t()> input_size_;
+  bool traced_ = false;
+  std::vector<T> rows_;
+};
+
+}  // namespace dpnet::core::plan

@@ -15,9 +15,19 @@
 //   Partition ............................ parts share the source's cost
 //                                          as a maximum, not a sum
 //
-// Transformations are lazy: nothing is materialized until an aggregation
+// Execution architecture (docs/architecture.md): a Queryable is a thin
+// fluent handle over a logical plan node (core/plan.hpp) plus the charge
+// list and noise stream needed to release aggregates.  Transformations
+// build plan nodes lazily; nothing is materialized until an aggregation
 // or Partition forces it, and materializations are memoized so a shared
-// sub-query is evaluated once.
+// sub-query is evaluated once — even when core::exec workers race to
+// force it.
+//
+// Determinism: every aggregation draws its noise from a NoiseSource
+// forked on (root noise stream, plan-node id, per-node release ordinal),
+// so for a fixed seed the released values are byte-identical whether the
+// plan runs sequentially or across an executor's threads, in any
+// schedule.
 //
 // Observability: when a TraceSession is active on the executing thread,
 // every operator and aggregation records a TraceSpan (core/trace.hpp) and
@@ -47,37 +57,12 @@
 #include "core/mechanisms.hpp"
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "core/plan.hpp"
 #include "core/trace.hpp"
 
 namespace dpnet::core {
 
 namespace detail {
-
-/// Lazily-computed, memoized record buffer shared between queryables.
-/// Materialization is thread-safe (std::call_once), so analyst threads
-/// may share derived queryables.
-template <typename T>
-class DataNode {
- public:
-  explicit DataNode(std::vector<T> data) : cache_(std::move(data)) {
-    std::call_once(materialized_, [] {});
-  }
-  explicit DataNode(std::function<std::vector<T>()> compute)
-      : compute_(std::move(compute)) {}
-
-  const std::vector<T>& get() {
-    std::call_once(materialized_, [this] {
-      cache_ = compute_();
-      compute_ = nullptr;  // release captured parents once materialized
-    });
-    return cache_;
-  }
-
- private:
-  std::once_flag materialized_;
-  std::function<std::vector<T>()> compute_;
-  std::vector<T> cache_;
-};
 
 /// One (budget, stability) pair.  An aggregation at accuracy eps charges
 /// stability * eps to the budget.
@@ -116,32 +101,49 @@ inline void check_epsilon(double eps) {
   }
 }
 
-/// Two-phase charge: verify every entry can pay, then commit.  (Two
-/// entries never alias the same budget because merge_charges sums them.)
+[[noreturn]] inline void refuse_charge(double eps) {
+  builtin_metrics::refused_charges().increment();
+  throw BudgetExhaustedError(
+      "privacy budget exhausted for aggregation at epsilon " +
+      std::to_string(eps));
+}
+
+/// Commits an aggregation's charges.  The common single-accountant case
+/// is one atomic try_charge, safe under any number of concurrent
+/// releases.  Multi-accountant commits (join/concat pipelines; two
+/// entries never alias the same budget because merge_charges sums them)
+/// must be all-or-nothing across several budgets, so they serialize on a
+/// process-wide mutex; a concurrent single-accountant commit on one of
+/// the same budgets can still slip between the check and commit phases,
+/// in which case the per-budget charge() re-checks under its own lock —
+/// the budget itself can never overdraw.
 inline void charge_all(const ChargeList& charges, double eps) {
+  if (charges.size() == 1) {
+    const auto& c = charges.front();
+    if (!c.budget->try_charge(c.stability * eps)) refuse_charge(eps);
+    return;
+  }
+  static std::mutex multi_mutex;
+  const std::lock_guard<std::mutex> lock(multi_mutex);
   for (const auto& c : charges) {
-    if (!c.budget->can_charge(c.stability * eps)) {
-      builtin_metrics::refused_charges().increment();
-      throw BudgetExhaustedError(
-          "privacy budget exhausted for aggregation at epsilon " +
-          std::to_string(eps));
-    }
+    if (!c.budget->can_charge(c.stability * eps)) refuse_charge(eps);
   }
   for (const auto& c : charges) c.budget->charge(c.stability * eps);
 }
 
 /// Stringifies a partition key for trace annotations (numbers and strings
-/// verbatim; opaque key types fall back to a placeholder).  Partition keys
-/// are analyst-supplied public values, so exposing them in telemetry leaks
-/// nothing about the protected records.
+/// verbatim; opaque key types fall back to a placeholder suffixed with
+/// the key's index in the analyst's key list, so distinct keys keep
+/// distinct tags).  Partition keys are analyst-supplied public values, so
+/// exposing them in telemetry leaks nothing about the protected records.
 template <typename K>
-std::string key_to_tag(const K& k) {
+std::string key_to_tag(const K& k, std::size_t index) {
   if constexpr (std::is_arithmetic_v<K>) {
     return std::to_string(k);
   } else if constexpr (std::is_convertible_v<const K&, std::string>) {
     return std::string(k);
   } else {
-    return "?";
+    return "?" + std::to_string(index);
   }
 }
 
@@ -155,13 +157,14 @@ class Queryable {
   /// Wraps `data` as a protected dataset governed by `budget`.
   Queryable(std::vector<T> data, std::shared_ptr<PrivacyBudget> budget,
             std::shared_ptr<NoiseSource> noise)
-      : node_(std::make_shared<detail::DataNode<T>>(std::move(data))),
-        charges_{{std::move(budget), 1.0}},
-        noise_(std::move(noise)) {
+      : charges_{{std::move(budget), 1.0}}, noise_(std::move(noise)) {
     if (!charges_.front().budget) {
       throw InvalidQueryError("queryable requires a budget");
     }
     if (!noise_) throw InvalidQueryError("queryable requires a noise source");
+    stream_ = noise_->stream_base();
+    node_ = std::make_shared<plan::Node<T>>(mix64(plan::kRootSalt, stream_),
+                                            "source", std::move(data));
   }
 
   // ---------------------------------------------------------------------
@@ -176,7 +179,7 @@ class Queryable {
         "where", 1.0,
         [parent, pred]() {
           std::vector<T> out;
-          for (const auto& x : parent->get()) {
+          for (const auto& x : parent->rows()) {
             if (pred(x)) out.push_back(x);
           }
           return out;
@@ -194,8 +197,8 @@ class Queryable {
         "select", 1.0,
         [parent, f]() {
           std::vector<U> out;
-          out.reserve(parent->get().size());
-          for (const auto& x : parent->get()) out.push_back(f(x));
+          out.reserve(parent->rows().size());
+          for (const auto& x : parent->rows()) out.push_back(f(x));
           return out;
         },
         charges_);
@@ -216,7 +219,7 @@ class Queryable {
         "select_many", static_cast<double>(max_fanout),
         [parent, f, max_fanout]() {
           std::vector<U> out;
-          for (const auto& x : parent->get()) {
+          for (const auto& x : parent->rows()) {
             Container produced = f(x);
             std::size_t taken = 0;
             for (auto& item : produced) {
@@ -238,7 +241,7 @@ class Queryable {
         [parent]() {
           std::vector<T> out;
           std::unordered_set<T> seen;
-          for (const auto& x : parent->get()) {
+          for (const auto& x : parent->rows()) {
             if (seen.insert(x).second) out.push_back(x);
           }
           return out;
@@ -258,7 +261,7 @@ class Queryable {
         [parent, key]() {
           std::vector<Group<K, T>> out;
           std::unordered_map<K, std::size_t> index;
-          for (const auto& x : parent->get()) {
+          for (const auto& x : parent->rows()) {
             K k = key(x);
             auto [it, inserted] = index.emplace(k, out.size());
             if (inserted) out.push_back(Group<K, T>{std::move(k), {}});
@@ -288,7 +291,7 @@ class Queryable {
           std::vector<Group<K, T>> out;
           // Current open group per key (index into out).
           std::unordered_map<K, std::size_t> open;
-          for (const auto& x : parent->get()) {
+          for (const auto& x : parent->rows()) {
             K k = key(x);
             auto it = open.find(k);
             if (it == open.end() || starts_new_span(x)) {
@@ -325,15 +328,17 @@ class Queryable {
     auto right = other.node_;
     return derived_sized<R>(
         "join", 1.0,
-        [left, right]() { return left->get().size() + right->get().size(); },
+        [left, right]() {
+          return left->rows().size() + right->rows().size();
+        },
         [left, right, outer_key, inner_key, result]() {
           std::unordered_map<K, std::vector<const U*>> by_key;
-          for (const auto& y : right->get()) {
+          for (const auto& y : right->rows()) {
             by_key[inner_key(y)].push_back(&y);
           }
           std::unordered_map<K, std::size_t> used;
           std::vector<R> out;
-          for (const auto& x : left->get()) {
+          for (const auto& x : left->rows()) {
             K k = outer_key(x);
             auto it = by_key.find(k);
             if (it == by_key.end()) continue;
@@ -344,7 +349,7 @@ class Queryable {
           }
           return out;
         },
-        detail::merge_charges(charges_, other.charges_));
+        detail::merge_charges(charges_, other.charges_), other.node_);
   }
 
   /// Appends `other`.  Each input's stability is preserved; a record
@@ -354,14 +359,16 @@ class Queryable {
     auto right = other.node_;
     return derived_sized<T>(
         "concat", 1.0,
-        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
-          std::vector<T> out = left->get();
-          const auto& r = right->get();
+          return left->rows().size() + right->rows().size();
+        },
+        [left, right]() {
+          std::vector<T> out = left->rows();
+          const auto& r = right->rows();
           out.insert(out.end(), r.begin(), r.end());
           return out;
         },
-        detail::merge_charges(charges_, other.charges_));
+        detail::merge_charges(charges_, other.charges_), other.node_);
   }
 
   /// Set union of the distinct records of both inputs (left-then-right
@@ -372,19 +379,21 @@ class Queryable {
     auto right = other.node_;
     return derived_sized<T>(
         "set_union", 1.0,
-        [left, right]() { return left->get().size() + right->get().size(); },
+        [left, right]() {
+          return left->rows().size() + right->rows().size();
+        },
         [left, right]() {
           std::unordered_set<T> emitted;
           std::vector<T> out;
-          for (const auto& x : left->get()) {
+          for (const auto& x : left->rows()) {
             if (emitted.insert(x).second) out.push_back(x);
           }
-          for (const auto& x : right->get()) {
+          for (const auto& x : right->rows()) {
             if (emitted.insert(x).second) out.push_back(x);
           }
           return out;
         },
-        detail::merge_charges(charges_, other.charges_));
+        detail::merge_charges(charges_, other.charges_), other.node_);
   }
 
   /// Set difference: distinct records of this input absent from `other`.
@@ -393,20 +402,22 @@ class Queryable {
     auto right = other.node_;
     return derived_sized<T>(
         "except", 1.0,
-        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
-          std::unordered_set<T> removed(right->get().begin(),
-                                        right->get().end());
+          return left->rows().size() + right->rows().size();
+        },
+        [left, right]() {
+          std::unordered_set<T> removed(right->rows().begin(),
+                                        right->rows().end());
           std::unordered_set<T> emitted;
           std::vector<T> out;
-          for (const auto& x : left->get()) {
+          for (const auto& x : left->rows()) {
             if (!removed.count(x) && emitted.insert(x).second) {
               out.push_back(x);
             }
           }
           return out;
         },
-        detail::merge_charges(charges_, other.charges_));
+        detail::merge_charges(charges_, other.charges_), other.node_);
   }
 
   /// Set intersection of the distinct records of both inputs.
@@ -415,26 +426,33 @@ class Queryable {
     auto right = other.node_;
     return derived_sized<T>(
         "intersect", 1.0,
-        [left, right]() { return left->get().size() + right->get().size(); },
         [left, right]() {
-          std::unordered_set<T> in_right(right->get().begin(),
-                                         right->get().end());
+          return left->rows().size() + right->rows().size();
+        },
+        [left, right]() {
+          std::unordered_set<T> in_right(right->rows().begin(),
+                                         right->rows().end());
           std::unordered_set<T> emitted;
           std::vector<T> out;
-          for (const auto& x : left->get()) {
+          for (const auto& x : left->rows()) {
             if (in_right.count(x) && emitted.insert(x).second) {
               out.push_back(x);
             }
           }
           return out;
         },
-        detail::merge_charges(charges_, other.charges_));
+        detail::merge_charges(charges_, other.charges_), other.node_);
   }
 
   /// Splits the dataset into one protected part per key in `keys`.
   /// Records whose key is not listed are dropped (PINQ semantics).  The
   /// cumulative privacy cost to this queryable is the *maximum* over the
   /// parts, not the sum — the paper's central cost-saving device.
+  ///
+  /// Parts are created in `keys` order, so their plan-node ids (and hence
+  /// their noise streams and trace tags) do not depend on the key type's
+  /// hash order.  Independent parts can be aggregated concurrently via
+  /// core::exec.
   template <typename K, typename KeyF>
   [[nodiscard]] std::unordered_map<K, Queryable<T>> partition(
       const std::vector<K>& keys, KeyF key) const {
@@ -455,26 +473,29 @@ class Queryable {
     }
     std::unordered_map<K, std::vector<T>> buckets;
     for (const auto& k : keys) buckets.emplace(k, std::vector<T>{});
-    for (const auto& x : node_->get()) {
+    for (const auto& x : node_->rows()) {
       auto it = buckets.find(key(x));
       if (it != buckets.end()) it->second.push_back(x);
     }
     scope.set_stability(total_stability());
-    scope.set_rows(static_cast<std::int64_t>(node_->get().size()),
+    scope.set_rows(static_cast<std::int64_t>(node_->rows().size()),
                    static_cast<std::int64_t>(buckets.size()));
     std::unordered_map<K, Queryable<T>> parts;
-    for (auto& [k, records] : buckets) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const K& k = keys[i];
       detail::ChargeList part_charges;
       part_charges.reserve(charges_.size());
-      for (std::size_t i = 0; i < charges_.size(); ++i) {
+      for (std::size_t g = 0; g < charges_.size(); ++g) {
         part_charges.push_back(
-            {std::make_shared<PartitionBudget>(groups[i]),
-             charges_[i].stability});
+            {std::make_shared<PartitionBudget>(groups[g]),
+             charges_[g].stability});
       }
-      parts.emplace(k, Queryable<T>(std::make_shared<detail::DataNode<T>>(
-                                        std::move(records)),
-                                    std::move(part_charges), noise_,
-                                    "partition[" + detail::key_to_tag(k) +
+      auto part_node = std::make_shared<plan::Node<T>>(
+          node_->next_child_id(), "partition_part",
+          std::move(buckets.at(k)));
+      parts.emplace(k, Queryable<T>(std::move(part_node),
+                                    std::move(part_charges), noise_, stream_,
+                                    "partition[" + detail::key_to_tag(k, i) +
                                         "]"));
     }
     return parts;
@@ -489,9 +510,10 @@ class Queryable {
     detail::check_epsilon(eps);
     TraceScope scope("noisy_count");
     const auto start = std::chrono::steady_clock::now();
-    const auto n = static_cast<double>(node_->get().size());
-    release(scope, eps, "laplace", node_->get().size(), start);
-    return n + noise_->laplace(total_stability() / eps);
+    const auto n = static_cast<double>(node_->rows().size());
+    NoiseSource local(node_->next_release_seed(stream_));
+    release(scope, eps, "laplace", node_->rows().size(), start);
+    return n + local.laplace(total_stability() / eps);
   }
 
   /// Integer-valued noisy count using the geometric mechanism.
@@ -499,9 +521,10 @@ class Queryable {
     detail::check_epsilon(eps);
     TraceScope scope("noisy_count_geometric");
     const auto start = std::chrono::steady_clock::now();
-    const auto n = static_cast<std::int64_t>(node_->get().size());
-    release(scope, eps, "geometric", node_->get().size(), start);
-    return geometric_mechanism(n, total_stability(), eps, *noise_);
+    const auto n = static_cast<std::int64_t>(node_->rows().size());
+    NoiseSource local(node_->next_release_seed(stream_));
+    release(scope, eps, "geometric", node_->rows().size(), start);
+    return geometric_mechanism(n, total_stability(), eps, local);
   }
 
   /// Noisy sum of `f(record)` with each term clamped to [-1, 1].
@@ -511,9 +534,10 @@ class Queryable {
     TraceScope scope("noisy_sum");
     const auto start = std::chrono::steady_clock::now();
     double sum = 0.0;
-    for (const auto& x : node_->get()) sum += clamp_unit(f(x));
-    release(scope, eps, "laplace", node_->get().size(), start);
-    return sum + noise_->laplace(total_stability() / eps);
+    for (const auto& x : node_->rows()) sum += clamp_unit(f(x));
+    NoiseSource local(node_->next_release_seed(stream_));
+    release(scope, eps, "laplace", node_->rows().size(), start);
+    return sum + local.laplace(total_stability() / eps);
   }
 
   /// Noisy sum of `f(record)` with each term clamped to [-magnitude,
@@ -536,12 +560,13 @@ class Queryable {
     detail::check_epsilon(eps);
     TraceScope scope("noisy_average");
     const auto start = std::chrono::steady_clock::now();
-    const auto& data = node_->get();
+    const auto& data = node_->rows();
     const double n = std::max<double>(1.0, static_cast<double>(data.size()));
     double sum = 0.0;
     for (const auto& x : data) sum += clamp_unit(f(x));
+    NoiseSource local(node_->next_release_seed(stream_));
     release(scope, eps, "laplace", data.size(), start);
-    return sum / n + noise_->laplace(2.0 * total_stability() / (eps * n));
+    return sum / n + local.laplace(2.0 * total_stability() / (eps * n));
   }
 
   /// Noisy average over [-magnitude, magnitude] values.
@@ -571,11 +596,12 @@ class Queryable {
     TraceScope scope("noisy_quantile");
     const auto start = std::chrono::steady_clock::now();
     std::vector<double> values;
-    values.reserve(node_->get().size());
-    for (const auto& x : node_->get()) values.push_back(f(x));
+    values.reserve(node_->rows().size());
+    for (const auto& x : node_->rows()) values.push_back(f(x));
+    NoiseSource local(node_->next_release_seed(stream_));
     release(scope, eps, "exponential", values.size(), start);
     return exponential_quantile(std::move(values), q,
-                                eps / total_stability(), *noise_);
+                                eps / total_stability(), local);
   }
 
   // ---------------------------------------------------------------------
@@ -586,9 +612,11 @@ class Queryable {
   // Nothing in the analyst-facing pipeline may call them.
 
   // dpnet-lint: trusted
-  [[nodiscard]] std::size_t size_unsafe() const { return node_->get().size(); }
+  [[nodiscard]] std::size_t size_unsafe() const {
+    return node_->rows().size();
+  }
   [[nodiscard]] const std::vector<T>& data_unsafe() const {
-    return node_->get();
+    return node_->rows();
   }
   // dpnet-lint: end-trusted
 
@@ -603,25 +631,34 @@ class Queryable {
   /// Number of distinct budget accountants this queryable charges.
   [[nodiscard]] std::size_t budget_count() const { return charges_.size(); }
 
+  /// The logical plan node behind this queryable.  Exposes ids, operator
+  /// names, and DAG shape only — diagnostics and tests, never record
+  /// contents.
+  [[nodiscard]] const plan::NodeBase& plan_node() const { return *node_; }
+
  private:
   template <typename>
   friend class Queryable;
 
-  Queryable(std::shared_ptr<detail::DataNode<T>> node,
-            detail::ChargeList charges, std::shared_ptr<NoiseSource> noise,
+  Queryable(std::shared_ptr<plan::Node<T>> node, detail::ChargeList charges,
+            std::shared_ptr<NoiseSource> noise, std::uint64_t stream,
             std::string trace_tag = {})
       : node_(std::move(node)),
         charges_(std::move(charges)),
         noise_(std::move(noise)),
+        stream_(stream),
         trace_tag_(std::move(trace_tag)) {}
 
   /// Commits an aggregation: charges every accountant, updates the
   /// built-in metrics, and fills in the aggregation's trace span.  Throws
   /// BudgetExhaustedError (charging nothing) on refusal, leaving a span
-  /// marked "refused" so the data owner sees the attempt.
+  /// marked "refused" so the data owner sees the attempt.  The charge
+  /// runs under a ScopedChargeNode annotation so an AuditingBudget can
+  /// stamp its ledger entry with this plan node's id.
   void release(TraceScope& scope, double eps, const char* mechanism,
                std::size_t input_rows,
                std::chrono::steady_clock::time_point start) const {
+    const ScopedChargeNode charge_node(node_->id());
     try {
       detail::charge_all(charges_, eps);
     } catch (const BudgetExhaustedError&) {
@@ -649,44 +686,35 @@ class Queryable {
                                      detail::ChargeList charges) const {
     auto self = node_;
     return derived_sized<U>(
-        op, op_stability, [self]() { return self->get().size(); },
+        op, op_stability, [self]() { return self->rows().size(); },
         std::move(compute), std::move(charges));
   }
 
-  /// Wraps `compute` so that, when a trace is active at materialization
-  /// time, the operator records a span (nesting under whatever forced it).
-  /// When tracing is disarmed the wrapper is skipped at construction, so
-  /// the pipeline carries no instrumentation at all.
+  /// Builds the derived plan node.  The node id chains off this node's id
+  /// and per-parent child ordinal (plan.hpp), and the node itself decides
+  /// at materialization time whether to record an operator span.
   template <typename U, typename SizeF, typename ComputeF>
-  [[nodiscard]] Queryable<U> derived_sized(const char* op, double op_stability,
-                                           SizeF input_size, ComputeF compute,
-                                           detail::ChargeList charges) const {
-    if (!tracing_armed()) {
-      return Queryable<U>(
-          std::make_shared<detail::DataNode<U>>(
-              std::function<std::vector<U>()>(std::move(compute))),
-          std::move(charges), noise_, trace_tag_);
-    }
-    auto traced = [op, op_stability, input_size = std::move(input_size),
-                   compute = std::move(compute)]() {
-      if (active_trace() == nullptr) return compute();
-      TraceScope scope(op);
-      scope.set_stability(op_stability);
-      auto out = compute();
-      scope.set_rows(static_cast<std::int64_t>(input_size()),
-                     static_cast<std::int64_t>(out.size()));
-      return out;
-    };
-    return Queryable<U>(
-        std::make_shared<detail::DataNode<U>>(
-            std::function<std::vector<U>()>(std::move(traced))),
-        std::move(charges), noise_, trace_tag_);
+  [[nodiscard]] Queryable<U> derived_sized(
+      const char* op, double op_stability, SizeF input_size, ComputeF compute,
+      detail::ChargeList charges,
+      std::shared_ptr<const plan::NodeBase> other_input = nullptr) const {
+    std::vector<std::weak_ptr<const plan::NodeBase>> inputs;
+    inputs.push_back(node_);
+    if (other_input) inputs.push_back(std::move(other_input));
+    auto derived_node = std::make_shared<plan::Node<U>>(
+        node_->next_child_id(), op, op_stability,
+        std::function<std::vector<U>()>(std::move(compute)),
+        std::function<std::size_t()>(std::move(input_size)),
+        std::move(inputs));
+    return Queryable<U>(std::move(derived_node), std::move(charges), noise_,
+                        stream_, trace_tag_);
   }
 
-  std::shared_ptr<detail::DataNode<T>> node_;
+  std::shared_ptr<plan::Node<T>> node_;
   detail::ChargeList charges_;
   std::shared_ptr<NoiseSource> noise_;
-  std::string trace_tag_;  // "partition[key]" for partitioned parts
+  std::uint64_t stream_ = 0;  // root noise stream; node seeds fork off it
+  std::string trace_tag_;     // "partition[key]" for partitioned parts
 };
 
 /// Convenience factory mirroring PINQ's `new PINQueryable<T>(trace, eps)`.

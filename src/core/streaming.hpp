@@ -15,6 +15,7 @@
 
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/hash.hpp"
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
 #include "core/trace.hpp"
@@ -32,6 +33,7 @@ class StreamingHistogram {
       : budget_(std::move(budget)), noise_(std::move(noise)) {
     if (!budget_) throw InvalidQueryError("streaming histogram needs budget");
     if (!noise_) throw InvalidQueryError("streaming histogram needs noise");
+    stream_ = noise_->stream_base();
     cells_.reserve(cells.size());
     for (auto& c : cells) {
       if (!counts_.emplace(c, 0.0).second) {
@@ -60,18 +62,22 @@ class StreamingHistogram {
     }
     TraceScope scope("streaming_release");
     const auto start = std::chrono::steady_clock::now();
-    if (!budget_->can_charge(eps)) {
+    // Fork a per-release noise source (same scheme as plan-node releases:
+    // stream base + release ordinal), so the cell noise is a fixed
+    // function of the seed and release number, not of who else shares
+    // the underlying NoiseSource.
+    NoiseSource local(mix64(mix64(kStreamingSalt, stream_), releases_++));
+    if (!budget_->try_charge(eps)) {
       builtin_metrics::refused_charges().increment();
       scope.set_detail("refused");
       throw BudgetExhaustedError("streaming histogram release over budget");
     }
-    budget_->charge(eps);
     builtin_metrics::queries_executed().increment();
     builtin_metrics::eps_charged("laplace").add(eps);
     std::unordered_map<K, double> out;
     out.reserve(counts_.size());
     for (const K& c : cells_) {
-      out.emplace(c, counts_.at(c) + noise_->laplace(1.0 / eps));
+      out.emplace(c, counts_.at(c) + local.laplace(1.0 / eps));
     }
     builtin_metrics::query_wall_ms().observe(
         std::chrono::duration<double, std::milli>(
@@ -88,10 +94,14 @@ class StreamingHistogram {
   [[nodiscard]] const std::vector<K>& cells() const { return cells_; }
 
  private:
+  static constexpr std::uint64_t kStreamingSalt = 0x73747265616d68ULL;
+
   std::vector<K> cells_;
   std::unordered_map<K, double> counts_;
   std::shared_ptr<PrivacyBudget> budget_;
   std::shared_ptr<NoiseSource> noise_;
+  std::uint64_t stream_ = 0;
+  std::uint64_t releases_ = 0;
   std::uint64_t records_seen_ = 0;
 };
 

@@ -73,6 +73,16 @@ void QueryTrace::clear() {
   roots_.clear();
 }
 
+void QueryTrace::merge_from(QueryTrace&& worker) {
+  if (!worker.stack_.empty()) return;  // refuse to merge an open trace
+  std::vector<TraceSpan>& siblings =
+      stack_.empty() ? roots_ : stack_.back()->children;
+  for (TraceSpan& span : worker.roots_) {
+    siblings.push_back(std::move(span));
+  }
+  worker.roots_.clear();
+}
+
 double QueryTrace::total_eps_charged() const {
   double total = 0.0;
   for (const TraceSpan& root : roots_) sum_eps(root, total);

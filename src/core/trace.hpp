@@ -51,6 +51,15 @@ class QueryTrace {
   [[nodiscard]] bool empty() const { return roots_.empty(); }
   void clear();
 
+  /// Moves `worker`'s finished root spans into this trace at the current
+  /// insertion point (the open span's children, or the root list).  The
+  /// executor records each parallel task into a private per-worker trace
+  /// and merges them back in task order, so the merged tree has the same
+  /// shape the sequential engine would have produced.  Appending to the
+  /// top-of-stack children preserves the pointer-stability invariant
+  /// documented above.  A worker trace with open scopes is not merged.
+  void merge_from(QueryTrace&& worker);
+
   /// Sum of eps_charged over the whole tree.
   [[nodiscard]] double total_eps_charged() const;
 

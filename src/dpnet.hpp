@@ -11,11 +11,14 @@
 #include "core/audit.hpp"
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/exec/executor.hpp"
+#include "core/exec/policy.hpp"
 #include "core/group.hpp"
 #include "core/json.hpp"
 #include "core/mechanisms.hpp"
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "core/plan.hpp"
 #include "core/queryable.hpp"
 #include "core/streaming.hpp"
 #include "core/trace.hpp"

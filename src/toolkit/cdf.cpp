@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/exec/executor.hpp"
+
 namespace dpnet::toolkit {
 
 namespace {
@@ -31,35 +33,52 @@ std::size_t bucket_of(std::int64_t v,
 
 CdfEstimate cdf_prefix_counts(const core::Queryable<std::int64_t>& data,
                               std::span<const std::int64_t> boundaries,
-                              double eps_total) {
+                              double eps_total,
+                              core::exec::ExecPolicy policy) {
   require_boundaries(boundaries);
   const double eps_query = eps_total / static_cast<double>(boundaries.size());
   CdfEstimate out;
   out.boundaries.assign(boundaries.begin(), boundaries.end());
-  out.values.reserve(boundaries.size());
+  // Each boundary's where+count is an independent sub-query; build the
+  // derived queryables up front (sequentially, so plan-node ids are
+  // deterministic) and release the counts under the policy.
+  std::vector<core::Queryable<std::int64_t>> prefixes;
+  prefixes.reserve(boundaries.size());
   for (std::int64_t b : boundaries) {
-    out.values.push_back(
-        data.where([b](std::int64_t v) { return v <= b; }).noisy_count(
-            eps_query));
+    prefixes.push_back(data.where([b](std::int64_t v) { return v <= b; }));
   }
+  std::vector<std::size_t> keys(boundaries.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  out.values = core::exec::map_parts(
+      policy, keys, prefixes,
+      [eps_query](std::size_t, const core::Queryable<std::int64_t>& q) {
+        return q.noisy_count(eps_query);
+      });
   return out;
 }
 
 CdfEstimate cdf_partition(const core::Queryable<std::int64_t>& data,
                           std::span<const std::int64_t> boundaries,
-                          double eps_total) {
+                          double eps_total,
+                          core::exec::ExecPolicy policy) {
   require_boundaries(boundaries);
   std::vector<std::size_t> keys(boundaries.size());
   for (std::size_t i = 0; i < keys.size(); ++i) keys[i] = i;
   auto parts = data.partition(
       keys, [boundaries](std::int64_t v) { return bucket_of(v, boundaries); });
 
+  const std::vector<double> counts = core::exec::map_parts(
+      policy, keys, parts,
+      [eps_total](std::size_t, const core::Queryable<std::int64_t>& part) {
+        return part.noisy_count(eps_total);
+      });
+
   CdfEstimate out;
   out.boundaries.assign(boundaries.begin(), boundaries.end());
   out.values.reserve(boundaries.size());
   double tally = 0.0;
-  for (std::size_t i = 0; i < boundaries.size(); ++i) {
-    tally += parts.at(i).noisy_count(eps_total);
+  for (double count : counts) {
+    tally += count;
     out.values.push_back(tally);
   }
   return out;

@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 
 namespace dpnet::toolkit {
@@ -31,17 +32,22 @@ struct CdfEstimate {
 };
 
 /// cdf1: direct prefix counts, one aggregation per boundary; each runs at
-/// eps_total / |boundaries| so the whole query costs eps_total.
+/// eps_total / |boundaries| so the whole query costs eps_total.  The
+/// per-boundary counts are independent, so `policy` may run them across
+/// executor threads (results are byte-identical either way).
 CdfEstimate cdf_prefix_counts(const core::Queryable<std::int64_t>& data,
                               std::span<const std::int64_t> boundaries,
-                              double eps_total);
+                              double eps_total,
+                              core::exec::ExecPolicy policy = {});
 
 /// cdf2: Partition into buckets and accumulate counts.  The Partition
 /// max-cost rule makes the whole query cost eps_total regardless of the
-/// number of buckets.
+/// number of buckets.  Per-bucket counts are independent partition
+/// branches, so `policy` may fan them out across executor threads.
 CdfEstimate cdf_partition(const core::Queryable<std::int64_t>& data,
                           std::span<const std::int64_t> boundaries,
-                          double eps_total);
+                          double eps_total,
+                          core::exec::ExecPolicy policy = {});
 
 /// cdf3: recursive multi-resolution counts; each output aggregates at most
 /// ceil(log2 |boundaries|) + 1 measurements.  Costs eps_total in total.

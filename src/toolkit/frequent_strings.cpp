@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/exec/executor.hpp"
+
 namespace dpnet::toolkit {
 
 namespace {
@@ -48,22 +50,37 @@ std::vector<FrequentString> frequent_strings(
     auto by_prefix = fixed.partition(
         prefixes, [pos](const std::string& s) { return s.substr(0, pos); });
 
-    std::vector<FrequentString> next;
-    for (const auto& prefix : prefixes) {
-      // ...then partition each candidate's records by the next byte.
-      auto by_byte = by_prefix.at(prefix).partition(
-          bytes, [pos](const std::string& s) {
+    // ...then each candidate's branch (a by-byte sub-partition plus 256
+    // counts) is independent of its siblings, so the per-prefix work can
+    // fan out across executor threads.  Each task only derives from its
+    // own part, which keeps plan-node ids — and therefore the noise —
+    // identical to the sequential schedule.
+    const double eps_level = options.eps_per_level;
+    const double threshold = options.threshold;
+    auto survivors_by_prefix = core::exec::map_parts(
+        options.exec, prefixes, by_prefix,
+        [&bytes, pos, eps_level, threshold](
+            const std::string& prefix,
+            const core::Queryable<std::string>& part) {
+          auto by_byte = part.partition(bytes, [pos](const std::string& s) {
             return static_cast<int>(static_cast<unsigned char>(s[pos]));
           });
-      for (int b : bytes) {
-        const double count =
-            by_byte.at(b).noisy_count(options.eps_per_level);
-        if (count > options.threshold) {
-          next.push_back(FrequentString{
-              prefix + static_cast<char>(static_cast<unsigned char>(b)),
-              count});
-        }
-      }
+          std::vector<FrequentString> survivors;
+          for (int b : bytes) {
+            const double count = by_byte.at(b).noisy_count(eps_level);
+            if (count > threshold) {
+              survivors.push_back(FrequentString{
+                  prefix + static_cast<char>(static_cast<unsigned char>(b)),
+                  count});
+            }
+          }
+          return survivors;
+        });
+
+    std::vector<FrequentString> next;
+    for (auto& survivors : survivors_by_prefix) {
+      next.insert(next.end(), std::make_move_iterator(survivors.begin()),
+                  std::make_move_iterator(survivors.end()));
     }
     if (next.size() > options.max_candidates) {
       std::partial_sort(next.begin(),

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 
 namespace dpnet::toolkit {
@@ -26,6 +27,7 @@ struct FrequentStringOptions {
   double eps_per_level = 0.0;    // privacy cost per byte (0 rejects)
   double threshold = 50.0;       // keep prefixes with noisy count above this
   std::size_t max_candidates = 4096;  // safety valve on the frontier
+  core::exec::ExecPolicy exec;   // per-prefix branches fan out when > 1
 };
 
 /// Finds strings of exactly `options.length` bytes whose occurrence count

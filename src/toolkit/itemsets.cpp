@@ -5,6 +5,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/exec/executor.hpp"
 #include "core/hash.hpp"
 
 namespace dpnet::toolkit {
@@ -108,12 +109,19 @@ std::vector<FrequentItemset> frequent_itemsets(
           return pick_supported(rec, cands, (*salt)++);
         });
 
+    // Each candidate's count release touches only its own partition branch,
+    // so the per-level counting fans out under the executor policy.
+    const double eps_level = options.eps_per_level;
+    const std::vector<double> counts = core::exec::map_parts(
+        options.exec, keys, parts,
+        [eps_level](int, const core::Queryable<std::vector<int>>& part) {
+          return part.noisy_count(eps_level);
+        });
+
     std::vector<std::pair<std::vector<int>, double>> surviving;
     for (std::size_t c = 0; c < candidates.size(); ++c) {
-      const double count =
-          parts.at(static_cast<int>(c)).noisy_count(options.eps_per_level);
-      if (count > options.threshold) {
-        surviving.emplace_back(candidates[c], count);
+      if (counts[c] > options.threshold) {
+        surviving.emplace_back(candidates[c], counts[c]);
       }
     }
 

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 
 namespace dpnet::toolkit {
@@ -24,6 +25,7 @@ struct ItemsetOptions {
   double eps_per_level = 0.0;  // privacy cost per apriori level (0 rejects)
   double threshold = 20.0;     // keep candidates with noisy count above this
   std::size_t max_candidates = 2048;
+  core::exec::ExecPolicy exec;  // per-candidate counts fan out when > 1
 };
 
 /// Mines itemsets of size 1..max_size from records that are themselves

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/exec/executor.hpp"
+
 namespace dpnet::toolkit {
 
 namespace {
@@ -58,7 +60,8 @@ SlidingCounts assemble(const SlidingWindowSpec& spec, const Grid& grid,
 }  // namespace
 
 SlidingCounts sliding_counts(const core::Queryable<double>& times,
-                             const SlidingWindowSpec& spec, double eps) {
+                             const SlidingWindowSpec& spec, double eps,
+                             core::exec::ExecPolicy policy) {
   const Grid grid = validate(spec);
   std::vector<std::int64_t> keys(static_cast<std::size_t>(grid.num_buckets));
   for (std::int64_t b = 0; b < grid.num_buckets; ++b) {
@@ -69,11 +72,11 @@ SlidingCounts sliding_counts(const core::Queryable<double>& times,
   auto parts = times.partition(keys, [t_start, step](double t) {
     return static_cast<std::int64_t>(std::floor((t - t_start) / step));
   });
-  std::vector<double> bucket_counts;
-  bucket_counts.reserve(keys.size());
-  for (std::int64_t b : keys) {
-    bucket_counts.push_back(parts.at(b).noisy_count(eps));
-  }
+  const std::vector<double> bucket_counts = core::exec::map_parts(
+      policy, keys, parts,
+      [eps](std::int64_t, const core::Queryable<double>& part) {
+        return part.noisy_count(eps);
+      });
   return assemble(spec, grid, bucket_counts);
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/exec/policy.hpp"
 #include "core/queryable.hpp"
 
 namespace dpnet::toolkit {
@@ -29,9 +30,11 @@ struct SlidingCounts {
 
 /// Bucketed sliding counts: total privacy cost is `eps` regardless of the
 /// number of windows; per-window error stddev ~ sqrt(window/step) * the
-/// single-count noise.
+/// single-count noise.  The per-bucket counts are independent partition
+/// branches; `policy` may fan them out across executor threads.
 SlidingCounts sliding_counts(const core::Queryable<double>& times,
-                             const SlidingWindowSpec& spec, double eps);
+                             const SlidingWindowSpec& spec, double eps,
+                             core::exec::ExecPolicy policy = {});
 
 /// The naive formulation for comparison: one Where+Count per window, each
 /// at eps / num_windows so the total cost is also `eps`.  Per-window error

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the parallel-engine bench (which aborts on any noise divergence
+# between thread counts) and validates its BENCH json: schema, the
+# trace-vs-ledger epsilon reconciliation, and the parallelism telemetry
+# fields "threads" / "speedup_vs_1thread".
+# Usage: test_parallel_bench_json.sh <bench_parallel_engine> <bench_schema_check>
+set -eu
+
+BENCH="$1"
+CHECK="$2"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== run bench =="
+DPNET_BENCH_JSON_DIR="$WORK" "$BENCH" > "$WORK/stdout.txt"
+grep -q "byte-identical" "$WORK/stdout.txt"
+JSON="$WORK/BENCH_bench_parallel_engine.json"
+test -f "$JSON"
+
+echo "== validate =="
+"$CHECK" "$JSON"
+grep -q '"threads":4' "$JSON"
+grep -q '"speedup_vs_1thread":' "$JSON"
+
+echo "== checker rejects a lone parallelism field =="
+sed 's/"threads":4,//' "$JSON" > "$WORK/bad_pair.json"
+if "$CHECK" "$WORK/bad_pair.json" 2>/dev/null; then
+  echo "expected lone speedup_vs_1thread to fail" >&2
+  exit 1
+fi
+
+echo "PARALLEL-BENCH-JSON-OK"

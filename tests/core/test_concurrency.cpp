@@ -23,7 +23,7 @@ std::vector<int> iota_vec(int n) {
 TEST(Concurrency, ParallelChargesNeverOverdrawTheBudget) {
   auto budget = std::make_shared<RootBudget>(1.0);
   std::atomic<int> succeeded{0};
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // dpnet-lint: suppress(R7)
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&budget, &succeeded] {
       for (int i = 0; i < 100; ++i) {
@@ -46,7 +46,7 @@ TEST(Concurrency, ParallelAggregationsAccountExactly) {
   auto budget = std::make_shared<RootBudget>(1e6);
   auto noise = std::make_shared<NoiseSource>(5);
   Queryable<int> q(iota_vec(1000), budget, noise);
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // dpnet-lint: suppress(R7)
   for (int t = 0; t < 6; ++t) {
     threads.emplace_back([&q] {
       for (int i = 0; i < 200; ++i) {
@@ -68,7 +68,7 @@ TEST(Concurrency, SharedDerivedQueryableMaterializesOnce) {
     if (x == 0) evaluations.fetch_add(1);
     return x % 2 == 0;
   });
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // dpnet-lint: suppress(R7)
   for (int t = 0; t < 8; ++t) {
     threads.emplace_back([&filtered] {
       EXPECT_NEAR(filtered.noisy_count(1e7), 50000.0, 1.0);
@@ -84,7 +84,7 @@ TEST(Concurrency, PartitionMaxAccountingHoldsUnderContention) {
   Queryable<int> q(iota_vec(900), budget, noise);
   auto parts = q.partition(std::vector<int>{0, 1, 2},
                            [](int x) { return x % 3; });
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // dpnet-lint: suppress(R7)
   for (int part = 0; part < 3; ++part) {
     threads.emplace_back([&parts, part] {
       for (int i = 0; i < 50; ++i) {
@@ -100,7 +100,7 @@ TEST(Concurrency, PartitionMaxAccountingHoldsUnderContention) {
 TEST(Concurrency, NoiseDrawsAreRaceFreeAndStillRandom) {
   auto noise = std::make_shared<NoiseSource>(8);
   std::vector<std::vector<double>> draws(4);
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads;  // dpnet-lint: suppress(R7)
   for (int t = 0; t < 4; ++t) {
     threads.emplace_back([&noise, &draws, t] {
       for (int i = 0; i < 5000; ++i) {

@@ -98,7 +98,7 @@ TEST(Metrics, ThreadSafeUnderConcurrentStreaming) {
   const std::uint64_t queries_before = builtin_metrics::queries_executed().value();
   const double laplace_before = builtin_metrics::eps_charged("laplace").value();
 
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers;  // dpnet-lint: suppress(R7)
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([t] {
@@ -126,7 +126,7 @@ TEST(Metrics, ThreadSafeUnderConcurrentStreaming) {
 TEST(Metrics, ConcurrentRegistrationIsSafe) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;
-  std::vector<std::thread> workers;
+  std::vector<std::thread> workers;  // dpnet-lint: suppress(R7)
   workers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&registry, t] {

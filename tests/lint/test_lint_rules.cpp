@@ -271,6 +271,54 @@ TEST(RuleTelemetry, SuppressionCommentApplies) {
   EXPECT_EQ(count_rule(f, "R6"), 0);
 }
 
+// ----------------------------------------------------------------------- R7
+
+TEST(RuleThreads, FlagsThreadCreationOutsideExecutor) {
+  const auto f = analyze_source(
+      "src/toolkit/fast.cpp",
+      "void fan_out() {\n"
+      "  std::thread worker([] {});\n"
+      "  std::jthread other([] {});\n"
+      "  auto fut = std::async([] { return 1; });\n"
+      "  worker.join();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(f, "R7"), 3);
+}
+
+TEST(RuleThreads, ExecutorDirectoryMayCreateThreads) {
+  const std::string code =
+      "void spawn() { std::thread worker([] {}); worker.join(); }\n";
+  EXPECT_TRUE(analyze_source("src/core/exec/thread_pool.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("src/core/exec/executor.cpp", code).empty());
+}
+
+TEST(RuleThreads, QualifiedStaticsAreQueriesNotCreation) {
+  const auto f = analyze_source(
+      "src/core/queryable.hpp",
+      "std::size_t n = std::thread::hardware_concurrency();\n"
+      "std::thread::id who;\n");
+  EXPECT_EQ(count_rule(f, "R7"), 0);
+}
+
+TEST(RuleThreads, UnqualifiedAndOtherNamespacesAreIgnored) {
+  const auto f = analyze_source(
+      "src/net/x.cpp",
+      "my::thread t;\n"
+      "int thread = 0;\n"
+      "boost::async(op);\n");
+  EXPECT_EQ(count_rule(f, "R7"), 0);
+}
+
+TEST(RuleThreads, SuppressionCommentApplies) {
+  const auto f = analyze_source(
+      "tests/core/test_x.cpp",
+      "TEST(T, Race) {\n"
+      "  std::thread t([] {});  // dpnet-lint: suppress(R7)\n"
+      "  t.join();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(f, "R7"), 0);
+}
+
 // ------------------------------------------------------------------- misc
 
 TEST(Lint, WantsOnlyCxxSourcesUnderScannedRoots) {

@@ -75,9 +75,18 @@ TEST_P(CdfMethodAgreement, MatchesExactCdfAtHighEps) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllMethods, CdfMethodAgreement,
-                         ::testing::Values(&cdf_prefix_counts, &cdf_partition,
-                                           &cdf_recursive));
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, CdfMethodAgreement,
+    ::testing::Values(
+        +[](const core::Queryable<std::int64_t>& q,
+            std::span<const std::int64_t> b, double eps) {
+          return cdf_prefix_counts(q, b, eps);
+        },
+        +[](const core::Queryable<std::int64_t>& q,
+            std::span<const std::int64_t> b, double eps) {
+          return cdf_partition(q, b, eps);
+        },
+        &cdf_recursive));
 
 TEST(CdfPrefixCounts, TotalPrivacyCostIsEpsTotal) {
   Env env;

@@ -124,6 +124,23 @@ void check_report(const JsonValue& doc) {
     }
   }
 
+  // Optional parallelism metadata: benches that ran under an ExecPolicy
+  // record the thread count and the measured speedup over their own
+  // single-thread run.  Either both appear or neither does.
+  const JsonValue* threads = doc.find("threads");
+  const JsonValue* speedup = doc.find("speedup_vs_1thread");
+  if ((threads == nullptr) != (speedup == nullptr)) {
+    fail("'threads' and 'speedup_vs_1thread' must appear together");
+  }
+  if (threads != nullptr &&
+      (!threads->is_number() || threads->number < 1.0)) {
+    fail("'threads' must be a number >= 1");
+  }
+  if (speedup != nullptr &&
+      (!speedup->is_number() || !(speedup->number > 0.0))) {
+    fail("'speedup_vs_1thread' must be a number > 0");
+  }
+
   const JsonValue* trace = doc.find("trace");
   const JsonValue* audit = doc.find("audit");
   if (trace == nullptr || audit == nullptr) {

@@ -378,6 +378,7 @@ class Analysis {
     rule_raw_ownership();
     rule_epsilon_literals();
     rule_telemetry_fields();
+    rule_thread_creation();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -555,10 +556,11 @@ class Analysis {
         "counters", "gauges", "histograms", "count", "sum", "buckets",
         "upper_bound",
         // audit ledger (src/core/audit.hpp)
-        "spent", "entries", "eps", "label", "totals_by_label",
+        "spent", "entries", "eps", "label", "totals_by_label", "node_id",
         // bench report (bench/common.hpp) and CLI trace output
         "schema", "name", "title", "reproduces", "results", "section", "key",
-        "value", "paper", "measured", "trace", "audit", "metrics", "query"};
+        "value", "paper", "measured", "trace", "audit", "metrics", "query",
+        "threads", "speedup_vs_1thread"};
     for (const StringLit& lit : strings_) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
@@ -571,6 +573,36 @@ class Analysis {
                  "' is not on the approved list; telemetry may only "
                  "serialize accounting metadata, never record contents "
                  "(docs/observability.md)");
+    }
+  }
+
+  /// R7: threads are created only by the executor.  Ad-hoc std::thread /
+  /// std::jthread / std::async use elsewhere would run releases outside
+  /// the scheduler that guarantees deterministic noise, merged traces, and
+  /// synchronized budget charges — so parallelism is confined to
+  /// src/core/exec/ (plus explicitly suppressed harness code).
+  void rule_thread_creation() {
+    if (starts_with(path_, "src/core/exec/")) return;
+    static const std::unordered_set<std::string> kThreadNames = {
+        "thread", "jthread", "async"};
+    for (std::size_t i = 3; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident || kThreadNames.count(t.text) == 0) continue;
+      if (!(prev_is(toks_, i, ":") && toks_[i - 2].text == ":" &&
+            toks_[i - 3].text == "std")) {
+        continue;
+      }
+      // Qualified statics (std::thread::hardware_concurrency(), ::id, ...)
+      // query thread facilities without creating threads.
+      if (next_is(toks_, i, ":") && i + 2 < toks_.size() &&
+          toks_[i + 2].text == ":") {
+        continue;
+      }
+      report("R7", t.line,
+             "std::" + t.text +
+                 " outside src/core/exec/; all parallelism flows through "
+                 "core::exec so noise determinism, trace merging, and "
+                 "budget synchronization are enforced in one place");
     }
   }
 
