@@ -1,8 +1,19 @@
 // Error types for the dpnet differential-privacy engine.
+//
+// Failure taxonomy (docs/robustness.md): every error the trusted runtime
+// surfaces derives from DpError and carries *sanitized* diagnostics only —
+// operator names, plan-node ids, record indices, epsilons.  Exceptions
+// thrown by analyst-supplied code (Where predicates, Select mappers, ...)
+// never cross the privacy boundary as-is: contain_analyst() converts them
+// to AnalystCodeError, deliberately discarding the original what() text,
+// which could embed record contents.  dpnet-lint rule R8 enforces the
+// boundary by confining what() calls to trusted code outside src/.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace dpnet::core {
 
@@ -33,5 +44,107 @@ class InvalidQueryError : public DpError {
  public:
   explicit InvalidQueryError(const std::string& what) : DpError(what) {}
 };
+
+namespace detail {
+
+/// Short hex rendering of a plan-node id for diagnostics (matches the
+/// plan::NodeBase::describe() tag format).  Node ids are derived from the
+/// plan shape, never from record contents, so they are safe to surface.
+[[nodiscard]] inline std::string node_tag(std::uint64_t node_id) {
+  std::string out = "#";
+  constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    out += kHex[(node_id >> shift) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Why a QueryGuard aborted a query (see core/guard.hpp).
+enum class AbortReason {
+  kNone = 0,
+  kCancelled,    // cooperative cancellation requested
+  kDeadline,     // wall-clock deadline exceeded
+  kOutputQuota,  // one operator produced more rows than allowed
+  kWorkQuota,    // cumulative rows processed exceeded the work quota
+};
+
+[[nodiscard]] constexpr const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kCancelled: return "cancelled";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kOutputQuota: return "output-quota";
+    case AbortReason::kWorkQuota: return "work-quota";
+    case AbortReason::kNone: break;
+  }
+  return "none";
+}
+
+/// Raised when a QueryGuard aborts a query (deadline, cancellation, or a
+/// row/work quota).  The abort is clean by construction: guard
+/// checkpoints run *before* any budget charge, so an aborted release
+/// never leaves the ledger half-charged, and eps already charged by
+/// earlier releases is never refunded.
+class QueryAbortedError : public DpError {
+ public:
+  QueryAbortedError(AbortReason reason, std::string where,
+                    std::uint64_t node_id)
+      : DpError(std::string("query aborted (") + abort_reason_name(reason) +
+                ") at " + where +
+                (node_id != 0 ? " " + detail::node_tag(node_id) : "")),
+        reason_(reason),
+        where_(std::move(where)),
+        node_id_(node_id) {}
+
+  [[nodiscard]] AbortReason reason() const { return reason_; }
+  [[nodiscard]] const std::string& where() const { return where_; }
+  [[nodiscard]] std::uint64_t node_id() const { return node_id_; }
+
+ private:
+  AbortReason reason_;
+  std::string where_;
+  std::uint64_t node_id_;
+};
+
+/// Raised when analyst-supplied code (a Where predicate, Select mapper,
+/// key selector, ...) throws.  This is a privacy boundary: the original
+/// exception's what() text could interpolate record contents, so it is
+/// deliberately discarded — only the operator name and plan-node id
+/// survive.  dpnet-lint rule R8 keeps the boundary tight.
+class AnalystCodeError : public DpError {
+ public:
+  AnalystCodeError(std::string op, std::uint64_t node_id)
+      : DpError("analyst code threw in operator '" + op + "' " +
+                detail::node_tag(node_id) +
+                "; original exception withheld at the privacy boundary"),
+        op_(std::move(op)),
+        node_id_(node_id) {}
+
+  [[nodiscard]] const std::string& op() const { return op_; }
+  [[nodiscard]] std::uint64_t node_id() const { return node_id_; }
+
+ private:
+  std::string op_;
+  std::uint64_t node_id_;
+};
+
+/// Runs `body` (which may invoke analyst-supplied functors) inside the
+/// exception-containment boundary: engine errors (DpError and subclasses,
+/// including an AnalystCodeError already converted upstream) pass through
+/// untouched; anything else — analyst exceptions, std::bad_alloc from an
+/// analyst-driven allocation — is converted to a sanitized
+/// AnalystCodeError carrying only the operator name and plan-node id.
+template <typename F>
+decltype(auto) contain_analyst(const char* op, std::uint64_t node_id,
+                               F&& body) {
+  try {
+    return std::forward<F>(body)();
+  } catch (const DpError&) {
+    throw;  // engine-origin, sanitized by construction
+  } catch (...) {
+    throw AnalystCodeError(op, node_id);
+  }
+}
 
 }  // namespace dpnet::core

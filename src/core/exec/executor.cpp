@@ -6,17 +6,38 @@
 #include <optional>
 
 #include "core/exec/thread_pool.hpp"
+#include "core/failpoint.hpp"
+#include "core/guard.hpp"
 #include "core/trace.hpp"
 
 namespace dpnet::core::exec {
 
 void Executor::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  // The guard governing this run: an explicit policy guard wins,
+  // otherwise workers inherit the calling thread's active guard.
+  QueryGuard* guard =
+      policy_.guard ? policy_.guard.get() : active_guard();
   if (policy_.threads <= 1 || tasks.size() == 1) {
     // Sequential path: run inline, in order, under the caller's trace
     // session.  This is the reference behavior the parallel path must
-    // reproduce byte-for-byte.
-    for (auto& task : tasks) task();
+    // reproduce byte-for-byte.  Errors are captured per task and the
+    // first by index rethrown after every task has had its turn — the
+    // same fault semantics as the parallel path, so a faulted branch
+    // leaves the same ledger behind at any thread count.
+    std::optional<GuardScope> guard_scope;
+    if (policy_.guard) guard_scope.emplace(*policy_.guard);
+    std::exception_ptr first_error;
+    for (auto& task : tasks) {
+      try {
+        if (guard != nullptr) guard->checkpoint("exec.task");
+        failpoint::hit("exec.worker_task");
+        task();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
 
@@ -34,7 +55,15 @@ void Executor::run(std::vector<std::function<void()>> tasks) {
       // trace, skip the session entirely (matches untraced sequential).
       std::optional<TraceSession> session;
       if (parent_trace != nullptr) session.emplace(worker_traces[i]);
+      // Guards are per-thread too: install the run's guard so nested
+      // operators checkpoint against it.  A task that starts after the
+      // guard tripped aborts immediately — that bounded drain is the
+      // graceful-shutdown path for deadline/cancellation aborts.
+      std::optional<GuardScope> guard_scope;
+      if (guard != nullptr) guard_scope.emplace(*guard);
       try {
+        if (guard != nullptr) guard->checkpoint("exec.task");
+        failpoint::hit("exec.worker_task");
         tasks[i]();
       } catch (...) {
         errors[i] = std::current_exception();

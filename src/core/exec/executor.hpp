@@ -37,6 +37,12 @@ class Executor {
   /// may wait on another).  Exceptions are captured per task and the
   /// first one *by task index* — not by completion time — is rethrown
   /// after all tasks finish, so failure behavior is deterministic too.
+  ///
+  /// Fault containment: the policy's QueryGuard (or, if unset, the
+  /// calling thread's active guard) is installed on every worker and
+  /// checkpointed before each task, so a deadline/cancellation abort
+  /// drains the remaining tasks without running them — each surfaces a
+  /// QueryAbortedError instead (docs/robustness.md).
   void run(std::vector<std::function<void()>> tasks);
 
  private:

@@ -1,18 +1,36 @@
-// Execution policy: how many worker threads a pipeline may use.
+// Execution policy: how many worker threads a pipeline may use, and the
+// optional fault-containment guard governing the run.
 //
-// Kept dependency-free so toolkit/analysis option structs can embed an
-// ExecPolicy without pulling in the executor (or <thread>).
+// Kept dependency-light so toolkit/analysis option structs can embed an
+// ExecPolicy without pulling in the executor (or <thread>); QueryGuard
+// is only forward-declared here.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+
+namespace dpnet::core {
+class QueryGuard;
+}  // namespace dpnet::core
 
 namespace dpnet::core::exec {
 
 /// threads <= 1 means strictly sequential execution on the calling
 /// thread — the default, and always byte-identical to any parallel
 /// schedule for a fixed NoiseSource seed (see docs/architecture.md).
+///
+/// When `guard` is set, the executor installs it on every worker (and on
+/// the sequential path) so deadlines, cancellation, and row quotas are
+/// enforced across the whole fan-out; when unset, workers inherit the
+/// calling thread's active guard, if any (see docs/robustness.md).
 struct ExecPolicy {
+  ExecPolicy() = default;
+  ExecPolicy(std::size_t threads_in) : threads(threads_in) {}
+  ExecPolicy(std::size_t threads_in, std::shared_ptr<QueryGuard> guard_in)
+      : threads(threads_in), guard(std::move(guard_in)) {}
+
   std::size_t threads = 1;
+  std::shared_ptr<QueryGuard> guard;
 };
 
 }  // namespace dpnet::core::exec

@@ -1,0 +1,109 @@
+#include "core/failpoint.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/metrics.hpp"
+
+namespace dpnet::core::failpoint {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Action> actions;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Parses DPNET_FAILPOINTS="name=action;name=action".  The only builtin
+/// action is `throw`; unknown actions are ignored (a misspelled env var
+/// must not change engine behavior beyond the armed-flag check).
+void parse_env_locked(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("DPNET_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    auto semi = spec.find(';');
+    std::string_view entry = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    const auto eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string name(entry.substr(0, eq));
+    const std::string_view action = entry.substr(eq + 1);
+    if (action == "throw") {
+      r.actions[name] = [name](std::string_view) {
+        // The message names the failpoint only; the containment layer
+        // treats this like any other foreign exception.
+        throw std::runtime_error("injected fault (failpoint '" + name + "')");
+      };
+    }
+  }
+  detail::any_armed.store(!r.actions.empty(), std::memory_order_release);
+}
+
+// Env-armed failpoints must set the armed flag before any hit() runs,
+// so the spec is parsed once at static-initialization time.
+[[maybe_unused]] const bool env_initialized = [] {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  parse_env_locked(r);
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void dispatch(std::string_view name, std::string_view detail_arg) {
+  Action action;
+  {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.actions.find(std::string(name));
+    if (it == r.actions.end()) return;
+    action = it->second;  // copy: run outside the lock, may throw
+  }
+  builtin_metrics::faults_injected().increment();
+  action(detail_arg);
+}
+
+}  // namespace detail
+
+void arm(const std::string& name, Action action) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  parse_env_locked(r);
+  r.actions[name] = std::move(action);
+  detail::any_armed.store(true, std::memory_order_release);
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.actions.erase(name);
+  detail::any_armed.store(!r.actions.empty(), std::memory_order_release);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.actions.clear();
+  r.env_parsed = true;  // an explicit disarm_all overrides the env spec
+  detail::any_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t fired_count() {
+  return builtin_metrics::faults_injected().value();
+}
+
+}  // namespace dpnet::core::failpoint

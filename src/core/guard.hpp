@@ -1,0 +1,177 @@
+// QueryGuard: fault containment for mediated query execution.
+//
+// The paper's deployment model (§2, §6) has the data owner running
+// untrusted analyst queries on trusted machines.  PINQ inherits runaway
+// protection from the CLR; this from-scratch engine needs its own: a
+// QueryGuard carries a wall-clock deadline, a cooperative cancellation
+// flag, and row/work quotas, and the engine consults it at every
+// operator boundary — plan-node materialization, executor task start,
+// and (crucially) immediately *before* a release charges the budget.
+//
+// Abort semantics (docs/robustness.md):
+//
+//   * Aborts are cooperative and sticky: once tripped, every subsequent
+//     checkpoint throws QueryAbortedError until the guard is discarded.
+//     Granularity is one operator — an in-flight compute finishes its
+//     batch, then the next checkpoint aborts (the "grace period" for a
+//     parallel run is therefore one operator's compute per worker).
+//   * The charge-before-release invariant is pinned: checkpoints run
+//     before charge_all, so an aborted release charges nothing, and eps
+//     charged by releases that completed earlier is never refunded.
+//   * QueryAbortedError carries only the abort reason, a location
+//     string, and the plan-node id — never record contents.
+//
+// The guard is engaged either by installing a GuardScope on the calling
+// thread (analog of TraceSession) or by attaching it to an
+// exec::ExecPolicy, which makes the executor install it on every worker.
+// With no guard installed, the checkpoint is one thread-local pointer
+// check per operator — the same zero-cost-when-off discipline as the
+// tracing layer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/errors.hpp"
+#include "core/metrics.hpp"
+
+namespace dpnet::core {
+
+class QueryGuard {
+ public:
+  struct Options {
+    /// Wall-clock budget from guard construction; unset = no deadline.
+    std::optional<std::chrono::steady_clock::duration> timeout = std::nullopt;
+    /// Max rows any single operator may produce (0 = unlimited).
+    std::uint64_t max_node_rows = 0;
+    /// Max cumulative rows produced across all operators (0 = unlimited).
+    std::uint64_t max_total_rows = 0;
+  };
+
+  QueryGuard() = default;
+  explicit QueryGuard(Options options) : options_(options) {
+    if (options_.timeout) {
+      deadline_ = std::chrono::steady_clock::now() + *options_.timeout;
+    }
+  }
+
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  /// Requests cooperative cancellation; the next checkpoint on any
+  /// thread running under this guard aborts.  Safe from any thread.
+  void cancel() { trip(AbortReason::kCancelled); }
+
+  /// True once the guard has tripped for any reason.
+  [[nodiscard]] bool aborted() const {
+    return reason_.load(std::memory_order_acquire) != AbortReason::kNone;
+  }
+
+  [[nodiscard]] AbortReason reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
+
+  /// Cumulative rows charged against the work quota so far.
+  [[nodiscard]] std::uint64_t total_rows() const {
+    return total_rows_.load(std::memory_order_relaxed);
+  }
+
+  /// Operator-boundary check: notices an expired deadline, then throws
+  /// QueryAbortedError if the guard has tripped.  Called by the engine
+  /// before plan-node computes, before executor tasks, and before any
+  /// budget charge — never between a charge and its release, so an
+  /// abort can never leave the ledger half-charged.
+  void checkpoint(const char* where, std::uint64_t node_id = 0) {
+    if (deadline_ &&
+        reason_.load(std::memory_order_relaxed) == AbortReason::kNone &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      trip(AbortReason::kDeadline);
+    }
+    const AbortReason r = reason_.load(std::memory_order_acquire);
+    if (r != AbortReason::kNone) {
+      throw QueryAbortedError(r, where, node_id);
+    }
+  }
+
+  /// Charges `produced` rows against the row/work quotas, then behaves
+  /// like checkpoint().  Quota trips are sticky like every other abort.
+  void charge_rows(std::uint64_t produced, const char* where,
+                   std::uint64_t node_id = 0) {
+    if (options_.max_node_rows != 0 && produced > options_.max_node_rows) {
+      trip(AbortReason::kOutputQuota);
+    }
+    if (options_.max_total_rows != 0) {
+      const std::uint64_t total =
+          total_rows_.fetch_add(produced, std::memory_order_relaxed) +
+          produced;
+      if (total > options_.max_total_rows) trip(AbortReason::kWorkQuota);
+    }
+    checkpoint(where, node_id);
+  }
+
+ private:
+  /// First trip wins and is counted once in the metrics; later trip
+  /// attempts (e.g. deadline noticed on several workers) are no-ops.
+  void trip(AbortReason r) {
+    AbortReason expected = AbortReason::kNone;
+    if (reason_.compare_exchange_strong(expected, r,
+                                        std::memory_order_acq_rel)) {
+      builtin_metrics::queries_aborted().increment();
+      if (r == AbortReason::kDeadline) {
+        builtin_metrics::deadline_exceeded().increment();
+      }
+    }
+  }
+
+  Options options_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::atomic<AbortReason> reason_{AbortReason::kNone};
+  std::atomic<std::uint64_t> total_rows_{0};
+};
+
+namespace guard_detail {
+
+inline thread_local QueryGuard* tls_guard = nullptr;
+
+}  // namespace guard_detail
+
+/// The QueryGuard governing this thread, or nullptr.
+[[nodiscard]] inline QueryGuard* active_guard() {
+  return guard_detail::tls_guard;
+}
+
+/// Installs `guard` as this thread's active guard for its lifetime;
+/// restores the previous guard (scopes nest) on destruction.
+class GuardScope {
+ public:
+  explicit GuardScope(QueryGuard& guard)
+      : previous_(guard_detail::tls_guard) {
+    guard_detail::tls_guard = &guard;
+  }
+  ~GuardScope() { guard_detail::tls_guard = previous_; }
+
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+ private:
+  QueryGuard* previous_;
+};
+
+/// Checkpoint against the active guard, if any.  The disengaged path is
+/// a single thread-local pointer check.
+inline void guard_checkpoint(const char* where, std::uint64_t node_id = 0) {
+  if (QueryGuard* g = active_guard()) g->checkpoint(where, node_id);
+}
+
+/// Row-quota charge against the active guard, if any.
+inline void guard_charge_rows(std::uint64_t produced, const char* where,
+                              std::uint64_t node_id = 0) {
+  if (QueryGuard* g = active_guard()) {
+    g->charge_rows(produced, where, node_id);
+  }
+}
+
+}  // namespace dpnet::core

@@ -121,6 +121,27 @@ Counter& noise_draws() {
   return c;
 }
 
+Counter& queries_aborted() {
+  static Counter& c = MetricsRegistry::global().counter("queries.aborted");
+  return c;
+}
+
+Counter& deadline_exceeded() {
+  static Counter& c = MetricsRegistry::global().counter("deadline.exceeded");
+  return c;
+}
+
+Counter& records_quarantined() {
+  static Counter& c =
+      MetricsRegistry::global().counter("records.quarantined");
+  return c;
+}
+
+Counter& faults_injected() {
+  static Counter& c = MetricsRegistry::global().counter("faults.injected");
+  return c;
+}
+
 Gauge& eps_charged(std::string_view mechanism) {
   return MetricsRegistry::global().gauge("eps.charged." +
                                          std::string(mechanism));

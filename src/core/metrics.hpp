@@ -13,6 +13,12 @@
 //   budget.refused              charges refused by a budget (counter)
 //   noise.draws                 draws taken from any NoiseSource (counter)
 //   query.wall_ms               aggregation wall-clock time (histogram)
+//   queries.aborted             QueryGuard trips: deadline, cancellation,
+//                               or quota (counter; one per trip)
+//   deadline.exceeded           guard trips caused by deadlines (counter)
+//   records.quarantined         malformed trace records skipped by the
+//                               degraded ingestion path (counter)
+//   faults.injected             armed failpoints fired (counter)
 //
 // Telemetry stance: metrics carry *names and numbers only* — never record
 // contents (see docs/observability.md); dpnet-lint rule R6 enforces the
@@ -145,6 +151,10 @@ namespace builtin_metrics {
 Counter& queries_executed();
 Counter& refused_charges();
 Counter& noise_draws();
+Counter& queries_aborted();
+Counter& deadline_exceeded();
+Counter& records_quarantined();
+Counter& faults_injected();
 Gauge& eps_charged(std::string_view mechanism);
 Histogram& query_wall_ms();
 

@@ -30,6 +30,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/errors.hpp"
+#include "core/failpoint.hpp"
+#include "core/guard.hpp"
 #include "core/hash.hpp"
 #include "core/trace.hpp"
 
@@ -162,17 +165,27 @@ class Node final : public NodeBase {
   /// thread has an active trace and the pipeline was built armed, the
   /// materialization records an operator span — nested under whatever
   /// span forced it, exactly like the pre-plan engine.
+  ///
+  /// Fault containment (docs/robustness.md): the compute — which runs
+  /// analyst-supplied predicates/selectors — executes inside
+  /// contain_analyst, so a throwing UDF surfaces as a sanitized
+  /// AnalystCodeError naming only this operator and node id.  An active
+  /// QueryGuard is checkpointed before the compute and charged with the
+  /// produced row count after it; a throwing checkpoint leaves the
+  /// once-flag unset, so an aborted node can be re-forced later.
   const std::vector<T>& rows() {
     std::call_once(once_, [this] {
+      guard_checkpoint(op().c_str(), id());
       if (traced_ && active_trace() != nullptr) {
         TraceScope scope(op());
         scope.set_stability(op_stability());
-        rows_ = compute_();
+        rows_ = contained_compute();
         scope.set_rows(static_cast<std::int64_t>(input_size_()),
                        static_cast<std::int64_t>(rows_.size()));
       } else {
-        rows_ = compute_();
+        rows_ = contained_compute();
       }
+      guard_charge_rows(rows_.size(), op().c_str(), id());
       compute_ = nullptr;  // release captured parents once materialized
       input_size_ = nullptr;
       mark_materialized();
@@ -181,6 +194,16 @@ class Node final : public NodeBase {
   }
 
  private:
+  /// Runs the deferred compute inside the analyst-exception containment
+  /// boundary, with the plan.materialize failpoint armed for chaos tests
+  /// (an injected throw is indistinguishable from a throwing UDF).
+  [[nodiscard]] std::vector<T> contained_compute() {
+    return contain_analyst(op().c_str(), id(), [this] {
+      failpoint::hit("plan.materialize", op());
+      return compute_();
+    });
+  }
+
   std::once_flag once_;
   std::function<std::vector<T>()> compute_;
   std::function<std::size_t()> input_size_;

@@ -52,7 +52,9 @@
 
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/failpoint.hpp"
 #include "core/group.hpp"
+#include "core/guard.hpp"
 #include "core/hash.hpp"
 #include "core/mechanisms.hpp"
 #include "core/metrics.hpp"
@@ -471,12 +473,15 @@ class Queryable {
     for (const auto& c : charges_) {
       groups.push_back(std::make_shared<PartitionGroup>(c.budget));
     }
+    guard_checkpoint("partition", node_->id());
     std::unordered_map<K, std::vector<T>> buckets;
     for (const auto& k : keys) buckets.emplace(k, std::vector<T>{});
-    for (const auto& x : node_->rows()) {
-      auto it = buckets.find(key(x));
-      if (it != buckets.end()) it->second.push_back(x);
-    }
+    contain_analyst("partition", node_->id(), [&] {
+      for (const auto& x : node_->rows()) {
+        auto it = buckets.find(key(x));
+        if (it != buckets.end()) it->second.push_back(x);
+      }
+    });
     scope.set_stability(total_stability());
     scope.set_rows(static_cast<std::int64_t>(node_->rows().size()),
                    static_cast<std::int64_t>(buckets.size()));
@@ -533,8 +538,11 @@ class Queryable {
     detail::check_epsilon(eps);
     TraceScope scope("noisy_sum");
     const auto start = std::chrono::steady_clock::now();
-    double sum = 0.0;
-    for (const auto& x : node_->rows()) sum += clamp_unit(f(x));
+    const double sum = contain_analyst("noisy_sum", node_->id(), [&] {
+      double s = 0.0;
+      for (const auto& x : node_->rows()) s += clamp_unit(f(x));
+      return s;
+    });
     NoiseSource local(node_->next_release_seed(stream_));
     release(scope, eps, "laplace", node_->rows().size(), start);
     return sum + local.laplace(total_stability() / eps);
@@ -562,8 +570,11 @@ class Queryable {
     const auto start = std::chrono::steady_clock::now();
     const auto& data = node_->rows();
     const double n = std::max<double>(1.0, static_cast<double>(data.size()));
-    double sum = 0.0;
-    for (const auto& x : data) sum += clamp_unit(f(x));
+    const double sum = contain_analyst("noisy_average", node_->id(), [&] {
+      double s = 0.0;
+      for (const auto& x : data) s += clamp_unit(f(x));
+      return s;
+    });
     NoiseSource local(node_->next_release_seed(stream_));
     release(scope, eps, "laplace", data.size(), start);
     return sum / n + local.laplace(2.0 * total_stability() / (eps * n));
@@ -595,9 +606,13 @@ class Queryable {
     detail::check_epsilon(eps);
     TraceScope scope("noisy_quantile");
     const auto start = std::chrono::steady_clock::now();
-    std::vector<double> values;
-    values.reserve(node_->rows().size());
-    for (const auto& x : node_->rows()) values.push_back(f(x));
+    std::vector<double> values =
+        contain_analyst("noisy_quantile", node_->id(), [&] {
+          std::vector<double> vs;
+          vs.reserve(node_->rows().size());
+          for (const auto& x : node_->rows()) vs.push_back(f(x));
+          return vs;
+        });
     NoiseSource local(node_->next_release_seed(stream_));
     release(scope, eps, "exponential", values.size(), start);
     return exponential_quantile(std::move(values), q,
@@ -655,15 +670,28 @@ class Queryable {
   /// marked "refused" so the data owner sees the attempt.  The charge
   /// runs under a ScopedChargeNode annotation so an AuditingBudget can
   /// stamp its ledger entry with this plan node's id.
+  ///
+  /// Charge-before-release invariant (docs/robustness.md): the guard
+  /// checkpoint and the "core.release.charge" failpoint both sit *before*
+  /// charge_all, and nothing after the charge can throw an abort.  So an
+  /// aborted release charges nothing (span marked "aborted"), and once
+  /// charge_all commits the epsilon is never refunded — there is no
+  /// window where the ledger is half-charged.
   void release(TraceScope& scope, double eps, const char* mechanism,
                std::size_t input_rows,
                std::chrono::steady_clock::time_point start) const {
     const ScopedChargeNode charge_node(node_->id());
     try {
+      guard_checkpoint("release", node_->id());
+      failpoint::hit("core.release.charge", mechanism);
       detail::charge_all(charges_, eps);
     } catch (const BudgetExhaustedError&) {
       scope.set_detail(trace_tag_.empty() ? "refused"
                                           : trace_tag_ + ";refused");
+      throw;
+    } catch (const QueryAbortedError&) {
+      scope.set_detail(trace_tag_.empty() ? "aborted"
+                                          : trace_tag_ + ";aborted");
       throw;
     }
     const double charged = total_stability() * eps;

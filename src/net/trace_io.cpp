@@ -1,15 +1,26 @@
 #include "net/trace_io.hpp"
 
 #include <algorithm>
-
+#include <array>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
+#include <string_view>
+#include <thread>
+
+#include "core/failpoint.hpp"
+#include "core/metrics.hpp"
 
 namespace dpnet::net {
 
 namespace {
+
+// Fixed part of a serialized packet (everything but the payload bytes).
+constexpr std::uint32_t kPacketFixedBytes = 36;
+constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024 * 1024;
+constexpr std::uint32_t kMaxBodyBytes = kPacketFixedBytes + kMaxPayloadBytes;
 
 template <typename T>
 void put(std::ostream& out, T value) {
@@ -22,9 +33,30 @@ T take(std::istream& in) {
   static_assert(std::is_trivially_copyable_v<T>);
   T value{};
   if (!in.read(reinterpret_cast<char*>(&value), sizeof(value))) {
+    if (in.bad()) throw TransientIoError("trace stream I/O failure");
     throw TraceIoError("truncated trace container");
   }
   return value;
+}
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320), table-driven.
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 void put_packet(std::ostream& out, const Packet& p) {
@@ -38,7 +70,7 @@ void put_packet(std::ostream& out, const Packet& p) {
   put(out, p.seq);
   put(out, p.ack_no);
   put(out, p.length);
-  if (p.payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+  if (p.payload.size() > kMaxPayloadBytes) {
     throw TraceIoError("payload too large to serialize");
   }
   put(out, static_cast<std::uint32_t>(p.payload.size()));
@@ -59,15 +91,63 @@ Packet take_packet(std::istream& in) {
   p.ack_no = take<std::uint32_t>(in);
   p.length = take<std::uint16_t>(in);
   const auto payload_len = take<std::uint32_t>(in);
-  if (payload_len > 64u * 1024 * 1024) {
+  if (payload_len > kMaxPayloadBytes) {
     throw TraceIoError("implausible payload length (corrupt container?)");
   }
   p.payload.resize(payload_len);
   if (payload_len > 0 &&
       !in.read(p.payload.data(), static_cast<std::streamsize>(payload_len))) {
+    if (in.bad()) throw TransientIoError("trace stream I/O failure");
     throw TraceIoError("truncated packet payload");
   }
   return p;
+}
+
+/// Reads `n` bytes or throws with the record index; distinguishes stream
+/// failure (transient) from running out of bytes (format).
+void read_exact(std::istream& in, char* dst, std::streamsize n,
+                const char* what, std::uint64_t index) {
+  if (!in.read(dst, n)) {
+    if (in.bad()) throw TransientIoError("trace stream I/O failure");
+    throw TraceFormatError(what, index);
+  }
+}
+
+/// Parses one v2 frame.  Every failure mode is a bounded, indexed
+/// TraceFormatError (or TransientIoError for stream-level faults) — no
+/// input byte pattern may crash the reader or read out of bounds.
+Packet take_frame(std::istream& in, std::uint64_t index) {
+  std::uint16_t marker = 0;
+  read_exact(in, reinterpret_cast<char*>(&marker), sizeof(marker),
+             "truncated record frame", index);
+  if (marker != kRecordMarker) {
+    throw TraceFormatError("bad record marker", index);
+  }
+  std::uint32_t body_len = 0;
+  read_exact(in, reinterpret_cast<char*>(&body_len), sizeof(body_len),
+             "truncated record frame", index);
+  if (body_len < kPacketFixedBytes || body_len > kMaxBodyBytes) {
+    throw TraceFormatError("implausible record length", index);
+  }
+  std::string body(body_len, '\0');
+  read_exact(in, body.data(), static_cast<std::streamsize>(body_len),
+             "truncated record body", index);
+  std::uint32_t crc = 0;
+  read_exact(in, reinterpret_cast<char*>(&crc), sizeof(crc),
+             "truncated record checksum", index);
+  if (crc != crc32(body)) {
+    throw TraceFormatError("record checksum mismatch", index);
+  }
+  std::istringstream body_in(std::move(body));
+  try {
+    return take_packet(body_in);
+  } catch (const TransientIoError&) {
+    throw;
+  } catch (const TraceIoError&) {
+    // Checksum passed but the body doesn't parse as a packet: the record
+    // was written malformed.  Index only — never the bytes themselves.
+    throw TraceFormatError("malformed record body", index);
+  }
 }
 
 }  // namespace
@@ -78,8 +158,9 @@ void write_trace(std::ostream& out, std::span<const Packet> trace) {
   writer.finish();
 }
 
-std::vector<Packet> read_trace(std::istream& in) {
-  TraceReader reader(in);
+std::vector<Packet> read_trace(std::istream& in,
+                               const TraceReadOptions& options) {
+  TraceReader reader(in, options);
   std::vector<Packet> out;
   // A corrupted count must not drive a giant up-front allocation; the
   // vector grows naturally past this if the records are really there.
@@ -98,10 +179,20 @@ void write_trace_file(const std::string& path,
   if (!out) throw TraceIoError("write failed: " + path);
 }
 
-std::vector<Packet> read_trace_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw TraceIoError("cannot open for reading: " + path);
-  return read_trace(in);
+std::vector<Packet> read_trace_file(const std::string& path,
+                                    const TraceReadOptions& options) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw TransientIoError("cannot open for reading: " + path);
+      return read_trace(in, options);
+    } catch (const TransientIoError&) {
+      if (attempt >= options.max_retries) throw;
+      // Deterministic doubling backoff, no jitter: retry k waits
+      // retry_backoff * 2^k, so failure handling replays identically.
+      std::this_thread::sleep_for(options.retry_backoff * (1LL << attempt));
+    }
+  }
 }
 
 TraceWriter::TraceWriter(std::ostream& out) : out_(out) {
@@ -123,7 +214,13 @@ TraceWriter::~TraceWriter() {
 
 void TraceWriter::write(const Packet& p) {
   if (finished_) throw TraceIoError("write after finish");
-  put_packet(out_, p);
+  std::ostringstream body_out;
+  put_packet(body_out, p);
+  const std::string body = std::move(body_out).str();
+  put(out_, kRecordMarker);
+  put(out_, static_cast<std::uint32_t>(body.size()));
+  out_.write(body.data(), static_cast<std::streamsize>(body.size()));
+  put(out_, crc32(body));
   ++count_;
 }
 
@@ -137,23 +234,101 @@ void TraceWriter::finish() {
   if (!out_) throw TraceIoError("trace writer stream failure");
 }
 
-TraceReader::TraceReader(std::istream& in) : in_(in) {
-  if (take<std::uint32_t>(in_) != kTraceMagic) {
-    throw TraceIoError("bad trace magic");
+TraceReader::TraceReader(std::istream& in, TraceReadOptions options)
+    : in_(in), options_(options) {
+  core::failpoint::hit("net.trace_io.read");
+  try {
+    if (take<std::uint32_t>(in_) != kTraceMagic) {
+      throw TraceFormatError("bad trace magic (not a DPNT container)",
+                             TraceFormatError::kHeader);
+    }
+    version_ = take<std::uint16_t>(in_);
+    if (version_ != kTraceVersion && version_ != kTraceVersionLegacy) {
+      throw TraceFormatError(
+          "unsupported trace version " + std::to_string(version_),
+          TraceFormatError::kHeader);
+    }
+    total_ = take<std::uint64_t>(in_);
+  } catch (const TraceFormatError&) {
+    throw;
+  } catch (const TransientIoError&) {
+    throw;
+  } catch (const TraceIoError&) {
+    throw TraceFormatError("truncated trace header",
+                           TraceFormatError::kHeader);
   }
-  const auto version = take<std::uint16_t>(in_);
-  if (version != kTraceVersion) {
-    throw TraceIoError("unsupported trace version " +
-                       std::to_string(version));
-  }
-  total_ = take<std::uint64_t>(in_);
 }
 
 bool TraceReader::next(Packet& p) {
-  if (read_ >= total_) return false;
-  p = take_packet(in_);
-  ++read_;
-  return true;
+  while (consumed_ < total_) {
+    const std::uint64_t index = consumed_;
+    const std::streampos frame_start = in_.tellg();
+    try {
+      if (version_ == kTraceVersionLegacy) {
+        try {
+          p = take_packet(in_);
+        } catch (const TransientIoError&) {
+          throw;
+        } catch (const TraceFormatError&) {
+          throw;
+        } catch (const TraceIoError&) {
+          throw TraceFormatError("truncated or malformed record", index);
+        }
+      } else {
+        p = take_frame(in_, index);
+      }
+      ++consumed_;
+      return true;
+    } catch (const TransientIoError&) {
+      throw;
+    } catch (const TraceFormatError&) {
+      // Legacy containers carry no frame markers, so there is nothing to
+      // resync on — degraded mode is v2-only.
+      if (!options_.quarantine || version_ == kTraceVersionLegacy) throw;
+      ++consumed_;
+      ++quarantined_;
+      core::builtin_metrics::records_quarantined().increment();
+      if (quarantined_ > options_.max_quarantined) {
+        throw TraceFormatError("quarantine limit exceeded; container too "
+                               "corrupt to degrade gracefully",
+                               index);
+      }
+      if (!resync(frame_start)) {
+        // Truncated tail: nothing left to scan.  Terminal — remaining()
+        // drops to zero so callers see a clean (if short) end of trace.
+        total_ = consumed_;
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+bool TraceReader::resync(std::streampos frame_start) {
+  // Re-scan from one byte past the bad frame's start for the next marker
+  // (native byte order, matching put<std::uint16_t>).  A payload byte
+  // pair can alias the marker; the checksum then rejects the false frame
+  // and we land back here, one quarantine count further along.
+  in_.clear();
+  in_.seekg(frame_start + std::streamoff(1));
+  if (!in_) {
+    in_.clear();
+    return false;
+  }
+  constexpr int lo = kRecordMarker & 0xFF;
+  constexpr int hi = (kRecordMarker >> 8) & 0xFF;
+  int prev = -1;
+  int c = 0;
+  while ((c = in_.get()) != std::char_traits<char>::eof()) {
+    if (prev == lo && c == hi) {
+      in_.seekg(-2, std::ios::cur);
+      return true;
+    }
+    prev = c;
+  }
+  if (in_.bad()) throw TransientIoError("trace stream I/O failure");
+  in_.clear();
+  return false;
 }
 
 }  // namespace dpnet::net

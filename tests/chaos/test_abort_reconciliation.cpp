@@ -1,0 +1,328 @@
+// Fault/ledger reconciliation: after any injected fault — an analyst UDF
+// throw, a worker fault, an aborted or refused release — the books must
+// balance exactly.  The budget's spent(), the audit ledger, and the trace
+// spans all tell the same story, at any thread count.
+//
+// All epsilons in this file are dyadic rationals (0.5, 0.25, 0.125) so
+// every sum below is exact in binary floating point and the assertions
+// can demand bitwise equality, not tolerances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "core/audit.hpp"
+#include "core/exec/executor.hpp"
+#include "core/failpoint.hpp"
+#include "core/guard.hpp"
+#include "core/queryable.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core {
+namespace {
+
+constexpr int kParts = 24;
+
+std::vector<int> many_values() {
+  std::vector<int> v(600);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+double ledger_sum(const std::vector<AuditingBudget::Entry>& entries) {
+  double s = 0.0;
+  for (const auto& e : entries) s += e.eps;
+  return s;
+}
+
+/// The exact-reconciliation invariant for direct (non-partition) budgets:
+/// every epsilon the trace says was released is in the ledger, and the
+/// ledger sums to precisely what the accountant consumed.
+void expect_reconciled(const AuditingBudget& audit, const QueryTrace& trace) {
+  EXPECT_DOUBLE_EQ(ledger_sum(audit.canonical_entries()), audit.spent());
+  EXPECT_DOUBLE_EQ(trace.total_eps_charged(), audit.spent());
+}
+
+/// Sums eps_charged per span detail tag ("partition[k]" for part
+/// releases), so partitioned charges can be reconciled against the
+/// max-cost rule.
+void sum_eps_by_detail(const TraceSpan& span,
+                       std::map<std::string, double>& by_detail) {
+  if (span.eps_charged > 0.0 && !span.detail.empty()) {
+    by_detail[span.detail] += span.eps_charged;
+  }
+  for (const TraceSpan& child : span.children) {
+    sum_eps_by_detail(child, by_detail);
+  }
+}
+
+// A deterministic branch fault (record 137 lives in partition bucket
+// 137 % 24 = 17, regardless of schedule) aborts exactly one branch; the
+// other 23 complete.  The source budget must reflect the max-cost rule
+// over the *surviving* branches, the ledger must sum to it, and the trace
+// must show the faulted branch released nothing — at every thread count.
+TEST(Reconciliation, FaultedPartitionBranchBalancesAtAnyThreadCount) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    auto audit =
+        std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1e6));
+    Queryable<int> q(many_values(), audit, std::make_shared<NoiseSource>(17));
+    std::vector<int> keys(kParts);
+    std::iota(keys.begin(), keys.end(), 0);
+    QueryTrace trace;
+    {
+      TraceSession session(trace);
+      auto parts = q.partition(keys, [](int x) { return x % kParts; });
+      EXPECT_THROW(
+          std::ignore = exec::map_parts(
+              exec::ExecPolicy{threads}, keys, parts,
+              [](int, const Queryable<int>& part) {
+                const double count =
+                    part.where([](int x) {
+                          if (x == 137) {
+                            throw std::runtime_error("poisoned record");
+                          }
+                          return x % 5 != 0;
+                        })
+                        .noisy_count(0.25);
+                const double sum = part.noisy_sum(
+                    0.25, [](int x) { return (x % 2 == 0) ? 1.0 : -1.0; });
+                return count + sum;
+              }),
+          AnalystCodeError);
+    }
+    // Ledger vs accountant: exact at any schedule.
+    EXPECT_DOUBLE_EQ(ledger_sum(audit->canonical_entries()), audit->spent())
+        << "threads=" << threads;
+    // Max-cost rule over surviving branches: 23 parts released
+    // 0.25 + 0.25 each, the faulted one nothing.
+    EXPECT_DOUBLE_EQ(audit->spent(), 0.5) << "threads=" << threads;
+    std::map<std::string, double> by_part;
+    for (const TraceSpan& root : trace.roots()) {
+      sum_eps_by_detail(root, by_part);
+    }
+    EXPECT_EQ(by_part.size(), static_cast<std::size_t>(kParts - 1));
+    EXPECT_EQ(by_part.count("partition[17]"), 0u) << "faulted branch charged";
+    double max_part = 0.0;
+    for (const auto& [detail, eps] : by_part) {
+      EXPECT_DOUBLE_EQ(eps, 0.5) << detail;
+      max_part = std::max(max_part, eps);
+    }
+    EXPECT_DOUBLE_EQ(max_part, audit->spent()) << "threads=" << threads;
+  }
+}
+
+// Independent branches over one shared accountant, one branch faulting
+// deterministically: the canonical ledger (node id, eps) must be
+// identical between the sequential and parallel schedules.
+TEST(Reconciliation, ParallelFaultLedgerMatchesSequential) {
+  auto run = [](std::size_t threads) {
+    auto audit =
+        std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1e6));
+    std::vector<Queryable<int>> branches;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      branches.push_back(Queryable<int>(
+          many_values(), audit, std::make_shared<NoiseSource>(100 + i)));
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      tasks.push_back([&branches, i] {
+        if (i == 3) {
+          std::ignore = branches[i]
+                            .where([](int) -> bool {
+                              throw std::runtime_error("branch fault");
+                            })
+                            .noisy_count(0.5);
+        } else {
+          std::ignore = branches[i].noisy_count(
+              0.125 * static_cast<double>(i + 1));
+        }
+      });
+    }
+    EXPECT_THROW(exec::Executor(exec::ExecPolicy{threads}).run(std::move(tasks)),
+                 AnalystCodeError);
+    return audit;
+  };
+  const auto sequential = run(1);
+  const auto parallel = run(8);
+  EXPECT_DOUBLE_EQ(parallel->spent(), sequential->spent());
+  const auto seq_entries = sequential->canonical_entries();
+  const auto par_entries = parallel->canonical_entries();
+  ASSERT_EQ(par_entries.size(), seq_entries.size());
+  for (std::size_t i = 0; i < seq_entries.size(); ++i) {
+    EXPECT_EQ(par_entries[i].node_id, seq_entries[i].node_id) << "entry " << i;
+    EXPECT_DOUBLE_EQ(par_entries[i].eps, seq_entries[i].eps) << "entry " << i;
+  }
+}
+
+// Injects a materialization fault into every operator type in turn; each
+// time, the charge that preceded the fault stays on the books, the fault
+// itself charges nothing, and ledger == trace == spent exactly.
+TEST(Reconciliation, FaultAtEveryNodeTypeReconciles) {
+  const std::vector<std::string> ops = {
+      "where",  "select",    "select_many", "distinct",  "group_by",
+      "group_by_spans", "join", "concat",   "set_union", "except",
+      "intersect"};
+  auto force = [](const std::string& op, Queryable<int>& base,
+                  Queryable<int>& other) -> double {
+    if (op == "where") {
+      return base.where([](int) { return true; }).noisy_count(0.25);
+    }
+    if (op == "select") {
+      return base.select([](const int& x) { return x; }).noisy_count(0.25);
+    }
+    if (op == "select_many") {
+      return base.select_many(
+                     [](const int& x) { return std::vector<int>{x}; }, 1)
+          .noisy_count(0.25);
+    }
+    if (op == "distinct") return base.distinct().noisy_count(0.25);
+    if (op == "group_by") {
+      return base.group_by([](const int& x) { return x % 3; })
+          .noisy_count(0.25);
+    }
+    if (op == "group_by_spans") {
+      return base.group_by_spans([](const int& x) { return x % 3; },
+                                 [](const int&) { return false; })
+          .noisy_count(0.25);
+    }
+    if (op == "join") {
+      return base.join(other, [](const int& x) { return x; },
+                       [](const int& y) { return y; },
+                       [](const int& x, const int&) { return x; })
+          .noisy_count(0.25);
+    }
+    if (op == "concat") return base.concat(other).noisy_count(0.25);
+    if (op == "set_union") return base.set_union(other).noisy_count(0.25);
+    if (op == "except") return base.except(other).noisy_count(0.25);
+    return base.intersect(other).noisy_count(0.25);
+  };
+  for (const std::string& op : ops) {
+    auto audit =
+        std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1e6));
+    Queryable<int> base({1, 2, 3, 4, 5, 6}, audit,
+                        std::make_shared<NoiseSource>(41));
+    Queryable<int> other({4, 5, 6, 7, 8, 9}, audit,
+                         std::make_shared<NoiseSource>(42));
+    QueryTrace trace;
+    {
+      TraceSession session(trace);
+      std::ignore = base.noisy_count(0.5);  // a successful charge first
+      failpoint::ScopedFailpoint fp(
+          "plan.materialize", [&op](std::string_view detail) {
+            if (detail == op) throw std::runtime_error("injected");
+          });
+      EXPECT_THROW(std::ignore = force(op, base, other), AnalystCodeError)
+          << op;
+    }
+    expect_reconciled(*audit, trace);
+    EXPECT_DOUBLE_EQ(audit->spent(), 0.5) << op;
+  }
+}
+
+// A worker-level fault (exec.worker_task failpoint) kills exactly one
+// task; the executor still drains the rest, so the surviving releases are
+// all on the books.  With equal per-task epsilons the total is
+// schedule-independent even though *which* task faults is not.
+TEST(Reconciliation, InjectedWorkerFaultStillDrainsAllOtherTasks) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    auto audit =
+        std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1e6));
+    std::vector<Queryable<int>> branches;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      branches.push_back(Queryable<int>(
+          many_values(), audit, std::make_shared<NoiseSource>(200 + i)));
+    }
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+      tasks.push_back(
+          [&branches, i] { std::ignore = branches[i].noisy_count(0.125); });
+    }
+    std::atomic<int> hits{0};
+    failpoint::ScopedFailpoint fp(
+        "exec.worker_task", [&hits](std::string_view) {
+          if (hits.fetch_add(1) == 0) {
+            throw std::runtime_error("injected worker fault");
+          }
+        });
+    EXPECT_THROW(
+        exec::Executor(exec::ExecPolicy{threads}).run(std::move(tasks)),
+        std::runtime_error);
+    EXPECT_DOUBLE_EQ(audit->spent(), 0.875) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(ledger_sum(audit->canonical_entries()), audit->spent());
+  }
+}
+
+// Guard aborts and budget refusals interleaved with successful releases:
+// only the successes appear anywhere — accountant, ledger, and trace all
+// agree, and the aborted/refused spans carry zero charged epsilon.
+TEST(Reconciliation, AbortedAndRefusedReleasesLeaveBalancedBooks) {
+  auto audit =
+      std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1.0));
+  Queryable<int> q(many_values(), audit, std::make_shared<NoiseSource>(51));
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    EXPECT_NO_THROW(std::ignore = q.noisy_count(0.5));
+    {
+      // Work quota trips while materializing the filter: aborted before
+      // any charge.
+      QueryGuard guard(QueryGuard::Options{.max_total_rows = 10});
+      GuardScope scope(guard);
+      EXPECT_THROW(std::ignore = q.where([](int x) { return x > 0; })
+                                     .noisy_count(0.25),
+                   QueryAbortedError);
+    }
+    // 0.5 + 0.75 > 1.0: refused, charging nothing.
+    EXPECT_THROW(std::ignore = q.noisy_count(0.75), BudgetExhaustedError);
+    // The headroom is intact, so this exact-fit release still lands.
+    EXPECT_NO_THROW(std::ignore = q.noisy_count(0.5));
+  }
+  EXPECT_DOUBLE_EQ(audit->spent(), 1.0);
+  expect_reconciled(*audit, trace);
+}
+
+// A fault injected *inside* the release path, between the guard
+// checkpoint and the charge: the charge-before-release invariant says
+// nothing may have been committed.
+TEST(Reconciliation, FaultInsideReleasePathChargesNothing) {
+  auto audit =
+      std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1e6));
+  Queryable<int> q(many_values(), audit, std::make_shared<NoiseSource>(61));
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    EXPECT_NO_THROW(std::ignore = q.noisy_count(0.5));
+    failpoint::ScopedFailpoint fp(
+        "core.release.charge", [](std::string_view mechanism) {
+          EXPECT_EQ(mechanism, "laplace");
+          throw BudgetExhaustedError("injected refusal");
+        });
+    EXPECT_THROW(std::ignore = q.noisy_count(0.25), BudgetExhaustedError);
+  }
+  EXPECT_DOUBLE_EQ(audit->spent(), 0.5);
+  expect_reconciled(*audit, trace);
+  // The refused release's span is visible and marked, with zero charge.
+  bool saw_refused = false;
+  std::function<void(const TraceSpan&)> walk = [&](const TraceSpan& s) {
+    if (s.op == "noisy_count" && s.detail == "refused") {
+      saw_refused = true;
+      EXPECT_DOUBLE_EQ(s.eps_charged, 0.0);
+    }
+    for (const TraceSpan& c : s.children) walk(c);
+  };
+  for (const TraceSpan& root : trace.roots()) walk(root);
+  EXPECT_TRUE(saw_refused);
+}
+
+}  // namespace
+}  // namespace dpnet::core

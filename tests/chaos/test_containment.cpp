@@ -1,0 +1,211 @@
+// Analyst-UDF exception containment: a throwing analyst callback in any
+// operator must surface as a sanitized AnalystCodeError naming only the
+// operator and plan-node id — the analyst exception's text (which could
+// interpolate record contents) must never cross the privacy boundary.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/failpoint.hpp"
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+// Marker text standing in for record contents leaked into an exception
+// message; no sanitized error may contain it.
+constexpr char kSecret[] = "SECRET-RECORD-7";
+
+[[noreturn]] void leak() {
+  throw std::runtime_error(std::string("analyst UDF saw ") + kSecret);
+}
+
+Queryable<int> ten() {
+  return make_queryable(std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 1e6,
+                        3);
+}
+
+// Runs `body`, expecting a contained AnalystCodeError whose op() matches
+// and whose message carries neither the secret nor any what() text.
+void expect_contained(const char* op, const std::function<void()>& body) {
+  try {
+    body();
+    FAIL() << op << ": expected AnalystCodeError";
+  } catch (const AnalystCodeError& e) {
+    EXPECT_EQ(e.op(), op);
+    const std::string text = e.what();
+    EXPECT_EQ(text.find(kSecret), std::string::npos) << text;
+    EXPECT_NE(text.find(op), std::string::npos) << text;
+    EXPECT_NE(text.find("withheld"), std::string::npos) << text;
+  }
+}
+
+TEST(Containment, WherePredicate) {
+  expect_contained("where", [] {
+    std::ignore =
+        ten().where([](int) -> bool { leak(); }).noisy_count(1.0);
+  });
+}
+
+TEST(Containment, SelectMapper) {
+  expect_contained("select", [] {
+    std::ignore =
+        ten().select([](const int&) -> int { leak(); }).noisy_count(1.0);
+  });
+}
+
+TEST(Containment, SelectManyExpander) {
+  expect_contained("select_many", [] {
+    std::ignore = ten()
+                      .select_many(
+                          [](const int&) -> std::vector<int> { leak(); }, 2)
+                      .noisy_count(1.0);
+  });
+}
+
+TEST(Containment, GroupByKeySelector) {
+  expect_contained("group_by", [] {
+    std::ignore =
+        ten().group_by([](const int&) -> int { leak(); }).noisy_count(1.0);
+  });
+}
+
+TEST(Containment, GroupBySpansKeyAndBoundary) {
+  expect_contained("group_by_spans", [] {
+    std::ignore = ten()
+                      .group_by_spans([](const int&) -> int { leak(); },
+                                      [](const int&) { return false; })
+                      .noisy_count(1.0);
+  });
+  expect_contained("group_by_spans", [] {
+    std::ignore = ten()
+                      .group_by_spans([](const int& x) { return x % 2; },
+                                      [](const int&) -> bool { leak(); })
+                      .noisy_count(1.0);
+  });
+}
+
+TEST(Containment, JoinKeySelectorsAndResult) {
+  expect_contained("join", [] {
+    auto left = ten();
+    auto right = ten();
+    std::ignore = left.join(
+                          right, [](const int&) -> int { leak(); },
+                          [](const int& y) { return y; },
+                          [](const int& x, const int&) { return x; })
+                      .noisy_count(1.0);
+  });
+  expect_contained("join", [] {
+    auto left = ten();
+    auto right = ten();
+    std::ignore = left.join(
+                          right, [](const int& x) { return x; },
+                          [](const int&) -> int { leak(); },
+                          [](const int& x, const int&) { return x; })
+                      .noisy_count(1.0);
+  });
+  expect_contained("join", [] {
+    auto left = ten();
+    auto right = ten();
+    std::ignore = left.join(
+                          right, [](const int& x) { return x; },
+                          [](const int& y) { return y; },
+                          [](const int&, const int&) -> int { leak(); })
+                      .noisy_count(1.0);
+  });
+}
+
+TEST(Containment, PartitionKeyFunction) {
+  expect_contained("partition", [] {
+    auto q = ten();
+    std::ignore = q.partition(std::vector<int>{0, 1},
+                              [](const int&) -> int { leak(); });
+  });
+}
+
+TEST(Containment, AggregationFunctors) {
+  expect_contained("noisy_sum", [] {
+    std::ignore = ten().noisy_sum(1.0, [](const int&) -> double { leak(); });
+  });
+  expect_contained("noisy_average", [] {
+    std::ignore =
+        ten().noisy_average(1.0, [](const int&) -> double { leak(); });
+  });
+  expect_contained("noisy_quantile", [] {
+    std::ignore =
+        ten().noisy_quantile(1.0, 0.5, [](const int&) -> double { leak(); });
+  });
+}
+
+TEST(Containment, ContainedFaultChargesNothing) {
+  auto budget = std::make_shared<RootBudget>(10.0);
+  Queryable<int> q({1, 2, 3}, budget, std::make_shared<NoiseSource>(5));
+  EXPECT_THROW(
+      std::ignore = q.noisy_sum(1.0, [](const int&) -> double { leak(); }),
+      AnalystCodeError);
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.0);
+}
+
+// Operators without analyst UDFs (distinct, concat, set ops) still run
+// inside the containment boundary; the plan.materialize failpoint injects
+// a fault indistinguishable from a throwing UDF into each one.
+TEST(Containment, InjectedFaultsInUdfLessOperators) {
+  const std::vector<std::string> ops = {"distinct", "concat", "set_union",
+                                        "except", "intersect"};
+  for (const std::string& op : ops) {
+    failpoint::ScopedFailpoint fp(
+        "plan.materialize", [&op](std::string_view detail) {
+          if (detail == op) leak();
+        });
+    expect_contained(op.c_str(), [&op] {
+      auto left = ten();
+      auto right = ten();
+      Queryable<int> derived =
+          op == "distinct"    ? left.distinct()
+          : op == "concat"    ? left.concat(right)
+          : op == "set_union" ? left.set_union(right)
+          : op == "except"    ? left.except(right)
+                              : left.intersect(right);
+      std::ignore = derived.noisy_count(1.0);
+    });
+  }
+}
+
+// A contained error from an upstream operator passes through downstream
+// containment untouched: the analyst sees the *originating* operator, and
+// the error is never double-wrapped.
+TEST(Containment, UpstreamErrorIsNotRewrapped) {
+  expect_contained("where", [] {
+    std::ignore = ten()
+                      .where([](int) -> bool { leak(); })
+                      .select([](const int& x) { return x * 2; })
+                      .distinct()
+                      .noisy_count(1.0);
+  });
+}
+
+// Engine errors are not analyst faults: they pass the boundary as-is.
+TEST(Containment, EngineErrorsPassThrough) {
+  auto tiny = make_queryable(std::vector<int>{1, 2, 3}, 0.5, 9);
+  EXPECT_THROW(std::ignore = tiny.noisy_count(1.0), BudgetExhaustedError);
+  EXPECT_THROW(std::ignore = ten().noisy_count(-1.0), InvalidEpsilonError);
+}
+
+// After every contained fault above, the process must remain usable.
+TEST(Containment, ProcessStaysUsableAfterFaults) {
+  auto q = ten();
+  EXPECT_THROW(
+      std::ignore = q.where([](int) -> bool { leak(); }).noisy_count(1.0),
+      AnalystCodeError);
+  EXPECT_NO_THROW(std::ignore = q.noisy_count(1.0));
+  EXPECT_NO_THROW(std::ignore =
+                      q.where([](int x) { return x > 4; }).noisy_count(1.0));
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,0 +1,85 @@
+// Failpoint registry: zero-cost when disarmed, precise dispatch when
+// armed, RAII scoping, and the faults.injected accounting.
+#include "core/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/metrics.hpp"
+
+namespace dpnet::core::failpoint {
+namespace {
+
+TEST(Failpoint, DisarmedHitIsANoop) {
+  const std::uint64_t before = fired_count();
+  hit("chaos.test.never_armed");
+  hit("chaos.test.never_armed", "detail");
+  EXPECT_EQ(fired_count(), before);
+}
+
+TEST(Failpoint, ArmedActionReceivesDetailAndCounts) {
+  const std::uint64_t fired_before = fired_count();
+  const std::uint64_t metric_before =
+      builtin_metrics::faults_injected().value();
+  std::string seen;
+  arm("chaos.test.basic", [&seen](std::string_view detail) {
+    seen = std::string(detail);
+  });
+  hit("chaos.test.basic", "from-test");
+  disarm("chaos.test.basic");
+  EXPECT_EQ(seen, "from-test");
+  EXPECT_EQ(fired_count(), fired_before + 1);
+  EXPECT_EQ(builtin_metrics::faults_injected().value(), metric_before + 1);
+}
+
+TEST(Failpoint, OnlyTheNamedFailpointFires) {
+  int fires = 0;
+  arm("chaos.test.a", [&fires](std::string_view) { ++fires; });
+  hit("chaos.test.b");  // armed registry, different name: no dispatch
+  hit("chaos.test.a");
+  disarm("chaos.test.a");
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Failpoint, ActionsMayThrowThroughTheHit) {
+  ScopedFailpoint fp("chaos.test.throws", [](std::string_view) {
+    throw std::runtime_error("injected");
+  });
+  EXPECT_THROW(hit("chaos.test.throws"), std::runtime_error);
+}
+
+TEST(Failpoint, ScopedFailpointDisarmsOnExit) {
+  int fires = 0;
+  {
+    ScopedFailpoint fp("chaos.test.scoped",
+                       [&fires](std::string_view) { ++fires; });
+    hit("chaos.test.scoped");
+  }
+  hit("chaos.test.scoped");  // out of scope: disarmed
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Failpoint, DisarmAllClearsEverything) {
+  int fires = 0;
+  arm("chaos.test.all1", [&fires](std::string_view) { ++fires; });
+  arm("chaos.test.all2", [&fires](std::string_view) { ++fires; });
+  disarm_all();
+  hit("chaos.test.all1");
+  hit("chaos.test.all2");
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Failpoint, RearmingReplacesTheAction) {
+  int first = 0, second = 0;
+  arm("chaos.test.rearm", [&first](std::string_view) { ++first; });
+  arm("chaos.test.rearm", [&second](std::string_view) { ++second; });
+  hit("chaos.test.rearm");
+  disarm("chaos.test.rearm");
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+}  // namespace
+}  // namespace dpnet::core::failpoint

@@ -1,0 +1,209 @@
+// QueryGuard: deadlines, cooperative cancellation, row/work quotas, and
+// the charge-before-release invariant (an aborted query charges nothing;
+// charged epsilon is never refunded).
+#include "core/guard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/exec/executor.hpp"
+#include "core/metrics.hpp"
+#include "core/queryable.hpp"
+
+namespace dpnet::core {
+namespace {
+
+using std::chrono::milliseconds;
+
+Queryable<int> protect(double budget_eps, std::uint64_t seed = 5) {
+  std::vector<int> v(400);
+  std::iota(v.begin(), v.end(), 0);
+  return Queryable<int>(std::move(v), std::make_shared<RootBudget>(budget_eps),
+                       std::make_shared<NoiseSource>(seed));
+}
+
+TEST(Guard, CheckpointPassesUntilTripped) {
+  QueryGuard guard;
+  EXPECT_NO_THROW(guard.checkpoint("test"));
+  EXPECT_FALSE(guard.aborted());
+}
+
+TEST(Guard, CancellationIsStickyAndTyped) {
+  QueryGuard guard;
+  guard.cancel();
+  EXPECT_TRUE(guard.aborted());
+  EXPECT_EQ(guard.reason(), AbortReason::kCancelled);
+  for (int i = 0; i < 3; ++i) {
+    try {
+      guard.checkpoint("somewhere", 0x1234);
+      FAIL() << "tripped guard must keep throwing";
+    } catch (const QueryAbortedError& e) {
+      EXPECT_EQ(e.reason(), AbortReason::kCancelled);
+      EXPECT_EQ(e.where(), "somewhere");
+      EXPECT_EQ(e.node_id(), 0x1234u);
+    }
+  }
+}
+
+TEST(Guard, ExpiredDeadlineTripsAtTheNextCheckpoint) {
+  const std::uint64_t aborted_before =
+      builtin_metrics::queries_aborted().value();
+  const std::uint64_t deadline_before =
+      builtin_metrics::deadline_exceeded().value();
+  QueryGuard guard(QueryGuard::Options{.timeout = milliseconds(0)});
+  try {
+    guard.checkpoint("op");
+    FAIL() << "deadline should have expired";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kDeadline);
+  }
+  EXPECT_EQ(builtin_metrics::queries_aborted().value(), aborted_before + 1);
+  EXPECT_EQ(builtin_metrics::deadline_exceeded().value(),
+            deadline_before + 1);
+}
+
+TEST(Guard, OutputQuotaTripsOnOversizedOperator) {
+  QueryGuard guard(QueryGuard::Options{.max_node_rows = 10});
+  EXPECT_NO_THROW(guard.charge_rows(10, "ok"));
+  try {
+    guard.charge_rows(11, "too-big");
+    FAIL() << "output quota should have tripped";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kOutputQuota);
+  }
+}
+
+TEST(Guard, WorkQuotaIsCumulative) {
+  QueryGuard guard(QueryGuard::Options{.max_total_rows = 25});
+  EXPECT_NO_THROW(guard.charge_rows(10, "a"));
+  EXPECT_NO_THROW(guard.charge_rows(10, "b"));
+  try {
+    guard.charge_rows(10, "c");  // 30 > 25
+    FAIL() << "work quota should have tripped";
+  } catch (const QueryAbortedError& e) {
+    EXPECT_EQ(e.reason(), AbortReason::kWorkQuota);
+  }
+  EXPECT_EQ(guard.total_rows(), 30u);
+}
+
+TEST(Guard, ScopesInstallAndNest) {
+  EXPECT_EQ(active_guard(), nullptr);
+  QueryGuard outer, inner;
+  {
+    GuardScope a(outer);
+    EXPECT_EQ(active_guard(), &outer);
+    {
+      GuardScope b(inner);
+      EXPECT_EQ(active_guard(), &inner);
+    }
+    EXPECT_EQ(active_guard(), &outer);
+  }
+  EXPECT_EQ(active_guard(), nullptr);
+  // No active guard: helpers are no-ops.
+  EXPECT_NO_THROW(guard_checkpoint("anywhere"));
+  EXPECT_NO_THROW(guard_charge_rows(1u << 30, "anywhere"));
+}
+
+TEST(Guard, AbortedQueryChargesNothing) {
+  auto budget = std::make_shared<RootBudget>(10.0);
+  Queryable<int> q({1, 2, 3, 4, 5}, budget,
+                   std::make_shared<NoiseSource>(7));
+  QueryGuard guard(QueryGuard::Options{.max_total_rows = 2});
+  GuardScope scope(guard);
+  EXPECT_THROW(std::ignore = q.where([](int) { return true; })
+                                 .noisy_count(1.0),
+               QueryAbortedError);
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.0);  // charge-before-release: no leak
+}
+
+TEST(Guard, EarlierChargesAreNeverRefundedByALaterAbort) {
+  auto budget = std::make_shared<RootBudget>(10.0);
+  Queryable<int> q({1, 2, 3, 4, 5, 6, 7, 8}, budget,
+                   std::make_shared<NoiseSource>(7));
+  QueryGuard guard;
+  GuardScope scope(guard);
+  std::ignore = q.noisy_count(1.0);  // completes, charges 1.0
+  guard.cancel();
+  EXPECT_THROW(std::ignore = q.noisy_count(1.0), QueryAbortedError);
+  EXPECT_DOUBLE_EQ(budget->spent(), 1.0);  // kept, not refunded
+}
+
+TEST(Guard, CancellationFromInsideAnalystCodeAbortsBeforeRelease) {
+  auto budget = std::make_shared<RootBudget>(10.0);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Queryable<int> q(std::move(v), budget, std::make_shared<NoiseSource>(3));
+  QueryGuard guard;
+  GuardScope scope(guard);
+  // The predicate requests cancellation partway through the scan; the
+  // operator finishes its batch (cooperative granularity is one
+  // operator), then the next checkpoint aborts — before any charge.
+  EXPECT_THROW(std::ignore = q.where([](int x) {
+                                if (x == 50 && active_guard() != nullptr) {
+                                  active_guard()->cancel();
+                                }
+                                return true;
+                              })
+                                 .noisy_count(1.0),
+               QueryAbortedError);
+  EXPECT_DOUBLE_EQ(budget->spent(), 0.0);
+}
+
+TEST(Guard, DeadlineAbortsParallelFanOutWithinGracePeriod) {
+  // A parallel fan-out under an already-expired deadline must abort every
+  // branch promptly (each task aborts at its start checkpoint) and leave
+  // the process healthy.  The wall-clock bound is generous for CI noise;
+  // the point is it does not run the full 24-branch workload.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    auto q = protect(1e6, 11 + threads);
+    const std::vector<int> keys = [] {
+      std::vector<int> k(24);
+      std::iota(k.begin(), k.end(), 0);
+      return k;
+    }();
+    auto parts = q.partition(keys, [](int x) { return x % 24; });
+    exec::ExecPolicy policy(
+        threads,
+        std::make_shared<QueryGuard>(
+            QueryGuard::Options{.timeout = milliseconds(0)}));
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(
+        std::ignore = exec::map_parts(policy, keys, parts,
+                                      [](int, const Queryable<int>& part) {
+                                        return part.noisy_count(0.5);
+                                      }),
+        QueryAbortedError);
+    const auto wall = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(wall, std::chrono::seconds(10)) << "threads=" << threads;
+  }
+  // Process alive: a fresh unguarded query still works.
+  auto q = protect(1e6, 99);
+  EXPECT_NO_THROW(std::ignore = q.noisy_count(0.5));
+}
+
+TEST(Guard, PolicyGuardGovernsWorkersAtAnyThreadCount) {
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    auto guard = std::make_shared<QueryGuard>();
+    auto q = protect(1e6, 21);
+    const std::vector<int> keys = {0, 1, 2, 3, 4, 5, 6, 7};
+    auto parts = q.partition(keys, [](int x) { return x % 8; });
+    guard->cancel();  // trip before the fan-out even starts
+    exec::ExecPolicy policy(threads, guard);
+    EXPECT_THROW(
+        std::ignore = exec::map_parts(policy, keys, parts,
+                                      [](int, const Queryable<int>& part) {
+                                        return part.noisy_count(0.5);
+                                      }),
+        QueryAbortedError);
+  }
+}
+
+}  // namespace
+}  // namespace dpnet::core

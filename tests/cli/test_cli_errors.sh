@@ -1,0 +1,94 @@
+#!/bin/sh
+# Error-path regression test for dpnet_cli: malformed inputs must produce
+# ONE sanitized "error:" line on stderr and a nonzero exit — no crashes,
+# no stack traces, no record contents in the diagnostic.
+# Usage: test_cli_errors.sh <path-to-dpnet_cli>
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# expect_error <expected-substring> <cli args...>
+# Runs the CLI, asserts exit 1, exactly one stderr line, and that the
+# line starts with "error:" and mentions the expected substring.
+expect_error() {
+  want="$1"
+  shift
+  rc=0
+  "$CLI" "$@" >"$WORK/out" 2>"$WORK/err" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "expected failure: $CLI $*" >&2
+    exit 1
+  fi
+  lines=$(wc -l <"$WORK/err")
+  if [ "$lines" -ne 1 ]; then
+    echo "expected one stderr line for: $CLI $* (got $lines)" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  fi
+  grep -q "^error: " "$WORK/err" || {
+    echo "stderr not sanitized one-liner for: $CLI $*" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  }
+  grep -q "$want" "$WORK/err" || {
+    echo "stderr missing '$want' for: $CLI $*" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  }
+}
+
+echo "== json fed as a trace container =="
+printf '{"packets": [1, 2, 3], "oops": "not a trace"}\n' >"$WORK/bogus.dpnt"
+expect_error "magic" stats "$WORK/bogus.dpnt"
+# The secret-looking JSON content must not leak into the diagnostic.
+if grep -q "packets" "$WORK/err"; then
+  echo "diagnostic leaked input contents" >&2
+  exit 1
+fi
+
+echo "== truncated container =="
+"$CLI" gen "$WORK/t.dpnt" --seed 7 >/dev/null
+size=$(wc -c <"$WORK/t.dpnt")
+head -c "$((size - 11))" "$WORK/t.dpnt" >"$WORK/cut.dpnt"
+expect_error "record" stats "$WORK/cut.dpnt"
+
+echo "== bit-flipped container =="
+python3 -c "
+import sys
+data = bytearray(open('$WORK/t.dpnt', 'rb').read())
+data[len(data) // 2] ^= 0x40
+open('$WORK/flip.dpnt', 'wb').write(bytes(data))
+" 2>/dev/null || {
+  # No python: overwrite a mid-file byte with dd instead.
+  cp "$WORK/t.dpnt" "$WORK/flip.dpnt"
+  printf '\377' | dd of="$WORK/flip.dpnt" bs=1 seek="$((size / 2))" \
+    conv=notrunc 2>/dev/null
+}
+expect_error "error:" stats "$WORK/flip.dpnt"
+
+echo "== missing file =="
+expect_error "cannot open" stats "$WORK/does-not-exist.dpnt"
+
+echo "== malformed numeric flags exit 2 =="
+rc=0
+"$CLI" gen "$WORK/x.dpnt" --seed banana 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for bad --seed" >&2; exit 1; }
+grep -q "unsigned integer" "$WORK/err"
+
+rc=0
+"$CLI" analyze "$WORK/t.dpnt" count --eps "1.0x" 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for bad --eps" >&2; exit 1; }
+grep -q "expects a number" "$WORK/err"
+
+echo "== analyze on corrupt input is contained too =="
+expect_error "error:" analyze "$WORK/cut.dpnt" count --eps 0.5
+
+echo "== robustness metrics are listed =="
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 | grep -q "queries.aborted"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 | grep -q "records.quarantined"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "deadline.exceeded"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "faults.injected"
+
+echo "CLI-ERRORS-OK"

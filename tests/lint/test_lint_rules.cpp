@@ -319,6 +319,48 @@ TEST(RuleThreads, SuppressionCommentApplies) {
   EXPECT_EQ(count_rule(f, "R7"), 0);
 }
 
+// ----------------------------------------------------------------------- R8
+
+TEST(RuleExceptionText, FlagsWhatCallInsideSrc) {
+  const auto f = analyze_source(
+      "src/core/engine.cpp",
+      "void f() {\n"
+      "  try { g(); } catch (const std::exception& e) {\n"
+      "    log(e.what());\n"
+      "  }\n"
+      "}\n");
+  ASSERT_EQ(count_rule(f, "R8"), 1);
+  EXPECT_EQ(f[0].line, 3);
+}
+
+TEST(RuleExceptionText, TrustedCodeOutsideSrcMayPrintWhat) {
+  const std::string code =
+      "void f() {\n"
+      "  try { g(); } catch (const std::exception& e) {\n"
+      "    std::fprintf(stderr, \"error: %s\\n\", e.what());\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(analyze_source("tools/dpnet_cli.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("tests/core/t.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("bench/b.cpp", code).empty());
+  EXPECT_TRUE(analyze_source("examples/e.cpp", code).empty());
+}
+
+TEST(RuleExceptionText, MentionInCommentOrStringIsIgnored) {
+  const std::string code =
+      "// discards the original what() text at the boundary\n"
+      "const char* doc = \"never log what()\";\n"
+      "int whatever(int x);\n";
+  EXPECT_TRUE(analyze_source("src/core/errors.hpp", code).empty());
+}
+
+TEST(RuleExceptionText, SuppressionCommentApplies) {
+  const auto f = analyze_source(
+      "src/core/x.cpp",
+      "auto s = e.what();  // dpnet-lint: suppress(R8)\n");
+  EXPECT_EQ(count_rule(f, "R8"), 0);
+}
+
 // ------------------------------------------------------------------- misc
 
 TEST(Lint, WantsOnlyCxxSourcesUnderScannedRoots) {

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
+
+#include "core/failpoint.hpp"
 
 namespace dpnet::net {
 namespace {
@@ -102,6 +108,193 @@ TEST(TraceIo, FileRoundTrip) {
 
 TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.bin"), TraceIoError);
+}
+
+// ---------------------------------------------------------------------
+// Robustness: v2 framing, corruption detection, degraded mode, retry.
+// ---------------------------------------------------------------------
+
+template <typename T>
+void put_raw(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+/// Hand-writes a version-1 (unframed) container, byte-for-byte the
+/// pre-v2 writer's output, so the legacy read path stays covered.
+void write_legacy_trace(std::ostream& out, const std::vector<Packet>& trace) {
+  put_raw(out, kTraceMagic);
+  put_raw(out, kTraceVersionLegacy);
+  put_raw(out, static_cast<std::uint64_t>(trace.size()));
+  for (const Packet& p : trace) {
+    put_raw(out, p.timestamp);
+    put_raw(out, p.src_ip.value);
+    put_raw(out, p.dst_ip.value);
+    put_raw(out, p.src_port);
+    put_raw(out, p.dst_port);
+    put_raw(out, p.protocol);
+    put_raw(out, p.flags.to_byte());
+    put_raw(out, p.seq);
+    put_raw(out, p.ack_no);
+    put_raw(out, p.length);
+    put_raw(out, static_cast<std::uint32_t>(p.payload.size()));
+    out.write(p.payload.data(),
+              static_cast<std::streamsize>(p.payload.size()));
+  }
+}
+
+/// Packets with distinctive payloads so tests can corrupt a specific
+/// record by locating its payload bytes in the serialized buffer.
+Packet tagged_packet(int i) {
+  Packet p = sample_packet(i);
+  p.payload = "pkt-" + std::to_string(i);
+  return p;
+}
+
+std::string serialized(const std::vector<Packet>& trace) {
+  std::stringstream buffer;
+  write_trace(buffer, trace);
+  return buffer.str();
+}
+
+TEST(TraceIo, WritesVersionTwo) {
+  std::stringstream buffer;
+  write_trace(buffer, std::vector<Packet>{sample_packet(0)});
+  TraceReader reader(buffer);
+  EXPECT_EQ(reader.version(), kTraceVersion);
+  EXPECT_EQ(reader.total(), 1u);
+}
+
+TEST(TraceIo, ReadsLegacyV1Containers) {
+  std::vector<Packet> trace;
+  for (int i = 0; i < 8; ++i) trace.push_back(sample_packet(i));
+  std::stringstream buffer;
+  write_legacy_trace(buffer, trace);
+  EXPECT_EQ(read_trace(buffer), trace);
+}
+
+TEST(TraceIo, LegacyTruncationIsFormatError) {
+  std::stringstream buffer;
+  write_legacy_trace(buffer, {sample_packet(0), sample_packet(1)});
+  const std::string full = buffer.str();
+  std::stringstream cut(full.substr(0, full.size() - 5));
+  EXPECT_THROW(read_trace(cut), TraceFormatError);
+}
+
+TEST(TraceIo, BitFlipIsDetectedByChecksum) {
+  std::string bytes = serialized({tagged_packet(0), tagged_packet(1)});
+  const std::size_t pos = bytes.find("pkt-0");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x20;
+  std::stringstream corrupted(bytes);
+  try {
+    read_trace(corrupted);
+    FAIL() << "corruption not detected";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.record_index(), 0u);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+}
+
+TEST(TraceIo, FormatErrorCarriesRecordIndex) {
+  std::string bytes =
+      serialized({tagged_packet(0), tagged_packet(1), tagged_packet(2)});
+  const std::size_t pos = bytes.find("pkt-1");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x01;
+  std::stringstream corrupted(bytes);
+  try {
+    read_trace(corrupted);
+    FAIL() << "corruption not detected";
+  } catch (const TraceFormatError& e) {
+    EXPECT_EQ(e.record_index(), 1u);
+  }
+}
+
+TEST(TraceIo, QuarantineSkipsCorruptRecordAndResyncs) {
+  std::vector<Packet> trace;
+  for (int i = 0; i < 5; ++i) trace.push_back(tagged_packet(i));
+  std::string bytes = serialized(trace);
+  const std::size_t pos = bytes.find("pkt-2");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x40;
+
+  std::stringstream corrupted(bytes);
+  TraceReader reader(corrupted, TraceReadOptions{.quarantine = true});
+  std::vector<Packet> got;
+  Packet p;
+  while (reader.next(p)) got.push_back(p);
+  const std::vector<Packet> expected = {trace[0], trace[1], trace[3],
+                                        trace[4]};
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(reader.quarantined(), 1u);
+}
+
+TEST(TraceIo, QuarantineToleratesTruncatedTail) {
+  std::vector<Packet> trace = {tagged_packet(0), tagged_packet(1),
+                               tagged_packet(2)};
+  const std::string full = serialized(trace);
+  std::stringstream cut(full.substr(0, full.size() - 6));
+  TraceReader reader(cut, TraceReadOptions{.quarantine = true});
+  std::vector<Packet> got;
+  Packet p;
+  while (reader.next(p)) got.push_back(p);
+  const std::vector<Packet> expected = {trace[0], trace[1]};
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(reader.quarantined(), 1u);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(TraceIo, QuarantineLimitStillBoundsCorruption) {
+  std::string bytes = serialized({tagged_packet(0), tagged_packet(1)});
+  const std::size_t pos = bytes.find("pkt-0");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] ^= 0x40;
+  std::stringstream corrupted(bytes);
+  TraceReader reader(
+      corrupted, TraceReadOptions{.quarantine = true, .max_quarantined = 0});
+  Packet p;
+  EXPECT_THROW(
+      {
+        while (reader.next(p)) {
+        }
+      },
+      TraceFormatError);
+}
+
+TEST(TraceIo, TransientFaultsRetryDeterministically) {
+  const std::string path = ::testing::TempDir() + "/dpnt_retry.trace";
+  write_trace_file(path, std::vector<Packet>{sample_packet(0)});
+
+  int failures_left = 2;
+  core::failpoint::ScopedFailpoint fp(
+      "net.trace_io.read", [&failures_left](std::string_view) {
+        if (failures_left > 0) {
+          --failures_left;
+          throw TransientIoError("injected transient fault");
+        }
+      });
+  TraceReadOptions options;
+  options.max_retries = 2;
+  options.retry_backoff = std::chrono::milliseconds(0);
+  EXPECT_EQ(read_trace_file(path, options).size(), 1u);
+  EXPECT_EQ(failures_left, 0);
+}
+
+TEST(TraceIo, TransientRetriesAreBounded) {
+  const std::string path = ::testing::TempDir() + "/dpnt_retry_fail.trace";
+  write_trace_file(path, std::vector<Packet>{sample_packet(0)});
+
+  int attempts = 0;
+  core::failpoint::ScopedFailpoint fp("net.trace_io.read",
+                                      [&attempts](std::string_view) {
+                                        ++attempts;
+                                        throw TransientIoError("injected");
+                                      });
+  TraceReadOptions options;
+  options.max_retries = 3;
+  options.retry_backoff = std::chrono::milliseconds(0);
+  EXPECT_THROW(read_trace_file(path, options), TransientIoError);
+  EXPECT_EQ(attempts, 4);  // first try + 3 retries, then give up
 }
 
 }  // namespace

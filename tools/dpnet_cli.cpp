@@ -63,6 +63,38 @@ std::string flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
+/// Numeric flag parsing with a one-line diagnostic instead of the raw
+/// std::invalid_argument/out_of_range a bare std::stoull would surface.
+std::uint64_t u64_flag(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  const std::string text = flag_value(args, flag, fallback);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+}
+
+double double_flag(const std::vector<std::string>& args,
+                   const std::string& flag, const std::string& fallback) {
+  const std::string text = flag_value(args, flag, fallback);
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+}
+
 bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
   for (const auto& a : args) {
     if (a == flag) return true;
@@ -75,7 +107,7 @@ int cmd_gen(const std::vector<std::string>& args) {
   tracegen::HotspotConfig cfg = has_flag(args, "--full")
                                     ? tracegen::HotspotConfig{}
                                     : tracegen::HotspotConfig::small();
-  cfg.seed = std::stoull(flag_value(args, "--seed", "42"));
+  cfg.seed = u64_flag(args, "--seed", "42");
   tracegen::HotspotGenerator gen(cfg);
   const auto trace = gen.generate();
   save(args[0], trace);
@@ -124,7 +156,7 @@ int cmd_stats(const std::vector<std::string>& args) {
 int cmd_anonymize(const std::vector<std::string>& args) {
   if (args.size() < 2) usage_for("anonymize");
   net::AnonymizeOptions opt;
-  opt.key = std::stoull(flag_value(args, "--key", "1537228672809129301"));
+  opt.key = u64_flag(args, "--key", "1537228672809129301");
   opt.strip_payloads = !has_flag(args, "--keep-payloads");
   const auto trace = load(args[0]);
   save(args[1], net::anonymize_trace(trace, opt));
@@ -178,8 +210,8 @@ bool run_analysis_query(core::Queryable<Packet>& packets,
 
 int cmd_analyze(const std::vector<std::string>& args) {
   if (args.size() < 2) usage_for("analyze");
-  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
-  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
+  const double eps = double_flag(args, "--eps", "1.0");
+  const double budget_total = double_flag(args, "--budget", "10");
   const auto trace = load(args[0]);
   const std::string query = args[1];
 
@@ -188,7 +220,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
   core::Queryable<Packet> packets(
       trace, audit,
       std::make_shared<core::NoiseSource>(
-          std::stoull(flag_value(args, "--seed", "1"))));
+          u64_flag(args, "--seed", "1")));
   core::ScopedAuditLabel label(*audit, query);
 
   if (!run_analysis_query(packets, query, eps)) usage_for("analyze");
@@ -198,8 +230,8 @@ int cmd_analyze(const std::vector<std::string>& args) {
 
 int cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 2) usage_for("trace");
-  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
-  const double budget_total = std::stod(flag_value(args, "--budget", "10"));
+  const double eps = double_flag(args, "--eps", "1.0");
+  const double budget_total = double_flag(args, "--budget", "10");
   const bool want_json = has_flag(args, "--json");
   const auto trace = load(args[0]);
   const std::string query = args[1];
@@ -209,7 +241,7 @@ int cmd_trace(const std::vector<std::string>& args) {
   core::Queryable<Packet> packets(
       trace, audit,
       std::make_shared<core::NoiseSource>(
-          std::stoull(flag_value(args, "--seed", "1"))));
+          u64_flag(args, "--seed", "1")));
 
   core::QueryTrace query_trace;
   {
@@ -241,7 +273,7 @@ int cmd_trace(const std::vector<std::string>& args) {
 
 int cmd_metrics(const std::vector<std::string>& args) {
   if (args.empty()) usage_for("metrics");
-  const double eps = std::stod(flag_value(args, "--eps", "1.0"));
+  const double eps = double_flag(args, "--eps", "1.0");
   const bool want_json = has_flag(args, "--json");
   const auto trace = load(args[0]);
 
@@ -250,10 +282,17 @@ int cmd_metrics(const std::vector<std::string>& args) {
   core::Queryable<Packet> packets(
       trace, audit,
       std::make_shared<core::NoiseSource>(
-          std::stoull(flag_value(args, "--seed", "1"))));
+          u64_flag(args, "--seed", "1")));
   // A small representative workload so the snapshot has something to show.
   std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
   print_cdf(analysis::dp_packet_length_cdf(packets, eps, 50), "bytes");
+
+  // Touch the robustness counters so the snapshot lists them even at
+  // zero — operators grep for these names (docs/observability.md).
+  core::builtin_metrics::queries_aborted();
+  core::builtin_metrics::deadline_exceeded();
+  core::builtin_metrics::records_quarantined();
+  core::builtin_metrics::faults_injected();
 
   if (want_json) {
     std::printf("%s\n", core::MetricsRegistry::global().to_json().c_str());
@@ -379,10 +418,23 @@ int main(int argc, char** argv) {
     print_help_for(stdout, *sc);
     return 0;
   }
+  // Every failure becomes one sanitized line on stderr and a nonzero
+  // exit.  Engine errors (TraceIoError, DpError) carry index/operator
+  // diagnostics only — never record contents or analyst exception text —
+  // so printing what() here stays inside the privacy boundary.
   try {
     return sc->handler(args);
+  } catch (const net::TraceIoError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const core::DpError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unexpected internal failure\n");
     return 1;
   }
 }

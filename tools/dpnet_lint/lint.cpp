@@ -379,6 +379,7 @@ class Analysis {
     rule_epsilon_literals();
     rule_telemetry_fields();
     rule_thread_creation();
+    rule_exception_text();
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -560,7 +561,10 @@ class Analysis {
         // bench report (bench/common.hpp) and CLI trace output
         "schema", "name", "title", "reproduces", "results", "section", "key",
         "value", "paper", "measured", "trace", "audit", "metrics", "query",
-        "threads", "speedup_vs_1thread"};
+        "threads", "speedup_vs_1thread",
+        // robustness counters (docs/robustness.md) — accounting metadata
+        "queries.aborted", "deadline.exceeded", "records.quarantined",
+        "faults.injected"};
     for (const StringLit& lit : strings_) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
@@ -603,6 +607,28 @@ class Analysis {
                  " outside src/core/exec/; all parallelism flows through "
                  "core::exec so noise determinism, trace merging, and "
                  "budget synchronization are enforced in one place");
+    }
+  }
+
+  /// R8: exception text stays behind the privacy boundary.  An analyst
+  /// exception's what() can interpolate record contents, so engine code
+  /// in src/ never reads it — core::contain_analyst deliberately discards
+  /// it and rethrows a sanitized AnalystCodeError carrying only the
+  /// operator name and plan-node id.  Only trusted code (tests/, bench/,
+  /// tools/, examples/) may print what(); this rule makes that boundary
+  /// mechanical (docs/robustness.md).
+  void rule_exception_text() {
+    if (!cls_.in_src) return;
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind != Kind::Ident || t.text != "what") continue;
+      if (!next_is(toks_, i, "(")) continue;
+      if (supp_.trusted_line(t.line)) continue;
+      report("R8", t.line,
+             "what() read inside src/; exception text may interpolate "
+             "record contents — throw a sanitized error from "
+             "core/errors.hpp (node id + operator name only) and leave "
+             "printing what() to trusted code outside src/");
     }
   }
 
