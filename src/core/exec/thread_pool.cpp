@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/trace.hpp"
+
 namespace dpnet::core::exec {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Stamp the worker lane once for the thread's lifetime: every span
+      // recorded on this worker carries the index, which is what renders
+      // parallel fan-outs as per-worker lanes in the Chrome trace export.
+      set_trace_worker(static_cast<int>(i));
+      worker_loop();
+    });
   }
 }
 

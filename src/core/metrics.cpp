@@ -1,11 +1,82 @@
 #include "core/metrics.hpp"
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 
 #include "core/errors.hpp"
 #include "core/json.hpp"
 
 namespace dpnet::core {
+
+namespace {
+
+/// Prometheus metric name: `dpnet_` prefix, every character outside
+/// [a-zA-Z0-9_] (dots in our names) mapped to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "dpnet_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_line(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char line[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(line, sizeof line, fmt, ap);
+  va_end(ap);
+  out += line;
+}
+
+}  // namespace
+
+double Histogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  // Read the buckets once and rank against that same view, so a
+  // concurrent observe() can never push the target rank past the counts
+  // being walked.
+  std::vector<std::uint64_t> counts(buckets_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[i]);
+    if (next >= target) {
+      // The overflow bucket has no upper edge: report its lower bound.
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double upper = bounds_[i];
+      const double lower = i == 0 ? std::min(0.0, upper) : bounds_[i - 1];
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count();
+  s.sum = sum();
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
 
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
@@ -58,9 +129,13 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.key("histograms").begin_object();
   for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot snap = h->snapshot();
     w.key(name).begin_object();
     w.key("count").value(h->count());
     w.key("sum").value(h->sum());
+    w.key("p50").value(snap.p50);
+    w.key("p95").value(snap.p95);
+    w.key("p99").value(snap.p99);
     w.key("buckets").begin_array();
     for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
       w.begin_object();
@@ -79,6 +154,40 @@ std::string MetricsRegistry::to_json() const {
   w.end_object();
   w.end_object();
   return w.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pname = prometheus_name(name);
+    append_line(out, "# TYPE %s counter\n", pname.c_str());
+    append_line(out, "%s %llu\n", pname.c_str(),
+                static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pname = prometheus_name(name);
+    append_line(out, "# TYPE %s gauge\n", pname.c_str());
+    append_line(out, "%s %.17g\n", pname.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pname = prometheus_name(name);
+    append_line(out, "# TYPE %s histogram\n", pname.c_str());
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += h->bucket(i);
+      append_line(out, "%s_bucket{le=\"%.17g\"} %llu\n", pname.c_str(),
+                  h->bounds()[i],
+                  static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += h->bucket(h->bounds().size());
+    append_line(out, "%s_bucket{le=\"+Inf\"} %llu\n", pname.c_str(),
+                static_cast<unsigned long long>(cumulative));
+    append_line(out, "%s_sum %.17g\n", pname.c_str(), h->sum());
+    append_line(out, "%s_count %llu\n", pname.c_str(),
+                static_cast<unsigned long long>(h->count()));
+  }
+  return out;
 }
 
 std::string MetricsRegistry::pretty() const {
@@ -151,6 +260,17 @@ Histogram& query_wall_ms() {
   static Histogram& h = MetricsRegistry::global().histogram(
       "query.wall_ms", {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
   return h;
+}
+
+Histogram& op_wall_ms(std::string_view kind) {
+  return MetricsRegistry::global().histogram(
+      "op.wall_ms." + std::string(kind),
+      {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0});
+}
+
+void observe_op_wall_ms(std::string_view kind, double ms) {
+  if (!op_histograms_enabled()) return;
+  op_wall_ms(kind).observe(ms);
 }
 
 }  // namespace builtin_metrics

@@ -75,6 +75,16 @@ class Gauge {
 /// one overflow bucket.  Bounds are fixed at registration.
 class Histogram {
  public:
+  /// Point-in-time percentile summary (docs/observability.md): count and
+  /// sum as read at snapshot time, plus bucket-interpolated p50/p95/p99.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
   explicit Histogram(std::vector<double> upper_bounds)
       : bounds_(std::move(upper_bounds)),
         buckets_(bounds_.size() + 1) {}
@@ -101,6 +111,18 @@ class Histogram {
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
     return buckets_.at(i).load(std::memory_order_relaxed);
   }
+
+  /// Bucket-interpolated q-quantile (q in [0, 1]) — an estimate, not an
+  /// exact order statistic: the rank is located in the cumulative bucket
+  /// counts and interpolated linearly inside the bucket (the first
+  /// bucket's lower edge is min(0, bound), the overflow bucket reports
+  /// its lower bound).  Safe to call concurrently with observe(): the
+  /// total is derived from the same bucket reads it ranks against, so
+  /// the result is always a value the bounds could produce.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// One consistent-enough view of count/sum/p50/p95/p99 for export.
+  [[nodiscard]] Snapshot snapshot() const;
 
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -135,6 +157,13 @@ class MetricsRegistry {
   /// Serializes a point-in-time snapshot of every metric as JSON.
   [[nodiscard]] std::string to_json() const;
 
+  /// Serializes the registry in the Prometheus text exposition format
+  /// (version 0.0.4): counters and gauges as single samples, histograms
+  /// as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+  /// Names are prefixed `dpnet_` and sanitized ('.' -> '_') so a
+  /// long-running mediated session can be scraped directly.
+  [[nodiscard]] std::string to_prometheus() const;
+
   /// Human-readable snapshot (one metric per line).
   [[nodiscard]] std::string pretty() const;
 
@@ -144,6 +173,24 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+namespace metrics_detail {
+
+// Kill switch for the per-operator-kind wall-time histograms, mirroring
+// the tracing layer's set_tracing_armed: bench_micro_engine A/Bs it to
+// assert the recording cost stays under the same 2% overhead bound.
+// Defaults to enabled — these histograms are the always-on latency
+// telemetry for mediated sessions.
+inline std::atomic<bool> op_histograms{true};
+
+}  // namespace metrics_detail
+
+[[nodiscard]] inline bool op_histograms_enabled() {
+  return metrics_detail::op_histograms.load(std::memory_order_relaxed);
+}
+inline void set_op_histograms_enabled(bool on) {
+  metrics_detail::op_histograms.store(on, std::memory_order_relaxed);
+}
 
 /// Built-in metric accessors (cached; safe on hot paths).
 namespace builtin_metrics {
@@ -157,6 +204,13 @@ Counter& records_quarantined();
 Counter& faults_injected();
 Gauge& eps_charged(std::string_view mechanism);
 Histogram& query_wall_ms();
+/// Per-operator-kind wall-time histogram ("op.wall_ms.<kind>", same
+/// bounds as query.wall_ms).  Registered on first use per kind.
+Histogram& op_wall_ms(std::string_view kind);
+/// Records `ms` into op_wall_ms(kind); a no-op when the op-histogram
+/// kill switch is off.  Called once per materialization checkpoint /
+/// release — never per record.
+void observe_op_wall_ms(std::string_view kind, double ms);
 
 }  // namespace builtin_metrics
 

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "core/failpoint.hpp"
 #include "core/guard.hpp"
 #include "core/hash.hpp"
+#include "core/metrics.hpp"
 #include "core/trace.hpp"
 
 namespace dpnet::core::plan {
@@ -176,6 +178,10 @@ class Node final : public NodeBase {
   const std::vector<T>& rows() {
     std::call_once(once_, [this] {
       guard_checkpoint(op().c_str(), id());
+      // Materialization checkpoint: the operator's wall time feeds the
+      // per-kind op.wall_ms.<kind> latency histogram whether or not a
+      // trace is recording (one observe per node, never per record).
+      const auto op_t0 = std::chrono::steady_clock::now();
       if (traced_ && active_trace() != nullptr) {
         TraceScope scope(op());
         scope.set_stability(op_stability());
@@ -185,6 +191,10 @@ class Node final : public NodeBase {
       } else {
         rows_ = contained_compute();
       }
+      builtin_metrics::observe_op_wall_ms(
+          op(), std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - op_t0)
+                    .count());
       guard_charge_rows(rows_.size(), op().c_str(), id());
       compute_ = nullptr;  // release captured parents once materialized
       input_size_ = nullptr;

@@ -517,7 +517,8 @@ class Queryable {
     const auto start = std::chrono::steady_clock::now();
     const auto n = static_cast<double>(node_->rows().size());
     NoiseSource local(node_->next_release_seed(stream_));
-    release(scope, eps, "laplace", node_->rows().size(), start);
+    release(scope, "noisy_count", eps, "laplace", node_->rows().size(),
+            start);
     return n + local.laplace(total_stability() / eps);
   }
 
@@ -528,7 +529,8 @@ class Queryable {
     const auto start = std::chrono::steady_clock::now();
     const auto n = static_cast<std::int64_t>(node_->rows().size());
     NoiseSource local(node_->next_release_seed(stream_));
-    release(scope, eps, "geometric", node_->rows().size(), start);
+    release(scope, "noisy_count_geometric", eps, "geometric",
+            node_->rows().size(), start);
     return geometric_mechanism(n, total_stability(), eps, local);
   }
 
@@ -544,7 +546,7 @@ class Queryable {
       return s;
     });
     NoiseSource local(node_->next_release_seed(stream_));
-    release(scope, eps, "laplace", node_->rows().size(), start);
+    release(scope, "noisy_sum", eps, "laplace", node_->rows().size(), start);
     return sum + local.laplace(total_stability() / eps);
   }
 
@@ -576,7 +578,7 @@ class Queryable {
       return s;
     });
     NoiseSource local(node_->next_release_seed(stream_));
-    release(scope, eps, "laplace", data.size(), start);
+    release(scope, "noisy_average", eps, "laplace", data.size(), start);
     return sum / n + local.laplace(2.0 * total_stability() / (eps * n));
   }
 
@@ -614,7 +616,8 @@ class Queryable {
           return vs;
         });
     NoiseSource local(node_->next_release_seed(stream_));
-    release(scope, eps, "exponential", values.size(), start);
+    release(scope, "noisy_quantile", eps, "exponential", values.size(),
+            start);
     return exponential_quantile(std::move(values), q,
                                 eps / total_stability(), local);
   }
@@ -677,8 +680,8 @@ class Queryable {
   /// aborted release charges nothing (span marked "aborted"), and once
   /// charge_all commits the epsilon is never refunded — there is no
   /// window where the ledger is half-charged.
-  void release(TraceScope& scope, double eps, const char* mechanism,
-               std::size_t input_rows,
+  void release(TraceScope& scope, const char* op, double eps,
+               const char* mechanism, std::size_t input_rows,
                std::chrono::steady_clock::time_point start) const {
     const ScopedChargeNode charge_node(node_->id());
     try {
@@ -697,10 +700,14 @@ class Queryable {
     const double charged = total_stability() * eps;
     builtin_metrics::queries_executed().increment();
     builtin_metrics::eps_charged(mechanism).add(charged);
-    builtin_metrics::query_wall_ms().observe(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    builtin_metrics::query_wall_ms().observe(wall_ms);
+    // Aggregations are releases, not plan materializations, so this is
+    // their op.wall_ms.<kind> checkpoint (plan nodes record theirs in
+    // plan::Node::rows()).
+    builtin_metrics::observe_op_wall_ms(op, wall_ms);
     scope.set_mechanism(mechanism);
     scope.set_stability(total_stability());
     scope.set_eps(eps, charged);

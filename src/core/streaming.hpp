@@ -79,10 +79,11 @@ class StreamingHistogram {
     for (const K& c : cells_) {
       out.emplace(c, counts_.at(c) + local.laplace(1.0 / eps));
     }
-    builtin_metrics::query_wall_ms().observe(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    builtin_metrics::query_wall_ms().observe(wall_ms);
+    builtin_metrics::observe_op_wall_ms("streaming_release", wall_ms);
     scope.set_mechanism("laplace");
     scope.set_stability(1.0);
     scope.set_eps(eps, eps);

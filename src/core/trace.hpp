@@ -41,6 +41,15 @@ struct TraceSpan {
   double eps_charged = 0.0;    // total charged across all accountants
   std::string mechanism;       // "laplace" / "geometric" / "exponential"
   double wall_ms = 0.0;
+  // Timeline stamps (docs/observability.md): steady-clock begin relative
+  // to the process-wide trace epoch and span duration, both in
+  // microseconds, plus the executor worker lane that recorded the span
+  // (-1 = the calling/analyst thread).  Every span gets them at open/close
+  // — including spans whose body aborted — so timeline exports never
+  // contain unterminated events.
+  std::int64_t ts_us = -1;
+  std::int64_t dur_us = -1;
+  int worker = -1;
   std::vector<TraceSpan> children;
 };
 
@@ -69,6 +78,15 @@ class QueryTrace {
   /// Serializes the span tree as JSON: {"spans": [...]}.
   [[nodiscard]] std::string to_json() const;
 
+  /// Serializes the span tree in the Chrome trace_event format (the JSON
+  /// object form: {"traceEvents": [...]}), loadable in ui.perfetto.dev or
+  /// chrome://tracing.  Every span becomes one complete ("ph":"X") event
+  /// — closed by construction, even for spans whose operator aborted — on
+  /// the lane (tid) of the executor worker that recorded it, so parallel
+  /// map_parts fan-outs render as per-worker swimlanes.  Carries the same
+  /// accounting metadata as to_json(), never record contents.
+  [[nodiscard]] std::string to_chrome_json() const;
+
   /// Indented human-readable rendering of the span tree.
   [[nodiscard]] std::string pretty() const;
 
@@ -92,6 +110,13 @@ inline thread_local QueryTrace* tls_sink = nullptr;
 // can A/B the cost of the armed-but-disabled check; defaults to armed.
 inline std::atomic<bool> armed{true};
 
+// Executor worker lane recording on this thread (-1 = calling thread).
+inline thread_local int tls_worker = -1;
+
+// The process-wide steady-clock origin all span timestamps are relative
+// to, so spans recorded on different executor workers share one timeline.
+[[nodiscard]] std::chrono::steady_clock::time_point trace_epoch();
+
 }  // namespace trace_detail
 
 /// The QueryTrace currently recording on this thread, or nullptr.
@@ -108,6 +133,13 @@ inline std::atomic<bool> armed{true};
 inline void set_tracing_armed(bool on) {
   trace_detail::armed.store(on, std::memory_order_relaxed);
 }
+
+/// The executor worker index spans opened on this thread are stamped
+/// with (-1 on the calling/analyst thread).  Set by the executor's
+/// thread pool for each worker's lifetime; nothing else should call the
+/// setter.
+[[nodiscard]] inline int trace_worker() { return trace_detail::tls_worker; }
+inline void set_trace_worker(int index) { trace_detail::tls_worker = index; }
 
 /// Installs `trace` as this thread's recording sink for its lifetime;
 /// restores the previous sink (sessions nest) on destruction.

@@ -1,0 +1,111 @@
+#!/bin/sh
+# Regression-gate test for tools/bench_compare.  The baseline is
+# self-generated from a synthetic dpnet.bench.v1 report so the test is
+# deterministic and needs no bench run:
+#   * identical report vs baseline          -> exit 0
+#   * ~25% inflated wall-time row           -> nonzero (thresholded)
+#   * drifted deterministic result row      -> nonzero (exact)
+#   * missing baseline                      -> nonzero, names the refresh
+#   * --update-baselines then compare       -> exit 0
+# Usage: test_bench_compare.sh <bench_compare>
+set -eu
+
+COMPARE="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+mkdir "$WORK/baselines" "$WORK/run"
+
+cat > "$WORK/run/BENCH_fake.json" <<'EOF'
+{"schema":"dpnet.bench.v1","name":"fake","title":"Fake bench",
+"reproduces":"gate test",
+"results":[
+{"section":"timing","key":"wall_ms at 4 threads","value":100.0},
+{"section":"timing","key":"speedup at 4 threads","value":3.2},
+{"section":"accuracy","key":"noisy record count (eps=0.5)","value":12345.678}
+],
+"trace":{"spans":[{"op":"noisy_count","stability":1.0,"input_rows":10,
+"output_rows":1,"eps_requested":0.5,"eps_charged":0.5,"wall_ms":1.0,
+"ts_us":0,"dur_us":1000,"worker":-1,"children":[]}]},
+"audit":{"spent":0.5,"entries":[{"eps":0.5,"label":"gate"}],
+"totals_by_label":{"gate":0.5}},
+"metrics":{"counters":{},"gauges":{},"histograms":{}}}
+EOF
+
+echo "== identical run passes =="
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_fake.json"
+"$COMPARE" --baseline-dir "$WORK/baselines" "$WORK/run/BENCH_fake.json"
+
+echo "== 25% wall-time inflation trips the gate =="
+sed 's/"wall_ms at 4 threads","value":100.0/"wall_ms at 4 threads","value":125.0/' \
+  "$WORK/run/BENCH_fake.json" > "$WORK/run/BENCH_slow.json"
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_slow.json"
+if "$COMPARE" --baseline-dir "$WORK/baselines" \
+    "$WORK/run/BENCH_slow.json" 2>"$WORK/err"; then
+  echo "expected inflated wall time to fail" >&2
+  exit 1
+fi
+grep -q "regression" "$WORK/err"
+
+echo "== but passes under a looser CI threshold =="
+"$COMPARE" --time-threshold 0.5 --baseline-dir "$WORK/baselines" \
+  "$WORK/run/BENCH_slow.json"
+
+echo "== faster run does not trip the gate =="
+sed 's/"wall_ms at 4 threads","value":100.0/"wall_ms at 4 threads","value":60.0/' \
+  "$WORK/run/BENCH_fake.json" > "$WORK/run/BENCH_faster.json"
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_faster.json"
+"$COMPARE" --baseline-dir "$WORK/baselines" "$WORK/run/BENCH_faster.json"
+
+echo "== speedup drop trips the gate =="
+sed 's/"speedup at 4 threads","value":3.2/"speedup at 4 threads","value":1.1/' \
+  "$WORK/run/BENCH_fake.json" > "$WORK/run/BENCH_noscale.json"
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_noscale.json"
+if "$COMPARE" --baseline-dir "$WORK/baselines" \
+    "$WORK/run/BENCH_noscale.json" 2>"$WORK/err"; then
+  echo "expected speedup drop to fail" >&2
+  exit 1
+fi
+grep -q "regression" "$WORK/err"
+
+echo "== deterministic result drift is exact, not thresholded =="
+sed 's/"noisy record count (eps=0.5)","value":12345.678/"noisy record count (eps=0.5)","value":12345.679/' \
+  "$WORK/run/BENCH_fake.json" > "$WORK/run/BENCH_drift.json"
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_drift.json"
+if "$COMPARE" --baseline-dir "$WORK/baselines" \
+    "$WORK/run/BENCH_drift.json" 2>"$WORK/err"; then
+  echo "expected deterministic drift to fail" >&2
+  exit 1
+fi
+grep -q "result drift" "$WORK/err"
+
+echo "== privacy-spend drift is exact too =="
+sed 's/"spent":0.5/"spent":0.6/' \
+  "$WORK/run/BENCH_fake.json" > "$WORK/run/BENCH_eps.json"
+cp "$WORK/run/BENCH_fake.json" "$WORK/baselines/BENCH_eps.json"
+if "$COMPARE" --baseline-dir "$WORK/baselines" \
+    "$WORK/run/BENCH_eps.json" 2>"$WORK/err"; then
+  echo "expected audit spend drift to fail" >&2
+  exit 1
+fi
+grep -q "audit ledger" "$WORK/err"
+
+echo "== missing baseline fails and names the refresh workflow =="
+cp "$WORK/run/BENCH_fake.json" "$WORK/run/BENCH_new.json"
+if "$COMPARE" --baseline-dir "$WORK/baselines" \
+    "$WORK/run/BENCH_new.json" 2>"$WORK/err"; then
+  echo "expected missing baseline to fail" >&2
+  exit 1
+fi
+grep -q -- "--update-baselines" "$WORK/err"
+
+echo "== --update-baselines seeds it, then the gate passes =="
+"$COMPARE" --update-baselines --baseline-dir "$WORK/baselines" \
+  "$WORK/run/BENCH_new.json"
+"$COMPARE" --baseline-dir "$WORK/baselines" "$WORK/run/BENCH_new.json"
+
+echo "== unknown flags exit 2 =="
+rc=0
+"$COMPARE" --basline-dir "$WORK/baselines" x.json 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown flag" >&2; exit 1; }
+
+echo "BENCH-COMPARE-OK"

@@ -1,0 +1,123 @@
+// Chaos coverage for the trace timeline stamps: spans cut short by an
+// injected materialization fault, a guard abort, or a budget refusal must
+// still close with real begin/duration stamps, and the Chrome export
+// built from such a trace must contain only complete ("X") events — a
+// half-open span would render as an unterminated bar and break the
+// timeline viewer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/errors.hpp"
+#include "core/failpoint.hpp"
+#include "core/guard.hpp"
+#include "core/json.hpp"
+#include "core/queryable.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core {
+namespace {
+
+Queryable<int> protect(std::vector<int> data, double budget = 100.0) {
+  return Queryable<int>(std::move(data),
+                        std::make_shared<RootBudget>(budget),
+                        std::make_shared<NoiseSource>(13));
+}
+
+void assert_closed(const TraceSpan& span) {
+  EXPECT_GE(span.ts_us, 0) << span.op;
+  EXPECT_GE(span.dur_us, 0) << span.op;
+  for (const TraceSpan& child : span.children) assert_closed(child);
+}
+
+/// Every event in a Chrome export must be a complete "X" span or an "M"
+/// metadata record with non-negative ts/dur — nothing half-open.
+void assert_chrome_complete(const std::string& chrome) {
+  const JsonValue doc = parse_json(chrome);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_FALSE(events.array.empty());
+  for (const JsonValue& ev : events.array) {
+    const std::string& ph = ev.at("ph").string;
+    ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
+    if (ph == "X") {
+      EXPECT_GE(ev.at("ts").number, 0.0);
+      EXPECT_GE(ev.at("dur").number, 0.0);
+    }
+  }
+}
+
+TEST(TraceTimelineChaos, InjectedMaterializationFaultClosesSpans) {
+  auto q = protect({1, 2, 3, 4, 5});
+  auto filtered = q.where([](int x) { return x > 1; });
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    failpoint::ScopedFailpoint fp("plan.materialize", [](std::string_view) {
+      throw std::runtime_error("injected mid-materialization");
+    });
+    EXPECT_THROW(std::ignore = filtered.noisy_count(0.5), AnalystCodeError);
+  }
+  // The aggregation span and the aborted where-span both unwound through
+  // TraceScope's destructor, so every span carries timeline stamps.
+  ASSERT_FALSE(trace.roots().empty());
+  for (const TraceSpan& root : trace.roots()) assert_closed(root);
+  assert_chrome_complete(trace.to_chrome_json());
+}
+
+TEST(TraceTimelineChaos, GuardAbortLeavesCompleteChromeEvents) {
+  auto q = protect({1, 2, 3, 4, 5});
+  auto filtered = q.where([](int x) { return x >= 0; });
+  QueryGuard::Options opt;
+  opt.max_node_rows = 2;  // trips when the filter produces 5 rows
+  QueryGuard guard(opt);
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    GuardScope scope(guard);
+    EXPECT_THROW(std::ignore = filtered.noisy_count(0.5),
+                 QueryAbortedError);
+  }
+  ASSERT_FALSE(trace.roots().empty());
+  for (const TraceSpan& root : trace.roots()) assert_closed(root);
+  assert_chrome_complete(trace.to_chrome_json());
+}
+
+TEST(TraceTimelineChaos, BudgetRefusalStillStampsTheRefusedSpan) {
+  auto q = protect({1, 2, 3}, /*budget=*/0.1);
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    EXPECT_THROW(std::ignore = q.noisy_count(0.5), BudgetExhaustedError);
+  }
+  ASSERT_EQ(trace.roots().size(), 1u);
+  EXPECT_EQ(trace.roots()[0].detail, "refused");
+  assert_closed(trace.roots()[0]);
+  assert_chrome_complete(trace.to_chrome_json());
+}
+
+TEST(TraceTimelineChaos, ChargeFailpointAbortReconcilesWithTimeline) {
+  auto q = protect({1, 2, 3, 4});
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    failpoint::ScopedFailpoint fp(
+        "core.release.charge", [](std::string_view) {
+          throw QueryAbortedError(AbortReason::kCancelled, "injected", 0);
+        });
+    EXPECT_THROW(std::ignore = q.noisy_count(0.5), QueryAbortedError);
+  }
+  // Charge-before-release: the abort landed before charge_all, so the
+  // span shows zero charged — and it still closed with stamps.
+  ASSERT_EQ(trace.roots().size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.roots()[0].eps_charged, 0.0);
+  assert_closed(trace.roots()[0]);
+  assert_chrome_complete(trace.to_chrome_json());
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -91,4 +91,54 @@ echo "== robustness metrics are listed =="
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "deadline.exceeded"
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "faults.injected"
 
+echo "== metrics machine-readable modes =="
+# --json: stdout is exactly one JSON document (starts with '{'), with the
+# percentile fields present.
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json >"$WORK/m.json"
+head -c 1 "$WORK/m.json" | grep -q '{' || {
+  echo "metrics --json stdout is not a pure JSON document" >&2
+  exit 1
+}
+grep -q '"p50"' "$WORK/m.json"
+grep -q '"p99"' "$WORK/m.json"
+# --prometheus: pure text exposition — every line is a comment or
+# `name value`, with TYPE declarations and histogram series present.
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --prometheus >"$WORK/m.prom"
+grep -q '^# TYPE dpnet_queries_executed counter$' "$WORK/m.prom"
+grep -q '^# TYPE dpnet_query_wall_ms histogram$' "$WORK/m.prom"
+grep -q '^dpnet_query_wall_ms_bucket{le="+Inf"} ' "$WORK/m.prom"
+grep -q '^dpnet_query_wall_ms_count ' "$WORK/m.prom"
+grep -q '^dpnet_op_wall_ms_noisy_count_sum ' "$WORK/m.prom"
+if grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+].*)$' \
+    "$WORK/m.prom" | grep -q .; then
+  echo "metrics --prometheus emitted a non-exposition line" >&2
+  exit 1
+fi
+
+echo "== unknown metrics flags are rejected, not ignored =="
+rc=0
+"$CLI" metrics "$WORK/t.dpnt" --prometheous 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown flag" >&2; exit 1; }
+grep -q "unknown flag" "$WORK/err"
+rc=0
+"$CLI" metrics "$WORK/t.dpnt" --json --prometheus 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || {
+  echo "expected exit 2 for --json + --prometheus" >&2
+  exit 1
+}
+grep -q "mutually exclusive" "$WORK/err"
+
+echo "== trace --chrome writes a loadable trace_event file =="
+"$CLI" trace "$WORK/t.dpnt" service-mix --eps 0.1 --threads 4 \
+  --chrome "$WORK/t.chrome.json" >/dev/null
+grep -q '"traceEvents"' "$WORK/t.chrome.json"
+grep -q '"ph":"X"' "$WORK/t.chrome.json"
+grep -q '"name":"analyst"' "$WORK/t.chrome.json"
+# Which workers pick up tasks is scheduler-dependent (a single-core host
+# can drain every part on one worker), but some worker lane must exist.
+grep -q '"name":"worker ' "$WORK/t.chrome.json"
+rc=0
+"$CLI" trace "$WORK/t.dpnt" count --chrom typo.json 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown trace flag" >&2; exit 1; }
+
 echo "CLI-ERRORS-OK"

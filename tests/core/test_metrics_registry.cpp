@@ -69,6 +69,57 @@ TEST(Metrics, SnapshotSerializesEveryKind) {
   EXPECT_NE(registry.pretty().find("c"), std::string::npos);
 }
 
+TEST(Metrics, JsonHistogramsCarryPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);
+  const JsonValue doc = parse_json(registry.to_json());
+  const JsonValue& j = doc.at("histograms").at("lat");
+  EXPECT_EQ(j.at("count").number, 100.0);
+  const double p50 = j.at("p50").number;
+  const double p95 = j.at("p95").number;
+  const double p99 = j.at("p99").number;
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Every observation sits in the (1, 10] bucket, so the interpolated
+  // percentiles cannot leave it.
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p99, 10.0);
+}
+
+TEST(Metrics, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  registry.counter("queries.executed").increment(3);
+  registry.gauge("eps.charged.laplace").set(1.25);
+  Histogram& h = registry.histogram("query.wall_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(500.0);
+  const std::string text = registry.to_prometheus();
+
+  // Names are sanitized ('.' -> '_') and prefixed; each sample is
+  // `name value` with a TYPE declaration.
+  EXPECT_NE(text.find("# TYPE dpnet_queries_executed counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_queries_executed 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dpnet_eps_charged_laplace gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_eps_charged_laplace 1.25\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and close with +Inf == _count.
+  EXPECT_NE(text.find("# TYPE dpnet_query_wall_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_query_wall_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_query_wall_ms_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_query_wall_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpnet_query_wall_ms_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("dpnet_query_wall_ms_sum 505.5\n"),
+            std::string::npos);
+}
+
 TEST(Metrics, EngineMaintainsBuiltins) {
   const std::uint64_t queries_before = builtin_metrics::queries_executed().value();
   const std::uint64_t refused_before = builtin_metrics::refused_charges().value();

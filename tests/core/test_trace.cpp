@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <set>
 #include <tuple>
 #include <vector>
 
 #include "core/audit.hpp"
+#include "core/exec/executor.hpp"
 #include "core/json.hpp"
 #include "core/queryable.hpp"
 
@@ -233,6 +236,109 @@ TEST(QueryTrace, JsonSerializationRoundTrips) {
 
   EXPECT_NE(trace.pretty().find("noisy_count"), std::string::npos);
   EXPECT_NE(trace.pretty().find("where"), std::string::npos);
+}
+
+TEST(QueryTrace, SpansCarryTimelineStamps) {
+  auto q = protect({1, 2, 3, 4}, std::make_shared<RootBudget>(10.0));
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    std::ignore = q.where([](int x) { return x > 1; }).noisy_count(0.5);
+  }
+  ASSERT_EQ(trace.roots().size(), 1u);
+  const TraceSpan& agg = trace.roots()[0];
+  EXPECT_GE(agg.ts_us, 0);
+  EXPECT_GE(agg.dur_us, 0);
+  EXPECT_EQ(agg.worker, -1);  // recorded on the calling (analyst) thread
+  ASSERT_EQ(agg.children.size(), 1u);
+  const TraceSpan& child = agg.children[0];
+  // The nested materialization began no earlier than its parent and fits
+  // inside it (with 1 µs slack for truncation at each stamp).
+  EXPECT_GE(child.ts_us, agg.ts_us);
+  EXPECT_LE(child.ts_us + child.dur_us, agg.ts_us + agg.dur_us + 1);
+
+  // The span JSON carries the stamps for bench artifacts / CLI output.
+  const JsonValue doc = parse_json(trace.to_json());
+  const JsonValue& span = doc.at("spans").array[0];
+  EXPECT_GE(span.at("ts_us").number, 0.0);
+  EXPECT_GE(span.at("dur_us").number, 0.0);
+  EXPECT_EQ(span.at("worker").number, -1.0);
+}
+
+TEST(QueryTrace, ChromeExportIsCompleteEventsPlusLaneMetadata) {
+  auto q = protect({1, 2, 3, 4}, std::make_shared<RootBudget>(10.0));
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    std::ignore = q.where([](int x) { return x > 1; }).noisy_count(0.5);
+  }
+  const JsonValue doc = parse_json(trace.to_chrome_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").string, "ms");
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+
+  std::size_t metadata = 0, complete = 0;
+  for (const JsonValue& ev : events.array) {
+    const std::string& ph = ev.at("ph").string;
+    if (ph == "M") {
+      ++metadata;
+      EXPECT_EQ(ev.at("name").string, "thread_name");
+      EXPECT_EQ(ev.at("args").at("name").string, "analyst");
+    } else {
+      ASSERT_EQ(ph, "X");  // complete events only: nothing half-open
+      ++complete;
+      EXPECT_GE(ev.at("ts").number, 0.0);
+      EXPECT_GE(ev.at("dur").number, 0.0);
+      EXPECT_EQ(ev.at("tid").number, 0.0);  // analyst lane
+      EXPECT_EQ(ev.at("cat").string, "dpnet");
+    }
+  }
+  EXPECT_EQ(metadata, 1u);  // single-threaded run: one lane
+  EXPECT_EQ(complete, 2u);  // noisy_count + where
+  // The aggregation event carries accounting args, never record contents.
+  bool saw_charge = false;
+  for (const JsonValue& ev : events.array) {
+    if (ev.at("ph").string == "X" && ev.at("name").string == "noisy_count") {
+      EXPECT_DOUBLE_EQ(ev.at("args").at("eps_charged").number, 0.5);
+      saw_charge = true;
+    }
+  }
+  EXPECT_TRUE(saw_charge);
+}
+
+TEST(QueryTrace, ParallelFanOutRendersPerWorkerLanes) {
+  auto q = protect({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+                   std::make_shared<RootBudget>(100.0));
+  std::vector<int> keys{0, 1, 2, 3};
+  auto parts = q.partition(keys, [](int x) { return x % 4; });
+  QueryTrace trace;
+  {
+    TraceSession session(trace);
+    std::ignore = exec::map_parts(
+        exec::ExecPolicy{4}, keys, parts,
+        [](int, const Queryable<int>& part) {
+          return part.noisy_count(0.5);
+        });
+  }
+  // Worker-recorded spans carry their pool index; with 4 threads no task
+  // runs on the calling thread.
+  std::set<int> workers;
+  for (const TraceSpan& root : trace.roots()) {
+    workers.insert(root.worker);
+  }
+  EXPECT_TRUE(workers.count(-1) == 0);
+  for (const int w : workers) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+
+  // The Chrome export names each worker lane distinctly.
+  const std::string chrome = trace.to_chrome_json();
+  for (const int w : workers) {
+    const std::string lane = "\"name\":\"worker " + std::to_string(w) + "\"";
+    EXPECT_NE(chrome.find(lane), std::string::npos) << lane;
+  }
+  EXPECT_EQ(chrome.find("\"name\":\"analyst\""), std::string::npos);
 }
 
 }  // namespace

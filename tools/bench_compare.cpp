@@ -1,0 +1,305 @@
+// Regression gate for the BENCH_*.json artifacts: diffs a fresh bench
+// run against the checked-in baselines under bench/baselines/.
+//
+//   bench_compare [--time-threshold F] --baseline-dir DIR <report.json>...
+//   bench_compare --update-baselines   --baseline-dir DIR <report.json>...
+//
+// Row-matching is by (section, key).  Three comparison regimes:
+//
+//   * performance rows (key mentions wall/ms/overhead: lower is better;
+//     speedup/throughput: higher is better) are compared against a
+//     relative threshold (--time-threshold, default 0.15) — wall time is
+//     machine-dependent, so the gate only trips on real regressions;
+//   * every other numeric row is exact (1e-9 relative): the engine's
+//     determinism contract makes noisy results byte-stable for a fixed
+//     seed, so any drift is a behavior change, not jitter;
+//   * the accounting cross-checks (trace eps_charged sum, audit ledger
+//     spend, executor thread count) are exact — privacy spend must never
+//     move silently.
+//
+// A report with no baseline fails loudly and points at the refresh
+// workflow (EXPERIMENTS.md): rerun with --update-baselines and commit.
+// Exit 0 iff every report passes; each failure prints one line.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace {
+
+using dpnet::core::JsonValue;
+
+int failures = 0;
+const char* current_file = "";
+
+void fail(const std::string& why) {
+  std::fprintf(stderr, "%s: %s\n", current_file, why.c_str());
+  ++failures;
+}
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+enum class Regime { kLowerBetter, kHigherBetter, kExact };
+
+/// Picks the comparison regime from the row key.  Anything that smells
+/// like a duration or an overhead is machine-dependent and lower-better;
+/// speedups/throughputs are machine-dependent and higher-better; the
+/// rest is covered by the determinism contract and compared exactly.
+Regime regime_for(const std::string& key) {
+  if (contains(key, "speedup") || contains(key, "throughput")) {
+    return Regime::kHigherBetter;
+  }
+  if (contains(key, "wall") || contains(key, "_ms") ||
+      contains(key, " ms") || contains(key, "overhead") ||
+      contains(key, " s)") || contains(key, "seconds")) {
+    return Regime::kLowerBetter;
+  }
+  return Regime::kExact;
+}
+
+struct NumericRow {
+  std::string section;
+  std::string key;
+  double value = 0.0;
+};
+
+std::vector<NumericRow> numeric_rows(const JsonValue& doc) {
+  std::vector<NumericRow> rows;
+  const JsonValue* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) return rows;
+  for (const JsonValue& row : results->array) {
+    if (!row.is_object()) continue;
+    const JsonValue* section = row.find("section");
+    const JsonValue* key = row.find("key");
+    const JsonValue* value = row.find("value");
+    if (section == nullptr || key == nullptr || value == nullptr) continue;
+    if (!section->is_string() || !key->is_string() || !value->is_number()) {
+      continue;  // text rows and paper/measured comparisons are not gated
+    }
+    rows.push_back({section->string, key->string, value->number});
+  }
+  return rows;
+}
+
+const NumericRow* find_row(const std::vector<NumericRow>& rows,
+                           const NumericRow& like) {
+  for (const NumericRow& r : rows) {
+    if (r.section == like.section && r.key == like.key) return &r;
+  }
+  return nullptr;
+}
+
+/// Sum of eps_charged over the report's trace spans (0 when untraced).
+double trace_eps_sum(const JsonValue& span) {
+  double total = 0.0;
+  const JsonValue* charged = span.find("eps_charged");
+  if (charged != nullptr && charged->is_number()) total = charged->number;
+  const JsonValue* children = span.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const JsonValue& child : children->array) {
+      total += trace_eps_sum(child);
+    }
+  }
+  return total;
+}
+
+double doc_trace_eps(const JsonValue& doc) {
+  const JsonValue* trace = doc.find("trace");
+  if (trace == nullptr || trace->is_null()) return 0.0;
+  const JsonValue* spans = trace->find("spans");
+  if (spans == nullptr || !spans->is_array()) return 0.0;
+  double total = 0.0;
+  for (const JsonValue& span : spans->array) total += trace_eps_sum(span);
+  return total;
+}
+
+double doc_audit_spent(const JsonValue& doc) {
+  const JsonValue* audit = doc.find("audit");
+  if (audit == nullptr || audit->is_null()) return 0.0;
+  const JsonValue* spent = audit->find("spent");
+  return (spent != nullptr && spent->is_number()) ? spent->number : 0.0;
+}
+
+bool exact_match(double baseline, double current) {
+  return std::abs(current - baseline) <=
+         1e-9 * std::max(1.0, std::abs(baseline));
+}
+
+void compare_reports(const JsonValue& baseline, const JsonValue& current,
+                     double time_threshold) {
+  const std::vector<NumericRow> base_rows = numeric_rows(baseline);
+  const std::vector<NumericRow> cur_rows = numeric_rows(current);
+
+  for (const NumericRow& base : base_rows) {
+    const NumericRow* cur = find_row(cur_rows, base);
+    if (cur == nullptr) {
+      fail("metric disappeared: [" + base.section + "] " + base.key);
+      continue;
+    }
+    char line[512];
+    switch (regime_for(base.key)) {
+      case Regime::kLowerBetter:
+        if (cur->value > base.value * (1.0 + time_threshold) &&
+            cur->value - base.value > 1e-9) {
+          std::snprintf(line, sizeof line,
+                        "regression: [%s] %s rose %.6g -> %.6g "
+                        "(limit +%.0f%%)",
+                        base.section.c_str(), base.key.c_str(), base.value,
+                        cur->value, time_threshold * 100.0);
+          fail(line);
+        }
+        break;
+      case Regime::kHigherBetter:
+        if (cur->value < base.value * (1.0 - time_threshold)) {
+          std::snprintf(line, sizeof line,
+                        "regression: [%s] %s fell %.6g -> %.6g "
+                        "(limit -%.0f%%)",
+                        base.section.c_str(), base.key.c_str(), base.value,
+                        cur->value, time_threshold * 100.0);
+          fail(line);
+        }
+        break;
+      case Regime::kExact:
+        if (!exact_match(base.value, cur->value)) {
+          std::snprintf(line, sizeof line,
+                        "result drift: [%s] %s changed %.17g -> %.17g "
+                        "(deterministic row, exact match required)",
+                        base.section.c_str(), base.key.c_str(), base.value,
+                        cur->value);
+          fail(line);
+        }
+        break;
+    }
+  }
+
+  // Accounting cross-checks: privacy spend recorded by the trace and the
+  // audit ledger is exact by construction — never threshold it.
+  if (!exact_match(doc_trace_eps(baseline), doc_trace_eps(current))) {
+    fail("trace eps_charged sum drifted from baseline");
+  }
+  if (!exact_match(doc_audit_spent(baseline), doc_audit_spent(current))) {
+    fail("audit ledger spend drifted from baseline");
+  }
+  const JsonValue* base_threads = baseline.find("threads");
+  const JsonValue* cur_threads = current.find("threads");
+  if (base_threads != nullptr && base_threads->is_number()) {
+    if (cur_threads == nullptr || !cur_threads->is_number() ||
+        !exact_match(base_threads->number, cur_threads->number)) {
+      fail("executor thread count changed from baseline");
+    }
+  }
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int update_baselines(const std::string& baseline_dir,
+                     const std::vector<std::string>& reports) {
+  for (const std::string& report : reports) {
+    std::string doc;
+    if (!read_file(report, doc)) {
+      std::fprintf(stderr, "%s: cannot open\n", report.c_str());
+      return 1;
+    }
+    const std::string dest = baseline_dir + "/" + basename_of(report);
+    std::ofstream out(dest);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write\n", dest.c_str());
+      return 1;
+    }
+    out << doc;
+    std::printf("bench_compare: baseline updated: %s\n", dest.c_str());
+  }
+  return 0;
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--time-threshold F] "
+               "--baseline-dir DIR <report.json>...\n"
+               "       bench_compare --update-baselines "
+               "--baseline-dir DIR <report.json>...\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  double time_threshold = 0.15;
+  bool update = false;
+  std::vector<std::string> reports;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline-dir") {
+      if (++i >= argc) usage();
+      baseline_dir = argv[i];
+    } else if (arg == "--time-threshold") {
+      if (++i >= argc) usage();
+      char* end = nullptr;
+      time_threshold = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || !(time_threshold >= 0.0)) {
+        std::fprintf(stderr,
+                     "error: --time-threshold expects a fraction >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--update-baselines") {
+      update = true;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      reports.push_back(arg);
+    }
+  }
+  if (baseline_dir.empty() || reports.empty()) usage();
+
+  if (update) return update_baselines(baseline_dir, reports);
+
+  for (const std::string& report : reports) {
+    current_file = report.c_str();
+    std::string cur_doc;
+    if (!read_file(report, cur_doc)) {
+      fail("cannot open");
+      continue;
+    }
+    const std::string base_path = baseline_dir + "/" + basename_of(report);
+    std::string base_doc;
+    if (!read_file(base_path, base_doc)) {
+      fail("no baseline at " + base_path +
+           " — run with --update-baselines and commit the result "
+           "(see EXPERIMENTS.md)");
+      continue;
+    }
+    try {
+      compare_reports(dpnet::core::parse_json(base_doc),
+                      dpnet::core::parse_json(cur_doc), time_threshold);
+    } catch (const std::exception& e) {
+      fail(e.what());
+    }
+  }
+  if (failures == 0) {
+    std::printf("bench_compare: %zu report(s) match baselines\n",
+                reports.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -57,6 +57,22 @@ double check_span(const JsonValue& span) {
     fail("trace span has mistyped fields");
     return 0.0;
   }
+  // Timeline stamps (ts_us/dur_us relative to the trace epoch, worker
+  // lane index) are optional — pre-timeline artifacts lack them — but
+  // when present they must be numeric, and -1 is the only legal negative
+  // (the "not stamped" sentinel).
+  for (const char* field : {"ts_us", "dur_us", "worker"}) {
+    const JsonValue* v = span.find(field);
+    if (v == nullptr) continue;
+    if (!v->is_number()) {
+      fail(std::string("trace span '") + field + "' is not numeric");
+      return 0.0;
+    }
+    if (v->number < -1.0) {
+      fail(std::string("trace span '") + field + "' below -1 sentinel");
+      return 0.0;
+    }
+  }
   double total = span.at("eps_charged").number;
   for (const JsonValue& child : span.at("children").array) {
     total += check_span(child);
@@ -79,11 +95,15 @@ void check_results(const JsonValue& results) {
            "' has neither value nor paper/measured");
       continue;
     }
-    if (row.at("key").string == "tracing disabled overhead pct") {
+    // Both always-on telemetry layers carry the same promise: recording
+    // must cost under 2% (docs/observability.md).
+    const std::string& key = row.at("key").string;
+    if (key == "tracing disabled overhead pct" ||
+        key == "op histogram overhead pct") {
       if (value == nullptr || !value->is_number()) {
         fail("overhead result is not numeric");
       } else if (!(value->number < 2.0)) {
-        fail("tracing disabled overhead " + std::to_string(value->number) +
+        fail(key + " " + std::to_string(value->number) +
              "% exceeds the 2% bound");
       }
     }
@@ -120,6 +140,30 @@ void check_report(const JsonValue& doc) {
       const JsonValue* m = metrics->find(field);
       if (m == nullptr || !m->is_object()) {
         fail(std::string("metrics missing object '") + field + "'");
+      }
+    }
+    // Percentile blocks (optional: pre-percentile artifacts lack them).
+    // When present all three must be numeric and ordered — a p99 below
+    // p50 means the snapshot was torn or the interpolation regressed.
+    const JsonValue* hists = metrics->find("histograms");
+    if (hists != nullptr && hists->is_object()) {
+      for (const auto& [name, h] : hists->object) {
+        if (!h.is_object()) continue;
+        const JsonValue* p50 = h.find("p50");
+        const JsonValue* p95 = h.find("p95");
+        const JsonValue* p99 = h.find("p99");
+        const int present =
+            (p50 != nullptr) + (p95 != nullptr) + (p99 != nullptr);
+        if (present == 0) continue;
+        if (present != 3 || !p50->is_number() || !p95->is_number() ||
+            !p99->is_number()) {
+          fail("histogram '" + name + "' has a partial/mistyped "
+               "percentile block (need numeric p50/p95/p99)");
+          continue;
+        }
+        if (!(p50->number <= p95->number && p95->number <= p99->number)) {
+          fail("histogram '" + name + "' percentiles not monotone");
+        }
       }
     }
   }

@@ -7,6 +7,7 @@
 //
 // Formats are chosen by extension: .pcap (standard capture) or .dpnt
 // (dpnet's native container, keeps exact timestamps and lengths).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -102,6 +103,35 @@ bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+bool contains(const std::vector<std::string>& set, const std::string& s) {
+  return std::find(set.begin(), set.end(), s) != set.end();
+}
+
+/// Rejects any `--flag` not in the allowed sets with a one-line
+/// diagnostic and exit 2, so a typo like `--prometheous` can't silently
+/// fall through to the default output mode.
+void check_flags(const std::string& command,
+                 const std::vector<std::string>& args,
+                 const std::vector<std::string>& value_flags,
+                 const std::vector<std::string>& bool_flags) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.size() < 2 || a[0] != '-' || a[1] != '-') continue;
+    if (contains(value_flags, a)) {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s expects a value\n", a.c_str());
+        std::exit(2);
+      }
+      ++i;  // skip the value
+      continue;
+    }
+    if (contains(bool_flags, a)) continue;
+    std::fprintf(stderr, "error: unknown flag %s for `%s`\n", a.c_str(),
+                 command.c_str());
+    usage_for(command);
+  }
+}
+
 int cmd_gen(const std::vector<std::string>& args) {
   if (args.empty()) usage_for("gen");
   tracegen::HotspotConfig cfg = has_flag(args, "--full")
@@ -177,8 +207,12 @@ void print_cdf(const toolkit::CdfEstimate& cdf, const char* unit) {
 
 /// Runs one named analysis query against the protected view; returns false
 /// when `query` is not recognized.  Shared by `analyze` and `trace`.
+/// `threads` applies to the partitioned queries (service-mix): the parts
+/// fan out through the executor, so a `trace --chrome --threads 4` run
+/// renders real per-worker lanes.  threads == 1 is the sequential path.
 bool run_analysis_query(core::Queryable<Packet>& packets,
-                        const std::string& query, double eps) {
+                        const std::string& query, double eps,
+                        std::size_t threads = 1) {
   if (query == "count") {
     std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
   } else if (query == "length-cdf") {
@@ -198,9 +232,13 @@ bool run_analysis_query(core::Queryable<Packet>& packets,
     auto parts = packets.partition(keys, [&clf](const Packet& p) {
       return clf.classify_index(p);
     });
+    const core::exec::ExecPolicy policy(threads);
+    const std::vector<double> counts = core::exec::map_parts(
+        policy, keys, parts, [eps](int, const core::Queryable<Packet>& part) {
+          return part.noisy_count(eps);
+        });
     for (std::size_t c = 0; c < clf.labels().size(); ++c) {
-      std::printf("%-14s %14.1f\n", clf.labels()[c].c_str(),
-                  parts.at(static_cast<int>(c)).noisy_count(eps));
+      std::printf("%-14s %14.1f\n", clf.labels()[c].c_str(), counts[c]);
     }
   } else {
     return false;
@@ -230,9 +268,15 @@ int cmd_analyze(const std::vector<std::string>& args) {
 
 int cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 2) usage_for("trace");
+  check_flags("trace", args, {"--eps", "--budget", "--seed", "--threads",
+                              "--chrome"},
+              {"--json"});
   const double eps = double_flag(args, "--eps", "1.0");
   const double budget_total = double_flag(args, "--budget", "10");
   const bool want_json = has_flag(args, "--json");
+  const auto threads =
+      static_cast<std::size_t>(u64_flag(args, "--threads", "1"));
+  const std::string chrome_out = flag_value(args, "--chrome", "");
   const auto trace = load(args[0]);
   const std::string query = args[1];
 
@@ -247,7 +291,22 @@ int cmd_trace(const std::vector<std::string>& args) {
   {
     core::TraceSession session(query_trace);
     core::ScopedAuditLabel label(*audit, query);
-    if (!run_analysis_query(packets, query, eps)) usage_for("trace");
+    if (!run_analysis_query(packets, query, eps, threads)) usage_for("trace");
+  }
+
+  if (!chrome_out.empty()) {
+    std::FILE* f = std::fopen(chrome_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", chrome_out.c_str());
+      return 1;
+    }
+    const std::string chrome = query_trace.to_chrome_json();
+    std::fwrite(chrome.data(), 1, chrome.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote Chrome trace to %s (open in Perfetto or "
+                "chrome://tracing)\n",
+                chrome_out.c_str());
   }
 
   if (want_json) {
@@ -273,8 +332,16 @@ int cmd_trace(const std::vector<std::string>& args) {
 
 int cmd_metrics(const std::vector<std::string>& args) {
   if (args.empty()) usage_for("metrics");
+  check_flags("metrics", args, {"--eps", "--seed"},
+              {"--json", "--prometheus"});
   const double eps = double_flag(args, "--eps", "1.0");
   const bool want_json = has_flag(args, "--json");
+  const bool want_prometheus = has_flag(args, "--prometheus");
+  if (want_json && want_prometheus) {
+    std::fprintf(stderr,
+                 "error: --json and --prometheus are mutually exclusive\n");
+    return 2;
+  }
   const auto trace = load(args[0]);
 
   auto audit = std::make_shared<core::AuditingBudget>(
@@ -283,9 +350,16 @@ int cmd_metrics(const std::vector<std::string>& args) {
       trace, audit,
       std::make_shared<core::NoiseSource>(
           u64_flag(args, "--seed", "1")));
-  // A small representative workload so the snapshot has something to show.
-  std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
-  print_cdf(analysis::dp_packet_length_cdf(packets, eps, 50), "bytes");
+  // A small representative workload so the snapshot has something to
+  // show.  The machine-readable modes keep stdout pure (JSON document /
+  // Prometheus exposition only), so the workload runs silently there.
+  const bool machine_readable = want_json || want_prometheus;
+  const double noisy_count = packets.noisy_count(eps);
+  const auto length_cdf = analysis::dp_packet_length_cdf(packets, eps, 50);
+  if (!machine_readable) {
+    std::printf("noisy packet count: %.1f\n", noisy_count);
+    print_cdf(length_cdf, "bytes");
+  }
 
   // Touch the robustness counters so the snapshot lists them even at
   // zero — operators grep for these names (docs/observability.md).
@@ -296,6 +370,9 @@ int cmd_metrics(const std::vector<std::string>& args) {
 
   if (want_json) {
     std::printf("%s\n", core::MetricsRegistry::global().to_json().c_str());
+  } else if (want_prometheus) {
+    std::printf("%s",
+                core::MetricsRegistry::global().to_prometheus().c_str());
   } else {
     std::printf("\n--- metrics ---\n%s",
                 core::MetricsRegistry::global().pretty().c_str());
@@ -336,19 +413,26 @@ constexpr Subcommand kSubcommands[] = {
      "  --budget B   total privacy budget (default 10)\n"
      "  --seed N     noise seed (default 1)\n",
      &cmd_analyze},
-    {"trace", "<in> <query> [--eps E] [--budget B] [--seed N] [--json]",
+    {"trace",
+     "<in> <query> [--eps E] [--budget B] [--seed N] [--threads T]\n"
+     "                   [--json] [--chrome OUT.json]",
      "run an analysis and show its query-plan trace",
      "  query: as for `analyze`\n"
-     "  --json       print the trace and audit ledger as one JSON document\n"
-     "  --eps E      epsilon per query (default 1.0)\n"
-     "  --budget B   total privacy budget (default 10)\n"
-     "  --seed N     noise seed (default 1)\n",
+     "  --json        print the trace and audit ledger as one JSON document\n"
+     "  --chrome OUT  also write a Chrome trace_event timeline (open in\n"
+     "                Perfetto or chrome://tracing; workers get own lanes)\n"
+     "  --threads T   executor threads for partitioned queries (default 1)\n"
+     "  --eps E       epsilon per query (default 1.0)\n"
+     "  --budget B    total privacy budget (default 10)\n"
+     "  --seed N      noise seed (default 1)\n",
      &cmd_trace},
-    {"metrics", "<in> [--eps E] [--seed N] [--json]",
+    {"metrics", "<in> [--eps E] [--seed N] [--json | --prometheus]",
      "run a sample workload and dump the metrics registry",
-     "  --json       print the snapshot as JSON\n"
-     "  --eps E      epsilon per query (default 1.0)\n"
-     "  --seed N     noise seed (default 1)\n",
+     "  --json        print the snapshot as JSON\n"
+     "  --prometheus  print the snapshot in Prometheus text exposition\n"
+     "                format (scrape-ready)\n"
+     "  --eps E       epsilon per query (default 1.0)\n"
+     "  --seed N      noise seed (default 1)\n",
      &cmd_metrics},
 };
 

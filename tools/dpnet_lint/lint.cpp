@@ -553,9 +553,14 @@ class Analysis {
         // query trace (src/core/trace.cpp)
         "spans", "op", "detail", "stability", "input_rows", "output_rows",
         "eps_requested", "eps_charged", "mechanism", "wall_ms", "children",
+        // timeline stamps + Chrome trace_event export (src/core/trace.cpp):
+        // microsecond begin/duration, worker lane, and the trace_event
+        // envelope — all scheduling metadata, never record contents
+        "ts_us", "dur_us", "worker", "traceEvents", "cat", "ph", "ts",
+        "dur", "pid", "tid", "args", "displayTimeUnit",
         // metrics snapshot (src/core/metrics.cpp)
         "counters", "gauges", "histograms", "count", "sum", "buckets",
-        "upper_bound",
+        "upper_bound", "p50", "p95", "p99",
         // audit ledger (src/core/audit.hpp)
         "spent", "entries", "eps", "label", "totals_by_label", "node_id",
         // bench report (bench/common.hpp) and CLI trace output
