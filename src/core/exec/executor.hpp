@@ -60,6 +60,10 @@ auto map_parts(const ExecPolicy& policy, const std::vector<K>& keys,
   std::vector<R> results(keys.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(keys.size());
+  // Task *construction* only — no row work happens here.  Executor::run
+  // checkpoints the guard before executing each task, which is where the
+  // deadline/cancellation window actually matters.
+  // dpnet-lint: suppress(R11)
   for (std::size_t i = 0; i < keys.size(); ++i) {
     tasks.push_back([&keys, &parts, &results, &fn, i] {
       results[i] = fn(keys[i], parts.at(keys[i]));
