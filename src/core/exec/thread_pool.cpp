@@ -10,6 +10,9 @@ namespace dpnet::core::exec {
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t n = std::max<std::size_t>(1, threads);
   workers_.reserve(n);
+  // Spawn loop is bounded by the thread count, not by row count; there is
+  // no query guard installed yet at pool construction time.
+  // dpnet-lint: suppress(R11)
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] {
       // Stamp the worker lane once for the thread's lifetime: every span
@@ -44,6 +47,11 @@ std::size_t ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::worker_loop() {
+  // Queue-drain loop: each iteration blocks on the condition variable and
+  // runs one task.  Checkpointing belongs to the task wrappers built in
+  // Executor::run, which see the query guard; the pool itself is
+  // query-agnostic infrastructure.
+  // dpnet-lint: suppress(R11)
   for (;;) {
     std::function<void()> task;
     {
