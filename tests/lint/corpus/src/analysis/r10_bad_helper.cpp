@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): known-bad R10 — the only call before the
+// draw is a helper the index knows does not charge.
+namespace dpnet::analysis {
+
+void log_attempt(Trace& trace) {
+  trace.note();
+}
+
+double noisy_after_helper(Trace& trace, const Table& t, double eps) {
+  log_attempt(trace);
+  auto local = noise_root().fork(kNodeId);
+  return t.total() + local.laplace(1.0 / eps);
+}
+
+}  // namespace dpnet::analysis

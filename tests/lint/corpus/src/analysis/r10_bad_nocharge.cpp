@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): known-bad R10 — a noise draw with no
+// budget charge anywhere before it.
+namespace dpnet::analysis {
+
+double noisy_total(const Table& t, double eps) {
+  auto local = noise_root().fork(kNodeId);
+  return t.total() + local.laplace(1.0 / eps);
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-bad R10 — the charge exists but
+// comes after the draw; charge-before-release is an ordering invariant
+// (an aborted release must charge nothing, charged eps is never refunded).
+namespace dpnet::analysis {
+
+double noisy_then_charge(Budget& budget, const Table& t, double eps) {
+  auto local = noise_root().fork(kNodeId);
+  const double out = t.total() + local.laplace(1.0 / eps);
+  budget.try_charge(eps);
+  return out;
+}
+
+}  // namespace dpnet::analysis

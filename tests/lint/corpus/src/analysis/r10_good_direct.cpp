@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-good R10 — try_charge guards the
+// draw directly.
+namespace dpnet::analysis {
+
+double noisy_total(Budget& budget, const Table& t, double eps) {
+  if (!budget.try_charge(eps)) {
+    return 0.0;
+  }
+  auto local = noise_root().fork(kNodeId);
+  return t.total() + local.laplace(1.0 / eps);
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): known-good R10 — the charge happens one
+// call level down, resolved through the function index.
+namespace dpnet::analysis {
+
+void charge_release(Budget& budget, double eps) {
+  budget.charge(eps);
+}
+
+double noisy_via_helper(Budget& budget, const Table& t, double eps) {
+  charge_release(budget, eps);
+  auto local = noise_root().fork(kNodeId);
+  return t.total() + local.laplace(1.0 / eps);
+}
+
+}  // namespace dpnet::analysis

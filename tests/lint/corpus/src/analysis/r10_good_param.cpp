@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): known-good R10 — a function handed a
+// NoiseSource draws on its caller's behalf; the caller owns the charge
+// (the mechanism-primitive pattern).
+namespace dpnet::analysis {
+
+double add_noise(double v, double scale, NoiseSource& noise) {
+  return v + noise.laplace(scale);
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): known-good R10 — a release-call name
+// inside a string literal is documentation, not a draw.  A line-oriented
+// scanner would mis-flag this; the token-level rule must not.
+namespace dpnet::analysis {
+
+const char* describe_invariant() {
+  return "call laplace(scale) only after try_charge(eps) succeeds";
+}
+
+}  // namespace dpnet::analysis

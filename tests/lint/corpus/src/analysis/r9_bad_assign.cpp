@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-bad R9 — taint propagates through a
+// local assignment into a trace detail sink.
+namespace dpnet::analysis {
+
+// dpnet-lint: trusted
+void leak_detail(Span& span, const Table& t) {
+  auto rows = t.data_unsafe();
+  span.set_detail(rows[0].src_ip);
+}
+// dpnet-lint: end-trusted
+
+}  // namespace dpnet::analysis

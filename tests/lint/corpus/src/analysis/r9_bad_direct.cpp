@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-bad R9 — a raw *_unsafe() result
+// flows straight into a telemetry value.  The trusted region silences R1;
+// the taint rule must still fire.
+namespace dpnet::analysis {
+
+void emit_rows(JsonWriter& w, const Table& t) {
+  // dpnet-lint: trusted
+  w.key("value").value(t.data_unsafe()[0]);
+  // dpnet-lint: end-trusted
+}
+
+}  // namespace dpnet::analysis

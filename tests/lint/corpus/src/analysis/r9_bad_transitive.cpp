@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-bad R9 — taint survives two
+// assignment hops and reaches an exception constructor's message.
+namespace dpnet::analysis {
+
+// dpnet-lint: trusted
+void throw_with_payload(const Table& t) {
+  auto rows = t.data_unsafe();
+  auto first = rows;
+  throw InvalidRecordError(first.front());
+}
+// dpnet-lint: end-trusted
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): known-good R9 — cardinalities read off
+// protected data are accounting metadata (input_rows/output_rows), not
+// record contents; they may reach telemetry.
+namespace dpnet::analysis {
+
+// dpnet-lint: trusted
+void emit_counts(JsonWriter& w, const Table& t) {
+  const auto n = t.size_unsafe();
+  const auto m = t.data_unsafe().size();
+  w.key("input_rows").value(n);
+  w.key("output_rows").value(m);
+}
+// dpnet-lint: end-trusted
+
+}  // namespace dpnet::analysis

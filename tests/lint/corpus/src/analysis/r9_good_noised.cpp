@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): known-good R9 — a tainted aggregate that
+// has been noised is a differentially-private release and may be
+// serialized.
+namespace dpnet::analysis {
+
+double release_sum(JsonWriter& w, const Table& t, NoiseSource& local,
+                   double scale) {
+  // dpnet-lint: trusted
+  double sum = t.sum_unsafe();
+  // dpnet-lint: end-trusted
+  const double noisy = sum + local.laplace(scale);
+  w.key("value").value(noisy);
+  return noisy;
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): known-good R9 — the accessor name inside
+// a string literal is documentation, not dataflow.  A line-oriented
+// scanner would mis-flag this; the token-level rule must not.
+namespace dpnet::analysis {
+
+void document_rule(JsonWriter& w) {
+  w.key("detail").value("data_unsafe() results never reach telemetry");
+}
+
+}  // namespace dpnet::analysis

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-bad R11 — a row-scaled executor
+// loop with no guard checkpoint.
+namespace dpnet::core::exec {
+
+void drain_queue(std::vector<Task>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto& task = tasks[i];
+    task.result = run_task(task.input, task.context, task.policy);
+    publish(task.result, task.index, task.generation);
+  }
+}
+
+}  // namespace dpnet::core::exec

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): known-bad R11 — the loop's helper is in
+// the index and known NOT to checkpoint, so the loop is uncovered.
+namespace dpnet::core::exec {
+
+void handle_one(Task& task) {
+  task.result = run_task(task.input, task.context, task.policy);
+}
+
+void drain_all(std::vector<Task>& tasks) {
+  for (auto& task : tasks) {
+    handle_one(task);
+    publish(task.result, task.index, task.generation);
+  }
+}
+
+}  // namespace dpnet::core::exec

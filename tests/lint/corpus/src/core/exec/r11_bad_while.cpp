@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-bad R11 — a while loop draining a
+// queue with no guard checkpoint.
+namespace dpnet::core::exec {
+
+void pump(Queue& queue) {
+  while (!queue.empty()) {
+    auto task = queue.pop();
+    task.result = run_task(task.input, task.context, task.policy);
+    publish(task.result, task.index, task.generation);
+  }
+}
+
+}  // namespace dpnet::core::exec

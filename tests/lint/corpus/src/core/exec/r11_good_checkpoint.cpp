@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): known-good R11 — the loop checkpoints
+// directly, so deadline/cancellation guards fire mid-query.
+namespace dpnet::core::exec {
+
+void run_tasks(std::vector<Task>& tasks, QueryGuard& guard) {
+  for (auto& task : tasks) {
+    guard.checkpoint("exec.task");
+    task.result = run_task(task.input, task.context, task.policy);
+    publish(task.result, task.index, task.generation);
+  }
+}
+
+}  // namespace dpnet::core::exec

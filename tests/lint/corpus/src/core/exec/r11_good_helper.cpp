@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): known-good R11 — the loop's helper
+// checkpoints, resolved one call level deep through the function index.
+namespace dpnet::core::exec {
+
+void drain_one(Task& task, QueryGuard& guard) {
+  guard.checkpoint("exec.drain");
+  task.result = run_task(task.input, task.context, task.policy);
+}
+
+void drain_all(std::vector<Task>& tasks, QueryGuard& guard) {
+  for (auto& task : tasks) {
+    drain_one(task, guard);
+    publish(task.result, task.index, task.generation);
+  }
+}
+
+}  // namespace dpnet::core::exec

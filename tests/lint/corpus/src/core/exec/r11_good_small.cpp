@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): known-good R11 — a tiny bookkeeping loop
+// (a join sweep) is not row-scaled work and needs no checkpoint.
+namespace dpnet::core::exec {
+
+void join_all(std::vector<Worker>& workers) {
+  for (auto& worker : workers) {
+    worker.join();
+  }
+}
+
+}  // namespace dpnet::core::exec

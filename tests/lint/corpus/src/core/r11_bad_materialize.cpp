@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): known-bad R11 — materialization code
+// outside src/core/exec/ is covered too; this row loop never checkpoints.
+namespace dpnet::core {
+
+std::vector<Row> materialize_rows(const Plan& plan) {
+  std::vector<Row> rows;
+  for (const auto& part : plan.parts()) {
+    for (const auto& row : part.rows()) {
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): known-good R11 — a non-materialization
+// function outside src/core/exec/ is out of the rule's scope even with a
+// large uncheckpointed loop.
+namespace dpnet::core {
+
+double sum_squares(const std::vector<double>& xs) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i];
+    acc += x * x + x * 2.0 + offset(i, xs.size(), acc);
+  }
+  return acc;
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-bad R12 — a default by-reference
+// capture whose body draws from a NoiseSource.
+namespace dpnet::core {
+
+void submit_draw(Pool& pool, NoiseSource& noise, double scale,
+                 double& out) {
+  pool.submit([&] {
+    out = noise.laplace(scale);
+  });
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): known-bad R12 — a NoiseSource captured
+// by reference into a map_parts lambda: draws become schedule-dependent.
+namespace dpnet::core {
+
+void run_parts(Executor& exec, Parts& parts, NoiseSource& noise) {
+  exec.map_parts(parts, [&noise](Part& part) {
+    part.value += noise.laplace(part.scale);
+  });
+}
+
+}  // namespace dpnet::core

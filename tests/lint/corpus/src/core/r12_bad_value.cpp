@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-bad R12 — capturing a NoiseSource
+// by value copies the generator state; every part re-draws the same
+// stream.
+namespace dpnet::core {
+
+void run_parts(Executor& exec, Parts& parts, NoiseSource noise) {
+  exec.map_parts(parts, [noise](Part& part) {
+    part.value += noise.laplace(part.scale);
+  });
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-good R12 — the blessed pattern:
+// init-capture a node-id-seeded fork; the lambda owns its source and the
+// draw is schedule-independent.
+namespace dpnet::core {
+
+void run_parts(Executor& exec, Parts& parts, NoiseSource& noise) {
+  exec.map_parts(parts, [local = noise.fork(kNodeId)](Part& part) {
+    part.value += local.laplace(part.scale);
+  });
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,16 @@
+// Lint fixture (never compiled): known-good R12 — lambdas that capture
+// ordinary values next to an in-scope NoiseSource are fine, including a
+// default capture whose body never touches the source.
+namespace dpnet::core {
+
+void run_parts(Executor& exec, Parts& parts, NoiseSource& noise,
+               double eps, const Keys& keys) {
+  exec.map_parts(parts, [eps, keys](Part& part) {
+    part.value = part.total * eps + keys.weight(part.index);
+  });
+  exec.submit([&] {
+    parts.finalize(eps);
+  });
+}
+
+}  // namespace dpnet::core

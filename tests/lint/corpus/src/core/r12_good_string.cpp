@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): known-good R12 — the bad pattern quoted
+// inside a string literal is documentation, not a capture.  A
+// line-oriented scanner would mis-flag this; the token-level rule must
+// not.
+namespace dpnet::core {
+
+const char* describe_rule(NoiseSource& noise) {
+  mark_used(noise);
+  return "never write map_parts(parts, [&noise](Part& p) { ... })";
+}
+
+}  // namespace dpnet::core

@@ -1,0 +1,220 @@
+// Whole-repo scanning: the cross-file function index, the incremental
+// cache (content hash + charge-graph digest), parallel determinism, the
+// SARIF exporter, and the docs/rule-table consistency gate.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/json.hpp"
+#include "dpnet_lint/lint.hpp"
+
+namespace dpnet::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& r) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&r](const Finding& f) { return f.rule == r; }));
+}
+
+const char* kChargeHelper =
+    "void charge_gate(Budget& budget, double eps) {\n"
+    "  budget.charge(eps);\n"
+    "}\n";
+
+const char* kReleaseUser =
+    "double noisy_q(Budget& budget, const Table& t, double eps) {\n"
+    "  charge_gate(budget, eps);\n"
+    "  auto local = noise_root().fork(kNodeId);\n"
+    "  return t.total() + local.laplace(1.0 / eps);\n"
+    "}\n";
+
+std::vector<FileInput> cross_file_inputs() {
+  return {{"src/analysis/helper_charge.cpp", kChargeHelper},
+          {"src/analysis/release_user.cpp", kReleaseUser}};
+}
+
+// ------------------------------------------------------- cross-file index
+
+TEST(LintRepo, ChargeGraphResolvesAcrossFiles) {
+  // Alone, the helper is unknown and the release is flagged...
+  EXPECT_EQ(count_rule(analyze_source("src/analysis/release_user.cpp",
+                                      kReleaseUser),
+                       "R10"),
+            1);
+  // ...with the repo-wide index, charge_gate is known to charge.
+  const RepoReport report = analyze_repo(cross_file_inputs(), {});
+  EXPECT_EQ(count_rule(report.findings, "R10"), 0);
+  EXPECT_EQ(report.files, 2u);
+  EXPECT_EQ(report.analyzed, 2u);
+  EXPECT_EQ(report.cache_hits, 0u);
+}
+
+// ------------------------------------------------------------------ cache
+
+TEST(LintRepo, WarmCacheReusesFindings) {
+  const std::string cache = testing::TempDir() + "lint_cache_warm.json";
+  std::remove(cache.c_str());
+  RepoOptions options;
+  options.cache_path = cache;
+  const auto inputs = cross_file_inputs();
+
+  const RepoReport cold = analyze_repo(inputs, options);
+  EXPECT_EQ(cold.analyzed, 2u);
+  EXPECT_EQ(cold.cache_hits, 0u);
+
+  const RepoReport warm = analyze_repo(inputs, options);
+  EXPECT_EQ(warm.analyzed, 0u);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  ASSERT_EQ(warm.findings.size(), cold.findings.size());
+  for (std::size_t i = 0; i < warm.findings.size(); ++i) {
+    EXPECT_EQ(warm.findings[i].file, cold.findings[i].file);
+    EXPECT_EQ(warm.findings[i].line, cold.findings[i].line);
+    EXPECT_EQ(warm.findings[i].rule, cold.findings[i].rule);
+    EXPECT_EQ(warm.findings[i].fingerprint, cold.findings[i].fingerprint);
+  }
+}
+
+TEST(LintRepo, ContentChangeReanalyzesOnlyThatFile) {
+  const std::string cache = testing::TempDir() + "lint_cache_content.json";
+  std::remove(cache.c_str());
+  RepoOptions options;
+  options.cache_path = cache;
+  auto inputs = cross_file_inputs();
+  (void)analyze_repo(inputs, options);
+
+  // A comment-only edit: facts (and so the graph digest) are unchanged,
+  // so the untouched file's findings stay cached.
+  inputs[1].content = std::string("// touched\n") + kReleaseUser;
+  const RepoReport report = analyze_repo(inputs, options);
+  EXPECT_EQ(report.analyzed, 1u);
+  EXPECT_EQ(report.cache_hits, 1u);
+}
+
+TEST(LintRepo, GraphChangeInvalidatesEveryFilesFindings) {
+  const std::string cache = testing::TempDir() + "lint_cache_graph.json";
+  std::remove(cache.c_str());
+  RepoOptions options;
+  options.cache_path = cache;
+  auto inputs = cross_file_inputs();
+  const RepoReport before = analyze_repo(inputs, options);
+  EXPECT_EQ(count_rule(before.findings, "R10"), 0);
+
+  // The helper stops charging: the graph digest changes, every cached
+  // finding set is stale, and the release site must now be flagged even
+  // though release_user.cpp itself never changed.
+  inputs[0].content =
+      "void charge_gate(Budget& budget, double eps) {\n"
+      "  budget.note(eps);\n"
+      "}\n";
+  const RepoReport after = analyze_repo(inputs, options);
+  EXPECT_EQ(after.analyzed, 2u);
+  EXPECT_EQ(after.cache_hits, 0u);
+  EXPECT_EQ(count_rule(after.findings, "R10"), 1);
+}
+
+// ------------------------------------------------------------ determinism
+
+TEST(LintRepo, ReportIsIdenticalAtAnyJobCount) {
+  std::vector<FileInput> inputs = cross_file_inputs();
+  inputs.push_back({"src/core/x.cpp",
+                    "void f(int* a) {\n  delete a;\n  delete a;\n}\n"});
+  RepoOptions serial;
+  serial.jobs = 1;
+  RepoOptions wide;
+  wide.jobs = 8;
+  const RepoReport a = analyze_repo(inputs, serial);
+  const RepoReport b = analyze_repo(inputs, wide);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(format(a.findings[i]), format(b.findings[i]));
+    EXPECT_EQ(a.findings[i].fingerprint, b.findings[i].fingerprint);
+  }
+}
+
+// ------------------------------------------------------------------ SARIF
+
+std::vector<Finding> golden_findings() {
+  return {{"src/core/a.cpp", 3, "R1",
+           "first \"quoted\" message with a \\ backslash", "00112233aabbccdd"},
+          {"src/core/b.cpp", 7, "R10", "second message", "fedcba9876543210"}};
+}
+
+TEST(LintSarif, MatchesCheckedInGolden) {
+  const std::string path =
+      std::string(DPNET_SOURCE_DIR) + "/tests/lint/golden.sarif";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(to_sarif(golden_findings()), buf.str());
+}
+
+TEST(LintSarif, StructureIsValidSarif210) {
+  const auto report = analyze_repo(cross_file_inputs(), {});
+  const core::JsonValue doc = core::parse_json(to_sarif(report.findings));
+  EXPECT_EQ(doc.at("version").string, "2.1.0");
+  ASSERT_EQ(doc.at("runs").array.size(), 1u);
+  const core::JsonValue& run = doc.at("runs").array[0];
+  const core::JsonValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").string, "dpnet-lint");
+  EXPECT_EQ(driver.at("rules").array.size(), rule_table().size());
+  EXPECT_EQ(run.at("results").array.size(), report.findings.size());
+}
+
+TEST(LintSarif, ResultsCarryRuleIdLocationAndFingerprint) {
+  const core::JsonValue doc = core::parse_json(to_sarif(golden_findings()));
+  const core::JsonValue& results = doc.at("runs").array[0].at("results");
+  ASSERT_EQ(results.array.size(), 2u);
+  const core::JsonValue& first = results.array[0];
+  EXPECT_EQ(first.at("ruleId").string, "R1");
+  const core::JsonValue& loc =
+      first.at("locations").array[0].at("physicalLocation");
+  EXPECT_EQ(loc.at("artifactLocation").at("uri").string, "src/core/a.cpp");
+  EXPECT_EQ(loc.at("region").at("startLine").number, 3.0);
+  EXPECT_EQ(first.at("partialFingerprints")
+                .at("dpnetLintFingerprint/v1")
+                .string,
+            "00112233aabbccdd");
+  // Rule metadata indexes back into the driver rules array.
+  const core::JsonValue& rules =
+      doc.at("runs").array[0].at("tool").at("driver").at("rules");
+  const auto index =
+      static_cast<std::size_t>(first.at("ruleIndex").number);
+  ASSERT_LT(index, rules.array.size());
+  EXPECT_EQ(rules.array[index].at("id").string, "R1");
+}
+
+// ----------------------------------------------------- docs consistency
+
+TEST(LintDocs, RuleTableMatchesStaticAnalysisDoc) {
+  const std::string path =
+      std::string(DPNET_SOURCE_DIR) + "/docs/static_analysis.md";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing " << path;
+  std::set<std::string> documented;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Rule-table rows look like `| R9 | ... |`.
+    if (line.rfind("| R", 0) != 0) continue;
+    std::size_t end = 3;
+    while (end < line.size() && std::isdigit(line[end]) != 0) ++end;
+    if (end == 3) continue;
+    documented.insert(line.substr(2, end - 2));
+  }
+  std::set<std::string> registered;
+  for (const RuleMeta& rule : rule_table()) {
+    registered.insert(std::string(rule.id));
+  }
+  EXPECT_EQ(documented, registered)
+      << "docs/static_analysis.md rule table must list exactly the "
+         "registered rules";
+}
+
+}  // namespace
+}  // namespace dpnet::lint

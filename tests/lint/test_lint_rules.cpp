@@ -372,8 +372,13 @@ TEST(Lint, WantsOnlyCxxSourcesUnderScannedRoots) {
 }
 
 TEST(Lint, FormatIsFileLineRuleMessage) {
-  const Finding f{"src/a.cpp", 12, "R1", "boom"};
+  const Finding f{"src/a.cpp", 12, "R1", "boom", ""};
   EXPECT_EQ(format(f), "src/a.cpp:12: [R1] boom");
+}
+
+TEST(Lint, CorpusIsExcludedFromRepoScans) {
+  EXPECT_FALSE(wants_file("tests/lint/corpus/src/core/r12_bad_ref.cpp"));
+  EXPECT_TRUE(wants_file("tests/lint/test_lint_rules.cpp"));
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+// Fixture tests for the semantic rules R9–R12, driven by the on-disk
+// corpus under tests/lint/corpus/ (which mirrors repo paths; the corpus
+// is excluded from repo scans precisely because it deliberately violates
+// the rules).
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dpnet_lint/lint.hpp"
+
+namespace dpnet::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& r) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&r](const Finding& f) { return f.rule == r; }));
+}
+
+/// Loads tests/lint/corpus/<rel> and analyzes it as if it lived at <rel>.
+std::vector<Finding> analyze_corpus(const std::string& rel) {
+  const std::string path =
+      std::string(DPNET_SOURCE_DIR) + "/tests/lint/corpus/" + rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus file: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_source(rel, buf.str());
+}
+
+// ------------------------------------------------------------------- R9
+
+TEST(LintSemantic, R9FlagsDirectUnsafeFlowIntoTelemetry) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/analysis/r9_bad_direct.cpp"),
+                       "R9"),
+            1);
+}
+
+TEST(LintSemantic, R9FlagsAssignedTaint) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/analysis/r9_bad_assign.cpp"),
+                       "R9"),
+            1);
+}
+
+TEST(LintSemantic, R9FlagsTransitiveTaintIntoException) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r9_bad_transitive.cpp"), "R9"),
+      1);
+}
+
+TEST(LintSemantic, R9AllowsCardinalities) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r9_good_cardinality.cpp"),
+                 "R9"),
+      0);
+}
+
+TEST(LintSemantic, R9AllowsNoisedValues) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/analysis/r9_good_noised.cpp"),
+                       "R9"),
+            0);
+}
+
+TEST(LintSemantic, R9IgnoresAccessorNamesInsideStringLiterals) {
+  const auto findings = analyze_corpus("src/analysis/r9_good_string.cpp");
+  EXPECT_EQ(count_rule(findings, "R9"), 0);
+  EXPECT_EQ(count_rule(findings, "R1"), 0);
+}
+
+// ------------------------------------------------------------------- R10
+
+TEST(LintSemantic, R10FlagsUnchargedRelease) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_bad_nocharge.cpp"), "R10"),
+      1);
+}
+
+TEST(LintSemantic, R10FlagsChargeAfterRelease) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_bad_order.cpp"), "R10"),
+      1);
+}
+
+TEST(LintSemantic, R10KnowsNonChargingHelpers) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_bad_helper.cpp"), "R10"),
+      1);
+}
+
+TEST(LintSemantic, R10AllowsDirectCharge) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_good_direct.cpp"), "R10"),
+      0);
+}
+
+TEST(LintSemantic, R10ResolvesChargingHelperThroughIndex) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_good_helper.cpp"), "R10"),
+      0);
+}
+
+TEST(LintSemantic, R10ExemptsNoiseSourceParameters) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_good_param.cpp"), "R10"),
+      0);
+}
+
+TEST(LintSemantic, R10IgnoresReleaseNamesInsideStringLiterals) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/analysis/r10_good_string.cpp"), "R10"),
+      0);
+}
+
+// ------------------------------------------------------------------- R11
+
+TEST(LintSemantic, R11FlagsUncheckpointedForLoop) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_bad_for.cpp"), "R11"), 1);
+}
+
+TEST(LintSemantic, R11FlagsUncheckpointedWhileLoop) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_bad_while.cpp"), "R11"),
+      1);
+}
+
+TEST(LintSemantic, R11KnowsNonCheckpointingHelpers) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_bad_helper.cpp"), "R11"),
+      1);
+}
+
+TEST(LintSemantic, R11CoversMaterializationOutsideExec) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/r11_bad_materialize.cpp"), "R11"),
+      1);
+}
+
+TEST(LintSemantic, R11AllowsDirectCheckpoint) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_good_checkpoint.cpp"),
+                 "R11"),
+      0);
+}
+
+TEST(LintSemantic, R11ResolvesCheckpointingHelperThroughIndex) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_good_helper.cpp"), "R11"),
+      0);
+}
+
+TEST(LintSemantic, R11SkipsTrivialBookkeepingLoops) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_good_small.cpp"), "R11"),
+      0);
+}
+
+TEST(LintSemantic, R11ScopedToExecAndMaterialization) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/r11_good_scope.cpp"), "R11"), 0);
+}
+
+// ------------------------------------------------------------------- R12
+
+TEST(LintSemantic, R12FlagsByRefNoiseCapture) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/core/r12_bad_ref.cpp"), "R12"),
+            1);
+}
+
+TEST(LintSemantic, R12FlagsDefaultCaptureReferencingNoise) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/r12_bad_default.cpp"), "R12"), 1);
+}
+
+TEST(LintSemantic, R12FlagsByValueNoiseCapture) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/core/r12_bad_value.cpp"), "R12"),
+            1);
+}
+
+TEST(LintSemantic, R12AllowsInitCapturedFork) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/core/r12_good_fork.cpp"), "R12"),
+            0);
+}
+
+TEST(LintSemantic, R12AllowsOrdinaryCaptures) {
+  EXPECT_EQ(count_rule(analyze_corpus("src/core/r12_good_plain.cpp"), "R12"),
+            0);
+}
+
+TEST(LintSemantic, R12IgnoresCapturesInsideStringLiterals) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/r12_good_string.cpp"), "R12"), 0);
+}
+
+// ------------------------------------------- suppression + fingerprints
+
+TEST(LintSemantic, SuppressionAppliesToSemanticRules) {
+  const auto findings = analyze_source(
+      "src/analysis/x.cpp",
+      "double noisy_total(const Table& t, double eps) {\n"
+      "  auto local = noise_root().fork(kNodeId);\n"
+      "  // dpnet-lint: suppress(R10)\n"
+      "  return t.total() + local.laplace(1.0 / eps);\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "R10"), 0);
+}
+
+TEST(LintSemantic, FingerprintSurvivesLineShifts) {
+  const std::string body =
+      "double noisy_total(const Table& t, double eps) {\n"
+      "  auto local = noise_root().fork(kNodeId);\n"
+      "  return t.total() + local.laplace(1.0 / eps);\n"
+      "}\n";
+  const auto a = analyze_source("src/analysis/x.cpp", body);
+  const auto b =
+      analyze_source("src/analysis/x.cpp", "\n\n// moved down\n\n" + body);
+  ASSERT_EQ(count_rule(a, "R10"), 1);
+  ASSERT_EQ(count_rule(b, "R10"), 1);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].fingerprint, b[0].fingerprint);
+  EXPECT_EQ(a[0].fingerprint.size(), 16u);
+}
+
+TEST(LintSemantic, IdenticalLinesGetDistinctFingerprints) {
+  const auto findings = analyze_source(
+      "src/core/x.cpp",
+      "void f(int* a) {\n"
+      "  delete a;\n"
+      "  delete a;\n"
+      "}\n");
+  ASSERT_EQ(count_rule(findings, "R4"), 2);
+  // The two lines are token-identical; the occurrence ordinal must still
+  // give them distinct identities.
+  EXPECT_NE(findings[0].fingerprint, findings[1].fingerprint);
+}
+
+}  // namespace
+}  // namespace dpnet::lint

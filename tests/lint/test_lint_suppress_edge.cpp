@@ -1,0 +1,85 @@
+// Suppression-directive edge cases: end-of-file comments, standalone
+// suppress coverage, and unterminated trusted regions.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dpnet_lint/lint.hpp"
+
+namespace dpnet::lint {
+namespace {
+
+int count_rule(const std::vector<Finding>& findings, const std::string& r) {
+  return static_cast<int>(std::count_if(
+      findings.begin(), findings.end(),
+      [&r](const Finding& f) { return f.rule == r; }));
+}
+
+TEST(LintSuppressEdge, SuppressOnLastLineWithoutTrailingNewline) {
+  const auto findings = analyze_source(
+      "src/core/x.cpp",
+      "void f(int* a) { delete a; }  // dpnet-lint: suppress(R4)");
+  EXPECT_EQ(count_rule(findings, "R4"), 0);
+}
+
+TEST(LintSuppressEdge, StandaloneSuppressCoversTheNextLine) {
+  const auto findings = analyze_source(
+      "src/core/x.cpp",
+      "void f(int* a) {\n"
+      "  // dpnet-lint: suppress(R4)\n"
+      "  delete a;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "R4"), 0);
+}
+
+TEST(LintSuppressEdge, StandaloneSuppressDoesNotCrossABlankLine) {
+  const auto findings = analyze_source(
+      "src/core/x.cpp",
+      "void f(int* a) {\n"
+      "  // dpnet-lint: suppress(R4)\n"
+      "\n"
+      "  delete a;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "R4"), 1);
+}
+
+TEST(LintSuppressEdge, SuppressListHandlesSpacesAndMultipleRules) {
+  const auto findings = analyze_source(
+      "src/core/x.cpp",
+      "void f(int* a) {\n"
+      "  // dpnet-lint: suppress( R4 , R8 )\n"
+      "  delete a;\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "R4"), 0);
+}
+
+TEST(LintSuppressEdge, UnterminatedTrustedRegionRunsToEndOfFile) {
+  const auto findings = analyze_source(
+      "src/analysis/x.cpp",
+      "int before(const Table& t) {\n"
+      "  return t.rows_unsafe();\n"  // outside the region: flagged
+      "}\n"
+      "// dpnet-lint: trusted\n"
+      "int after(const Table& t) {\n"
+      "  return t.rows_unsafe();\n"
+      "}\n"
+      "int later(const Table& t) {\n"
+      "  return t.rows_unsafe();\n"
+      "}\n");
+  EXPECT_EQ(count_rule(findings, "R1"), 1);
+}
+
+TEST(LintSuppressEdge, TrustedRegionEndsWhereMarked) {
+  const auto findings = analyze_source(
+      "src/analysis/x.cpp",
+      "// dpnet-lint: trusted\n"
+      "int inside(const Table& t) { return t.rows_unsafe(); }\n"
+      "// dpnet-lint: end-trusted\n"
+      "int outside(const Table& t) { return t.rows_unsafe(); }\n");
+  EXPECT_EQ(count_rule(findings, "R1"), 1);
+}
+
+}  // namespace
+}  // namespace dpnet::lint

@@ -1,0 +1,171 @@
+// Per-file symbol table and repo-wide function/call index for dpnet-lint.
+//
+// scan_functions() recovers function definitions from the token stream —
+// name, parameter-list and body token ranges, plus the three facts the
+// semantic rules consult:
+//
+//   * charges_directly      — the body calls a budget-charge primitive
+//                             (try_charge / charge / charge_all /
+//                             raise_to / try_raise_to)
+//   * checkpoints_directly  — the body calls a guard checkpoint
+//                             (checkpoint / guard_checkpoint /
+//                             charge_rows / guard_charge_rows)
+//   * takes_noise_source    — a parameter is a NoiseSource (randomness is
+//                             caller-supplied, so the *caller* owns the
+//                             charge-before-release obligation)
+//
+// A ChargeGraph merges those facts across every scanned file into the
+// name -> fact maps rule R10/R11 use for their one-call-level-deep
+// domination checks ("release() charges, so calling release() before the
+// draw counts").  The graph's digest() keys the incremental cache: a
+// cached file's findings are reusable only while the repo-wide fact maps
+// it was analyzed under are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "dpnet_lint/lint.hpp"
+#include "dpnet_lint/tokenizer.hpp"
+
+namespace dpnet::lint {
+
+// ---------------------------------------------------------------------------
+// Path classification (which rules apply where)
+// ---------------------------------------------------------------------------
+
+struct FileClass {
+  bool in_src = false;       // src/**
+  bool is_header = false;    // *.hpp / *.h / *.hh
+  bool allow_unsafe = false; // tests/, bench/, src/tracegen/  (R1)
+  bool is_noise = false;     // src/core/noise.{hpp,cpp}       (R2, R10)
+  bool harness = false;      // tests/, bench/: own seeding OK (R2)
+  bool telemetry = false;    // files that serialize telemetry (R6)
+  bool in_exec = false;      // src/core/exec/**               (R7, R11)
+};
+
+[[nodiscard]] FileClass classify(std::string_view path);
+
+// ---------------------------------------------------------------------------
+// Function scanner
+// ---------------------------------------------------------------------------
+
+struct FunctionDef {
+  std::string name;  // unqualified (last component before the '(')
+  int line = 0;      // line of the name token
+  std::size_t params_begin = 0;  // token index of '('
+  std::size_t params_end = 0;    // token index of matching ')'
+  std::size_t body_begin = 0;    // token index of '{'
+  std::size_t body_end = 0;      // token index of matching '}'
+  bool charges_directly = false;
+  bool checkpoints_directly = false;
+  bool takes_noise_source = false;
+};
+
+/// Heuristic definition scanner: an identifier followed by a balanced
+/// parameter list and a body brace, tolerating cv/ref qualifiers,
+/// noexcept, trailing return types, and constructor initializer lists.
+/// Lambdas are deliberately not functions of their own — their tokens
+/// belong to the enclosing definition, which is the granularity the
+/// intra-procedural rules want.
+[[nodiscard]] std::vector<FunctionDef> scan_functions(
+    const std::vector<Token>& toks);
+
+/// The innermost scanned definition whose body contains token index `i`
+/// (local classes nest), or nullptr.
+[[nodiscard]] const FunctionDef* enclosing_function(
+    const std::vector<FunctionDef>& fns, std::size_t i);
+
+// ---------------------------------------------------------------------------
+// Repo-wide charge/checkpoint index
+// ---------------------------------------------------------------------------
+
+/// One function's contribution to the repo-wide index; serialized into
+/// the incremental cache so unchanged files rebuild the graph without
+/// re-tokenizing.
+struct FunctionFact {
+  std::string name;
+  bool charges = false;
+  bool checkpoints = false;
+};
+
+[[nodiscard]] std::vector<FunctionFact> collect_facts(
+    const std::vector<FunctionDef>& fns);
+
+class ChargeGraph {
+ public:
+  void add(const FunctionFact& fact);
+
+  /// True when some definition named `callee` charges the budget
+  /// directly.  Name-level resolution (no overload or class scoping) —
+  /// deliberately coarse, like every lint-level index.
+  [[nodiscard]] bool charges(const std::string& callee) const {
+    return charging_.count(callee) > 0;
+  }
+
+  [[nodiscard]] bool checkpoints(const std::string& callee) const {
+    return checkpointing_.count(callee) > 0;
+  }
+
+  /// Stable digest of the fact maps; cached findings are valid only for
+  /// an identical digest.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  std::unordered_set<std::string> charging_;
+  std::unordered_set<std::string> checkpointing_;
+};
+
+// ---------------------------------------------------------------------------
+// Semantic rules (R9–R12) — implemented in rules_semantic.cpp
+// ---------------------------------------------------------------------------
+
+/// A finding before suppression filtering and fingerprinting (both applied
+/// centrally by the Analysis driver in lint.cpp).
+struct RawFinding {
+  const char* rule;  // "R9".."R12"
+  int line = 0;
+  std::string message;
+};
+
+struct SemanticInput {
+  std::string_view path;
+  FileClass cls;
+  const TokenizedFile* file = nullptr;
+  const std::vector<FunctionDef>* functions = nullptr;
+  const ChargeGraph* graph = nullptr;
+};
+
+[[nodiscard]] std::vector<RawFinding> run_semantic_rules(
+    const SemanticInput& in);
+
+/// Full rule set over one already-tokenized file with an externally built
+/// (possibly repo-wide) charge graph — the entry point analyze_repo() uses;
+/// analyze_source() wraps it with a single-file graph.  Defined in lint.cpp.
+[[nodiscard]] std::vector<Finding> analyze_file(
+    std::string_view rel_path, const TokenizedFile& file,
+    const std::vector<FunctionDef>& functions, const ChargeGraph& graph);
+
+// ---------------------------------------------------------------------------
+// Shared hashing (fingerprints, cache keys)
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view data,
+                                         std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] std::string to_hex(std::uint64_t v);
+
+}  // namespace dpnet::lint

@@ -1,18 +1,16 @@
 #include "dpnet_lint/lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "dpnet_lint/index.hpp"
+#include "dpnet_lint/tokenizer.hpp"
+
 namespace dpnet::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Path classification
-// ---------------------------------------------------------------------------
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
@@ -21,319 +19,6 @@ bool starts_with(std::string_view s, std::string_view prefix) {
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.substr(s.size() - suffix.size()) == suffix;
-}
-
-struct FileClass {
-  bool in_src = false;       // src/**
-  bool is_header = false;    // *.hpp / *.h / *.hh
-  bool allow_unsafe = false; // tests/, bench/, src/tracegen/  (R1)
-  bool is_noise = false;     // src/core/noise.{hpp,cpp}       (R2)
-  bool harness = false;      // tests/, bench/: own seeding OK (R2)
-  bool telemetry = false;    // files that serialize telemetry (R6)
-};
-
-FileClass classify(std::string_view path) {
-  FileClass c;
-  c.in_src = starts_with(path, "src/");
-  c.is_header = ends_with(path, ".hpp") || ends_with(path, ".h") ||
-                ends_with(path, ".hh");
-  const bool in_tests = starts_with(path, "tests/");
-  const bool in_bench = starts_with(path, "bench/");
-  c.allow_unsafe =
-      in_tests || in_bench || starts_with(path, "src/tracegen/");
-  c.is_noise = path == "src/core/noise.hpp" || path == "src/core/noise.cpp";
-  c.harness = in_tests || in_bench;
-  c.telemetry = path == "src/core/trace.hpp" || path == "src/core/trace.cpp" ||
-                path == "src/core/metrics.hpp" ||
-                path == "src/core/metrics.cpp" ||
-                path == "src/core/audit.hpp" ||
-                path == "src/core/streaming.hpp" ||
-                path == "bench/common.hpp" || path == "tools/dpnet_cli.cpp";
-  return c;
-}
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class Kind { Ident, Number, Punct };
-
-struct Token {
-  Kind kind;
-  std::string text;
-  int line;
-};
-
-/// String literals are not tokens (the rules reason about code structure),
-/// but R6 needs them: each literal is recorded alongside the index of the
-/// next token slot, so a rule can inspect the tokens just before it.
-struct StringLit {
-  std::string text;        // contents, escapes left as written
-  int line;
-  std::size_t token_slot;  // == tokens.size() at the time it was lexed
-};
-
-/// Per-line suppression state harvested from comments while lexing.
-struct Suppressions {
-  // line -> rules suppressed on that line ("*" = trusted region, R1+R2).
-  std::unordered_map<int, std::unordered_set<std::string>> by_line;
-  std::vector<std::pair<int, int>> trusted;  // [begin, end] line ranges
-
-  [[nodiscard]] bool trusted_line(int line) const {
-    return std::any_of(trusted.begin(), trusted.end(), [line](auto r) {
-      return line >= r.first && line <= r.second;
-    });
-  }
-
-  [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
-    auto it = by_line.find(line);
-    return it != by_line.end() && it->second.count(rule) > 0;
-  }
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-struct Lexer {
-  explicit Lexer(std::string_view source) : src(source) {}
-
-  std::string_view src;
-  std::size_t i = 0;
-  int line = 1;
-  int last_token_line = 0;  // to detect comments standing alone on a line
-  std::vector<Token> tokens;
-  std::vector<StringLit> strings;
-  Suppressions supp;
-  int open_trusted = -1;  // line where an unterminated trusted region began
-
-  char peek(std::size_t ahead = 0) const {
-    return i + ahead < src.size() ? src[i + ahead] : '\0';
-  }
-  void bump() {
-    if (src[i] == '\n') ++line;
-    ++i;
-  }
-
-  void handle_directive(std::string_view comment, int comment_line,
-                        bool alone) {
-    const auto pos = comment.find("dpnet-lint:");
-    if (pos == std::string_view::npos) return;
-    std::string_view rest = comment.substr(pos + 11);
-    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-    if (starts_with(rest, "end-trusted")) {
-      if (open_trusted >= 0) {
-        supp.trusted.emplace_back(open_trusted, comment_line);
-        open_trusted = -1;
-      }
-    } else if (starts_with(rest, "trusted")) {
-      if (open_trusted < 0) open_trusted = comment_line;
-    } else if (starts_with(rest, "suppress(")) {
-      std::string_view list = rest.substr(9);
-      const auto close = list.find(')');
-      if (close == std::string_view::npos) return;
-      list = list.substr(0, close);
-      std::size_t start = 0;
-      while (start <= list.size()) {
-        auto comma = list.find(',', start);
-        if (comma == std::string_view::npos) comma = list.size();
-        std::string rule;
-        for (char c : list.substr(start, comma - start)) {
-          if (!std::isspace(static_cast<unsigned char>(c))) rule.push_back(c);
-        }
-        if (!rule.empty()) {
-          supp.by_line[comment_line].insert(rule);
-          if (alone) supp.by_line[comment_line + 1].insert(rule);
-        }
-        start = comma + 1;
-      }
-    }
-  }
-
-  void skip_line_comment() {
-    const int start_line = line;
-    const bool alone = last_token_line != start_line;
-    std::size_t begin = i;
-    while (i < src.size() && src[i] != '\n') ++i;
-    handle_directive(src.substr(begin, i - begin), start_line, alone);
-  }
-
-  void skip_block_comment() {
-    const int start_line = line;
-    const bool alone = last_token_line != start_line;
-    std::size_t begin = i;
-    bump();  // '/'
-    bump();  // '*'
-    while (i < src.size() && !(peek() == '*' && peek(1) == '/')) bump();
-    if (i < src.size()) {
-      bump();
-      bump();
-    }
-    handle_directive(src.substr(begin, i - begin), start_line, alone);
-  }
-
-  void skip_string() {
-    const int start_line = line;
-    bump();  // opening quote
-    const std::size_t begin = i;
-    while (i < src.size() && peek() != '"') {
-      if (peek() == '\\' && i + 1 < src.size()) bump();
-      bump();
-    }
-    strings.push_back({std::string(src.substr(begin, i - begin)), start_line,
-                       tokens.size()});
-    if (i < src.size()) bump();
-  }
-
-  void skip_raw_string() {
-    // R"delim( ... )delim"
-    bump();  // R already consumed by caller; this is '"'
-    std::string delim;
-    while (i < src.size() && peek() != '(') {
-      delim.push_back(peek());
-      bump();
-    }
-    const std::string close = ")" + delim + "\"";
-    while (i < src.size() && src.substr(i, close.size()) != close) bump();
-    for (std::size_t k = 0; k < close.size() && i < src.size(); ++k) bump();
-  }
-
-  void skip_char_literal() {
-    bump();  // opening '
-    while (i < src.size() && peek() != '\'') {
-      if (peek() == '\\' && i + 1 < src.size()) bump();
-      bump();
-    }
-    if (i < src.size()) bump();
-  }
-
-  void skip_preprocessor() {
-    // Skip to end of line, honoring backslash continuations and comments.
-    while (i < src.size()) {
-      if (peek() == '\\' && peek(1) == '\n') {
-        bump();
-        bump();
-        continue;
-      }
-      if (peek() == '/' && peek(1) == '/') {
-        skip_line_comment();
-        return;
-      }
-      if (peek() == '/' && peek(1) == '*') {
-        skip_block_comment();
-        continue;
-      }
-      if (peek() == '\n') return;
-      bump();
-    }
-  }
-
-  void lex_number() {
-    const int start_line = line;
-    std::size_t begin = i;
-    while (i < src.size()) {
-      const char c = peek();
-      if (ident_char(c) || c == '.' || c == '\'') {
-        bump();
-      } else if ((c == '+' || c == '-') && i > begin) {
-        const char prev = src[i - 1];
-        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
-          bump();
-        } else {
-          break;
-        }
-      } else {
-        break;
-      }
-    }
-    tokens.push_back(
-        {Kind::Number, std::string(src.substr(begin, i - begin)), start_line});
-    last_token_line = start_line;
-  }
-
-  void run() {
-    bool at_line_start = true;
-    while (i < src.size()) {
-      const char c = peek();
-      if (c == '\n') {
-        bump();
-        at_line_start = true;
-        continue;
-      }
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        bump();
-        continue;
-      }
-      if (c == '#' && at_line_start) {
-        skip_preprocessor();
-        continue;
-      }
-      at_line_start = false;
-      if (c == '/' && peek(1) == '/') {
-        skip_line_comment();
-        continue;
-      }
-      if (c == '/' && peek(1) == '*') {
-        skip_block_comment();
-        continue;
-      }
-      if (c == '"') {
-        skip_string();
-        continue;
-      }
-      if (c == '\'') {
-        skip_char_literal();
-        continue;
-      }
-      if (c == 'R' && peek(1) == '"') {
-        bump();  // 'R'
-        skip_raw_string();
-        continue;
-      }
-      if (ident_start(c)) {
-        const int start_line = line;
-        std::size_t begin = i;
-        while (i < src.size() && ident_char(peek())) bump();
-        tokens.push_back({Kind::Ident,
-                          std::string(src.substr(begin, i - begin)),
-                          start_line});
-        last_token_line = start_line;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        lex_number();
-        continue;
-      }
-      tokens.push_back({Kind::Punct, std::string(1, c), line});
-      last_token_line = line;
-      bump();
-    }
-    if (open_trusted >= 0) {
-      supp.trusted.emplace_back(open_trusted, line);  // to end of file
-    }
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Rule helpers
-// ---------------------------------------------------------------------------
-
-const Token* tok_at(const std::vector<Token>& toks, std::size_t idx) {
-  return idx < toks.size() ? &toks[idx] : nullptr;
-}
-
-bool next_is(const std::vector<Token>& toks, std::size_t i,
-             std::string_view text) {
-  const Token* t = tok_at(toks, i + 1);
-  return t != nullptr && t->text == text;
-}
-
-bool prev_is(const std::vector<Token>& toks, std::size_t i,
-             std::string_view text) {
-  return i > 0 && toks[i - 1].text == text;
 }
 
 /// True for names that denote privacy parameters: eps, epsilon, eps_*,
@@ -362,14 +47,15 @@ bool specifier(const std::string& t) {
 
 class Analysis {
  public:
-  Analysis(std::string_view rel_path, std::string_view content)
-      : path_(rel_path), cls_(classify(rel_path)) {
-    Lexer lexer(content);
-    lexer.run();
-    toks_ = std::move(lexer.tokens);
-    strings_ = std::move(lexer.strings);
-    supp_ = std::move(lexer.supp);
-  }
+  Analysis(std::string_view rel_path, const TokenizedFile& file,
+           const std::vector<FunctionDef>& functions, const ChargeGraph& graph)
+      : path_(rel_path),
+        cls_(classify(rel_path)),
+        file_(file),
+        toks_(file.tokens),
+        supp_(file.supp),
+        functions_(functions),
+        graph_(graph) {}
 
   std::vector<Finding> run() {
     rule_unsafe_calls();
@@ -380,17 +66,49 @@ class Analysis {
     rule_telemetry_fields();
     rule_thread_creation();
     rule_exception_text();
+    SemanticInput in;
+    in.path = path_;
+    in.cls = cls_;
+    in.file = &file_;
+    in.functions = &functions_;
+    in.graph = &graph_;
+    for (RawFinding& raw : run_semantic_rules(in)) {
+      report(raw.rule, raw.line, std::move(raw.message));
+    }
     std::sort(findings_.begin(), findings_.end(),
               [](const Finding& a, const Finding& b) {
                 return a.line != b.line ? a.line < b.line : a.rule < b.rule;
               });
+    fingerprint_all();
     return std::move(findings_);
   }
 
  private:
   void report(const std::string& rule, int line, std::string message) {
     if (supp_.suppressed(rule, line)) return;
-    findings_.push_back({std::string(path_), line, rule, std::move(message)});
+    findings_.push_back(
+        {std::string(path_), line, rule, std::move(message), {}});
+  }
+
+  /// Stable identity for each finding: hashes the rule, the file path, and
+  /// the token text of the finding's line — so the fingerprint survives
+  /// edits elsewhere in the file that only shift line numbers.  Identical
+  /// (rule, line-content) pairs get an occurrence ordinal so SARIF baselines
+  /// can track them individually.
+  void fingerprint_all() {
+    std::unordered_map<std::uint64_t, int> seen;
+    for (Finding& f : findings_) {
+      std::uint64_t h = fnv1a(f.rule);
+      h = fnv1a(f.file, h);
+      for (const Token& t : toks_) {
+        if (t.line != f.line) continue;
+        h = fnv1a(t.text, h);
+        h = fnv1a("|", h);
+      }
+      const int ordinal = seen[h]++;
+      h = fnv1a(std::to_string(ordinal), h);
+      f.fingerprint = to_hex(h);
+    }
   }
 
   /// R1: *_unsafe() confined to trusted code.
@@ -461,15 +179,15 @@ class Analysis {
                             t.text == "exponential_median";
       bool queryable_return = false;
       bool has_nodiscard = false;
-      bool is_call = false;
+      bool is_expr = false;
       bool only_specifiers = true;
-      if (i == stmt_start) is_call = true;  // no return type: expression
+      if (i == stmt_start) is_expr = true;  // no return type: expression
       for (std::size_t k = stmt_start; k < i; ++k) {
         const std::string& p = toks_[k].text;
         if (p == "Queryable") queryable_return = true;
         if (p == "nodiscard") has_nodiscard = true;
         if (p == "return" || p == "throw" || p == "=" || p == "co_return") {
-          is_call = true;
+          is_expr = true;
         }
         if (toks_[k].kind == Kind::Ident && !specifier(p)) {
           only_specifiers = false;
@@ -482,7 +200,7 @@ class Analysis {
           (prev_is(toks_, i, ">") && i >= 2 && toks_[i - 2].text == "-")) {
         continue;
       }
-      if (is_call || only_specifiers || has_nodiscard) continue;
+      if (is_expr || only_specifiers || has_nodiscard) continue;
       report("R3", t.line,
              t.text + " returns analyst-visible information; declare it "
                       "[[nodiscard]] so a discarded result (which still "
@@ -570,7 +288,7 @@ class Analysis {
         // robustness counters (docs/robustness.md) — accounting metadata
         "queries.aborted", "deadline.exceeded", "records.quarantined",
         "faults.injected"};
-    for (const StringLit& lit : strings_) {
+    for (const StringLit& lit : file_.strings) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
       const Token& callee = toks_[lit.token_slot - 2];
@@ -591,7 +309,7 @@ class Analysis {
   /// synchronized budget charges — so parallelism is confined to
   /// src/core/exec/ (plus explicitly suppressed harness code).
   void rule_thread_creation() {
-    if (starts_with(path_, "src/core/exec/")) return;
+    if (cls_.in_exec) return;
     static const std::unordered_set<std::string> kThreadNames = {
         "thread", "jthread", "async"};
     for (std::size_t i = 3; i < toks_.size(); ++i) {
@@ -639,13 +357,41 @@ class Analysis {
 
   std::string_view path_;
   FileClass cls_;
-  std::vector<Token> toks_;
-  std::vector<StringLit> strings_;
-  Suppressions supp_;
+  const TokenizedFile& file_;
+  const std::vector<Token>& toks_;
+  const Suppressions& supp_;
+  const std::vector<FunctionDef>& functions_;
+  const ChargeGraph& graph_;
   std::vector<Finding> findings_;
 };
 
 }  // namespace
+
+const std::vector<RuleMeta>& rule_table() {
+  static const std::vector<RuleMeta> kRules = {
+      {"R1",
+       "*_unsafe() accessors only in trusted code (tests/, bench/, "
+       "src/tracegen/, trusted regions)"},
+      {"R2", "randomness flows through core::NoiseSource, never raw "
+             "engines or rand()"},
+      {"R3", "analyst-visible declarations in src/ headers carry "
+             "[[nodiscard]]"},
+      {"R4", "no raw owning new/delete/malloc — RAII and value semantics"},
+      {"R5", "no hard-coded epsilon literals in src/"},
+      {"R6", "telemetry serializes approved accounting fields only"},
+      {"R7", "thread creation confined to src/core/exec/"},
+      {"R8", "exception what() never read inside src/"},
+      {"R9", "no *_unsafe-derived value reaches a telemetry or exception "
+             "sink (taint dataflow)"},
+      {"R10", "every noise release is preceded by a budget charge "
+              "(charge-before-release)"},
+      {"R11", "row-scaled loops in executor/materialization code contain "
+              "a guard checkpoint"},
+      {"R12", "no NoiseSource captured into lambdas handed to "
+              "map_parts/submit"},
+  };
+  return kRules;
+}
 
 bool wants_file(std::string_view rel_path) {
   if (!(ends_with(rel_path, ".cpp") || ends_with(rel_path, ".cc") ||
@@ -653,15 +399,29 @@ bool wants_file(std::string_view rel_path) {
         ends_with(rel_path, ".hh"))) {
     return false;
   }
+  // The fixture corpus deliberately violates the rules; the repo gate
+  // must not scan it.
+  if (starts_with(rel_path, "tests/lint/corpus/")) return false;
   return starts_with(rel_path, "src/") || starts_with(rel_path, "tests/") ||
          starts_with(rel_path, "bench/") ||
          starts_with(rel_path, "examples/") ||
          starts_with(rel_path, "tools/");
 }
 
+std::vector<Finding> analyze_file(std::string_view rel_path,
+                                  const TokenizedFile& file,
+                                  const std::vector<FunctionDef>& functions,
+                                  const ChargeGraph& graph) {
+  return Analysis(rel_path, file, functions, graph).run();
+}
+
 std::vector<Finding> analyze_source(std::string_view rel_path,
                                     std::string_view content) {
-  return Analysis(rel_path, content).run();
+  const TokenizedFile file = tokenize(content);
+  const std::vector<FunctionDef> functions = scan_functions(file.tokens);
+  ChargeGraph graph;
+  for (const FunctionFact& fact : collect_facts(functions)) graph.add(fact);
+  return analyze_file(rel_path, file, functions, graph);
 }
 
 std::string format(const Finding& f) {

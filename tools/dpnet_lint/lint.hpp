@@ -16,6 +16,28 @@
 //       report, the CLI) may only pass approved field names to JsonWriter
 //       key() — telemetry carries accounting metadata, never record
 //       contents (see docs/observability.md for the field list).
+//   R7  no std::thread / std::jthread / std::async creation outside
+//       src/core/exec/ — parallelism flows through the executor.
+//   R8  no what() reads inside src/ — exception text stays behind the
+//       privacy boundary (core/errors.hpp carries sanitized errors).
+//
+// Semantic rules (token-level dataflow over the per-file symbol table and
+// the repo-wide function index — docs/static_analysis.md):
+//
+//   R9  taint: a value derived (transitively, through assignments) from a
+//       *_unsafe() result may not reach a telemetry/JSON/metrics/
+//       exception-message sink.
+//   R10 charge-before-release: a release site (NoiseSource mechanism draw
+//       or *_mechanism call) must be preceded in its function by a budget
+//       charge — directly or via a function the index knows charges —
+//       unless the function takes the NoiseSource as a parameter (then
+//       the caller owns the obligation).
+//   R11 checkpoint coverage: non-trivial loops in src/core/exec/ and
+//       materialization code contain a guard checkpoint (directly or via
+//       a function the index knows checkpoints).
+//   R12 noise-fork discipline: no NoiseSource captured into a lambda
+//       handed to map_parts/submit — per-release forks only, so draws
+//       stay schedule-independent.
 //
 // Suppression syntax:
 //   // dpnet-lint: trusted          start of a trusted region (R1, R2)
@@ -25,6 +47,7 @@
 //                                   alone); comma-separate multiple rules.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,22 +55,77 @@
 namespace dpnet::lint {
 
 struct Finding {
-  std::string file;     // repo-relative path, forward slashes
-  int line = 0;         // 1-based
-  std::string rule;     // "R1".."R6"
-  std::string message;  // human-readable diagnostic
+  std::string file;         // repo-relative path, forward slashes
+  int line = 0;             // 1-based
+  std::string rule;         // "R1".."R12"
+  std::string message;      // human-readable diagnostic
+  std::string fingerprint;  // stable 16-hex-digit identity: hashes the
+                            // rule, file, and the finding line's token
+                            // text (plus an occurrence ordinal), so it
+                            // survives unrelated edits that move lines
 };
 
-/// True if `rel_path` is a C++ source the linter should scan.
+/// Registered rule metadata — the single source of truth the SARIF
+/// driver section and the docs-consistency test both read.
+struct RuleMeta {
+  std::string_view id;       // "R1".."R12"
+  std::string_view summary;  // one-line description
+};
+
+[[nodiscard]] const std::vector<RuleMeta>& rule_table();
+
+/// True if `rel_path` is a C++ source the linter should scan.  The lint
+/// fixture corpus under tests/lint/corpus/ is excluded: it exists to
+/// exercise the rules and deliberately violates them.
 [[nodiscard]] bool wants_file(std::string_view rel_path);
 
 /// Runs every rule over one file's contents.  `rel_path` must be
 /// repo-relative with forward slashes ("src/core/noise.cpp"); the path
 /// decides which rules apply and which trusted directories are exempt.
+/// The function/call index is built from this file alone — repo-wide
+/// resolution needs analyze_repo().
 [[nodiscard]] std::vector<Finding> analyze_source(std::string_view rel_path,
                                                   std::string_view content);
 
+// ---------------------------------------------------------------------------
+// Whole-repo scanning (parallel, incrementally cached)
+// ---------------------------------------------------------------------------
+
+struct FileInput {
+  std::string path;     // repo-relative, forward slashes
+  std::string content;
+};
+
+struct RepoOptions {
+  /// Worker threads for the scan; 0 = hardware concurrency.
+  std::size_t jobs = 0;
+  /// Path of the incremental cache file; empty disables caching.  The
+  /// cache keys on (content hash, repo-wide charge-graph digest) and
+  /// stores per-file findings plus the function facts needed to rebuild
+  /// the index without re-tokenizing unchanged files.
+  std::string cache_path;
+};
+
+struct RepoReport {
+  std::vector<Finding> findings;  // sorted by (file, line, rule)
+  std::size_t files = 0;          // files scanned
+  std::size_t cache_hits = 0;     // files whose findings came from cache
+  std::size_t analyzed = 0;       // files analyzed from scratch
+};
+
+/// Scans every input with the full rule set, building the repo-wide
+/// function/call index across all of them first.  Deterministic: the
+/// report is identical at any job count and on cold or warm cache.
+[[nodiscard]] RepoReport analyze_repo(const std::vector<FileInput>& files,
+                                      const RepoOptions& options = {});
+
 /// "file:line: [rule] message" — the diagnostic format the CLI prints.
 [[nodiscard]] std::string format(const Finding& finding);
+
+/// Serializes findings as a SARIF 2.1.0 document (GitHub code-scanning
+/// compatible): one run, driver "dpnet-lint", rule metadata from
+/// rule_table(), one result per finding with a partialFingerprints entry
+/// carrying the stable fingerprint.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace dpnet::lint

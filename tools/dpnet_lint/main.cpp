@@ -2,9 +2,13 @@
 // violations.  Exit status is nonzero iff findings exist, so the binary
 // doubles as the `dpnet_lint_repo` CTest test and a CI gate.
 //
-// Usage: dpnet_lint [repo_root]      (default: current directory)
+// Usage: dpnet_lint [options] [repo_root]      (default root: cwd)
+//   --sarif <out.sarif>   also write findings as SARIF 2.1.0
+//   --cache <file>        incremental cache (content-hash + graph digest)
+//   --jobs N              scan worker threads (default: hardware)
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -28,13 +32,30 @@ std::string slurp(const fs::path& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  std::string sarif_path;
+  dpnet::lint::RepoOptions options;
+  fs::path root = fs::current_path();
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--sarif" && a + 1 < argc) {
+      sarif_path = argv[++a];
+    } else if (arg == "--cache" && a + 1 < argc) {
+      options.cache_path = argv[++a];
+    } else if (arg == "--jobs" && a + 1 < argc) {
+      options.jobs = static_cast<std::size_t>(std::atol(argv[++a]));
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "dpnet_lint: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      root = fs::path(arg);
+    }
+  }
   if (!fs::is_directory(root)) {
     std::cerr << "dpnet_lint: not a directory: " << root << "\n";
     return 2;
   }
 
-  std::vector<std::string> files;
+  std::vector<dpnet::lint::FileInput> files;
   for (const char* top : {"src", "tests", "bench", "examples", "tools"}) {
     const fs::path dir = root / top;
     if (!fs::is_directory(dir)) continue;
@@ -42,25 +63,34 @@ int main(int argc, char** argv) {
       if (!entry.is_regular_file()) continue;
       std::string rel =
           fs::relative(entry.path(), root).generic_string();
-      if (dpnet::lint::wants_file(rel)) files.push_back(std::move(rel));
+      if (dpnet::lint::wants_file(rel)) {
+        files.push_back({std::move(rel), slurp(entry.path())});
+      }
     }
   }
-  std::sort(files.begin(), files.end());
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
 
-  std::size_t findings = 0;
-  for (const std::string& rel : files) {
-    for (const auto& f :
-         dpnet::lint::analyze_source(rel, slurp(root / rel))) {
-      std::cout << dpnet::lint::format(f) << "\n";
-      ++findings;
+  const dpnet::lint::RepoReport report =
+      dpnet::lint::analyze_repo(files, options);
+  for (const auto& f : report.findings) {
+    std::cout << dpnet::lint::format(f) << "\n";
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::trunc);
+    out << dpnet::lint::to_sarif(report.findings);
+    if (!out) {
+      std::cerr << "dpnet_lint: cannot write " << sarif_path << "\n";
+      return 2;
     }
   }
 
-  if (findings > 0) {
-    std::cerr << "dpnet-lint: " << findings << " finding(s) in "
-              << files.size() << " files\n";
+  if (!report.findings.empty()) {
+    std::cerr << "dpnet-lint: " << report.findings.size()
+              << " finding(s) in " << report.files << " files\n";
     return 1;
   }
-  std::cout << "dpnet-lint: OK (" << files.size() << " files clean)\n";
+  std::cout << "dpnet-lint: OK (" << report.files << " files clean, "
+            << report.cache_hits << " cached)\n";
   return 0;
 }

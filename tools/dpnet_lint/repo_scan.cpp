@@ -1,0 +1,251 @@
+// Whole-repo scanning for dpnet-lint: builds the repo-wide charge graph
+// across every input file, then runs the full rule set per file — in
+// parallel, with a content-hash incremental cache.
+//
+// Cache soundness: a cached entry's *function facts* are reusable whenever
+// the file's content hash matches (facts are a pure function of the file).
+// Its *findings* are reusable only when, additionally, the repo-wide
+// charge-graph digest matches the one the findings were computed under —
+// R10/R11 consult the graph, so a change to any file that adds or removes
+// a charging/checkpointing function invalidates every file's findings
+// while still reusing all the per-file facts.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/json.hpp"
+#include "dpnet_lint/index.hpp"
+#include "dpnet_lint/lint.hpp"
+
+namespace dpnet::lint {
+
+namespace {
+
+constexpr std::string_view kCacheSchema = "dpnet.lintcache.v1";
+
+struct CachedFile {
+  std::string hash;
+  std::vector<FunctionFact> facts;
+  std::vector<Finding> findings;
+};
+
+struct Cache {
+  std::string graph_digest;
+  std::unordered_map<std::string, CachedFile> files;
+};
+
+Cache load_cache(const std::string& path) {
+  Cache cache;
+  if (path.empty()) return cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  core::JsonValue doc;
+  try {
+    doc = core::parse_json(buf.str());
+  } catch (const core::JsonParseError&) {
+    return cache;  // stale or corrupt cache: start cold
+  }
+  const core::JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || schema->string != kCacheSchema) return cache;
+  if (const core::JsonValue* d = doc.find("graph_digest")) {
+    cache.graph_digest = d->string;
+  }
+  const core::JsonValue* files = doc.find("files");
+  if (files == nullptr || !files->is_object()) return cache;
+  for (const auto& [file_path, entry] : files->object) {
+    CachedFile cf;
+    if (const core::JsonValue* h = entry.find("hash")) cf.hash = h->string;
+    if (const core::JsonValue* facts = entry.find("facts")) {
+      for (const core::JsonValue& f : facts->array) {
+        FunctionFact fact;
+        if (const core::JsonValue* v = f.find("name")) fact.name = v->string;
+        if (const core::JsonValue* v = f.find("charges")) {
+          fact.charges = v->boolean;
+        }
+        if (const core::JsonValue* v = f.find("checkpoints")) {
+          fact.checkpoints = v->boolean;
+        }
+        cf.facts.push_back(std::move(fact));
+      }
+    }
+    if (const core::JsonValue* findings = entry.find("findings")) {
+      for (const core::JsonValue& f : findings->array) {
+        Finding finding;
+        finding.file = file_path;
+        if (const core::JsonValue* v = f.find("line")) {
+          finding.line = static_cast<int>(v->number);
+        }
+        if (const core::JsonValue* v = f.find("rule")) {
+          finding.rule = v->string;
+        }
+        if (const core::JsonValue* v = f.find("message")) {
+          finding.message = v->string;
+        }
+        if (const core::JsonValue* v = f.find("fingerprint")) {
+          finding.fingerprint = v->string;
+        }
+        cf.findings.push_back(std::move(finding));
+      }
+    }
+    cache.files.emplace(file_path, std::move(cf));
+  }
+  return cache;
+}
+
+void save_cache(const std::string& path, const std::string& graph_digest,
+                const std::vector<std::string>& hashes,
+                const std::vector<std::vector<FunctionFact>>& facts,
+                const std::vector<std::vector<Finding>>& findings,
+                const std::vector<FileInput>& files) {
+  if (path.empty()) return;
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kCacheSchema);
+  w.key("graph_digest").value(graph_digest);
+  w.key("files").begin_object();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    w.key(files[i].path).begin_object();
+    w.key("hash").value(hashes[i]);
+    w.key("facts").begin_array();
+    for (const FunctionFact& fact : facts[i]) {
+      w.begin_object();
+      w.key("name").value(fact.name);
+      w.key("charges").value(fact.charges);
+      w.key("checkpoints").value(fact.checkpoints);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("findings").begin_array();
+    for (const Finding& f : findings[i]) {
+      w.begin_object();
+      w.key("line").value(static_cast<std::int64_t>(f.line));
+      w.key("rule").value(f.rule);
+      w.key("message").value(f.message);
+      w.key("fingerprint").value(f.fingerprint);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();  // files
+  w.end_object();
+  std::ofstream out(path, std::ios::trunc);
+  out << w.str();
+}
+
+/// Runs `work(i)` for i in [0, n) across `jobs` workers.  The lint driver
+/// is tool-side trusted code scanning independent files; R7 confines
+/// thread creation to the engine's executor, not to this tool.
+template <typename Fn>
+void for_each_parallel(std::size_t jobs, std::size_t n, Fn work) {
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) work(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  // Tool-side scan workers: the executor-only rule guards engine
+  // determinism inside src/, not the linter binary scanning it.
+  // dpnet-lint: suppress(R7)
+  std::vector<std::thread> workers;
+  const std::size_t count = std::min(jobs, n);
+  for (std::size_t w = 0; w < count; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        work(i);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace
+
+RepoReport analyze_repo(const std::vector<FileInput>& files,
+                        const RepoOptions& options) {
+  const std::size_t n = files.size();
+  std::size_t jobs = options.jobs != 0
+                         ? options.jobs
+                         : std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 1;
+
+  const Cache cache = load_cache(options.cache_path);
+
+  // Pass 1 — hash every file; tokenize and scan the ones whose facts are
+  // not cached.  Facts depend only on the file's own content.
+  std::vector<std::string> hashes(n);
+  std::vector<std::vector<FunctionFact>> facts(n);
+  std::vector<TokenizedFile> tokenized(n);
+  std::vector<std::vector<FunctionDef>> functions(n);
+  std::vector<char> have_tokens(n, 0);
+  std::vector<char> hash_hit(n, 0);
+  for_each_parallel(jobs, n, [&](std::size_t i) {
+    hashes[i] = to_hex(fnv1a(files[i].content));
+    const auto it = cache.files.find(files[i].path);
+    if (it != cache.files.end() && it->second.hash == hashes[i]) {
+      hash_hit[i] = 1;
+      facts[i] = it->second.facts;
+      return;
+    }
+    tokenized[i] = tokenize(files[i].content);
+    functions[i] = scan_functions(tokenized[i].tokens);
+    facts[i] = collect_facts(functions[i]);
+    have_tokens[i] = 1;
+  });
+
+  // Pass 2 — merge every file's facts into the repo-wide charge graph.
+  ChargeGraph graph;
+  for (const auto& file_facts : facts) {
+    for (const FunctionFact& fact : file_facts) graph.add(fact);
+  }
+  const std::string digest = to_hex(graph.digest());
+  const bool graph_unchanged = digest == cache.graph_digest;
+
+  // Pass 3 — findings: reuse cached ones when both the content hash and
+  // the graph digest match; otherwise (re)analyze under the merged graph.
+  std::vector<std::vector<Finding>> findings(n);
+  std::atomic<std::size_t> cache_hits{0};
+  std::atomic<std::size_t> analyzed{0};
+  for_each_parallel(jobs, n, [&](std::size_t i) {
+    if (hash_hit[i] != 0 && graph_unchanged) {
+      findings[i] = cache.files.at(files[i].path).findings;
+      cache_hits.fetch_add(1);
+      return;
+    }
+    if (have_tokens[i] == 0) {
+      tokenized[i] = tokenize(files[i].content);
+      functions[i] = scan_functions(tokenized[i].tokens);
+      have_tokens[i] = 1;
+    }
+    findings[i] =
+        analyze_file(files[i].path, tokenized[i], functions[i], graph);
+    analyzed.fetch_add(1);
+  });
+
+  save_cache(options.cache_path, digest, hashes, facts, findings, files);
+
+  RepoReport report;
+  report.files = n;
+  report.cache_hits = cache_hits.load();
+  report.analyzed = analyzed.load();
+  for (std::vector<Finding>& file_findings : findings) {
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(file_findings.begin()),
+                           std::make_move_iterator(file_findings.end()));
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return report;
+}
+
+}  // namespace dpnet::lint

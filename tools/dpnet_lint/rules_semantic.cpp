@@ -1,0 +1,484 @@
+// Semantic rules R9–R12: token-level dataflow over the per-file function
+// table and the repo-wide charge/checkpoint index (see index.hpp and
+// docs/static_analysis.md).
+//
+// These are lint-level analyses, deliberately coarse: name-level call
+// resolution, statement-granular taint, one-call-level domination.  They
+// are tuned so the invariant violations the engine cares about are caught
+// while idiomatic engine code stays quiet; genuine exceptions carry a
+// reviewed `// dpnet-lint: suppress(Rn)` with a rationale.
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "dpnet_lint/index.hpp"
+#include "dpnet_lint/tokenizer.hpp"
+
+namespace dpnet::lint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool charge_primitive(const std::string& name) {
+  return name == "charge" || name == "try_charge" || name == "charge_all" ||
+         name == "raise_to" || name == "try_raise_to";
+}
+
+bool checkpoint_primitive(const std::string& name) {
+  return name == "checkpoint" || name == "guard_checkpoint" ||
+         name == "charge_rows" || name == "guard_charge_rows";
+}
+
+/// A call that consumes privacy budget by adding calibrated noise — the
+/// "release" side of the charge-before-release invariant.
+bool release_call(const std::string& name) {
+  return name == "laplace" || name == "two_sided_geometric" ||
+         name == "gumbel" || name == "gaussian" ||
+         name == "exponential_quantile" || name == "exponential_median" ||
+         ends_with(name, "_mechanism");
+}
+
+/// Member names whose result is a cardinality, not record contents.
+/// Counts are accounting metadata (they appear in traces as input_rows /
+/// output_rows), so reading them off protected data does not taint.
+bool cardinality_member(const std::string& name) {
+  return name == "size" || name == "empty" || name == "count" ||
+         name == "length" || name == "rows" || name == "capacity";
+}
+
+/// True when the *_unsafe accessor itself yields a cardinality (row
+/// counts), not record contents.
+bool cardinality_source(std::string_view name) {
+  return name.find("size") != std::string_view::npos ||
+         name.find("count") != std::string_view::npos ||
+         name.find("rows") != std::string_view::npos;
+}
+
+/// Telemetry / serialization / exception-construction entry points a
+/// tainted value must never reach.
+bool sink_call(const std::string& name) {
+  static const std::unordered_set<std::string> kSinks = {
+      "key",        "value",   "raw",     "str",     "set_detail",
+      "set_mechanism", "add_field", "counter", "gauge", "observe"};
+  return kSinks.count(name) > 0 || ends_with(name, "Error");
+}
+
+/// True when the identifier at `i` is consumed only for its cardinality:
+/// `x.size()`, `x->empty()`, or `x.size_unsafe()` style member reads.
+bool cardinality_use(const std::vector<Token>& toks, std::size_t i) {
+  std::size_t m = i + 1;
+  if (m < toks.size() && toks[m].text == "-" && m + 1 < toks.size() &&
+      toks[m + 1].text == ">") {
+    m += 2;
+  } else if (m < toks.size() && toks[m].text == ".") {
+    m += 1;
+  } else {
+    return false;
+  }
+  return m < toks.size() && toks[m].kind == Kind::Ident &&
+         (cardinality_member(toks[m].text) ||
+          cardinality_source(toks[m].text));
+}
+
+/// Does the token range [begin, end) carry taint?  Sources: a non-
+/// cardinality *_unsafe() call, or a use of an already-tainted variable.
+/// A release call in the range sanitizes it — noise has been added, the
+/// expression is a differentially-private output.
+bool range_tainted(const std::vector<Token>& toks, std::size_t begin,
+                   std::size_t end,
+                   const std::unordered_set<std::string>& tainted) {
+  for (std::size_t k = begin; k < end; ++k) {
+    if (k < toks.size() && is_call(toks, k) && release_call(toks[k].text)) {
+      return false;
+    }
+  }
+  for (std::size_t k = begin; k < end && k < toks.size(); ++k) {
+    const Token& t = toks[k];
+    if (t.kind != Kind::Ident) continue;
+    if (ends_with(t.text, "_unsafe") && next_is(toks, k, "(")) {
+      if (cardinality_source(t.text)) continue;
+      const std::size_t close = matching_close(toks, k + 1, "(", ")");
+      if (close != kNpos && cardinality_use(toks, close)) continue;
+      return true;
+    }
+    if (tainted.count(t.text) > 0 && !cardinality_use(toks, k)) return true;
+  }
+  return false;
+}
+
+struct Chunk {
+  std::size_t begin;  // token range within the statement, exclusive of
+  std::size_t end;    // the ; { } delimiters
+};
+
+/// Linear statement segmentation of a body range: chunks between ; { }
+/// tokens at any nesting depth.  Coarse but exactly the granularity the
+/// assignment-based taint propagation wants.
+std::vector<Chunk> split_statements(const std::vector<Token>& toks,
+                                    std::size_t begin, std::size_t end) {
+  std::vector<Chunk> chunks;
+  std::size_t start = begin;
+  for (std::size_t k = begin; k < end; ++k) {
+    if (toks[k].kind == Kind::Punct &&
+        (toks[k].text == ";" || toks[k].text == "{" || toks[k].text == "}")) {
+      if (k > start) chunks.push_back({start, k});
+      start = k + 1;
+    }
+  }
+  if (end > start) chunks.push_back({start, end});
+  return chunks;
+}
+
+/// The assignment target of a statement chunk: the identifier written by
+/// the first top-level `=` (or compound `op=`), or the loop variable of a
+/// range-for header.  Returns the token index of the target identifier and
+/// sets `*rhs_begin` to the first token of the assigned expression; kNpos
+/// when the chunk assigns nothing.
+std::size_t assignment_target(const std::vector<Token>& toks,
+                              const Chunk& c, std::size_t* rhs_begin) {
+  // Range-for header: `for ( decl : expr`
+  if (toks[c.begin].kind == Kind::Ident && toks[c.begin].text == "for" &&
+      next_is(toks, c.begin, "(")) {
+    for (std::size_t k = c.begin + 2; k < c.end; ++k) {
+      if (toks[k].kind == Kind::Punct && toks[k].text == ":" &&
+          !next_is(toks, k, ":") && !prev_is(toks, k, ":") && k > c.begin &&
+          toks[k - 1].kind == Kind::Ident) {
+        *rhs_begin = k + 1;
+        return k - 1;
+      }
+    }
+    return kNpos;
+  }
+  int depth = 0;
+  for (std::size_t k = c.begin; k < c.end; ++k) {
+    const Token& t = toks[k];
+    if (t.kind != Kind::Punct) continue;
+    if (t.text == "(" || t.text == "[") ++depth;
+    if (t.text == ")" || t.text == "]") --depth;
+    if (depth != 0 || t.text != "=") continue;
+    if (next_is(toks, k, "=")) continue;  // ==
+    if (k == c.begin) return kNpos;
+    const std::string& prev = toks[k - 1].text;
+    if (prev == "=" || prev == "!" || prev == "<" || prev == ">") {
+      continue;  // comparison / shift-assign noise
+    }
+    std::size_t target = k - 1;
+    if (toks[target].kind == Kind::Punct &&
+        (prev == "+" || prev == "-" || prev == "*" || prev == "/" ||
+         prev == "%" || prev == "&" || prev == "|" || prev == "^")) {
+      if (target == c.begin) return kNpos;
+      --target;  // compound assignment `x += ...`
+    }
+    if (toks[target].kind != Kind::Ident) return kNpos;
+    *rhs_begin = k + 1;
+    return target;
+  }
+  return kNpos;
+}
+
+/// The `{` opening a lambda body, given the index of the capture list's
+/// closing `]`; kNpos when no body brace is found nearby.
+std::size_t lambda_body_open(const std::vector<Token>& toks,
+                             std::size_t capture_close) {
+  std::size_t k = capture_close + 1;
+  if (k < toks.size() && toks[k].text == "(") {
+    k = matching_close(toks, k, "(", ")");
+    if (k == kNpos) return kNpos;
+    ++k;
+  }
+  const std::size_t limit = std::min(toks.size(), k + 24);
+  for (; k < limit; ++k) {
+    if (toks[k].kind == Kind::Punct) {
+      if (toks[k].text == "{") return k;
+      if (toks[k].text == ";" || toks[k].text == ")") return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+// ---------------------------------------------------------------------------
+// R9: *_unsafe-derived values must not reach telemetry / exception sinks
+// ---------------------------------------------------------------------------
+
+void rule_taint(const SemanticInput& in, std::vector<RawFinding>& out) {
+  if (!in.cls.in_src || in.cls.allow_unsafe) return;  // tracegen is trusted
+  const std::vector<Token>& toks = in.file->tokens;
+  for (const FunctionDef& fn : *in.functions) {
+    const auto chunks =
+        split_statements(toks, fn.body_begin + 1, fn.body_end);
+    std::unordered_set<std::string> tainted;
+    // Bounded fixpoint: taint flows forward through assignments; a few
+    // passes cover the re-assignments a single body realistically has.
+    for (int pass = 0; pass < 8; ++pass) {
+      bool changed = false;
+      for (const Chunk& c : chunks) {
+        std::size_t rhs = kNpos;
+        const std::size_t target = assignment_target(toks, c, &rhs);
+        if (target == kNpos || rhs == kNpos) continue;
+        if (tainted.count(toks[target].text) > 0) continue;
+        if (range_tainted(toks, rhs, c.end, tainted)) {
+          tainted.insert(toks[target].text);
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      if (!is_call(toks, k) || !sink_call(toks[k].text)) continue;
+      const std::size_t close = matching_close(toks, k + 1, "(", ")");
+      if (close == kNpos) continue;
+      if (range_tainted(toks, k + 2, close, tainted)) {
+        out.push_back(
+            {"R9", toks[k].line,
+             "value derived from a *_unsafe() accessor reaches '" +
+                 toks[k].text +
+                 "()'; telemetry and exception text carry accounting "
+                 "metadata only, never record contents — noise the value "
+                 "first or drop the field (docs/observability.md)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R10: charge-before-release
+// ---------------------------------------------------------------------------
+
+void rule_charge_before_release(const SemanticInput& in,
+                                std::vector<RawFinding>& out) {
+  if (!in.cls.in_src || in.cls.is_noise || in.cls.allow_unsafe) return;
+  const std::vector<Token>& toks = in.file->tokens;
+  for (const FunctionDef& fn : *in.functions) {
+    // A function handed a NoiseSource draws on its caller's behalf; the
+    // caller owns the charge (the mechanism primitives are the canonical
+    // case — see docs/privacy_accounting.md).
+    if (fn.takes_noise_source) continue;
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      if (!is_call(toks, k) || !release_call(toks[k].text)) continue;
+      bool charged = false;
+      for (std::size_t j = fn.body_begin + 1; j < k; ++j) {
+        if (!is_call(toks, j)) continue;
+        if (charge_primitive(toks[j].text) ||
+            in.graph->charges(toks[j].text)) {
+          charged = true;
+          break;
+        }
+      }
+      if (!charged) {
+        out.push_back(
+            {"R10", toks[k].line,
+             "release '" + toks[k].text +
+                 "()' is not preceded by a budget charge in '" + fn.name +
+                 "'; charge-before-release is the accounting invariant — "
+                 "call try_charge/charge (or a charging helper like "
+                 "release()) before drawing noise "
+                 "(docs/privacy_accounting.md)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R11: loops in executor / materialization code contain a guard checkpoint
+// ---------------------------------------------------------------------------
+
+void rule_checkpoint_coverage(const SemanticInput& in,
+                              std::vector<RawFinding>& out) {
+  if (!in.cls.in_src) return;
+  const std::vector<Token>& toks = in.file->tokens;
+  // Loops below this many body tokens are bookkeeping (join loops, small
+  // fixed sweeps), not row-scaled work.
+  constexpr std::size_t kTrivialBody = 16;
+  for (const FunctionDef& fn : *in.functions) {
+    const bool covered =
+        in.cls.in_exec ||
+        fn.name.find("materialize") != std::string::npos;
+    if (!covered) continue;
+    for (std::size_t k = fn.body_begin + 1; k < fn.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind != Kind::Ident) continue;
+      std::size_t body_open = kNpos;
+      if ((t.text == "for" || t.text == "while") && next_is(toks, k, "(")) {
+        const std::size_t close = matching_close(toks, k + 1, "(", ")");
+        if (close == kNpos || !next_is(toks, close, "{")) continue;
+        body_open = close + 1;
+      } else if (t.text == "do" && next_is(toks, k, "{")) {
+        body_open = k + 1;
+      } else {
+        continue;
+      }
+      const std::size_t body_close =
+          matching_close(toks, body_open, "{", "}");
+      if (body_close == kNpos) continue;
+      if (body_close - body_open - 1 < kTrivialBody) continue;
+      bool has_checkpoint = false;
+      for (std::size_t j = body_open + 1; j < body_close; ++j) {
+        if (is_call(toks, j) && (checkpoint_primitive(toks[j].text) ||
+                                 in.graph->checkpoints(toks[j].text))) {
+          has_checkpoint = true;
+          break;
+        }
+      }
+      if (!has_checkpoint) {
+        out.push_back(
+            {"R11", t.line,
+             "loop in '" + fn.name +
+                 "' has no guard checkpoint; row-scaled loops in executor "
+                 "and materialization code must call checkpoint()/"
+                 "charge_rows() (or a helper that does) so deadline and "
+                 "cancellation guards fire mid-query "
+                 "(docs/robustness.md)"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R12: no NoiseSource captured into lambdas handed to the executor
+// ---------------------------------------------------------------------------
+
+void rule_noise_capture(const SemanticInput& in,
+                        std::vector<RawFinding>& out) {
+  if (!in.cls.in_src) return;
+  const std::vector<Token>& toks = in.file->tokens;
+
+  // Names bound to a NoiseSource in this file: declared with the type
+  // (`NoiseSource& noise`, `const NoiseSource local`) or assigned from a
+  // fork (`auto local = noise.fork(id)`).
+  std::unordered_set<std::string> noise_vars;
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    if (toks[k].kind != Kind::Ident || toks[k].text != "NoiseSource") {
+      continue;
+    }
+    std::size_t m = k + 1;
+    while (m < toks.size() &&
+           ((toks[m].kind == Kind::Punct &&
+             (toks[m].text == "&" || toks[m].text == "*")) ||
+            (toks[m].kind == Kind::Ident && toks[m].text == "const"))) {
+      ++m;
+    }
+    if (m < toks.size() && toks[m].kind == Kind::Ident &&
+        !next_is(toks, m, ":")) {
+      noise_vars.insert(toks[m].text);
+    }
+  }
+  const auto chunks = split_statements(toks, 0, toks.size());
+  for (const Chunk& c : chunks) {
+    std::size_t rhs = kNpos;
+    const std::size_t target = assignment_target(toks, c, &rhs);
+    if (target == kNpos || rhs == kNpos) continue;
+    for (std::size_t k = rhs; k < c.end; ++k) {
+      if (toks[k].kind == Kind::Ident && toks[k].text == "fork" &&
+          next_is(toks, k, "(")) {
+        noise_vars.insert(toks[target].text);
+        break;
+      }
+    }
+  }
+  if (noise_vars.empty()) return;
+
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    if (!is_call(toks, k)) continue;
+    if (toks[k].text != "map_parts" && toks[k].text != "submit") continue;
+    const std::size_t close = matching_close(toks, k + 1, "(", ")");
+    if (close == kNpos) continue;
+    for (std::size_t j = k + 2; j < close; ++j) {
+      if (toks[j].kind != Kind::Punct || toks[j].text != "[") continue;
+      if (!prev_is(toks, j, "(") && !prev_is(toks, j, ",")) continue;
+      const std::size_t cap_close = matching_close(toks, j, "[", "]");
+      if (cap_close == kNpos || cap_close > close) continue;
+      bool default_capture = false;
+      std::string captured;
+      // Walk capture entries (top-level comma separated).  An init-capture
+      // (`local = noise.fork(id)`) is the blessed pattern: the initializer
+      // runs at enqueue time on the submitting thread and the lambda owns
+      // a per-part fork — skip those entries entirely.
+      std::size_t entry = j + 1;
+      int depth = 0;
+      for (std::size_t m = j + 1; m <= cap_close; ++m) {
+        const Token& t = toks[m];
+        if (t.kind == Kind::Punct) {
+          if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+          if (t.text == ")" || t.text == "]" || t.text == "}") --depth;
+        }
+        const bool boundary =
+            m == cap_close ||
+            (t.kind == Kind::Punct && t.text == "," && depth == 0);
+        if (!boundary) continue;
+        const std::size_t b = entry;
+        const std::size_t e = m;
+        entry = m + 1;
+        if (e <= b) continue;
+        const std::size_t len = e - b;
+        if (len == 1 && toks[b].kind == Kind::Punct &&
+            (toks[b].text == "&" || toks[b].text == "=")) {
+          default_capture = true;  // [&] / [=]
+          continue;
+        }
+        bool init_capture = false;
+        for (std::size_t x = b; x < e; ++x) {
+          if (toks[x].kind == Kind::Punct && toks[x].text == "=") {
+            init_capture = true;
+            break;
+          }
+        }
+        if (init_capture) continue;
+        // `&var` (by reference) or bare `var` (by value — a copied
+        // generator re-draws the same stream): both break fork discipline.
+        std::size_t name = b;
+        if (toks[name].kind == Kind::Punct && toks[name].text == "&") ++name;
+        if (name < e && toks[name].kind == Kind::Ident &&
+            noise_vars.count(toks[name].text) > 0) {
+          captured = toks[name].text;
+        }
+      }
+      if (captured.empty() && default_capture) {
+        const std::size_t body_open = lambda_body_open(toks, cap_close);
+        if (body_open != kNpos) {
+          const std::size_t body_close =
+              matching_close(toks, body_open, "{", "}");
+          for (std::size_t m = body_open + 1;
+               body_close != kNpos && m < body_close; ++m) {
+            if (toks[m].kind == Kind::Ident &&
+                noise_vars.count(toks[m].text) > 0) {
+              captured = toks[m].text;
+              break;
+            }
+          }
+        }
+      }
+      if (!captured.empty()) {
+        out.push_back(
+            {"R12", toks[j].line,
+             "NoiseSource '" + captured + "' captured into a lambda "
+                 "handed to '" + toks[k].text +
+                 "'; per-part draws must come from node-id-seeded forks "
+                 "(fork an owned source inside the lambda or init-capture "
+                 "a fork) so noise is schedule-independent "
+                 "(docs/architecture.md)"});
+      }
+      j = cap_close;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<RawFinding> run_semantic_rules(const SemanticInput& in) {
+  std::vector<RawFinding> out;
+  rule_taint(in, out);
+  rule_charge_before_release(in, out);
+  rule_checkpoint_coverage(in, out);
+  rule_noise_capture(in, out);
+  return out;
+}
+
+}  // namespace dpnet::lint

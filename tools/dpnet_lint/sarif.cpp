@@ -1,0 +1,86 @@
+// SARIF 2.1.0 export for dpnet-lint findings.
+//
+// The document targets GitHub code scanning: one run, driver "dpnet-lint",
+// rule metadata from rule_table(), one result per finding.  Each result
+// carries the finding's stable fingerprint under partialFingerprints so
+// baselining survives unrelated edits that shift line numbers.
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/json.hpp"
+#include "dpnet_lint/index.hpp"
+#include "dpnet_lint/lint.hpp"
+
+namespace dpnet::lint {
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::unordered_map<std::string_view, std::uint64_t> rule_index;
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("$schema").value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  w.key("version").value("2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.key("name").value("dpnet-lint");
+  w.key("informationUri").value("docs/static_analysis.md");
+  w.key("rules").begin_array();
+  for (const RuleMeta& rule : rule_table()) {
+    rule_index.emplace(rule.id, rule_index.size());
+    w.begin_object();
+    w.key("id").value(rule.id);
+    w.key("shortDescription").begin_object();
+    w.key("text").value(rule.summary);
+    w.end_object();
+    w.key("defaultConfiguration").begin_object();
+    w.key("level").value("error");
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // rules
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results").begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.key("ruleId").value(f.rule);
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end()) {
+      w.key("ruleIndex").value(it->second);
+    }
+    w.key("level").value("error");
+    w.key("message").begin_object();
+    w.key("text").value(f.message);
+    w.end_object();
+    w.key("locations").begin_array();
+    w.begin_object();
+    w.key("physicalLocation").begin_object();
+    w.key("artifactLocation").begin_object();
+    w.key("uri").value(f.file);
+    w.key("uriBaseId").value("SRCROOT");
+    w.end_object();
+    w.key("region").begin_object();
+    w.key("startLine").value(static_cast<std::int64_t>(f.line));
+    w.end_object();
+    w.end_object();  // physicalLocation
+    w.end_object();
+    w.end_array();  // locations
+    w.key("partialFingerprints").begin_object();
+    w.key("dpnetLintFingerprint/v1").value(f.fingerprint);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dpnet::lint

@@ -1,0 +1,268 @@
+#include "dpnet_lint/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dpnet::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+struct Lexer {
+  explicit Lexer(std::string_view source) : src(source) {}
+
+  std::string_view src;
+  std::size_t i = 0;
+  int line = 1;
+  int last_token_line = 0;  // to detect comments standing alone on a line
+  TokenizedFile out;
+  int open_trusted = -1;  // line where an unterminated trusted region began
+
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < src.size() ? src[i + ahead] : '\0';
+  }
+  void bump() {
+    if (src[i] == '\n') ++line;
+    ++i;
+  }
+
+  void handle_directive(std::string_view comment, int comment_line,
+                        bool alone) {
+    const auto pos = comment.find("dpnet-lint:");
+    if (pos == std::string_view::npos) return;
+    std::string_view rest = comment.substr(pos + 11);
+    while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+    if (rest.starts_with("end-trusted")) {
+      if (open_trusted >= 0) {
+        out.supp.trusted.emplace_back(open_trusted, comment_line);
+        open_trusted = -1;
+      }
+    } else if (rest.starts_with("trusted")) {
+      if (open_trusted < 0) open_trusted = comment_line;
+    } else if (rest.starts_with("suppress(")) {
+      std::string_view list = rest.substr(9);
+      const auto close = list.find(')');
+      if (close == std::string_view::npos) return;
+      list = list.substr(0, close);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        auto comma = list.find(',', start);
+        if (comma == std::string_view::npos) comma = list.size();
+        std::string rule;
+        for (char c : list.substr(start, comma - start)) {
+          if (!std::isspace(static_cast<unsigned char>(c))) rule.push_back(c);
+        }
+        if (!rule.empty()) {
+          out.supp.by_line[comment_line].insert(rule);
+          if (alone) out.supp.by_line[comment_line + 1].insert(rule);
+        }
+        start = comma + 1;
+      }
+    }
+  }
+
+  void skip_line_comment() {
+    const int start_line = line;
+    const bool alone = last_token_line != start_line;
+    std::size_t begin = i;
+    while (i < src.size() && src[i] != '\n') ++i;
+    handle_directive(src.substr(begin, i - begin), start_line, alone);
+  }
+
+  void skip_block_comment() {
+    const int start_line = line;
+    const bool alone = last_token_line != start_line;
+    std::size_t begin = i;
+    bump();  // '/'
+    bump();  // '*'
+    while (i < src.size() && !(peek() == '*' && peek(1) == '/')) bump();
+    if (i < src.size()) {
+      bump();
+      bump();
+    }
+    handle_directive(src.substr(begin, i - begin), start_line, alone);
+  }
+
+  void skip_string() {
+    const int start_line = line;
+    bump();  // opening quote
+    const std::size_t begin = i;
+    while (i < src.size() && peek() != '"') {
+      if (peek() == '\\' && i + 1 < src.size()) bump();
+      bump();
+    }
+    out.strings.push_back({std::string(src.substr(begin, i - begin)),
+                           start_line, out.tokens.size()});
+    if (i < src.size()) bump();
+  }
+
+  void skip_raw_string() {
+    // R"delim( ... )delim"
+    bump();  // R already consumed by caller; this is '"'
+    std::string delim;
+    while (i < src.size() && peek() != '(') {
+      delim.push_back(peek());
+      bump();
+    }
+    const std::string close = ")" + delim + "\"";
+    while (i < src.size() && src.substr(i, close.size()) != close) bump();
+    for (std::size_t k = 0; k < close.size() && i < src.size(); ++k) bump();
+  }
+
+  void skip_char_literal() {
+    bump();  // opening '
+    while (i < src.size() && peek() != '\'') {
+      if (peek() == '\\' && i + 1 < src.size()) bump();
+      bump();
+    }
+    if (i < src.size()) bump();
+  }
+
+  void skip_preprocessor() {
+    // Skip to end of line, honoring backslash continuations and comments.
+    while (i < src.size()) {
+      if (peek() == '\\' && peek(1) == '\n') {
+        bump();
+        bump();
+        continue;
+      }
+      if (peek() == '/' && peek(1) == '/') {
+        skip_line_comment();
+        return;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (peek() == '\n') return;
+      bump();
+    }
+  }
+
+  void lex_number() {
+    const int start_line = line;
+    std::size_t begin = i;
+    while (i < src.size()) {
+      const char c = peek();
+      if (ident_char(c) || c == '.' || c == '\'') {
+        bump();
+      } else if ((c == '+' || c == '-') && i > begin) {
+        const char prev = src[i - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          bump();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    out.tokens.push_back(
+        {Kind::Number, std::string(src.substr(begin, i - begin)), start_line});
+    last_token_line = start_line;
+  }
+
+  void run() {
+    bool at_line_start = true;
+    while (i < src.size()) {
+      const char c = peek();
+      if (c == '\n') {
+        bump();
+        at_line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        bump();
+        continue;
+      }
+      if (c == '#' && at_line_start) {
+        skip_preprocessor();
+        continue;
+      }
+      at_line_start = false;
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        skip_string();
+        continue;
+      }
+      if (c == '\'') {
+        skip_char_literal();
+        continue;
+      }
+      if (c == 'R' && peek(1) == '"') {
+        bump();  // 'R'
+        skip_raw_string();
+        continue;
+      }
+      if (ident_start(c)) {
+        const int start_line = line;
+        std::size_t begin = i;
+        while (i < src.size() && ident_char(peek())) bump();
+        out.tokens.push_back({Kind::Ident,
+                              std::string(src.substr(begin, i - begin)),
+                              start_line});
+        last_token_line = start_line;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lex_number();
+        continue;
+      }
+      out.tokens.push_back({Kind::Punct, std::string(1, c), line});
+      last_token_line = line;
+      bump();
+    }
+    if (open_trusted >= 0) {
+      out.supp.trusted.emplace_back(open_trusted, line);  // to end of file
+    }
+  }
+};
+
+}  // namespace
+
+bool Suppressions::trusted_line(int line) const {
+  return std::any_of(trusted.begin(), trusted.end(), [line](auto r) {
+    return line >= r.first && line <= r.second;
+  });
+}
+
+bool Suppressions::suppressed(const std::string& rule, int line) const {
+  auto it = by_line.find(line);
+  return it != by_line.end() && it->second.count(rule) > 0;
+}
+
+TokenizedFile tokenize(std::string_view source) {
+  Lexer lexer(source);
+  lexer.run();
+  return std::move(lexer.out);
+}
+
+std::size_t matching_close(const std::vector<Token>& toks,
+                           std::size_t open_idx, std::string_view open,
+                           std::string_view close) {
+  int depth = 0;
+  for (std::size_t k = open_idx; k < toks.size(); ++k) {
+    if (toks[k].kind != Kind::Punct) continue;
+    if (toks[k].text == open) {
+      ++depth;
+    } else if (toks[k].text == close) {
+      if (--depth == 0) return k;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace dpnet::lint

@@ -1,0 +1,102 @@
+// Token stream for dpnet-lint.
+//
+// The lexer understands exactly as much C++ as the rules need: it strips
+// line/block comments, string literals (including raw strings), character
+// literals, and preprocessor lines, and hands back an identifier/number/
+// punctuation token stream annotated with 1-based line numbers.  Because
+// every rule reasons over this stream, a banned name inside a comment or
+// string literal can never trip a rule — the false-positive class the
+// original line-oriented scanner had to special-case away.
+//
+// Two side channels ride along:
+//
+//   * String literals are recorded separately (contents + the token slot
+//     they would have occupied) for the rules that inspect them (R6's
+//     telemetry-field allowlist).
+//   * `// dpnet-lint:` directives are harvested from comments while
+//     lexing into a Suppressions table (trusted regions and per-line
+//     suppress(...) entries — see docs/static_analysis.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace dpnet::lint {
+
+enum class Kind { Ident, Number, Punct };
+
+struct Token {
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// String literals are not tokens (the rules reason about code structure),
+/// but some rules need them: each literal is recorded alongside the index
+/// of the next token slot, so a rule can inspect the tokens just before it.
+struct StringLit {
+  std::string text;        // contents, escapes left as written
+  int line;
+  std::size_t token_slot;  // == tokens.size() at the time it was lexed
+};
+
+/// Per-line suppression state harvested from comments while lexing.
+struct Suppressions {
+  // line -> rules suppressed on that line.
+  std::unordered_map<int, std::unordered_set<std::string>> by_line;
+  std::vector<std::pair<int, int>> trusted;  // [begin, end] line ranges
+
+  [[nodiscard]] bool trusted_line(int line) const;
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const;
+};
+
+/// One lexed translation unit.
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<StringLit> strings;
+  Suppressions supp;
+};
+
+/// Lexes `source` into tokens, string literals, and suppression state.
+[[nodiscard]] TokenizedFile tokenize(std::string_view source);
+
+// --------------------------------------------------------------------------
+// Token-stream helpers shared by the rule implementations.
+// --------------------------------------------------------------------------
+
+[[nodiscard]] inline const Token* tok_at(const std::vector<Token>& toks,
+                                         std::size_t idx) {
+  return idx < toks.size() ? &toks[idx] : nullptr;
+}
+
+[[nodiscard]] inline bool next_is(const std::vector<Token>& toks,
+                                  std::size_t i, std::string_view text) {
+  const Token* t = tok_at(toks, i + 1);
+  return t != nullptr && t->text == text;
+}
+
+[[nodiscard]] inline bool prev_is(const std::vector<Token>& toks,
+                                  std::size_t i, std::string_view text) {
+  return i > 0 && toks[i - 1].text == text;
+}
+
+/// True when token `i` is an identifier immediately followed by '(' — the
+/// shape every call-site rule keys on.
+[[nodiscard]] inline bool is_call(const std::vector<Token>& toks,
+                                  std::size_t i) {
+  return toks[i].kind == Kind::Ident && next_is(toks, i, "(");
+}
+
+/// Index of the punctuation token that closes the `open`/`close` pair
+/// opened at `open_idx` (which must point at an `open` token); npos when
+/// the stream ends first.
+[[nodiscard]] std::size_t matching_close(const std::vector<Token>& toks,
+                                         std::size_t open_idx,
+                                         std::string_view open,
+                                         std::string_view close);
+
+}  // namespace dpnet::lint
