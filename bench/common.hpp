@@ -24,6 +24,7 @@
 #include "core/audit.hpp"
 #include "core/json.hpp"
 #include "core/metrics.hpp"
+#include "core/obs/resource.hpp"
 #include "core/queryable.hpp"
 #include "core/trace.hpp"
 #include "tracegen/hotspot.hpp"
@@ -175,6 +176,14 @@ class BenchReport {
     has_parallelism_ = true;
   }
 
+  /// Records the bench's headline throughput (rows through its main
+  /// pipeline per second of wall-clock time).  Optional; peak RSS is
+  /// always reported.
+  void set_throughput(double records_per_sec) {
+    records_per_sec_ = records_per_sec;
+    has_throughput_ = true;
+  }
+
   /// Serializes the report (schema "dpnet.bench.v1").
   [[nodiscard]] std::string to_json() const {
     core::JsonWriter w;
@@ -215,6 +224,12 @@ class BenchReport {
     if (has_parallelism_) {
       w.key("threads").value(static_cast<double>(threads_));
       w.key("speedup_vs_1thread").value(speedup_);
+    }
+    // Resource telemetry: RSS is sampled at serialization time (process
+    // exit), i.e. the bench's true high-water mark.
+    w.key("peak_rss_kb").value(core::obs::peak_rss_kb());
+    if (has_throughput_) {
+      w.key("records_per_sec").value(records_per_sec_);
     }
     w.end_object();
     return w.str();
@@ -290,6 +305,8 @@ class BenchReport {
   std::size_t threads_ = 1;
   double speedup_ = 1.0;
   bool has_parallelism_ = false;
+  double records_per_sec_ = 0.0;
+  bool has_throughput_ = false;
   bool atexit_registered_ = false;
 };
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,6 +27,8 @@
 
 #include "core/budget.hpp"
 #include "core/json.hpp"
+#include "core/metrics.hpp"
+#include "core/obs/journal.hpp"
 
 namespace dpnet::core {
 
@@ -54,17 +57,28 @@ class AuditingBudget final : public PrivacyBudget {
   /// are reconciled against the ledger) and is pinned by
   /// tests/core/test_audit.cpp.
   void charge(double eps) override {
-    inner_->charge(eps);  // throws on refusal; refusals are not logged
+    try {
+      inner_->charge(eps);  // throws on refusal; refusals are not logged
+    } catch (const BudgetExhaustedError&) {
+      record_refusal(eps);
+      throw;
+    }
     record(eps);
   }
 
   [[nodiscard]] bool try_charge(double eps) override {
-    if (!inner_->try_charge(eps)) return false;
+    if (!inner_->try_charge(eps)) {
+      record_refusal(eps);
+      return false;
+    }
     record(eps);
     return true;
   }
 
   [[nodiscard]] double spent() const override { return inner_->spent(); }
+  [[nodiscard]] double remaining() const override {
+    return inner_->remaining();
+  }
 
   /// Sets the label applied to subsequent charges (prefer the RAII
   /// ScopedAuditLabel below).
@@ -145,8 +159,33 @@ class AuditingBudget final : public PrivacyBudget {
 
  private:
   void record(double eps) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    entries_.push_back(Entry{eps, label_, ScopedChargeNode::current()});
+    const std::uint64_t node = ScopedChargeNode::current();
+    std::string label;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      label = label_;
+      entries_.push_back(Entry{eps, label, node});
+    }
+    // Ops surface, outside the ledger lock: the per-analyst gauges and
+    // the event journal see every successful charge.  remaining() is
+    // +infinity for uncapped accountants — the gauge is only fed while
+    // it is finite (an "inf" sample would not survive JSON export).
+    obs::emit_charge(label, node, eps);
+    builtin_metrics::budget_spent(label).add(eps);
+    const double left = inner_->remaining();
+    if (std::isfinite(left)) {
+      builtin_metrics::budget_remaining(label).set(left);
+    }
+  }
+
+  // A refusal consumed nothing, so the ledger stays untouched (the
+  // charge-before-release invariant); the journal and the per-analyst
+  // refusal counter still witness the attempt.
+  void record_refusal(double eps) {
+    const std::uint64_t node = ScopedChargeNode::current();
+    const std::string label = this->label();
+    obs::emit_refusal(label, node, eps);
+    builtin_metrics::budget_refusals(label).increment();
   }
 
   mutable std::mutex mutex_;

@@ -91,6 +91,11 @@ double PartitionGroup::max_child() const {
   return max_child_;
 }
 
+double PartitionGroup::parent_remaining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return parent_->remaining();
+}
+
 PartitionBudget::PartitionBudget(std::shared_ptr<PartitionGroup> group)
     : group_(std::move(group)) {
   if (!group_) throw InvalidQueryError("partition budget requires a group");
@@ -119,6 +124,16 @@ bool PartitionBudget::try_charge(double eps) {
 double PartitionBudget::spent() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spent_;
+}
+
+double PartitionBudget::remaining() const {
+  // Max-cost rule: a part only charges the parent for the amount by
+  // which it raises the max sibling total, so its headroom is the gap
+  // up to that max plus the parent's own headroom.  Lock order
+  // child -> group(/parent) matches every other path here.
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double gap = group_->max_child() - spent_;
+  return (gap > 0.0 ? gap : 0.0) + group_->parent_remaining();
 }
 
 CappedBudget::CappedBudget(double cap, std::shared_ptr<PrivacyBudget> parent)
@@ -153,6 +168,13 @@ bool CappedBudget::try_charge(double eps) {
 double CappedBudget::spent() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spent_;
+}
+
+double CappedBudget::remaining() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const double own = cap_ - spent_;
+  const double parent = parent_->remaining();
+  return own < parent ? own : parent;
 }
 
 BudgetLedger::BudgetLedger(double dataset_total)

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,13 @@ class PrivacyBudget {
 
   /// Cumulative privacy cost charged so far to this accountant.
   [[nodiscard]] virtual double spent() const = 0;
+
+  /// Headroom left before a charge would be refused.  Accountants with
+  /// no fixed cap of their own report +infinity; feed the per-analyst
+  /// budget.remaining.<label> gauge only when finite.
+  [[nodiscard]] virtual double remaining() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 namespace detail {
@@ -87,7 +95,7 @@ class RootBudget final : public PrivacyBudget {
   [[nodiscard]] double spent() const override;
 
   [[nodiscard]] double total() const { return total_; }
-  [[nodiscard]] double remaining() const { return total_ - spent(); }
+  [[nodiscard]] double remaining() const override { return total_ - spent(); }
 
  private:
   // Tolerance so that exactly-exhausting sequences of floating-point
@@ -110,6 +118,8 @@ class PartitionGroup {
   void raise_to(double child_total);
   [[nodiscard]] bool try_raise_to(double child_total);
   [[nodiscard]] double max_child() const;
+  /// Headroom the parent still has beyond the current max child total.
+  [[nodiscard]] double parent_remaining() const;
 
  private:
   mutable std::mutex mutex_;
@@ -126,6 +136,9 @@ class PartitionBudget final : public PrivacyBudget {
   void charge(double eps) override;
   [[nodiscard]] bool try_charge(double eps) override;
   [[nodiscard]] double spent() const override;
+  /// Max-cost rule headroom: this part can still spend up to the gap to
+  /// the current max sibling plus whatever the parent has left.
+  [[nodiscard]] double remaining() const override;
 
  private:
   mutable std::mutex mutex_;
@@ -144,6 +157,9 @@ class CappedBudget final : public PrivacyBudget {
   void charge(double eps) override;
   [[nodiscard]] bool try_charge(double eps) override;
   [[nodiscard]] double spent() const override;
+  /// min(own cap headroom, parent headroom): what this analyst can
+  /// still spend, however the rest of the ledger has drawn down.
+  [[nodiscard]] double remaining() const override;
   [[nodiscard]] double cap() const { return cap_; }
 
  private:

@@ -8,6 +8,7 @@
 #include "core/exec/thread_pool.hpp"
 #include "core/failpoint.hpp"
 #include "core/guard.hpp"
+#include "core/obs/journal.hpp"
 #include "core/trace.hpp"
 
 namespace dpnet::core::exec {
@@ -28,12 +29,17 @@ void Executor::run(std::vector<std::function<void()>> tasks) {
     std::optional<GuardScope> guard_scope;
     if (policy_.guard) guard_scope.emplace(*policy_.guard);
     std::exception_ptr first_error;
-    for (auto& task : tasks) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      // Journal the task lifecycle before the checkpoint so begin/end
+      // always pair, even for tasks that abort on arrival.
+      obs::emit_task_begin(i);
       try {
         if (guard != nullptr) guard->checkpoint("exec.task");
         failpoint::hit("exec.worker_task");
-        task();
+        tasks[i]();
+        obs::emit_task_end(i, "ok");
       } catch (...) {
+        obs::emit_task_end(i, "error");
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -61,11 +67,14 @@ void Executor::run(std::vector<std::function<void()>> tasks) {
       // graceful-shutdown path for deadline/cancellation aborts.
       std::optional<GuardScope> guard_scope;
       if (guard != nullptr) guard_scope.emplace(*guard);
+      obs::emit_task_begin(i);
       try {
         if (guard != nullptr) guard->checkpoint("exec.task");
         failpoint::hit("exec.worker_task");
         tasks[i]();
+        obs::emit_task_end(i, "ok");
       } catch (...) {
+        obs::emit_task_end(i, "error");
         errors[i] = std::current_exception();
       }
       done.count_down();

@@ -5,7 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/budget.hpp"
 #include "core/metrics.hpp"
+#include "core/obs/journal.hpp"
 
 namespace dpnet::core::failpoint {
 
@@ -74,6 +76,10 @@ void dispatch(std::string_view name, std::string_view detail_arg) {
     action = it->second;  // copy: run outside the lock, may throw
   }
   builtin_metrics::faults_injected().increment();
+  // The charging plan node (if any) is the causal key: faults injected
+  // into a release path sort next to that node's charge events in the
+  // canonical journal flush.
+  obs::emit_fault(name, ScopedChargeNode::current());
   action(detail_arg);
 }
 

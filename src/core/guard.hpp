@@ -37,6 +37,7 @@
 
 #include "core/errors.hpp"
 #include "core/metrics.hpp"
+#include "core/obs/journal.hpp"
 
 namespace dpnet::core {
 
@@ -123,6 +124,7 @@ class QueryGuard {
       if (r == AbortReason::kDeadline) {
         builtin_metrics::deadline_exceeded().increment();
       }
+      obs::emit_abort(abort_reason_name(r));
     }
   }
 

@@ -251,9 +251,37 @@ Counter& faults_injected() {
   return c;
 }
 
+Counter& bytes_processed() {
+  static Counter& c = MetricsRegistry::global().counter("bytes.processed");
+  return c;
+}
+
 Gauge& eps_charged(std::string_view mechanism) {
   return MetricsRegistry::global().gauge("eps.charged." +
                                          std::string(mechanism));
+}
+
+namespace {
+std::string analyst_series(const char* prefix, std::string_view label) {
+  std::string name(prefix);
+  name += label.empty() ? std::string_view("unlabeled") : label;
+  return name;
+}
+}  // namespace
+
+Gauge& budget_spent(std::string_view label) {
+  return MetricsRegistry::global().gauge(
+      analyst_series("budget.spent.", label));
+}
+
+Gauge& budget_remaining(std::string_view label) {
+  return MetricsRegistry::global().gauge(
+      analyst_series("budget.remaining.", label));
+}
+
+Counter& budget_refusals(std::string_view label) {
+  return MetricsRegistry::global().counter(
+      analyst_series("budget.refusals.", label));
 }
 
 Histogram& query_wall_ms() {

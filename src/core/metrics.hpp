@@ -19,6 +19,13 @@
 //   records.quarantined         malformed trace records skipped by the
 //                               degraded ingestion path (counter)
 //   faults.injected             armed failpoints fired (counter)
+//   bytes.processed             trace bytes consumed by ingestion (counter)
+//   budget.spent.<label>        per-analyst epsilon charged (gauge,
+//                               monotone: only add() is applied)
+//   budget.remaining.<label>    per-analyst headroom after the latest
+//                               charge (gauge; set only while the
+//                               accountant reports a finite remaining())
+//   budget.refusals.<label>     per-analyst refused charges (counter)
 //
 // Telemetry stance: metrics carry *names and numbers only* — never record
 // contents (see docs/observability.md); dpnet-lint rule R6 enforces the
@@ -202,7 +209,13 @@ Counter& queries_aborted();
 Counter& deadline_exceeded();
 Counter& records_quarantined();
 Counter& faults_injected();
+Counter& bytes_processed();
 Gauge& eps_charged(std::string_view mechanism);
+/// Per-analyst budget gauges fed by AuditingBudget (core/audit.hpp).  An
+/// empty audit label maps to "unlabeled" so the series names stay valid.
+Gauge& budget_spent(std::string_view label);
+Gauge& budget_remaining(std::string_view label);
+Counter& budget_refusals(std::string_view label);
 Histogram& query_wall_ms();
 /// Per-operator-kind wall-time histogram ("op.wall_ms.<kind>", same
 /// bounds as query.wall_ms).  Registered on first use per kind.

@@ -1,0 +1,19 @@
+#include "core/obs/resource.hpp"
+
+#include <sys/resource.h>
+
+namespace dpnet::core::obs {
+
+std::uint64_t peak_rss_kb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss > 0 ? static_cast<std::uint64_t>(usage.ru_maxrss)
+                             : 0;
+}
+
+double records_per_sec(std::int64_t rows, double wall_ms) {
+  if (rows < 0 || !(wall_ms > 0.0)) return 0.0;
+  return static_cast<double>(rows) / (wall_ms / 1000.0);
+}
+
+}  // namespace dpnet::core::obs

@@ -1,0 +1,22 @@
+// Resource telemetry for the ops surface: process peak RSS and operator
+// throughput, the fields ROADMAP item 3 requires the bench schema to
+// carry (peak_rss_kb, records_per_sec).  Accounting metadata only —
+// sizes and rates, never record contents (dpnet-lint rule R6 covers the
+// serialized field names).
+#pragma once
+
+#include <cstdint>
+
+namespace dpnet::core::obs {
+
+/// Peak resident set size of this process in KiB, via
+/// getrusage(RUSAGE_SELF) (ru_maxrss is KiB on Linux).  0 when the
+/// platform cannot report it.
+[[nodiscard]] std::uint64_t peak_rss_kb();
+
+/// Rows-per-second throughput of one operator: `rows` processed in
+/// `wall_ms` of wall-clock time.  0 when not measurable (no rows
+/// recorded, or the interval is too short to divide by).
+[[nodiscard]] double records_per_sec(std::int64_t rows, double wall_ms);
+
+}  // namespace dpnet::core::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/json.hpp"
+#include "core/obs/resource.hpp"
 
 namespace dpnet::core {
 
@@ -31,6 +32,13 @@ void write_span(JsonWriter& w, const TraceSpan& span) {
   w.key("eps_charged").value(span.eps_charged);
   if (!span.mechanism.empty()) w.key("mechanism").value(span.mechanism);
   w.key("wall_ms").value(span.wall_ms);
+  // Derived throughput (resource telemetry): rows out over span wall
+  // time, omitted when the span recorded no rows or ran too fast to
+  // divide by.
+  if (const double rps = obs::records_per_sec(span.output_rows, span.wall_ms);
+      rps > 0.0) {
+    w.key("records_per_sec").value(rps);
+  }
   w.key("ts_us").value(span.ts_us);
   w.key("dur_us").value(span.dur_us);
   w.key("worker").value(static_cast<std::int64_t>(span.worker));

@@ -12,6 +12,7 @@
 
 #include "core/failpoint.hpp"
 #include "core/metrics.hpp"
+#include "core/obs/journal.hpp"
 
 namespace dpnet::net {
 
@@ -278,6 +279,8 @@ bool TraceReader::next(Packet& p) {
         p = take_frame(in_, index);
       }
       ++consumed_;
+      core::builtin_metrics::bytes_processed().increment(kPacketFixedBytes +
+                                                         p.payload.size());
       return true;
     } catch (const TransientIoError&) {
       throw;
@@ -288,6 +291,7 @@ bool TraceReader::next(Packet& p) {
       ++consumed_;
       ++quarantined_;
       core::builtin_metrics::records_quarantined().increment();
+      core::obs::emit_quarantine("net.trace_io");
       if (quarantined_ > options_.max_quarantined) {
         throw TraceFormatError("quarantine limit exceeded; container too "
                                "corrupt to degrade gracefully",

@@ -42,6 +42,21 @@ echo "== trace =="
 "$CLI" trace "$WORK/t.dpnt" count --eps 0.5 --json | grep -q '"spans"'
 "$CLI" trace "$WORK/t.dpnt" service-mix --eps 0.5 | grep -q "partition"
 
+echo "== audit journal round-trip =="
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 --journal "$WORK/j.jsonl" \
+  | grep -q "wrote event journal"
+"$CLI" audit verify "$WORK/j.jsonl" | grep -q "journal ok"
+# Reconcile against the ledger and trace of the same query (the composite
+# `trace --json` document carries both); eps sums must match exactly.
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 --json >"$WORK/tj.json"
+"$CLI" audit verify "$WORK/j.jsonl" --audit "$WORK/tj.json" \
+  --trace "$WORK/tj.json" >"$WORK/verify.out"
+grep -q "journal ok" "$WORK/verify.out"
+grep -q "reconciled: journal eps == ledger eps == trace eps (exact)" \
+  "$WORK/verify.out"
+"$CLI" audit tail "$WORK/j.jsonl" --last 5 | grep -q "charge"
+"$CLI" audit tail "$WORK/j.jsonl" --json | grep -q '"kind":"charge"'
+
 echo "== metrics =="
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 | grep -q "queries.executed"
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q '"counters"'
@@ -50,6 +65,7 @@ echo "== help =="
 "$CLI" --help | grep -q "commands:"
 "$CLI" help | grep -q "commands:"
 "$CLI" help trace | grep -q "usage: dpnet_cli trace"
+"$CLI" help audit | grep -q "usage: dpnet_cli audit"
 "$CLI" trace --help | grep -q "query-plan trace"
 "$CLI" analyze -h | grep -q "usage: dpnet_cli analyze"
 

@@ -141,4 +141,48 @@ rc=0
 "$CLI" trace "$WORK/t.dpnt" count --chrom typo.json 2>"$WORK/err" || rc=$?
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown trace flag" >&2; exit 1; }
 
+echo "== audit journal error paths =="
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.5 --journal "$WORK/j.jsonl" \
+  >/dev/null
+
+# Unknown flags are rejected with exit 2, not silently ignored.
+rc=0
+"$CLI" audit verify "$WORK/j.jsonl" --frobnicate 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown audit flag" >&2; exit 1; }
+grep -q "unknown flag" "$WORK/err"
+rc=0
+"$CLI" audit tail "$WORK/j.jsonl" --laste 3 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown tail flag" >&2; exit 1; }
+grep -q "unknown flag" "$WORK/err"
+
+# Missing journal files are a sanitized one-liner.
+expect_error "cannot open" audit verify "$WORK/no-such-journal.jsonl"
+expect_error "cannot open" audit tail "$WORK/no-such-journal.jsonl"
+
+# A bit-flipped journal breaks the hash chain.
+python3 -c "
+import sys
+data = bytearray(open('$WORK/j.jsonl', 'rb').read())
+data[len(data) // 2] ^= 0x40
+open('$WORK/j.flip.jsonl', 'wb').write(bytes(data))
+" 2>/dev/null || {
+  cp "$WORK/j.jsonl" "$WORK/j.flip.jsonl"
+  jsize=$(wc -c <"$WORK/j.jsonl")
+  printf '\377' | dd of="$WORK/j.flip.jsonl" bs=1 seek="$((jsize / 2))" \
+    conv=notrunc 2>/dev/null
+}
+expect_error "j.flip.jsonl" audit verify "$WORK/j.flip.jsonl"
+
+# A truncated journal is caught too (cut mid-record).
+jsize=$(wc -c <"$WORK/j.jsonl")
+head -c "$((jsize - 7))" "$WORK/j.jsonl" >"$WORK/j.cut.jsonl"
+expect_error "j.cut.jsonl" audit verify "$WORK/j.cut.jsonl"
+
+# Reconciliation against a different session's ledger fails exactly.
+"$CLI" trace "$WORK/t.dpnt" count --eps 0.25 --json >"$WORK/other.json"
+expect_error "ledger eps" audit verify "$WORK/j.jsonl" \
+  --audit "$WORK/other.json"
+expect_error "trace eps" audit verify "$WORK/j.jsonl" \
+  --trace "$WORK/other.json"
+
 echo "CLI-ERRORS-OK"

@@ -1,0 +1,21 @@
+// R6 corpus: a journal serializer that sneaks an unapproved field into
+// the telemetry stream.  src/core/obs/ is telemetry-classified, so the
+// literal passed to key() must be on the approved list — "payload_hex"
+// is not (it smells like record contents), and the lint must flag it.
+#include <string>
+
+#include "core/json.hpp"
+
+namespace dpnet::core::obs {
+
+std::string bad_record(double eps) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seq").value(std::int64_t{1});
+  w.key("eps").value(eps);
+  w.key("payload_hex").value("deadbeef");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dpnet::core::obs

@@ -1,0 +1,23 @@
+// R6 corpus: a journal serializer that sticks to the approved field set
+// (the dpnet.events.v1 record shape) — no findings expected.
+#include <string>
+
+#include "core/json.hpp"
+
+namespace dpnet::core::obs {
+
+std::string good_record(double eps) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seq").value(std::int64_t{1});
+  w.key("kind").value("charge");
+  w.key("label").value("analyst-a");
+  w.key("node_id").value(std::int64_t{7});
+  w.key("eps").value(eps);
+  w.key("detail").value("laplace");
+  w.key("chain").value("0123456789abcdef");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dpnet::core::obs

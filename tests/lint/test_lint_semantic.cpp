@@ -1,7 +1,7 @@
-// Fixture tests for the semantic rules R9–R12, driven by the on-disk
-// corpus under tests/lint/corpus/ (which mirrors repo paths; the corpus
-// is excluded from repo scans precisely because it deliberately violates
-// the rules).
+// Fixture tests for the path-sensitive rules (R6 on telemetry files and
+// the semantic rules R9–R12), driven by the on-disk corpus under
+// tests/lint/corpus/ (which mirrors repo paths; the corpus is excluded
+// from repo scans precisely because it deliberately violates the rules).
 #include <algorithm>
 #include <fstream>
 #include <sstream>
@@ -30,6 +30,26 @@ std::vector<Finding> analyze_corpus(const std::string& rel) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return analyze_source(rel, buf.str());
+}
+
+// ------------------------------------------------------------------- R6
+
+// The event journal's serializer lives in telemetry-classified
+// src/core/obs/: any field not on the approved list (a would-be record
+// contents leak) must be flagged, and the dpnet.events.v1 record shape
+// itself must pass clean.
+TEST(LintSemantic, R6FlagsUnapprovedJournalField) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/obs/r6_bad_journal_field.cpp"),
+                 "R6"),
+      1);
+}
+
+TEST(LintSemantic, R6AllowsApprovedJournalFields) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/obs/r6_good_journal_fields.cpp"),
+                 "R6"),
+      0);
 }
 
 // ------------------------------------------------------------------- R9

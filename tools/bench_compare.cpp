@@ -195,6 +195,38 @@ void compare_reports(const JsonValue& baseline, const JsonValue& current,
       fail("executor thread count changed from baseline");
     }
   }
+
+  // Resource telemetry is machine-dependent, so it gets the same
+  // thresholded treatment as wall time (skipped when the baseline
+  // predates the fields): peak RSS may not grow past the threshold,
+  // throughput may not fall past it.
+  const JsonValue* base_rss = baseline.find("peak_rss_kb");
+  const JsonValue* cur_rss = current.find("peak_rss_kb");
+  if (base_rss != nullptr && base_rss->is_number() && base_rss->number > 0.0) {
+    if (cur_rss == nullptr || !cur_rss->is_number()) {
+      fail("'peak_rss_kb' disappeared from the report");
+    } else if (cur_rss->number > base_rss->number * (1.0 + time_threshold)) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "regression: peak_rss_kb rose %.6g -> %.6g (limit +%.0f%%)",
+                    base_rss->number, cur_rss->number, time_threshold * 100.0);
+      fail(line);
+    }
+  }
+  const JsonValue* base_rps = baseline.find("records_per_sec");
+  const JsonValue* cur_rps = current.find("records_per_sec");
+  if (base_rps != nullptr && base_rps->is_number() && base_rps->number > 0.0) {
+    if (cur_rps == nullptr || !cur_rps->is_number()) {
+      fail("'records_per_sec' disappeared from the report");
+    } else if (cur_rps->number < base_rps->number * (1.0 - time_threshold)) {
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "regression: records_per_sec fell %.6g -> %.6g "
+                    "(limit -%.0f%%)",
+                    base_rps->number, cur_rps->number, time_threshold * 100.0);
+      fail(line);
+    }
+  }
 }
 
 std::string basename_of(const std::string& path) {

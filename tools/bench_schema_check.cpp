@@ -73,6 +73,15 @@ double check_span(const JsonValue& span) {
       return 0.0;
     }
   }
+  // Derived throughput (optional: only spans that recorded output rows
+  // and measurable wall time carry it) must be strictly positive —
+  // records_per_sec omits the field rather than emitting 0.
+  if (const JsonValue* rps = span.find("records_per_sec"); rps != nullptr) {
+    if (!rps->is_number() || !(rps->number > 0.0)) {
+      fail("trace span 'records_per_sec' is not a positive number");
+      return 0.0;
+    }
+  }
   double total = span.at("eps_charged").number;
   for (const JsonValue& child : span.at("children").array) {
     total += check_span(child);
@@ -99,7 +108,8 @@ void check_results(const JsonValue& results) {
     // must cost under 2% (docs/observability.md).
     const std::string& key = row.at("key").string;
     if (key == "tracing disabled overhead pct" ||
-        key == "op histogram overhead pct") {
+        key == "op histogram overhead pct" ||
+        key == "journal armed overhead pct") {
       if (value == nullptr || !value->is_number()) {
         fail("overhead result is not numeric");
       } else if (!(value->number < 2.0)) {
@@ -183,6 +193,20 @@ void check_report(const JsonValue& doc) {
   if (speedup != nullptr &&
       (!speedup->is_number() || !(speedup->number > 0.0))) {
     fail("'speedup_vs_1thread' must be a number > 0");
+  }
+
+  // Resource telemetry: peak_rss_kb is always written by current benches
+  // (tolerated as absent for pre-telemetry artifacts); records_per_sec is
+  // optional.  Both must be non-negative numbers when present.
+  if (const JsonValue* rss = doc.find("peak_rss_kb"); rss != nullptr) {
+    if (!rss->is_number() || rss->number < 0.0) {
+      fail("'peak_rss_kb' must be a non-negative number");
+    }
+  }
+  if (const JsonValue* rps = doc.find("records_per_sec"); rps != nullptr) {
+    if (!rps->is_number() || !(rps->number > 0.0)) {
+      fail("'records_per_sec' must be a number > 0");
+    }
   }
 
   const JsonValue* trace = doc.find("trace");

@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -210,19 +212,26 @@ void print_cdf(const toolkit::CdfEstimate& cdf, const char* unit) {
 /// `threads` applies to the partitioned queries (service-mix): the parts
 /// fan out through the executor, so a `trace --chrome --threads 4` run
 /// renders real per-worker lanes.  threads == 1 is the sequential path.
+/// `quiet` suppresses the human-readable answers so machine-readable
+/// modes (`trace --json`) keep stdout a pure document.
 bool run_analysis_query(core::Queryable<Packet>& packets,
                         const std::string& query, double eps,
-                        std::size_t threads = 1) {
+                        std::size_t threads = 1, bool quiet = false) {
   if (query == "count") {
-    std::printf("noisy packet count: %.1f\n", packets.noisy_count(eps));
+    const double count = packets.noisy_count(eps);
+    if (!quiet) std::printf("noisy packet count: %.1f\n", count);
   } else if (query == "length-cdf") {
-    print_cdf(analysis::dp_packet_length_cdf(packets, eps, 50), "bytes");
+    const auto cdf = analysis::dp_packet_length_cdf(packets, eps, 50);
+    if (!quiet) print_cdf(cdf, "bytes");
   } else if (query == "port-cdf") {
-    print_cdf(analysis::dp_port_cdf(packets, eps, 2048), "port");
+    const auto cdf = analysis::dp_port_cdf(packets, eps, 2048);
+    if (!quiet) print_cdf(cdf, "port");
   } else if (query == "rtt-cdf") {
-    print_cdf(analysis::dp_rtt_cdf(packets, eps, 20), "ms");
+    const auto cdf = analysis::dp_rtt_cdf(packets, eps, 20);
+    if (!quiet) print_cdf(cdf, "ms");
   } else if (query == "loss-cdf") {
-    print_cdf(analysis::dp_loss_cdf(packets, eps, 50), "permille");
+    const auto cdf = analysis::dp_loss_cdf(packets, eps, 50);
+    if (!quiet) print_cdf(cdf, "permille");
   } else if (query == "service-mix") {
     const auto clf = net::PacketClassifier::service_mix();
     std::vector<int> keys(clf.labels().size());
@@ -237,8 +246,10 @@ bool run_analysis_query(core::Queryable<Packet>& packets,
         policy, keys, parts, [eps](int, const core::Queryable<Packet>& part) {
           return part.noisy_count(eps);
         });
-    for (std::size_t c = 0; c < clf.labels().size(); ++c) {
-      std::printf("%-14s %14.1f\n", clf.labels()[c].c_str(), counts[c]);
+    if (!quiet) {
+      for (std::size_t c = 0; c < clf.labels().size(); ++c) {
+        std::printf("%-14s %14.1f\n", clf.labels()[c].c_str(), counts[c]);
+      }
     }
   } else {
     return false;
@@ -269,7 +280,7 @@ int cmd_analyze(const std::vector<std::string>& args) {
 int cmd_trace(const std::vector<std::string>& args) {
   if (args.size() < 2) usage_for("trace");
   check_flags("trace", args, {"--eps", "--budget", "--seed", "--threads",
-                              "--chrome"},
+                              "--chrome", "--journal"},
               {"--json"});
   const double eps = double_flag(args, "--eps", "1.0");
   const double budget_total = double_flag(args, "--budget", "10");
@@ -277,6 +288,10 @@ int cmd_trace(const std::vector<std::string>& args) {
   const auto threads =
       static_cast<std::size_t>(u64_flag(args, "--threads", "1"));
   const std::string chrome_out = flag_value(args, "--chrome", "");
+  const std::string journal_out = flag_value(args, "--journal", "");
+  // Start the journal from a clean slate so the flushed artifact covers
+  // this query only, not whatever an earlier in-process run emitted.
+  if (!journal_out.empty()) core::obs::EventJournal::global().clear();
   const auto trace = load(args[0]);
   const std::string query = args[1];
 
@@ -291,7 +306,9 @@ int cmd_trace(const std::vector<std::string>& args) {
   {
     core::TraceSession session(query_trace);
     core::ScopedAuditLabel label(*audit, query);
-    if (!run_analysis_query(packets, query, eps, threads)) usage_for("trace");
+    if (!run_analysis_query(packets, query, eps, threads, want_json)) {
+      usage_for("trace");
+    }
   }
 
   if (!chrome_out.empty()) {
@@ -304,9 +321,20 @@ int cmd_trace(const std::vector<std::string>& args) {
     std::fwrite(chrome.data(), 1, chrome.size(), f);
     std::fputc('\n', f);
     std::fclose(f);
-    std::printf("wrote Chrome trace to %s (open in Perfetto or "
-                "chrome://tracing)\n",
-                chrome_out.c_str());
+    if (!want_json) {
+      std::printf("wrote Chrome trace to %s (open in Perfetto or "
+                  "chrome://tracing)\n",
+                  chrome_out.c_str());
+    }
+  }
+
+  if (!journal_out.empty()) {
+    core::obs::EventJournal::global().flush_to_file(journal_out);
+    if (!want_json) {
+      std::printf("wrote event journal to %s (verify with "
+                  "`dpnet_cli audit verify`)\n",
+                  journal_out.c_str());
+    }
   }
 
   if (want_json) {
@@ -380,6 +408,180 @@ int cmd_metrics(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Sum of eps over a ledger document's entries.  Accepts both a bare
+/// AuditingBudget::to_json() document and the composite `trace --json`
+/// output (where the ledger sits under "audit").
+double ledger_eps_sum(const core::JsonValue& doc) {
+  const core::JsonValue* ledger = doc.find("audit");
+  if (ledger == nullptr) ledger = &doc;
+  const core::JsonValue* entries = ledger->find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw core::InvalidQueryError(
+        "ledger document has no 'entries' array (expected "
+        "AuditingBudget::to_json() or `trace --json` output)");
+  }
+  double sum = 0.0;
+  for (const core::JsonValue& e : entries->array) {
+    const core::JsonValue* eps = e.find("eps");
+    if (eps == nullptr || !eps->is_number()) {
+      throw core::InvalidQueryError("ledger entry missing numeric 'eps'");
+    }
+    sum += eps->number;
+  }
+  return sum;
+}
+
+double span_eps_sum(const core::JsonValue& span) {
+  double total = 0.0;
+  const core::JsonValue* charged = span.find("eps_charged");
+  if (charged != nullptr && charged->is_number()) total = charged->number;
+  const core::JsonValue* children = span.find("children");
+  if (children != nullptr && children->is_array()) {
+    for (const core::JsonValue& child : children->array) {
+      total += span_eps_sum(child);
+    }
+  }
+  return total;
+}
+
+/// Sum of eps_charged over a trace document's spans.  Accepts both a
+/// bare QueryTrace::to_json() document and `trace --json` output.
+double trace_eps_sum(const core::JsonValue& doc) {
+  const core::JsonValue* trace = doc.find("trace");
+  if (trace == nullptr) trace = &doc;
+  const core::JsonValue* spans = trace->find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    throw core::InvalidQueryError(
+        "trace document has no 'spans' array (expected "
+        "QueryTrace::to_json() or `trace --json` output)");
+  }
+  double total = 0.0;
+  for (const core::JsonValue& span : spans->array) {
+    total += span_eps_sum(span);
+  }
+  return total;
+}
+
+core::JsonValue parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw core::InvalidQueryError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return core::parse_json(buf.str());
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage_for("audit");
+  const std::string mode = args[0];
+  const std::string path = args[1];
+
+  if (mode == "verify") {
+    check_flags("audit", args, {"--audit", "--trace"}, {});
+    const core::obs::JournalVerification v =
+        core::obs::verify_journal_file(path);
+    if (!v.ok) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(), v.error.c_str());
+      return 1;
+    }
+    // Offline reconciliation: the journal's charge events, the audit
+    // ledger, and the query trace are three independent accounts of the
+    // same session; for partition-free sessions all three epsilon sums
+    // are exactly equal (docs/observability.md).
+    bool reconciled_ledger = false;
+    bool reconciled_trace = false;
+    if (const std::string ledger = flag_value(args, "--audit", "");
+        !ledger.empty()) {
+      const double ledger_eps = ledger_eps_sum(parse_json_file(ledger));
+      if (ledger_eps != v.charged_eps) {
+        std::fprintf(stderr,
+                     "error: journal charged eps %.17g != ledger eps %.17g "
+                     "(%s)\n",
+                     v.charged_eps, ledger_eps, ledger.c_str());
+        return 1;
+      }
+      reconciled_ledger = true;
+    }
+    if (const std::string trace = flag_value(args, "--trace", "");
+        !trace.empty()) {
+      const double trace_eps = trace_eps_sum(parse_json_file(trace));
+      if (trace_eps != v.charged_eps) {
+        std::fprintf(stderr,
+                     "error: journal charged eps %.17g != trace eps %.17g "
+                     "(%s)\n",
+                     v.charged_eps, trace_eps, trace.c_str());
+        return 1;
+      }
+      reconciled_trace = true;
+    }
+    std::printf("journal ok: %zu event(s), %llu dropped by the ring\n",
+                v.events, static_cast<unsigned long long>(v.dropped));
+    std::printf("  charges     %8llu  (eps %.6g)\n",
+                static_cast<unsigned long long>(v.charges), v.charged_eps);
+    std::printf("  refusals    %8llu  (eps %.6g, never consumed)\n",
+                static_cast<unsigned long long>(v.refusals), v.refused_eps);
+    std::printf("  aborts      %8llu\n",
+                static_cast<unsigned long long>(v.aborts));
+    std::printf("  tasks       %8llu\n",
+                static_cast<unsigned long long>(v.tasks));
+    std::printf("  faults      %8llu\n",
+                static_cast<unsigned long long>(v.faults));
+    std::printf("  quarantined %8llu\n",
+                static_cast<unsigned long long>(v.quarantined));
+    if (reconciled_ledger || reconciled_trace) {
+      std::printf("reconciled: journal eps%s%s (exact)\n",
+                  reconciled_ledger ? " == ledger eps" : "",
+                  reconciled_trace ? " == trace eps" : "");
+    }
+    return 0;
+  }
+
+  if (mode == "tail") {
+    check_flags("audit", args, {"--last"}, {"--json"});
+    const auto last = static_cast<std::size_t>(
+        u64_flag(args, "--last", "10"));
+    const bool want_json = has_flag(args, "--json");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) {
+      if (!line.empty()) lines.push_back(std::move(line));
+    }
+    if (lines.empty()) {
+      std::fprintf(stderr, "error: %s is empty\n", path.c_str());
+      return 1;
+    }
+    // Skip the header line; show the most recent `last` records.
+    const std::size_t records = lines.size() - 1;
+    const std::size_t first = 1 + (records > last ? records - last : 0);
+    for (std::size_t i = first; i < lines.size(); ++i) {
+      if (want_json) {
+        std::printf("%s\n", lines[i].c_str());
+        continue;
+      }
+      const core::JsonValue rec = core::parse_json(lines[i]);
+      const auto num = [&rec](const char* field) {
+        const core::JsonValue* f = rec.find(field);
+        return (f != nullptr && f->is_number()) ? f->number : 0.0;
+      };
+      const auto text = [&rec](const char* field) {
+        const core::JsonValue* f = rec.find(field);
+        return (f != nullptr && f->is_string()) ? f->string : std::string();
+      };
+      std::printf("%8.0f %-10s %-20s node=%016llx eps=%-10.4g %s\n",
+                  num("seq"), text("kind").c_str(),
+                  (text("label").empty() ? "-" : text("label")).c_str(),
+                  static_cast<unsigned long long>(num("node_id")),
+                  num("eps"), text("detail").c_str());
+    }
+    return 0;
+  }
+
+  usage_for("audit");
+}
+
 using Handler = int (*)(const std::vector<std::string>&);
 
 struct Subcommand {
@@ -415,17 +617,32 @@ constexpr Subcommand kSubcommands[] = {
      &cmd_analyze},
     {"trace",
      "<in> <query> [--eps E] [--budget B] [--seed N] [--threads T]\n"
-     "                   [--json] [--chrome OUT.json]",
+     "                   [--json] [--chrome OUT.json] [--journal OUT.jsonl]",
      "run an analysis and show its query-plan trace",
      "  query: as for `analyze`\n"
      "  --json        print the trace and audit ledger as one JSON document\n"
      "  --chrome OUT  also write a Chrome trace_event timeline (open in\n"
      "                Perfetto or chrome://tracing; workers get own lanes)\n"
+     "  --journal OUT also flush the privacy event journal (hash-chained\n"
+     "                dpnet.events.v1 JSONL; check with `audit verify`)\n"
      "  --threads T   executor threads for partitioned queries (default 1)\n"
      "  --eps E       epsilon per query (default 1.0)\n"
      "  --budget B    total privacy budget (default 10)\n"
      "  --seed N      noise seed (default 1)\n",
      &cmd_trace},
+    {"audit",
+     "verify <journal.jsonl> [--audit LEDGER.json] [--trace TRACE.json]\n"
+     "                   | tail <journal.jsonl> [--last N] [--json]",
+     "verify or tail a flushed privacy event journal",
+     "  verify: replay the hash chain and schema of a dpnet.events.v1\n"
+     "          journal (e.g. from `trace --journal`); with --audit /\n"
+     "          --trace, also reconcile the journal's charged epsilon sum\n"
+     "          against the audit ledger / query trace (exact match;\n"
+     "          accepts `trace --json` documents too)\n"
+     "  tail:   print the most recent journal events\n"
+     "  --last N      events to show (default 10)\n"
+     "  --json        print raw journal lines instead of columns\n",
+     &cmd_audit},
     {"metrics", "<in> [--eps E] [--seed N] [--json | --prometheus]",
      "run a sample workload and dump the metrics registry",
      "  --json        print the snapshot as JSON\n"

@@ -287,7 +287,13 @@ class Analysis {
         "threads", "speedup_vs_1thread",
         // robustness counters (docs/robustness.md) — accounting metadata
         "queries.aborted", "deadline.exceeded", "records.quarantined",
-        "faults.injected"};
+        "faults.injected",
+        // privacy event journal (src/core/obs/journal.cpp): event kinds,
+        // causal keys, and the hash chain — accounting metadata only
+        // (label/node_id/eps shared with the ledger above)
+        "events", "dropped", "chain", "seq", "kind",
+        // resource telemetry (bench/common.hpp, src/core/trace.cpp)
+        "peak_rss_kb", "records_per_sec"};
     for (const StringLit& lit : file_.strings) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
