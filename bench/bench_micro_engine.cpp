@@ -11,11 +11,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <random>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/audit.hpp"
+#include "core/exec/group_aggregate.hpp"
+#include "core/grouping/table.hpp"
 #include "core/obs/journal.hpp"
 #include "core/obs/resource.hpp"
 #include "core/queryable.hpp"
@@ -227,8 +234,8 @@ void measure_tracing_overhead() {
   core::set_tracing_armed(true);
 
   bench::section("tracing overhead (no TraceSession installed)");
-  bench::kv("workload disarmed min (ms)", disarmed_min);
-  bench::kv("workload armed-no-sink min (ms)", armed_min);
+  bench::kv("workload disarmed min (wall ms)", disarmed_min);
+  bench::kv("workload armed-no-sink min (wall ms)", armed_min);
   bench::kv("tracing disabled overhead pct", overhead_pct);
   bench::paper_vs_measured("tracing-disabled overhead", "< 2%",
                            std::to_string(overhead_pct) + "%");
@@ -277,8 +284,8 @@ void measure_op_histogram_overhead() {
   core::set_op_histograms_enabled(true);
 
   bench::section("op histogram overhead (kill switch off vs on)");
-  bench::kv("workload histograms-off min (ms)", disabled_min);
-  bench::kv("workload histograms-on min (ms)", enabled_min);
+  bench::kv("workload histograms-off min (wall ms)", disabled_min);
+  bench::kv("workload histograms-on min (wall ms)", enabled_min);
   bench::kv("op histogram overhead pct", overhead_pct);
   bench::paper_vs_measured("op-histogram overhead", "< 2%",
                            std::to_string(overhead_pct) + "%");
@@ -363,15 +370,127 @@ void measure_journal_overhead() {
   core::obs::EventJournal::global().clear();
 
   bench::section("event journal overhead (kill switch off vs on)");
-  bench::kv("workload journal-off min (ms)", disarmed_min);
-  bench::kv("workload journal-on min (ms)", armed_min);
+  bench::kv("workload journal-off min (wall ms)", disarmed_min);
+  bench::kv("workload journal-on min (wall ms)", armed_min);
   bench::kv("journal armed overhead pct", overhead_pct);
   bench::paper_vs_measured("journal armed overhead", "< 2%",
                            std::to_string(overhead_pct) + "%");
-  // Headline throughput for the JSON report: the armed (production)
-  // configuration's best pass over the shared packet trace.
-  bench::BenchReport::instance().set_throughput(core::obs::records_per_sec(
-      static_cast<std::int64_t>(kPasses * shared_trace().size()), armed_min));
+}
+
+/// Flow-table build keys: mostly-singleton flows with a hot minority,
+/// the shape a packet trace hands the grouping layer (many one-packet
+/// flows, a few heavy hitters).  Deterministic, so the A/B below and the
+/// checked-in baseline see the same key stream.
+std::vector<std::uint64_t> grouping_keys() {
+  constexpr std::size_t kRows = 4'000'000;
+  std::mt19937_64 rng(2026);
+  std::uniform_int_distribution<std::uint64_t> hot(0, (1u << 10) - 1);
+  std::vector<std::uint64_t> keys(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    // 1 in 4 rows hits a hot flow; the rest are fresh singleton flows.
+    keys[i] = (i % 4 == 0) ? hot(rng) : (0x8000000000000000ULL | i);
+  }
+  std::shuffle(keys.begin(), keys.end(), rng);
+  return keys;
+}
+
+/// Measures the grouping engine's key->dense-slot aggregation against the
+/// std::unordered_map idiom it replaced (kept here as the noise-free
+/// reference), then the two-phase parallel group_by against its own
+/// sequential path.  Times are min-of-reps; the speedup row is the
+/// refactor's headline claim (>= 5x) and is gated by bench_compare.
+void measure_grouping_engine() {
+  const std::vector<std::uint64_t> keys = grouping_keys();
+  constexpr int kReps = 5;
+
+  const auto min_ms = [](int reps, auto&& pass) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      pass();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(
+          best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+
+  // Pre-refactor idiom: key -> dense slot through a node-based hash map
+  // (the exact emplace shape group_by used before the grouping engine).
+  const double map_ms = min_ms(kReps, [&keys] {
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    std::vector<std::uint64_t> counts;
+    for (const std::uint64_t k : keys) {
+      const auto [it, inserted] = index.emplace(k, counts.size());
+      if (inserted) counts.push_back(0);
+      ++counts[it->second];
+    }
+    benchmark::DoNotOptimize(counts.data());
+  });
+
+  // The grouping engine: tag-byte bucket probing, flat insertion log,
+  // driven by the same hash-then-probe block scan the operators use
+  // (grouping::kScanBlock; see GroupBuilder::add_block).
+  const double table_ms = min_ms(kReps, [&keys] {
+    core::grouping::GroupTable<std::uint64_t> index;
+    std::vector<std::uint64_t> counts;
+    std::vector<std::uint64_t> hs;
+    hs.reserve(core::grouping::kScanBlock);
+    for (std::size_t lo = 0; lo < keys.size();
+         lo += core::grouping::kScanBlock) {
+      const std::size_t hi =
+          std::min(keys.size(), lo + core::grouping::kScanBlock);
+      hs.clear();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto h = core::grouping::mixed_hash<std::uint64_t>(keys[i]);
+        hs.push_back(h);
+        index.prefetch_hashed(h);
+      }
+      for (std::size_t j = 0; j < hs.size(); ++j) {
+        const auto [slot, inserted] =
+            index.acquire_hashed(keys[lo + j], hs[j]);
+        if (inserted) counts.push_back(0);
+        ++counts[slot];
+      }
+    }
+    benchmark::DoNotOptimize(counts.data());
+  });
+
+  const double speedup = map_ms / table_ms;
+  const double rps = core::obs::records_per_sec(
+      static_cast<std::int64_t>(keys.size()), table_ms);
+
+  bench::section("grouping engine (tag-byte table vs unordered_map)");
+  bench::kv("flow-table rows", static_cast<double>(keys.size()));
+  bench::kv("flow-table build unordered_map wall_ms", map_ms);
+  bench::kv("flow-table build group-table wall_ms", table_ms);
+  bench::kv("grouping speedup vs unordered_map", speedup);
+  bench::kv("grouping throughput (records per sec)", rps);
+  bench::paper_vs_measured("grouping-table speedup", ">= 5x",
+                           std::to_string(speedup) + "x");
+  // Headline throughput for the JSON report: the grouping engine's
+  // key-aggregation rate (rows through the table per second).
+  bench::BenchReport::instance().set_throughput(rps);
+
+  // Two-phase parallel group_by over the packet trace: determinism is
+  // pinned by tests; here we record the wall times and speedup so the
+  // baseline tracks scheduling-cost regressions too.
+  const auto& trace = shared_trace();
+  const auto flow_key = [](const Packet& p) { return net::flow_of(p); };
+  const auto group_ms = [&](std::size_t threads) {
+    return min_ms(3, [&] {
+      benchmark::DoNotOptimize(
+          core::exec::parallel_group_by(core::exec::ExecPolicy{threads},
+                                        trace, flow_key)
+              .size());
+    });
+  };
+  const double seq_ms = group_ms(1);
+  const double par_ms = group_ms(4);
+  bench::kv("parallel group_by wall_ms at 1 thread", seq_ms);
+  bench::kv("parallel group_by wall_ms at 4 threads", par_ms);
+  bench::kv("parallel group_by speedup at 4 threads", seq_ms / par_ms);
+  bench::BenchReport::instance().set_parallelism(4, seq_ms / par_ms);
 }
 
 /// Runs one traced pipeline against an auditing budget and attaches both
@@ -399,6 +518,21 @@ void run_traced_sample() {
   bench::kv("audit ledger spent", audit->spent());
   bench::BenchReport::instance().attach_trace(query_trace);
   bench::BenchReport::instance().attach_audit(*audit);
+
+  // When DPNET_JOURNAL_DIR is set (the bench audit gate in
+  // tests/bench/test_micro_grouping.sh), drop the sample run's journal,
+  // ledger, and trace so `dpnet_cli audit verify` can reconcile
+  // journal == ledger == trace epsilon sums offline.  The overhead A/B
+  // cleared the ring, so the journal covers exactly this pipeline.
+  if (const char* dir = std::getenv("DPNET_JOURNAL_DIR");
+      dir != nullptr && *dir != '\0') {
+    const std::string base = std::string(dir) + "/";
+    core::obs::EventJournal::global().flush_to_file(base + "journal.jsonl");
+    std::ofstream ledger(base + "ledger.json", std::ios::binary);
+    ledger << audit->to_json(/*canonical=*/true);
+    std::ofstream trace_out(base + "trace.json", std::ios::binary);
+    trace_out << query_trace.to_json();
+  }
 }
 
 }  // namespace
@@ -414,6 +548,7 @@ int main(int argc, char** argv) {
   measure_tracing_overhead();
   measure_op_histogram_overhead();
   measure_journal_overhead();
+  measure_grouping_engine();
   run_traced_sample();
   return 0;
 }

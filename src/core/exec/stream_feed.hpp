@@ -1,0 +1,79 @@
+// Parallel record feeding for StreamingHistogram.
+//
+// The histogram's cell universe is fixed at construction, so feeding is
+// embarrassingly parallel: workers classify disjoint contiguous record
+// chunks against the (immutable, concurrently-readable) cell index into
+// private per-cell tallies, and the tallies are summed in worker order
+// before a single trusted bulk update.  Tallies are integer-valued, so
+// the double sums are exact and the final counts are byte-identical to
+// calling feed() record-by-record — at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/exec/executor.hpp"
+#include "core/exec/group_aggregate.hpp"
+#include "core/grouping/table.hpp"
+#include "core/guard.hpp"
+#include "core/streaming.hpp"
+
+namespace dpnet::core::exec {
+
+/// Feeds `cell_of(record)` for every record into `hist` under the
+/// executor policy.  Equivalent to the sequential feed loop, including
+/// records_seen() bookkeeping and cells outside the universe being
+/// dropped.
+template <typename K, typename R, typename CellF>
+void parallel_feed_histogram(const ExecPolicy& policy,
+                             StreamingHistogram<K>& hist,
+                             const std::vector<R>& records,
+                             const CellF& cell_of) {
+  const std::size_t n = records.size();
+  std::size_t workers = policy.threads;
+  if (workers > n) workers = n;
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i & (kGroupCheckpointStride - 1)) == 0) {
+        guard_checkpoint("exec.stream_feed");
+      }
+      hist.feed(cell_of(records[i]));
+    }
+    return;
+  }
+
+  const std::size_t ncells = hist.cells().size();
+  std::vector<std::vector<double>> tallies(workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  // Task construction only; the row loops run under Executor::run.
+  // dpnet-lint: suppress(R11)
+  for (std::size_t w = 0; w < workers; ++w) {
+    tasks.push_back([&records, &tallies, &hist, &cell_of, n, ncells, workers,
+                     w] {
+      const auto [lo, hi] = group_detail::chunk_bounds(n, workers, w);
+      std::vector<double>& tally = tallies[w];
+      tally.assign(ncells, 0.0);
+      for (std::size_t i = lo; i < hi; ++i) {
+        if ((i & (kGroupCheckpointStride - 1)) == 0) {
+          guard_checkpoint("exec.stream_feed");
+        }
+        const std::uint32_t slot = hist.cell_slot(cell_of(records[i]));
+        if (slot != grouping::kNoSlot) tally[slot] += 1.0;
+      }
+    });
+  }
+  Executor(policy).run(std::move(tasks));
+
+  // Worker-order summation of integer-valued tallies: exact in double,
+  // so the merged counts match the sequential loop bit-for-bit.
+  std::vector<double> total(ncells, 0.0);
+  for (std::size_t w = 0; w < workers; ++w) {
+    guard_checkpoint("exec.stream_feed");
+    for (std::size_t c = 0; c < ncells; ++c) total[c] += tallies[w][c];
+  }
+  hist.feed_tallies(total, n);
+}
+
+}  // namespace dpnet::core::exec

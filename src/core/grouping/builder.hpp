@@ -1,0 +1,115 @@
+// GroupBuilder: the one grouping loop behind Queryable::group_by and
+// Queryable::group_by_spans.
+//
+// Both operators used to carry their own copy of the key->index idiom;
+// the only real difference is the span rule — group_by keeps one open
+// group per key forever, group_by_spans re-opens a key's group whenever
+// the analyst's boundary predicate fires.  The builder expresses both
+// over a GroupTable: the table assigns each key a dense slot, and
+// `open_` tracks which output group that slot currently appends to.
+//
+// Output order matches the historical unordered_map implementations
+// exactly: groups appear in first-open order, items within a group in
+// input order — the order the determinism contract pins.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/group.hpp"
+#include "core/grouping/table.hpp"
+
+namespace dpnet::core::grouping {
+
+/// Rows per block in the hash-then-probe scan loops (GroupBuilder::
+/// add_block, the executor's chunk scan, the bench harness): a block of
+/// keys is hashed and its buckets prefetched before any probe runs, so
+/// the bucket misses overlap instead of serializing.
+inline constexpr std::size_t kScanBlock = 128;
+
+template <typename K, typename V>
+class GroupBuilder {
+ public:
+  GroupBuilder() = default;
+  explicit GroupBuilder(std::size_t expected_keys) : index_(expected_keys) {
+    open_.reserve(expected_keys);
+    out_.reserve(expected_keys);
+  }
+
+  /// Appends `value` to `key`'s open group (group_by semantics).
+  void add(const K& key, const V& value) {
+    add_span(key, value, [] { return false; });
+  }
+
+  /// add() with the mixed hash precomputed (and the key movable): the
+  /// block-scan paths hash once per row, not once per probe.
+  template <typename KeyArg>
+  void add_hashed(KeyArg&& key, std::uint64_t h, const V& value) {
+    const auto [slot, inserted] =
+        index_.acquire_hashed(std::forward<KeyArg>(key), h);
+    if (inserted) {
+      open_.push_back(static_cast<std::uint32_t>(out_.size()));
+      out_.push_back(Group<K, V>{index_.key_at(slot), {}});
+    }
+    out_[open_[slot]].items.push_back(value);
+  }
+
+  /// Grouping scan over rows[lo, hi) with group_by semantics: hashes the
+  /// whole block (prefetching each key's bucket) before probing any of
+  /// it.  Callers drive blocks of kScanBlock rows and put their guard
+  /// checkpoints between blocks.
+  template <typename Rows, typename KeyF>
+  void add_block(const Rows& rows, std::size_t lo, std::size_t hi,
+                 const KeyF& key) {
+    scan_keys_.clear();
+    scan_hashes_.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      scan_keys_.push_back(key(rows[i]));
+      const std::uint64_t h = mixed_hash<K>(scan_keys_.back());
+      scan_hashes_.push_back(h);
+      index_.prefetch_hashed(h);
+    }
+    for (std::size_t j = 0; j < scan_keys_.size(); ++j) {
+      add_hashed(std::move(scan_keys_[j]), scan_hashes_[j], rows[lo + j]);
+    }
+  }
+
+  /// Whole-input convenience over add_block (the sequential group_by).
+  template <typename Rows, typename KeyF>
+  void add_rows(const Rows& rows, const KeyF& key) {
+    const std::size_t n = rows.size();
+    for (std::size_t lo = 0; lo < n; lo += kScanBlock) {
+      add_block(rows, lo, std::min(n, lo + kScanBlock), key);
+    }
+  }
+
+  /// Appends `value` to `key`'s open group, first opening a fresh group
+  /// when the key is new or `starts_new_span()` holds (group_by_spans
+  /// semantics).  The predicate is only invoked for keys already seen,
+  /// preserving the historical short-circuit — analyst predicates are
+  /// never called on a key's first record.
+  template <typename BoundaryF>
+  void add_span(const K& key, const V& value, BoundaryF&& starts_new_span) {
+    const auto [slot, inserted] = index_.acquire(key);
+    if (inserted) {
+      open_.push_back(static_cast<std::uint32_t>(out_.size()));
+      out_.push_back(Group<K, V>{key, {}});
+    } else if (starts_new_span()) {
+      open_[slot] = static_cast<std::uint32_t>(out_.size());
+      out_.push_back(Group<K, V>{key, {}});
+    }
+    out_[open_[slot]].items.push_back(value);
+  }
+
+  [[nodiscard]] std::vector<Group<K, V>> take() { return std::move(out_); }
+
+ private:
+  GroupTable<K> index_;
+  std::vector<std::uint32_t> open_;  // key slot -> open group in out_
+  std::vector<Group<K, V>> out_;
+  std::vector<K> scan_keys_;                // add_block reuse buffers
+  std::vector<std::uint64_t> scan_hashes_;
+};
+
+}  // namespace dpnet::core::grouping

@@ -40,20 +40,23 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/exec/group_aggregate.hpp"
 #include "core/failpoint.hpp"
 #include "core/group.hpp"
+#include "core/grouping/builder.hpp"
+#include "core/grouping/table.hpp"
 #include "core/guard.hpp"
 #include "core/hash.hpp"
 #include "core/mechanisms.hpp"
@@ -242,9 +245,9 @@ class Queryable {
         "distinct", 1.0,
         [parent]() {
           std::vector<T> out;
-          std::unordered_set<T> seen;
+          grouping::GroupTable<T> seen;
           for (const auto& x : parent->rows()) {
-            if (seen.insert(x).second) out.push_back(x);
+            if (seen.acquire(x).second) out.push_back(x);
           }
           return out;
         },
@@ -253,7 +256,8 @@ class Queryable {
 
   /// Groups records by `key(record)`.  Each group becomes one logical
   /// record; stability doubles (one record's arrival can remove a group
-  /// and add a different one).
+  /// and add a different one).  Grouping runs on the cache-conscious
+  /// grouping engine (core/grouping, docs/architecture.md).
   template <typename KeyF>
   [[nodiscard]] auto group_by(KeyF key) const {
     using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
@@ -261,15 +265,25 @@ class Queryable {
     return derived<Group<K, T>>(
         "group_by", 2.0,
         [parent, key]() {
-          std::vector<Group<K, T>> out;
-          std::unordered_map<K, std::size_t> index;
-          for (const auto& x : parent->rows()) {
-            K k = key(x);
-            auto [it, inserted] = index.emplace(k, out.size());
-            if (inserted) out.push_back(Group<K, T>{std::move(k), {}});
-            out[it->second].items.push_back(x);
-          }
-          return out;
+          grouping::GroupBuilder<K, T> builder;
+          builder.add_rows(parent->rows(), key);
+          return builder.take();
+        },
+        detail::scale_charges(charges_, 2.0));
+  }
+
+  /// group_by under an executor policy: identical accounting, plan-node
+  /// id, and output to the sequential overload — the radix-partitioned
+  /// two-phase merge (core/exec/group_aggregate.hpp) reproduces the
+  /// sequential insertion order exactly at any thread count.
+  template <typename KeyF>
+  [[nodiscard]] auto group_by(KeyF key, exec::ExecPolicy policy) const {
+    using K = std::decay_t<std::invoke_result_t<KeyF, const T&>>;
+    auto parent = node_;
+    return derived<Group<K, T>>(
+        "group_by", 2.0,
+        [parent, key, policy]() {
+          return exec::parallel_group_by(policy, parent->rows(), key);
         },
         detail::scale_charges(charges_, 2.0));
   }
@@ -290,26 +304,12 @@ class Queryable {
     return derived<Group<K, T>>(
         "group_by_spans", 3.0,
         [parent, key, starts_new_span]() {
-          std::vector<Group<K, T>> out;
-          // Current open group per key (index into out).
-          std::unordered_map<K, std::size_t> open;
+          // Same GroupBuilder as group_by; only the span rule differs.
+          grouping::GroupBuilder<K, T> builder;
           for (const auto& x : parent->rows()) {
-            K k = key(x);
-            auto it = open.find(k);
-            if (it == open.end() || starts_new_span(x)) {
-              const std::size_t index = out.size();
-              out.push_back(Group<K, T>{k, {}});
-              if (it == open.end()) {
-                open.emplace(std::move(k), index);
-              } else {
-                it->second = index;
-              }
-              out.back().items.push_back(x);
-            } else {
-              out[it->second].items.push_back(x);
-            }
+            builder.add_span(key(x), x, [&] { return starts_new_span(x); });
           }
-          return out;
+          return builder.take();
         },
         detail::scale_charges(charges_, 3.0));
   }
@@ -334,19 +334,21 @@ class Queryable {
           return left->rows().size() + right->rows().size();
         },
         [left, right, outer_key, inner_key, result]() {
-          std::unordered_map<K, std::vector<const U*>> by_key;
+          grouping::GroupTable<K> by_key;
+          std::vector<std::vector<const U*>> matches;
           for (const auto& y : right->rows()) {
-            by_key[inner_key(y)].push_back(&y);
+            const auto [slot, inserted] = by_key.acquire(inner_key(y));
+            if (inserted) matches.emplace_back();
+            matches[slot].push_back(&y);
           }
-          std::unordered_map<K, std::size_t> used;
+          std::vector<std::size_t> used(matches.size(), 0);
           std::vector<R> out;
           for (const auto& x : left->rows()) {
-            K k = outer_key(x);
-            auto it = by_key.find(k);
-            if (it == by_key.end()) continue;
-            std::size_t& u = used[k];
-            if (u >= it->second.size()) continue;  // group exhausted
-            out.push_back(result(x, *it->second[u]));
+            const std::uint32_t slot = by_key.find(outer_key(x));
+            if (slot == grouping::kNoSlot) continue;
+            std::size_t& u = used[slot];
+            if (u >= matches[slot].size()) continue;  // group exhausted
+            out.push_back(result(x, *matches[slot][u]));
             ++u;
           }
           return out;
@@ -385,13 +387,13 @@ class Queryable {
           return left->rows().size() + right->rows().size();
         },
         [left, right]() {
-          std::unordered_set<T> emitted;
+          grouping::GroupTable<T> emitted;
           std::vector<T> out;
           for (const auto& x : left->rows()) {
-            if (emitted.insert(x).second) out.push_back(x);
+            if (emitted.acquire(x).second) out.push_back(x);
           }
           for (const auto& x : right->rows()) {
-            if (emitted.insert(x).second) out.push_back(x);
+            if (emitted.acquire(x).second) out.push_back(x);
           }
           return out;
         },
@@ -408,12 +410,12 @@ class Queryable {
           return left->rows().size() + right->rows().size();
         },
         [left, right]() {
-          std::unordered_set<T> removed(right->rows().begin(),
-                                        right->rows().end());
-          std::unordered_set<T> emitted;
+          grouping::GroupTable<T> removed;
+          for (const auto& y : right->rows()) removed.acquire(y);
+          grouping::GroupTable<T> emitted;
           std::vector<T> out;
           for (const auto& x : left->rows()) {
-            if (!removed.count(x) && emitted.insert(x).second) {
+            if (!removed.contains(x) && emitted.acquire(x).second) {
               out.push_back(x);
             }
           }
@@ -432,12 +434,12 @@ class Queryable {
           return left->rows().size() + right->rows().size();
         },
         [left, right]() {
-          std::unordered_set<T> in_right(right->rows().begin(),
-                                         right->rows().end());
-          std::unordered_set<T> emitted;
+          grouping::GroupTable<T> in_right;
+          for (const auto& y : right->rows()) in_right.acquire(y);
+          grouping::GroupTable<T> emitted;
           std::vector<T> out;
           for (const auto& x : left->rows()) {
-            if (in_right.count(x) && emitted.insert(x).second) {
+            if (in_right.contains(x) && emitted.acquire(x).second) {
               out.push_back(x);
             }
           }
@@ -458,9 +460,12 @@ class Queryable {
   template <typename K, typename KeyF>
   [[nodiscard]] std::unordered_map<K, Queryable<T>> partition(
       const std::vector<K>& keys, KeyF key) const {
-    std::unordered_set<K> key_set(keys.begin(), keys.end());
-    if (key_set.size() != keys.size()) {
-      throw InvalidQueryError("partition keys must be distinct");
+    grouping::GroupTable<K> key_index;
+    key_index.reserve(keys.size());
+    for (const auto& k : keys) {
+      if (!key_index.acquire(k).second) {
+        throw InvalidQueryError("partition keys must be distinct");
+      }
     }
     // Partition is eager, so its span is recorded at call time; each
     // part's later aggregations carry a "partition[key]" annotation so the
@@ -474,12 +479,13 @@ class Queryable {
       groups.push_back(std::make_shared<PartitionGroup>(c.budget));
     }
     guard_checkpoint("partition", node_->id());
-    std::unordered_map<K, std::vector<T>> buckets;
-    for (const auto& k : keys) buckets.emplace(k, std::vector<T>{});
+    // key_index slot i corresponds to keys[i] (acquire order above), so
+    // the buckets are a dense vector in `keys` order.
+    std::vector<std::vector<T>> buckets(keys.size());
     contain_analyst("partition", node_->id(), [&] {
       for (const auto& x : node_->rows()) {
-        auto it = buckets.find(key(x));
-        if (it != buckets.end()) it->second.push_back(x);
+        const std::uint32_t slot = key_index.find(key(x));
+        if (slot != grouping::kNoSlot) buckets[slot].push_back(x);
       }
     });
     scope.set_stability(total_stability());
@@ -496,8 +502,7 @@ class Queryable {
              charges_[g].stability});
       }
       auto part_node = std::make_shared<plan::Node<T>>(
-          node_->next_child_id(), "partition_part",
-          std::move(buckets.at(k)));
+          node_->next_child_id(), "partition_part", std::move(buckets[i]));
       parts.emplace(k, Queryable<T>(std::move(part_node),
                                     std::move(part_charges), noise_, stream_,
                                     "partition[" + detail::key_to_tag(k, i) +

@@ -15,6 +15,7 @@
 
 #include "core/budget.hpp"
 #include "core/errors.hpp"
+#include "core/grouping/table.hpp"
 #include "core/hash.hpp"
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
@@ -30,24 +31,50 @@ class StreamingHistogram {
   StreamingHistogram(std::vector<K> cells,
                      std::shared_ptr<PrivacyBudget> budget,
                      std::shared_ptr<NoiseSource> noise)
-      : budget_(std::move(budget)), noise_(std::move(noise)) {
+      : budget_(std::move(budget)) {
     if (!budget_) throw InvalidQueryError("streaming histogram needs budget");
-    if (!noise_) throw InvalidQueryError("streaming histogram needs noise");
-    stream_ = noise_->stream_base();
-    cells_.reserve(cells.size());
+    if (!noise) throw InvalidQueryError("streaming histogram needs noise");
+    // Only the stream base is needed, at construction time: capturing it
+    // here instead of holding the shared_ptr lets the caller's
+    // NoiseSource die with the caller.
+    stream_ = noise->stream_base();
+    cell_index_.reserve(cells.size());
     for (auto& c : cells) {
-      if (!counts_.emplace(c, 0.0).second) {
+      if (!cell_index_.acquire(std::move(c)).second) {
         throw InvalidQueryError("streaming histogram cells must be distinct");
       }
-      cells_.push_back(std::move(c));
     }
+    counts_.assign(cell_index_.size(), 0.0);
   }
 
-  /// Accumulates one record (O(1); never touches the budget).
+  /// Accumulates one record (O(1); never touches the budget).  The cell
+  /// lookup rides the grouping engine's tag-byte table — a couple of
+  /// cache lines per record instead of unordered_map's pointer chase.
   void feed(const K& cell) {
-    const auto it = counts_.find(cell);
-    if (it != counts_.end()) it->second += 1.0;
+    const std::uint32_t slot = cell_index_.find(cell);
+    if (slot != grouping::kNoSlot) counts_[slot] += 1.0;
     ++records_seen_;
+  }
+
+  /// Dense index of `cell` in cells() order, or grouping::kNoSlot.  The
+  /// cell index is immutable after construction, so concurrent lookups
+  /// are safe — core::exec::parallel_feed_histogram classifies records
+  /// on worker threads with it.
+  [[nodiscard]] std::uint32_t cell_slot(const K& cell) const {
+    return cell_index_.find(cell);
+  }
+
+  /// Trusted bulk accumulation for core::exec parallel feeders: adds
+  /// per-cell tallies (indexed in cells() order) plus the number of
+  /// records they were computed from.  Equivalent to feeding each record
+  /// individually.
+  void feed_tallies(const std::vector<double>& tallies,
+                    std::uint64_t records) {
+    if (tallies.size() != counts_.size()) {
+      throw InvalidQueryError("streaming tally size must match cell count");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += tallies[i];
+    records_seen_ += records;
   }
 
   /// Number of records fed so far (trusted side bookkeeping).
@@ -76,8 +103,12 @@ class StreamingHistogram {
     builtin_metrics::eps_charged("laplace").add(eps);
     std::unordered_map<K, double> out;
     out.reserve(counts_.size());
-    for (const K& c : cells_) {
-      out.emplace(c, counts_.at(c) + local.laplace(1.0 / eps));
+    // Draw order follows cells() order, exactly as the historical
+    // unordered_map implementation iterated cells_ — releases stay
+    // byte-identical across the rewrite.
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      out.emplace(cell_index_.key_at(static_cast<std::uint32_t>(i)),
+                  counts_[i] + local.laplace(1.0 / eps));
     }
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - start)
@@ -88,19 +119,22 @@ class StreamingHistogram {
     scope.set_stability(1.0);
     scope.set_eps(eps, eps);
     scope.set_rows(static_cast<std::int64_t>(records_seen_),
-                   static_cast<std::int64_t>(cells_.size()));
+                   static_cast<std::int64_t>(counts_.size()));
     return out;
   }
 
-  [[nodiscard]] const std::vector<K>& cells() const { return cells_; }
+  /// The cell universe, in construction order (the grouping table's
+  /// insertion log doubles as the dense slot -> cell mapping).
+  [[nodiscard]] const std::vector<K>& cells() const {
+    return cell_index_.keys();
+  }
 
  private:
   static constexpr std::uint64_t kStreamingSalt = 0x73747265616d68ULL;
 
-  std::vector<K> cells_;
-  std::unordered_map<K, double> counts_;
+  grouping::GroupTable<K> cell_index_;
+  std::vector<double> counts_;  // indexed by cell slot
   std::shared_ptr<PrivacyBudget> budget_;
-  std::shared_ptr<NoiseSource> noise_;
   std::uint64_t stream_ = 0;
   std::uint64_t releases_ = 0;
   std::uint64_t records_seen_ = 0;

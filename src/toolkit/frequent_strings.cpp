@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "core/exec/executor.hpp"
+#include "core/grouping/table.hpp"
 
 namespace dpnet::toolkit {
 
@@ -119,14 +120,21 @@ double threshold_for_confidence(double eps_per_level,
 std::vector<FrequentString> exact_frequent_strings(
     const std::vector<std::string>& data, std::size_t length,
     double threshold) {
-  std::unordered_map<std::string, std::size_t> counts;
+  // Key->count on the grouping engine's tag-byte table: the prefix gets
+  // a dense slot on first sight, counts live in a flat vector.
+  core::grouping::GroupTable<std::string> index;
+  std::vector<std::size_t> counts;
   for (const std::string& s : data) {
-    if (s.size() >= length) ++counts[s.substr(0, length)];
+    if (s.size() < length) continue;
+    const auto [slot, inserted] = index.acquire(s.substr(0, length));
+    if (inserted) counts.push_back(0);
+    ++counts[slot];
   }
   std::vector<FrequentString> out;
-  for (const auto& [value, count] : counts) {
-    if (static_cast<double>(count) > threshold) {
-      out.push_back(FrequentString{value, static_cast<double>(count)});
+  for (std::uint32_t slot = 0; slot < counts.size(); ++slot) {
+    if (static_cast<double>(counts[slot]) > threshold) {
+      out.push_back(FrequentString{index.key_at(slot),
+                                   static_cast<double>(counts[slot])});
     }
   }
   std::sort(out.begin(), out.end(),

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
+#include <numeric>
 #include <stdexcept>
 
 #include "core/exec/executor.hpp"
@@ -157,18 +157,29 @@ std::vector<FrequentItemset> exact_frequent_itemsets(
   for (int item : item_universe) candidates.push_back({item});
 
   for (int level = 1; level <= max_size && !candidates.empty(); ++level) {
-    std::map<std::vector<int>, std::size_t> counts;
+    // Candidates are known up front, so counts are a dense vector keyed
+    // by candidate index — no per-support map node allocation (the
+    // candidate list itself is the insertion log).
+    std::vector<std::size_t> counts(candidates.size(), 0);
     for (const auto& record : data) {
-      for (const auto& cand : candidates) {
-        if (contains_all(record, cand)) ++counts[cand];
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (contains_all(record, candidates[c])) ++counts[c];
       }
     }
+    // Emit in sorted-candidate order — the iteration order of the
+    // std::map this replaced (level-1 candidates can arrive unsorted).
+    std::vector<std::size_t> order(candidates.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&candidates](std::size_t a, std::size_t b) {
+                return candidates[a] < candidates[b];
+              });
     std::vector<std::vector<int>> frequent;
-    for (const auto& [items, count] : counts) {
-      if (static_cast<double>(count) > threshold) {
-        results.push_back(
-            FrequentItemset{items, static_cast<double>(count)});
-        frequent.push_back(items);
+    for (std::size_t c : order) {
+      if (counts[c] != 0 && static_cast<double>(counts[c]) > threshold) {
+        results.push_back(FrequentItemset{candidates[c],
+                                          static_cast<double>(counts[c])});
+        frequent.push_back(candidates[c]);
       }
     }
     std::sort(frequent.begin(), frequent.end());

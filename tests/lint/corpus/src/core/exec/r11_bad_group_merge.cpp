@@ -1,0 +1,21 @@
+// Lint fixture (never compiled): known-bad R11 — a grouping merge loop
+// that walks every worker table slot with no guard checkpoint, so
+// deadline and cancellation guards cannot fire until the merge finishes.
+namespace dpnet::core::exec {
+
+void merge_partition(std::vector<WorkerTable>& workers, GroupIndex& index,
+                     std::vector<MergedGroup>& out) {
+  for (auto& worker : workers) {
+    for (std::uint32_t slot = 0; slot < worker.size(); ++slot) {
+      const auto [g, inserted] =
+          index.acquire_hashed(worker.steal_key(slot), worker.hash_at(slot));
+      if (inserted) {
+        out.push_back(make_group(worker, slot, g));
+      } else {
+        append_items(out[g], worker.items(slot));
+      }
+    }
+  }
+}
+
+}  // namespace dpnet::core::exec

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): known-good R11 — the two-phase grouping
+// merge checkpoints per migrated key, so a cancelled query stops between
+// partitions instead of draining every worker table first.
+namespace dpnet::core::exec {
+
+void merge_partition(std::vector<WorkerTable>& workers, GroupIndex& index,
+                     std::vector<MergedGroup>& out) {
+  for (auto& worker : workers) {
+    for (std::uint32_t slot = 0; slot < worker.size(); ++slot) {
+      guard_checkpoint("exec.group_merge");
+      const auto [g, inserted] =
+          index.acquire_hashed(worker.steal_key(slot), worker.hash_at(slot));
+      if (inserted) {
+        out.push_back(make_group(worker, slot, g));
+      } else {
+        append_items(out[g], worker.items(slot));
+      }
+    }
+  }
+}
+
+}  // namespace dpnet::core::exec

@@ -184,6 +184,21 @@ TEST(LintSemantic, R11ScopedToExecAndMaterialization) {
       count_rule(analyze_corpus("src/core/r11_good_scope.cpp"), "R11"), 0);
 }
 
+TEST(LintSemantic, R11FlagsUncheckpointedGroupMergeLoop) {
+  // Both the per-worker loop and the per-slot loop it nests lack a
+  // checkpoint, so each earns its own finding.
+  EXPECT_EQ(count_rule(analyze_corpus("src/core/exec/r11_bad_group_merge.cpp"),
+                       "R11"),
+            2);
+}
+
+TEST(LintSemantic, R11AllowsPerKeyCheckpointInGroupMerge) {
+  EXPECT_EQ(
+      count_rule(analyze_corpus("src/core/exec/r11_good_group_merge.cpp"),
+                 "R11"),
+      0);
+}
+
 // ------------------------------------------------------------------- R12
 
 TEST(LintSemantic, R12FlagsByRefNoiseCapture) {
