@@ -32,6 +32,12 @@
 //   net.trace_io.read      when a trace read opens a container; rearms
 //                          per retry attempt, driving the bounded-retry
 //                          path in net::read_trace_file
+//   serve.accept           when the query server opens an analyst
+//                          session (detail: analyst name)
+//   serve.dispatch         before a dispatched request executes, after
+//                          dequeue (detail: analyst name)
+//   serve.session.write    before a response frame is handed to the
+//                          session transport (detail: analyst name)
 #pragma once
 
 #include <atomic>

@@ -256,6 +256,28 @@ Counter& bytes_processed() {
   return c;
 }
 
+Gauge& serve_sessions_active() {
+  static Gauge& g = MetricsRegistry::global().gauge("serve.sessions.active");
+  return g;
+}
+
+Gauge& serve_queue_depth() {
+  static Gauge& g = MetricsRegistry::global().gauge("serve.queue.depth");
+  return g;
+}
+
+Counter& serve_requests_rejected() {
+  static Counter& c =
+      MetricsRegistry::global().counter("serve.requests.rejected");
+  return c;
+}
+
+Counter& serve_requests_shed() {
+  static Counter& c =
+      MetricsRegistry::global().counter("serve.requests.shed");
+  return c;
+}
+
 Gauge& eps_charged(std::string_view mechanism) {
   return MetricsRegistry::global().gauge("eps.charged." +
                                          std::string(mechanism));

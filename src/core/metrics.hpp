@@ -26,6 +26,15 @@
 //                               charge (gauge; set only while the
 //                               accountant reports a finite remaining())
 //   budget.refusals.<label>     per-analyst refused charges (counter)
+//   serve.sessions.active       analyst sessions open on the query server
+//                               (gauge; src/serve/)
+//   serve.queue.depth           requests admitted but not yet dispatched
+//                               (gauge; src/serve/)
+//   serve.requests.rejected     requests refused before admission:
+//                               malformed frames, session limit, or
+//                               per-analyst backpressure (counter)
+//   serve.requests.shed         requests dropped because the server-wide
+//                               admission queue was full (counter)
 //
 // Telemetry stance: metrics carry *names and numbers only* — never record
 // contents (see docs/observability.md); dpnet-lint rule R6 enforces the
@@ -210,6 +219,13 @@ Counter& deadline_exceeded();
 Counter& records_quarantined();
 Counter& faults_injected();
 Counter& bytes_processed();
+/// Query-server ops surface (src/serve/, docs/observability.md): session
+/// count, admission-queue depth, and the two degradation counters of the
+/// backpressure ladder (docs/robustness.md).
+Gauge& serve_sessions_active();
+Gauge& serve_queue_depth();
+Counter& serve_requests_rejected();
+Counter& serve_requests_shed();
 Gauge& eps_charged(std::string_view mechanism);
 /// Per-analyst budget gauges fed by AuditingBudget (core/audit.hpp).  An
 /// empty audit label maps to "unlabeled" so the series names stay valid.

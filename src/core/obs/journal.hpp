@@ -35,6 +35,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -236,6 +237,11 @@ struct JournalVerification {
   double charged_eps = 0.0;  // sum over charge events — must equal the
                              // ledger's spend for the same session
   double refused_eps = 0.0;  // sum over refusal events (never consumed)
+  // Charged epsilon grouped by audit label.  Charge events carry the
+  // analyst label as their causal key, so this is the per-analyst spend a
+  // restarted server replays to reconstruct its budgets — the crash-safe
+  // recovery path in serve::QueryServer (a crash can never refund ε).
+  std::map<std::string, double> charged_eps_by_label;
   std::uint64_t charges = 0;
   std::uint64_t refusals = 0;
   std::uint64_t aborts = 0;

@@ -136,6 +136,7 @@ JournalVerification verify_journal_text(std::string_view text) {
     if (k == "charge") {
       ++v.charges;
       v.charged_eps += eps->number;
+      v.charged_eps_by_label[label->string] += eps->number;
     } else if (k == "refusal") {
       ++v.refusals;
       v.refused_eps += eps->number;

@@ -68,3 +68,7 @@
 
 // Metrics.
 #include "stats/metrics.hpp"
+
+// Mediated query server (dpnet_cli serve).
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"

@@ -1,0 +1,148 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "core/errors.hpp"
+#include "core/json.hpp"
+
+namespace dpnet::serve::protocol {
+
+namespace {
+
+using core::InvalidQueryError;
+using core::JsonValue;
+
+[[nodiscard]] bool valid_analyst_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+/// Fetches a required member of `doc`, insisting on its type.
+const JsonValue& required(const JsonValue& doc, std::string_view key,
+                          bool (JsonValue::*is_type)() const,
+                          const char* type_name) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw InvalidQueryError("request frame missing '" + std::string(key) +
+                            "'");
+  }
+  if (!(v->*is_type)()) {
+    throw InvalidQueryError("request field '" + std::string(key) +
+                            "' is not a " + type_name);
+  }
+  return *v;
+}
+
+/// Optional non-negative integer member (0 when absent).
+std::uint64_t optional_u64(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) return 0;
+  if (!v->is_number() || v->number < 0.0 ||
+      v->number != std::floor(v->number)) {
+    throw InvalidQueryError("request field '" + std::string(key) +
+                            "' is not a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(v->number);
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  if (line.size() > kMaxFrameBytes) {
+    throw InvalidQueryError("request frame exceeds " +
+                            std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const JsonValue doc = core::parse_json(line);
+  if (!doc.is_object()) {
+    throw InvalidQueryError("request frame is not a JSON object");
+  }
+
+  Request req;
+  req.analyst =
+      required(doc, "analyst", &JsonValue::is_string, "string").string;
+  if (req.analyst.empty() || req.analyst.size() > kMaxAnalystBytes) {
+    throw InvalidQueryError("analyst name must be 1.." +
+                            std::to_string(kMaxAnalystBytes) + " bytes");
+  }
+  for (const char c : req.analyst) {
+    if (!valid_analyst_char(c)) {
+      throw InvalidQueryError(
+          "analyst name must match [A-Za-z0-9_.-] (it names metric "
+          "series and journal keys)");
+    }
+  }
+  req.query = required(doc, "query", &JsonValue::is_string, "string").string;
+  req.eps = required(doc, "eps", &JsonValue::is_number, "number").number;
+  req.id = optional_u64(doc, "id");
+  req.deadline_ms = optional_u64(doc, "deadline_ms");
+  req.port = optional_u64(doc, "port");
+  if (req.port > 65535) {
+    throw InvalidQueryError("request field 'port' is not a 16-bit port");
+  }
+  return req;
+}
+
+std::uint64_t recover_frame_id(std::string_view line) noexcept {
+  if (line.size() > kMaxFrameBytes) return 0;
+  try {
+    const JsonValue doc = core::parse_json(line);
+    if (!doc.is_object()) return 0;
+    return optional_u64(doc, "id");
+  } catch (...) {
+    return 0;
+  }
+}
+
+WireError classify_current_exception() {
+  try {
+    throw;
+  } catch (const core::BudgetExhaustedError&) {
+    return {"budget-exhausted", true};
+  } catch (const core::InvalidEpsilonError&) {
+    return {"invalid-epsilon", false};
+  } catch (const core::QueryAbortedError& e) {
+    return {std::string("aborted:") + core::abort_reason_name(e.reason()),
+            false};
+  } catch (const core::AnalystCodeError&) {
+    return {"analyst-code", false};
+  } catch (const core::JsonParseError&) {
+    return {"malformed-frame", false};
+  } catch (const core::InvalidQueryError&) {
+    return {"invalid-query", false};
+  } catch (...) {
+    // Injected faults, bad_alloc, anything unnamed: the taxonomy name is
+    // all that crosses the wire (R8 — no what() in src/).
+    return {"internal", false};
+  }
+}
+
+std::string ok_response(const Request& req, double value, double charged,
+                        double spent, double remaining) {
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("status").value("ok");
+  w.key("analyst").value(req.analyst);
+  w.key("query").value(req.query);
+  w.key("value").value(value);
+  w.key("eps").value(charged);
+  w.key("spent").value(spent);
+  if (std::isfinite(remaining)) w.key("remaining").value(remaining);
+  w.end_object();
+  return w.str();
+}
+
+std::string error_response(std::uint64_t id, std::string_view analyst,
+                           const WireError& err) {
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("status").value("error");
+  w.key("analyst").value(analyst);
+  w.key("error").value(err.code);
+  w.key("retryable").value(err.retryable);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dpnet::serve::protocol

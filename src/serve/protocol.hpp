@@ -1,0 +1,97 @@
+// Wire protocol for the mediated query server (dpnet_cli serve).
+//
+// Frames are line-delimited JSON — one request object per line in, one
+// response object per line out — small enough to speak with a shell
+// one-liner and strict enough to fuzz (tests/chaos/).  A request names
+// the analyst principal, the query, and the epsilon it is willing to
+// spend:
+//
+//   {"id":7,"analyst":"alice","query":"count-port","eps":0.125,
+//    "port":443,"deadline_ms":250}
+//
+// and the server answers either
+//
+//   {"id":7,"status":"ok","analyst":"alice","query":"count-port",
+//    "value":9042.3,"eps":0.125,"spent":0.375,"remaining":0.625}
+//
+// or
+//
+//   {"id":7,"status":"error","analyst":"alice",
+//    "error":"budget-exhausted","retryable":true}
+//
+// Privacy stance: responses carry the noisy release value and accounting
+// metadata only.  Error responses carry a *taxonomy name* — the DpError
+// subclass mapped by classify_current_exception() — never exception
+// message text (dpnet-lint rule R8 keeps what() out of src/ entirely),
+// so a malformed or hostile frame can never reflect record contents
+// back over the wire.  The serialized field set is pinned by lint rule
+// R6 (docs/static_analysis.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpnet::serve::protocol {
+
+/// Hard ceiling on a request frame's byte length.  Anything longer is
+/// refused before parsing — the first rung of the admission ladder
+/// (docs/robustness.md, "The server degradation ladder").
+inline constexpr std::size_t kMaxFrameBytes = 4096;
+
+/// Longest accepted analyst name.  Names feed metric series
+/// (budget.spent.<label>) and journal causal keys, so the charset is
+/// confined to [A-Za-z0-9_.-].
+inline constexpr std::size_t kMaxAnalystBytes = 64;
+
+/// A parsed request frame.
+struct Request {
+  std::uint64_t id = 0;           // echoed back; 0 if absent
+  std::string analyst;            // session principal (required)
+  std::string query;              // query name (required)
+  double eps = 0.0;               // epsilon to spend (required, > 0
+                                  // enforced by the engine)
+  std::uint64_t deadline_ms = 0;  // per-request deadline (0 = server
+                                  // default)
+  std::uint64_t port = 0;         // operand for count-port
+};
+
+/// Sanitized wire error: a taxonomy name plus a retry hint.  `retryable`
+/// marks transient refusals (backpressure, shed, a refused charge the
+/// analyst can shrink) as opposed to request defects.
+struct WireError {
+  std::string code;
+  bool retryable = false;
+};
+
+/// Parses one request line.  Throws InvalidQueryError for oversized or
+/// structurally invalid frames (missing/mistyped fields, bad analyst
+/// charset); JsonParseError propagates for byte-level garbage.  Both
+/// map to "malformed-frame"/"invalid-query" on the wire — the thrown
+/// messages never leave the process.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Best-effort `id` extraction from a frame parse_request rejected, so
+/// the error response stays correlatable when the frame was valid JSON
+/// with a usable id (e.g. a bad analyst charset).  Returns 0 for
+/// byte-level garbage or oversized frames.
+[[nodiscard]] std::uint64_t recover_frame_id(std::string_view line) noexcept;
+
+/// Maps the in-flight exception to its wire form.  Must be called from
+/// inside a catch block.  Unknown exception types (injected faults,
+/// bad_alloc) map to "internal".
+[[nodiscard]] WireError classify_current_exception();
+
+/// Serializes a success response.  `charged` is the epsilon actually
+/// consumed (spent delta), `spent`/`remaining` the analyst's budget
+/// position after the release.
+[[nodiscard]] std::string ok_response(const Request& req, double value,
+                                      double charged, double spent,
+                                      double remaining);
+
+/// Serializes an error response.
+[[nodiscard]] std::string error_response(std::uint64_t id,
+                                         std::string_view analyst,
+                                         const WireError& err);
+
+}  // namespace dpnet::serve::protocol

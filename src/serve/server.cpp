@@ -1,0 +1,368 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "core/budget.hpp"
+#include "core/errors.hpp"
+#include "core/failpoint.hpp"
+#include "core/guard.hpp"
+#include "core/hash.hpp"
+#include "core/json.hpp"
+#include "core/metrics.hpp"
+#include "core/noise.hpp"
+#include "core/obs/journal.hpp"
+
+namespace dpnet::serve {
+
+QueryServer::QueryServer(std::vector<net::Packet> records,
+                         ServerConfig config)
+    : cfg_(std::move(config)),
+      records_(std::move(records)),
+      root_(std::make_shared<core::RootBudget>(cfg_.dataset_budget)),
+      pool_(std::max<std::size_t>(1, cfg_.threads)) {
+  // The server claims the process-wide journal: the ring is cleared so
+  // every flush of journal_path reflects exactly this server's
+  // accounting (recovery charges included), nothing inherited from
+  // whatever ran earlier in the process.
+  core::obs::set_journal_armed(true);
+  core::obs::EventJournal::global().clear();
+  if (!cfg_.journal_path.empty()) recover_from_journal(cfg_.journal_path);
+}
+
+QueryServer::~QueryServer() {
+  drain();
+  core::builtin_metrics::serve_sessions_active().set(0.0);
+  core::builtin_metrics::serve_queue_depth().set(0.0);
+  // pool_ is declared last, so it is destroyed first: outstanding
+  // drainer tasks finish against still-live members before anything
+  // else unwinds.
+}
+
+void QueryServer::recover_from_journal(const std::string& path) {
+  {
+    const std::ifstream probe(path);
+    if (!probe.good()) return;  // first boot: nothing to replay
+  }
+  const core::obs::JournalVerification v =
+      core::obs::verify_journal_file(path);
+  if (!v.ok) {
+    // Budget state of record failed verification: starting with fresh
+    // budgets would refund whatever the tampered/truncated tail hid.
+    throw core::DpError("journal recovery refused: " + v.error);
+  }
+  if (v.dropped != 0) {
+    throw core::DpError("journal recovery refused: the journal ring "
+                        "dropped " + std::to_string(v.dropped) +
+                        " events, so per-analyst spend cannot be "
+                        "reconstructed");
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::TraceSession trace_session(trace_);
+  for (const auto& [analyst, eps] : v.charged_eps_by_label) {
+    if (eps <= 0.0) continue;
+    if (analyst.empty()) {
+      throw core::DpError("journal recovery refused: journal carries "
+                          "charges without an analyst label");
+    }
+    Session& session = session_for(analyst, /*recovering=*/true);
+    core::TraceScope scope("budget_recovery");
+    scope.set_detail(analyst);
+    try {
+      // Re-charging through the session's AuditingBudget re-emits the
+      // journal charge and the ledger entry, so budget == ledger ==
+      // journal == trace holds across restarts by induction.
+      session.audit->charge(eps);
+    } catch (const core::BudgetExhaustedError&) {
+      throw core::DpError("journal recovery refused: recovered spend "
+                          "for '" + analyst +
+                          "' no longer fits the configured cap");
+    }
+    scope.set_eps(0.0, eps);
+    recovered_.push_back(RecoveredBudget{analyst, eps});
+  }
+}
+
+QueryServer::Session& QueryServer::session_for(const std::string& analyst,
+                                               bool recovering) {
+  const auto it = sessions_.find(analyst);
+  if (it != sessions_.end()) return *it->second;
+
+  if (!recovering) core::failpoint::hit("serve.accept", analyst);
+
+  auto session = std::make_unique<Session>();
+  session->analyst = analyst;
+  session->audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::CappedBudget>(cfg_.analyst_cap, root_));
+  session->audit->set_label(analyst);
+  // Noise and plan-node ids derive from (server seed, analyst name), so
+  // sessions are isolated and reproducible regardless of arrival order.
+  const std::uint64_t seed =
+      core::mix64(cfg_.seed, core::obs::fnv1a(analyst));
+  session->view = std::make_unique<core::Queryable<net::Packet>>(
+      records_, session->audit,
+      std::make_shared<core::NoiseSource>(seed));
+
+  Session& ref = *session;
+  sessions_.emplace(analyst, std::move(session));
+  core::builtin_metrics::serve_sessions_active().set(
+      static_cast<double>(sessions_.size()));
+  return ref;
+}
+
+void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
+  protocol::Request req;
+  try {
+    req = protocol::parse_request(line);
+  } catch (...) {
+    core::builtin_metrics::serve_requests_rejected().increment();
+    write_response({}, sink,
+                   protocol::error_response(
+                       protocol::recover_frame_id(line), {},
+                       protocol::classify_current_exception()));
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (sessions_.find(req.analyst) == sessions_.end() &&
+      sessions_.size() >= cfg_.max_sessions) {
+    core::builtin_metrics::serve_requests_rejected().increment();
+    lock.unlock();
+    write_response(req.analyst, sink,
+                   protocol::error_response(req.id, req.analyst,
+                                            {"session-limit", false}));
+    return;
+  }
+  Session* session = nullptr;
+  try {
+    session = &session_for(req.analyst, /*recovering=*/false);
+  } catch (...) {
+    core::builtin_metrics::serve_requests_rejected().increment();
+    const protocol::WireError err = protocol::classify_current_exception();
+    lock.unlock();
+    write_response(req.analyst, sink,
+                   protocol::error_response(req.id, req.analyst, err));
+    return;
+  }
+
+  // The degradation ladder: a full server answers "overloaded" (shed),
+  // a full analyst FIFO answers "backpressure"; both are explicit and
+  // retryable, and neither touches any budget.
+  if (queued_total_ >= cfg_.queue_capacity) {
+    core::builtin_metrics::serve_requests_shed().increment();
+    lock.unlock();
+    write_response(req.analyst, sink,
+                   protocol::error_response(req.id, req.analyst,
+                                            {"overloaded", true}));
+    return;
+  }
+  if (session->queue.size() >= cfg_.analyst_queue_capacity) {
+    core::builtin_metrics::serve_requests_rejected().increment();
+    lock.unlock();
+    write_response(req.analyst, sink,
+                   protocol::error_response(req.id, req.analyst,
+                                            {"backpressure", true}));
+    return;
+  }
+
+  session->queue.push_back(Pending{std::move(req), std::move(sink)});
+  ++queued_total_;
+  core::builtin_metrics::serve_queue_depth().set(
+      static_cast<double>(queued_total_));
+  if (!session->running && !session->scheduled) {
+    runnable_.push_back(session);
+    session->scheduled = true;
+  }
+  if (drainers_ < pool_.size()) {
+    ++drainers_;
+    pool_.submit([this] { drain_loop(); });
+  }
+}
+
+void QueryServer::drain_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (runnable_.empty()) break;
+    // Round-robin across analysts: a session leaves the ring while its
+    // head request runs (at most one in flight per analyst — the
+    // fairness policy and the per-session determinism contract) and
+    // rejoins at the back afterwards if more work is queued.
+    Session* session = runnable_.front();
+    runnable_.pop_front();
+    session->scheduled = false;
+    Pending pending = std::move(session->queue.front());
+    session->queue.pop_front();
+    --queued_total_;
+    core::builtin_metrics::serve_queue_depth().set(
+        static_cast<double>(queued_total_));
+    session->running = true;
+    ++running_total_;
+    lock.unlock();
+
+    std::string response = execute(*session, pending.request);
+    try {
+      // Durability before acknowledgement: if the analyst observes a
+      // response, the charge behind it is already on disk.
+      flush_journal();
+    } catch (...) {
+      // The charge stands but could not be made durable; withhold the
+      // release value rather than hand out an answer a crash would
+      // disown.
+      response = protocol::error_response(pending.request.id,
+                                          session->analyst,
+                                          {"internal", false});
+    }
+    write_response(session->analyst, pending.sink, response);
+
+    lock.lock();
+    session->running = false;
+    --running_total_;
+    if (!session->queue.empty() && !session->scheduled) {
+      runnable_.push_back(session);
+      session->scheduled = true;
+    }
+  }
+  --drainers_;
+  if (queued_total_ == 0 && running_total_ == 0) drained_cv_.notify_all();
+}
+
+std::string QueryServer::execute(Session& session,
+                                 const protocol::Request& req) {
+  core::QueryTrace local;
+  std::string response;
+  try {
+    core::failpoint::hit("serve.dispatch", session.analyst);
+    core::QueryGuard::Options options;
+    const std::uint64_t deadline_ms =
+        req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
+    if (deadline_ms != 0) {
+      options.timeout = std::chrono::milliseconds(deadline_ms);
+    }
+    options.max_total_rows = cfg_.max_total_rows;
+    core::QueryGuard guard(options);
+    const core::GuardScope guard_scope(guard);
+    const core::TraceSession trace_session(local);
+    const double before = session.audit->spent();
+    const double value = run_query(session, req);
+    const double after = session.audit->spent();
+    response = protocol::ok_response(req, value, after - before, after,
+                                     session.audit->remaining());
+  } catch (...) {
+    response = protocol::error_response(
+        req.id, req.analyst, protocol::classify_current_exception());
+  }
+  {
+    // All scopes are closed by now (success or unwind), so the request's
+    // spans — including refused/aborted releases — merge cleanly into
+    // the server-wide trace.
+    const std::lock_guard<std::mutex> trace_lock(trace_mutex_);
+    trace_.merge_from(std::move(local));
+  }
+  return response;
+}
+
+double QueryServer::run_query(Session& session,
+                              const protocol::Request& req) {
+  const core::Queryable<net::Packet>& view = *session.view;
+  if (req.query == "count") {
+    return view.noisy_count(req.eps);
+  }
+  if (req.query == "count-tcp") {
+    return view.where([](const net::Packet& p) {
+                  return p.protocol == net::kProtoTcp;
+                })
+        .noisy_count(req.eps);
+  }
+  if (req.query == "count-udp") {
+    return view.where([](const net::Packet& p) {
+                  return p.protocol == net::kProtoUdp;
+                })
+        .noisy_count(req.eps);
+  }
+  if (req.query == "count-port") {
+    const auto port = static_cast<std::uint16_t>(req.port);
+    return view.where([port](const net::Packet& p) {
+                  return p.src_port == port || p.dst_port == port;
+                })
+        .noisy_count(req.eps);
+  }
+  throw core::InvalidQueryError("unknown query name");
+}
+
+void QueryServer::write_response(const std::string& analyst,
+                                 const ResponseSink& sink,
+                                 const std::string& line) const {
+  try {
+    core::failpoint::hit("serve.session.write", analyst);
+    if (sink) sink(line);
+  } catch (...) {
+    // A broken session transport drops the response.  The charge stands
+    // (charged epsilon is never refunded) and the journal's fault event
+    // witnessed the failure; the server keeps serving.
+  }
+}
+
+void QueryServer::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] {
+    return queued_total_ == 0 && running_total_ == 0;
+  });
+}
+
+std::size_t QueryServer::sessions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+double QueryServer::dataset_spent() const { return root_->spent(); }
+
+double QueryServer::analyst_spent(const std::string& analyst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(analyst);
+  return it != sessions_.end() ? it->second->audit->spent() : 0.0;
+}
+
+std::string QueryServer::ledger_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("spent").value(root_->spent());
+  w.key("entries").begin_array();
+  for (const auto& [analyst, session] : sessions_) {  // sorted by name
+    for (const auto& entry : session->audit->canonical_entries()) {
+      w.begin_object();
+      w.key("eps").value(entry.eps);
+      w.key("label").value(entry.label);
+      w.key("node_id").value(entry.node_id);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  std::map<std::string, double> totals;
+  for (const auto& [analyst, session] : sessions_) {
+    for (const auto& [label, eps] : session->audit->totals_by_label()) {
+      totals[label] += eps;
+    }
+  }
+  w.key("totals_by_label").begin_object();
+  for (const auto& [label, eps] : totals) w.key(label).value(eps);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string QueryServer::trace_json() const {
+  const std::lock_guard<std::mutex> lock(trace_mutex_);
+  return trace_.to_json();
+}
+
+void QueryServer::flush_journal() const {
+  if (cfg_.journal_path.empty()) return;
+  const std::lock_guard<std::mutex> lock(journal_mutex_);
+  core::obs::EventJournal::global().flush_to_file(cfg_.journal_path);
+}
+
+}  // namespace dpnet::serve

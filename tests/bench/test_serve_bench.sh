@@ -1,0 +1,44 @@
+#!/bin/sh
+# End-to-end gate for the server bench: runs bench_serve, validates the
+# BENCH json against dpnet.bench.v1, diffs it against the checked-in
+# baseline with bench_compare, and replays the audited pass's privacy
+# event journal with `dpnet_cli audit verify` so journal == ledger ==
+# trace epsilon reconcile exactly.
+#
+# The wall-time band is deliberately loose (100%): in-suite runs share
+# the machine with the rest of ctest, so this test gates the *wiring* —
+# schema, baseline coverage, exact accounting rows, journal chain —
+# while the tighter band runs in the serial bench-regression CI job.
+# Usage: test_serve_bench.sh <bench_serve> <bench_schema_check>
+#        <bench_compare> <dpnet_cli> <baseline_dir>
+set -eu
+
+BENCH="$1"
+CHECK="$2"
+COMPARE="$3"
+CLI="$4"
+BASELINES="$5"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+mkdir "$WORK/journal"
+
+echo "== run bench =="
+DPNET_BENCH_JSON_DIR="$WORK" DPNET_JOURNAL_DIR="$WORK/journal" \
+  "$BENCH" >"$WORK/stdout.txt"
+grep -q "Mediated query server" "$WORK/stdout.txt"
+test -f "$WORK/BENCH_bench_serve.json"
+
+echo "== schema =="
+"$CHECK" "$WORK/BENCH_bench_serve.json"
+
+echo "== regression gate vs checked-in baseline =="
+"$COMPARE" --time-threshold 1.0 --baseline-dir "$BASELINES" \
+  "$WORK/BENCH_bench_serve.json"
+
+echo "== journal == ledger == trace =="
+test -f "$WORK/journal/journal.jsonl"
+"$CLI" audit verify "$WORK/journal/journal.jsonl" \
+  --audit "$WORK/journal/ledger.json" \
+  --trace "$WORK/journal/trace.json"
+
+echo "SERVE-BENCH-OK"

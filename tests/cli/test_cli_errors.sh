@@ -185,4 +185,42 @@ expect_error "ledger eps" audit verify "$WORK/j.jsonl" \
 expect_error "trace eps" audit verify "$WORK/j.jsonl" \
   --trace "$WORK/other.json"
 
+echo "== serve numeric flags share the uniform validation =="
+# The hoisted numeric-flag helper: malformed values exit 2 with the same
+# `error: --flag expects ...` shape everywhere, serve included.
+for bad in "--threads two" "--queue -3" "--deadline-ms soon" \
+    "--max-sessions 1.5" "--seed 0x2a"; do
+  rc=0
+  # shellcheck disable=SC2086  # word-splitting the pair is intended
+  "$CLI" serve "$WORK/t.dpnt" $bad </dev/null 2>"$WORK/err" || rc=$?
+  [ "$rc" -eq 2 ] || {
+    echo "expected exit 2 for serve $bad (got $rc)" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  }
+  grep -q "^error: .* expects an unsigned integer" "$WORK/err"
+done
+rc=0
+"$CLI" serve "$WORK/t.dpnt" --budget lots </dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for bad --budget" >&2; exit 1; }
+grep -q "^error: --budget expects a number" "$WORK/err"
+rc=0
+"$CLI" serve "$WORK/t.dpnt" --cap "0.5kg" </dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for bad --cap" >&2; exit 1; }
+grep -q "^error: --cap expects a number" "$WORK/err"
+
+echo "== unknown serve flags are rejected, not ignored =="
+rc=0
+"$CLI" serve "$WORK/t.dpnt" --jurnal j.jsonl </dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown serve flag" >&2; exit 1; }
+grep -q "unknown flag" "$WORK/err"
+
+echo "== server ops gauges are exported at zero =="
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --prometheus >"$WORK/m2.prom"
+grep -q '^dpnet_serve_sessions_active 0$' "$WORK/m2.prom"
+grep -q '^dpnet_serve_queue_depth 0$' "$WORK/m2.prom"
+grep -q '^dpnet_serve_requests_rejected 0$' "$WORK/m2.prom"
+grep -q '^dpnet_serve_requests_shed 0$' "$WORK/m2.prom"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "serve.sessions.active"
+
 echo "CLI-ERRORS-OK"

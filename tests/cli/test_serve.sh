@@ -1,0 +1,107 @@
+#!/bin/sh
+# Protocol + recovery smoke test for `dpnet_cli serve`: a request stream
+# on stdin gets one JSON response line per frame, malformed frames are
+# answered with sanitized taxonomy codes, the shutdown artifacts
+# reconcile through `audit verify`, and a clean restart against the same
+# journal resumes every analyst's spend exactly.
+# Usage: test_serve.sh <path-to-dpnet_cli>
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen "$WORK/t.dpnt" --seed 11 >/dev/null
+
+echo "== request stream: ok, refusal, malformed, unknown query =="
+cat >"$WORK/req1" <<'EOF'
+{"id":1,"analyst":"alice","query":"count","eps":0.5}
+{"id":2,"analyst":"bob","query":"count-tcp","eps":0.25}
+{"id":3,"analyst":"alice","query":"count","eps":0.75}
+this is not json
+{"id":4,"analyst":"alice","query":"haruspicy","eps":0.125}
+{"id":5,"analyst":"al!ce","query":"count","eps":0.125}
+EOF
+"$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 --seed 3 \
+  --journal "$WORK/j.jsonl" --ledger "$WORK/ledger.json" \
+  --trace-out "$WORK/trace.json" \
+  <"$WORK/req1" >"$WORK/resp1" 2>"$WORK/err1"
+
+[ "$(wc -l <"$WORK/resp1")" -eq 6 ] || {
+  echo "expected 6 response lines" >&2
+  cat "$WORK/resp1" >&2
+  exit 1
+}
+grep -q '"id":1,"status":"ok"' "$WORK/resp1"
+grep -q '"id":2,"status":"ok"' "$WORK/resp1"
+# Request 3 would push alice past her 1.0 cap: refused, retryable.
+grep '"id":3' "$WORK/resp1" | grep -q '"error":"budget-exhausted"'
+grep '"id":3' "$WORK/resp1" | grep -q '"retryable":true'
+grep -q '"error":"malformed-frame"' "$WORK/resp1"
+grep '"id":4' "$WORK/resp1" | grep -q '"error":"invalid-query"'
+# A parseable frame with a bad analyst charset keeps its id on the
+# error (correlation survives), but no analyst is echoed back.
+grep '"id":5' "$WORK/resp1" | grep -q '"error":"invalid-query"'
+grep '"id":5' "$WORK/resp1" | grep -q '"analyst":""'
+grep -q "served 6 frame(s) for 2 session(s)" "$WORK/err1"
+grep -q "dataset eps spent 0.75" "$WORK/err1"
+
+echo "== shutdown artifacts reconcile exactly =="
+"$CLI" audit verify "$WORK/j.jsonl" --audit "$WORK/ledger.json" \
+  --trace "$WORK/trace.json" >"$WORK/verify.out"
+grep -q "journal ok" "$WORK/verify.out"
+grep -q "reconciled: journal eps == ledger eps == trace eps (exact)" \
+  "$WORK/verify.out"
+"$CLI" audit tail "$WORK/j.jsonl" --json | grep -q '"kind":"refusal"'
+
+echo "== responses never carry record contents =="
+# Telemetry and the wire protocol carry accounting metadata only; the
+# trace payloads must not surface anywhere in the server's output.
+for f in resp1 j.jsonl ledger.json trace.json err1; do
+  if grep -qE '"(payload|src_ip|dst_ip)"' "$WORK/$f"; then
+    echo "record contents leaked into $f" >&2
+    exit 1
+  fi
+done
+
+echo "== restart resumes spend; crash never refunds =="
+cat >"$WORK/req2" <<'EOF'
+{"id":10,"analyst":"alice","query":"count","eps":0.75}
+{"id":11,"analyst":"alice","query":"count-udp","eps":0.5}
+{"id":12,"analyst":"carol","query":"count","eps":0.25}
+EOF
+"$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 --seed 3 \
+  --journal "$WORK/j.jsonl" \
+  <"$WORK/req2" >"$WORK/resp2" 2>"$WORK/err2"
+grep -q "recovered: alice spent 0.5" "$WORK/err2"
+grep -q "recovered: bob spent 0.25" "$WORK/err2"
+# Recovered 0.5 + 0.75 would breach alice's cap: the crash refunded
+# nothing.
+grep '"id":10' "$WORK/resp2" | grep -q '"error":"budget-exhausted"'
+# An exact fit against the recovered spend still succeeds.
+grep '"id":11' "$WORK/resp2" | grep -q '"status":"ok"'
+grep '"id":12' "$WORK/resp2" | grep -q '"status":"ok"'
+grep -q "dataset eps spent 1.5" "$WORK/err2"
+"$CLI" audit verify "$WORK/j.jsonl" | grep -q "journal ok"
+
+echo "== a tampered journal refuses startup =="
+python3 -c "
+data = bytearray(open('$WORK/j.jsonl', 'rb').read())
+data[len(data) // 2] ^= 0x40
+open('$WORK/j.flip.jsonl', 'wb').write(bytes(data))
+" 2>/dev/null || {
+  cp "$WORK/j.jsonl" "$WORK/j.flip.jsonl"
+  jsize=$(wc -c <"$WORK/j.jsonl")
+  printf '\377' | dd of="$WORK/j.flip.jsonl" bs=1 seek="$((jsize / 2))" \
+    conv=notrunc 2>/dev/null
+}
+rc=0
+"$CLI" serve "$WORK/t.dpnt" --journal "$WORK/j.flip.jsonl" \
+  </dev/null >/dev/null 2>"$WORK/err3" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected refused startup, got $rc" >&2; exit 1; }
+grep -q "^error: " "$WORK/err3"
+
+echo "== serve help =="
+"$CLI" help serve | grep -q "usage: dpnet_cli serve"
+
+echo "CLI-SERVE-OK"

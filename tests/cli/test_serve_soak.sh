@@ -1,0 +1,128 @@
+#!/bin/sh
+# Soak + crash drill for `dpnet_cli serve`:
+#
+#   phase 1  every dispatch faulted (DPNET_FAILPOINTS) — the server
+#            answers each frame with a sanitized "internal" error,
+#            charges nothing, and keeps serving;
+#   phase 2  every response write faulted — responses are dropped but
+#            the charges stand (the flush-before-write contract);
+#   phase 3  kill -9 mid-session, then restart against the surviving
+#            journal — every observed response's charge is recovered
+#            exactly, and the books still reconcile through
+#            `dpnet_cli audit verify` (the hard gate).
+#
+# Usage: test_serve_soak.sh <path-to-dpnet_cli> [artifact-dir]
+# With an artifact dir, the drill's journal/ledger/trace survive for an
+# offline `dpnet_cli audit verify` gate (the serve-chaos CI job).
+set -eu
+
+CLI="$1"
+ARTIFACTS="${2:-}"
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CLI" gen "$WORK/t.dpnt" --seed 5 >/dev/null
+
+req() {
+  printf '{"id":%d,"analyst":"%s","query":"count","eps":%s}\n' "$1" "$2" "$3"
+}
+
+echo "== phase 1: dispatch faults — sanitized errors, zero charge =="
+{
+  i=1
+  while [ "$i" -le 20 ]; do
+    req "$i" "analyst$((i % 4))" 0.125
+    i=$((i + 1))
+  done
+} >"$WORK/soak.req"
+DPNET_FAILPOINTS="serve.dispatch=throw" \
+  "$CLI" serve "$WORK/t.dpnt" --threads 4 \
+  <"$WORK/soak.req" >"$WORK/soak.resp" 2>"$WORK/soak.err"
+[ "$(wc -l <"$WORK/soak.resp")" -eq 20 ] || {
+  echo "expected 20 soak responses" >&2
+  exit 1
+}
+[ "$(grep -c '"error":"internal"' "$WORK/soak.resp")" -eq 20 ] || {
+  echo "faulted dispatches must all answer internal" >&2
+  cat "$WORK/soak.resp" >&2
+  exit 1
+}
+grep -q "dataset eps spent 0\$" "$WORK/soak.err"
+
+echo "== phase 2: write faults — responses dropped, charges stand =="
+{ req 1 alice 0.25; req 2 bob 0.25; } >"$WORK/w.req"
+DPNET_FAILPOINTS="serve.session.write=throw" \
+  "$CLI" serve "$WORK/t.dpnt" --threads 2 \
+  <"$WORK/w.req" >"$WORK/w.resp" 2>"$WORK/w.err"
+[ ! -s "$WORK/w.resp" ] || {
+  echo "faulted writes must drop responses" >&2
+  exit 1
+}
+grep -q "dataset eps spent 0.5" "$WORK/w.err"
+
+echo "== phase 3: kill -9 mid-session, restart, reconcile =="
+mkfifo "$WORK/req.pipe"
+"$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 \
+  --journal "$WORK/j.jsonl" \
+  <"$WORK/req.pipe" >"$WORK/resp" 2>"$WORK/err" &
+SERVER_PID=$!
+exec 3>"$WORK/req.pipe"
+
+req 1 alice 0.25 >&3
+req 2 bob 0.25 >&3
+req 3 alice 0.25 >&3
+# The journal is flushed before each response is written, so once all
+# three responses are observed their charges are durable — whatever
+# happens to the process next.
+tries=0
+while [ "$(wc -l <"$WORK/resp")" -lt 3 ]; do
+  tries=$((tries + 1))
+  [ "$tries" -le 100 ] || {
+    echo "timed out waiting for responses" >&2
+    cat "$WORK/err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+exec 3>&-
+[ "$(grep -c '"status":"ok"' "$WORK/resp")" -eq 3 ]
+
+{
+  req 10 alice 0.75   # 0.5 recovered + 0.75 breaches the cap: refused
+  req 11 alice 0.5    # exact fit against the recovered spend
+  req 12 carol 0.25
+} >"$WORK/req2"
+"$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 \
+  --journal "$WORK/j.jsonl" --ledger "$WORK/ledger.json" \
+  --trace-out "$WORK/trace.json" \
+  <"$WORK/req2" >"$WORK/resp2" 2>"$WORK/err2"
+grep -q "recovered: alice spent 0.5" "$WORK/err2"
+grep -q "recovered: bob spent 0.25" "$WORK/err2"
+grep '"id":10' "$WORK/resp2" | grep -q '"error":"budget-exhausted"'
+grep '"id":11' "$WORK/resp2" | grep -q '"status":"ok"'
+grep '"id":12' "$WORK/resp2" | grep -q '"status":"ok"'
+grep -q "dataset eps spent 1.5" "$WORK/err2"
+
+# The hard gate: the post-crash journal, ledger, and trace agree on
+# every epsilon — exactly.
+"$CLI" audit verify "$WORK/j.jsonl" --audit "$WORK/ledger.json" \
+  --trace "$WORK/trace.json" >"$WORK/verify.out"
+grep -q "journal ok" "$WORK/verify.out"
+grep -q "reconciled: journal eps == ledger eps == trace eps (exact)" \
+  "$WORK/verify.out"
+
+if [ -n "$ARTIFACTS" ]; then
+  mkdir -p "$ARTIFACTS"
+  cp "$WORK/j.jsonl" "$ARTIFACTS/journal.jsonl"
+  cp "$WORK/ledger.json" "$WORK/trace.json" "$ARTIFACTS/"
+fi
+
+echo "CLI-SERVE-SOAK-OK"

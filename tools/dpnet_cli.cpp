@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -66,36 +68,46 @@ std::string flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
-/// Numeric flag parsing with a one-line diagnostic instead of the raw
-/// std::invalid_argument/out_of_range a bare std::stoull would surface.
-std::uint64_t u64_flag(const std::vector<std::string>& args,
-                       const std::string& flag, const std::string& fallback) {
+/// Shared validation behind every numeric flag: `parse` is one of the
+/// std::sto* family, the whole text must be consumed, and any failure
+/// becomes one uniform `error: <flag> expects <kind>, got '<text>'`
+/// line with exit 2 — the same contract for every subcommand.
+template <typename Parse>
+auto numeric_flag(const std::vector<std::string>& args,
+                  const std::string& flag, const std::string& fallback,
+                  const char* kind, Parse parse) {
   const std::string text = flag_value(args, flag, fallback);
   try {
     std::size_t used = 0;
-    const std::uint64_t value = std::stoull(text, &used);
+    const auto value = parse(text, &used);
     if (used != text.size()) throw std::invalid_argument(text);
     return value;
   } catch (const std::exception&) {
-    std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
-                 flag.c_str(), text.c_str());
+    std::fprintf(stderr, "error: %s expects %s, got '%s'\n", flag.c_str(),
+                 kind, text.c_str());
     std::exit(2);
   }
 }
 
+std::uint64_t u64_flag(const std::vector<std::string>& args,
+                       const std::string& flag, const std::string& fallback) {
+  return numeric_flag(args, flag, fallback, "an unsigned integer",
+                      [](const std::string& s, std::size_t* used) {
+                        // stoull accepts a leading '-' and wraps; an
+                        // unsigned flag must reject it instead.
+                        if (s.find('-') != std::string::npos) {
+                          throw std::invalid_argument(s);
+                        }
+                        return std::stoull(s, used);
+                      });
+}
+
 double double_flag(const std::vector<std::string>& args,
                    const std::string& flag, const std::string& fallback) {
-  const std::string text = flag_value(args, flag, fallback);
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(text, &used);
-    if (used != text.size()) throw std::invalid_argument(text);
-    return value;
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "error: %s expects a number, got '%s'\n",
-                 flag.c_str(), text.c_str());
-    std::exit(2);
-  }
+  return numeric_flag(args, flag, fallback, "a number",
+                      [](const std::string& s, std::size_t* used) {
+                        return std::stod(s, used);
+                      });
 }
 
 bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
@@ -358,6 +370,90 @@ int cmd_trace(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Writes `text` (plus a trailing newline) to `path`; one sanitized
+/// diagnostic and a false return on failure.
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) usage_for("serve");
+  check_flags("serve", args,
+              {"--budget", "--cap", "--threads", "--queue",
+               "--analyst-queue", "--deadline-ms", "--max-rows", "--seed",
+               "--max-sessions", "--journal", "--ledger", "--trace-out"},
+              {});
+  serve::ServerConfig cfg;
+  cfg.dataset_budget = double_flag(args, "--budget", "8");
+  cfg.analyst_cap = double_flag(args, "--cap", "1");
+  cfg.threads = static_cast<std::size_t>(u64_flag(args, "--threads", "4"));
+  cfg.queue_capacity =
+      static_cast<std::size_t>(u64_flag(args, "--queue", "64"));
+  cfg.analyst_queue_capacity =
+      static_cast<std::size_t>(u64_flag(args, "--analyst-queue", "8"));
+  cfg.default_deadline_ms = u64_flag(args, "--deadline-ms", "2000");
+  cfg.max_total_rows = u64_flag(args, "--max-rows", "0");
+  cfg.seed = u64_flag(args, "--seed", "42");
+  cfg.max_sessions =
+      static_cast<std::size_t>(u64_flag(args, "--max-sessions", "16"));
+  cfg.journal_path = flag_value(args, "--journal", "");
+  const std::string ledger_out = flag_value(args, "--ledger", "");
+  const std::string trace_out = flag_value(args, "--trace-out", "");
+
+  // Construction verifies and replays an existing journal file (crash
+  // recovery); a tampered or overspent journal throws DpError, which
+  // main() turns into `error: ...` and exit 1 — the server refuses to
+  // start rather than refund budget.
+  serve::QueryServer server(load(args[0]), cfg);
+  for (const serve::RecoveredBudget& r : server.recovered()) {
+    std::fprintf(stderr, "recovered: %s spent %.6g\n", r.analyst.c_str(),
+                 r.eps);
+  }
+  std::fprintf(stderr,
+               "serving on stdin (one JSON request per line; EOF stops)\n");
+
+  // Responses from pool workers interleave on stdout; one line each.
+  std::mutex out_mutex;
+  const serve::QueryServer::ResponseSink sink =
+      [&out_mutex](const std::string& line) {
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        std::fwrite(line.data(), 1, line.size(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+      };
+
+  std::string line;
+  std::size_t frames = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    server.submit_frame(line, sink);
+    ++frames;
+  }
+  server.drain();
+  server.flush_journal();
+  if (!ledger_out.empty() && !write_text_file(ledger_out,
+                                              server.ledger_json())) {
+    return 1;
+  }
+  if (!trace_out.empty() && !write_text_file(trace_out,
+                                             server.trace_json())) {
+    return 1;
+  }
+  std::fprintf(stderr,
+               "served %zu frame(s) for %zu session(s); dataset eps "
+               "spent %.6g\n",
+               frames, server.sessions(), server.dataset_spent());
+  return 0;
+}
+
 int cmd_metrics(const std::vector<std::string>& args) {
   if (args.empty()) usage_for("metrics");
   check_flags("metrics", args, {"--eps", "--seed"},
@@ -395,6 +491,10 @@ int cmd_metrics(const std::vector<std::string>& args) {
   core::builtin_metrics::deadline_exceeded();
   core::builtin_metrics::records_quarantined();
   core::builtin_metrics::faults_injected();
+  core::builtin_metrics::serve_sessions_active();
+  core::builtin_metrics::serve_queue_depth();
+  core::builtin_metrics::serve_requests_rejected();
+  core::builtin_metrics::serve_requests_shed();
 
   if (want_json) {
     std::printf("%s\n", core::MetricsRegistry::global().to_json().c_str());
@@ -643,6 +743,33 @@ constexpr Subcommand kSubcommands[] = {
      "  --last N      events to show (default 10)\n"
      "  --json        print raw journal lines instead of columns\n",
      &cmd_audit},
+    {"serve",
+     "<in> [--budget B] [--cap C] [--threads T] [--queue N]\n"
+     "                   [--analyst-queue N] [--deadline-ms D] [--max-rows N]\n"
+     "                   [--seed N] [--max-sessions N] [--journal PATH]\n"
+     "                   [--ledger OUT.json] [--trace-out OUT.json]",
+     "serve mediated queries over line-delimited JSON on stdin",
+     "  requests:  {\"id\":1,\"analyst\":\"alice\",\"query\":\"count\","
+     "\"eps\":0.125}\n"
+     "  queries:   count | count-tcp | count-udp | count-port (\"port\" "
+     "field)\n"
+     "  --budget B        shared dataset budget (default 8)\n"
+     "  --cap C           per-analyst budget cap (default 1)\n"
+     "  --threads T       worker threads (default 4)\n"
+     "  --queue N         server-wide admission queue; above it requests\n"
+     "                    are shed as \"overloaded\" (default 64)\n"
+     "  --analyst-queue N per-analyst queue; above it requests get\n"
+     "                    \"backpressure\" (default 8)\n"
+     "  --deadline-ms D   default per-request deadline (default 2000)\n"
+     "  --max-rows N      per-request work quota in rows (default off)\n"
+     "  --seed N          noise seed base (default 42)\n"
+     "  --max-sessions N  distinct analyst principals (default 16)\n"
+     "  --journal PATH    durable event journal: flushed before every\n"
+     "                    response; verified and replayed at startup for\n"
+     "                    crash-safe budget recovery\n"
+     "  --ledger OUT      write the merged audit ledger at shutdown\n"
+     "  --trace-out OUT   write the server query trace at shutdown\n",
+     &cmd_serve},
     {"metrics", "<in> [--eps E] [--seed N] [--json | --prometheus]",
      "run a sample workload and dump the metrics registry",
      "  --json        print the snapshot as JSON\n"

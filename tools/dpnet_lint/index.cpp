@@ -135,6 +135,7 @@ FileClass classify(std::string_view path) {
                 path == "src/core/audit.hpp" ||
                 path == "src/core/streaming.hpp" ||
                 path.starts_with("src/core/obs/") ||
+                path.starts_with("src/serve/") ||
                 path == "bench/common.hpp" || path == "tools/dpnet_cli.cpp";
   c.in_exec = path.starts_with("src/core/exec/");
   return c;

@@ -293,7 +293,14 @@ class Analysis {
         // (label/node_id/eps shared with the ledger above)
         "events", "dropped", "chain", "seq", "kind",
         // resource telemetry (bench/common.hpp, src/core/trace.cpp)
-        "peak_rss_kb", "records_per_sec"};
+        "peak_rss_kb", "records_per_sec",
+        // query-server wire protocol (src/serve/protocol.cpp): frame
+        // ids, the analyst principal, sanitized taxonomy error names,
+        // and budget positions — accounting metadata only
+        "id", "status", "analyst", "error", "retryable", "remaining",
+        // query-server ops metrics (src/serve/, docs/robustness.md)
+        "serve.sessions.active", "serve.queue.depth",
+        "serve.requests.rejected", "serve.requests.shed"};
     for (const StringLit& lit : file_.strings) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
