@@ -38,6 +38,9 @@
 //                          dequeue (detail: analyst name)
 //   serve.session.write    before a response frame is handed to the
 //                          session transport (detail: analyst name)
+//   obs.journal.flush      in EventJournal::flush_to_file, after the
+//                          temp file is durable and before it is
+//                          renamed over the journal path (detail: path)
 #pragma once
 
 #include <atomic>

@@ -1,10 +1,14 @@
 #include "core/obs/journal.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "core/errors.hpp"
+#include "core/failpoint.hpp"
 #include "core/json.hpp"
 #include "core/trace.hpp"
 
@@ -60,6 +64,22 @@ void append_chained(std::string& out, const std::string& body,
   out += ",\"chain\":\"";
   out += chain_hex(chain);
   out += "\"}\n";
+}
+
+/// Best-effort fsync of `path`'s directory so the rename that published
+/// a new journal is itself durable.  Some filesystems refuse fsync on a
+/// directory fd; that only weakens durability of the very latest flush,
+/// never atomicity, so failures are ignored.
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
 }
 
 }  // namespace
@@ -130,6 +150,31 @@ std::uint64_t EventJournal::dropped() const {
   return dropped_;
 }
 
+std::size_t EventJournal::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t EventJournal::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void EventJournal::reserve(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity <= capacity_) return;
+  // Linearize a wrapped ring before the bound moves: the oldest event
+  // must stay at index head_ == 0 once inserts start landing past the
+  // old capacity.
+  if (head_ != 0) {
+    std::rotate(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                ring_.end());
+    head_ = 0;
+  }
+  capacity_ = capacity;
+}
+
 void EventJournal::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();
@@ -156,15 +201,35 @@ std::string EventJournal::to_jsonl(bool canonical) const {
 void EventJournal::flush_to_file(const std::string& path,
                                  bool canonical) const {
   const std::string doc = to_jsonl(canonical);
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Crash-atomic replacement.  The journal file is the budget state of
+  // record for a restarted server: a flush interrupted at any instant
+  // (kill -9, power loss) must leave either the previous complete
+  // journal or the new one on disk — a truncated file would make
+  // recovery refuse startup, and the only operator remedy (deleting the
+  // journal) would refund every spent epsilon.  So: write a temp file
+  // in the same directory, make its bytes durable, then rename() it
+  // over the journal path (atomic on POSIX).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    throw DpError("cannot write event journal to " + path);
+    throw DpError("cannot write event journal to " + tmp);
   }
   const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
   const bool closed = std::fclose(f) == 0;
-  if (written != doc.size() || !closed) {
-    throw DpError("short write flushing event journal to " + path);
+  if (written != doc.size() || !synced || !closed) {
+    std::remove(tmp.c_str());
+    throw DpError("short write flushing event journal to " + tmp);
   }
+  // A throw injected here models a crash after the temp file is durable
+  // but before it is published; the previous journal must still verify.
+  failpoint::hit("obs.journal.flush", path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw DpError("cannot replace event journal at " + path);
+  }
+  sync_parent_dir(path);
 }
 
 namespace journal_detail {

@@ -145,8 +145,28 @@ class EventJournal {
   /// ts_us for tailing.
   [[nodiscard]] std::string to_jsonl(bool canonical = true) const;
 
-  /// Writes to_jsonl() to `path`; throws DpError on I/O failure.
+  /// Atomically replaces `path` with to_jsonl(): the document is written
+  /// to a same-directory temp file, fsynced, then rename()d over `path`,
+  /// so a crash at any instant leaves either the previous complete
+  /// journal or the new one — never a truncated hybrid (the journal file
+  /// is the budget state of record for crash recovery).  Throws DpError
+  /// on I/O failure; the `obs.journal.flush` failpoint fires between
+  /// durability and publication.
   void flush_to_file(const std::string& path, bool canonical = true) const;
+
+  /// Events currently retained (at most capacity()).
+  [[nodiscard]] std::size_t size() const;
+
+  /// The ring bound; appends beyond it overwrite the oldest event and
+  /// count in dropped().
+  [[nodiscard]] std::size_t capacity() const;
+
+  /// Raises the ring bound to `capacity` (a smaller or equal request is
+  /// a no-op — the ring never shrinks, so retained events are never
+  /// discarded).  Long-lived servers size the ring up front and refuse
+  /// work that would make it drop, keeping the flushed journal a
+  /// complete record (serve::QueryServer).
+  void reserve(std::size_t capacity);
 
  private:
   mutable std::mutex mutex_;

@@ -33,14 +33,23 @@ const JsonValue& required(const JsonValue& doc, std::string_view key,
   return *v;
 }
 
-/// Optional non-negative integer member (0 when absent).
-std::uint64_t optional_u64(const JsonValue& doc, std::string_view key) {
+/// Optional non-negative integer member (0 when absent), bounded by
+/// `max` (<= kMaxWireInteger) before the cast so the double -> uint64
+/// conversion is always defined behavior.
+std::uint64_t optional_u64(const JsonValue& doc, std::string_view key,
+                           std::uint64_t max = kMaxWireInteger) {
   const JsonValue* v = doc.find(key);
   if (v == nullptr) return 0;
   if (!v->is_number() || v->number < 0.0 ||
       v->number != std::floor(v->number)) {
     throw InvalidQueryError("request field '" + std::string(key) +
                             "' is not a non-negative integer");
+  }
+  // max <= 2^53, so its double image is exact and the comparison is the
+  // bound it looks like; reject first, cast second.
+  if (v->number > static_cast<double>(max)) {
+    throw InvalidQueryError("request field '" + std::string(key) +
+                            "' exceeds " + std::to_string(max));
   }
   return static_cast<std::uint64_t>(v->number);
 }
@@ -74,11 +83,8 @@ Request parse_request(std::string_view line) {
   req.query = required(doc, "query", &JsonValue::is_string, "string").string;
   req.eps = required(doc, "eps", &JsonValue::is_number, "number").number;
   req.id = optional_u64(doc, "id");
-  req.deadline_ms = optional_u64(doc, "deadline_ms");
-  req.port = optional_u64(doc, "port");
-  if (req.port > 65535) {
-    throw InvalidQueryError("request field 'port' is not a 16-bit port");
-  }
+  req.deadline_ms = optional_u64(doc, "deadline_ms", kMaxDeadlineMs);
+  req.port = optional_u64(doc, "port", 65535);
   return req;
 }
 

@@ -44,6 +44,19 @@ inline constexpr std::size_t kMaxFrameBytes = 4096;
 /// confined to [A-Za-z0-9_.-].
 inline constexpr std::size_t kMaxAnalystBytes = 64;
 
+/// Largest integer accepted in any numeric wire field: 2^53, the
+/// largest integer a JSON double represents exactly.  Every integral
+/// field is bounded BEFORE the double -> uint64 cast — casting an
+/// out-of-range double (a hostile `{"id":1e300}`) is undefined
+/// behavior, and this is an untrusted path.
+inline constexpr std::uint64_t kMaxWireInteger = std::uint64_t{1} << 53;
+
+/// Ceiling on `deadline_ms` (one day).  Any plausible query deadline
+/// fits, and the deadline arithmetic in the server (milliseconds
+/// converted to the steady clock's nanosecond tick, queue wait
+/// subtracted) stays far from chrono overflow.
+inline constexpr std::uint64_t kMaxDeadlineMs = 86'400'000;
+
 /// A parsed request frame.
 struct Request {
   std::uint64_t id = 0;           // echoed back; 0 if absent

@@ -26,8 +26,15 @@ QueryServer::QueryServer(std::vector<net::Packet> records,
   // The server claims the process-wide journal: the ring is cleared so
   // every flush of journal_path reflects exactly this server's
   // accounting (recovery charges included), nothing inherited from
-  // whatever ran earlier in the process.
+  // whatever ran earlier in the process.  The ring is sized up front —
+  // with a floor that always fits recovery's per-analyst charges plus
+  // one request — because a ring that drops an event can never be
+  // replayed; once retained events approach the bound, dispatch answers
+  // "journal-full" instead (drain_loop).
   core::obs::set_journal_armed(true);
+  core::obs::EventJournal::global().reserve(
+      std::max(cfg_.journal_capacity,
+               journal_headroom() + cfg_.max_sessions));
   core::obs::EventJournal::global().clear();
   if (!cfg_.journal_path.empty()) recover_from_journal(cfg_.journal_path);
 }
@@ -168,7 +175,8 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
     return;
   }
 
-  session->queue.push_back(Pending{std::move(req), std::move(sink)});
+  session->queue.push_back(Pending{std::move(req), std::move(sink),
+                                   std::chrono::steady_clock::now()});
   ++queued_total_;
   core::builtin_metrics::serve_queue_depth().set(
       static_cast<double>(queued_total_));
@@ -200,20 +208,39 @@ void QueryServer::drain_loop() {
         static_cast<double>(queued_total_));
     session->running = true;
     ++running_total_;
+    // Ring-headroom check, under the lock so running_total_ is exact:
+    // every in-flight request (this one included) gets a reserved slice
+    // of the remaining ring, so concurrent executions can never jointly
+    // push the ring into dropping — a dropped event would make the
+    // flushed journal unreplayable and strand the next restart.
+    const core::obs::EventJournal& journal = core::obs::EventJournal::global();
+    const bool journal_full = journal.capacity() - journal.size() <
+                              journal_headroom() * running_total_;
     lock.unlock();
 
-    std::string response = execute(*session, pending.request);
-    try {
-      // Durability before acknowledgement: if the analyst observes a
-      // response, the charge behind it is already on disk.
-      flush_journal();
-    } catch (...) {
-      // The charge stands but could not be made durable; withhold the
-      // release value rather than hand out an answer a crash would
-      // disown.
+    std::string response;
+    if (journal_full) {
+      // Not retryable: only an operator restart with a larger
+      // --journal-capacity clears it (recovery replays the spends, so
+      // the restart loses nothing).
+      core::builtin_metrics::serve_requests_shed().increment();
       response = protocol::error_response(pending.request.id,
                                           session->analyst,
-                                          {"internal", false});
+                                          {"journal-full", false});
+    } else {
+      response = execute(*session, pending.request, pending.admitted);
+      try {
+        // Durability before acknowledgement: if the analyst observes a
+        // response, the charge behind it is already on disk.
+        flush_journal();
+      } catch (...) {
+        // The charge stands but could not be made durable; withhold the
+        // release value rather than hand out an answer a crash would
+        // disown.
+        response = protocol::error_response(pending.request.id,
+                                            session->analyst,
+                                            {"internal", false});
+      }
     }
     write_response(session->analyst, pending.sink, response);
 
@@ -229,8 +256,13 @@ void QueryServer::drain_loop() {
   if (queued_total_ == 0 && running_total_ == 0) drained_cv_.notify_all();
 }
 
-std::string QueryServer::execute(Session& session,
-                                 const protocol::Request& req) {
+std::size_t QueryServer::journal_headroom() const {
+  return 8 + 8 * pool_.size();
+}
+
+std::string QueryServer::execute(
+    Session& session, const protocol::Request& req,
+    std::chrono::steady_clock::time_point admitted) {
   core::QueryTrace local;
   std::string response;
   try {
@@ -239,7 +271,13 @@ std::string QueryServer::execute(Session& session,
     const std::uint64_t deadline_ms =
         req.deadline_ms != 0 ? req.deadline_ms : cfg_.default_deadline_ms;
     if (deadline_ms != 0) {
-      options.timeout = std::chrono::milliseconds(deadline_ms);
+      // The deadline bounds the admitted lifetime, not just execution:
+      // the guard receives the deadline minus the time already spent
+      // queued.  A request that overstayed its deadline waiting gets a
+      // non-positive timeout, so the guard's first checkpoint aborts it
+      // ("aborted:deadline") before anything is charged.
+      options.timeout = std::chrono::milliseconds(deadline_ms) -
+                        (std::chrono::steady_clock::now() - admitted);
     }
     options.max_total_rows = cfg_.max_total_rows;
     core::QueryGuard guard(options);

@@ -18,9 +18,15 @@
 // Admission places a request on its analyst's bounded FIFO; a full
 // analyst queue answers "backpressure" (serve.requests.rejected), a
 // full server-wide queue answers "overloaded" (serve.requests.shed),
-// and an admitted request that outlives its deadline is aborted by its
-// QueryGuard ("aborted:deadline"), which — by the charge-before-release
-// invariant — charges nothing.
+// a journal ring without headroom for another request's events answers
+// "journal-full" (also serve.requests.shed — the ring must never drop,
+// see below), and an admitted request that outlives its deadline is
+// aborted by its QueryGuard ("aborted:deadline"), which — by the
+// charge-before-release invariant — charges nothing.  The deadline
+// clock starts at admission, so time spent queued under backpressure
+// counts against it: the guard is constructed with whatever remains of
+// the deadline at dispatch (possibly nothing, in which case its first
+// checkpoint aborts before any charge).
 //
 // Dispatch is round-robin across analysts with AT MOST ONE in-flight
 // request per analyst.  That is a fairness policy and a determinism
@@ -33,15 +39,22 @@
 //
 // Crash safety: every charge and refusal is journaled through
 // src/core/obs/ with the analyst label as its causal key, and the
-// journal is flushed to disk BEFORE the response frame is handed to the
-// transport — if the analyst saw an answer, the charge is durable.  On
-// restart the server replays the flushed journal (hash-chain verified;
-// a tampered or truncated journal refuses startup) and re-charges each
-// analyst's spent epsilon against fresh budgets: a crash can never
-// refund budget.  See "Crash-safe budget recovery" in
-// docs/robustness.md.
+// journal is flushed (atomically: temp file + fsync + rename) to disk
+// BEFORE the response frame is handed to the transport — if the analyst
+// saw an answer, the charge is durable.  On restart the server replays
+// the flushed journal (hash-chain verified; a tampered or truncated
+// journal refuses startup) and re-charges each analyst's spent epsilon
+// against fresh budgets: a crash can never refund budget.  Because a
+// journal whose ring dropped events can never be replayed, the server
+// sizes the ring from `journal_capacity` at startup and, when the ring
+// lacks headroom for every in-flight request's worst-case event
+// emission, refuses dispatch with "journal-full" instead of letting an
+// append overwrite history — a long-lived server degrades to explicit
+// refusals, never to an unrecoverable journal.  See "Crash-safe budget
+// recovery" in docs/robustness.md.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -75,6 +88,11 @@ struct ServerConfig {
   std::string journal_path;  // durable journal; empty = in-memory only.
                              // If the file exists at startup it is
                              // verified and replayed (budget recovery).
+  std::size_t journal_capacity = std::size_t{1} << 18;
+      // Event-journal ring bound (events, not requests).  The server
+      // refuses dispatch with "journal-full" rather than let the ring
+      // drop — a dropped event would make the flushed journal
+      // unreplayable and strand the next restart.
 };
 
 /// Per-analyst recovered spend, for the operator's startup summary.
@@ -147,6 +165,9 @@ class QueryServer {
   struct Pending {
     protocol::Request request;
     ResponseSink sink;
+    // Admission stamp: the request's deadline is measured from here, so
+    // queue wait counts against it.
+    std::chrono::steady_clock::time_point admitted;
   };
 
   struct Session {
@@ -168,10 +189,18 @@ class QueryServer {
   // Round-robin drainer body, run on pool workers.
   void drain_loop();
 
+  // Worst-case journal events one request may emit (task begin/end
+  // pairs across its parallel stages plus charge/refusal/abort/fault
+  // records); the dispatch-time ring-headroom check reserves this much
+  // per in-flight request.
+  [[nodiscard]] std::size_t journal_headroom() const;
+
   // Executes one request against its session; returns the response
-  // frame.  Never throws — failures become sanitized error responses.
-  [[nodiscard]] std::string execute(Session& session,
-                                    const protocol::Request& req);
+  // frame.  `admitted` anchors the deadline (queue wait counts).  Never
+  // throws — failures become sanitized error responses.
+  [[nodiscard]] std::string execute(
+      Session& session, const protocol::Request& req,
+      std::chrono::steady_clock::time_point admitted);
 
   // Runs the named query on the session's view.
   [[nodiscard]] double run_query(Session& session,

@@ -17,10 +17,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/errors.hpp"
+#include "core/failpoint.hpp"
 #include "core/json.hpp"
 #include "core/obs/journal.hpp"
 #include "net/packet.hpp"
@@ -206,6 +209,49 @@ TEST(ServeRecovery, ShrunkCapRefusesStartup) {
   ServerConfig shrunk = journal_config(path, 2);
   shrunk.analyst_cap = 0.25;  // less than alice's recovered 0.5
   EXPECT_THROW(QueryServer(small_trace(), shrunk), core::DpError);
+}
+
+// A crash inside the flush window — after the temp journal is durable,
+// before the rename publishes it — must leave the PREVIOUS complete
+// journal on disk.  flush_to_file never truncates the journal in place,
+// so a kill -9 mid-flush can neither strand the restart (a truncated
+// file refuses verification) nor force the operator to delete the
+// journal (which would refund every spent epsilon).
+TEST(ServeRecovery, CrashMidFlushLeavesPreviousJournalReplayable) {
+  const std::string path =
+      ::testing::TempDir() + "/serve_recovery_midflush.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryServer first(small_trace(), journal_config(path, 2));
+    EXPECT_NE(ask(first, 1, "alice", 0.5).find("\"status\":\"ok\""),
+              std::string::npos);
+    // Crash in the window the atomic temp+fsync+rename protects.
+    core::failpoint::ScopedFailpoint crash(
+        "obs.journal.flush", [](std::string_view) {
+          throw std::runtime_error("injected crash mid-flush");
+        });
+    // The failed flush withholds the value: the charge was never made
+    // durable, so no answer may acknowledge it.
+    EXPECT_NE(ask(first, 2, "alice", 0.25).find("\"error\":\"internal\""),
+              std::string::npos);
+  }
+  core::obs::EventJournal::global().clear();  // fresh-process analog
+
+  // On disk: run 1's first complete flush, not a truncated hybrid.
+  const core::obs::JournalVerification v =
+      core::obs::verify_journal_file(path);
+  ASSERT_TRUE(v.ok) << v.error;
+  EXPECT_EQ(v.charges, 1u);
+
+  // Restart replays exactly the witnessed spend; serving resumes, and a
+  // successful flush leaves no temp residue behind.
+  QueryServer second(small_trace(), journal_config(path, 2));
+  ASSERT_EQ(second.recovered().size(), 1u);
+  EXPECT_DOUBLE_EQ(second.analyst_spent("alice"), 0.5);
+  EXPECT_NE(ask(second, 3, "alice", 0.125).find("\"status\":\"ok\""),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(second.analyst_spent("alice"), 0.625);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
 }
 
 // A missing journal file is a first boot, not an error.

@@ -9,11 +9,13 @@
 // exact in binary floating point and the assertions demand equality.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/errors.hpp"
@@ -445,6 +447,115 @@ TEST(ServeRobustness, DispatchAndWriteFaultsDegradeCleanly) {
   EXPECT_EQ(log.size(), 2u);
   EXPECT_NE(log.by_id().at(3).find("\"status\":\"ok\""), std::string::npos);
   EXPECT_DOUBLE_EQ(server.analyst_spent("alice"), 0.5);
+}
+
+// --- hostile numeric wire fields -----------------------------------------
+
+// Every integral wire field is bounded BEFORE its double -> uint64 cast:
+// a hostile {"id":1e300} (or deadline_ms/port) must be a sanitized
+// refusal, never undefined behavior on the cast (the repo gates on
+// UBSan).
+TEST(ServeRobustness, HostileNumericFieldsAreBoundedBeforeCast) {
+  EXPECT_THROW(
+      protocol::parse_request(
+          "{\"id\":1e300,\"analyst\":\"a\",\"query\":\"count\",\"eps\":1}"),
+      core::InvalidQueryError);
+  EXPECT_THROW(protocol::parse_request(
+                   "{\"id\":1,\"analyst\":\"a\",\"query\":\"count\","
+                   "\"eps\":1,\"deadline_ms\":1e300}"),
+               core::InvalidQueryError);
+  // deadline_ms has a field max (one day) so the server's chrono
+  // arithmetic stays far from overflow.
+  EXPECT_THROW(protocol::parse_request(
+                   "{\"id\":1,\"analyst\":\"a\",\"query\":\"count\","
+                   "\"eps\":1,\"deadline_ms\":86400001}"),
+               core::InvalidQueryError);
+  EXPECT_THROW(protocol::parse_request(
+                   "{\"id\":1,\"analyst\":\"a\",\"query\":\"count\","
+                   "\"eps\":1,\"port\":70000}"),
+               core::InvalidQueryError);
+  // 2^53 — the largest exactly-representable JSON integer — is the
+  // inclusive ceiling for unconstrained fields like id; 2^54 is out.
+  EXPECT_EQ(protocol::parse_request(
+                "{\"id\":9007199254740992,\"analyst\":\"a\","
+                "\"query\":\"count\",\"eps\":1}")
+                .id,
+            std::uint64_t{1} << 53);
+  EXPECT_THROW(protocol::parse_request(
+                   "{\"id\":18014398509481984,\"analyst\":\"a\","
+                   "\"query\":\"count\",\"eps\":1}"),
+               core::InvalidQueryError);
+
+  // On the wire the refusal is a sanitized invalid-query (the bogus id
+  // is not recoverable, so it echoes as 0) and the server keeps serving.
+  QueryServer server(canary_trace(), ServerConfig{});
+  ResponseLog log;
+  server.submit_frame(
+      "{\"id\":1e300,\"analyst\":\"alice\",\"query\":\"count\",\"eps\":1}",
+      log.sink());
+  server.drain();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(error_code(log.lines.front()), "invalid-query");
+  server.submit_frame(request_line(2, "alice", "count", 0.125), log.sink());
+  server.drain();
+  EXPECT_NE(log.by_id().at(2).find("\"status\":\"ok\""), std::string::npos);
+}
+
+// --- journal ring headroom ------------------------------------------------
+
+// When the journal ring lacks headroom for another request's events,
+// dispatch refuses with "journal-full" instead of letting an append
+// overwrite history: the ring never drops, so a long-lived server's
+// flushed journal stays replayable forever (no availability cliff whose
+// only escape would refund budget).
+TEST(ServeRobustness, JournalFullRefusesDispatchBeforeRingDrops) {
+  ServerConfig cfg;
+  cfg.threads = 1;
+  QueryServer server(canary_trace(), cfg);  // clears the ring
+
+  core::obs::EventJournal& journal = core::obs::EventJournal::global();
+  const std::uint64_t dropped_before = journal.dropped();
+  // Fill the ring until less than one request's headroom remains
+  // (journal_headroom() is 8 + 8 * threads = 16 here).
+  while (journal.capacity() - journal.size() >= 16) {
+    core::obs::emit_task_begin(0);
+  }
+
+  ResponseLog log;
+  server.submit_frame(request_line(1, "alice", "count", 0.25), log.sink());
+  server.drain();
+  EXPECT_EQ(error_code(log.by_id().at(1)), "journal-full");
+  // The refusal charged nothing and — the point — the ring never
+  // dropped an event.
+  EXPECT_DOUBLE_EQ(server.dataset_spent(), 0.0);
+  EXPECT_EQ(journal.dropped(), dropped_before);
+  journal.clear();  // don't leave a full ring for later tests
+}
+
+// --- the deadline covers queue wait ---------------------------------------
+
+// The deadline clock starts at admission, so time spent before execution
+// (queue wait under backpressure; here a stalled dispatch stands in for
+// it deterministically) counts: a request that overstays its deadline
+// waiting is aborted at the guard's first checkpoint and charges
+// nothing.
+TEST(ServeRobustness, DeadlineCountsTimeQueuedBeforeExecution) {
+  ServerConfig cfg;
+  cfg.threads = 1;
+  QueryServer server(canary_trace(), cfg);
+
+  core::failpoint::ScopedFailpoint stall(
+      "serve.dispatch", [](std::string_view) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      });
+  ResponseLog log;
+  server.submit_frame(
+      "{\"id\":1,\"analyst\":\"late\",\"query\":\"count\",\"eps\":0.25,"
+      "\"deadline_ms\":5}",
+      log.sink());
+  server.drain();
+  EXPECT_EQ(error_code(log.by_id().at(1)), "aborted:deadline");
+  EXPECT_DOUBLE_EQ(server.analyst_spent("late"), 0.0);
 }
 
 // Session-limit refusals are explicit and sanitized.

@@ -189,7 +189,7 @@ echo "== serve numeric flags share the uniform validation =="
 # The hoisted numeric-flag helper: malformed values exit 2 with the same
 # `error: --flag expects ...` shape everywhere, serve included.
 for bad in "--threads two" "--queue -3" "--deadline-ms soon" \
-    "--max-sessions 1.5" "--seed 0x2a"; do
+    "--max-sessions 1.5" "--seed 0x2a" "--journal-capacity lots"; do
   rc=0
   # shellcheck disable=SC2086  # word-splitting the pair is intended
   "$CLI" serve "$WORK/t.dpnt" $bad </dev/null 2>"$WORK/err" || rc=$?

@@ -389,7 +389,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   check_flags("serve", args,
               {"--budget", "--cap", "--threads", "--queue",
                "--analyst-queue", "--deadline-ms", "--max-rows", "--seed",
-               "--max-sessions", "--journal", "--ledger", "--trace-out"},
+               "--max-sessions", "--journal", "--journal-capacity",
+               "--ledger", "--trace-out"},
               {});
   serve::ServerConfig cfg;
   cfg.dataset_budget = double_flag(args, "--budget", "8");
@@ -405,6 +406,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   cfg.max_sessions =
       static_cast<std::size_t>(u64_flag(args, "--max-sessions", "16"));
   cfg.journal_path = flag_value(args, "--journal", "");
+  cfg.journal_capacity = static_cast<std::size_t>(
+      u64_flag(args, "--journal-capacity", "262144"));
   const std::string ledger_out = flag_value(args, "--ledger", "");
   const std::string trace_out = flag_value(args, "--trace-out", "");
 
@@ -747,7 +750,8 @@ constexpr Subcommand kSubcommands[] = {
      "<in> [--budget B] [--cap C] [--threads T] [--queue N]\n"
      "                   [--analyst-queue N] [--deadline-ms D] [--max-rows N]\n"
      "                   [--seed N] [--max-sessions N] [--journal PATH]\n"
-     "                   [--ledger OUT.json] [--trace-out OUT.json]",
+     "                   [--journal-capacity N] [--ledger OUT.json]\n"
+     "                   [--trace-out OUT.json]",
      "serve mediated queries over line-delimited JSON on stdin",
      "  requests:  {\"id\":1,\"analyst\":\"alice\",\"query\":\"count\","
      "\"eps\":0.125}\n"
@@ -767,6 +771,9 @@ constexpr Subcommand kSubcommands[] = {
      "  --journal PATH    durable event journal: flushed before every\n"
      "                    response; verified and replayed at startup for\n"
      "                    crash-safe budget recovery\n"
+     "  --journal-capacity N  event-journal ring bound (default 262144);\n"
+     "                    when the ring lacks headroom, dispatch answers\n"
+     "                    \"journal-full\" rather than drop events\n"
      "  --ledger OUT      write the merged audit ledger at shutdown\n"
      "  --trace-out OUT   write the server query trace at shutdown\n",
      &cmd_serve},
