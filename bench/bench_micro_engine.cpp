@@ -24,7 +24,10 @@
 #include "core/exec/group_aggregate.hpp"
 #include "core/grouping/table.hpp"
 #include "core/obs/journal.hpp"
+#include "core/obs/log.hpp"
+#include "core/obs/recorder.hpp"
 #include "core/obs/resource.hpp"
+#include "core/obs/snapshot.hpp"
 #include "core/queryable.hpp"
 #include "core/trace.hpp"
 #include "net/packet.hpp"
@@ -377,6 +380,170 @@ void measure_journal_overhead() {
                            std::to_string(overhead_pct) + "%");
 }
 
+/// Shared paired-A/B driver behind the live-ops kill-switch rows (flight
+/// recorder, ops log, ops snapshot): identical estimators to
+/// measure_tracing_overhead — min of (best attempt's median of paired
+/// per-round ratios, ratio of per-arm global minima), alternating leg
+/// order, retrying whole windows that a co-tenant burst poisoned.
+struct PairedOverhead {
+  double off_min = 1e300;
+  double on_min = 1e300;
+  double overhead_pct = 100.0;
+};
+
+template <typename SetArmed, typename LegMs>
+PairedOverhead paired_overhead(SetArmed set_armed, LegMs leg_ms,
+                               int max_attempts) {
+  constexpr int kRounds = 32;
+  const auto median = [](std::vector<double> xs) {
+    const auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+    std::nth_element(xs.begin(), mid, xs.end());
+    return *mid;
+  };
+  PairedOverhead r;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<double> ratios;
+    for (int round = 0; round < kRounds; ++round) {
+      const bool off_first = (round % 2) == 0;
+      double ms[2];  // [0] = kill switch off, [1] = armed
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool is_off = off_first == (leg == 0);
+        set_armed(!is_off);
+        ms[is_off ? 0 : 1] = leg_ms();
+      }
+      r.off_min = std::min(r.off_min, ms[0]);
+      r.on_min = std::min(r.on_min, ms[1]);
+      ratios.push_back(ms[1] / ms[0]);
+    }
+    r.overhead_pct =
+        std::min(r.overhead_pct, (median(ratios) - 1.0) * 100.0);
+    r.overhead_pct = std::min(
+        r.overhead_pct, (r.on_min - r.off_min) / r.off_min * 100.0);
+    if (r.overhead_pct < 1.0) break;
+  }
+  r.overhead_pct = std::max(0.0, r.overhead_pct);
+  return r;
+}
+
+/// Flight-recorder A/B: audited, journal-armed releases — the serve-path
+/// production config, where every journal event also mirrors one ring
+/// moment — with the recorder armed versus its construction-time kill
+/// switch off.  Same < 2% promise, enforced by bench_schema_check on the
+/// "flight recorder overhead pct" row.
+void measure_flight_recorder_overhead() {
+  constexpr int kPasses = 12;
+  auto audit = std::make_shared<core::AuditingBudget>(
+      std::make_shared<core::RootBudget>(1e12));
+  core::obs::set_journal_armed(true);
+  core::obs::set_recorder_armed(true);
+  journal_min_rep_ms(2, kPasses, audit);  // warm-up
+  const PairedOverhead r = paired_overhead(
+      [](bool on) { core::obs::set_recorder_armed(on); },
+      [&audit] { return journal_min_rep_ms(1, kPasses, audit); },
+      /*max_attempts=*/6);
+  core::obs::set_recorder_armed(true);
+  // Both the journal ring and the flight ring saw the probe's events;
+  // clear them so later artifacts cover real work only.
+  core::obs::EventJournal::global().clear();
+  core::obs::FlightRecorder::global().clear();
+
+  bench::section("flight recorder overhead (kill switch off vs on)");
+  bench::kv("workload recorder-off min (wall ms)", r.off_min);
+  bench::kv("workload recorder-on min (wall ms)", r.on_min);
+  bench::kv("flight recorder overhead pct", r.overhead_pct);
+  bench::paper_vs_measured("flight recorder overhead", "< 2%",
+                           std::to_string(r.overhead_pct) + "%");
+}
+
+/// Ops-log A/B: the workload plus one admission-decision-shaped log line
+/// per pass (the serve path logs per decision, never per record) into a
+/// real file sink at debug level, armed versus the kill switch off.
+/// The limiter stays at the production default (256 lines/s/kind): the
+/// rate limiter is exactly the mechanism that bounds steady-state log
+/// cost, so past the per-second cap the armed arm pays the limiter's
+/// window increment rather than a write+fflush — which is what a hot
+/// serve loop pays too.  The min/median estimators therefore measure the
+/// sustained-rate cost; the durable-write cost of the capped line volume
+/// is bounded by the limiter, not by workload rate.
+void measure_ops_log_overhead() {
+  constexpr int kPasses = 12;
+  const char* kProbePath = "bench_ops_log_probe.jsonl";
+  core::obs::OpsLog& log = core::obs::OpsLog::global();
+  log.open_file(kProbePath);
+  log.set_min_level(core::obs::LogLevel::kDebug);
+  log.set_rate_limit(core::obs::OpsLog::kDefaultRateLimit);
+  core::obs::set_ops_log_armed(true);
+  min_rep_ms(2, kPasses);  // warm-up
+
+  const auto leg = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (int p = 0; p < kPasses; ++p) {
+      sink += overhead_workload();
+      core::obs::log_event(core::obs::LogLevel::kDebug, "bench.probe",
+                           "bench", 0.0, "paired A/B");
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sink);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  // Extra retry windows: legs that straddle a limiter-window boundary
+  // pay real file writes, so this pairing is noisier than the others.
+  const PairedOverhead r = paired_overhead(
+      [](bool on) { core::obs::set_ops_log_armed(on); }, leg,
+      /*max_attempts=*/6);
+  core::obs::set_ops_log_armed(true);
+  log.close();
+  log.set_min_level(core::obs::LogLevel::kInfo);
+  log.set_rate_limit(core::obs::OpsLog::kDefaultRateLimit);
+  std::remove(kProbePath);
+
+  bench::section("ops log overhead (kill switch off vs on)");
+  bench::kv("workload log-off min (wall ms)", r.off_min);
+  bench::kv("workload log-on min (wall ms)", r.on_min);
+  bench::kv("ops log overhead pct", r.overhead_pct);
+  bench::paper_vs_measured("ops log overhead", "< 2%",
+                           std::to_string(r.overhead_pct) + "%");
+}
+
+/// Ops-snapshot A/B: the workload plus one maybe_write() per pass against
+/// a writer on the serve default cadence (1 s) — between publishes the
+/// armed path is one clock read under a mutex, which is what every
+/// drained response pays.
+void measure_ops_snapshot_overhead() {
+  constexpr int kPasses = 12;
+  const char* kProbePath = "bench_ops_snapshot_probe.json";
+  core::obs::OpsSnapshotWriter writer(kProbePath,
+                                      std::chrono::milliseconds(1000));
+  core::obs::set_ops_snapshot_armed(true);
+  min_rep_ms(2, kPasses);  // warm-up
+
+  const auto leg = [&writer] {
+    const auto t0 = std::chrono::steady_clock::now();
+    double sink = 0.0;
+    for (int p = 0; p < kPasses; ++p) {
+      sink += overhead_workload();
+      writer.maybe_write(
+          [] { return std::string("{\"schema\":\"dpnet.ops.v1\"}"); });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(sink);
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+  };
+  const PairedOverhead r = paired_overhead(
+      [](bool on) { core::obs::set_ops_snapshot_armed(on); }, leg,
+      /*max_attempts=*/3);
+  core::obs::set_ops_snapshot_armed(true);
+  std::remove(kProbePath);
+
+  bench::section("ops snapshot overhead (kill switch off vs on)");
+  bench::kv("workload snapshot-off min (wall ms)", r.off_min);
+  bench::kv("workload snapshot-on min (wall ms)", r.on_min);
+  bench::kv("ops snapshot overhead pct", r.overhead_pct);
+  bench::paper_vs_measured("ops snapshot overhead", "< 2%",
+                           std::to_string(r.overhead_pct) + "%");
+}
+
 /// Flow-table build keys: mostly-singleton flows with a hot minority,
 /// the shape a packet trace hands the grouping layer (many one-packet
 /// flows, a few heavy hitters).  Deterministic, so the A/B below and the
@@ -548,6 +715,9 @@ int main(int argc, char** argv) {
   measure_tracing_overhead();
   measure_op_histogram_overhead();
   measure_journal_overhead();
+  measure_flight_recorder_overhead();
+  measure_ops_log_overhead();
+  measure_ops_snapshot_overhead();
   measure_grouping_engine();
   run_traced_sample();
   return 0;

@@ -28,6 +28,7 @@
 #include "core/budget.hpp"
 #include "core/json.hpp"
 #include "core/metrics.hpp"
+#include "core/obs/burn.hpp"
 #include "core/obs/journal.hpp"
 
 namespace dpnet::core {
@@ -176,6 +177,11 @@ class AuditingBudget final : public PrivacyBudget {
     if (std::isfinite(left)) {
       builtin_metrics::budget_remaining(label).set(left);
     }
+    // Burn-rate forecasting (core/obs/burn.hpp): the sliding-window
+    // tracker turns this charge stream into budget.burn_rate.<label> /
+    // budget.eta_s.<label> gauges and, when a serve operator armed an
+    // ETA threshold, budget.alert journal events.
+    obs::BurnTracker::global().on_charge(label, eps, left);
   }
 
   // A refusal consumed nothing, so the ledger stays untouched (the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <optional>
 
 #include "core/errors.hpp"
 #include "core/json.hpp"
@@ -33,6 +34,63 @@ void append_line(std::string& out, const char* fmt, ...) {
   std::vsnprintf(line, sizeof line, fmt, ap);
   va_end(ap);
   out += line;
+}
+
+/// Prometheus label-value escaping per text exposition format 0.0.4:
+/// backslash, double-quote, and line-feed must be escaped; everything
+/// else passes through verbatim.  Analyst labels are analyst-chosen
+/// strings, so hostile values must never break the line discipline.
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+/// Splits a per-analyst series name ("budget.spent.<label>") into its
+/// family and the analyst label, so the exposition can render the family
+/// once with the analyst as a label value instead of minting one mangled
+/// metric name per analyst.
+struct AnalystSeries {
+  std::string_view family;  // "budget.spent"
+  std::string_view label;   // analyst label, verbatim
+};
+std::optional<AnalystSeries> split_analyst_series(const std::string& name) {
+  static constexpr std::string_view kFamilies[] = {
+      "budget.spent.",     "budget.remaining.", "budget.refusals.",
+      "budget.burn_rate.", "budget.eta_s.",
+  };
+  for (const std::string_view prefix : kFamilies) {
+    if (name.size() > prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      return AnalystSeries{prefix.substr(0, prefix.size() - 1),
+                           std::string_view(name).substr(prefix.size())};
+    }
+  }
+  return std::nullopt;
+}
+
+/// Emits "# TYPE" once per exposition family (labeled series share one
+/// declaration), tracking the last family declared.
+void declare_type(std::string& out, const std::string& pname,
+                  const char* kind, std::string& last_declared) {
+  if (pname == last_declared) return;
+  append_line(out, "# TYPE %s %s\n", pname.c_str(), kind);
+  last_declared = pname;
+}
+
+/// Never-touched `serve.*` series are registered by accessor plumbing in
+/// every process but only move when a query server actually runs;
+/// suppressing them keeps scrapes of non-server processes clean.
+bool suppress_in_prometheus(const std::string& name, bool touched) {
+  return !touched && name.rfind("serve.", 0) == 0;
 }
 
 }  // namespace
@@ -159,15 +217,34 @@ std::string MetricsRegistry::to_json() const {
 std::string MetricsRegistry::to_prometheus() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
+  std::string last_declared;
   for (const auto& [name, c] : counters_) {
+    if (suppress_in_prometheus(name, c->touched())) continue;
+    if (const auto split = split_analyst_series(name)) {
+      const std::string pname = prometheus_name(std::string(split->family));
+      declare_type(out, pname, "counter", last_declared);
+      out += pname + "{analyst=\"" + prometheus_label_escape(split->label) +
+             "\"} ";
+      append_line(out, "%llu\n", static_cast<unsigned long long>(c->value()));
+      continue;
+    }
     const std::string pname = prometheus_name(name);
-    append_line(out, "# TYPE %s counter\n", pname.c_str());
+    declare_type(out, pname, "counter", last_declared);
     append_line(out, "%s %llu\n", pname.c_str(),
                 static_cast<unsigned long long>(c->value()));
   }
   for (const auto& [name, g] : gauges_) {
+    if (suppress_in_prometheus(name, g->touched())) continue;
+    if (const auto split = split_analyst_series(name)) {
+      const std::string pname = prometheus_name(std::string(split->family));
+      declare_type(out, pname, "gauge", last_declared);
+      out += pname + "{analyst=\"" + prometheus_label_escape(split->label) +
+             "\"} ";
+      append_line(out, "%.17g\n", g->value());
+      continue;
+    }
     const std::string pname = prometheus_name(name);
-    append_line(out, "# TYPE %s gauge\n", pname.c_str());
+    declare_type(out, pname, "gauge", last_declared);
     append_line(out, "%s %.17g\n", pname.c_str(), g->value());
   }
   for (const auto& [name, h] : histograms_) {
@@ -278,6 +355,12 @@ Counter& serve_requests_shed() {
   return c;
 }
 
+Counter& journal_events_dropped() {
+  static Counter& c =
+      MetricsRegistry::global().counter("journal.events.dropped");
+  return c;
+}
+
 Gauge& eps_charged(std::string_view mechanism) {
   return MetricsRegistry::global().gauge("eps.charged." +
                                          std::string(mechanism));
@@ -304,6 +387,16 @@ Gauge& budget_remaining(std::string_view label) {
 Counter& budget_refusals(std::string_view label) {
   return MetricsRegistry::global().counter(
       analyst_series("budget.refusals.", label));
+}
+
+Gauge& budget_burn_rate(std::string_view label) {
+  return MetricsRegistry::global().gauge(
+      analyst_series("budget.burn_rate.", label));
+}
+
+Gauge& budget_eta_s(std::string_view label) {
+  return MetricsRegistry::global().gauge(
+      analyst_series("budget.eta_s.", label));
 }
 
 Histogram& query_wall_ms() {

@@ -26,6 +26,14 @@
 //                               charge (gauge; set only while the
 //                               accountant reports a finite remaining())
 //   budget.refusals.<label>     per-analyst refused charges (counter)
+//   budget.burn_rate.<label>    recent ε spend per second over the burn
+//                               tracker's sliding window (gauge;
+//                               core/obs/burn.hpp)
+//   budget.eta_s.<label>        projected seconds to budget exhaustion at
+//                               the current burn rate (gauge; set only
+//                               while finite)
+//   journal.events.dropped      events the bounded journal ring forgot
+//                               because it was full (counter)
 //   serve.sessions.active       analyst sessions open on the query server
 //                               (gauge; src/serve/)
 //   serve.queue.depth           requests admitted but not yet dispatched
@@ -52,39 +60,63 @@
 
 namespace dpnet::core {
 
-/// Monotone event counter.
+/// Monotone event counter.  touched() distinguishes a counter some code
+/// path actually exercised from one that was merely registered — the
+/// Prometheus exposition uses it to suppress never-touched `serve.*`
+/// series so scrapes of non-server processes stay clean.
 class Counter {
  public:
   void increment(std::uint64_t by = 1) {
     value_.fetch_add(by, std::memory_order_relaxed);
+    touched_.store(true, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] bool touched() const {
+    return touched_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    touched_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
+  std::atomic<bool> touched_{false};
 };
 
 /// Double-valued gauge.  set() overwrites; add() accumulates atomically
-/// (used for the monotone eps.charged.* series).
+/// (used for the monotone eps.charged.* series).  touched() mirrors
+/// Counter::touched(): true once any update has landed since
+/// registration (or the last reset()).
 class Gauge {
  public:
-  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void set(double v) {
+    value_.store(v, std::memory_order_relaxed);
+    touched_.store(true, std::memory_order_relaxed);
+  }
   void add(double delta) {
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
                                          std::memory_order_relaxed)) {
     }
+    touched_.store(true, std::memory_order_relaxed);
   }
   [[nodiscard]] double value() const {
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  [[nodiscard]] bool touched() const {
+    return touched_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    value_.store(0.0, std::memory_order_relaxed);
+    touched_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<double> value_{0.0};
+  std::atomic<bool> touched_{false};
 };
 
 /// Fixed-bucket histogram: bucket i counts observations <= bound[i], plus
@@ -226,12 +258,24 @@ Gauge& serve_sessions_active();
 Gauge& serve_queue_depth();
 Counter& serve_requests_rejected();
 Counter& serve_requests_shed();
+/// Journal-ring overwrites (core/obs/journal.hpp): events the bounded
+/// ring forgot because it was full.  Silent drop must be visible to ops.
+Counter& journal_events_dropped();
 Gauge& eps_charged(std::string_view mechanism);
 /// Per-analyst budget gauges fed by AuditingBudget (core/audit.hpp).  An
 /// empty audit label maps to "unlabeled" so the series names stay valid.
+/// The Prometheus exposition renders this family with the analyst as a
+/// properly-escaped label value (`dpnet_budget_spent{analyst="..."}`),
+/// not folded into the metric name.
 Gauge& budget_spent(std::string_view label);
 Gauge& budget_remaining(std::string_view label);
 Counter& budget_refusals(std::string_view label);
+/// Burn-rate forecasting gauges fed by the sliding-window tracker
+/// (core/obs/burn.hpp): recent ε spend per second, and the projected
+/// seconds until the analyst's budget is exhausted at that rate (set
+/// only while remaining() is finite and the rate is positive).
+Gauge& budget_burn_rate(std::string_view label);
+Gauge& budget_eta_s(std::string_view label);
 Histogram& query_wall_ms();
 /// Per-operator-kind wall-time histogram ("op.wall_ms.<kind>", same
 /// bounds as query.wall_ms).  Registered on first use per kind.

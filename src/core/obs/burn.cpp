@@ -1,0 +1,114 @@
+#include "core/obs/burn.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "core/obs/journal.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core::obs {
+
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - trace_detail::trace_epoch())
+      .count();
+}
+
+}  // namespace
+
+BurnTracker& BurnTracker::global() {
+  static BurnTracker tracker;
+  return tracker;
+}
+
+BurnTracker::Stats BurnTracker::stats_locked(const LabelState& state,
+                                             std::int64_t now) const {
+  Stats out;
+  double sum = 0.0;
+  for (const auto& [ts, eps] : state.charges) {
+    if (ts >= now - window_us_) sum += eps;
+  }
+  const double window_s = static_cast<double>(window_us_) / 1e6;
+  out.rate = window_s > 0.0 ? sum / window_s : 0.0;
+  if (out.rate > 0.0 && std::isfinite(state.remaining)) {
+    out.eta_s = std::max(state.remaining, 0.0) / out.rate;
+    out.has_eta = true;
+  }
+  return out;
+}
+
+void BurnTracker::on_charge(std::string_view label, double eps,
+                            double remaining) {
+  const std::int64_t now = now_us();
+  bool fire_alert = false;
+  Stats st;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = labels_.find(label);
+    if (it == labels_.end()) {
+      it = labels_.emplace(std::string(label), LabelState{}).first;
+    }
+    LabelState& state = it->second;
+    state.charges.emplace_back(now, eps);
+    state.remaining = remaining;
+    while (!state.charges.empty() &&
+           state.charges.front().first < now - window_us_) {
+      state.charges.pop_front();
+    }
+    st = stats_locked(state, now);
+    if (alert_eta_s_ > 0.0) {
+      if (!state.alerted && st.has_eta && st.eta_s <= alert_eta_s_) {
+        state.alerted = true;
+        fire_alert = true;
+      } else if (state.alerted && st.has_eta &&
+                 st.eta_s > 2.0 * alert_eta_s_) {
+        // Hysteresis: only re-arm once the forecast has clearly
+        // recovered, so a boundary-hovering analyst cannot flood the
+        // journal with alert events.
+        state.alerted = false;
+      }
+    }
+  }
+  builtin_metrics::budget_burn_rate(label).set(st.rate);
+  if (st.has_eta) builtin_metrics::budget_eta_s(label).set(st.eta_s);
+  if (fire_alert) {
+    emit_budget_alert(std::string(label), std::max(remaining, 0.0));
+  }
+}
+
+BurnTracker::Stats BurnTracker::stats(std::string_view label) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = labels_.find(label);
+  if (it == labels_.end()) return {};
+  return stats_locked(it->second, now_us());
+}
+
+std::map<std::string, BurnTracker::Stats> BurnTracker::all() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Stats> out;
+  const std::int64_t now = now_us();
+  for (const auto& [label, state] : labels_) {
+    out.emplace(label, stats_locked(state, now));
+  }
+  return out;
+}
+
+void BurnTracker::set_window_us(std::int64_t window_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  window_us_ = window_us > 0 ? window_us : kDefaultWindowUs;
+}
+
+void BurnTracker::set_alert_eta_s(double eta_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  alert_eta_s_ = eta_s;
+}
+
+void BurnTracker::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  labels_.clear();
+}
+
+}  // namespace dpnet::core::obs

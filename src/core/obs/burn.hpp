@@ -1,0 +1,87 @@
+// Budget burn-rate forecasting: sliding-window ε spend per analyst.
+//
+// A data owner watching a long-lived mediated session cares less about
+// the spent/remaining totals (the budget gauges already export those)
+// than about the *trend*: how fast is each analyst consuming epsilon
+// right now, and when does the cap arrive at that pace?  BurnTracker
+// answers both with a per-label sliding window over recent charges, fed
+// by AuditingBudget on every successful charge:
+//
+//   budget.burn_rate.<label>  recent ε per second over the window
+//   budget.eta_s.<label>      remaining ε / burn rate (set only while
+//                             remaining is finite and the rate positive)
+//
+// Threshold alerting: when a serve operator arms an ETA threshold
+// (set_alert_eta_s, `dpnet_cli serve --burn-alert-eta-s`), the first
+// crossing below it emits a "budget.alert" event into the privacy event
+// journal — witnessed, hash-chained, and verified like every other ops
+// event.  Alerts re-arm once the ETA recovers past twice the threshold
+// (hysteresis), so a analyst hovering at the boundary cannot flood the
+// journal.  The threshold defaults to off, so engine runs outside serve
+// keep their canonical journals byte-identical.
+//
+// Privacy stance: rates and ETAs derive from epsilons and wall-clock
+// time only — accounting metadata, never record contents.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dpnet::core::obs {
+
+class BurnTracker {
+ public:
+  /// Window the rate averages over: 60 s, long enough to smooth bursty
+  /// per-query charges, short enough that "now" means now.
+  static constexpr std::int64_t kDefaultWindowUs = 60'000'000;
+
+  /// The process-wide tracker AuditingBudget feeds.
+  static BurnTracker& global();
+
+  /// Records one successful charge of `eps` for `label`, with the
+  /// accountant's post-charge remaining() (may be infinite).  Updates
+  /// the burn-rate and ETA gauges and fires the journal alert when the
+  /// ETA first crosses below the armed threshold.
+  void on_charge(std::string_view label, double eps, double remaining);
+
+  struct Stats {
+    double rate = 0.0;     // ε per second over the window
+    double eta_s = 0.0;    // seconds to exhaustion (valid iff has_eta)
+    bool has_eta = false;  // remaining was finite and the rate positive
+  };
+
+  [[nodiscard]] Stats stats(std::string_view label) const;
+
+  /// Per-label stats for every label seen since the last clear().
+  [[nodiscard]] std::map<std::string, Stats> all() const;
+
+  void set_window_us(std::int64_t window_us);
+
+  /// ETA threshold (seconds) below which a "budget.alert" journal event
+  /// fires; <= 0 disarms alerting (the default).
+  void set_alert_eta_s(double eta_s);
+
+  /// Forgets every label's window and alert latch.  Test plumbing.
+  void clear();
+
+ private:
+  struct LabelState {
+    std::deque<std::pair<std::int64_t, double>> charges;  // (ts_us, eps)
+    double remaining = 0.0;
+    bool alerted = false;
+  };
+
+  [[nodiscard]] Stats stats_locked(const LabelState& state,
+                                   std::int64_t now_us) const;
+
+  mutable std::mutex mutex_;
+  std::int64_t window_us_ = kDefaultWindowUs;
+  double alert_eta_s_ = 0.0;
+  std::map<std::string, LabelState, std::less<>> labels_;
+};
+
+}  // namespace dpnet::core::obs

@@ -10,6 +10,8 @@
 #include "core/errors.hpp"
 #include "core/failpoint.hpp"
 #include "core/json.hpp"
+#include "core/metrics.hpp"
+#include "core/obs/recorder.hpp"
 #include "core/trace.hpp"
 
 namespace dpnet::core::obs {
@@ -115,6 +117,10 @@ void EventJournal::append(EventKind kind, std::string label,
     ring_[head_] = std::move(e);
     head_ = (head_ + 1) % capacity_;
     ++dropped_;
+    // Silent forgetting must be visible to ops: every overwrite also
+    // counts on the metrics surface (lock-free, fine under the ring
+    // mutex).
+    builtin_metrics::journal_events_dropped().increment();
   }
 }
 
@@ -236,6 +242,11 @@ namespace journal_detail {
 
 void emit(EventKind kind, std::string label, std::uint64_t node_id,
           double eps, std::string detail) {
+  // Every journal event is also a flight-recorder moment, so the black
+  // box a crashed server leaves behind carries the same trailing context
+  // the journal witnessed (the dump reconciles against the flushed
+  // journal in the serve chaos drill).
+  record_moment(event_kind_name(kind), label, eps, detail);
   EventJournal::global().append(kind, std::move(label), node_id, eps,
                                 std::move(detail));
 }

@@ -55,6 +55,7 @@ enum class EventKind : std::uint8_t {
   kTaskEnd,     // an executor task finished ("ok" or "error" in detail)
   kFault,       // an armed failpoint fired
   kQuarantine,  // the degraded trace reader skipped a malformed record
+  kBudgetAlert,  // burn-rate forecast crossed the armed ETA threshold
 };
 
 [[nodiscard]] constexpr const char* event_kind_name(EventKind k) {
@@ -66,6 +67,7 @@ enum class EventKind : std::uint8_t {
     case EventKind::kTaskEnd: return "task.end";
     case EventKind::kFault: return "fault";
     case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kBudgetAlert: return "budget.alert";
   }
   return "unknown";
 }
@@ -244,6 +246,15 @@ inline void emit_quarantine(std::string_view where) {
                          std::string(where));
   }
 }
+/// Burn-rate forecast crossed the operator's armed ETA threshold
+/// (core/obs/burn.hpp).  `remaining_eps` is the analyst's headroom at
+/// the moment of the alert — an epsilon, like every journal magnitude.
+inline void emit_budget_alert(std::string label, double remaining_eps) {
+  if (journal_armed()) {
+    journal_detail::emit(EventKind::kBudgetAlert, std::move(label), 0,
+                         remaining_eps, "eta below threshold");
+  }
+}
 
 /// Offline verification result (dpnet_cli audit verify, chaos tests).
 /// `ok` is false iff the document is structurally invalid or the hash
@@ -268,6 +279,7 @@ struct JournalVerification {
   std::uint64_t tasks = 0;   // task.begin events
   std::uint64_t faults = 0;
   std::uint64_t quarantined = 0;
+  std::uint64_t alerts = 0;  // budget.alert events (burn-rate forecasts)
 };
 
 /// Replays a flushed journal: validates the header, every record's

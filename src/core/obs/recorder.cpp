@@ -1,0 +1,190 @@
+#include "core/obs/recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "core/errors.hpp"
+#include "core/failpoint.hpp"
+#include "core/json.hpp"
+#include "core/trace.hpp"
+
+namespace dpnet::core::obs {
+
+namespace {
+
+std::string moment_line(const Moment& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seq").value(m.seq);
+  w.key("ts_us").value(m.ts_us);
+  w.key("kind").value(m.kind);
+  w.key("label").value(m.label);
+  w.key("value").value(m.value);
+  w.key("detail").value(m.detail);
+  w.end_object();
+  return w.str();
+}
+
+/// Best-effort fsync of `path`'s directory (same stance as the journal
+/// flush: failures weaken durability of the very latest dump, never
+/// atomicity, so they are ignored).
+void sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void FlightRecorder::record(std::string_view kind, std::string label,
+                            double value, std::string detail) {
+  Moment m;
+  m.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() -
+                trace_detail::trace_epoch())
+                .count();
+  m.kind = std::string(kind);
+  m.label = std::move(label);
+  m.value = value;
+  m.detail = std::move(detail);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  m.seq = recorded_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(m));
+  } else {
+    ring_[head_] = std::move(m);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<Moment> FlightRecorder::moments() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Moment> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::size_t FlightRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::size_t FlightRecorder::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void FlightRecorder::reserve(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (capacity <= capacity_) return;
+  // Linearize a wrapped ring before the bound moves (the oldest moment
+  // must sit at head_ == 0 once inserts land past the old capacity).
+  if (head_ != 0) {
+    std::rotate(ring_.begin(),
+                ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+                ring_.end());
+    head_ = 0;
+  }
+  capacity_ = capacity;
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+}
+
+std::string FlightRecorder::to_jsonl() const {
+  const std::vector<Moment> snapshot = moments();
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    dropped = dropped_;
+  }
+  JsonWriter header;
+  header.begin_object();
+  header.key("schema").value("dpnet.flight.v1");
+  header.key("moments").value(static_cast<std::uint64_t>(snapshot.size()));
+  header.key("dropped").value(dropped);
+  header.end_object();
+  std::string out = header.str();
+  out += '\n';
+  for (const Moment& m : snapshot) {
+    out += moment_line(m);
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_file(const std::string& path) const {
+  const std::string doc = to_jsonl();
+  // Crash-atomic replacement, same idiom as the journal flush: the dump
+  // a crashed server leaves behind must always be a complete document —
+  // a torn flight dump would be worse than none when reconstructing an
+  // incident.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    throw DpError("cannot write flight dump to " + tmp);
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
+  const bool closed = std::fclose(f) == 0;
+  if (written != doc.size() || !synced || !closed) {
+    std::remove(tmp.c_str());
+    throw DpError("short write flushing flight dump to " + tmp);
+  }
+  failpoint::hit("obs.flight.dump", path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw DpError("cannot replace flight dump at " + path);
+  }
+  sync_parent_dir(path);
+}
+
+namespace recorder_detail {
+
+void emit(std::string_view kind, std::string label, double value,
+          std::string detail) {
+  FlightRecorder::global().record(kind, std::move(label), value,
+                                  std::move(detail));
+}
+
+}  // namespace recorder_detail
+
+}  // namespace dpnet::core::obs

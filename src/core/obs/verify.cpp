@@ -150,6 +150,8 @@ JournalVerification verify_journal_text(std::string_view text) {
       ++v.faults;
     } else if (k == "quarantine") {
       ++v.quarantined;
+    } else if (k == "budget.alert") {
+      ++v.alerts;
     } else {
       return failed(line_no, "unknown event kind '" + k + "'");
     }

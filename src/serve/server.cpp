@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <utility>
 
@@ -13,9 +14,29 @@
 #include "core/json.hpp"
 #include "core/metrics.hpp"
 #include "core/noise.hpp"
+#include "core/obs/burn.hpp"
 #include "core/obs/journal.hpp"
+#include "core/obs/log.hpp"
+#include "core/obs/recorder.hpp"
+#include "core/obs/resource.hpp"
 
 namespace dpnet::serve {
+
+namespace {
+
+// One sanitized line on the ops log and one flight-recorder moment per
+// admission-ladder decision: the live and post-hoc surfaces see the same
+// events.  `depth` is the admission-queue depth at decision time — the
+// metric delta the flight recorder keeps alongside the decision.
+void witness_decision(core::obs::LogLevel level, const char* kind,
+                      const std::string& analyst, double eps,
+                      std::string_view reason, std::size_t depth) {
+  core::obs::log_event(level, kind, analyst, eps, reason);
+  core::obs::record_moment(kind, analyst, static_cast<double>(depth),
+                           std::string(reason));
+}
+
+}  // namespace
 
 QueryServer::QueryServer(std::vector<net::Packet> records,
                          ServerConfig config)
@@ -36,13 +57,38 @@ QueryServer::QueryServer(std::vector<net::Packet> records,
       std::max(cfg_.journal_capacity,
                journal_headroom() + cfg_.max_sessions));
   core::obs::EventJournal::global().clear();
+  // The flight recorder and burn tracker are claimed the same way: the
+  // black box and the forecasts reflect this server's lifetime only.
+  core::obs::FlightRecorder::global().clear();
+  core::obs::BurnTracker::global().clear();
+  started_ = std::chrono::steady_clock::now();
+  if (!cfg_.ops_snapshot_path.empty()) {
+    snapshot_ = std::make_unique<core::obs::OpsSnapshotWriter>(
+        cfg_.ops_snapshot_path,
+        std::chrono::milliseconds(cfg_.ops_snapshot_interval_ms));
+  }
   if (!cfg_.journal_path.empty()) recover_from_journal(cfg_.journal_path);
+  // Arm burn alerting only after recovery: replayed charges land in one
+  // burst and would otherwise fire a spurious alert at every restart.
+  if (cfg_.burn_alert_eta_s > 0.0) {
+    core::obs::BurnTracker::global().set_alert_eta_s(cfg_.burn_alert_eta_s);
+  }
+  // Publish an initial snapshot so `dpnet_cli top` has a document to
+  // render from the moment the server is up.
+  write_ops_snapshot(/*force=*/true);
 }
 
 QueryServer::~QueryServer() {
   drain();
+  // Final ops surfaces before the gauges drop: the last snapshot and
+  // flight dump describe the drained server, not a mid-flight one.
+  write_ops_snapshot(/*force=*/true);
+  dump_flight();
   core::builtin_metrics::serve_sessions_active().set(0.0);
   core::builtin_metrics::serve_queue_depth().set(0.0);
+  // Disarm burn alerting on the way out — the threshold is this
+  // server's operator policy, not the process's.
+  core::obs::BurnTracker::global().set_alert_eta_s(0.0);
   // pool_ is declared last, so it is destroyed first: outstanding
   // drainer tasks finish against still-live members before anything
   // else unwinds.
@@ -126,6 +172,10 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
     req = protocol::parse_request(line);
   } catch (...) {
     core::builtin_metrics::serve_requests_rejected().increment();
+    witness_decision(core::obs::LogLevel::kWarn, "serve.reject", {}, 0.0,
+                     "malformed",
+                     static_cast<std::size_t>(
+                         core::builtin_metrics::serve_queue_depth().value()));
     write_response({}, sink,
                    protocol::error_response(
                        protocol::recover_frame_id(line), {},
@@ -137,7 +187,10 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
   if (sessions_.find(req.analyst) == sessions_.end() &&
       sessions_.size() >= cfg_.max_sessions) {
     core::builtin_metrics::serve_requests_rejected().increment();
+    const std::size_t depth = queued_total_;
     lock.unlock();
+    witness_decision(core::obs::LogLevel::kWarn, "serve.reject",
+                     req.analyst, 0.0, "session-limit", depth);
     write_response(req.analyst, sink,
                    protocol::error_response(req.id, req.analyst,
                                             {"session-limit", false}));
@@ -149,7 +202,10 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
   } catch (...) {
     core::builtin_metrics::serve_requests_rejected().increment();
     const protocol::WireError err = protocol::classify_current_exception();
+    const std::size_t depth = queued_total_;
     lock.unlock();
+    witness_decision(core::obs::LogLevel::kWarn, "serve.reject",
+                     req.analyst, 0.0, err.code, depth);
     write_response(req.analyst, sink,
                    protocol::error_response(req.id, req.analyst, err));
     return;
@@ -160,7 +216,10 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
   // retryable, and neither touches any budget.
   if (queued_total_ >= cfg_.queue_capacity) {
     core::builtin_metrics::serve_requests_shed().increment();
+    const std::size_t depth = queued_total_;
     lock.unlock();
+    witness_decision(core::obs::LogLevel::kWarn, "serve.shed", req.analyst,
+                     0.0, "overloaded", depth);
     write_response(req.analyst, sink,
                    protocol::error_response(req.id, req.analyst,
                                             {"overloaded", true}));
@@ -168,13 +227,18 @@ void QueryServer::submit_frame(const std::string& line, ResponseSink sink) {
   }
   if (session->queue.size() >= cfg_.analyst_queue_capacity) {
     core::builtin_metrics::serve_requests_rejected().increment();
+    const std::size_t depth = queued_total_;
     lock.unlock();
+    witness_decision(core::obs::LogLevel::kWarn, "serve.reject",
+                     req.analyst, 0.0, "backpressure", depth);
     write_response(req.analyst, sink,
                    protocol::error_response(req.id, req.analyst,
                                             {"backpressure", true}));
     return;
   }
 
+  witness_decision(core::obs::LogLevel::kDebug, "serve.admit", req.analyst,
+                   req.eps, req.query, queued_total_ + 1);
   session->queue.push_back(Pending{std::move(req), std::move(sink),
                                    std::chrono::steady_clock::now()});
   ++queued_total_;
@@ -216,6 +280,7 @@ void QueryServer::drain_loop() {
     const core::obs::EventJournal& journal = core::obs::EventJournal::global();
     const bool journal_full = journal.capacity() - journal.size() <
                               journal_headroom() * running_total_;
+    const std::size_t in_flight = running_total_;
     lock.unlock();
 
     std::string response;
@@ -224,6 +289,8 @@ void QueryServer::drain_loop() {
       // --journal-capacity clears it (recovery replays the spends, so
       // the restart loses nothing).
       core::builtin_metrics::serve_requests_shed().increment();
+      witness_decision(core::obs::LogLevel::kWarn, "serve.shed",
+                       session->analyst, 0.0, "journal-full", in_flight);
       response = protocol::error_response(pending.request.id,
                                           session->analyst,
                                           {"journal-full", false});
@@ -237,10 +304,19 @@ void QueryServer::drain_loop() {
         // The charge stands but could not be made durable; withhold the
         // release value rather than hand out an answer a crash would
         // disown.
+        core::obs::log_event(core::obs::LogLevel::kError, "serve.error",
+                             session->analyst, 0.0, "journal-flush");
         response = protocol::error_response(pending.request.id,
                                             session->analyst,
                                             {"internal", false});
       }
+      // The black box rides the journal cadence: after every flushed
+      // response the on-disk dump's trailing events match the flushed
+      // journal's, so a kill -9 between requests leaves reconcilable
+      // artifacts.  The live snapshot is cadence-limited, so this is
+      // one clock read on most iterations.
+      dump_flight();
+      write_ops_snapshot();
     }
     write_response(session->analyst, pending.sink, response);
 
@@ -289,9 +365,18 @@ std::string QueryServer::execute(
     response = protocol::ok_response(req, value, after - before, after,
                                      session.audit->remaining());
   } catch (...) {
-    response = protocol::error_response(
-        req.id, req.analyst, protocol::classify_current_exception());
+    const protocol::WireError err = protocol::classify_current_exception();
+    // Guard aborts and contained faults are degradation, not admission:
+    // the ops log and flight recorder witness them as "serve.abort", and
+    // a fault dumps the black box immediately — the dump exists even if
+    // nothing else is ever served.
+    witness_decision(core::obs::LogLevel::kWarn, "serve.abort", req.analyst,
+                     0.0, err.code, 0);
+    dump_flight();
+    response = protocol::error_response(req.id, req.analyst, err);
   }
+  frames_executed_.fetch_add(1, std::memory_order_relaxed);
+  rows_processed_.fetch_add(records_.size(), std::memory_order_relaxed);
   {
     // All scopes are closed by now (success or unwind), so the request's
     // spans — including refused/aborted releases — merge cleanly into
@@ -401,6 +486,92 @@ void QueryServer::flush_journal() const {
   if (cfg_.journal_path.empty()) return;
   const std::lock_guard<std::mutex> lock(journal_mutex_);
   core::obs::EventJournal::global().flush_to_file(cfg_.journal_path);
+}
+
+void QueryServer::dump_flight() const {
+  if (cfg_.flight_path.empty()) return;
+  try {
+    // journal_mutex_ also serializes dumps so the flight file tracks the
+    // journal file's cadence (flush, then dump, atomically each).
+    const std::lock_guard<std::mutex> lock(journal_mutex_);
+    core::obs::FlightRecorder::global().dump_to_file(cfg_.flight_path);
+  } catch (...) {
+    // Diagnostic context only: a failed dump never fails a request.
+    core::obs::log_event(core::obs::LogLevel::kWarn, "serve.error", {}, 0.0,
+                         "flight-dump");
+  }
+}
+
+std::string QueryServer::ops_snapshot_json() const {
+  core::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("dpnet.ops.v1");
+  const auto now = std::chrono::steady_clock::now();
+  w.key("ts_us").value(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count());
+  const double uptime_ms =
+      std::chrono::duration<double, std::milli>(now - started_).count();
+  w.key("uptime_ms").value(uptime_ms);
+  const std::uint64_t frames =
+      frames_executed_.load(std::memory_order_relaxed);
+  const std::uint64_t rows = rows_processed_.load(std::memory_order_relaxed);
+  w.key("frames").value(frames);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.key("sessions").value(static_cast<std::uint64_t>(sessions_.size()));
+    w.key("queue_depth").value(static_cast<std::uint64_t>(queued_total_));
+    w.key("in_flight").value(static_cast<std::uint64_t>(running_total_));
+    w.key("dataset").begin_object();
+    w.key("spent").value(root_->spent());
+    w.key("remaining").value(root_->remaining());
+    w.end_object();
+    const std::map<std::string, core::obs::BurnTracker::Stats> burn =
+        core::obs::BurnTracker::global().all();
+    w.key("analysts").begin_array();
+    for (const auto& [analyst, session] : sessions_) {  // sorted by name
+      w.begin_object();
+      w.key("analyst").value(analyst);
+      w.key("spent").value(session->audit->spent());
+      const double remaining = session->audit->remaining();
+      w.key("remaining").value(std::isfinite(remaining) ? remaining : -1.0);
+      const auto it = burn.find(analyst);
+      const core::obs::BurnTracker::Stats stats =
+          it != burn.end() ? it->second : core::obs::BurnTracker::Stats{};
+      w.key("burn_rate").value(stats.rate);
+      w.key("eta_s").value(stats.has_eta ? stats.eta_s : -1.0);
+      w.key("queued").value(
+          static_cast<std::uint64_t>(session->queue.size()));
+      w.end_object();
+    }
+    w.end_array();
+  }
+  const core::Histogram::Snapshot lat =
+      core::builtin_metrics::query_wall_ms().snapshot();
+  w.key("latency").begin_object();
+  w.key("count").value(lat.count);
+  w.key("p50").value(lat.p50);
+  w.key("p95").value(lat.p95);
+  w.key("p99").value(lat.p99);
+  w.end_object();
+  w.key("peak_rss_kb").value(core::obs::peak_rss_kb());
+  w.key("records_per_sec")
+      .value(core::obs::records_per_sec(static_cast<std::int64_t>(rows),
+                                        uptime_ms));
+  w.end_object();
+  return w.str();
+}
+
+void QueryServer::write_ops_snapshot(bool force) {
+  if (!snapshot_) return;
+  try {
+    snapshot_->maybe_write([this] { return ops_snapshot_json(); }, force);
+  } catch (...) {
+    // Live state only: a failed publish never fails a request.
+    core::obs::log_event(core::obs::LogLevel::kWarn, "serve.error", {}, 0.0,
+                         "ops-snapshot");
+  }
 }
 
 }  // namespace dpnet::serve

@@ -65,8 +65,11 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "core/audit.hpp"
 #include "core/exec/thread_pool.hpp"
+#include "core/obs/snapshot.hpp"
 #include "core/queryable.hpp"
 #include "core/trace.hpp"
 #include "net/packet.hpp"
@@ -93,6 +96,18 @@ struct ServerConfig {
       // refuses dispatch with "journal-full" rather than let the ring
       // drop — a dropped event would make the flushed journal
       // unreplayable and strand the next restart.
+  std::string flight_path;  // flight-recorder dump target; empty = no
+                            // dumps.  Written atomically alongside every
+                            // journal flush, on fault, and at shutdown,
+                            // so a kill -9 always leaves a complete
+                            // dpnet.flight.v1 black box.
+  std::string ops_snapshot_path;  // live dpnet.ops.v1 snapshot for
+                                  // `dpnet_cli top`; empty = off
+  std::uint64_t ops_snapshot_interval_ms = 1000;  // snapshot cadence
+  double burn_alert_eta_s = 0.0;  // arm budget.alert journal events when
+                                  // an analyst's projected time-to-
+                                  // exhaustion drops below this many
+                                  // seconds (0 = alerts off)
 };
 
 /// Per-analyst recovered spend, for the operator's startup summary.
@@ -160,6 +175,22 @@ class QueryServer {
   /// Called automatically before every response that follows a charge
   /// or refusal; exposed for a final flush at shutdown.
   void flush_journal() const;
+
+  /// Dumps the flight recorder to `flight_path` (no-op when unset).
+  /// Never throws — a failed dump is logged and the server keeps
+  /// serving (the dump is diagnostic context, not budget state).
+  void dump_flight() const;
+
+  /// The live ops document, schema "dpnet.ops.v1": queue depth,
+  /// in-flight count, per-analyst budgets with burn-rate forecasts,
+  /// latency percentiles, peak RSS, and scan throughput.  Accounting
+  /// metadata only (lint R6); `dpnet_cli top` renders it.
+  [[nodiscard]] std::string ops_snapshot_json() const;
+
+  /// Publishes ops_snapshot_json() to `ops_snapshot_path` through the
+  /// cadenced atomic writer (no-op when unset; `force` skips the
+  /// cadence for startup/shutdown edges).  Never throws.
+  void write_ops_snapshot(bool force = false);
 
  private:
   struct Pending {
@@ -230,6 +261,11 @@ class QueryServer {
   mutable std::mutex journal_mutex_;  // serializes file flushes
 
   std::vector<RecoveredBudget> recovered_;
+
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<std::uint64_t> frames_executed_{0};
+  std::atomic<std::uint64_t> rows_processed_{0};
+  std::unique_ptr<core::obs::OpsSnapshotWriter> snapshot_;
 
   core::exec::ThreadPool pool_;
 };

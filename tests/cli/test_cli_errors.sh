@@ -215,12 +215,58 @@ rc=0
 [ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown serve flag" >&2; exit 1; }
 grep -q "unknown flag" "$WORK/err"
 
-echo "== server ops gauges are exported at zero =="
+echo "== untouched server ops gauges stay out of prometheus =="
+# No server ran in this process, so the registered-but-untouched serve.*
+# series are suppressed from the exposition (scrapes of engine-only
+# processes stay clean) while the JSON snapshot still lists the full
+# ops vocabulary.
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --prometheus >"$WORK/m2.prom"
-grep -q '^dpnet_serve_sessions_active 0$' "$WORK/m2.prom"
-grep -q '^dpnet_serve_queue_depth 0$' "$WORK/m2.prom"
-grep -q '^dpnet_serve_requests_rejected 0$' "$WORK/m2.prom"
-grep -q '^dpnet_serve_requests_shed 0$' "$WORK/m2.prom"
+if grep -q '^dpnet_serve_' "$WORK/m2.prom"; then
+  echo "untouched serve.* series leaked into the exposition" >&2
+  grep '^dpnet_serve_' "$WORK/m2.prom" >&2
+  exit 1
+fi
 "$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "serve.sessions.active"
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json | grep -q "serve.queue.depth"
+# journal.events.dropped: the silent-drop counter is a first-class
+# metric now (engine runs never drop, so it reads zero here).
+"$CLI" metrics "$WORK/t.dpnt" --eps 0.5 --json \
+  | grep -q "journal.events.dropped"
+
+echo "== audit exit-code contract: 0 ok / 1 failure / 2 usage =="
+rc=0
+"$CLI" audit verify "$WORK/j.jsonl" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || { echo "expected exit 0 for clean verify" >&2; exit 1; }
+rc=0
+"$CLI" audit tail "$WORK/j.jsonl" --last 2 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || { echo "expected exit 0 for clean tail" >&2; exit 1; }
+rc=0
+"$CLI" audit verify "$WORK/j.flip.jsonl" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || {
+  echo "expected exit 1 for broken hash chain (got $rc)" >&2
+  exit 1
+}
+rc=0
+"$CLI" audit verify "$WORK/j.jsonl" --audit "$WORK/other.json" \
+  >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || {
+  echo "expected exit 1 for ledger mismatch (got $rc)" >&2
+  exit 1
+}
+rc=0
+"$CLI" audit verify "$WORK/no-such-journal.jsonl" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 1 ] || {
+  echo "expected exit 1 for unreadable journal (got $rc)" >&2
+  exit 1
+}
+rc=0
+"$CLI" audit >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected usage exit 2 (got $rc)" >&2; exit 1; }
+rc=0
+"$CLI" audit frobnicate "$WORK/j.jsonl" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || {
+  echo "expected exit 2 for unknown audit mode (got $rc)" >&2
+  exit 1
+}
 
 echo "CLI-ERRORS-OK"

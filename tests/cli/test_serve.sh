@@ -25,6 +25,8 @@ EOF
 "$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 --seed 3 \
   --journal "$WORK/j.jsonl" --ledger "$WORK/ledger.json" \
   --trace-out "$WORK/trace.json" \
+  --flight "$WORK/flight.jsonl" --ops-log "$WORK/ops.jsonl" \
+  --ops-snapshot "$WORK/ops.json" --log-level debug \
   <"$WORK/req1" >"$WORK/resp1" 2>"$WORK/err1"
 
 [ "$(wc -l <"$WORK/resp1")" -eq 6 ] || {
@@ -43,8 +45,26 @@ grep '"id":4' "$WORK/resp1" | grep -q '"error":"invalid-query"'
 # error (correlation survives), but no analyst is echoed back.
 grep '"id":5' "$WORK/resp1" | grep -q '"error":"invalid-query"'
 grep '"id":5' "$WORK/resp1" | grep -q '"analyst":""'
-grep -q "served 6 frame(s) for 2 session(s)" "$WORK/err1"
-grep -q "dataset eps spent 0.75" "$WORK/err1"
+# The old stderr narration is now the structured ops log: one
+# dpnet.log.v1 JSONL line per lifecycle transition (file sink here via
+# --ops-log; stderr is the default sink and stays silent with a file).
+[ ! -s "$WORK/err1" ] || { echo "stderr not empty with --ops-log" >&2; exit 1; }
+head -1 "$WORK/ops.jsonl" | grep -q '"schema":"dpnet.log.v1"'
+grep '"kind":"serve.started"' "$WORK/ops.jsonl" | grep -q '"level":"info"'
+grep '"kind":"serve.stopped"' "$WORK/ops.jsonl" \
+  | grep '"detail":"frames=6 sessions=2"' | grep -q '"eps":0.75'
+# At debug level every admission decision is witnessed with its label
+# and requested epsilon; refusals log at warn.
+grep '"kind":"serve.admit"' "$WORK/ops.jsonl" \
+  | grep '"label":"alice"' | grep -q '"eps":0.5'
+grep '"kind":"serve.reject"' "$WORK/ops.jsonl" | grep -q '"level":"warn"'
+
+echo "== flight dump and ops snapshot survive shutdown =="
+head -1 "$WORK/flight.jsonl" | grep -q '"schema":"dpnet.flight.v1"'
+# The black box mirrors every journal-witnessed charge: two ok frames.
+[ "$(grep -c '"kind":"charge"' "$WORK/flight.jsonl")" -eq 2 ]
+grep -q '"schema":"dpnet.ops.v1"' "$WORK/ops.json"
+grep -q '"analysts"' "$WORK/ops.json"
 
 echo "== shutdown artifacts reconcile exactly =="
 "$CLI" audit verify "$WORK/j.jsonl" --audit "$WORK/ledger.json" \
@@ -57,7 +77,8 @@ grep -q "reconciled: journal eps == ledger eps == trace eps (exact)" \
 echo "== responses never carry record contents =="
 # Telemetry and the wire protocol carry accounting metadata only; the
 # trace payloads must not surface anywhere in the server's output.
-for f in resp1 j.jsonl ledger.json trace.json err1; do
+for f in resp1 j.jsonl ledger.json trace.json flight.jsonl ops.jsonl \
+         ops.json; do
   if grep -qE '"(payload|src_ip|dst_ip)"' "$WORK/$f"; then
     echo "record contents leaked into $f" >&2
     exit 1
@@ -73,15 +94,17 @@ EOF
 "$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 --seed 3 \
   --journal "$WORK/j.jsonl" \
   <"$WORK/req2" >"$WORK/resp2" 2>"$WORK/err2"
-grep -q "recovered: alice spent 0.5" "$WORK/err2"
-grep -q "recovered: bob spent 0.25" "$WORK/err2"
+grep '"kind":"serve.recovered"' "$WORK/err2" \
+  | grep '"label":"alice"' | grep -q '"eps":0.5'
+grep '"kind":"serve.recovered"' "$WORK/err2" \
+  | grep '"label":"bob"' | grep -q '"eps":0.25'
 # Recovered 0.5 + 0.75 would breach alice's cap: the crash refunded
 # nothing.
 grep '"id":10' "$WORK/resp2" | grep -q '"error":"budget-exhausted"'
 # An exact fit against the recovered spend still succeeds.
 grep '"id":11' "$WORK/resp2" | grep -q '"status":"ok"'
 grep '"id":12' "$WORK/resp2" | grep -q '"status":"ok"'
-grep -q "dataset eps spent 1.5" "$WORK/err2"
+grep '"kind":"serve.stopped"' "$WORK/err2" | grep -q '"eps":1.5'
 "$CLI" audit verify "$WORK/j.jsonl" | grep -q "journal ok"
 
 echo "== a tampered journal refuses startup =="

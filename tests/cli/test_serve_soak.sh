@@ -8,16 +8,22 @@
 #            the charges stand (the flush-before-write contract);
 #   phase 3  kill -9 mid-session, then restart against the surviving
 #            journal — every observed response's charge is recovered
-#            exactly, and the books still reconcile through
-#            `dpnet_cli audit verify` (the hard gate).
+#            exactly, the books still reconcile through
+#            `dpnet_cli audit verify` (the hard gate), and the flight
+#            recorder's on-disk black box is complete, schema-valid,
+#            and mirrors every charge the journal witnessed.
 #
-# Usage: test_serve_soak.sh <path-to-dpnet_cli> [artifact-dir]
-# With an artifact dir, the drill's journal/ledger/trace survive for an
+# Usage: test_serve_soak.sh <path-to-dpnet_cli> \
+#          [path-to-bench_schema_check] [artifact-dir]
+# With bench_schema_check, the surviving flight dump, ops log, and
+# snapshot are hard-gated against their schemas.  With an artifact dir,
+# the drill's journal/ledger/trace/flight/ops-log survive for the
 # offline `dpnet_cli audit verify` gate (the serve-chaos CI job).
 set -eu
 
 CLI="$1"
-ARTIFACTS="${2:-}"
+SCHEMA_CHECK="${2:-}"
+ARTIFACTS="${3:-}"
 WORK="$(mktemp -d)"
 SERVER_PID=""
 cleanup() {
@@ -52,7 +58,7 @@ DPNET_FAILPOINTS="serve.dispatch=throw" \
   cat "$WORK/soak.resp" >&2
   exit 1
 }
-grep -q "dataset eps spent 0\$" "$WORK/soak.err"
+grep '"kind":"serve.stopped"' "$WORK/soak.err" | grep -q '"eps":0,'
 
 echo "== phase 2: write faults — responses dropped, charges stand =="
 { req 1 alice 0.25; req 2 bob 0.25; } >"$WORK/w.req"
@@ -63,12 +69,15 @@ DPNET_FAILPOINTS="serve.session.write=throw" \
   echo "faulted writes must drop responses" >&2
   exit 1
 }
-grep -q "dataset eps spent 0.5" "$WORK/w.err"
+grep '"kind":"serve.stopped"' "$WORK/w.err" | grep -q '"eps":0.5'
 
 echo "== phase 3: kill -9 mid-session, restart, reconcile =="
 mkfifo "$WORK/req.pipe"
 "$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 \
   --journal "$WORK/j.jsonl" \
+  --flight "$WORK/flight.jsonl" --ops-log "$WORK/ops.jsonl" \
+  --ops-snapshot "$WORK/ops.json" --log-level debug \
+  --ops-snapshot-interval-ms 0 \
   <"$WORK/req.pipe" >"$WORK/resp" 2>"$WORK/err" &
 SERVER_PID=$!
 exec 3>"$WORK/req.pipe"
@@ -95,6 +104,29 @@ SERVER_PID=""
 exec 3>&-
 [ "$(grep -c '"status":"ok"' "$WORK/resp")" -eq 3 ]
 
+echo "== the black box survives SIGKILL and mirrors the journal =="
+# The flight dump rides the journal flush cadence, so even an uncatchable
+# kill leaves a complete dpnet.flight.v1 document whose charge moments
+# are exactly the charges the surviving journal witnessed.
+head -1 "$WORK/flight.jsonl" | grep -q '"schema":"dpnet.flight.v1"'
+flight_charges="$(grep -c '"kind":"charge"' "$WORK/flight.jsonl")"
+journal_charges="$(grep -c '"kind":"charge"' "$WORK/j.jsonl")"
+[ "$flight_charges" -eq "$journal_charges" ] || {
+  echo "flight dump ($flight_charges charges) disagrees with" \
+       "journal ($journal_charges)" >&2
+  exit 1
+}
+# The snapshot is published by atomic rename: whatever instant the kill
+# landed, the file on disk is a complete dpnet.ops.v1 document, and no
+# orphaned temp file means a publish was torn mid-rename.
+grep -q '"schema":"dpnet.ops.v1"' "$WORK/ops.json"
+grep -q '"analysts"' "$WORK/ops.json"
+head -1 "$WORK/ops.jsonl" | grep -q '"schema":"dpnet.log.v1"'
+grep '"kind":"serve.admit"' "$WORK/ops.jsonl" | grep -q '"label":"alice"'
+if [ -n "$SCHEMA_CHECK" ]; then
+  "$SCHEMA_CHECK" "$WORK/flight.jsonl" "$WORK/ops.json" "$WORK/ops.jsonl"
+fi
+
 {
   req 10 alice 0.75   # 0.5 recovered + 0.75 breaches the cap: refused
   req 11 alice 0.5    # exact fit against the recovered spend
@@ -104,12 +136,14 @@ exec 3>&-
   --journal "$WORK/j.jsonl" --ledger "$WORK/ledger.json" \
   --trace-out "$WORK/trace.json" \
   <"$WORK/req2" >"$WORK/resp2" 2>"$WORK/err2"
-grep -q "recovered: alice spent 0.5" "$WORK/err2"
-grep -q "recovered: bob spent 0.25" "$WORK/err2"
+grep '"kind":"serve.recovered"' "$WORK/err2" \
+  | grep '"label":"alice"' | grep -q '"eps":0.5'
+grep '"kind":"serve.recovered"' "$WORK/err2" \
+  | grep '"label":"bob"' | grep -q '"eps":0.25'
 grep '"id":10' "$WORK/resp2" | grep -q '"error":"budget-exhausted"'
 grep '"id":11' "$WORK/resp2" | grep -q '"status":"ok"'
 grep '"id":12' "$WORK/resp2" | grep -q '"status":"ok"'
-grep -q "dataset eps spent 1.5" "$WORK/err2"
+grep '"kind":"serve.stopped"' "$WORK/err2" | grep -q '"eps":1.5'
 
 # The hard gate: the post-crash journal, ledger, and trace agree on
 # every epsilon — exactly.
@@ -123,6 +157,11 @@ if [ -n "$ARTIFACTS" ]; then
   mkdir -p "$ARTIFACTS"
   cp "$WORK/j.jsonl" "$ARTIFACTS/journal.jsonl"
   cp "$WORK/ledger.json" "$WORK/trace.json" "$ARTIFACTS/"
+  # The incident bundle from the killed server: black box, ops log, and
+  # the last published snapshot ride along for offline forensics.
+  cp "$WORK/flight.jsonl" "$ARTIFACTS/flight.jsonl"
+  cp "$WORK/ops.jsonl" "$ARTIFACTS/ops-log.jsonl"
+  cp "$WORK/ops.json" "$ARTIFACTS/ops-snapshot.json"
 fi
 
 echo "CLI-SERVE-SOAK-OK"

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Smoke test for `dpnet_cli top`: a serve run publishes a dpnet.ops.v1
+# snapshot, top renders it (one-shot and --json), --json round-trips the
+# exact on-disk document, and the error paths are sanitized one-liners
+# with the documented exit codes (1 unreadable/invalid snapshot, 2
+# usage).
+# Usage: test_top.sh <path-to-dpnet_cli>
+set -eu
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+"$CLI" gen "$WORK/t.dpnt" --seed 7 >/dev/null
+
+echo "== produce a live snapshot via serve =="
+cat >"$WORK/req" <<'EOF'
+{"id":1,"analyst":"alice","query":"count","eps":0.5}
+{"id":2,"analyst":"bob","query":"count-tcp","eps":0.25}
+EOF
+"$CLI" serve "$WORK/t.dpnt" --cap 1 --threads 2 --seed 3 \
+  --ops-snapshot "$WORK/ops.json" \
+  <"$WORK/req" >/dev/null 2>/dev/null
+grep -q '"schema":"dpnet.ops.v1"' "$WORK/ops.json"
+
+echo "== one-shot render =="
+"$CLI" top "$WORK/ops.json" >"$WORK/top.out"
+grep -q "frames" "$WORK/top.out"
+grep -q "alice" "$WORK/top.out"
+grep -q "bob" "$WORK/top.out"
+grep -q "dataset" "$WORK/top.out"
+
+echo "== --json round-trips the snapshot document =="
+"$CLI" top "$WORK/ops.json" --json >"$WORK/top.json"
+[ "$(cat "$WORK/top.json")" = "$(cat "$WORK/ops.json")" ] || {
+  echo "top --json must echo the parsed snapshot document" >&2
+  exit 1
+}
+
+echo "== --watch --count renders repeatedly and terminates =="
+"$CLI" top "$WORK/ops.json" --watch --interval-ms 10 --count 3 \
+  >"$WORK/watch.out"
+[ "$(grep -c "dataset" "$WORK/watch.out")" -eq 3 ]
+
+echo "== error paths: missing file, bad schema, usage =="
+rc=0
+"$CLI" top "$WORK/nope.json" >/dev/null 2>"$WORK/err1" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 for missing file, got $rc" >&2; \
+  exit 1; }
+grep -q "^error: " "$WORK/err1"
+
+printf '{"schema":"dpnet.bench.v1"}\n' >"$WORK/bad.json"
+rc=0
+"$CLI" top "$WORK/bad.json" >/dev/null 2>"$WORK/err2" || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 for bad schema, got $rc" >&2; \
+  exit 1; }
+grep -q "not a dpnet.ops.v1 snapshot" "$WORK/err2"
+
+printf 'not json at all\n' >"$WORK/torn.json"
+rc=0
+"$CLI" top "$WORK/torn.json" >/dev/null 2>/dev/null || rc=$?
+[ "$rc" -eq 1 ] || { echo "expected exit 1 for torn file, got $rc" >&2; \
+  exit 1; }
+
+rc=0
+"$CLI" top >/dev/null 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected usage exit 2, got $rc" >&2; exit 1; }
+rc=0
+"$CLI" top "$WORK/ops.json" --frobnicate >/dev/null 2>/dev/null || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected exit 2 for unknown flag, got $rc" >&2; \
+  exit 1; }
+
+echo "== help =="
+"$CLI" help top | grep -q "usage: dpnet_cli top"
+
+echo "CLI-TOP-OK"

@@ -114,9 +114,9 @@ TEST(BudgetGauges, RemainingGaugeSkippedForUnboundedAccountants) {
       builtin_metrics::budget_remaining("gauge.unbounded").value(), 0.0);
 }
 
-// The per-analyst series ride the existing exports unchanged: JSON by
-// their dotted names, Prometheus with the dpnet_ prefix and sanitized
-// separators.
+// The per-analyst series ride the existing exports: JSON by their
+// dotted names, Prometheus as one family per position with the analyst
+// as a proper label value (docs/observability.md).
 TEST(BudgetGauges, PerAnalystSeriesAppearInExports) {
   auto audit =
       std::make_shared<AuditingBudget>(std::make_shared<RootBudget>(1.0));
@@ -126,9 +126,15 @@ TEST(BudgetGauges, PerAnalystSeriesAppearInExports) {
   EXPECT_NE(json.find("budget.spent.promanalyst"), std::string::npos);
   EXPECT_NE(json.find("budget.remaining.promanalyst"), std::string::npos);
   const std::string prom = MetricsRegistry::global().to_prometheus();
-  EXPECT_NE(prom.find("dpnet_budget_spent_promanalyst"), std::string::npos);
-  EXPECT_NE(prom.find("dpnet_budget_remaining_promanalyst"),
+  EXPECT_NE(prom.find("dpnet_budget_spent{analyst=\"promanalyst\"}"),
             std::string::npos);
+  EXPECT_NE(prom.find("dpnet_budget_remaining{analyst=\"promanalyst\"}"),
+            std::string::npos);
+  // One TYPE declaration per family, not one per analyst.
+  const std::string type_line = "# TYPE dpnet_budget_spent gauge";
+  const std::size_t first = prom.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find(type_line, first + 1), std::string::npos);
 }
 
 // The journal kill switch: disarmed, a charge and a refusal leave the

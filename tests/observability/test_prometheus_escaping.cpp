@@ -1,0 +1,96 @@
+// Prometheus exposition hardening (src/core/metrics.cpp): analyst names
+// are attacker-chosen wire input and end up as label values in
+// `metrics --prometheus`, so backslashes, quotes, and newlines must be
+// escaped per the text exposition format 0.0.4 — a hostile name must
+// never break out of its label and forge new series or HELP/TYPE lines.
+// Also pins the registered-but-untouched suppression for serve.* series.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/metrics.hpp"
+
+namespace dpnet::core {
+namespace {
+
+TEST(PrometheusEscaping, HostileAnalystLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  const std::string hostile = "evil\\name\"quoted\nnextline";
+  registry.gauge("budget.spent." + hostile).set(0.5);
+  const std::string prom = registry.to_prometheus();
+  // The escaped label value: backslash -> \\, quote -> \", newline -> \n.
+  EXPECT_NE(
+      prom.find(
+          "dpnet_budget_spent{analyst=\"evil\\\\name\\\"quoted\\nnextline\"}"),
+      std::string::npos);
+  // No raw newline inside any label value: every '\n' in the exposition
+  // must end a complete sample or comment line, so a scraper never sees
+  // a forged line injected through the analyst name.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    const std::string line = prom.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      EXPECT_NE(line.find(' '), std::string::npos)
+          << "sample line without value: " << line;
+    }
+    start = end + 1;
+  }
+}
+
+TEST(PrometheusEscaping, AnalystFamiliesShareOneTypeDeclaration) {
+  MetricsRegistry registry;
+  registry.gauge("budget.spent.alice").set(0.25);
+  registry.gauge("budget.spent.bob").set(0.5);
+  registry.gauge("budget.eta_s.alice").set(120.0);
+  const std::string prom = registry.to_prometheus();
+  const std::string type_line = "# TYPE dpnet_budget_spent gauge";
+  const std::size_t first = prom.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(prom.find(type_line, first + 1), std::string::npos);
+  EXPECT_NE(prom.find("dpnet_budget_spent{analyst=\"alice\"} 0.25"),
+            std::string::npos);
+  EXPECT_NE(prom.find("dpnet_budget_spent{analyst=\"bob\"} 0.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE dpnet_budget_eta_s gauge"), std::string::npos);
+}
+
+// serve.* series are registered eagerly (so the JSON snapshot lists the
+// full ops vocabulary) but suppressed from the Prometheus exposition
+// until first touched: engine-only runs scrape clean, a real server's
+// series appear the moment they move — including an explicit set(0).
+TEST(PrometheusEscaping, UntouchedServeSeriesSuppressedUntilTouched) {
+  MetricsRegistry registry;
+  registry.gauge("serve.queue.depth");
+  registry.counter("serve.requests.shed");
+  registry.gauge("other.series");
+  const std::string before = registry.to_prometheus();
+  EXPECT_EQ(before.find("dpnet_serve_queue_depth"), std::string::npos);
+  EXPECT_EQ(before.find("dpnet_serve_requests_shed"), std::string::npos);
+  // Non-serve series are never suppressed, touched or not.
+  EXPECT_NE(before.find("dpnet_other_series"), std::string::npos);
+  // JSON keeps the full registry regardless.
+  EXPECT_NE(registry.to_json().find("serve.queue.depth"), std::string::npos);
+
+  registry.gauge("serve.queue.depth").set(0.0);  // an explicit zero counts
+  registry.counter("serve.requests.shed").increment();
+  const std::string after = registry.to_prometheus();
+  EXPECT_NE(after.find("dpnet_serve_queue_depth 0"), std::string::npos);
+  EXPECT_NE(after.find("dpnet_serve_requests_shed 1"), std::string::npos);
+}
+
+// reset() returns a series to the untouched state, so a fresh scrape
+// after test plumbing resets does not resurrect stale serve series.
+TEST(PrometheusEscaping, ResetClearsTouchedState) {
+  MetricsRegistry registry;
+  registry.gauge("serve.queue.depth").set(3.0);
+  EXPECT_NE(registry.to_prometheus().find("dpnet_serve_queue_depth"),
+            std::string::npos);
+  registry.reset();
+  EXPECT_EQ(registry.to_prometheus().find("dpnet_serve_queue_depth"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpnet::core

@@ -1,13 +1,22 @@
-// Validates the BENCH_*.json artifacts the benches emit (schema
-// "dpnet.bench.v1", see docs/observability.md):
+// Validates dpnet's machine-readable observability artifacts
+// (see docs/observability.md):
 //
-//   bench_schema_check <report.json>...
+//   bench_schema_check <artifact>...
+//
+// Each file is dispatched on the schema named by its first line:
+//
+//   dpnet.bench.v1   bench reports (BENCH_*.json)
+//   dpnet.flight.v1  flight-recorder dumps (`serve --flight`)
+//   dpnet.log.v1     structured ops logs (`serve --ops-log`)
+//   dpnet.ops.v1     live ops snapshots (`serve --ops-snapshot`)
 //
 // Beyond shape checking, it verifies the accounting invariants that make
-// the artifacts trustworthy: when a report carries both a query trace and
-// an audit ledger, the spans' eps_charged must sum to the ledger's spend,
-// and any "tracing disabled overhead pct" result must stay under 2%.
-// Exit status 0 iff every file passes; each failure prints one line.
+// the artifacts trustworthy: when a bench report carries both a query
+// trace and an audit ledger, the spans' eps_charged must sum to the
+// ledger's spend, and every "* overhead pct" result must stay under 2%;
+// flight/log sequence numbers must be strictly increasing; snapshot
+// percentiles must be monotone.  Exit status 0 iff every file passes;
+// each failure prints one line.
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -104,12 +113,15 @@ void check_results(const JsonValue& results) {
            "' has neither value nor paper/measured");
       continue;
     }
-    // Both always-on telemetry layers carry the same promise: recording
-    // must cost under 2% (docs/observability.md).
+    // Every always-on telemetry layer carries the same promise:
+    // recording must cost under 2% (docs/observability.md).
     const std::string& key = row.at("key").string;
     if (key == "tracing disabled overhead pct" ||
         key == "op histogram overhead pct" ||
-        key == "journal armed overhead pct") {
+        key == "journal armed overhead pct" ||
+        key == "flight recorder overhead pct" ||
+        key == "ops log overhead pct" ||
+        key == "ops snapshot overhead pct") {
       if (value == nullptr || !value->is_number()) {
         fail("overhead result is not numeric");
       } else if (!(value->number < 2.0)) {
@@ -268,11 +280,227 @@ void check_report(const JsonValue& doc) {
   }
 }
 
+/// Shared field-shape checks for the JSONL artifacts: `field` must be a
+/// number (non-negative unless `allow_negative`).
+bool require_number(const JsonValue& obj, const char* field,
+                    std::size_t line_no, bool allow_negative = false) {
+  const JsonValue* v = obj.find(field);
+  if (v == nullptr || !v->is_number() ||
+      (!allow_negative && v->number < 0.0)) {
+    fail("line " + std::to_string(line_no) + ": missing or invalid '" +
+         field + "'");
+    return false;
+  }
+  return true;
+}
+
+bool require_text(const JsonValue& obj, const char* field,
+                  std::size_t line_no) {
+  const JsonValue* v = obj.find(field);
+  if (v == nullptr || !v->is_string()) {
+    fail("line " + std::to_string(line_no) + ": missing or non-string '" +
+         field + "'");
+    return false;
+  }
+  return true;
+}
+
+/// dpnet.flight.v1: a header naming the dumped moment count, then one
+/// moment per line with strictly increasing sequence numbers.
+void check_flight(const JsonValue& header,
+                  const std::vector<JsonValue>& records) {
+  const JsonValue* moments = header.find("moments");
+  if (moments == nullptr || !moments->is_number() ||
+      moments->number != static_cast<double>(records.size())) {
+    fail("flight header 'moments' does not match the dumped line count");
+  }
+  if (const JsonValue* d = header.find("dropped");
+      d == nullptr || !d->is_number() || d->number < 0.0) {
+    fail("flight header missing non-negative 'dropped'");
+  }
+  double prev_seq = -1.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonValue& m = records[i];
+    const std::size_t line_no = i + 2;
+    if (!m.is_object()) {
+      fail("line " + std::to_string(line_no) + ": moment is not an object");
+      continue;
+    }
+    if (!require_number(m, "seq", line_no) ||
+        !require_number(m, "ts_us", line_no, /*allow_negative=*/true) ||
+        !require_number(m, "value", line_no, /*allow_negative=*/true) ||
+        !require_text(m, "kind", line_no) ||
+        !require_text(m, "label", line_no) ||
+        !require_text(m, "detail", line_no)) {
+      continue;
+    }
+    if (m.at("kind").string.empty()) {
+      fail("line " + std::to_string(line_no) + ": empty 'kind'");
+    }
+    if (m.at("seq").number <= prev_seq) {
+      fail("line " + std::to_string(line_no) +
+           ": 'seq' not strictly increasing");
+    }
+    prev_seq = m.at("seq").number;
+  }
+}
+
+/// dpnet.log.v1: schema header, then one leveled line per entry.
+void check_log(const std::vector<JsonValue>& records) {
+  double prev_seq = -1.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonValue& rec = records[i];
+    const std::size_t line_no = i + 2;
+    if (!rec.is_object()) {
+      fail("line " + std::to_string(line_no) + ": entry is not an object");
+      continue;
+    }
+    if (!require_number(rec, "seq", line_no) ||
+        !require_number(rec, "ts_us", line_no, /*allow_negative=*/true) ||
+        !require_number(rec, "eps", line_no) ||
+        !require_text(rec, "level", line_no) ||
+        !require_text(rec, "kind", line_no) ||
+        !require_text(rec, "label", line_no) ||
+        !require_text(rec, "detail", line_no)) {
+      continue;
+    }
+    const std::string& level = rec.at("level").string;
+    if (level != "debug" && level != "info" && level != "warn" &&
+        level != "error") {
+      fail("line " + std::to_string(line_no) + ": unknown level '" + level +
+           "'");
+    }
+    if (rec.at("kind").string.empty()) {
+      fail("line " + std::to_string(line_no) + ": empty 'kind'");
+    }
+    if (const JsonValue* s = rec.find("suppressed");
+        s != nullptr && (!s->is_number() || !(s->number > 0.0))) {
+      fail("line " + std::to_string(line_no) +
+           ": 'suppressed' must be a positive count when present");
+    }
+    if (rec.at("seq").number <= prev_seq) {
+      fail("line " + std::to_string(line_no) +
+           ": 'seq' not strictly increasing");
+    }
+    prev_seq = rec.at("seq").number;
+  }
+}
+
+/// dpnet.ops.v1: one object — the live serve snapshot `dpnet_cli top`
+/// renders.  remaining/eta_s use -1 as the "uncapped / no forecast"
+/// sentinel, the only legal negative.
+void check_ops(const JsonValue& doc) {
+  for (const char* field :
+       {"ts_us", "uptime_ms", "frames", "sessions", "queue_depth",
+        "in_flight", "peak_rss_kb", "records_per_sec"}) {
+    require_number(doc, field, 1);
+  }
+  const JsonValue* dataset = doc.find("dataset");
+  if (dataset == nullptr || !dataset->is_object()) {
+    fail("missing or non-object 'dataset'");
+  } else {
+    require_number(*dataset, "spent", 1);
+    require_number(*dataset, "remaining", 1, /*allow_negative=*/true);
+  }
+  const JsonValue* analysts = doc.find("analysts");
+  if (analysts == nullptr || !analysts->is_array()) {
+    fail("missing or non-array 'analysts'");
+  } else {
+    for (const JsonValue& a : analysts->array) {
+      if (!a.is_object()) {
+        fail("analyst row is not an object");
+        continue;
+      }
+      require_text(a, "analyst", 1);
+      require_number(a, "spent", 1);
+      require_number(a, "burn_rate", 1);
+      require_number(a, "queued", 1);
+      for (const char* sentinel_ok : {"remaining", "eta_s"}) {
+        const JsonValue* v = a.find(sentinel_ok);
+        if (v == nullptr || !v->is_number() ||
+            (v->number < 0.0 && v->number != -1.0)) {
+          fail(std::string("analyst '") + sentinel_ok +
+               "' must be non-negative or the -1 sentinel");
+        }
+      }
+    }
+  }
+  const JsonValue* latency = doc.find("latency");
+  if (latency == nullptr || !latency->is_object()) {
+    fail("missing or non-object 'latency'");
+  } else if (require_number(*latency, "count", 1) &&
+             require_number(*latency, "p50", 1) &&
+             require_number(*latency, "p95", 1) &&
+             require_number(*latency, "p99", 1)) {
+    if (!(latency->at("p50").number <= latency->at("p95").number &&
+          latency->at("p95").number <= latency->at("p99").number)) {
+      fail("latency percentiles not monotone");
+    }
+  }
+}
+
+/// Splits a JSONL artifact into parsed non-empty lines.
+std::vector<JsonValue> parse_lines(const std::string& text,
+                                   bool* parse_ok) {
+  std::vector<JsonValue> out;
+  std::istringstream in(text);
+  std::size_t line_no = 0;
+  *parse_ok = true;
+  for (std::string line; std::getline(in, line);) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      out.push_back(dpnet::core::parse_json(line));
+    } catch (const std::exception& e) {
+      fail("line " + std::to_string(line_no) + ": " + e.what());
+      *parse_ok = false;
+    }
+  }
+  return out;
+}
+
+void check_artifact(const std::string& text) {
+  // Dispatch on the first line's schema: bench reports and ops snapshots
+  // are single-document files, flight dumps and ops logs are JSONL.
+  const std::size_t eol = text.find('\n');
+  const std::string first =
+      eol == std::string::npos ? text : text.substr(0, eol);
+  std::string schema;
+  try {
+    const JsonValue head = dpnet::core::parse_json(first);
+    const JsonValue* s = head.find("schema");
+    if (s != nullptr && s->is_string()) schema = s->string;
+  } catch (const std::exception&) {
+    // Fall through: a first line that is not standalone JSON can only
+    // belong to a (pretty-printed) bench report.
+  }
+
+  if (schema == "dpnet.flight.v1" || schema == "dpnet.log.v1") {
+    bool parse_ok = false;
+    std::vector<JsonValue> lines = parse_lines(text, &parse_ok);
+    if (!parse_ok || lines.empty()) return;
+    std::vector<JsonValue> records(
+        std::make_move_iterator(lines.begin() + 1),
+        std::make_move_iterator(lines.end()));
+    if (schema == "dpnet.flight.v1") {
+      check_flight(lines.front(), records);
+    } else {
+      check_log(records);
+    }
+    return;
+  }
+  if (schema == "dpnet.ops.v1") {
+    check_ops(dpnet::core::parse_json(text));
+    return;
+  }
+  check_report(dpnet::core::parse_json(text));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_schema_check <report.json>...\n");
+    std::fprintf(stderr, "usage: bench_schema_check <artifact>...\n");
     return 2;
   }
   for (int i = 1; i < argc; ++i) {
@@ -285,7 +513,7 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     try {
-      check_report(dpnet::core::parse_json(buf.str()));
+      check_artifact(buf.str());
     } catch (const std::exception& e) {
       fail(e.what());
     }

@@ -8,6 +8,8 @@
 // Formats are chosen by extension: .pcap (standard capture) or .dpnt
 // (dpnet's native container, keeps exact timestamps and lengths).
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,8 +18,10 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/obs/log.hpp"
 #include "dpnet.hpp"
 
 namespace {
@@ -384,13 +388,36 @@ bool write_text_file(const std::string& path, const std::string& text) {
   return true;
 }
 
+/// SIGTERM sets a flag and interrupts the blocking stdin read (the
+/// handler is installed without SA_RESTART), so the serve loop falls
+/// through to its normal shutdown path: drain, final journal flush,
+/// final ops snapshot, flight-recorder dump.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// Parses `--log-level` into an OpsLog level; exit 2 on anything else.
+core::obs::LogLevel log_level_flag(const std::vector<std::string>& args) {
+  const std::string text = flag_value(args, "--log-level", "info");
+  if (text == "debug") return core::obs::LogLevel::kDebug;
+  if (text == "info") return core::obs::LogLevel::kInfo;
+  if (text == "warn") return core::obs::LogLevel::kWarn;
+  if (text == "error") return core::obs::LogLevel::kError;
+  std::fprintf(stderr,
+               "error: --log-level expects debug|info|warn|error, got '%s'\n",
+               text.c_str());
+  std::exit(2);
+}
+
 int cmd_serve(const std::vector<std::string>& args) {
   if (args.empty()) usage_for("serve");
   check_flags("serve", args,
               {"--budget", "--cap", "--threads", "--queue",
                "--analyst-queue", "--deadline-ms", "--max-rows", "--seed",
                "--max-sessions", "--journal", "--journal-capacity",
-               "--ledger", "--trace-out"},
+               "--ledger", "--trace-out", "--flight", "--ops-snapshot",
+               "--ops-snapshot-interval-ms", "--burn-alert-eta-s",
+               "--ops-log", "--log-level"},
               {});
   serve::ServerConfig cfg;
   cfg.dataset_budget = double_flag(args, "--budget", "8");
@@ -408,8 +435,26 @@ int cmd_serve(const std::vector<std::string>& args) {
   cfg.journal_path = flag_value(args, "--journal", "");
   cfg.journal_capacity = static_cast<std::size_t>(
       u64_flag(args, "--journal-capacity", "262144"));
+  cfg.flight_path = flag_value(args, "--flight", "");
+  cfg.ops_snapshot_path = flag_value(args, "--ops-snapshot", "");
+  cfg.ops_snapshot_interval_ms =
+      u64_flag(args, "--ops-snapshot-interval-ms", "1000");
+  cfg.burn_alert_eta_s = double_flag(args, "--burn-alert-eta-s", "0");
   const std::string ledger_out = flag_value(args, "--ledger", "");
   const std::string trace_out = flag_value(args, "--trace-out", "");
+
+  // The structured ops log replaces the old ad-hoc stderr narration:
+  // one dpnet.log.v1 line per lifecycle transition and (at debug level)
+  // per admission decision.  Default sink is stderr; --ops-log owns a
+  // file with the schema header, for the CI artifact trail.
+  core::obs::OpsLog& ops_log = core::obs::OpsLog::global();
+  ops_log.set_min_level(log_level_flag(args));
+  if (const std::string log_out = flag_value(args, "--ops-log", "");
+      !log_out.empty()) {
+    ops_log.open_file(log_out);
+  } else {
+    ops_log.use_stderr();
+  }
 
   // Construction verifies and replays an existing journal file (crash
   // recovery); a tampered or overspent journal throws DpError, which
@@ -417,11 +462,20 @@ int cmd_serve(const std::vector<std::string>& args) {
   // start rather than refund budget.
   serve::QueryServer server(load(args[0]), cfg);
   for (const serve::RecoveredBudget& r : server.recovered()) {
-    std::fprintf(stderr, "recovered: %s spent %.6g\n", r.analyst.c_str(),
-                 r.eps);
+    core::obs::log_event(core::obs::LogLevel::kInfo, "serve.recovered",
+                         r.analyst, r.eps, "journal replay");
   }
-  std::fprintf(stderr,
-               "serving on stdin (one JSON request per line; EOF stops)\n");
+
+  // A SIGTERM interrupts the getline below (no SA_RESTART) and runs the
+  // same orderly shutdown as EOF — drain, flush, snapshot, flight dump.
+  struct sigaction sa = {};
+  sa.sa_handler = &handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+
+  core::obs::log_event(core::obs::LogLevel::kInfo, "serve.started", {}, 0.0,
+                       "stdin");
 
   // Responses from pool workers interleave on stdout; one line each.
   std::mutex out_mutex;
@@ -435,7 +489,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   std::string line;
   std::size_t frames = 0;
-  while (std::getline(std::cin, line)) {
+  while (g_stop_requested == 0 && std::getline(std::cin, line)) {
     if (line.empty()) continue;
     server.submit_frame(line, sink);
     ++frames;
@@ -450,10 +504,11 @@ int cmd_serve(const std::vector<std::string>& args) {
                                              server.trace_json())) {
     return 1;
   }
-  std::fprintf(stderr,
-               "served %zu frame(s) for %zu session(s); dataset eps "
-               "spent %.6g\n",
-               frames, server.sessions(), server.dataset_spent());
+  std::ostringstream summary;
+  summary << "frames=" << frames << " sessions=" << server.sessions();
+  if (g_stop_requested != 0) summary << " sigterm";
+  core::obs::log_event(core::obs::LogLevel::kInfo, "serve.stopped", {},
+                       server.dataset_spent(), summary.str());
   return 0;
 }
 
@@ -498,6 +553,7 @@ int cmd_metrics(const std::vector<std::string>& args) {
   core::builtin_metrics::serve_queue_depth();
   core::builtin_metrics::serve_requests_rejected();
   core::builtin_metrics::serve_requests_shed();
+  core::builtin_metrics::journal_events_dropped();
 
   if (want_json) {
     std::printf("%s\n", core::MetricsRegistry::global().to_json().c_str());
@@ -685,6 +741,113 @@ int cmd_audit(const std::vector<std::string>& args) {
   usage_for("audit");
 }
 
+/// Renders one dpnet.ops.v1 snapshot as a human-readable board.
+void render_ops_snapshot(const core::JsonValue& doc,
+                         const std::string& path) {
+  const auto num = [](const core::JsonValue& obj, const char* field,
+                      double fallback = 0.0) {
+    const core::JsonValue* f = obj.find(field);
+    return (f != nullptr && f->is_number()) ? f->number : fallback;
+  };
+  const auto fmt_or_dash = [](double v, char* buf, std::size_t n) {
+    if (v < 0) {
+      std::snprintf(buf, n, "-");
+    } else {
+      std::snprintf(buf, n, "%.4g", v);
+    }
+    return buf;
+  };
+
+  std::printf("dpnet top — %s\n", path.c_str());
+  std::printf("uptime %.1f s   frames %.0f   sessions %.0f   queue %.0f   "
+              "in-flight %.0f\n",
+              num(doc, "uptime_ms") / 1000.0, num(doc, "frames"),
+              num(doc, "sessions"), num(doc, "queue_depth"),
+              num(doc, "in_flight"));
+  if (const core::JsonValue* dataset = doc.find("dataset");
+      dataset != nullptr) {
+    std::printf("dataset eps: spent %.6g, remaining %.6g\n",
+                num(*dataset, "spent"), num(*dataset, "remaining"));
+  }
+  if (const core::JsonValue* latency = doc.find("latency");
+      latency != nullptr) {
+    std::printf("latency ms (n=%.0f): p50 %.3g  p95 %.3g  p99 %.3g\n",
+                num(*latency, "count"), num(*latency, "p50"),
+                num(*latency, "p95"), num(*latency, "p99"));
+  }
+  std::printf("peak rss %.0f kb   throughput %.4g records/s\n",
+              num(doc, "peak_rss_kb"), num(doc, "records_per_sec"));
+
+  const core::JsonValue* analysts = doc.find("analysts");
+  if (analysts == nullptr || !analysts->is_array() ||
+      analysts->array.empty()) {
+    std::printf("(no analyst sessions)\n");
+    return;
+  }
+  std::printf("%-16s %10s %10s %12s %10s %7s\n", "analyst", "spent",
+              "remaining", "burn eps/s", "eta s", "queued");
+  for (const core::JsonValue& a : analysts->array) {
+    const core::JsonValue* name = a.find("analyst");
+    char remaining[32], eta[32];
+    std::printf("%-16s %10.4g %10s %12.4g %10s %7.0f\n",
+                (name != nullptr && name->is_string()) ? name->string.c_str()
+                                                       : "?",
+                num(a, "spent"),
+                fmt_or_dash(num(a, "remaining", -1.0), remaining,
+                            sizeof remaining),
+                num(a, "burn_rate"),
+                fmt_or_dash(num(a, "eta_s", -1.0), eta, sizeof eta),
+                num(a, "queued"));
+  }
+}
+
+int cmd_top(const std::vector<std::string>& args) {
+  if (args.empty()) usage_for("top");
+  check_flags("top", args, {"--interval-ms", "--count"},
+              {"--json", "--watch"});
+  const std::string path = args[0];
+  const bool want_json = has_flag(args, "--json");
+  const bool watch = has_flag(args, "--watch");
+  const std::uint64_t interval_ms = u64_flag(args, "--interval-ms", "1000");
+  // --count bounds a --watch loop (0 = until interrupted); one-shot mode
+  // renders exactly once regardless.
+  const std::uint64_t count = u64_flag(args, "--count", "0");
+
+  std::uint64_t shown = 0;
+  for (;;) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    // Parse before printing anything: --json output is only ever a
+    // document the in-tree parser accepted, so it round-trips.
+    const core::JsonValue doc = core::parse_json(text);
+    const core::JsonValue* schema = doc.find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != "dpnet.ops.v1") {
+      std::fprintf(stderr, "error: %s is not a dpnet.ops.v1 snapshot\n",
+                   path.c_str());
+      return 1;
+    }
+    if (watch && !want_json && shown > 0) std::printf("\x1b[2J\x1b[H");
+    if (want_json) {
+      std::printf("%s\n", text.c_str());
+    } else {
+      render_ops_snapshot(doc, path);
+    }
+    std::fflush(stdout);
+    ++shown;
+    if (!watch) break;
+    if (count != 0 && shown >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
 using Handler = int (*)(const std::vector<std::string>&);
 
 struct Subcommand {
@@ -751,7 +914,10 @@ constexpr Subcommand kSubcommands[] = {
      "                   [--analyst-queue N] [--deadline-ms D] [--max-rows N]\n"
      "                   [--seed N] [--max-sessions N] [--journal PATH]\n"
      "                   [--journal-capacity N] [--ledger OUT.json]\n"
-     "                   [--trace-out OUT.json]",
+     "                   [--trace-out OUT.json] [--flight PATH]\n"
+     "                   [--ops-snapshot PATH] [--ops-snapshot-interval-ms N]\n"
+     "                   [--burn-alert-eta-s S] [--ops-log PATH]\n"
+     "                   [--log-level L]",
      "serve mediated queries over line-delimited JSON on stdin",
      "  requests:  {\"id\":1,\"analyst\":\"alice\",\"query\":\"count\","
      "\"eps\":0.125}\n"
@@ -775,8 +941,32 @@ constexpr Subcommand kSubcommands[] = {
      "                    when the ring lacks headroom, dispatch answers\n"
      "                    \"journal-full\" rather than drop events\n"
      "  --ledger OUT      write the merged audit ledger at shutdown\n"
-     "  --trace-out OUT   write the server query trace at shutdown\n",
+     "  --trace-out OUT   write the server query trace at shutdown\n"
+     "  --flight PATH     flight-recorder black box: a dpnet.flight.v1\n"
+     "                    dump refreshed with every journal flush, on\n"
+     "                    fault, and at shutdown (kill -9 safe)\n"
+     "  --ops-snapshot PATH  live dpnet.ops.v1 state file for\n"
+     "                    `dpnet_cli top` (atomic replace, never torn)\n"
+     "  --ops-snapshot-interval-ms N  snapshot cadence (default 1000)\n"
+     "  --burn-alert-eta-s S  journal a budget.alert when an analyst's\n"
+     "                    projected time-to-exhaustion drops below S\n"
+     "                    seconds (default off)\n"
+     "  --ops-log PATH    structured dpnet.log.v1 ops log (default:\n"
+     "                    JSON lines on stderr)\n"
+     "  --log-level L     debug|info|warn|error (default info; debug\n"
+     "                    logs every admission decision)\n",
      &cmd_serve},
+    {"top",
+     "<snapshot.json> [--json] [--watch] [--interval-ms N] [--count N]",
+     "render a serve ops snapshot (budgets, burn rates, queues)",
+     "  reads the dpnet.ops.v1 file that `serve --ops-snapshot` keeps\n"
+     "  current: queue depth, in-flight requests, per-analyst budgets\n"
+     "  with burn-rate forecasts, latency percentiles, peak RSS\n"
+     "  --json            print the raw snapshot document (validated)\n"
+     "  --watch           re-render every interval until interrupted\n"
+     "  --interval-ms N   refresh cadence under --watch (default 1000)\n"
+     "  --count N         stop --watch after N renders (default: run on)\n",
+     &cmd_top},
     {"metrics", "<in> [--eps E] [--seed N] [--json | --prometheus]",
      "run a sample workload and dump the metrics registry",
      "  --json        print the snapshot as JSON\n"

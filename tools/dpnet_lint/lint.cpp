@@ -300,7 +300,18 @@ class Analysis {
         "id", "status", "analyst", "error", "retryable", "remaining",
         // query-server ops metrics (src/serve/, docs/robustness.md)
         "serve.sessions.active", "serve.queue.depth",
-        "serve.requests.rejected", "serve.requests.shed"};
+        "serve.requests.rejected", "serve.requests.shed",
+        // flight recorder (src/core/obs/recorder.cpp): ring header plus
+        // moment records — kinds, causal labels, and counter values only
+        "moments",
+        // structured ops log (src/core/obs/log.cpp): severity plus the
+        // per-kind rate-limit suppression count
+        "level", "suppressed",
+        // live ops snapshot (src/serve/server.cpp, dpnet.ops.v1): queue
+        // and budget positions, burn-rate forecasts, latency summary —
+        // accounting metadata only, rendered by `dpnet_cli top`
+        "uptime_ms", "frames", "sessions", "queue_depth", "in_flight",
+        "dataset", "analysts", "burn_rate", "eta_s", "queued", "latency"};
     for (const StringLit& lit : file_.strings) {
       if (lit.token_slot < 2) continue;
       const Token& open = toks_[lit.token_slot - 1];
